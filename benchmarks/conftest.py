@@ -1,0 +1,23 @@
+"""Shared helpers for the experiment benches.
+
+Every bench prints the paper-style result rows (run with ``-s`` to see
+them) and asserts the qualitative claim it reproduces, so ``pytest
+benchmarks/ --benchmark-only`` doubles as the experiment regression suite.
+EXPERIMENTS.md records one captured run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a result block, padded for readability under -s."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def vocabulary():
+    from repro.vocab.builtin import healthcare_vocabulary
+
+    return healthcare_vocabulary()

@@ -1,0 +1,127 @@
+"""E10 (extension) — tree-structured enforcement (the conclusion's
+"natural evolution ... to tree-based structures").
+
+Measures subtree retrieval through the tree enforcer against raw path
+selection over documents of 100 / 1 000 patients, and verifies the
+adapter preserves the relational enforcer's semantics: policy pruning,
+break-the-glass, and audit entries that feed the *same* refinement
+pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.audit.log import AuditLog
+from repro.hdb.auditing import ComplianceAuditor
+from repro.hdb.consent import ConsentStore
+from repro.policy.parser import parse_rule
+from repro.policy.store import PolicyStore
+from repro.treestore.enforcement import TreeBinding, TreeEnforcer
+from repro.treestore.node import TreeDocument, TreeNode
+from repro.treestore.path import compile_path
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+def _document(patients: int) -> TreeDocument:
+    root = TreeNode("patients")
+    for index in range(patients):
+        patient = root.child("patient", {"id": f"p{index:05d}"})
+        demographics = patient.child("demographics")
+        demographics.child("name", text=f"name-{index}")
+        demographics.child("address", text=f"addr-{index}")
+        record = patient.child("record")
+        record.child("prescription", text=f"rx-{index}")
+        record.child("referral", text=f"ref-{index}")
+        record.child("psychiatry", text=f"psy-{index}")
+    return TreeDocument(root, name="archive")
+
+
+def _enforcer() -> TreeEnforcer:
+    vocabulary = healthcare_vocabulary()
+    store = PolicyStore()
+    store.add(parse_rule("ALLOW nurse TO USE medical_records FOR treatment"))
+    enforcer = TreeEnforcer(
+        store, ConsentStore(vocabulary), ComplianceAuditor(AuditLog()), vocabulary
+    )
+    enforcer.bind_document(
+        "archive",
+        TreeBinding(
+            patient_path="/patients/patient",
+            patient_attribute="id",
+            categories={
+                "//demographics/name": "name",
+                "//demographics/address": "address",
+                "//record/prescription": "prescription",
+                "//record/referral": "referral",
+                "//record/psychiatry": "psychiatry",
+            },
+        ),
+    )
+    return enforcer
+
+
+@pytest.fixture(scope="module")
+def small_document():
+    return _document(100)
+
+
+@pytest.fixture(scope="module")
+def large_document():
+    return _document(1000)
+
+
+def test_e10_raw_selection_100(benchmark, small_document):
+    expression = compile_path("/patients/patient/record/prescription")
+    nodes = benchmark(expression.select, small_document)
+    assert len(nodes) == 100
+
+
+def test_e10_enforced_retrieval_100(benchmark, small_document):
+    enforcer = _enforcer()
+    result = benchmark(
+        enforcer.retrieve, "nurse_kim", "nurse", "treatment",
+        small_document, "/patients/patient",
+    )
+    assert len(result.subtrees) == 100
+    assert "psychiatry" in result.categories_masked
+
+
+def test_e10_enforced_retrieval_1000(benchmark, large_document):
+    enforcer = _enforcer()
+    result = benchmark(
+        enforcer.retrieve, "nurse_kim", "nurse", "treatment",
+        large_document, "/patients/patient",
+    )
+    assert len(result.subtrees) == 1000
+
+
+def test_e10_semantics_match_relational(benchmark, small_document):
+    """Tree exceptions must feed the shared refinement pipeline."""
+    from repro.mining.patterns import MiningConfig
+    from repro.refinement.engine import RefinementConfig, refine
+
+    enforcer = _enforcer()
+    for user in ("clerk_a", "clerk_b", "clerk_c"):
+        for _ in range(2):
+            enforcer.retrieve(
+                user, "clerk", "billing", small_document,
+                "//record/prescription", exception=True,
+            )
+    result = refine(
+        enforcer.policy_store.policy(),
+        enforcer.auditor.log,
+        enforcer.vocabulary,
+        RefinementConfig(mining=MiningConfig(min_support=5)),
+    )
+    assert len(result.useful_patterns) == 1
+    assert result.useful_patterns[0].rule.value_of("data") == "prescription"
+    emit(
+        "E10 — tree adapter feeds the shared pipeline: "
+        f"mined {result.useful_patterns[0]}"
+    )
+    benchmark(
+        enforcer.retrieve, "nurse_kim", "nurse", "treatment",
+        small_document, "/patients/patient",
+    )

@@ -1,0 +1,54 @@
+"""E12 (extension) — the proactive compliance process, costed.
+
+Section 4.2 complains that audit logs "tend to be used only when someone
+raises a red flag ... not as a part of a continuous, proactive process".
+The compliance report is that process's artifact; for it to run
+continuously it must be cheap.  This bench times full report assembly
+(both coverages, a ten-window trend, two attribute breakdowns, gap
+analysis, exception triage and a refinement pass) at two log sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.audit.reports import compliance_report
+from repro.experiments.harness import standard_loop_setup
+
+
+def _fixture(entries: int):
+    setup = standard_loop_setup(accesses_per_round=entries, seed=37)
+    log = setup.environment.simulate_round(0, setup.store)
+    return setup.store.policy(), log, setup.vocabulary
+
+
+@pytest.fixture(scope="module")
+def small_inputs():
+    return _fixture(2000)
+
+
+@pytest.fixture(scope="module")
+def large_inputs():
+    return _fixture(20_000)
+
+
+def test_e12_report_2k(benchmark, small_inputs):
+    policy, log, vocabulary = small_inputs
+    report = benchmark(compliance_report, policy, log, vocabulary)
+    assert report.entries == 2000
+    assert report.candidates  # the undocumented workflow must surface
+
+
+def test_e12_report_20k(benchmark, large_inputs):
+    policy, log, vocabulary = large_inputs
+    report = benchmark(compliance_report, policy, log, vocabulary)
+    assert report.entries == 20_000
+    text = report.render()
+    assert "PRIMA compliance report" in text
+    emit(
+        "E12 — compliance report over 20k entries "
+        f"({len(report.candidates)} candidates, "
+        f"{len(report.trend)} trend windows, "
+        f"exception rate {report.exception_rate:.1%})"
+    )

@@ -1,0 +1,68 @@
+"""E4 — Section 5's "clearly subjective" thresholds, quantified.
+
+Sweep the miner's f (minimum support) and c (distinct users) over a
+10 000-access synthetic log with labelled ground truth.  Mined patterns
+are classified against the hospital's true workflow: genuine practices,
+injected snooping (violations), and repeated noise.  Expected shape: low
+f floods the review queue (high recall, junk included), high f starves it
+(clean but low recall); the distinct-user condition is what screens the
+single-user snooper.  The bench times one sweep cell (mine at the paper's
+defaults f=5, c=2).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.harness import standard_loop_setup
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import threshold_sweep
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.refinement.filtering import filter_practice
+
+
+def test_e4_threshold_sensitivity(benchmark):
+    # 3 000 accesses: enough for the head of the workflow to clear any
+    # threshold while the long tail (lowest practice weights) lands at
+    # ~5-15 occurrences, so high f visibly costs recall
+    setup = standard_loop_setup(
+        accesses_per_round=3_000, violation_rate=0.03, seed=17
+    )
+    log = setup.environment.simulate_round(0, setup.store)
+    workflow = set(setup.hospital.practice_rules())
+
+    points = threshold_sweep(
+        log, workflow, support_values=(2, 3, 5, 10, 20), user_values=(1, 2, 3)
+    )
+    emit(
+        format_table(
+            ["f", "c", "patterns", "workflow", "violation", "noise", "wf-recall"],
+            [
+                [p.min_support, p.min_distinct_users, p.patterns_found,
+                 p.workflow_found, p.violation_found, p.noise_found,
+                 f"{p.workflow_recall:.2f}"]
+                for p in points
+            ],
+            title="E4 — miner sensitivity to f (support) and c (distinct users)",
+        )
+    )
+
+    by_key = {(p.min_support, p.min_distinct_users): p for p in points}
+    # recall can only fall as f rises (fixed c=2)
+    recalls = [by_key[(f, 2)].workflow_recall for f in (2, 3, 5, 10, 20)]
+    assert recalls == sorted(recalls, reverse=True)
+    # pattern count can only fall as f rises
+    counts = [by_key[(f, 2)].patterns_found for f in (2, 3, 5, 10, 20)]
+    assert counts == sorted(counts, reverse=True)
+    # the distinct-user condition is what screens the snooper
+    assert by_key[(5, 1)].violation_found > 0
+    assert by_key[(5, 2)].violation_found == 0
+    # low f admits repeated noise into the review queue; high f does not
+    assert by_key[(2, 1)].noise_found >= by_key[(20, 1)].noise_found
+    # the paper's defaults find real workflow and nothing injected
+    default = by_key[(5, 2)]
+    assert default.workflow_found > 0
+    assert default.violation_found == 0
+
+    practice = filter_practice(log)
+    benchmark(SqlPatternMiner().mine, practice, MiningConfig())

@@ -1,0 +1,134 @@
+"""E7 — Audit Management: federated consolidation scaling (Section 4.2).
+
+The paper consolidates per-site audit trails into one virtual view (DB2
+Information Integrator in the original).  We measure, across federation
+sizes, (a) the k-way merge into a physical consolidated log and (b)
+Algorithm 5's GROUP BY query executed directly against the *virtual*
+union view.  Expected shape: both scale linearly in total entries; the
+virtual view adds no copy cost when only a query is needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.audit.log import AuditLog
+from repro.experiments.harness import standard_loop_setup
+from repro.experiments.reporting import format_table
+from repro.hdb.federation import AuditFederation
+from repro.sqlmini.database import Database
+
+_ANALYSIS_SQL = (
+    "SELECT data, purpose, authorized FROM federated_audit WHERE status = 0 "
+    "GROUP BY data, purpose, authorized "
+    "HAVING COUNT(*) >= 5 AND COUNT(DISTINCT user) >= 2"
+)
+
+
+def _federation(sites: int, entries_per_site: int) -> AuditFederation:
+    setup = standard_loop_setup(accesses_per_round=entries_per_site, seed=29)
+    federation = AuditFederation()
+    for index in range(sites):
+        window = setup.environment.simulate_round(index, setup.store)
+        federation.register(f"site_{index:02d}", AuditLog(window, name=f"site_{index:02d}"))
+    return federation
+
+
+@pytest.fixture(scope="module")
+def small_federation():
+    return _federation(sites=4, entries_per_site=2000)
+
+
+@pytest.fixture(scope="module")
+def large_federation():
+    return _federation(sites=16, entries_per_site=2000)
+
+
+def test_e7_consolidation_4_sites(benchmark, small_federation):
+    merged = benchmark(small_federation.consolidated_log)
+    assert len(merged) == len(small_federation)
+    times = [entry.time for entry in merged]
+    assert times == sorted(times)
+
+
+def test_e7_consolidation_16_sites(benchmark, large_federation):
+    merged = benchmark(large_federation.consolidated_log)
+    assert len(merged) == len(large_federation)
+
+
+def test_e7_virtual_view_analysis(benchmark, large_federation):
+    db = Database()
+    large_federation.register_view(db)
+    result = benchmark(db.query, _ANALYSIS_SQL)
+    assert len(result) > 0  # the undocumented practices surface federally
+
+
+def test_e7_federated_mining_beats_per_site(benchmark):
+    """The quantitative argument for Audit Management: a practice below
+    the mining threshold at every site clears it organisation-wide."""
+    import random
+
+    from repro.mining.patterns import MiningConfig
+    from repro.mining.sql_patterns import SqlPatternMiner
+    from repro.policy.store import PolicyStore
+    from repro.refinement.filtering import filter_practice
+    from repro.vocab.builtin import healthcare_vocabulary
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.hospital import build_hospital
+    from repro.workload.multisite import MultiSiteEnvironment, SiteTraffic
+
+    hospital = build_hospital(
+        healthcare_vocabulary(), departments=2, staff_per_role=3, seed=13
+    )
+    environment = MultiSiteEnvironment(
+        hospital,
+        [
+            SiteTraffic(f"site_{i}", WorkloadConfig(accesses_per_round=120, seed=13))
+            for i in range(4)
+        ],
+    )
+    environment.simulate_round(0, PolicyStore())
+    config = MiningConfig(min_support=15)
+    miner = SqlPatternMiner()
+    per_site: set = set()
+    for site in environment.sites:
+        practice = filter_practice(environment.site_log(site))
+        per_site.update(p.rule for p in miner.mine(practice, config))
+    consolidated = environment.federation.consolidated_log()
+    federated = {
+        p.rule for p in miner.mine(filter_practice(consolidated), config)
+    }
+    assert per_site <= federated and federated - per_site
+    emit(
+        f"E7 federated mining: {len(per_site)} patterns visible per-site, "
+        f"{len(federated)} organisation-wide (f=15, 4 sites x 120 accesses)"
+    )
+    benchmark(environment.federation.consolidated_log)
+
+
+def test_e7_scaling_summary(benchmark, small_federation, large_federation):
+    import time
+
+    rows = []
+    for label, federation in (("4x2k", small_federation), ("16x2k", large_federation)):
+        started = time.perf_counter()
+        merged = federation.consolidated_log()
+        merge_seconds = time.perf_counter() - started
+        db = Database()
+        federation.register_view(db)
+        started = time.perf_counter()
+        db.query(_ANALYSIS_SQL)
+        query_seconds = time.perf_counter() - started
+        rows.append(
+            [label, len(federation), f"{merge_seconds:.4f}", f"{query_seconds:.4f}"]
+        )
+        assert len(merged) == len(federation)
+    emit(
+        format_table(
+            ["federation", "entries", "merge (s)", "alg5 over view (s)"],
+            rows,
+            title="E7 — federated audit consolidation",
+        )
+    )
+    benchmark(small_federation.consolidated_log)

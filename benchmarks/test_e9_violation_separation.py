@@ -1,0 +1,83 @@
+"""E9 — Section 4.2/4.3: separating violations from informal practice.
+
+The paper requires the refinement process to "differentiate between
+violations and informal practice entries".  We inject snooping at 1–20 %
+of traffic and score the threshold classifier's precision/recall on the
+labelled exceptions, plus the end-to-end effect: with screening enabled,
+no violation-born rule reaches the candidate queue even at c=1.  The
+bench times one classification pass over a 5 000-access log.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.audit.classify import classify_exceptions
+from repro.experiments.harness import standard_loop_setup
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import violation_sweep
+from repro.mining.patterns import MiningConfig
+from repro.refinement.engine import RefinementConfig, refine
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import build_hospital
+
+
+def _make_environment_factory():
+    vocabulary = healthcare_vocabulary()
+    hospital = build_hospital(vocabulary, seed=31)
+
+    def factory(rate):
+        environment = SyntheticHospitalEnvironment(
+            hospital,
+            WorkloadConfig(accesses_per_round=5000, violation_rate=rate, seed=31),
+        )
+        store = hospital.documented_store(0.5, random.Random(31))
+        return environment, store
+
+    return hospital, factory
+
+
+def test_e9_violation_separation(benchmark):
+    hospital, factory = _make_environment_factory()
+    points = violation_sweep(factory, rates=(0.01, 0.05, 0.10, 0.20))
+    emit(
+        format_table(
+            ["violation rate", "exceptions", "labelled", "precision", "recall"],
+            [
+                [f"{p.violation_rate:.0%}", p.exceptions, p.labelled_violations,
+                 f"{p.precision:.2f}", f"{p.recall:.2f}"]
+                for p in points
+            ],
+            title="E9 — violation vs informal-practice separation",
+        )
+    )
+    # the snooper must be caught at every rate
+    assert all(point.recall > 0.9 for point in points)
+    # precision is base-rate bound: at low injection rates the flagged set
+    # is dominated by legitimate one-off noise (which a human triage would
+    # clear quickly), and it climbs as true violations dominate
+    precisions = [point.precision for point in points]
+    assert precisions == sorted(precisions)
+    assert precisions[-1] > 0.5
+
+    # end to end: screening keeps violation rules out of the candidates
+    environment, store = factory(0.10)
+    log = environment.simulate_round(0, store)
+    screened = refine(
+        store.policy(),
+        log,
+        hospital.vocabulary,
+        RefinementConfig(
+            mining=MiningConfig(min_distinct_users=1),
+            exclude_suspected_violations=True,
+        ),
+    )
+    violation_rules = {
+        entry.to_rule() for entry in log if entry.truth == "violation"
+    }
+    candidate_rules = set(screened.candidate_rules)
+    assert not (candidate_rules & violation_rules)
+
+    benchmark(classify_exceptions, log)

@@ -1,0 +1,122 @@
+"""A working clinic on the HDB middleware: enforcement, consent, auditing.
+
+Sets up a clinical database behind Active Enforcement, exercises the three
+access paths the paper describes — sanctioned, denied, and break-the-glass
+— plus patient consent masking, then shows the audit trail Compliance
+Auditing produced and separates suspected violations from informal
+practice.
+
+    python examples/break_the_glass_clinic.py
+"""
+
+from __future__ import annotations
+
+from repro import HdbControlCenter, TableBinding, healthcare_vocabulary
+from repro.audit import classify_exceptions
+from repro.errors import AccessDeniedError
+
+
+def build_clinic() -> HdbControlCenter:
+    center = HdbControlCenter(healthcare_vocabulary())
+    center.database.execute(
+        "CREATE TABLE patients (pid TEXT NOT NULL, name TEXT, address TEXT, "
+        "prescription TEXT, referral TEXT, psychiatry TEXT)"
+    )
+    center.database.execute(
+        "INSERT INTO patients VALUES "
+        "('p1', 'Alice Ames', '12 Elm St', 'amoxicillin', 'cardiology', 'notes-a'), "
+        "('p2', 'Bob Brown', '9 Oak Ave', 'ibuprofen', 'orthopedics', 'notes-b'), "
+        "('p3', 'Cara Cole', '3 Fir Rd', 'statins', 'neurology', 'notes-c')"
+    )
+    center.bind_table(
+        TableBinding(
+            "patients",
+            "pid",
+            {
+                "name": "name",
+                "address": "address",
+                "prescription": "prescription",
+                "referral": "referral",
+                "psychiatry": "psychiatry",
+            },
+        )
+    )
+    center.define_rules(
+        [
+            "ALLOW nurse TO USE medical_records FOR treatment",
+            "ALLOW physician TO USE psychiatry FOR treatment",
+            "ALLOW clerk TO USE demographic FOR billing",
+        ]
+    )
+    return center
+
+
+def main() -> None:
+    clinic = build_clinic()
+
+    print("=== sanctioned access ===")
+    outcome = clinic.run(
+        "nurse_kim", "nurse", "treatment",
+        "SELECT prescription, referral FROM patients",
+    )
+    print(f"rewritten : {outcome.rewritten_sql}")
+    for row in outcome.result:
+        print(f"  {row}")
+
+    print()
+    print("=== cell masking: nurse asks for psychiatry notes too ===")
+    outcome = clinic.run(
+        "nurse_kim", "nurse", "treatment",
+        "SELECT prescription, psychiatry FROM patients",
+    )
+    print(f"masked categories: {outcome.categories_masked}")
+    for row in outcome.result:
+        print(f"  {row}")
+
+    print()
+    print("=== denial, then break the glass ===")
+    try:
+        clinic.run("clerk_jo", "clerk", "billing",
+                   "SELECT prescription FROM patients")
+    except AccessDeniedError as error:
+        print(f"denied: {error}")
+    outcome = clinic.run(
+        "clerk_jo", "clerk", "billing",
+        "SELECT prescription FROM patients", exception=True,
+    )
+    print(f"break-the-glass returned {len(outcome.result)} rows "
+          f"(status={outcome.status.name})")
+
+    print()
+    print("=== patient consent ===")
+    clinic.record_consent("p2", "billing", allowed=False, data="demographic")
+    outcome = clinic.run(
+        "clerk_jo", "clerk", "billing", "SELECT name, address FROM patients"
+    )
+    print(f"cells masked by consent: {outcome.cells_masked_by_consent}")
+    for row in outcome.result:
+        print(f"  {row}")
+
+    print()
+    print("=== the audit trail Compliance Auditing wrote ===")
+    print(f"{'t':>3} {'op':>3} {'user':12} {'data':14} {'purpose':12} "
+          f"{'role':8} {'status'}")
+    for entry in clinic.audit_log:
+        print(
+            f"{entry.time:>3} {int(entry.op):>3} {entry.user:12} {entry.data:14} "
+            f"{entry.purpose:12} {entry.authorized:8} "
+            f"{'EXCEPTION' if entry.is_exception else 'regular'}"
+        )
+
+    print()
+    print("=== violation vs informal practice ===")
+    report = classify_exceptions(clinic.audit_log)
+    for item in report.classified:
+        print(
+            f"  {item.verdict:9s} {item.entry.to_rule()} "
+            f"(support={item.support}, users={item.distinct_users})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Closed-loop refinement over a synthetic hospital.
+
+Builds the synthetic hospital (the stand-in for the audit-trail study
+that motivated the paper), seeds a policy store that documents only 40 %
+of the true clinical workflow, and drives six operate→audit→refine→amend
+rounds.  Watch the break-the-glass rate collapse and entry coverage climb
+as PRIMA codifies the informal practice.
+
+    python examples/hospital_simulation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import RefinementConfig, RefinementLoop, ThresholdReview
+from repro.experiments.reporting import format_table
+from repro.mining import MiningConfig
+from repro.vocab import healthcare_vocabulary
+from repro.workload import (
+    SyntheticHospitalEnvironment,
+    WorkloadConfig,
+    build_hospital,
+)
+
+
+def main() -> None:
+    vocabulary = healthcare_vocabulary()
+    hospital = build_hospital(vocabulary, departments=3, staff_per_role=4, seed=7)
+    store = hospital.documented_store(0.4, random.Random(7))
+    print(
+        f"hospital: {len(hospital.all_staff())} staff, "
+        f"{len(hospital.practice_rules())} true workflow practices, "
+        f"{len(store)} documented at deployment"
+    )
+
+    environment = SyntheticHospitalEnvironment(
+        hospital,
+        WorkloadConfig(
+            accesses_per_round=5000, noise_rate=0.05, violation_rate=0.02, seed=7
+        ),
+    )
+    loop = RefinementLoop(
+        environment=environment,
+        store=store,
+        vocabulary=vocabulary,
+        review=ThresholdReview(min_support=10, min_distinct_users=2),
+        config=RefinementConfig(
+            mining=MiningConfig(min_support=5, min_distinct_users=2),
+            exclude_suspected_violations=True,
+        ),
+    )
+    result = loop.run(6)
+
+    print()
+    print(
+        format_table(
+            ["round", "entries", "exception rate", "entry coverage",
+             "patterns", "accepted", "store size"],
+            [
+                [r.round_index, r.entries, f"{r.exception_rate:.1%}",
+                 f"{r.entry_coverage_after:.1%}", r.patterns_mined,
+                 r.rules_accepted, r.store_size_after]
+                for r in result.rounds
+            ],
+            title="refinement loop (threshold-gated review, violation screening on)",
+        )
+    )
+
+    print()
+    print("rules the loop codified (latest five):")
+    refined = [
+        record for record in store.records() if record.origin == "refinement"
+    ]
+    for record in refined[-5:]:
+        print(f"  {record.rule}   [{record.note}]")
+    print(f"... {len(refined)} refinement-origin rules in total")
+
+
+if __name__ == "__main__":
+    main()

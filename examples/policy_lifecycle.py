@@ -1,0 +1,93 @@
+"""The full policy lifecycle a privacy office would actually run.
+
+1. author the initial policy in the DSL and persist the versioned store;
+2. operate the synthetic hospital for a few days;
+3. file the compliance report (coverage, trend, weakest corners, triage);
+4. review and adopt refinement candidates, persist the amended store;
+5. evolve the vocabulary (split a category) and check the migration
+   impact before deploying it.
+
+    python examples/policy_lifecycle.py
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro import healthcare_vocabulary
+from repro.audit.reports import compliance_report
+from repro.policy import parse_policy, store_io
+from repro.policy.store import PolicyStore
+from repro.refinement import ReviewQueue, refine
+from repro.vocab.evolution import assess_policy_impact
+from repro.workload import SyntheticHospitalEnvironment, WorkloadConfig, build_hospital
+
+INITIAL_POLICY = """
+# St. Elsewhere privacy policy, v1 (authored by the privacy office)
+ALLOW nurse TO USE medical_records FOR treatment
+ALLOW nurse TO USE demographic FOR treatment
+ALLOW physician TO USE clinical FOR treatment
+ALLOW physician TO USE clinical FOR diagnosis
+ALLOW clerk TO USE demographic FOR billing
+ALLOW clerk TO USE insurance FOR billing
+ALLOW registrar TO USE demographic FOR registration
+"""
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="prima-lifecycle-"))
+    vocabulary = healthcare_vocabulary()
+
+    # -- 1. author and persist ------------------------------------------
+    store = PolicyStore("st-elsewhere")
+    for rule in parse_policy(INITIAL_POLICY):
+        store.add(rule, added_by="privacy-office", origin="manual")
+    store_path = store_io.save(store, workdir / "policy_store.json")
+    print(f"authored {len(store)} rules -> {store_path}")
+
+    # -- 2. operate ------------------------------------------------------
+    hospital = build_hospital(vocabulary, seed=47)
+    environment = SyntheticHospitalEnvironment(
+        hospital, WorkloadConfig(accesses_per_round=4000, seed=47)
+    )
+    log = environment.simulate_round(0, store)
+    print(f"operated one interval: {len(log)} accesses, "
+          f"{log.exception_rate():.1%} break-the-glass")
+
+    # -- 3. report --------------------------------------------------------
+    report = compliance_report(store.policy(), log, vocabulary)
+    print()
+    print(report.render(max_items=3))
+
+    # -- 4. review and amend ----------------------------------------------
+    result = refine(store.policy(), log, vocabulary)
+    queue = ReviewQueue(result.useful_patterns)
+    for pattern in result.useful_patterns:
+        if pattern.distinct_users >= 3:
+            queue.accept(pattern, reviewer="privacy-office",
+                         note="recurring multi-user practice")
+        else:
+            queue.investigate(pattern, reviewer="privacy-office",
+                              note="needs follow-up")
+    adopted = queue.apply(store)
+    store_io.save(store, workdir / "policy_store.json")
+    print()
+    print(f"review: {adopted} rules adopted, "
+          f"{len(queue.pending())} pending, store revision {store.revision}")
+
+    # -- 5. evolve the vocabulary safely -----------------------------------
+    evolved = healthcare_vocabulary()
+    data = evolved.tree_for("data")
+    data.add("bloodwork", parent="lab_results")
+    data.add("imaging", parent="lab_results")
+    impact = assess_policy_impact(store.policy(), vocabulary, evolved)
+    print()
+    print(impact.summary())
+    if not impact.safe:
+        print("-> migration blocked: review the widened/orphaned rules first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline target environment lacks the ``wheel`` package, so PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
+``setup.py`` (and no ``[build-system]`` table in pyproject.toml) lets
+``pip install -e .`` fall back to ``setup.py develop``, which works with a
+bare setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PRIMA: privacy policy coverage and refinement for healthcare "
+        "(reproduction of Bhatti & Grandison 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

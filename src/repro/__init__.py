@@ -1,0 +1,123 @@
+"""repro — PRIMA, a PRIvacy Management Architecture for healthcare.
+
+A full reproduction of Bhatti & Grandison, *"Towards Improved Privacy
+Policy Coverage in Healthcare Using Policy Refinement"* (2007): the formal
+policy-coverage model (Section 3), the Hippocratic-Database-style
+enforcement and auditing middleware on an in-memory relational substrate
+(Section 4), the refinement pipeline of Algorithms 1–6 (Section 4.3), the
+Apriori future-work extension (Section 5), and a synthetic clinical
+workload generator standing in for real hospital audit trails.
+
+Quickstart::
+
+    from repro import (
+        healthcare_vocabulary, PolicyStore, Rule, refine, compute_coverage,
+    )
+    from repro.workload import table1_audit_log, figure3_policy_store
+
+    vocabulary = healthcare_vocabulary()
+    store = figure3_policy_store()
+    log = table1_audit_log()
+    result = refine(store.policy(), log, vocabulary)
+    print(result.summary())   # finds referral:registration:nurse
+
+Subpackages: :mod:`repro.vocab`, :mod:`repro.policy`,
+:mod:`repro.coverage`, :mod:`repro.sqlmini`, :mod:`repro.hdb`,
+:mod:`repro.audit`, :mod:`repro.mining`, :mod:`repro.refinement`,
+:mod:`repro.workload`, :mod:`repro.experiments`.
+"""
+
+from repro.audit import AccessOp, AccessStatus, AuditEntry, AuditLog, make_entry
+from repro.coverage import (
+    analyse_gaps,
+    completely_covers,
+    compute_coverage,
+    compute_entry_coverage,
+)
+from repro.errors import PrimaError
+from repro.hdb import (
+    AccessRequest,
+    ActiveEnforcer,
+    AuditFederation,
+    ComplianceAuditor,
+    ConsentStore,
+    HdbControlCenter,
+    LogicalClock,
+    TableBinding,
+)
+from repro.mining import (
+    AprioriPatternMiner,
+    MiningConfig,
+    Pattern,
+    SqlPatternMiner,
+    derive_rules,
+)
+from repro.policy import (
+    Policy,
+    PolicySource,
+    PolicyStore,
+    Range,
+    Rule,
+    RuleTerm,
+    parse_policy,
+    parse_rule,
+    policy_range,
+)
+from repro.refinement import (
+    AcceptAll,
+    RefinementConfig,
+    RefinementLoop,
+    ReviewQueue,
+    ThresholdReview,
+    refine,
+)
+from repro.sqlmini import Database
+from repro.vocab import Vocabulary, VocabularyTree, healthcare_vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceptAll",
+    "AccessOp",
+    "AccessRequest",
+    "AccessStatus",
+    "ActiveEnforcer",
+    "AprioriPatternMiner",
+    "AuditEntry",
+    "AuditFederation",
+    "AuditLog",
+    "ComplianceAuditor",
+    "ConsentStore",
+    "Database",
+    "HdbControlCenter",
+    "LogicalClock",
+    "MiningConfig",
+    "Pattern",
+    "Policy",
+    "PolicySource",
+    "PolicyStore",
+    "PrimaError",
+    "Range",
+    "RefinementConfig",
+    "RefinementLoop",
+    "ReviewQueue",
+    "Rule",
+    "RuleTerm",
+    "SqlPatternMiner",
+    "TableBinding",
+    "ThresholdReview",
+    "Vocabulary",
+    "VocabularyTree",
+    "__version__",
+    "analyse_gaps",
+    "completely_covers",
+    "compute_coverage",
+    "compute_entry_coverage",
+    "derive_rules",
+    "healthcare_vocabulary",
+    "make_entry",
+    "parse_policy",
+    "parse_rule",
+    "policy_range",
+    "refine",
+]

@@ -1,0 +1,43 @@
+"""Audit trails (Section 4.2 of the paper).
+
+Public surface:
+
+- :class:`~repro.audit.entry.AuditEntry` and the
+  :class:`~repro.audit.schema.AccessOp` /
+  :class:`~repro.audit.schema.AccessStatus` flags.
+- :class:`~repro.audit.log.AuditLog` plus :func:`make_entry`.
+- :func:`~repro.audit.classify.classify_exceptions` — violation vs
+  informal-practice separation.
+- :mod:`repro.audit.io` — CSV / JSONL persistence.
+"""
+
+from repro.audit.classify import (
+    ClassificationReport,
+    ClassifiedEntry,
+    ClassifierConfig,
+    classify_exceptions,
+)
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import (
+    AUDIT_ATTRIBUTES,
+    RULE_ATTRIBUTES,
+    AccessOp,
+    AccessStatus,
+    audit_table_schema,
+)
+
+__all__ = [
+    "AUDIT_ATTRIBUTES",
+    "AccessOp",
+    "AccessStatus",
+    "AuditEntry",
+    "AuditLog",
+    "ClassificationReport",
+    "ClassifiedEntry",
+    "ClassifierConfig",
+    "RULE_ATTRIBUTES",
+    "audit_table_schema",
+    "classify_exceptions",
+    "make_entry",
+]

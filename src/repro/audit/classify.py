@@ -1,0 +1,158 @@
+"""Separating violations from informal practice (Section 4.2/4.3).
+
+The paper notes that audit logs mix "attempts to break into the system"
+with "undocumented, informal clinical practice", and that the refinement
+process must differentiate them.  Algorithm 3 as printed only checks the
+status flag; the paper concedes that anything better "may require more
+sophisticated algorithms".  This module implements the obvious next step:
+a transparent, threshold-based scorer over the signals available in the
+Section 4.2 schema.
+
+Signals (all computed from the log itself — no external ground truth):
+
+``support``
+    How many times the entry's ``(data, purpose, authorized)`` combination
+    occurs among exceptions.  Recurring combinations look like practice;
+    one-offs look suspicious.
+``distinct users``
+    How many different users produced the combination.  The paper's own
+    default condition (``COUNT(DISTINCT user) > 1``) encodes the same
+    intuition: one individual repeating an unusual access is a red flag,
+    several independent staff members doing it is workflow.
+``regular echo``
+    Whether the same combination also occurs as *regular* access.  If the
+    sanctioned path is sometimes used for the combination, the exception
+    entries are almost certainly informal practice, not an attack.
+
+Entries are scored against :class:`ClassifierConfig` thresholds; an entry
+is classed as suspected violation when it fails the support and
+distinct-user tests and has no regular echo.  Denied requests (op = 0) are
+always violations by definition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog
+from repro.audit.schema import RULE_ATTRIBUTES
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifierConfig:
+    """Thresholds for the violation/practice separation.
+
+    ``min_support`` and ``min_distinct_users`` mirror the ``f`` and ``c``
+    parameters of Algorithm 4: combinations at or above both look like
+    practice.  ``trust_regular_echo`` short-circuits to practice when the
+    combination also occurs through the sanctioned path.
+    """
+
+    min_support: int = 3
+    min_distinct_users: int = 2
+    trust_regular_echo: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifiedEntry:
+    """One exception entry with its verdict and evidence."""
+
+    entry: AuditEntry
+    verdict: str  # "practice" | "violation"
+    support: int
+    distinct_users: int
+    regular_echo: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationReport:
+    """The classifier output plus accuracy when ground truth exists."""
+
+    classified: tuple[ClassifiedEntry, ...]
+
+    @property
+    def practice(self) -> tuple[AuditEntry, ...]:
+        return tuple(c.entry for c in self.classified if c.verdict == "practice")
+
+    @property
+    def violations(self) -> tuple[AuditEntry, ...]:
+        return tuple(c.entry for c in self.classified if c.verdict == "violation")
+
+    def confusion(self) -> dict[str, int]:
+        """tp/fp/tn/fn against the entries' ``truth`` labels.
+
+        Positive class = violation.  Entries without a truth label are
+        skipped, so logs mixing labelled and unlabelled data still score.
+        """
+        counts = {"tp": 0, "fp": 0, "tn": 0, "fn": 0}
+        for item in self.classified:
+            truth = item.entry.truth
+            if truth not in ("violation", "practice"):
+                continue
+            if item.verdict == "violation":
+                counts["tp" if truth == "violation" else "fp"] += 1
+            else:
+                counts["fn" if truth == "violation" else "tn"] += 1
+        return counts
+
+    def precision(self) -> float:
+        """Flagged-violation precision against ground truth."""
+        c = self.confusion()
+        denominator = c["tp"] + c["fp"]
+        return c["tp"] / denominator if denominator else 0.0
+
+    def recall(self) -> float:
+        """Labelled-violation recall against ground truth."""
+        c = self.confusion()
+        denominator = c["tp"] + c["fn"]
+        return c["tp"] / denominator if denominator else 0.0
+
+
+def classify_exceptions(
+    log: AuditLog, config: ClassifierConfig | None = None
+) -> ClassificationReport:
+    """Split the log's exception entries into practice and violations."""
+    cfg = config or ClassifierConfig()
+    exceptions = log.exceptions()
+    support: Counter = Counter()
+    users: defaultdict = defaultdict(set)
+    for entry in exceptions:
+        rule = entry.to_rule(RULE_ATTRIBUTES)
+        support[rule] += 1
+        users[rule].add(entry.user)
+    regular_rules = {
+        entry.to_rule(RULE_ATTRIBUTES) for entry in log.regular()
+    }
+
+    classified: list[ClassifiedEntry] = []
+    for entry in exceptions:
+        rule = entry.to_rule(RULE_ATTRIBUTES)
+        entry_support = support[rule]
+        entry_users = len(users[rule])
+        echo = rule in regular_rules
+        looks_like_practice = (
+            entry_support >= cfg.min_support
+            and entry_users >= cfg.min_distinct_users
+        ) or (cfg.trust_regular_echo and echo)
+        classified.append(
+            ClassifiedEntry(
+                entry=entry,
+                verdict="practice" if looks_like_practice else "violation",
+                support=entry_support,
+                distinct_users=entry_users,
+                regular_echo=echo,
+            )
+        )
+    for entry in log.denials():
+        classified.append(
+            ClassifiedEntry(
+                entry=entry,
+                verdict="violation",
+                support=0,
+                distinct_users=0,
+                regular_echo=False,
+            )
+        )
+    return ClassificationReport(classified=tuple(classified))

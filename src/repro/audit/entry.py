@@ -1,0 +1,130 @@
+"""Audit entries — one row of the Section 4.2 schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.audit.schema import AUDIT_ATTRIBUTES, RULE_ATTRIBUTES, AccessOp, AccessStatus
+from repro.errors import AuditError
+from repro.policy.rule import Rule
+from repro.vocab.tree import canonical
+
+
+@dataclass(frozen=True, slots=True)
+class AuditEntry:
+    """One audited access.
+
+    ``time`` is a monotonically meaningful integer tick (the paper's
+    ``t_j``); real deployments would use wall-clock timestamps, but the
+    algorithms only ever order and window on it.
+
+    ``truth`` is **not** part of the paper's schema: the synthetic workload
+    generator stamps each exception entry with its ground truth
+    (``"practice"`` or ``"violation"``) so experiment E9 can score the
+    classifier.  It is excluded from rows, serialisation and rule lifting.
+    """
+
+    time: int
+    op: AccessOp
+    user: str
+    data: str
+    purpose: str
+    authorized: str
+    status: AccessStatus
+    truth: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise AuditError(f"audit time must be non-negative, got {self.time}")
+        object.__setattr__(self, "op", AccessOp(self.op))
+        object.__setattr__(self, "status", AccessStatus(self.status))
+        for attribute in ("user", "data", "purpose", "authorized"):
+            value = getattr(self, attribute)
+            if not isinstance(value, str) or not value.strip():
+                raise AuditError(f"audit {attribute} must be a non-empty string")
+            object.__setattr__(self, attribute, canonical(value))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_exception(self) -> bool:
+        """True for break-the-glass accesses (``status == 0``)."""
+        return self.status is AccessStatus.EXCEPTION
+
+    @property
+    def is_allowed(self) -> bool:
+        return self.op is AccessOp.ALLOW
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_rule(self, attributes: tuple[str, ...] = RULE_ATTRIBUTES) -> Rule:
+        """Lift this entry into a ground policy rule over ``attributes``.
+
+        Section 3's ``P_AL`` treats each entry as a rule over the
+        ``(data, purpose, authorized)`` subset by default.
+        """
+        pairs = []
+        for attribute in attributes:
+            if attribute not in AUDIT_ATTRIBUTES:
+                raise AuditError(f"unknown audit attribute {attribute!r}")
+            pairs.append((attribute, str(getattr(self, attribute))))
+        return Rule.from_pairs(pairs)
+
+    def as_row(self) -> tuple:
+        """Render as a sqlmini row matching :func:`audit_table_schema`."""
+        return (
+            self.time,
+            int(self.op),
+            self.user,
+            self.data,
+            self.purpose,
+            self.authorized,
+            int(self.status),
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "AuditEntry":
+        """Rebuild from a sqlmini row (truth is not stored in rows)."""
+        if len(row) != len(AUDIT_ATTRIBUTES):
+            raise AuditError(
+                f"audit rows have {len(AUDIT_ATTRIBUTES)} values, got {len(row)}"
+            )
+        time, op, user, data, purpose, authorized, status = row
+        return cls(
+            time=time,
+            op=AccessOp(op),
+            user=user,
+            data=data,
+            purpose=purpose,
+            authorized=authorized,
+            status=AccessStatus(status),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (schema attributes only)."""
+        payload = {attr: getattr(self, attr) for attr in AUDIT_ATTRIBUTES}
+        payload["op"] = int(self.op)
+        payload["status"] = int(self.status)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditEntry":
+        try:
+            return cls(
+                time=int(payload["time"]),
+                op=AccessOp(int(payload["op"])),
+                user=payload["user"],
+                data=payload["data"],
+                purpose=payload["purpose"],
+                authorized=payload["authorized"],
+                status=AccessStatus(int(payload["status"])),
+                truth=str(payload.get("truth", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AuditError(f"malformed audit entry payload: {exc}") from exc
+
+    def with_truth(self, truth: str) -> "AuditEntry":
+        """Copy of this entry with the evaluation-only truth label set."""
+        return replace(self, truth=truth)

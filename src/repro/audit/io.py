@@ -1,0 +1,84 @@
+"""CSV and JSONL persistence for audit logs.
+
+CSV uses the paper's column order (Table 1) and integer encodings for
+``op`` and ``status``.  JSONL writes one entry object per line; the
+evaluation-only ``truth`` label survives the JSONL round trip but is
+deliberately dropped by CSV (which models the production schema).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog
+from repro.audit.schema import AUDIT_ATTRIBUTES
+from repro.errors import AuditError
+
+
+def save_csv(log: AuditLog, path: str | Path) -> Path:
+    """Write ``log`` as CSV with a header row; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(AUDIT_ATTRIBUTES)
+        for entry in log:
+            writer.writerow(entry.as_row())
+    return target
+
+
+def load_csv(path: str | Path, name: str | None = None) -> AuditLog:
+    """Read a CSV written by :func:`save_csv`."""
+    source = Path(path)
+    log = AuditLog(name=name or source.stem)
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(h.strip().lower() for h in header) != AUDIT_ATTRIBUTES:
+            raise AuditError(
+                f"{source} does not look like an audit CSV "
+                f"(expected header {AUDIT_ATTRIBUTES})"
+            )
+        for row in reader:
+            if not row:
+                continue
+            time, op, user, data, purpose, authorized, status = row
+            log.append(
+                AuditEntry.from_row(
+                    (int(time), int(op), user, data, purpose, authorized, int(status))
+                )
+            )
+    return log
+
+
+def save_jsonl(log: AuditLog, path: str | Path, include_truth: bool = True) -> Path:
+    """Write ``log`` as JSON-lines; returns the path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for entry in log:
+            payload = entry.to_dict()
+            if include_truth and entry.truth:
+                payload["truth"] = entry.truth
+            handle.write(json.dumps(payload) + "\n")
+    return target
+
+
+def load_jsonl(path: str | Path, name: str | None = None) -> AuditLog:
+    """Read a JSONL file written by :func:`save_jsonl`."""
+    source = Path(path)
+    log = AuditLog(name=name or source.stem)
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise AuditError(
+                    f"{source}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            log.append(AuditEntry.from_dict(payload))
+    return log

@@ -1,0 +1,169 @@
+"""Audit logs: ordered collections of audit entries.
+
+An :class:`AuditLog` is the concrete ``P_AL`` source.  It supports the
+conversions every other layer needs: lifting into a
+:class:`~repro.policy.policy.Policy` (Section 3's ``P_AL``), materialising
+as a sqlmini table (Algorithm 5 runs SQL over it), and slicing by time,
+status or predicate (training windows, Filter, retention).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.audit.entry import AuditEntry
+from repro.audit.schema import RULE_ATTRIBUTES, AccessOp, AccessStatus, audit_table_schema
+from repro.errors import AuditError
+from repro.policy.policy import Policy, PolicySource
+from repro.sqlmini.database import Database
+from repro.sqlmini.table import Table
+
+
+class AuditLog:
+    """An append-only, time-ordered audit trail."""
+
+    def __init__(self, entries: Iterable[AuditEntry] = (), name: str = "audit_log") -> None:
+        self.name = name
+        self._entries: list[AuditEntry] = []
+        self._last_time = -1
+        for entry in entries:
+            self.append(entry)
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> AuditEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> tuple[AuditEntry, ...]:
+        return tuple(self._entries)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def append(self, entry: AuditEntry) -> None:
+        """Append one entry; times must be non-decreasing."""
+        if not isinstance(entry, AuditEntry):
+            raise AuditError(f"audit logs hold AuditEntry objects, got {entry!r}")
+        if entry.time < self._last_time:
+            raise AuditError(
+                f"audit entries must be time-ordered: {entry.time} after {self._last_time}"
+            )
+        self._last_time = entry.time
+        self._entries.append(entry)
+
+    def extend(self, entries: Iterable[AuditEntry]) -> None:
+        """Append every entry in order (same time rules as append)."""
+        for entry in entries:
+            self.append(entry)
+
+    # ------------------------------------------------------------------
+    # slicing
+    # ------------------------------------------------------------------
+    def window(self, start: int, end: int) -> "AuditLog":
+        """Entries with ``start <= time < end`` (a training window)."""
+        return AuditLog(
+            (e for e in self._entries if start <= e.time < end),
+            name=f"{self.name}[{start}:{end}]",
+        )
+
+    def where(self, predicate: Callable[[AuditEntry], bool]) -> "AuditLog":
+        """Entries satisfying ``predicate`` (order preserved)."""
+        return AuditLog(
+            (e for e in self._entries if predicate(e)), name=self.name
+        )
+
+    def exceptions(self) -> "AuditLog":
+        """The break-the-glass subset (allowed, status = exception)."""
+        return self.where(lambda e: e.is_exception and e.is_allowed)
+
+    def regular(self) -> "AuditLog":
+        """The sanctioned subset (allowed, status = regular)."""
+        return self.where(lambda e: not e.is_exception and e.is_allowed)
+
+    def denials(self) -> "AuditLog":
+        """Requests the enforcement layer refused (op = deny)."""
+        return self.where(lambda e: not e.is_allowed)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def distinct_users(self) -> tuple[str, ...]:
+        """Sorted distinct user ids appearing in the log."""
+        return tuple(sorted({entry.user for entry in self._entries}))
+
+    def time_range(self) -> tuple[int, int]:
+        """(first, last) entry times; raises on an empty log."""
+        if not self._entries:
+            raise AuditError(f"audit log {self.name!r} is empty")
+        return self._entries[0].time, self._entries[-1].time
+
+    def exception_rate(self) -> float:
+        """Fraction of allowed accesses that went through the exception
+        path — the paper's headline symptom."""
+        allowed = [e for e in self._entries if e.is_allowed]
+        if not allowed:
+            raise AuditError(f"audit log {self.name!r} has no allowed accesses")
+        return sum(1 for e in allowed if e.is_exception) / len(allowed)
+
+    def rule_histogram(
+        self, attributes: tuple[str, ...] = RULE_ATTRIBUTES
+    ) -> Counter:
+        """Count entries per lifted ground rule."""
+        return Counter(entry.to_rule(attributes) for entry in self._entries)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_policy(
+        self, attributes: tuple[str, ...] = RULE_ATTRIBUTES
+    ) -> Policy:
+        """Lift the log into the paper's ``P_AL`` (duplicates preserved)."""
+        return Policy(
+            (entry.to_rule(attributes) for entry in self._entries),
+            source=PolicySource.AUDIT_LOG,
+            name=f"P_AL({self.name})",
+        )
+
+    def to_table(self, database: Database, table_name: str | None = None) -> Table:
+        """Materialise the log as a sqlmini table and return it."""
+        schema = audit_table_schema(table_name or self.name)
+        table = database.create_table(schema)
+        for entry in self._entries:
+            table.insert(entry.as_row())
+        return table
+
+    def __repr__(self) -> str:
+        return f"AuditLog(name={self.name!r}, entries={len(self._entries)})"
+
+
+def make_entry(
+    time: int,
+    user: str,
+    data: str,
+    purpose: str,
+    authorized: str,
+    status: AccessStatus | int = AccessStatus.REGULAR,
+    op: AccessOp | int = AccessOp.ALLOW,
+    truth: str = "",
+) -> AuditEntry:
+    """Keyword-friendly :class:`AuditEntry` constructor used all over the
+    tests and examples."""
+    return AuditEntry(
+        time=time,
+        op=AccessOp(op),
+        user=user,
+        data=data,
+        purpose=purpose,
+        authorized=authorized,
+        status=AccessStatus(status),
+        truth=truth,
+    )

@@ -1,0 +1,148 @@
+"""The compliance report — the artifact a privacy officer files.
+
+One call assembles everything PRIMA knows about the current state of a
+deployment into a plain-text report: both coverage numbers, the coverage
+trend over time, the weakest roles and data categories, the gap
+explanations, the exception triage, and the refinement candidates
+awaiting review.  This is the "continuous, proactive process" Section 4.2
+says audit logs should feed, instead of being read only "when someone
+raises a red flag".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.classify import ClassificationReport, classify_exceptions
+from repro.audit.log import AuditLog
+from repro.coverage.engine import (
+    CoverageReport,
+    EntryCoverageReport,
+    compute_coverage,
+    compute_entry_coverage,
+)
+from repro.coverage.gaps import GapReport, analyse_gaps
+from repro.coverage.trends import (
+    AttributeCoverage,
+    WindowPoint,
+    coverage_by_attribute,
+    coverage_series,
+)
+from repro.errors import AuditError
+from repro.mining.patterns import Pattern
+from repro.policy.policy import Policy
+from repro.refinement.engine import RefinementConfig, refine
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Everything one reporting run produced."""
+
+    policy_name: str
+    log_name: str
+    entries: int
+    exception_rate: float
+    set_coverage: CoverageReport
+    entry_coverage: EntryCoverageReport
+    trend: tuple[WindowPoint, ...]
+    weakest_roles: tuple[AttributeCoverage, ...]
+    weakest_data: tuple[AttributeCoverage, ...]
+    gaps: GapReport
+    triage: ClassificationReport
+    candidates: tuple[Pattern, ...]
+
+    def render(self, max_items: int = 5) -> str:
+        """Render the full plain-text report."""
+        lines = [
+            f"PRIMA compliance report — policy {self.policy_name!r} "
+            f"over log {self.log_name!r}",
+            "=" * 72,
+            f"audit entries            : {self.entries}",
+            f"break-the-glass rate     : {self.exception_rate:.1%}",
+            f"coverage (Definition 9)  : {self.set_coverage.ratio:.1%}",
+            f"coverage (entry-weighted): {self.entry_coverage.ratio:.1%}",
+            "",
+            "coverage trend (entry-weighted per window):",
+        ]
+        for point in self.trend:
+            bar = "#" * round(point.entry_coverage * 40)
+            lines.append(
+                f"  t{point.start:>6}-{point.end:<6} {point.entry_coverage:6.1%} {bar}"
+            )
+        lines.append("")
+        lines.append("least-covered roles:")
+        for item in self.weakest_roles[:max_items]:
+            lines.append(
+                f"  {item.value:20s} {item.entry_coverage:6.1%} "
+                f"({item.matched}/{item.entries})"
+            )
+        lines.append("least-covered data categories:")
+        for item in self.weakest_data[:max_items]:
+            lines.append(
+                f"  {item.value:20s} {item.entry_coverage:6.1%} "
+                f"({item.matched}/{item.entries})"
+            )
+        lines.append("")
+        lines.append(
+            f"exception triage: {len(self.triage.practice)} practice, "
+            f"{len(self.triage.violations)} suspected violations"
+        )
+        lines.append("")
+        if self.candidates:
+            lines.append("refinement candidates awaiting review:")
+            for pattern in self.candidates[:max_items]:
+                lines.append(f"  - {pattern}")
+            if len(self.candidates) > max_items:
+                lines.append(
+                    f"  ... and {len(self.candidates) - max_items} more"
+                )
+        else:
+            lines.append("refinement candidates awaiting review: none")
+        if self.gaps.deviations:
+            lines.append("")
+            lines.append("sample policy deviations:")
+            for deviation in self.gaps.deviations[:max_items]:
+                lines.append(f"  - {deviation.describe()}")
+        return "\n".join(lines)
+
+
+def compliance_report(
+    policy: Policy,
+    log: AuditLog,
+    vocabulary: Vocabulary,
+    window_size: int | None = None,
+    refinement: RefinementConfig | None = None,
+) -> ComplianceReport:
+    """Assemble the full report for ``policy`` over ``log``.
+
+    ``window_size`` defaults to a tenth of the log's time span (at least
+    one tick), giving a ten-point trend.
+    """
+    if len(log) == 0:
+        raise AuditError("cannot report on an empty audit log")
+    audit_policy = log.to_policy()
+    set_report = compute_coverage(policy, audit_policy, vocabulary)
+    entry_report = compute_entry_coverage(policy, iter(audit_policy), vocabulary)
+    first, last = log.time_range()
+    chosen_window = window_size or max(1, (last - first + 1) // 10)
+    trend = coverage_series(policy, log, vocabulary, chosen_window)
+    roles = coverage_by_attribute(policy, log, vocabulary, "authorized")
+    data = coverage_by_attribute(policy, log, vocabulary, "data")
+    gaps = analyse_gaps(set_report, policy, vocabulary)
+    triage = classify_exceptions(log)
+    refinement_result = refine(policy, log, vocabulary, refinement)
+    return ComplianceReport(
+        policy_name=policy.name,
+        log_name=log.name,
+        entries=len(log),
+        exception_rate=log.exception_rate(),
+        set_coverage=set_report,
+        entry_coverage=entry_report,
+        trend=trend,
+        weakest_roles=roles,
+        weakest_data=data,
+        gaps=gaps,
+        triage=triage,
+        candidates=refinement_result.useful_patterns,
+    )

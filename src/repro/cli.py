@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``paper``
+    Reproduce the paper's worked examples (Figure 3 and Table 1) and
+    print paper-vs-measured tables.
+``coverage``
+    Compute both coverage semantics of a policy file over an audit log,
+    with gap explanations and per-attribute breakdown.
+``refine``
+    Run Algorithm 2 over a policy file and an audit log; print the
+    candidate rules (optionally with temporal windows).
+``classify``
+    Triage an audit log's exceptions into practice vs suspected
+    violations.
+``simulate``
+    Run the closed refinement loop on the synthetic hospital and print
+    the round-by-round trajectory.
+
+Policies are DSL text files (see :mod:`repro.policy.parser`); audit logs
+are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`); the
+vocabulary defaults to the built-in healthcare one and can be overridden
+with ``--vocab vocab.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import sys
+from pathlib import Path
+
+from repro.audit import io as audit_io
+from repro.audit.classify import classify_exceptions
+from repro.audit.log import AuditLog
+from repro.coverage.engine import compute_coverage, compute_entry_coverage
+from repro.coverage.gaps import analyse_gaps
+from repro.coverage.trends import coverage_by_attribute
+from repro.errors import PrimaError
+from repro.experiments.reporting import format_table
+from repro.mining.apriori import AprioriPatternMiner
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.mining.temporal import hour_extractor, mine_temporal_patterns
+from repro.policy.parser import format_rule, parse_policy
+from repro.policy.policy import Policy
+from repro.refinement.engine import RefinementConfig, refine
+from repro.refinement.filtering import filter_practice
+from repro.vocab import io as vocab_io
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.vocabulary import Vocabulary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except PrimaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ----------------------------------------------------------------------
+# argument plumbing
+# ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRIMA: privacy policy coverage and refinement for healthcare",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    paper = commands.add_parser("paper", help="reproduce the paper's worked examples")
+    paper.set_defaults(handler=_cmd_paper)
+
+    coverage = commands.add_parser("coverage", help="coverage of a policy over a log")
+    _add_common_inputs(coverage)
+    coverage.add_argument(
+        "--by", default=None, choices=("authorized", "data", "purpose", "user"),
+        help="also break coverage down by this audit attribute",
+    )
+    coverage.set_defaults(handler=_cmd_coverage)
+
+    refine_cmd = commands.add_parser("refine", help="mine the log for candidate rules")
+    _add_common_inputs(refine_cmd)
+    refine_cmd.add_argument("--min-support", type=int, default=5,
+                            help="the paper's f threshold (inclusive, default 5)")
+    refine_cmd.add_argument("--min-users", type=int, default=2,
+                            help="distinct users required (default 2)")
+    refine_cmd.add_argument("--miner", choices=("sql", "apriori"), default="sql")
+    refine_cmd.add_argument("--screen-violations", action="store_true",
+                            help="drop suspected violations before mining")
+    refine_cmd.add_argument("--temporal", action="store_true",
+                            help="also propose time-windowed conditional rules")
+    refine_cmd.add_argument("--ticks-per-hour", type=int, default=1,
+                            help="log ticks per hour for --temporal (default 1)")
+    refine_cmd.set_defaults(handler=_cmd_refine)
+
+    report = commands.add_parser(
+        "report", help="full compliance report (coverage, trend, triage, candidates)"
+    )
+    _add_common_inputs(report)
+    report.add_argument("--window", type=int, default=None,
+                        help="trend window size in ticks (default: span/10)")
+    report.set_defaults(handler=_cmd_report)
+
+    classify = commands.add_parser("classify", help="triage exceptions in a log")
+    classify.add_argument("--log", required=True, help="audit log (.csv or .jsonl)")
+    classify.set_defaults(handler=_cmd_classify)
+
+    simulate = commands.add_parser("simulate",
+                                   help="closed-loop simulation on the synthetic hospital")
+    simulate.add_argument("--rounds", type=int, default=6)
+    simulate.add_argument("--accesses", type=int, default=5000)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--documented", type=float, default=0.4,
+                          help="fraction of the true workflow documented at start")
+    simulate.add_argument("--review", choices=("accept-all", "threshold"),
+                          default="threshold")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def _add_common_inputs(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--store", required=True, help="policy DSL file")
+    command.add_argument("--log", required=True, help="audit log (.csv or .jsonl)")
+    command.add_argument("--vocab", default=None, help="vocabulary JSON (default: built-in)")
+
+
+def _load_vocabulary(path: str | None) -> Vocabulary:
+    if path is None:
+        return healthcare_vocabulary()
+    return vocab_io.load(path)
+
+
+def _load_policy(path: str) -> Policy:
+    """Load a policy from DSL text, or from a store JSON (``.json``)."""
+    if Path(path).suffix.lower() == ".json":
+        from repro.policy import store_io
+
+        return store_io.load(path).policy()
+    return parse_policy(Path(path).read_text(encoding="utf-8"), source="PS")
+
+
+def _load_log(path: str) -> AuditLog:
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return audit_io.load_csv(path)
+    if suffix in (".jsonl", ".ndjson"):
+        return audit_io.load_jsonl(path)
+    raise PrimaError(f"unsupported audit log format {suffix!r} (use .csv or .jsonl)")
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_paper(arguments: argparse.Namespace) -> int:
+    from repro.experiments.paper import reproduce_figure3, reproduce_table1
+
+    fig3 = reproduce_figure3()
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["#Range(P_PS)", 8, fig3.store_range_size],
+                ["#Range(P_AL)", 6, fig3.audit_range_size],
+                ["coverage", "50%", f"{fig3.coverage:.0%}"],
+            ],
+            title="Figure 3 (Section 3.3)",
+        )
+    )
+    print()
+    table1 = reproduce_table1()
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["entry coverage before", "30%",
+                 f"{table1.entry_coverage_before.ratio:.0%}"],
+                ["patterns mined", 1, len(table1.patterns)],
+                ["pattern support", 5, table1.patterns[0].support],
+                ["entry coverage after", "80%",
+                 f"{table1.entry_coverage_after.ratio:.0%}"],
+            ],
+            title="Table 1 (Section 5)",
+        )
+    )
+    return 0
+
+
+def _cmd_coverage(arguments: argparse.Namespace) -> int:
+    vocabulary = _load_vocabulary(arguments.vocab)
+    store = _load_policy(arguments.store)
+    log = _load_log(arguments.log)
+    audit_policy = log.to_policy()
+    set_report = compute_coverage(store, audit_policy, vocabulary)
+    entry_report = compute_entry_coverage(store, iter(audit_policy), vocabulary)
+    print(f"set coverage   : {set_report.ratio:.1%} "
+          f"({set_report.overlap.cardinality}/{set_report.reference.cardinality})")
+    print(f"entry coverage : {entry_report.ratio:.1%} "
+          f"({entry_report.matched}/{entry_report.total})")
+    gaps = analyse_gaps(set_report, store, vocabulary)
+    if gaps.deviations:
+        print("\ndeviations:")
+        for deviation in gaps.deviations:
+            print(f"  - {deviation.describe()}")
+    if gaps.unexplained:
+        print("\nno near-miss in the store:")
+        for rule in gaps.unexplained:
+            print(f"  - {rule}")
+    if arguments.by:
+        print(f"\nentry coverage by {arguments.by}:")
+        for item in coverage_by_attribute(store, log, vocabulary, arguments.by):
+            print(f"  {item.value:20s} {item.entry_coverage:7.1%} "
+                  f"({item.matched}/{item.entries})")
+    return 0
+
+
+def _cmd_refine(arguments: argparse.Namespace) -> int:
+    vocabulary = _load_vocabulary(arguments.vocab)
+    store = _load_policy(arguments.store)
+    log = _load_log(arguments.log)
+    config = RefinementConfig(
+        mining=MiningConfig(
+            min_support=arguments.min_support,
+            min_distinct_users=arguments.min_users,
+        ),
+        miner=AprioriPatternMiner() if arguments.miner == "apriori" else SqlPatternMiner(),
+        exclude_suspected_violations=arguments.screen_violations,
+    )
+    result = refine(store, log, vocabulary, config)
+    print(result.summary())
+    if result.useful_patterns:
+        print("\ncandidate rules (policy DSL):")
+        for pattern in result.useful_patterns:
+            print(f"  {format_rule(pattern.rule)}"
+                  f"   # support={pattern.support}, users={pattern.distinct_users}")
+    if arguments.temporal:
+        practice = filter_practice(log)
+        temporal = mine_temporal_patterns(
+            practice,
+            config.mining,
+            hour_of=hour_extractor(ticks_per_hour=arguments.ticks_per_hour),
+        )
+        if temporal:
+            print("\ntime-windowed candidates:")
+            for item in temporal:
+                print(f"  {item.to_conditional_rule().to_dsl()}"
+                      f"   # concentration={item.concentration:.0%}")
+    return 0
+
+
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    from repro.audit.reports import compliance_report
+
+    vocabulary = _load_vocabulary(arguments.vocab)
+    store = _load_policy(arguments.store)
+    log = _load_log(arguments.log)
+    result = compliance_report(store, log, vocabulary, window_size=arguments.window)
+    print(result.render())
+    return 0
+
+
+def _cmd_classify(arguments: argparse.Namespace) -> int:
+    log = _load_log(arguments.log)
+    report = classify_exceptions(log)
+    print(f"exceptions          : {len(log.exceptions())}")
+    print(f"judged practice     : {len(report.practice)}")
+    print(f"suspected violations: {len(report.violations)}")
+    flagged = [item for item in report.classified if item.verdict == "violation"]
+    if flagged:
+        print("\nflagged entries:")
+        for item in flagged[:20]:
+            print(f"  t{item.entry.time} {item.entry.user} {item.entry.to_rule()} "
+                  f"(support={item.support}, users={item.distinct_users})")
+        if len(flagged) > 20:
+            print(f"  ... and {len(flagged) - 20} more")
+    return 0
+
+
+def _cmd_simulate(arguments: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_refinement_loop, standard_loop_setup
+    from repro.refinement.review import AcceptAll, ThresholdReview
+
+    setup = standard_loop_setup(
+        documented_fraction=arguments.documented,
+        accesses_per_round=arguments.accesses,
+        seed=arguments.seed,
+    )
+    review = AcceptAll() if arguments.review == "accept-all" else ThresholdReview()
+    result = run_refinement_loop(setup, review, rounds=arguments.rounds)
+    print(
+        format_table(
+            ["round", "entries", "exc-rate", "entry-cov", "accepted", "store"],
+            [
+                [r.round_index, r.entries, f"{r.exception_rate:.1%}",
+                 f"{r.entry_coverage_after:.1%}", r.rules_accepted,
+                 r.store_size_after]
+                for r in result.rounds
+            ],
+            title=f"refinement loop ({arguments.review} review)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

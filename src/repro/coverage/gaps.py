@@ -1,0 +1,122 @@
+"""Gap analysis: *why* is an access outside the policy?
+
+Section 3.3 of the paper walks through each unmatched audit rule and
+explains the deviation ("a nurse needed to access referral data for
+registration purpose, but the policy allows the use of such data only for
+treatment purpose").  This module automates that narrative: for every
+uncovered ground rule it finds the store rules that agree on all but one
+attribute and names the deviating attribute and the values involved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.coverage.engine import CoverageReport
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class Deviation:
+    """One near-miss between an uncovered rule and a store rule."""
+
+    uncovered: Rule
+    nearest: Rule
+    attribute: str
+    observed: str
+    allowed: str
+
+    def describe(self) -> str:
+        """Render the paper-style explanation sentence."""
+        return (
+            f"access {self.uncovered} deviates from policy rule {self.nearest} "
+            f"on {self.attribute!r}: observed {self.observed!r} "
+            f"where the policy has {self.allowed!r}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GapReport:
+    """All deviations for one coverage computation."""
+
+    deviations: tuple[Deviation, ...]
+    unexplained: tuple[Rule, ...]
+
+    @property
+    def explained_count(self) -> int:
+        return len({d.uncovered for d in self.deviations})
+
+    def by_attribute(self) -> dict[str, int]:
+        """How many deviations each attribute accounts for.
+
+        A histogram over deviating attributes tells a privacy officer where
+        the vocabulary or the role model is too coarse — the diagnosis the
+        paper's Section 2 discussion calls for.
+        """
+        counts = Counter(d.attribute for d in self.deviations)
+        return dict(counts.most_common())
+
+    def describe(self) -> str:
+        """Render every deviation and unexplained access, one per line."""
+        lines = [d.describe() for d in self.deviations]
+        lines.extend(
+            f"access {rule} has no near-miss in the policy store" for rule in self.unexplained
+        )
+        return "\n".join(lines)
+
+
+def _single_attribute_deviation(
+    uncovered: Rule, candidate: Rule, vocabulary: Vocabulary
+) -> Deviation | None:
+    """Return the deviation if the rules differ on exactly one attribute."""
+    if candidate.cardinality != uncovered.cardinality:
+        return None
+    mismatches: list[tuple[str, str, str]] = []
+    for term in uncovered.terms:
+        allowed_value = candidate.value_of(term.attr)
+        if allowed_value is None:
+            return None  # different attribute sets — not comparable
+        covered = vocabulary.subsumes(term.attr, allowed_value, term.value)
+        if not covered:
+            mismatches.append((term.attr, term.value, allowed_value))
+        if len(mismatches) > 1:
+            return None
+    if len(mismatches) != 1:
+        return None
+    attribute, observed, allowed = mismatches[0]
+    return Deviation(
+        uncovered=uncovered,
+        nearest=candidate,
+        attribute=attribute,
+        observed=observed,
+        allowed=allowed,
+    )
+
+
+def analyse_gaps(
+    report: CoverageReport, policy_store: Policy, vocabulary: Vocabulary
+) -> GapReport:
+    """Explain every uncovered ground rule in ``report``.
+
+    For each uncovered rule, every store rule at Hamming distance one (on
+    the attribute level, with subsumption-aware comparison) contributes a
+    :class:`Deviation`.  Rules with no near-miss end up in ``unexplained``
+    — in practice these are either violations or signs of a policy that is
+    missing a whole statement, not just a broader value.
+    """
+    deviations: list[Deviation] = []
+    unexplained: list[Rule] = []
+    store_rules = tuple(policy_store)
+    for uncovered in report.uncovered.rules():
+        found = False
+        for candidate in store_rules:
+            deviation = _single_attribute_deviation(uncovered, candidate, vocabulary)
+            if deviation is not None:
+                deviations.append(deviation)
+                found = True
+        if not found:
+            unexplained.append(uncovered)
+    return GapReport(deviations=tuple(deviations), unexplained=tuple(unexplained))

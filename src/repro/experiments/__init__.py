@@ -1,0 +1,59 @@
+"""Experiment harnesses and paper-example reproductions.
+
+Public surface:
+
+- :func:`~repro.experiments.paper.reproduce_figure3` /
+  :func:`reproduce_table1` — the paper's worked examples (E1, E2).
+- :func:`~repro.experiments.harness.standard_loop_setup` /
+  :func:`run_refinement_loop` / :func:`clinical_db_setup` — shared
+  fixtures for the synthetic experiments.
+- :mod:`repro.experiments.sweeps` — E4 (thresholds), E5 (SQL vs
+  Apriori), E9 (violation separation).
+- :mod:`repro.experiments.reporting` — ASCII tables for bench output.
+"""
+
+from repro.experiments.harness import (
+    ClinicalDbSetup,
+    LoopExperimentSetup,
+    clinical_db_setup,
+    run_refinement_loop,
+    standard_loop_setup,
+)
+from repro.experiments.paper import (
+    Figure3Result,
+    Table1Result,
+    reproduce_figure3,
+    reproduce_table1,
+)
+from repro.experiments.reporting import format_percent, format_series, format_table
+from repro.experiments.sweeps import (
+    MiningComparison,
+    SweepPoint,
+    ViolationPoint,
+    mining_comparison,
+    planted_correlation_log,
+    threshold_sweep,
+    violation_sweep,
+)
+
+__all__ = [
+    "ClinicalDbSetup",
+    "Figure3Result",
+    "LoopExperimentSetup",
+    "MiningComparison",
+    "SweepPoint",
+    "Table1Result",
+    "ViolationPoint",
+    "clinical_db_setup",
+    "format_percent",
+    "format_series",
+    "format_table",
+    "mining_comparison",
+    "planted_correlation_log",
+    "reproduce_figure3",
+    "reproduce_table1",
+    "run_refinement_loop",
+    "standard_loop_setup",
+    "threshold_sweep",
+    "violation_sweep",
+]

@@ -1,0 +1,147 @@
+"""Simulation harnesses for the synthetic experiments (E3, E6, E7).
+
+These functions build the standard experimental fixtures — a hospital, an
+initial partially-documented policy store, an enforced clinical database —
+so that benches and tests share one definition of each workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.hdb.control_center import HdbControlCenter
+from repro.hdb.enforcement import TableBinding
+from repro.mining.patterns import MiningConfig
+from repro.policy.store import PolicyStore
+from repro.refinement.engine import RefinementConfig
+from repro.refinement.loop import LoopResult, RefinementLoop
+from repro.refinement.review import ReviewPolicy
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.vocabulary import Vocabulary
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import HospitalModel, build_hospital
+
+
+@dataclass(frozen=True)
+class LoopExperimentSetup:
+    """Everything a refinement-loop experiment needs."""
+
+    vocabulary: Vocabulary
+    hospital: HospitalModel
+    store: PolicyStore
+    environment: SyntheticHospitalEnvironment
+
+
+def standard_loop_setup(
+    documented_fraction: float = 0.4,
+    accesses_per_round: int = 5000,
+    noise_rate: float = 0.05,
+    violation_rate: float = 0.02,
+    seed: int = 7,
+    departments: int = 3,
+    staff_per_role: int = 4,
+) -> LoopExperimentSetup:
+    """The E3 fixture: a hospital whose store documents part of reality."""
+    vocabulary = healthcare_vocabulary()
+    hospital = build_hospital(
+        vocabulary,
+        departments=departments,
+        staff_per_role=staff_per_role,
+        seed=seed,
+    )
+    store = hospital.documented_store(documented_fraction, random.Random(seed))
+    environment = SyntheticHospitalEnvironment(
+        hospital,
+        WorkloadConfig(
+            accesses_per_round=accesses_per_round,
+            noise_rate=noise_rate,
+            violation_rate=violation_rate,
+            seed=seed,
+        ),
+    )
+    return LoopExperimentSetup(
+        vocabulary=vocabulary,
+        hospital=hospital,
+        store=store,
+        environment=environment,
+    )
+
+
+def run_refinement_loop(
+    setup: LoopExperimentSetup,
+    review: ReviewPolicy,
+    rounds: int = 8,
+    min_support: int = 5,
+    min_distinct_users: int = 2,
+    refine_on_cumulative: bool = True,
+) -> LoopResult:
+    """Drive the closed loop for E3 (and its review-policy ablation)."""
+    loop = RefinementLoop(
+        environment=setup.environment,
+        store=setup.store,
+        vocabulary=setup.vocabulary,
+        review=review,
+        config=RefinementConfig(
+            mining=MiningConfig(
+                min_support=min_support, min_distinct_users=min_distinct_users
+            )
+        ),
+        refine_on_cumulative=refine_on_cumulative,
+    )
+    return loop.run(rounds)
+
+
+@dataclass(frozen=True)
+class ClinicalDbSetup:
+    """The E6 fixture: an enforced clinical database with demo traffic."""
+
+    control_center: HdbControlCenter
+    table: str
+    rows: int
+
+
+#: Column → data-category binding of the demo ``patients`` table.
+PATIENT_COLUMNS: dict[str, str] = {
+    "name": "name",
+    "address": "address",
+    "gender": "gender",
+    "birth_date": "birth_date",
+    "prescription": "prescription",
+    "referral": "referral",
+    "lab_results": "lab_results",
+    "psychiatry": "psychiatry",
+    "insurance": "insurance",
+}
+
+
+def clinical_db_setup(rows: int = 1000, seed: int = 7) -> ClinicalDbSetup:
+    """Build an enforced patients table with ``rows`` synthetic records."""
+    rng = random.Random(seed)
+    vocabulary = healthcare_vocabulary()
+    center = HdbControlCenter(vocabulary)
+    columns = ", ".join(f"{column} TEXT" for column in PATIENT_COLUMNS)
+    center.database.execute(
+        f"CREATE TABLE patients (pid TEXT NOT NULL, {columns})"
+    )
+    table = center.database.table("patients")
+    for index in range(rows):
+        record = [f"p{index:06d}"]
+        record.extend(
+            f"{column}-{rng.randrange(10_000)}" for column in PATIENT_COLUMNS
+        )
+        table.insert(record)
+    table.create_index("pid")
+    center.bind_table(TableBinding("patients", "pid", dict(PATIENT_COLUMNS)))
+    center.define_rules(
+        [
+            "ALLOW nurse TO USE medical_records FOR treatment",
+            "ALLOW nurse TO USE demographic FOR treatment",
+            "ALLOW physician TO USE clinical FOR treatment",
+            "ALLOW physician TO USE clinical FOR diagnosis",
+            "ALLOW clerk TO USE demographic FOR billing",
+            "ALLOW clerk TO USE insurance FOR billing",
+            "ALLOW registrar TO USE demographic FOR registration",
+        ]
+    )
+    return ClinicalDbSetup(control_center=center, table="patients", rows=rows)

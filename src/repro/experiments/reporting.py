@@ -1,0 +1,47 @@
+"""Plain-text reporting used by the benchmark harnesses.
+
+Every experiment prints its results as fixed-width ASCII tables so bench
+output is self-describing (`pytest benchmarks/ --benchmark-only -s` shows
+the same rows EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one value: floats get 4 significant decimals, ratios keep %."""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an ASCII table with a header rule."""
+    rendered = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in rendered)) if rendered else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """Render a ratio as a one-decimal percentage."""
+    return f"{value:.1%}"
+
+
+def format_series(label: str, values: Sequence[float]) -> str:
+    """Render a one-line numeric series (for figure-style results)."""
+    rendered = ", ".join(f"{value:.3f}" for value in values)
+    return f"{label}: [{rendered}]"

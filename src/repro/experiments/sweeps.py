@@ -1,0 +1,258 @@
+"""Parameter sweeps and comparisons (E4, E5, E9).
+
+The paper concedes its mining criterion "is clearly subjective"; these
+sweeps quantify the subjectivity:
+
+- :func:`threshold_sweep` (E4): how pattern count, precision and recall of
+  the miner respond to ``f`` and the distinct-user condition.
+- :func:`mining_comparison` (E5): SQL GROUP BY vs Apriori on a log with a
+  planted cross-role correlation that full-width grouping cannot see.
+- :func:`violation_sweep` (E9): classifier precision/recall as the
+  injected violation rate grows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.audit.classify import ClassifierConfig, classify_exceptions
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.mining.apriori import AprioriPatternMiner
+from repro.mining.patterns import MiningConfig, Pattern
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.policy.rule import Rule
+from repro.refinement.filtering import filter_practice
+from repro.workload.generator import SyntheticHospitalEnvironment
+
+
+# ----------------------------------------------------------------------
+# E4: threshold sensitivity
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (f, c) cell of the E4 sweep.
+
+    Mined patterns are classified against the hospital's ground truth:
+
+    - ``workflow_found`` — patterns that are genuine recurring practices
+      (members of the hospital's true workflow);
+    - ``violation_found`` — patterns formed by injected snooping;
+    - ``noise_found`` — patterns formed by one-off idiosyncratic accesses
+      that happened to repeat.
+
+    ``workflow_recall`` divides ``workflow_found`` by the number of true
+    workflow rules that actually surfaced as exceptions in the log (a
+    miner cannot find what never occurred).
+    """
+
+    min_support: int
+    min_distinct_users: int
+    patterns_found: int
+    workflow_found: int
+    violation_found: int
+    noise_found: int
+    workflow_recall: float
+
+
+def threshold_sweep(
+    log: AuditLog,
+    workflow_rules: set[Rule],
+    support_values: tuple[int, ...] = (2, 3, 5, 10, 20),
+    user_values: tuple[int, ...] = (1, 2, 3),
+) -> tuple[SweepPoint, ...]:
+    """Mine ``log`` at every (f, c) combination and classify the output.
+
+    ``workflow_rules`` is the hospital's true workflow (e.g.
+    ``set(hospital.practice_rules())``).  The log must carry truth labels
+    (the synthetic generator stamps them) so injected violations can be
+    told apart from noise.
+    """
+    practice_log = filter_practice(log)
+    violation_rules = {
+        entry.to_rule()
+        for entry in log
+        if entry.truth == "violation" and entry.is_exception
+    }
+    observable = {
+        entry.to_rule() for entry in practice_log
+    } & workflow_rules
+    miner = SqlPatternMiner()
+    points: list[SweepPoint] = []
+    for min_support in support_values:
+        for min_users in user_values:
+            config = MiningConfig(
+                min_support=min_support, min_distinct_users=min_users
+            )
+            patterns = miner.mine(practice_log, config)
+            mined_rules = {pattern.rule for pattern in patterns}
+            workflow_found = mined_rules & workflow_rules
+            violation_found = (mined_rules - workflow_rules) & violation_rules
+            noise_found = mined_rules - workflow_rules - violation_rules
+            points.append(
+                SweepPoint(
+                    min_support=min_support,
+                    min_distinct_users=min_users,
+                    patterns_found=len(patterns),
+                    workflow_found=len(workflow_found),
+                    violation_found=len(violation_found),
+                    noise_found=len(noise_found),
+                    workflow_recall=(
+                        len(workflow_found) / len(observable) if observable else 0.0
+                    ),
+                )
+            )
+    return tuple(points)
+
+
+# ----------------------------------------------------------------------
+# E5: SQL analytics vs Apriori
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MiningComparison:
+    """E5 outputs for one log."""
+
+    sql_patterns: tuple[Pattern, ...]
+    apriori_patterns: tuple[Pattern, ...]
+    correlations: tuple[str, ...]
+    planted_pair_found_by_sql: bool
+    planted_pair_found_by_apriori: bool
+    sql_seconds: float
+    apriori_seconds: float
+
+
+def planted_correlation_log(
+    per_role_support: int = 4,
+    roles: tuple[str, ...] = ("nurse", "registrar", "clerk"),
+    background_entries: int = 60,
+    seed: int = 11,
+) -> AuditLog:
+    """A practice log hiding a cross-role correlation.
+
+    The pair ``(referral, registration)`` occurs ``per_role_support``
+    times for each role — below the default ``f = 5`` individually, so
+    full-width GROUP BY mining sees nothing, while the pair's total
+    support (``per_role_support * len(roles)``) is well above threshold
+    and Apriori's size-2 itemsets expose it.
+    """
+    rng = random.Random(seed)
+    entries = []
+    tick = 1
+    for role in roles:
+        for index in range(per_role_support):
+            entries.append(
+                make_entry(
+                    time=tick,
+                    user=f"{role}_{index % 3}",
+                    data="referral",
+                    purpose="registration",
+                    authorized=role,
+                    status=AccessStatus.EXCEPTION,
+                    truth="practice",
+                )
+            )
+            tick += 1
+    data_pool = ("prescription", "lab_results", "address", "insurance")
+    purpose_pool = ("treatment", "billing", "diagnosis")
+    for index in range(background_entries):
+        entries.append(
+            make_entry(
+                time=tick,
+                user=f"user_{rng.randrange(20)}",
+                data=rng.choice(data_pool),
+                purpose=rng.choice(purpose_pool),
+                authorized=rng.choice(roles),
+                status=AccessStatus.EXCEPTION,
+                truth="practice",
+            )
+        )
+        tick += 1
+    return AuditLog(entries, name="planted_correlation")
+
+
+def mining_comparison(
+    log: AuditLog, config: MiningConfig | None = None
+) -> MiningComparison:
+    """Run both miners on ``log`` and check for the planted pair."""
+    cfg = config or MiningConfig()
+    sql_miner = SqlPatternMiner()
+    apriori_miner = AprioriPatternMiner()
+
+    started = time.perf_counter()
+    sql_patterns = sql_miner.mine(log, cfg)
+    sql_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    apriori_patterns = apriori_miner.mine(log, cfg)
+    correlations = apriori_miner.correlations(log, cfg)
+    apriori_seconds = time.perf_counter() - started
+
+    pair = frozenset({("data", "referral"), ("purpose", "registration")})
+    in_sql = any(
+        pattern.rule.value_of("data") == "referral"
+        and pattern.rule.value_of("purpose") == "registration"
+        for pattern in sql_patterns
+    )
+    in_apriori = any(itemset.items == pair for itemset in correlations)
+    return MiningComparison(
+        sql_patterns=sql_patterns,
+        apriori_patterns=apriori_patterns,
+        correlations=tuple(str(itemset) for itemset in correlations),
+        planted_pair_found_by_sql=in_sql,
+        planted_pair_found_by_apriori=in_apriori,
+        sql_seconds=sql_seconds,
+        apriori_seconds=apriori_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# E9: violation separation quality
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ViolationPoint:
+    """One violation-rate cell of the E9 sweep."""
+
+    violation_rate: float
+    exceptions: int
+    labelled_violations: int
+    precision: float
+    recall: float
+
+
+def violation_sweep(
+    make_environment,
+    rates: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20),
+    classifier: ClassifierConfig | None = None,
+) -> tuple[ViolationPoint, ...]:
+    """Score the classifier across injected violation rates.
+
+    ``make_environment`` is a callable ``rate -> (environment, store)``;
+    the sweep simulates one round per rate and classifies its exceptions.
+    """
+    points: list[ViolationPoint] = []
+    for rate in rates:
+        environment, store = make_environment(rate)
+        assert isinstance(environment, SyntheticHospitalEnvironment)
+        log = environment.simulate_round(0, store)
+        report = classify_exceptions(log, classifier)
+        labelled = sum(
+            1 for entry in log if entry.truth == "violation" and entry.is_exception
+        )
+        points.append(
+            ViolationPoint(
+                violation_rate=rate,
+                exceptions=len(log.exceptions()),
+                labelled_violations=labelled,
+                precision=report.precision(),
+                recall=report.recall(),
+            )
+        )
+    return tuple(points)

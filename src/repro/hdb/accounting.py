@@ -1,0 +1,146 @@
+"""Accounting of disclosures — the patient-facing ledger.
+
+HIPAA grants patients an *accounting of disclosures*: who saw their data,
+when, and why.  The paper's audit schema deliberately omits the data
+subject (Section 4.2 logs the requester side), so enforcement keeps this
+separate ledger: one :class:`Disclosure` per (request, patient, category)
+actually returned.  Entries are recorded only for data that left the
+system — policy-masked categories and consent-masked cells never
+disclosed anything and therefore never appear.
+
+The ledger answers the two questions patients and compliance officers
+ask: :meth:`DisclosureLedger.accounting_for` (everything about one
+patient) and :meth:`DisclosureLedger.recipients_of` (who has seen a given
+category of one patient's data).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.audit.schema import AccessStatus
+from repro.errors import AuditError
+from repro.vocab.tree import canonical
+
+
+@dataclass(frozen=True, slots=True)
+class Disclosure:
+    """One patient-data disclosure event."""
+
+    time: int
+    patient: str
+    user: str
+    role: str
+    data: str
+    purpose: str
+    status: AccessStatus
+
+    def __post_init__(self) -> None:
+        for attribute in ("patient", "user", "role", "data", "purpose"):
+            object.__setattr__(self, attribute, canonical(getattr(self, attribute)))
+
+    @property
+    def was_break_the_glass(self) -> bool:
+        return self.status is AccessStatus.EXCEPTION
+
+
+class DisclosureLedger:
+    """Append-only per-patient disclosure history."""
+
+    def __init__(self) -> None:
+        self._disclosures: list[Disclosure] = []
+        self._by_patient: dict[str, list[Disclosure]] = {}
+
+    def record(self, disclosure: Disclosure) -> None:
+        """Append one disclosure event."""
+        if not isinstance(disclosure, Disclosure):
+            raise AuditError(f"ledgers hold Disclosure objects, got {disclosure!r}")
+        self._disclosures.append(disclosure)
+        self._by_patient.setdefault(disclosure.patient, []).append(disclosure)
+
+    def record_access(
+        self,
+        time: int,
+        patients: list[str] | tuple[str, ...],
+        user: str,
+        role: str,
+        categories: tuple[str, ...],
+        purpose: str,
+        status: AccessStatus,
+    ) -> int:
+        """Record one enforced request touching many patients/categories;
+        returns the number of disclosure events written."""
+        written = 0
+        for patient in patients:
+            for category in categories:
+                self.record(
+                    Disclosure(
+                        time=time,
+                        patient=patient,
+                        user=user,
+                        role=role,
+                        data=category,
+                        purpose=purpose,
+                        status=status,
+                    )
+                )
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._disclosures)
+
+    def __iter__(self) -> Iterator[Disclosure]:
+        return iter(self._disclosures)
+
+    def accounting_for(self, patient: str) -> tuple[Disclosure, ...]:
+        """Every disclosure of one patient's data, oldest first."""
+        return tuple(self._by_patient.get(canonical(patient), ()))
+
+    def recipients_of(self, patient: str, data: str | None = None) -> tuple[str, ...]:
+        """Distinct users who received the patient's data (optionally one
+        category), sorted."""
+        wanted = canonical(data) if data is not None else None
+        return tuple(
+            sorted(
+                {
+                    disclosure.user
+                    for disclosure in self.accounting_for(patient)
+                    if wanted is None or disclosure.data == wanted
+                }
+            )
+        )
+
+    def break_the_glass_count(self, patient: str) -> int:
+        """How often the patient's data left via the exception path."""
+        return sum(
+            1
+            for disclosure in self.accounting_for(patient)
+            if disclosure.was_break_the_glass
+        )
+
+    def busiest_patients(self, top: int = 10) -> tuple[tuple[str, int], ...]:
+        """Patients with the most disclosures — the review starting point."""
+        counts = Counter(d.patient for d in self._disclosures)
+        return tuple(counts.most_common(top))
+
+    def render_accounting(self, patient: str) -> str:
+        """The patient-facing plain-text accounting statement."""
+        events = self.accounting_for(patient)
+        lines = [
+            f"Accounting of disclosures for patient {canonical(patient)!r}",
+            f"total disclosures: {len(events)} "
+            f"(break-the-glass: {self.break_the_glass_count(patient)})",
+        ]
+        for event in events:
+            flag = " [BREAK-THE-GLASS]" if event.was_break_the_glass else ""
+            lines.append(
+                f"  t{event.time}: {event.data} -> {event.user} ({event.role}) "
+                f"for {event.purpose}{flag}"
+            )
+        return "\n".join(lines)

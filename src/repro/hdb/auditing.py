@@ -1,0 +1,106 @@
+"""HDB Compliance Auditing — the middleware that writes the audit trail.
+
+Every enforced request produces audit entries in the Section 4.2 schema,
+one per data category touched, tagged with the access decision (``op``)
+and the regular/exception flag (``status``).  The auditor owns the logical
+clock so entry times are monotone even when many components log.
+
+The paper's first concern about retroactive controls is overhead; the
+auditor therefore does nothing but append to an in-memory log (cheap by
+construction) and exposes counters so benchmark E6 can quantify the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog
+from repro.audit.schema import AccessOp, AccessStatus
+
+
+class LogicalClock:
+    """A monotonically increasing integer clock.
+
+    Injectable so tests and the workload generator can control time; the
+    default starts at 1 to match the paper's ``t1 … t10`` example.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def tick(self) -> int:
+        """Return the current tick and advance."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The tick the next event will get."""
+        return self._next
+
+    def advance_to(self, tick: int) -> None:
+        """Jump forward so the next event gets ``tick``.
+
+        Clocks only move forward; workload generators use this to model
+        wall-clock gaps (nights, weekends) between bursts of activity.
+        """
+        if tick < self._next:
+            raise ValueError(
+                f"logical clocks cannot rewind ({tick} < {self._next})"
+            )
+        self._next = tick
+
+
+@dataclass
+class AuditorStats:
+    """Counters for overhead accounting."""
+
+    entries_written: int = 0
+    requests_audited: int = 0
+
+
+class ComplianceAuditor:
+    """Writes audit entries for enforced accesses."""
+
+    def __init__(self, log: AuditLog | None = None, clock: LogicalClock | None = None) -> None:
+        self.log = log if log is not None else AuditLog()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.stats = AuditorStats()
+
+    def record_access(
+        self,
+        user: str,
+        role: str,
+        purpose: str,
+        categories: tuple[str, ...],
+        op: AccessOp,
+        status: AccessStatus,
+        truth: str = "",
+    ) -> tuple[AuditEntry, ...]:
+        """Write one entry per data category at a single tick.
+
+        All categories of one request share a timestamp — they are one
+        clinical action — which also matches how Table 1 numbers entries.
+        """
+        if not categories:
+            return ()
+        tick = self.clock.tick()
+        entries = tuple(
+            AuditEntry(
+                time=tick,
+                op=op,
+                user=user,
+                data=category,
+                purpose=purpose,
+                authorized=role,
+                status=status,
+                truth=truth,
+            )
+            for category in categories
+        )
+        for entry in entries:
+            self.log.append(entry)
+        self.stats.entries_written += len(entries)
+        self.stats.requests_audited += 1
+        return entries

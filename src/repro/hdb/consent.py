@@ -1,0 +1,138 @@
+"""Patient consent — the Hippocratic Database's opt-in/opt-out model.
+
+HDB Active Enforcement honours per-patient choices: a patient may opt out
+of a purpose entirely ("no telemarketing, ever") or of a specific data
+category for a purpose ("my psychiatry notes may not be used for
+research").  Choices are hierarchy-aware through the vocabulary: opting
+out of ``secondary_use`` covers ``research`` and ``telemarketing``.
+
+Resolution picks the **most specific** matching choice (deepest data
+value, then deepest purpose); on a tie between allow and deny, deny wins —
+the privacy-preserving default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConsentError
+from repro.vocab.tree import canonical
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class ConsentChoice:
+    """One patient directive.
+
+    ``data`` of ``None`` means "all data" — the whole-purpose opt-out.
+    """
+
+    purpose: str
+    allowed: bool
+    data: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "purpose", canonical(self.purpose))
+        if self.data is not None:
+            object.__setattr__(self, "data", canonical(self.data))
+
+
+@dataclass(frozen=True, slots=True)
+class ConsentDecision:
+    """The outcome of a consent lookup, with the deciding choice."""
+
+    allowed: bool
+    choice: ConsentChoice | None  # None means the default applied
+    row_level: bool  # True when a whole-purpose (data=None) choice decided
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class ConsentStore:
+    """Per-patient consent directives with vocabulary-aware lookup.
+
+    Parameters
+    ----------
+    vocabulary:
+        Used for subsumption when matching choices against requests.
+    default_allowed:
+        The opt-in default applied when no directive matches.  Healthcare
+        treatment contexts typically default to True (implied consent for
+        care delivery); set False to model strict opt-in regimes.
+    """
+
+    def __init__(self, vocabulary: Vocabulary, default_allowed: bool = True) -> None:
+        self.vocabulary = vocabulary
+        self.default_allowed = default_allowed
+        self._choices: dict[str, list[ConsentChoice]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        patient: str,
+        purpose: str,
+        allowed: bool,
+        data: str | None = None,
+    ) -> ConsentChoice:
+        """Record one directive for ``patient``; returns the choice."""
+        if not isinstance(patient, str) or not patient.strip():
+            raise ConsentError("patient identifiers must be non-empty strings")
+        choice = ConsentChoice(purpose=purpose, allowed=allowed, data=data)
+        self._choices.setdefault(canonical(patient), []).append(choice)
+        return choice
+
+    def opt_out(self, patient: str, purpose: str, data: str | None = None) -> ConsentChoice:
+        """Convenience: record a deny directive."""
+        return self.record(patient, purpose, allowed=False, data=data)
+
+    def opt_in(self, patient: str, purpose: str, data: str | None = None) -> ConsentChoice:
+        """Convenience: record an allow directive."""
+        return self.record(patient, purpose, allowed=True, data=data)
+
+    def choices_for(self, patient: str) -> tuple[ConsentChoice, ...]:
+        """Every directive recorded for ``patient``, oldest first."""
+        return tuple(self._choices.get(canonical(patient), ()))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def decide(self, patient: str, data: str, purpose: str) -> ConsentDecision:
+        """Resolve the patient's consent for using ``data`` for ``purpose``."""
+        data = canonical(data)
+        purpose = canonical(purpose)
+        matches: list[tuple[int, int, ConsentChoice]] = []
+        for choice in self._choices.get(canonical(patient), ()):
+            if not self.vocabulary.subsumes("purpose", choice.purpose, purpose):
+                continue
+            if choice.data is not None and not self.vocabulary.subsumes(
+                "data", choice.data, data
+            ):
+                continue
+            data_depth = self._depth("data", choice.data)
+            purpose_depth = self._depth("purpose", choice.purpose)
+            matches.append((data_depth, purpose_depth, choice))
+        if not matches:
+            return ConsentDecision(self.default_allowed, None, row_level=False)
+        best_key = max((d, p) for d, p, _ in matches)
+        finalists = [c for d, p, c in matches if (d, p) == best_key]
+        allowed = all(choice.allowed for choice in finalists)  # deny wins ties
+        deciding = next(
+            (c for c in finalists if c.allowed == allowed), finalists[0]
+        )
+        return ConsentDecision(allowed, deciding, row_level=deciding.data is None)
+
+    def _depth(self, attribute: str, value: str | None) -> int:
+        """Specificity of a choice value: -1 for "all", depth otherwise."""
+        if value is None:
+            return -1
+        tree = self.vocabulary.tree_for(attribute)
+        if tree is None or value not in tree:
+            return 0
+        return tree.depth(value)
+
+    def permits(self, patient: str, data: str, purpose: str) -> bool:
+        """Boolean shorthand for :meth:`decide`."""
+        return self.decide(patient, data, purpose).allowed

@@ -1,0 +1,118 @@
+"""The HDB Control Center — the stakeholder-facing facade.
+
+The paper's workflow has a representative of the stakeholders "use the HDB
+Control Center to enter fine-grained rules, patient consent information and
+specify what needs to be auditable".  :class:`HdbControlCenter` bundles the
+clinical database, policy store, consent store, auditor and enforcer into
+one object with exactly those verbs, so application code (and the
+examples) reads like the paper.
+"""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.hdb.accounting import DisclosureLedger
+from repro.hdb.auditing import ComplianceAuditor, LogicalClock
+from repro.hdb.consent import ConsentStore
+from repro.hdb.enforcement import (
+    AccessRequest,
+    ActiveEnforcer,
+    EnforcementResult,
+    TableBinding,
+)
+from repro.policy.parser import parse_rule
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+from repro.sqlmini.database import Database
+from repro.vocab.vocabulary import Vocabulary
+
+
+class HdbControlCenter:
+    """One-stop configuration and query surface for a PRIMA deployment."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        database: Database | None = None,
+        clock: LogicalClock | None = None,
+        default_consent: bool = True,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.database = database if database is not None else Database("clinical")
+        self.policy_store = PolicyStore()
+        self.consent = ConsentStore(vocabulary, default_allowed=default_consent)
+        self.auditor = ComplianceAuditor(AuditLog(), clock or LogicalClock())
+        self.ledger = DisclosureLedger()
+        self.enforcer = ActiveEnforcer(
+            database=self.database,
+            policy_store=self.policy_store,
+            consent=self.consent,
+            auditor=self.auditor,
+            vocabulary=vocabulary,
+            ledger=self.ledger,
+        )
+
+    # ------------------------------------------------------------------
+    # policy entry
+    # ------------------------------------------------------------------
+    def define_rule(self, rule: Rule | str, added_by: str = "privacy-officer") -> bool:
+        """Add a rule (a :class:`Rule` or one line of the policy DSL)."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        return self.policy_store.add(rule, added_by=added_by)
+
+    def define_rules(self, rules: list[Rule | str], added_by: str = "privacy-officer") -> int:
+        """Add many rules; returns how many changed the store."""
+        return sum(self.define_rule(rule, added_by=added_by) for rule in rules)
+
+    def current_policy(self) -> Policy:
+        """Snapshot of the active ``P_PS``."""
+        return self.policy_store.policy()
+
+    # ------------------------------------------------------------------
+    # consent entry
+    # ------------------------------------------------------------------
+    def record_consent(
+        self, patient: str, purpose: str, allowed: bool, data: str | None = None
+    ) -> None:
+        """Record one patient consent directive."""
+        self.consent.record(patient, purpose, allowed, data=data)
+
+    # ------------------------------------------------------------------
+    # clinical schema
+    # ------------------------------------------------------------------
+    def bind_table(self, binding: TableBinding) -> None:
+        """Declare a clinical table auditable and enforceable."""
+        self.enforcer.bind_table(binding)
+
+    # ------------------------------------------------------------------
+    # the query path
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        user: str,
+        role: str,
+        purpose: str,
+        sql: str,
+        exception: bool = False,
+        truth: str = "",
+    ) -> EnforcementResult:
+        """Execute one enforced, audited query."""
+        request = AccessRequest(
+            user=user,
+            role=role,
+            purpose=purpose,
+            sql=sql,
+            exception=exception,
+            truth=truth,
+        )
+        return self.enforcer.execute(request)
+
+    @property
+    def audit_log(self) -> AuditLog:
+        return self.auditor.log
+
+    def accounting_for(self, patient: str) -> str:
+        """Render the patient's accounting-of-disclosures statement."""
+        return self.ledger.render_accounting(patient)

@@ -1,0 +1,117 @@
+"""Audit Management — the federation layer of Section 4.2.
+
+The paper's first instantiation uses DB2 Information Integrator "to create
+a virtual view of all the audit trails"; any mechanism "that can
+consolidate all audit data in one place for subsequent analysis" is
+acceptable.  :class:`AuditFederation` is that mechanism here:
+
+- member sites register their :class:`~repro.audit.log.AuditLog`s;
+- :meth:`consolidated_log` merges them into one time-ordered log (a
+  physical consolidation, what refinement consumes);
+- :meth:`register_view` exposes a *virtual* union view inside a sqlmini
+  :class:`~repro.sqlmini.database.Database`, with a ``site`` provenance
+  column — the Information Integrator analogue, always reflecting current
+  member data without copying.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog
+from repro.errors import FederationError
+from repro.sqlmini.database import Database
+from repro.sqlmini.schema import Column
+from repro.sqlmini.table import ViewTable
+from repro.sqlmini.types import SqlType, Value
+
+
+class AuditFederation:
+    """A consolidated view over many per-site audit logs."""
+
+    def __init__(self, name: str = "audit_federation") -> None:
+        self.name = name
+        self._members: dict[str, AuditLog] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(self, site: str, log: AuditLog) -> None:
+        """Register one member site's log under the name ``site``."""
+        key = site.strip().lower()
+        if not key:
+            raise FederationError("site names must be non-empty")
+        if key in self._members:
+            raise FederationError(f"site {site!r} is already registered")
+        self._members[key] = log
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def member(self, site: str) -> AuditLog:
+        """The registered log of one member site."""
+        try:
+            return self._members[site.strip().lower()]
+        except KeyError:
+            raise FederationError(
+                f"no such federation member {site!r} (sites: {self.sites})"
+            ) from None
+
+    def __len__(self) -> int:
+        """Total entries across all members."""
+        return sum(len(log) for log in self._members.values())
+
+    # ------------------------------------------------------------------
+    # consolidation
+    # ------------------------------------------------------------------
+    def consolidated_log(self, name: str | None = None) -> AuditLog:
+        """Merge all member logs into one time-ordered log.
+
+        Member logs are individually time-ordered, so this is a k-way
+        merge; ties keep site order stable.
+        """
+        if not self._members:
+            raise FederationError(f"federation {self.name!r} has no members")
+
+        def keyed(site_index: int, log: AuditLog) -> Iterator[tuple[int, int, int, AuditEntry]]:
+            for sequence, entry in enumerate(log):
+                yield (entry.time, site_index, sequence, entry)
+
+        merged = heapq.merge(
+            *(
+                keyed(index, log)
+                for index, (_, log) in enumerate(sorted(self._members.items()))
+            )
+        )
+        result = AuditLog(name=name or f"{self.name}.consolidated")
+        for _, _, _, entry in merged:
+            result.append(entry)
+        return result
+
+    def _view_rows(self) -> Iterator[tuple[Value, ...]]:
+        """Rows of the virtual union view: audit columns plus site."""
+        for site, log in sorted(self._members.items()):
+            for entry in log:
+                yield (*entry.as_row(), site)
+
+    def register_view(self, database: Database, view_name: str = "federated_audit") -> ViewTable:
+        """Expose the federation as a queryable virtual table.
+
+        The view re-enumerates member logs on every scan, so SQL run
+        against it always sees each site's latest entries — the virtual
+        (non-materialised) semantics of a federated view.
+        """
+        columns = (
+            Column("time", SqlType.INTEGER, nullable=False),
+            Column("op", SqlType.INTEGER, nullable=False),
+            Column("user", SqlType.TEXT, nullable=False),
+            Column("data", SqlType.TEXT, nullable=False),
+            Column("purpose", SqlType.TEXT, nullable=False),
+            Column("authorized", SqlType.TEXT, nullable=False),
+            Column("status", SqlType.INTEGER, nullable=False),
+            Column("site", SqlType.TEXT, nullable=False),
+        )
+        return database.register_view(view_name, columns, self._view_rows)

@@ -1,0 +1,44 @@
+"""Pattern-mining back-ends for ``extractPatterns`` (Algorithms 4–5).
+
+Public surface:
+
+- :class:`~repro.mining.patterns.MiningConfig` /
+  :class:`Pattern` / :class:`PatternMiner` — the pluggable interface.
+- :class:`~repro.mining.sql_patterns.SqlPatternMiner` — Algorithm 5.
+- :class:`~repro.mining.apriori.AprioriPatternMiner` /
+  :func:`apriori` — the Section 5 future-work extension.
+- :func:`~repro.mining.association.derive_rules` — association rules with
+  support / confidence / lift.
+"""
+
+from repro.mining.apriori import (
+    AprioriPatternMiner,
+    FrequentItemset,
+    apriori,
+    transactions_from_log,
+)
+from repro.mining.association import AssociationRule, derive_rules
+from repro.mining.patterns import MiningConfig, Pattern, PatternMiner
+from repro.mining.sql_patterns import SqlPatternMiner, build_analysis_sql
+from repro.mining.temporal import (
+    TemporalPattern,
+    hour_extractor,
+    mine_temporal_patterns,
+)
+
+__all__ = [
+    "TemporalPattern",
+    "hour_extractor",
+    "mine_temporal_patterns",
+    "AprioriPatternMiner",
+    "AssociationRule",
+    "FrequentItemset",
+    "MiningConfig",
+    "Pattern",
+    "PatternMiner",
+    "SqlPatternMiner",
+    "apriori",
+    "build_analysis_sql",
+    "derive_rules",
+    "transactions_from_log",
+]

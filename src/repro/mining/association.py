@@ -1,0 +1,93 @@
+"""Association rules over frequent itemsets [Agrawal & Srikant 1994].
+
+Given the frequent itemsets of a practice log, this module derives rules
+``X => Y`` (X, Y disjoint, X ∪ Y frequent) with the classic metrics:
+
+- **support**: fraction of transactions containing X ∪ Y;
+- **confidence**: support(X ∪ Y) / support(X);
+- **lift**: confidence / support(Y) — how much more likely Y is given X
+  than in general (1.0 means independence).
+
+In PRIMA these rules read as workflow advisories, e.g. ``{purpose=
+registration, data=referral} => {authorized=nurse}`` with confidence 0.95:
+"when referral data is used for registration, it is almost always a
+nurse", which tells the privacy officer *which role* a candidate policy
+statement should name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import MiningError
+from repro.mining.apriori import FrequentItemset, ItemSet
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """One mined implication with its metrics."""
+
+    antecedent: ItemSet
+    consequent: ItemSet
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        left = ", ".join(f"{a}={v}" for a, v in sorted(self.antecedent))
+        right = ", ".join(f"{a}={v}" for a, v in sorted(self.consequent))
+        return (
+            f"{{{left}}} => {{{right}}} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+
+def derive_rules(
+    itemsets: tuple[FrequentItemset, ...] | list[FrequentItemset],
+    transaction_count: int,
+    min_confidence: float = 0.6,
+) -> tuple[AssociationRule, ...]:
+    """Generate association rules from ``itemsets``.
+
+    ``transaction_count`` is the size of the mined log (needed to turn
+    absolute supports into fractions).  Rules are sorted by confidence
+    then support, descending.
+    """
+    if transaction_count <= 0:
+        raise MiningError("transaction_count must be positive")
+    if not 0.0 < min_confidence <= 1.0:
+        raise MiningError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    support_of: dict[ItemSet, int] = {fi.items: fi.support for fi in itemsets}
+    rules: list[AssociationRule] = []
+    for itemset in itemsets:
+        if itemset.size < 2:
+            continue
+        items = sorted(itemset.items)
+        for antecedent_size in range(1, itemset.size):
+            for antecedent_items in itertools.combinations(items, antecedent_size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset.items - antecedent
+                antecedent_support = support_of.get(antecedent)
+                consequent_support = support_of.get(consequent)
+                if antecedent_support is None or consequent_support is None:
+                    # Anti-monotonicity guarantees subsets of a frequent
+                    # itemset are frequent, so this only happens when the
+                    # caller passed a truncated itemset collection.
+                    continue
+                confidence = itemset.support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                support = itemset.support / transaction_count
+                lift = confidence / (consequent_support / transaction_count)
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(r)))
+    return tuple(rules)

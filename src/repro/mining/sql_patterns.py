@@ -1,0 +1,76 @@
+"""Algorithm 5: ``dataAnalysis`` as a literal SQL statement.
+
+The paper's routine "takes a set of attributes A, a minimum frequency f
+and a simple condition c, translates it into a SQL statement and executes
+it" — and gives the statement shape::
+
+    SELECT Attr_1, .., Attr_n FROM P's table
+    GROUP BY Attr_1, .., Attr_n
+    HAVING COUNT(*) > f AND c
+
+This module builds exactly that statement (with the inclusive-``f`` fix
+documented in :class:`~repro.mining.patterns.MiningConfig`), materialises
+the practice log into a fresh sqlmini database, executes, and lifts the
+result rows into :class:`~repro.mining.patterns.Pattern` objects.
+"""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.audit.schema import AUDIT_ATTRIBUTES
+from repro.errors import MiningError
+from repro.mining.patterns import MiningConfig, Pattern
+from repro.policy.rule import Rule
+from repro.sqlmini.database import Database
+
+
+def build_analysis_sql(table: str, config: MiningConfig) -> str:
+    """Render the Algorithm 5 statement for ``table`` and ``config``."""
+    for attribute in config.attributes:
+        if attribute not in AUDIT_ATTRIBUTES:
+            raise MiningError(f"unknown audit attribute {attribute!r}")
+    columns = ", ".join(config.attributes)
+    having = (
+        f"COUNT(*) >= {config.min_support} "
+        f"AND COUNT(DISTINCT user) >= {config.min_distinct_users}"
+    )
+    return (
+        f"SELECT {columns}, COUNT(*) AS support, "
+        f"COUNT(DISTINCT user) AS distinct_users "
+        f"FROM {table} "
+        f"GROUP BY {columns} "
+        f"HAVING {having} "
+        f"ORDER BY support DESC, {columns}"
+    )
+
+
+class SqlPatternMiner:
+    """The GROUP BY / HAVING pattern miner (the paper's default)."""
+
+    #: table name used for the throwaway materialisation
+    TABLE = "practice"
+
+    def mine(self, log: AuditLog, config: MiningConfig) -> tuple[Pattern, ...]:
+        """Run Algorithm 5 over ``log`` and lift the rows into patterns.
+
+        ``log`` is expected to be the *practice* subset (Algorithm 3's
+        output); the miner itself applies no status filtering, mirroring
+        the paper's separation of Filter and extractPatterns.
+        """
+        if len(log) == 0:
+            return ()
+        database = Database("analysis")
+        log.to_table(database, self.TABLE)
+        sql = build_analysis_sql(self.TABLE, config)
+        result = database.query(sql)
+        patterns: list[Pattern] = []
+        width = len(config.attributes)
+        for row in result:
+            values, support, distinct_users = row[:width], row[width], row[width + 1]
+            rule = Rule.from_pairs(
+                [(attribute, str(value)) for attribute, value in zip(config.attributes, values)]
+            )
+            patterns.append(
+                Pattern(rule=rule, support=support, distinct_users=distinct_users)
+            )
+        return tuple(patterns)

@@ -1,0 +1,43 @@
+"""The paper's formal policy model (Section 3.1).
+
+Public surface:
+
+- :class:`~repro.policy.ruleterm.RuleTerm` — Definition 1.
+- :class:`~repro.policy.rule.Rule` — Definition 5.
+- :class:`~repro.policy.policy.Policy` / :class:`PolicySource` — Definition 7.
+- :class:`~repro.policy.grounding.Range` / :class:`Grounder` /
+  :func:`policy_range` — Definition 8.
+- :class:`~repro.policy.store.PolicyStore` — the versioned ``P_PS``.
+- :func:`~repro.policy.parser.parse_policy` and friends — the authoring DSL.
+"""
+
+from repro.policy.conditions import (
+    ConditionalPolicySet,
+    ConditionalRule,
+    TimeWindow,
+)
+from repro.policy.grounding import Grounder, Range, policy_range
+from repro.policy.parser import format_policy, format_rule, parse_policy, parse_rule
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+from repro.policy.ruleterm import RuleTerm
+from repro.policy.store import PolicyStore, RuleRecord
+
+__all__ = [
+    "ConditionalPolicySet",
+    "ConditionalRule",
+    "Grounder",
+    "TimeWindow",
+    "Policy",
+    "PolicySource",
+    "PolicyStore",
+    "Range",
+    "Rule",
+    "RuleRecord",
+    "RuleTerm",
+    "format_policy",
+    "format_rule",
+    "parse_policy",
+    "parse_rule",
+    "policy_range",
+]

@@ -1,0 +1,138 @@
+"""Conditional policy rules — the Section 4.2 augmentation.
+
+The paper notes its audit model "could be augmented with the inclusion of
+conditions" and that its techniques "are also applicable to augmentations
+of the model".  This module provides the augmentation the temporal miner
+(:mod:`repro.mining.temporal`) produces: a rule that only applies inside
+a time-of-day window, e.g. *"nurses may access referral data for
+registration during the night shift (22:00-06:00)"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.policy.parser import format_rule
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """A half-open daily window ``[start, end)`` in hours, wrap-aware.
+
+    ``TimeWindow(22, 6)`` covers 22:00-23:59 and 00:00-05:59.
+    ``TimeWindow(0, 24)`` (or any ``start == end`` with span 24 via the
+    dedicated :meth:`all_day` constructor) covers the whole day.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start <= 23):
+            raise PolicyError(f"window start must be in 0..23, got {self.start}")
+        if not (0 <= self.end <= 24):
+            raise PolicyError(f"window end must be in 0..24, got {self.end}")
+
+    @classmethod
+    def all_day(cls) -> "TimeWindow":
+        return cls(0, 24)
+
+    @property
+    def span(self) -> int:
+        """Window length in hours (24 for the all-day window)."""
+        if self.start < self.end:
+            return self.end - self.start
+        if self.start == self.end:
+            return 24 if self.end == 24 else 0
+        return (24 - self.start) + self.end
+
+    def contains(self, hour: int) -> bool:
+        """Is ``hour`` (0-23) inside the window?"""
+        if not (0 <= hour <= 23):
+            raise PolicyError(f"hours are 0..23, got {hour}")
+        if self.start < self.end:
+            return self.start <= hour < self.end
+        if self.start == self.end:
+            return self.end == 24  # all-day, else empty
+        return hour >= self.start or hour < self.end
+
+    def hours(self) -> tuple[int, ...]:
+        """Every hour inside the window, in chronological order."""
+        return tuple(
+            (self.start + offset) % 24 for offset in range(self.span)
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.start:02d}:00, {self.end % 24:02d}:00)"
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionalRule:
+    """A policy rule that applies only inside a time window.
+
+    An unconditioned :class:`~repro.policy.rule.Rule` is equivalent to a
+    conditional rule with the all-day window; :meth:`covers` therefore
+    extends the plain rule's semantics with an hour check.
+    """
+
+    rule: Rule
+    window: TimeWindow
+
+    def covers(self, ground_rule: Rule, hour: int, vocabulary: Vocabulary) -> bool:
+        """Does this rule authorise ``ground_rule`` at ``hour``?"""
+        return self.window.contains(hour) and self.rule.covers(
+            ground_rule, vocabulary
+        )
+
+    def unconditional(self) -> Rule:
+        """Drop the window (what a reviewer does when the time pattern is
+        incidental rather than load-bearing)."""
+        return self.rule
+
+    def to_dsl(self) -> str:
+        """Render as the policy DSL plus a WHEN clause."""
+        return f"{format_rule(self.rule)} WHEN HOUR IN {self.window}"
+
+    def __str__(self) -> str:
+        return f"{self.rule} @ {self.window}"
+
+
+class ConditionalPolicySet:
+    """A small container answering "is this access allowed *now*?".
+
+    Holds plain rules (always-on) and conditional rules; the enforcement
+    layers stay unchanged — deployments that need time-scoped grants wrap
+    their store lookups with this set.
+    """
+
+    def __init__(self) -> None:
+        self._always: list[Rule] = []
+        self._conditional: list[ConditionalRule] = []
+
+    def add(self, rule: Rule | ConditionalRule) -> None:
+        """Add a plain (always-on) or conditional rule."""
+        if isinstance(rule, ConditionalRule):
+            self._conditional.append(rule)
+        elif isinstance(rule, Rule):
+            self._always.append(rule)
+        else:
+            raise PolicyError(f"expected Rule or ConditionalRule, got {rule!r}")
+
+    def __len__(self) -> int:
+        return len(self._always) + len(self._conditional)
+
+    @property
+    def conditional_rules(self) -> tuple[ConditionalRule, ...]:
+        return tuple(self._conditional)
+
+    def permits(self, ground_rule: Rule, hour: int, vocabulary: Vocabulary) -> bool:
+        """Is ``ground_rule`` authorised at ``hour``?"""
+        if any(rule.covers(ground_rule, vocabulary) for rule in self._always):
+            return True
+        return any(
+            conditional.covers(ground_rule, hour, vocabulary)
+            for conditional in self._conditional
+        )

@@ -1,0 +1,138 @@
+"""Ranges and memoised grounding — Definition 8 of the paper.
+
+The *range* of a policy is the set of all ground rules derivable from it
+(the paper's ``Range_P = set(P')``).  Both coverage (Algorithm 1) and prune
+(Algorithm 6) reduce to set algebra on ranges, so :class:`Range` supports
+intersection, union, difference and membership directly.
+
+Grounding the same composite rules over and over dominates the cost of a
+refinement loop, so :class:`Grounder` memoises per-rule expansions for a
+fixed vocabulary.  The ablation benchmark E8 measures memoised vs. naive
+grounding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+
+class Range:
+    """An immutable set of ground rules (Definition 8).
+
+    Equality and hashing follow the underlying frozenset, so two ranges are
+    equal exactly when they derive the same ground rules — the equivalence
+    relation Definition 6 induces.
+    """
+
+    __slots__ = ("_rules",)
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules = frozenset(rules)
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._rules
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Range):
+            return NotImplemented
+        return self._rules == other._rules
+
+    def __hash__(self) -> int:
+        return hash(self._rules)
+
+    @property
+    def cardinality(self) -> int:
+        """The paper's ``#Range_P``."""
+        return len(self._rules)
+
+    def intersection(self, other: "Range") -> "Range":
+        """Ground-rule intersection (the overlap of Algorithm 1, line 5)."""
+        return Range(self._rules & other._rules)
+
+    def union(self, other: "Range") -> "Range":
+        """Ground-rule union of the two ranges."""
+        return Range(self._rules | other._rules)
+
+    def difference(self, other: "Range") -> "Range":
+        """Rules in this range but not in ``other`` (Algorithm 6's
+        'set complement')."""
+        return Range(self._rules - other._rules)
+
+    def issubset(self, other: "Range") -> bool:
+        """True iff every ground rule here is also in ``other``."""
+        return self._rules <= other._rules
+
+    __and__ = intersection
+    __or__ = union
+    __sub__ = difference
+    __le__ = issubset
+
+    def rules(self) -> tuple[Rule, ...]:
+        """Return the ground rules in a deterministic (sorted) order."""
+        return tuple(sorted(self._rules, key=lambda r: tuple((t.attr, t.value) for t in r.terms)))
+
+    def __repr__(self) -> str:
+        return f"Range({len(self._rules)} ground rules)"
+
+
+class Grounder:
+    """Memoised rule grounding against a fixed vocabulary.
+
+    The cache key is the rule itself (rules are immutable and hashable), so
+    repeated range computations over evolving policies only pay for rules
+    they have not seen before.  Create one grounder per vocabulary; mutating
+    the vocabulary afterwards invalidates the cache semantics, so call
+    :meth:`clear` if you do.
+    """
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+        self._cache: dict[Rule, tuple[Rule, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def ground_rules(self, rule: Rule) -> tuple[Rule, ...]:
+        """Return (and cache) the ground expansion of ``rule``."""
+        cached = self._cache.get(rule)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        expansion = rule.ground_rules(self.vocabulary)
+        self._cache[rule] = expansion
+        return expansion
+
+    def range_of(self, policy: Policy | Iterable[Rule]) -> Range:
+        """Compute ``Range_P`` for a policy or bare rule iterable."""
+        rules: set[Rule] = set()
+        for rule in policy:
+            rules.update(self.ground_rules(rule))
+        return Range(rules)
+
+    def clear(self) -> None:
+        """Drop the memo table (needed after vocabulary mutation)."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def policy_range(policy: Policy | Iterable[Rule], vocabulary: Vocabulary) -> Range:
+    """One-shot ``getRange(P, V)`` from Algorithms 1 and 6.
+
+    Builds a throwaway :class:`Grounder`; callers computing many ranges over
+    the same vocabulary should hold their own grounder instead.
+    """
+    return Grounder(vocabulary).range_of(policy)

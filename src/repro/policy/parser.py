@@ -1,0 +1,132 @@
+"""A small text DSL for authoring policy rules.
+
+Privacy officers in the paper's workflow enter rules through the HDB
+Control Center; this module provides the textual front-end for that role.
+Two statement forms are accepted, one per line:
+
+Sentence form (the common case)::
+
+    ALLOW nurse TO USE medical_records FOR treatment
+
+which produces ``{(data, medical_records) ^ (purpose, treatment) ^
+(authorized, nurse)}``.  ``USE``, ``ACCESS``, ``READ`` and ``DISCLOSE``
+are interchangeable verbs.
+
+Generic form (for arbitrary attributes)::
+
+    RULE data=referral, purpose=registration, authorized=nurse
+
+Blank lines are skipped and ``#`` starts a comment (full-line or trailing).
+Values containing spaces may be quoted: ``ALLOW "billing clerk" TO ...``.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.errors import PolicyParseError
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+from repro.policy.ruleterm import RuleTerm
+
+#: Verbs accepted between ``TO`` and the data value in sentence form.
+VERBS = frozenset({"use", "access", "read", "disclose"})
+
+
+def parse_rule(text: str, line: int | None = None) -> Rule:
+    """Parse a single rule statement; raises :class:`PolicyParseError`."""
+    try:
+        tokens = shlex.split(text, comments=True)
+    except ValueError as exc:
+        raise PolicyParseError(f"unbalanced quoting: {exc}", line) from exc
+    if not tokens:
+        raise PolicyParseError("empty rule statement", line)
+    head = tokens[0].lower()
+    if head == "allow":
+        return _parse_sentence(tokens, line)
+    if head == "rule":
+        return _parse_generic(tokens[1:], line)
+    if "=" in text:
+        return _parse_generic(tokens, line)
+    raise PolicyParseError(
+        f"expected a statement starting with ALLOW or RULE, got {tokens[0]!r}", line
+    )
+
+
+def _parse_sentence(tokens: list[str], line: int | None) -> Rule:
+    """Parse ``ALLOW <role> TO <verb> <data> FOR <purpose>``."""
+    if len(tokens) != 7:
+        raise PolicyParseError(
+            "sentence form is 'ALLOW <role> TO <verb> <data> FOR <purpose>' "
+            f"(7 tokens), got {len(tokens)}",
+            line,
+        )
+    _, role, to_kw, verb, data, for_kw, purpose = tokens
+    if to_kw.lower() != "to":
+        raise PolicyParseError(f"expected 'TO' after the role, got {to_kw!r}", line)
+    if verb.lower() not in VERBS:
+        raise PolicyParseError(
+            f"unknown verb {verb!r}; expected one of {sorted(VERBS)}", line
+        )
+    if for_kw.lower() != "for":
+        raise PolicyParseError(f"expected 'FOR' before the purpose, got {for_kw!r}", line)
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+def _parse_generic(tokens: list[str], line: int | None) -> Rule:
+    """Parse ``attr=value, attr=value, ...`` after an optional RULE head."""
+    joined = " ".join(tokens)
+    pairs: list[tuple[str, str]] = []
+    for chunk in joined.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        attr, sep, value = chunk.partition("=")
+        if not sep or not attr.strip() or not value.strip():
+            raise PolicyParseError(f"expected attr=value, got {chunk!r}", line)
+        pairs.append((attr.strip(), value.strip()))
+    if not pairs:
+        raise PolicyParseError("generic rule statement carries no assignments", line)
+    return Rule(tuple(RuleTerm(attr, value) for attr, value in pairs))
+
+
+def parse_policy(
+    text: str,
+    source: PolicySource | str = PolicySource.POLICY_STORE,
+    name: str | None = None,
+) -> Policy:
+    """Parse a multi-line policy document into a :class:`Policy`.
+
+    Lines that are blank or pure comments are skipped; any other line must
+    parse as a rule statement.
+    """
+    rules: list[Rule] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped, line=number))
+    return Policy(rules, source=source, name=name)
+
+
+def format_rule(rule: Rule) -> str:
+    """Render ``rule`` back into DSL text.
+
+    Rules over exactly ``{data, purpose, authorized}`` render in sentence
+    form; anything else uses the generic form.  ``parse_rule(format_rule(r))
+    == r`` holds for every rule.
+    """
+    by_attr = {term.attr: term.value for term in rule.terms}
+    if set(by_attr) == {"data", "purpose", "authorized"} and rule.cardinality == 3:
+        return (
+            f"ALLOW {by_attr['authorized']} TO USE {by_attr['data']} "
+            f"FOR {by_attr['purpose']}"
+        )
+    inner = ", ".join(f"{term.attr}={term.value}" for term in rule.terms)
+    return f"RULE {inner}"
+
+
+def format_policy(policy: Policy) -> str:
+    """Render every rule of ``policy`` as DSL text, one per line."""
+    header = f"# policy {policy.name} (source={policy.source.value})"
+    return "\n".join([header, *(format_rule(rule) for rule in policy)])

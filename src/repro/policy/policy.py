@@ -1,0 +1,126 @@
+"""Policies — Definition 7 of the paper.
+
+A :class:`Policy` is an ordered collection of rules symbolically tied to a
+data store: the policy store (``P_PS``, the organisation's *ideal* workflow)
+or the audit logs (``P_AL``, the *real* workflow).  The tie is recorded in
+:attr:`Policy.source` and is purely descriptive — both kinds of policy
+support the same operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from enum import Enum
+
+from repro.errors import PolicyError
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+
+class PolicySource(str, Enum):
+    """Where a policy's rules come from (Definition 7's subscript)."""
+
+    POLICY_STORE = "PS"
+    AUDIT_LOG = "AL"
+    DERIVED = "derived"
+
+
+class Policy:
+    """A collection of rules tied to a data store (Definition 7).
+
+    The paper's ``P_x = R_x^1, …, R_x^m`` is an ordered sequence, and the
+    worked example in Section 5 counts duplicate audit entries separately,
+    so a :class:`Policy` preserves duplicates and order.  Set semantics
+    appear at the :class:`~repro.policy.grounding.Range` level instead.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        source: PolicySource | str = PolicySource.DERIVED,
+        name: str | None = None,
+    ) -> None:
+        self._rules: list[Rule] = list(rules)
+        self.source = PolicySource(source)
+        self.name = name or f"P_{self.source.value}"
+        for rule in self._rules:
+            if not isinstance(rule, Rule):
+                raise PolicyError(f"policies hold Rule objects, got {rule!r}")
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self._rules[index]
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._rules
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Policy):
+            return NotImplemented
+        return self._rules == other._rules and self.source == other.source
+
+    def __hash__(self) -> int:  # policies are mutable-ish; hash by identity
+        return id(self)
+
+    @property
+    def cardinality(self) -> int:
+        """The paper's ``#P`` — number of rules, duplicates included."""
+        return len(self._rules)
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """An immutable snapshot of the rules."""
+        return tuple(self._rules)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, rule: Rule) -> None:
+        """Append ``rule`` to the policy."""
+        if not isinstance(rule, Rule):
+            raise PolicyError(f"policies hold Rule objects, got {rule!r}")
+        self._rules.append(rule)
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        """Append every rule in ``rules``."""
+        for rule in rules:
+            self.add(rule)
+
+    # ------------------------------------------------------------------
+    # ground / composite (Corollary 2)
+    # ------------------------------------------------------------------
+    def is_ground(self, vocabulary: Vocabulary) -> bool:
+        """True iff every rule is ground under ``vocabulary``."""
+        return all(rule.is_ground(vocabulary) for rule in self._rules)
+
+    def ground_rules(self, vocabulary: Vocabulary) -> tuple[Rule, ...]:
+        """All ground rules derivable from this policy, duplicates removed.
+
+        This is the paper's ``P'_x`` set.  Order follows first derivation.
+        """
+        seen: dict[Rule, None] = {}
+        for rule in self._rules:
+            for ground in rule.ground_rules(vocabulary):
+                seen.setdefault(ground, None)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def distinct(self) -> "Policy":
+        """Return a copy with duplicate rules removed (order preserved)."""
+        seen: dict[Rule, None] = {}
+        for rule in self._rules:
+            seen.setdefault(rule, None)
+        return Policy(seen, source=self.source, name=self.name)
+
+    def __repr__(self) -> str:
+        return f"Policy(name={self.name!r}, rules={len(self._rules)})"

@@ -1,0 +1,156 @@
+"""Rules — Definitions 5 and 6 of the paper.
+
+A :class:`Rule` is a conjunction of :class:`~repro.policy.ruleterm.RuleTerm`
+objects, modelling one policy statement such as *"nurses are authorized to
+see insurance information for billing purposes"*::
+
+    Rule.of(data="insurance", purpose="billing", authorized="nurse")
+
+Rules are immutable and stored in a canonical order (sorted by attribute,
+then value), so two ground rules with the same terms compare equal and hash
+equal — exactly the equivalence that Definition 6 induces on ground rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import PolicyError
+from repro.policy.ruleterm import RuleTerm
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A conjunction of rule terms (Definition 5).
+
+    ``cardinality`` (the paper's ``#R``) is the number of terms.  The terms
+    are canonically sorted at construction time; duplicate terms collapse.
+    """
+
+    terms: tuple[RuleTerm, ...] = field()
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise PolicyError("a rule must contain at least one term (Definition 5)")
+        unique = sorted(set(self.terms), key=lambda t: (t.attr, t.value))
+        object.__setattr__(self, "terms", tuple(unique))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, **assignments: str) -> "Rule":
+        """Build a rule from keyword attribute assignments.
+
+        >>> Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        Rule(data=referral, purpose=treatment, authorized=nurse)
+        """
+        if not assignments:
+            raise PolicyError("Rule.of requires at least one attribute assignment")
+        return cls(tuple(RuleTerm(attr, value) for attr, value in assignments.items()))
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[str, str]] | tuple[tuple[str, str], ...]) -> "Rule":
+        """Build a rule from ``(attr, value)`` pairs."""
+        return cls(tuple(RuleTerm(attr, value) for attr, value in pairs))
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def cardinality(self) -> int:
+        """The paper's ``#R`` — number of conjoined terms."""
+        return len(self.terms)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attributes mentioned by this rule, in canonical order."""
+        return tuple(term.attr for term in self.terms)
+
+    def value_of(self, attr: str) -> str | None:
+        """Return the value assigned to ``attr``, or ``None`` if absent.
+
+        When a rule carries several terms on the same attribute the first
+        (canonically smallest) value is returned.
+        """
+        for term in self.terms:
+            if term.attr == attr:
+                return term.value
+        return None
+
+    def project(self, attributes: tuple[str, ...] | list[str]) -> "Rule":
+        """Return the sub-rule restricted to ``attributes``.
+
+        Raises :class:`PolicyError` when the projection would be empty.
+        """
+        wanted = {attr.lower() for attr in attributes}
+        kept = tuple(term for term in self.terms if term.attr in wanted)
+        if not kept:
+            raise PolicyError(
+                f"projection onto {sorted(wanted)} leaves rule {self} empty"
+            )
+        return Rule(kept)
+
+    # ------------------------------------------------------------------
+    # ground / composite (Corollary 1)
+    # ------------------------------------------------------------------
+    def is_ground(self, vocabulary: Vocabulary) -> bool:
+        """True iff every term is ground under ``vocabulary``."""
+        return all(term.is_ground(vocabulary) for term in self.terms)
+
+    def ground_rules(self, vocabulary: Vocabulary) -> tuple["Rule", ...]:
+        """Return every ground rule derivable from this rule.
+
+        The ground rules are the cartesian product of each term's ground
+        set, realising Corollary 1 (every rule has at least one ground
+        counterpart).  A rule with terms expanding to ``a`` and ``b`` ground
+        values therefore yields ``a * b`` ground rules.
+        """
+        expansions = [term.ground_terms(vocabulary) for term in self.terms]
+        return tuple(Rule(combo) for combo in itertools.product(*expansions))
+
+    # ------------------------------------------------------------------
+    # equivalence and matching (Definition 6)
+    # ------------------------------------------------------------------
+    def equivalent(self, other: "Rule", vocabulary: Vocabulary) -> bool:
+        """Definition 6 equivalence.
+
+        Two rules are equivalent when they have the same cardinality and
+        every term of one has an equivalent term in the other.  For ground
+        rules this coincides with plain equality (``==``); for composite
+        rules it is an *overlap* relation, which is how the paper uses it
+        when intersecting ranges.
+        """
+        if self.cardinality != other.cardinality:
+            return False
+        return all(
+            any(mine.equivalent(theirs, vocabulary) for theirs in other.terms)
+            for mine in self.terms
+        ) and all(
+            any(theirs.equivalent(mine, vocabulary) for mine in self.terms)
+            for theirs in other.terms
+        )
+
+    def covers(self, ground_rule: "Rule", vocabulary: Vocabulary) -> bool:
+        """True iff ``ground_rule`` lies in this rule's ground set.
+
+        Used by gap analysis and enforcement to answer "does this policy
+        statement authorise this concrete access?" without materialising
+        the whole ground set.
+        """
+        if self.cardinality != ground_rule.cardinality:
+            return False
+        return all(
+            any(mine.subsumes(theirs, vocabulary) for mine in self.terms)
+            for theirs in ground_rule.terms
+        )
+
+    def __str__(self) -> str:
+        inner = " ^ ".join(str(term) for term in self.terms)
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t.attr}={t.value}" for t in self.terms)
+        return f"Rule({inner})"

@@ -1,0 +1,84 @@
+"""RuleTerms — Definitions 1–4 of the paper.
+
+A :class:`RuleTerm` is the fundamental policy construct: a pair of an
+attribute and a value, written ``(attr, value)`` in the paper.  Whether a
+term is *ground* (atomic) or *composite* (expandable) is not a property of
+the term itself but of the term **relative to a vocabulary**, so the ground
+tests and expansions here all take the vocabulary as a parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+from repro.vocab.tree import canonical
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class RuleTerm:
+    """An attribute assignment in a policy rule (Definition 1).
+
+    Both elements are canonicalised on construction so that term equality is
+    insensitive to case and whitespace: ``RuleTerm("Data", "Birth Date") ==
+    RuleTerm("data", "birth_date")``.
+    """
+
+    attr: str
+    value: str
+
+    def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "attr", canonical(self.attr))
+            object.__setattr__(self, "value", canonical(self.value))
+        except Exception as exc:
+            raise PolicyError(f"invalid rule term ({self.attr!r}, {self.value!r}): {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # ground / composite (Definitions 2 and 3)
+    # ------------------------------------------------------------------
+    def is_ground(self, vocabulary: Vocabulary) -> bool:
+        """True iff this term's value is atomic under ``vocabulary``."""
+        return vocabulary.is_ground(self.attr, self.value)
+
+    def ground_terms(self, vocabulary: Vocabulary) -> tuple["RuleTerm", ...]:
+        """Return the ground terms derivable from this term (Definition 3).
+
+        The result is never empty: a ground term derives itself.  This is
+        the paper's "existence of ground RuleTerm" guarantee.
+        """
+        return tuple(
+            RuleTerm(self.attr, value)
+            for value in vocabulary.ground_values(self.attr, self.value)
+        )
+
+    # ------------------------------------------------------------------
+    # equivalence (Definition 4)
+    # ------------------------------------------------------------------
+    def equivalent(self, other: "RuleTerm", vocabulary: Vocabulary) -> bool:
+        """True iff the two terms share at least one ground term.
+
+        This is the paper's Definition 4: two terms are equivalent when a
+        ground term exists in both of their ground sets with equal attribute
+        and value.  Terms on different attributes are never equivalent.
+        """
+        if self.attr != other.attr:
+            return False
+        if self.value == other.value:
+            return True
+        return vocabulary.overlap(self.attr, self.value, other.value)
+
+    def subsumes(self, other: "RuleTerm", vocabulary: Vocabulary) -> bool:
+        """True iff this term's ground set contains all of ``other``'s.
+
+        Not part of the paper's definitions but needed by gap analysis and
+        enforcement: a grant on ``(data, demographic)`` subsumes a request
+        for ``(data, address)``.
+        """
+        if self.attr != other.attr:
+            return False
+        return vocabulary.subsumes(self.attr, self.value, other.value)
+
+    def __str__(self) -> str:
+        return f"({self.attr}, {self.value})"

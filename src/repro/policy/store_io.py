@@ -1,0 +1,41 @@
+"""JSON persistence for policy stores.
+
+The store is the organisation's governing privacy artifact, so it needs a
+durable, reviewable on-disk form.  The format wraps
+:meth:`PolicyStore.to_dict` — rules appear as policy-DSL strings, keeping
+the file diff-able in code review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import PolicyError
+from repro.policy.store import PolicyStore
+
+
+def dumps(store: PolicyStore, indent: int | None = 2) -> str:
+    """Serialise ``store`` (records, history, revision) to JSON text."""
+    return json.dumps(store.to_dict(), indent=indent)
+
+
+def loads(text: str) -> PolicyStore:
+    """Parse a store from JSON text."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PolicyError(f"invalid policy store JSON: {exc}") from exc
+    return PolicyStore.from_dict(payload)
+
+
+def save(store: PolicyStore, path: str | Path) -> Path:
+    """Write ``store`` to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(dumps(store), encoding="utf-8")
+    return target
+
+
+def load(path: str | Path) -> PolicyStore:
+    """Read a store previously written by :func:`save`."""
+    return loads(Path(path).read_text(encoding="utf-8"))

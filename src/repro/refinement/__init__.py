@@ -1,0 +1,53 @@
+"""The PRIMA policy refinement pipeline (Section 4.3, Algorithms 2–6).
+
+Public surface:
+
+- :func:`~repro.refinement.engine.refine` — Algorithm 2 in one call.
+- :func:`~repro.refinement.filtering.filter_practice` — Algorithm 3.
+- :func:`~repro.refinement.extract.extract_patterns` — Algorithm 4.
+- :func:`~repro.refinement.prune.prune_patterns` — Algorithm 6.
+- :class:`~repro.refinement.review.ReviewQueue` and the automated
+  :class:`ReviewPolicy` implementations.
+- :class:`~repro.refinement.loop.RefinementLoop` — the closed loop.
+"""
+
+from repro.refinement.engine import RefinementConfig, RefinementResult, refine
+from repro.refinement.extract import extract_patterns
+from repro.refinement.filtering import filter_practice
+from repro.refinement.loop import (
+    ClinicalEnvironment,
+    LoopResult,
+    RefinementLoop,
+    RoundReport,
+)
+from repro.refinement.prune import PruneResult, prune_patterns
+from repro.refinement.review import (
+    AcceptAll,
+    Decision,
+    RejectAll,
+    ReviewItem,
+    ReviewPolicy,
+    ReviewQueue,
+    ThresholdReview,
+)
+
+__all__ = [
+    "AcceptAll",
+    "ClinicalEnvironment",
+    "Decision",
+    "LoopResult",
+    "PruneResult",
+    "RefinementConfig",
+    "RefinementLoop",
+    "RefinementResult",
+    "RejectAll",
+    "ReviewItem",
+    "ReviewPolicy",
+    "ReviewQueue",
+    "RoundReport",
+    "ThresholdReview",
+    "extract_patterns",
+    "filter_practice",
+    "prune_patterns",
+    "refine",
+]

@@ -1,0 +1,117 @@
+"""Algorithm 2: ``Refinement`` — the whole pipeline in one call.
+
+``refine`` wires Filter → extractPatterns → Prune exactly as the paper's
+pseudocode does, and additionally reports the coverage of the store over
+the log before refinement (both semantics — see
+:mod:`repro.coverage.engine`), since that is the number the architecture
+is trying to move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.classify import ClassifierConfig
+from repro.audit.log import AuditLog
+from repro.coverage.engine import (
+    CoverageReport,
+    EntryCoverageReport,
+    compute_coverage,
+    compute_entry_coverage,
+)
+from repro.errors import RefinementError
+from repro.mining.patterns import MiningConfig, Pattern, PatternMiner
+from repro.policy.grounding import Grounder
+from repro.policy.policy import Policy
+from repro.refinement.extract import extract_patterns
+from repro.refinement.filtering import filter_practice
+from repro.refinement.prune import PruneResult, prune_patterns
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class RefinementConfig:
+    """Everything tunable about one refinement run.
+
+    ``mining`` carries the Algorithm 4 parameters.  ``include_denied`` and
+    ``exclude_suspected_violations`` control Algorithm 3's filtering (see
+    :func:`~repro.refinement.filtering.filter_practice`).
+    """
+
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    miner: PatternMiner | None = None
+    include_denied: bool = False
+    exclude_suspected_violations: bool = False
+    classifier: ClassifierConfig | None = None
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Everything one refinement run produced."""
+
+    practice: AuditLog
+    patterns: tuple[Pattern, ...]
+    useful_patterns: tuple[Pattern, ...]
+    pruned_patterns: tuple[Pattern, ...]
+    coverage: CoverageReport
+    entry_coverage: EntryCoverageReport
+
+    @property
+    def candidate_rules(self) -> tuple:
+        """The rules the stakeholders are asked to consider."""
+        return tuple(pattern.rule for pattern in self.useful_patterns)
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        lines = [
+            f"practice entries : {len(self.practice)}",
+            f"coverage (set)   : {self.coverage.ratio:.1%}",
+            f"coverage (entry) : {self.entry_coverage.ratio:.1%}",
+            f"patterns mined   : {len(self.patterns)}",
+            f"patterns useful  : {len(self.useful_patterns)}",
+        ]
+        lines.extend(f"  candidate: {pattern}" for pattern in self.useful_patterns)
+        return "\n".join(lines)
+
+
+def refine(
+    policy_store: Policy,
+    audit_log: AuditLog,
+    vocabulary: Vocabulary,
+    config: RefinementConfig | None = None,
+) -> RefinementResult:
+    """Algorithm 2: mine the audit log for rules the policy should gain.
+
+    Parameters mirror the paper's ``Refinement(P_PS, P_AL, V)``; the
+    result's :attr:`~RefinementResult.useful_patterns` is the paper's
+    ``usefulPatterns`` return value, with evidence attached.
+    """
+    cfg = config or RefinementConfig()
+    if len(audit_log) == 0:
+        raise RefinementError("cannot refine against an empty audit log")
+
+    grounder = Grounder(vocabulary)
+    audit_policy = audit_log.to_policy(cfg.mining.attributes)
+    coverage = compute_coverage(policy_store, audit_policy, vocabulary, grounder)
+    entry_coverage = compute_entry_coverage(
+        policy_store, iter(audit_policy), vocabulary, grounder
+    )
+
+    practice = filter_practice(
+        audit_log,
+        include_denied=cfg.include_denied,
+        exclude_suspected_violations=cfg.exclude_suspected_violations,
+        classifier_config=cfg.classifier,
+    )
+    patterns = extract_patterns(practice, cfg.mining, cfg.miner)
+    prune_result: PruneResult = prune_patterns(
+        patterns, policy_store, vocabulary, grounder
+    )
+    return RefinementResult(
+        practice=practice,
+        patterns=patterns,
+        useful_patterns=prune_result.useful,
+        pruned_patterns=prune_result.pruned,
+        coverage=coverage,
+        entry_coverage=entry_coverage,
+    )

@@ -1,0 +1,31 @@
+"""Algorithm 4: ``extractPatterns`` — run the pluggable miner.
+
+The printed algorithm fixes the analysis inputs (``A`` = audit-schema
+attributes, ``f`` = 5, ``c`` = more than one distinct user) and delegates
+to ``dataAnalysis``.  Here the inputs live in
+:class:`~repro.mining.patterns.MiningConfig` (same defaults) and the
+back-end is any :class:`~repro.mining.patterns.PatternMiner` — the SQL
+miner by default, the Apriori miner as the paper's proposed upgrade.
+"""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.mining.patterns import MiningConfig, Pattern, PatternMiner
+from repro.mining.sql_patterns import SqlPatternMiner
+
+
+def extract_patterns(
+    practice: AuditLog,
+    config: MiningConfig | None = None,
+    miner: PatternMiner | None = None,
+) -> tuple[Pattern, ...]:
+    """Mine candidate rules from the practice log.
+
+    Parameters default to the paper's Algorithm 4 settings: attributes
+    ``(data, purpose, authorized)``, ``f = 5`` (inclusive), distinct
+    users ``> 1``, SQL GROUP BY analysis.
+    """
+    chosen_config = config or MiningConfig()
+    chosen_miner = miner if miner is not None else SqlPatternMiner()
+    return chosen_miner.mine(practice, chosen_config)

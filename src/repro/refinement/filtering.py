@@ -1,0 +1,49 @@
+"""Algorithm 3: ``Filter`` — isolate the practice entries.
+
+The printed algorithm keeps every rule whose ``status`` is 0, i.e. the
+exception-based accesses.  Its *Require* clause, however, says Filter
+"returns the non-prohibitions", and Section 4.2 insists violations and
+informal practice must be differentiated.  This implementation therefore:
+
+- keeps allowed exception accesses (``op = 1``, ``status = 0``) — the
+  paper's practice set;
+- drops denied requests (``op = 0``) by default, since a prohibition the
+  enforcement layer already stopped is not candidate practice
+  (``include_denied=True`` restores the literal printed behaviour, which
+  ignores ``op``);
+- optionally routes entries through the Section 4.2 violation classifier
+  first (``exclude_suspected_violations=True``), so suspected break-in
+  attempts never reach the miner.
+"""
+
+from __future__ import annotations
+
+from repro.audit.classify import ClassifierConfig, classify_exceptions
+from repro.audit.log import AuditLog
+
+
+def filter_practice(
+    log: AuditLog,
+    include_denied: bool = False,
+    exclude_suspected_violations: bool = False,
+    classifier_config: ClassifierConfig | None = None,
+) -> AuditLog:
+    """Return the practice subset of ``log`` (the paper's ``Practice[]``)."""
+    if include_denied:
+        practice = log.where(lambda entry: entry.is_exception)
+    else:
+        practice = log.exceptions()
+    if exclude_suspected_violations:
+        report = classify_exceptions(log, classifier_config)
+        # The classifier's verdict is a function of the entry's lifted rule
+        # (support, distinct users and regular echo are rule-level), so
+        # excluding by rule drops exactly the suspected entries.
+        suspected_rules = {
+            item.entry.to_rule()
+            for item in report.classified
+            if item.verdict == "violation" and item.entry.is_allowed
+        }
+        practice = practice.where(
+            lambda entry: entry.to_rule() not in suspected_rules
+        )
+    return AuditLog(practice, name=f"{log.name}.practice")

@@ -1,0 +1,153 @@
+"""The closed refinement loop (Figure 2's process, made executable).
+
+The paper describes refinement as ongoing: run the system, collect audit
+entries, refine "at regular intervals or at the request of the
+stakeholders", fold accepted rules back in, repeat.  :class:`RefinementLoop`
+drives that cycle against any traffic source implementing
+:class:`ClinicalEnvironment` (the synthetic hospital in
+:mod:`repro.workload` is the main one) and records a
+:class:`RoundReport` per round — the data series behind experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.audit.log import AuditLog
+from repro.coverage.engine import compute_coverage, compute_entry_coverage
+from repro.errors import RefinementError
+from repro.policy.grounding import Grounder
+from repro.policy.store import PolicyStore
+from repro.refinement.engine import RefinementConfig, RefinementResult, refine
+from repro.refinement.review import ReviewPolicy
+from repro.vocab.vocabulary import Vocabulary
+
+
+class ClinicalEnvironment(Protocol):
+    """A traffic source the loop can drive.
+
+    Each call simulates one interval of clinical operation under the
+    *current* policy store (enforcement consults it live, so freshly
+    accepted rules immediately reduce exception traffic) and returns the
+    audit entries generated during the interval.
+    """
+
+    def simulate_round(self, round_index: int, store: PolicyStore) -> AuditLog:
+        """Produce one interval of audit traffic under ``store``."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Metrics of one refinement round."""
+
+    round_index: int
+    entries: int
+    exception_rate: float
+    coverage_before: float
+    coverage_after: float
+    entry_coverage_before: float
+    entry_coverage_after: float
+    patterns_mined: int
+    patterns_useful: int
+    rules_accepted: int
+    store_size_after: int
+    refinement: RefinementResult
+
+
+@dataclass(frozen=True)
+class LoopResult:
+    """All rounds plus the final artifacts."""
+
+    rounds: tuple[RoundReport, ...]
+    store: PolicyStore
+    cumulative_log: AuditLog
+
+    def coverage_series(self) -> tuple[float, ...]:
+        """Set-coverage after each round (the E3 headline series)."""
+        return tuple(r.coverage_after for r in self.rounds)
+
+    def exception_rate_series(self) -> tuple[float, ...]:
+        """Break-the-glass rate per round."""
+        return tuple(r.exception_rate for r in self.rounds)
+
+
+class RefinementLoop:
+    """Run N rounds of operate → audit → refine → review → amend."""
+
+    def __init__(
+        self,
+        environment: ClinicalEnvironment,
+        store: PolicyStore,
+        vocabulary: Vocabulary,
+        review: ReviewPolicy,
+        config: RefinementConfig | None = None,
+        refine_on_cumulative: bool = True,
+    ) -> None:
+        self.environment = environment
+        self.store = store
+        self.vocabulary = vocabulary
+        self.review = review
+        self.config = config or RefinementConfig()
+        #: refine over everything seen so far (True) or only the latest
+        #: round's window (False) — the training-period choice the paper
+        #: leaves to the deploying organisation.
+        self.refine_on_cumulative = refine_on_cumulative
+
+    def run(self, rounds: int) -> LoopResult:
+        """Drive the loop for ``rounds`` intervals."""
+        if rounds < 1:
+            raise RefinementError(f"the loop needs at least one round, got {rounds}")
+        cumulative = AuditLog(name="cumulative")
+        reports: list[RoundReport] = []
+        for round_index in range(rounds):
+            window = self.environment.simulate_round(round_index, self.store)
+            if len(window) == 0:
+                raise RefinementError(
+                    f"environment produced no audit entries in round {round_index}"
+                )
+            cumulative.extend(window)
+            target = cumulative if self.refine_on_cumulative else window
+            result = refine(
+                self.store.policy(), target, self.vocabulary, self.config
+            )
+            accepted = 0
+            for pattern in result.useful_patterns:
+                if self.review.accept(pattern):
+                    accepted += self.store.add(
+                        pattern.rule,
+                        added_by="loop-review",
+                        origin="refinement",
+                        note=f"round={round_index}, support={pattern.support}",
+                    )
+            after = self._coverage_after(target)
+            reports.append(
+                RoundReport(
+                    round_index=round_index,
+                    entries=len(window),
+                    exception_rate=window.exception_rate(),
+                    coverage_before=result.coverage.ratio,
+                    coverage_after=after[0],
+                    entry_coverage_before=result.entry_coverage.ratio,
+                    entry_coverage_after=after[1],
+                    patterns_mined=len(result.patterns),
+                    patterns_useful=len(result.useful_patterns),
+                    rules_accepted=accepted,
+                    store_size_after=len(self.store),
+                    refinement=result,
+                )
+            )
+        return LoopResult(
+            rounds=tuple(reports), store=self.store, cumulative_log=cumulative
+        )
+
+    def _coverage_after(self, log: AuditLog) -> tuple[float, float]:
+        grounder = Grounder(self.vocabulary)
+        policy = self.store.policy()
+        audit_policy = log.to_policy(self.config.mining.attributes)
+        set_report = compute_coverage(policy, audit_policy, self.vocabulary, grounder)
+        entry_report = compute_entry_coverage(
+            policy, iter(audit_policy), self.vocabulary, grounder
+        )
+        return set_report.ratio, entry_report.ratio

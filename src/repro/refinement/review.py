@@ -1,0 +1,160 @@
+"""Human review of mined patterns.
+
+The paper is explicit that pruning is where automation stops: "human input
+is prudent at this stage to determine which patterns are actually good
+practice and which should be investigated or terminated."  This module
+models that stage twice over:
+
+- :class:`ReviewQueue` — the interactive artifact: mined patterns waiting
+  for a privacy officer's accept / reject / investigate decision, with an
+  auditable decision trail, and an ``apply`` step that pushes accepted
+  rules into the policy store.
+- :class:`ReviewPolicy` implementations — automated stand-ins used by the
+  closed-loop experiments (E3 runs accept-all against threshold-gated
+  review): :class:`AcceptAll`, :class:`ThresholdReview`,
+  :class:`RejectAll`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Protocol
+
+from repro.errors import RefinementError
+from repro.mining.patterns import Pattern
+from repro.policy.store import PolicyStore
+
+
+class Decision(str, Enum):
+    """Review outcomes a privacy officer can record."""
+
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    INVESTIGATE = "investigate"
+
+
+@dataclass
+class ReviewItem:
+    """One pattern awaiting (or past) review."""
+
+    pattern: Pattern
+    decision: Decision = Decision.PENDING
+    reviewer: str = ""
+    note: str = ""
+
+
+class ReviewQueue:
+    """An auditable review queue over mined patterns."""
+
+    def __init__(self, patterns: tuple[Pattern, ...] | list[Pattern] = ()) -> None:
+        self._items: list[ReviewItem] = [ReviewItem(p) for p in patterns]
+
+    def add(self, pattern: Pattern) -> ReviewItem:
+        """Queue one more pattern for review."""
+        item = ReviewItem(pattern)
+        self._items.append(item)
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[ReviewItem, ...]:
+        return tuple(self._items)
+
+    def pending(self) -> tuple[ReviewItem, ...]:
+        """Items still awaiting a decision."""
+        return tuple(i for i in self._items if i.decision is Decision.PENDING)
+
+    def _find_pending(self, pattern: Pattern) -> ReviewItem:
+        for item in self._items:
+            if item.pattern == pattern and item.decision is Decision.PENDING:
+                return item
+        raise RefinementError(f"no pending review item for pattern {pattern}")
+
+    def decide(
+        self, pattern: Pattern, decision: Decision, reviewer: str, note: str = ""
+    ) -> ReviewItem:
+        """Record a decision on a pending pattern."""
+        if decision is Decision.PENDING:
+            raise RefinementError("a review decision cannot be 'pending'")
+        item = self._find_pending(pattern)
+        item.decision = decision
+        item.reviewer = reviewer
+        item.note = note
+        return item
+
+    def accept(self, pattern: Pattern, reviewer: str, note: str = "") -> ReviewItem:
+        """Record an ACCEPTED decision."""
+        return self.decide(pattern, Decision.ACCEPTED, reviewer, note)
+
+    def reject(self, pattern: Pattern, reviewer: str, note: str = "") -> ReviewItem:
+        """Record a REJECTED decision."""
+        return self.decide(pattern, Decision.REJECTED, reviewer, note)
+
+    def investigate(self, pattern: Pattern, reviewer: str, note: str = "") -> ReviewItem:
+        """Flag a pattern for investigation (possible violation)."""
+        return self.decide(pattern, Decision.INVESTIGATE, reviewer, note)
+
+    def apply(self, store: PolicyStore) -> int:
+        """Push accepted patterns into ``store``; returns rules added.
+
+        Idempotent: rules already active in the store count as unchanged.
+        """
+        added = 0
+        for item in self._items:
+            if item.decision is Decision.ACCEPTED:
+                added += store.add(
+                    item.pattern.rule,
+                    added_by=item.reviewer or "review-queue",
+                    origin="refinement",
+                    note=item.note
+                    or f"support={item.pattern.support}, users={item.pattern.distinct_users}",
+                )
+        return added
+
+
+class ReviewPolicy(Protocol):
+    """Automated review used by the closed-loop driver."""
+
+    def accept(self, pattern: Pattern) -> bool:
+        """Decide whether to adopt one useful pattern."""
+        ...  # pragma: no cover - protocol
+
+
+class AcceptAll:
+    """Accept every useful pattern (the optimistic upper bound)."""
+
+    def accept(self, pattern: Pattern) -> bool:
+        """Always adopt."""
+        return True
+
+
+class RejectAll:
+    """Accept nothing (the no-refinement baseline)."""
+
+    def accept(self, pattern: Pattern) -> bool:
+        """Never adopt."""
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdReview:
+    """Accept patterns with enough independent evidence.
+
+    A simple model of a cautious privacy officer: beyond the miner's own
+    thresholds, demand ``min_support`` occurrences and ``min_distinct_users``
+    distinct staff members before codifying a practice.
+    """
+
+    min_support: int = 10
+    min_distinct_users: int = 3
+
+    def accept(self, pattern: Pattern) -> bool:
+        """Adopt only with enough support and distinct users."""
+        return (
+            pattern.support >= self.min_support
+            and pattern.distinct_users >= self.min_distinct_users
+        )

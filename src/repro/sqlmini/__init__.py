@@ -1,0 +1,48 @@
+"""sqlmini — the in-memory relational substrate.
+
+The paper's PRIMA instantiation sits on DB2 plus the Hippocratic Database
+middleware; this package is the offline stand-in.  It provides typed
+in-memory tables, a SQL subset (SELECT with WHERE / INNER JOIN / GROUP BY /
+HAVING / ORDER BY / LIMIT / DISTINCT / UNION ALL, plus CREATE TABLE,
+INSERT, UPDATE, DELETE), aggregates including ``COUNT(DISTINCT …)``, and
+read-only views — everything Algorithm 5's ``dataAnalysis`` query shape and
+the HDB middleware need.
+
+Public surface: :class:`Database`, :class:`ResultSet`, the schema types,
+and :func:`parse` for tooling that wants raw ASTs.
+"""
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import (
+    SqlCatalogError,
+    SqlError,
+    SqlExecutionError,
+    SqlLexError,
+    SqlParseError,
+    SqlPlanError,
+    SqlTypeError,
+)
+from repro.sqlmini.executor import ResultSet
+from repro.sqlmini.parser import parse, parse_expression
+from repro.sqlmini.schema import Column, TableSchema
+from repro.sqlmini.table import Table, ViewTable
+from repro.sqlmini.types import SqlType
+
+__all__ = [
+    "Column",
+    "Database",
+    "ResultSet",
+    "SqlCatalogError",
+    "SqlError",
+    "SqlExecutionError",
+    "SqlLexError",
+    "SqlParseError",
+    "SqlPlanError",
+    "SqlType",
+    "SqlTypeError",
+    "Table",
+    "TableSchema",
+    "ViewTable",
+    "parse",
+    "parse_expression",
+]

@@ -1,0 +1,175 @@
+"""Aggregate accumulators for the sqlmini engine.
+
+One accumulator instance exists per (group, aggregate call).  The executor
+feeds each accumulator the evaluated argument value for every row of its
+group and reads :meth:`Accumulator.result` at the end.
+
+SQL NULL semantics: every aggregate except ``COUNT(*)`` ignores NULL
+inputs; aggregates over zero non-NULL inputs yield NULL, except COUNT which
+yields 0.
+"""
+
+from __future__ import annotations
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+from repro.sqlmini.types import Value, compare
+
+
+class Accumulator:
+    """Base class; subclasses override :meth:`add` and :meth:`result`."""
+
+    def add(self, value: Value) -> None:  # pragma: no cover - interface
+        """Feed one evaluated argument value."""
+        raise NotImplementedError
+
+    def result(self) -> Value:  # pragma: no cover - interface
+        """The aggregate's final value for the group."""
+        raise NotImplementedError
+
+
+class CountAll(Accumulator):
+    """``COUNT(*)`` — counts rows, NULLs included."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: Value) -> None:
+        """Count the row regardless of value."""
+        self._count += 1
+
+    def result(self) -> Value:
+        """The row count."""
+        return self._count
+
+
+class Count(Accumulator):
+    """``COUNT(expr)`` / ``COUNT(DISTINCT expr)``."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._distinct = distinct
+        self._count = 0
+        self._seen: set[Value] = set()
+
+    def add(self, value: Value) -> None:
+        """Count non-NULL values (distinct-aware)."""
+        if value is None:
+            return
+        if self._distinct:
+            self._seen.add(value)
+        else:
+            self._count += 1
+
+    def result(self) -> Value:
+        """The non-NULL (or distinct) value count."""
+        return len(self._seen) if self._distinct else self._count
+
+
+class Sum(Accumulator):
+    """``SUM(expr)`` / ``SUM(DISTINCT expr)``."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._distinct = distinct
+        self._seen: set[Value] = set()
+        self._total: int | float = 0
+        self._any = False
+
+    def add(self, value: Value) -> None:
+        """Accumulate one non-NULL numeric value."""
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlExecutionError(f"SUM expects numbers, got {value!r}")
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total += value
+        self._any = True
+
+    def result(self) -> Value:
+        """The sum, or NULL when no value arrived."""
+        return self._total if self._any else None
+
+
+class Avg(Accumulator):
+    """``AVG(expr)`` / ``AVG(DISTINCT expr)``."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._distinct = distinct
+        self._seen: set[Value] = set()
+        self._total: int | float = 0
+        self._count = 0
+
+    def add(self, value: Value) -> None:
+        """Accumulate one non-NULL numeric value."""
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlExecutionError(f"AVG expects numbers, got {value!r}")
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total += value
+        self._count += 1
+
+    def result(self) -> Value:
+        """The mean, or NULL when no value arrived."""
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class Extreme(Accumulator):
+    """Shared implementation of MIN and MAX."""
+
+    def __init__(self, want_max: bool) -> None:
+        self._want_max = want_max
+        self._best: Value = None
+
+    def add(self, value: Value) -> None:
+        """Track the extreme of the non-NULL values seen."""
+        if value is None:
+            return
+        if self._best is None:
+            self._best = value
+            return
+        outcome = compare(value, self._best)
+        if outcome is None:
+            raise SqlExecutionError(
+                f"{'MAX' if self._want_max else 'MIN'} over incomparable values "
+                f"({value!r} vs {self._best!r})"
+            )
+        if (outcome > 0) == self._want_max and outcome != 0:
+            self._best = value
+
+    def result(self) -> Value:
+        """The extreme value, or NULL when no value arrived."""
+        return self._best
+
+
+def make_accumulator(call: ast.FuncCall) -> Accumulator:
+    """Build the accumulator for one aggregate call; validates arity."""
+    name = call.name
+    if name not in ast.AGGREGATE_FUNCTIONS:
+        raise SqlPlanError(f"{name.upper()} is not an aggregate function")
+    if name == "count":
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            if call.distinct:
+                raise SqlPlanError("COUNT(DISTINCT *) is not valid")
+            return CountAll()
+        if len(call.args) != 1:
+            raise SqlPlanError("COUNT expects exactly one argument")
+        return Count(call.distinct)
+    if len(call.args) != 1 or isinstance(call.args[0], ast.Star):
+        raise SqlPlanError(f"{name.upper()} expects exactly one expression argument")
+    if name == "sum":
+        return Sum(call.distinct)
+    if name == "avg":
+        return Avg(call.distinct)
+    if name == "min":
+        return Extreme(want_max=False)
+    if name == "max":
+        return Extreme(want_max=True)
+    raise SqlPlanError(f"unhandled aggregate {name!r}")  # pragma: no cover

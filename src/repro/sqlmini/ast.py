@@ -1,0 +1,345 @@
+"""Abstract syntax for the sqlmini SQL dialect.
+
+Expression and statement nodes are frozen dataclasses; the planner and
+rewriters (notably HDB Active Enforcement, which rewrites WHERE clauses)
+build new trees instead of mutating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.sqlmini.types import Value
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    value: Value
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    """``*`` in a select list or ``COUNT(*)``."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp:
+    op: str  # =, <>, <, <=, >, >=, +, -, *, /, %, AND, OR, LIKE
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp:
+    op: str  # NOT, -
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    operand: "Expression"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {suffix})"
+
+
+@dataclass(frozen=True, slots=True)
+class InList:
+    operand: "Expression"
+    options: tuple["Expression", ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(str(option) for option in self.options)
+        return f"({self.operand} {keyword} ({inner}))"
+
+
+@dataclass(frozen=True, slots=True)
+class Between:
+    operand: "Expression"
+    low: "Expression"
+    high: "Expression"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand} {keyword} {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True, slots=True)
+class Case:
+    """Searched CASE: ``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: tuple[tuple["Expression", "Expression"], ...]
+    default: "Expression | None" = None
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.whens:
+            parts.append(f"WHEN {condition} THEN {value}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncCall:
+    name: str  # lower-cased
+    args: tuple["Expression", ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+Expression = Union[
+    Literal, ColumnRef, Star, BinaryOp, UnaryOp, IsNull, InList, Between,
+    FuncCall, Case,
+]
+
+#: Aggregate function names the engine understands.
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True iff ``expr`` contains an aggregate function call."""
+    return bool(collect_aggregates(expr))
+
+
+def collect_aggregates(expr: Expression) -> tuple[FuncCall, ...]:
+    """Return every aggregate :class:`FuncCall` inside ``expr`` (preorder)."""
+    found: list[FuncCall] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, FuncCall):
+            if node.name in AGGREGATE_FUNCTIONS:
+                found.append(node)
+                return  # nested aggregates are rejected at plan time
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, Case):
+            for condition, value in node.whens:
+                walk(condition)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return tuple(found)
+
+
+def collect_columns(expr: Expression) -> tuple[ColumnRef, ...]:
+    """Return every column reference inside ``expr`` (preorder)."""
+    found: list[ColumnRef] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            found.append(node)
+        elif isinstance(node, FuncCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for option in node.options:
+                walk(option)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, Case):
+            for condition, value in node.whens:
+                walk(condition)
+                walk(value)
+            if node.default is not None:
+                walk(node.default)
+
+    walk(expr)
+    return tuple(found)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    expr: Expression
+    alias: str | None = None
+
+    def output_name(self, position: int) -> str:
+        """The result-column name this item produces."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return f"col{position}"
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinClause:
+    table: str
+    alias: str | None
+    condition: Expression
+    outer: bool = False  # True for LEFT [OUTER] JOIN
+
+    def __str__(self) -> str:
+        name = f"{self.table} {self.alias}" if self.alias else self.table
+        keyword = "LEFT JOIN" if self.outer else "JOIN"
+        return f"{keyword} {name} ON {self.condition}"
+
+
+@dataclass(frozen=True, slots=True)
+class Select:
+    items: tuple[SelectItem, ...]
+    table: str
+    table_alias: str | None = None
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(item) for item in self.items))
+        parts.append(f"FROM {self.table}")
+        if self.table_alias:
+            parts.append(self.table_alias)
+        for join in self.joins:
+            parts.append(str(join))
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(e) for e in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class UnionAll:
+    """``<select> UNION ALL <select> [UNION ALL ...]``."""
+
+    selects: tuple[Select, ...]
+
+    def __str__(self) -> str:
+        return " UNION ALL ".join(str(select) for select in self.selects)
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty means "all, in schema order"
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    table: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+Statement = Union[Select, UnionAll, CreateTable, Insert, Delete, Update]

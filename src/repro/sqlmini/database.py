@@ -1,0 +1,118 @@
+"""The sqlmini catalog: named tables, views, and a SQL entry point.
+
+:class:`Database` is the object application code holds.  It owns the
+tables, hands out an :class:`~repro.sqlmini.executor.Executor`, and offers
+``execute(sql)`` / ``query(sql)`` convenience wrappers that parse, bind and
+run in one call — the ``executeQuery(SQL)`` primitive the paper's
+Algorithm 5 requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlmini.executor import Executor, ResultSet
+from repro.sqlmini.parser import parse
+from repro.sqlmini.schema import Column, TableSchema
+from repro.sqlmini.table import Table, ViewTable
+from repro.sqlmini.types import SqlType, Value
+
+
+class Database:
+    """An in-memory relational database."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._tables: dict[str, Table | ViewTable] = {}
+        self._executor = Executor(self)
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a heap table from ``schema``; raises if the name is taken."""
+        if schema.name in self._tables:
+            raise SqlCatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def define_table(
+        self, name: str, columns: list[tuple[str, SqlType | str]] | list[tuple[str, SqlType | str, bool]]
+    ) -> Table:
+        """Create a table from ``(name, type[, nullable])`` tuples."""
+        cols = []
+        for spec in columns:
+            if len(spec) == 2:
+                col_name, col_type = spec  # type: ignore[misc]
+                nullable = True
+            else:
+                col_name, col_type, nullable = spec  # type: ignore[misc]
+            sql_type = col_type if isinstance(col_type, SqlType) else SqlType.parse(col_type)
+            cols.append(Column(col_name, sql_type, nullable))
+        return self.create_table(TableSchema(name, tuple(cols)))
+
+    def register_view(
+        self,
+        name: str,
+        schema_columns: tuple[Column, ...],
+        producer: Callable[[], Iterator[tuple[Value, ...]]],
+    ) -> ViewTable:
+        """Register a read-only virtual table backed by ``producer``."""
+        key = name.strip().lower()
+        if key in self._tables:
+            raise SqlCatalogError(f"table {key!r} already exists")
+        view = ViewTable(TableSchema(key, schema_columns), producer)
+        self._tables[key] = view
+        return view
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table or view from the catalog."""
+        key = name.strip().lower()
+        if key not in self._tables:
+            raise SqlCatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table | ViewTable:
+        """Resolve a table or view by name (case-insensitive)."""
+        key = name.strip().lower()
+        try:
+            return self._tables[key]
+        except KeyError:
+            raise SqlCatalogError(
+                f"table {name!r} does not exist "
+                f"(known: {', '.join(sorted(self._tables)) or 'none'})"
+            ) from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._tables
+
+    # ------------------------------------------------------------------
+    # SQL entry points
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ResultSet | int:
+        """Parse and run one statement; queries return a ResultSet."""
+        return self._executor.execute(parse(sql))
+
+    def query(self, sql: str) -> ResultSet:
+        """Run a statement that must be a query."""
+        statement = parse(sql)
+        if not isinstance(statement, (ast.Select, ast.UnionAll)):
+            raise SqlExecutionError("query() requires a SELECT statement")
+        result = self._executor.execute(statement)
+        assert isinstance(result, ResultSet)
+        return result
+
+    def execute_statement(self, statement: ast.Statement) -> ResultSet | int:
+        """Run an already-parsed statement (used by the enforcement layer,
+        which rewrites ASTs rather than SQL text)."""
+        return self._executor.execute(statement)
+
+    def __repr__(self) -> str:
+        return f"Database(name={self.name!r}, tables={len(self._tables)})"

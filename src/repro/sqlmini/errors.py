@@ -1,0 +1,46 @@
+"""Errors raised by the sqlmini relational engine.
+
+All engine errors derive from :class:`SqlError`, which itself derives from
+the library-wide :class:`~repro.errors.PrimaError`, so application code can
+catch either granularity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrimaError
+
+
+class SqlError(PrimaError):
+    """Base class for every sqlmini failure."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text could not be tokenised."""
+
+    def __init__(self, message: str, position: int) -> None:
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+class SqlParseError(SqlError):
+    """The token stream is not a valid statement."""
+
+
+class SqlCatalogError(SqlError):
+    """A table or column does not exist, or already exists."""
+
+
+class SqlTypeError(SqlError):
+    """A value does not fit the declared column type."""
+
+
+class SqlPlanError(SqlError):
+    """A statement is valid syntax but cannot be planned.
+
+    Examples: referencing a non-grouped column in an aggregate query, or
+    using an aggregate inside WHERE.
+    """
+
+
+class SqlExecutionError(SqlError):
+    """Runtime failure while executing a plan (e.g. division by zero)."""

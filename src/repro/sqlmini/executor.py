@@ -1,0 +1,364 @@
+"""Statement execution for the sqlmini engine.
+
+The executor consumes parsed statements, binds SELECTs through the planner,
+and produces :class:`ResultSet` objects (for queries) or affected-row
+counts (for DML/DDL).  Grouped queries use the replacement mechanism of
+:mod:`repro.sqlmini.expressions`: group keys and aggregate results are
+injected as node-level substitutions when select items, HAVING and ORDER BY
+are evaluated at group scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.sqlmini import ast
+from repro.sqlmini.aggregates import Accumulator, make_accumulator
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+from repro.sqlmini.expressions import evaluate, to_bool
+from repro.sqlmini.planner import BoundSelect, bind_select
+from repro.sqlmini.types import Value, sort_key
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Query output: named columns plus row tuples."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Value, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Value, ...]]:
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict[str, Value]]:
+        """Rows as column→value dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self) -> tuple[Value, ...] | None:
+        """The first row, or None when empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Value:
+        """The single value of a 1x1 result; raises otherwise."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Value]:
+        """All values of one output column."""
+        try:
+            position = self.columns.index(name.strip().lower())
+        except ValueError:
+            raise SqlExecutionError(
+                f"result has no column {name!r} (columns: {self.columns})"
+            ) from None
+        return [row[position] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Executor:
+    """Executes statements against a catalog (the Database)."""
+
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def execute(self, statement: ast.Statement) -> ResultSet | int:
+        """Run any statement; queries return a ResultSet, DML a count."""
+        if isinstance(statement, ast.Select):
+            return self.execute_select(statement)
+        if isinstance(statement, ast.UnionAll):
+            return self._execute_union(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        raise SqlPlanError(f"unsupported statement {statement!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def execute_select(self, select: ast.Select) -> ResultSet:
+        """Bind and run one SELECT."""
+        bound = bind_select(select, self._catalog)
+        if bound.aggregate_mode:
+            output_rows = self._grouped_rows(bound)
+        else:
+            output_rows = self._plain_rows(bound)
+        if select.distinct:
+            seen: dict[tuple[Value, ...], None] = {}
+            deduped: list[tuple[tuple[Value, ...], tuple]] = []
+            for row, key in output_rows:
+                if row not in seen:
+                    seen[row] = None
+                    deduped.append((row, key))
+            output_rows = deduped
+        if select.order_by:
+            output_rows.sort(key=lambda pair: pair[1])
+        rows = [row for row, _ in output_rows]
+        if select.limit is not None:
+            rows = rows[: select.limit]
+        return ResultSet(columns=bound.output_names, rows=tuple(rows))
+
+    def _input_envs(self, bound: BoundSelect) -> Iterator[dict[str, Value]]:
+        """Yield joined-row environments passing all join conditions.
+
+        Nested-loop join: each join condition is checked as soon as its
+        table's row is fixed (conditions may reference any earlier table),
+        so non-matching prefixes are pruned early.
+        """
+
+        def matches(bound_table, chosen: list[tuple[Value, ...]], depth: int) -> bool:
+            partial = bound.env_for(
+                tuple(chosen)
+                + tuple(
+                    (None,) * len(later.table.schema.columns)
+                    for later in bound.tables[depth + 1 :]
+                )
+            )
+            return to_bool(evaluate(bound_table.condition, partial)) is True
+
+        def combos(depth: int, chosen: list[tuple[Value, ...]]) -> Iterator[dict[str, Value]]:
+            if depth == len(bound.tables):
+                yield bound.env_for(tuple(chosen))
+                return
+            bound_table = bound.tables[depth]
+            matched_any = False
+            for row in bound_table.table.scan():
+                chosen.append(row)
+                if bound_table.condition is not None and not matches(
+                    bound_table, chosen, depth
+                ):
+                    chosen.pop()
+                    continue
+                matched_any = True
+                yield from combos(depth + 1, chosen)
+                chosen.pop()
+            if bound_table.outer and not matched_any:
+                # LEFT JOIN null extension: keep the left rows alive
+                chosen.append((None,) * len(bound_table.table.schema.columns))
+                yield from combos(depth + 1, chosen)
+                chosen.pop()
+
+        return combos(0, [])
+
+    def _filtered_envs(self, bound: BoundSelect) -> Iterator[dict[str, Value]]:
+        where = bound.select.where
+        for env in self._input_envs(bound):
+            if where is None or to_bool(evaluate(where, env)) is True:
+                yield env
+
+    def _plain_rows(
+        self, bound: BoundSelect
+    ) -> list[tuple[tuple[Value, ...], tuple]]:
+        """Project each filtered row; returns (output row, order key) pairs."""
+        select = bound.select
+        results: list[tuple[tuple[Value, ...], tuple]] = []
+        aliases = {
+            item.alias: item.expr
+            for item in select.items
+            if item.alias and not isinstance(item.expr, ast.Star)
+        }
+        for env in self._filtered_envs(bound):
+            values: list[Value] = []
+            for item in select.items:
+                if isinstance(item.expr, ast.Star):
+                    values.extend(env[f"{alias}.{name}"] for alias, name in bound.visible)
+                else:
+                    values.append(evaluate(item.expr, env))
+            order_env = dict(env)
+            for alias, expr in aliases.items():
+                order_env[alias] = evaluate(expr, env)
+            key = self._order_key(select, order_env, None)
+            results.append((tuple(values), key))
+        return results
+
+    def _grouped_rows(
+        self, bound: BoundSelect
+    ) -> list[tuple[tuple[Value, ...], tuple]]:
+        """Group filtered rows, accumulate aggregates, project per group."""
+        select = bound.select
+        group_exprs = select.group_by
+        groups: dict[tuple[Value, ...], list[Accumulator]] = {}
+        group_keys: dict[tuple[Value, ...], tuple[Value, ...]] = {}
+        for env in self._filtered_envs(bound):
+            key = tuple(evaluate(expr, env) for expr in group_exprs)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [make_accumulator(call) for call in bound.aggregates]
+                groups[key] = accumulators
+                group_keys[key] = key
+            for call, accumulator in zip(bound.aggregates, accumulators):
+                accumulator.add(self._aggregate_input(call, env))
+        if not group_exprs and not groups:
+            # global aggregate over zero rows still yields one output row
+            groups[()] = [make_accumulator(call) for call in bound.aggregates]
+        results: list[tuple[tuple[Value, ...], tuple]] = []
+        for key, accumulators in groups.items():
+            replacements: dict[ast.Expression, Value] = {}
+            for expr, value in zip(group_exprs, key):
+                replacements[expr] = value
+            for call, accumulator in zip(bound.aggregates, accumulators):
+                replacements[call] = accumulator.result()
+            if select.having is not None:
+                if to_bool(evaluate(select.having, {}, replacements)) is not True:
+                    continue
+            values = tuple(
+                evaluate(item.expr, {}, replacements) for item in select.items
+            )
+            alias_env = {
+                item.alias: value
+                for item, value in zip(select.items, values)
+                if item.alias
+            }
+            order_key = self._order_key(select, alias_env, replacements)
+            results.append((values, order_key))
+        return results
+
+    @staticmethod
+    def _aggregate_input(call: ast.FuncCall, env: dict[str, Value]) -> Value:
+        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
+            return 1  # COUNT(*): any non-informative marker
+        return evaluate(call.args[0], env)
+
+    @staticmethod
+    def _order_key(
+        select: ast.Select,
+        env: dict[str, Value],
+        replacements: dict[ast.Expression, Value] | None,
+    ) -> tuple:
+        key: list[tuple] = []
+        for order in select.order_by:
+            value = evaluate(order.expr, env, replacements)
+            base = sort_key(value)
+            if not order.ascending:
+                base = _invert_sort_key(base)
+            key.append(base)
+        return tuple(key)
+
+    # ------------------------------------------------------------------
+    # UNION ALL
+    # ------------------------------------------------------------------
+    def _execute_union(self, union: ast.UnionAll) -> ResultSet:
+        partials = [self.execute_select(select) for select in union.selects]
+        width = len(partials[0].columns)
+        for partial in partials[1:]:
+            if len(partial.columns) != width:
+                raise SqlPlanError(
+                    "UNION ALL arms have different column counts: "
+                    f"{width} vs {len(partial.columns)}"
+                )
+        rows = tuple(itertools.chain.from_iterable(p.rows for p in partials))
+        return ResultSet(columns=partials[0].columns, rows=rows)
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def _execute_create(self, create: ast.CreateTable) -> int:
+        from repro.sqlmini.schema import Column, TableSchema
+        from repro.sqlmini.types import SqlType
+
+        columns = tuple(
+            Column(col.name, SqlType.parse(col.type_name), nullable=not col.not_null)
+            for col in create.columns
+        )
+        self._catalog.create_table(TableSchema(create.table, columns))
+        return 0
+
+    def _execute_insert(self, insert: ast.Insert) -> int:
+        table = self._catalog.table(insert.table)
+        schema = table.schema
+        for row_exprs in insert.rows:
+            values = [self._constant(expr) for expr in row_exprs]
+            if insert.columns:
+                if len(values) != len(insert.columns):
+                    raise SqlPlanError(
+                        f"INSERT names {len(insert.columns)} columns but "
+                        f"provides {len(values)} values"
+                    )
+                table.insert(schema.row_from_mapping(dict(zip(insert.columns, values))))
+            else:
+                table.insert(values)
+        return len(insert.rows)
+
+    def _execute_delete(self, delete: ast.Delete) -> int:
+        table = self._catalog.table(delete.table)
+        schema = table.schema
+        where = delete.where
+
+        def matches(row: tuple[Value, ...]) -> bool:
+            if where is None:
+                return True
+            env = dict(zip(schema.column_names, row))
+            return to_bool(evaluate(where, env)) is True
+
+        return table.delete_where(matches)
+
+    def _execute_update(self, update: ast.Update) -> int:
+        table = self._catalog.table(update.table)
+        schema = table.schema
+        where = update.where
+        positions = [schema.position(name) for name, _ in update.assignments]
+        changed = 0
+        new_rows: list[tuple[Value, ...]] = []
+        for row in table.scan():
+            env = dict(zip(schema.column_names, row))
+            hit = where is None or to_bool(evaluate(where, env)) is True
+            if hit:
+                updated = list(row)
+                for position, (_, expr) in zip(positions, update.assignments):
+                    updated[position] = evaluate(expr, env)
+                new_rows.append(schema.validate_row(updated))
+                changed += 1
+            else:
+                new_rows.append(row)
+        if changed:
+            table.clear()
+            for row in new_rows:
+                table.insert(row)
+        return changed
+
+    @staticmethod
+    def _constant(expr: ast.Expression) -> Value:
+        """Evaluate a VALUES expression (no column references allowed)."""
+        return evaluate(expr, {})
+
+
+def _invert_sort_key(key: tuple) -> tuple:
+    """Invert a sort key for DESC ordering (NULLs sort last under DESC)."""
+    family, number, text = key
+    return (-family, -number if isinstance(number, (int, float)) else number, _InvertedText(text))
+
+
+class _InvertedText(str):
+    """A string wrapper with reversed ordering, for DESC text sorts."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__gt__(self, other)
+
+    def __gt__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__lt__(self, other)
+
+    def __le__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__ge__(self, other)
+
+    def __ge__(self, other: str) -> bool:  # type: ignore[override]
+        return str.__le__(self, other)

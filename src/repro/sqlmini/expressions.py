@@ -1,0 +1,233 @@
+"""Expression evaluation for the sqlmini engine.
+
+Evaluation is environment-based: an environment maps visible column names
+(bare and ``alias.column``-qualified) to values.  SQL three-valued logic is
+respected — comparisons against NULL yield ``None`` (unknown), ``AND``/
+``OR`` propagate unknowns per the SQL truth tables, and filters treat
+unknown as false.
+
+The evaluator also accepts a ``replacements`` mapping from expression nodes
+to precomputed values.  The executor uses this to inject aggregate results
+and group-key values when evaluating select items and HAVING clauses of
+grouped queries.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+from repro.sqlmini.functions import SCALAR_FUNCTIONS
+from repro.sqlmini.types import Value, compare
+
+Environment = Mapping[str, Value]
+Replacements = Mapping[ast.Expression, Value]
+
+_EMPTY: dict[ast.Expression, Value] = {}
+
+
+def evaluate(
+    expr: ast.Expression,
+    env: Environment,
+    replacements: Replacements | None = None,
+) -> Value:
+    """Evaluate ``expr`` against ``env``; returns a Python value or None."""
+    repl = _EMPTY if replacements is None else replacements
+    return _eval(expr, env, repl)
+
+
+def _eval(expr: ast.Expression, env: Environment, repl: Replacements) -> Value:
+    if repl and expr in repl:
+        return repl[expr]
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        return _column(expr, env)
+    if isinstance(expr, ast.BinaryOp):
+        return _binary(expr, env, repl)
+    if isinstance(expr, ast.UnaryOp):
+        return _unary(expr, env, repl)
+    if isinstance(expr, ast.IsNull):
+        value = _eval(expr.operand, env, repl)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, ast.InList):
+        return _in_list(expr, env, repl)
+    if isinstance(expr, ast.Between):
+        return _between(expr, env, repl)
+    if isinstance(expr, ast.FuncCall):
+        return _scalar_call(expr, env, repl)
+    if isinstance(expr, ast.Case):
+        for condition, value in expr.whens:
+            if to_bool(_eval(condition, env, repl)) is True:
+                return _eval(value, env, repl)
+        if expr.default is not None:
+            return _eval(expr.default, env, repl)
+        return None
+    if isinstance(expr, ast.Star):
+        raise SqlPlanError("'*' is only valid in a select list or COUNT(*)")
+    raise SqlExecutionError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
+
+
+def _column(ref: ast.ColumnRef, env: Environment) -> Value:
+    key = f"{ref.table}.{ref.name}" if ref.table else ref.name
+    if key in env:
+        return env[key]
+    raise SqlPlanError(f"unknown column {key!r}")
+
+
+def _binary(expr: ast.BinaryOp, env: Environment, repl: Replacements) -> Value:
+    op = expr.op
+    if op == "AND":
+        left = to_bool(_eval(expr.left, env, repl))
+        if left is False:
+            return False
+        right = to_bool(_eval(expr.right, env, repl))
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = to_bool(_eval(expr.left, env, repl))
+        if left is True:
+            return True
+        right = to_bool(_eval(expr.right, env, repl))
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = _eval(expr.left, env, repl)
+    right = _eval(expr.right, env, repl)
+    if op == "LIKE":
+        return _like(left, right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        outcome = compare(left, right)
+        if outcome is None:
+            return None
+        return {
+            "=": outcome == 0,
+            "<>": outcome != 0,
+            "<": outcome < 0,
+            "<=": outcome <= 0,
+            ">": outcome > 0,
+            ">=": outcome >= 0,
+        }[op]
+    return _arithmetic(op, left, right)
+
+
+def _arithmetic(op: str, left: Value, right: Value) -> Value:
+    if left is None or right is None:
+        return None
+    for side, value in (("left", left), ("right", right)):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlExecutionError(
+                f"arithmetic {op!r} needs numbers, {side} operand is {value!r}"
+            )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        result = left / right
+        return result
+    if op == "%":
+        if right == 0:
+            raise SqlExecutionError("modulo by zero")
+        return left % right
+    raise SqlExecutionError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def _unary(expr: ast.UnaryOp, env: Environment, repl: Replacements) -> Value:
+    value = _eval(expr.operand, env, repl)
+    if expr.op == "NOT":
+        truth = to_bool(value)
+        if truth is None:
+            return None
+        return not truth
+    if expr.op == "-":
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlExecutionError(f"unary minus needs a number, got {value!r}")
+        return -value
+    raise SqlExecutionError(f"unknown unary operator {expr.op!r}")  # pragma: no cover
+
+
+def _in_list(expr: ast.InList, env: Environment, repl: Replacements) -> Value:
+    needle = _eval(expr.operand, env, repl)
+    if needle is None:
+        return None
+    saw_null = False
+    for option in expr.options:
+        value = _eval(option, env, repl)
+        outcome = compare(needle, value)
+        if outcome is None:
+            saw_null = True
+        elif outcome == 0:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _between(expr: ast.Between, env: Environment, repl: Replacements) -> Value:
+    value = _eval(expr.operand, env, repl)
+    low = _eval(expr.low, env, repl)
+    high = _eval(expr.high, env, repl)
+    low_cmp = compare(value, low)
+    high_cmp = compare(value, high)
+    if low_cmp is None or high_cmp is None:
+        return None
+    inside = low_cmp >= 0 and high_cmp <= 0
+    return inside != expr.negated
+
+
+def _like(value: Value, pattern: Value) -> Value:
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise SqlExecutionError("LIKE expects TEXT operands")
+    regex = _like_regex(pattern)
+    return bool(regex.fullmatch(value))
+
+
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.IGNORECASE | re.DOTALL)
+
+
+def _scalar_call(expr: ast.FuncCall, env: Environment, repl: Replacements) -> Value:
+    if expr.name in ast.AGGREGATE_FUNCTIONS:
+        raise SqlPlanError(
+            f"aggregate {expr.name.upper()} is not allowed here "
+            "(only in a select list or HAVING of a grouped query)"
+        )
+    try:
+        function = SCALAR_FUNCTIONS[expr.name]
+    except KeyError:
+        raise SqlPlanError(f"unknown function {expr.name.upper()!r}") from None
+    args = [_eval(arg, env, repl) for arg in expr.args]
+    return function(args)
+
+
+def to_bool(value: Value) -> bool | None:
+    """SQL truthiness: NULL stays unknown, everything else must be bool."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    raise SqlExecutionError(f"condition evaluated to non-boolean {value!r}")

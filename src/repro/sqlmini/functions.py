@@ -1,0 +1,109 @@
+"""Scalar SQL functions for the sqlmini engine.
+
+Each function takes the already-evaluated argument list.  NULL handling
+follows SQL convention: functions return NULL when a required argument is
+NULL (except COALESCE, whose whole point is NULL handling).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.sqlmini.errors import SqlExecutionError
+from repro.sqlmini.types import Value
+
+
+def _require_arity(name: str, args: list[Value], arity: int) -> None:
+    if len(args) != arity:
+        raise SqlExecutionError(
+            f"{name.upper()} expects {arity} argument(s), got {len(args)}"
+        )
+
+
+def _require_text(name: str, value: Value) -> str:
+    if not isinstance(value, str):
+        raise SqlExecutionError(f"{name.upper()} expects TEXT, got {value!r}")
+    return value
+
+
+def _lower(args: list[Value]) -> Value:
+    _require_arity("lower", args, 1)
+    if args[0] is None:
+        return None
+    return _require_text("lower", args[0]).lower()
+
+
+def _upper(args: list[Value]) -> Value:
+    _require_arity("upper", args, 1)
+    if args[0] is None:
+        return None
+    return _require_text("upper", args[0]).upper()
+
+
+def _length(args: list[Value]) -> Value:
+    _require_arity("length", args, 1)
+    if args[0] is None:
+        return None
+    return len(_require_text("length", args[0]))
+
+
+def _trim(args: list[Value]) -> Value:
+    _require_arity("trim", args, 1)
+    if args[0] is None:
+        return None
+    return _require_text("trim", args[0]).strip()
+
+
+def _abs(args: list[Value]) -> Value:
+    _require_arity("abs", args, 1)
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SqlExecutionError(f"ABS expects a number, got {value!r}")
+    return abs(value)
+
+
+def _round(args: list[Value]) -> Value:
+    if len(args) not in (1, 2):
+        raise SqlExecutionError(f"ROUND expects 1 or 2 arguments, got {len(args)}")
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SqlExecutionError(f"ROUND expects a number, got {value!r}")
+    digits = 0
+    if len(args) == 2:
+        if not isinstance(args[1], int) or isinstance(args[1], bool):
+            raise SqlExecutionError("ROUND digit count must be an integer")
+        digits = args[1]
+    return round(float(value), digits)
+
+
+def _coalesce(args: list[Value]) -> Value:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _concat(args: list[Value]) -> Value:
+    parts: list[str] = []
+    for value in args:
+        if value is None:
+            return None
+        parts.append(value if isinstance(value, str) else str(value))
+    return "".join(parts)
+
+
+#: Name → implementation registry consulted by the evaluator.
+SCALAR_FUNCTIONS: dict[str, Callable[[list[Value]], Value]] = {
+    "lower": _lower,
+    "upper": _upper,
+    "length": _length,
+    "trim": _trim,
+    "abs": _abs,
+    "round": _round,
+    "coalesce": _coalesce,
+    "concat": _concat,
+}

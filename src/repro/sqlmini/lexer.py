@@ -1,0 +1,135 @@
+"""Tokeniser for the sqlmini SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.sqlmini.errors import SqlLexError
+
+#: Reserved words recognised by the parser.  Anything else that looks like
+#: a word is an identifier.
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "asc", "desc", "limit", "as", "and", "or", "not", "in",
+        "is", "null", "like", "between", "true", "false", "insert", "into",
+        "values", "create", "table", "delete", "update", "set", "join",
+        "inner", "left", "outer", "on", "union", "all", "case", "when",
+        "then", "else", "end",
+    }
+)
+
+
+class TokenType(Enum):
+    """Lexical categories emitted by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """True iff this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.type.value}:{self.value}"
+
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text``; the result always ends with one EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_" or ch == '"':
+            value, i, quoted = _read_word(text, i)
+            lowered = value.lower()
+            if not quoted and lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, lowered, i))
+            continue
+        matched = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched, i))
+            i += len(matched)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string; ``''`` escapes a quote."""
+    i = start + 1
+    parts: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            if text.startswith("''", i):
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlLexError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int) -> tuple[str, int]:
+    i = start
+    seen_dot = False
+    while i < len(text) and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            seen_dot = True
+        i += 1
+    return text[start:i], i
+
+
+def _read_word(text: str, start: int) -> tuple[str, int, bool]:
+    """Read an identifier; double quotes delimit quoted identifiers."""
+    if text[start] == '"':
+        end = text.find('"', start + 1)
+        if end < 0:
+            raise SqlLexError("unterminated quoted identifier", start)
+        return text[start + 1 : end], end + 1, True
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i, False

@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the sqlmini SQL dialect.
+
+Supported statements::
+
+    SELECT [DISTINCT] items FROM table [alias]
+        [INNER JOIN table [alias] ON cond]...
+        [WHERE cond] [GROUP BY exprs] [HAVING cond]
+        [ORDER BY exprs [ASC|DESC]] [LIMIT n]
+    SELECT ... UNION ALL SELECT ...
+    CREATE TABLE name (col TYPE [NOT NULL], ...)
+    INSERT INTO name [(cols)] VALUES (...), (...)
+    DELETE FROM name [WHERE cond]
+    UPDATE name SET col = expr [, ...] [WHERE cond]
+
+Expression grammar (loosest to tightest): OR, AND, NOT, comparison
+(``= <> != < <= > >= LIKE IN BETWEEN IS [NOT] NULL``), additive,
+multiplicative, unary minus, primary.
+"""
+
+from __future__ import annotations
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlParseError
+from repro.sqlmini.lexer import Token, TokenType, tokenize
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is tolerated)."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone expression (used by tests and rewriters)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlParseError(f"expected {word.upper()}, got {self.current.value!r}")
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise SqlParseError(f"expected {char!r}, got {self.current.value!r}")
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        raise SqlParseError(f"expected {what}, got {token.value!r}")
+
+    def expect_eof(self) -> None:
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise SqlParseError(f"unexpected trailing input: {self.current.value!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("select"):
+            statement = self.select_statement()
+        elif token.is_keyword("create"):
+            statement = self.create_statement()
+        elif token.is_keyword("insert"):
+            statement = self.insert_statement()
+        elif token.is_keyword("delete"):
+            statement = self.delete_statement()
+        elif token.is_keyword("update"):
+            statement = self.update_statement()
+        else:
+            raise SqlParseError(f"unsupported statement start {token.value!r}")
+        self.expect_eof()
+        return statement
+
+    def select_statement(self) -> ast.Select | ast.UnionAll:
+        selects = [self.select_core()]
+        while self.current.is_keyword("union"):
+            self.advance()
+            self.expect_keyword("all")
+            selects.append(self.select_core())
+        if len(selects) == 1:
+            return selects[0]
+        return ast.UnionAll(tuple(selects))
+
+    def select_core(self) -> ast.Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = self.select_items()
+        self.expect_keyword("from")
+        table = self.expect_identifier("table name")
+        table_alias = self.optional_alias()
+        joins = []
+        while self.current.is_keyword("inner", "join", "left"):
+            outer = False
+            if self.accept_keyword("left"):
+                self.accept_keyword("outer")
+                outer = True
+            else:
+                self.accept_keyword("inner")
+            self.expect_keyword("join")
+            join_table = self.expect_identifier("join table name")
+            join_alias = self.optional_alias()
+            self.expect_keyword("on")
+            condition = self.expression()
+            joins.append(ast.JoinClause(join_table, join_alias, condition, outer))
+        where = self.expression() if self.accept_keyword("where") else None
+        group_by: tuple[ast.Expression, ...] = ()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by = tuple(self.expression_list())
+        having = self.expression() if self.accept_keyword("having") else None
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            while True:
+                expr = self.expression()
+                ascending = True
+                if self.accept_keyword("desc"):
+                    ascending = False
+                else:
+                    self.accept_keyword("asc")
+                order_by.append(ast.OrderItem(expr, ascending))
+                if not self.accept_punct(","):
+                    break
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise SqlParseError(f"LIMIT expects an integer, got {token.value!r}")
+            limit = int(token.value)
+            self.advance()
+        return ast.Select(
+            items=tuple(items),
+            table=table,
+            table_alias=table_alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def optional_alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            return self.expect_identifier("alias")
+        if self.current.type is TokenType.IDENTIFIER:
+            return self.advance().value
+        return None
+
+    def select_items(self) -> list[ast.SelectItem]:
+        items: list[ast.SelectItem] = []
+        while True:
+            if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                self.advance()
+                items.append(ast.SelectItem(ast.Star()))
+            else:
+                expr = self.expression()
+                alias = None
+                if self.accept_keyword("as"):
+                    alias = self.expect_identifier("alias")
+                elif self.current.type is TokenType.IDENTIFIER:
+                    alias = self.advance().value
+                items.append(ast.SelectItem(expr, alias))
+            if not self.accept_punct(","):
+                return items
+
+    def create_statement(self) -> ast.CreateTable:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        table = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        while True:
+            name = self.expect_identifier("column name")
+            type_name = self.expect_identifier("type name")
+            not_null = False
+            if self.accept_keyword("not"):
+                self.expect_keyword("null")
+                not_null = True
+            columns.append(ast.ColumnDef(name, type_name, not_null))
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return ast.CreateTable(table, tuple(columns))
+
+    def insert_statement(self) -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept_punct("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+            columns = tuple(names)
+        self.expect_keyword("values")
+        rows: list[tuple[ast.Expression, ...]] = []
+        while True:
+            self.expect_punct("(")
+            rows.append(tuple(self.expression_list()))
+            self.expect_punct(")")
+            if not self.accept_punct(","):
+                break
+        return ast.Insert(table, columns, tuple(rows))
+
+    def delete_statement(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_identifier("table name")
+        where = self.expression() if self.accept_keyword("where") else None
+        return ast.Delete(table, where)
+
+    def update_statement(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("set")
+        assignments: list[tuple[str, ast.Expression]] = []
+        while True:
+            column = self.expect_identifier("column name")
+            token = self.current
+            if token.type is not TokenType.OPERATOR or token.value != "=":
+                raise SqlParseError(f"expected '=' in SET, got {token.value!r}")
+            self.advance()
+            assignments.append((column, self.expression()))
+            if not self.accept_punct(","):
+                break
+        where = self.expression() if self.accept_keyword("where") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def expression_list(self) -> list[ast.Expression]:
+        exprs = [self.expression()]
+        while self.accept_punct(","):
+            exprs.append(self.expression())
+        return exprs
+
+    def expression(self) -> ast.Expression:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expression:
+        left = self.and_expr()
+        while self.accept_keyword("or"):
+            left = ast.BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expression:
+        left = self.not_expr()
+        while self.accept_keyword("and"):
+            left = ast.BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expression:
+        if self.accept_keyword("not"):
+            return ast.UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expression:
+        left = self.additive()
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            op = "<>" if token.value == "!=" else token.value
+            self.advance()
+            return ast.BinaryOp(op, left, self.additive())
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return ast.IsNull(left, negated)
+        negated = False
+        if token.is_keyword("not"):
+            # lookahead for NOT IN / NOT LIKE / NOT BETWEEN
+            nxt = self._tokens[self._pos + 1]
+            if nxt.is_keyword("in", "like", "between"):
+                self.advance()
+                negated = True
+                token = self.current
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            options = tuple(self.expression_list())
+            self.expect_punct(")")
+            return ast.InList(left, options, negated)
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self.additive()
+            expr: ast.Expression = ast.BinaryOp("LIKE", left, pattern)
+            if negated:
+                expr = ast.UnaryOp("NOT", expr)
+            return expr
+        if token.is_keyword("between"):
+            self.advance()
+            low = self.additive()
+            self.expect_keyword("and")
+            high = self.additive()
+            return ast.Between(left, low, high, negated)
+        return left
+
+    def additive(self) -> ast.Expression:
+        left = self.multiplicative()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("+", "-")
+        ):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> ast.Expression:
+        left = self.unary()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("*", "/", "%")
+        ):
+            op = self.advance().value
+            left = ast.BinaryOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> ast.Expression:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "-":
+            self.advance()
+            operand = self.unary()
+            # constant-fold negative numeric literals so that printing and
+            # re-parsing an AST is the identity (-1 stays Literal(-1))
+            if (
+                isinstance(operand, ast.Literal)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if self.current.type is TokenType.OPERATOR and self.current.value == "+":
+            self.advance()
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> ast.Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value: ast.Value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("case"):
+            return self.case_expression()
+        if self.accept_punct("("):
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            if self.accept_punct("("):
+                return self.function_call(token.value)
+            if self.accept_punct("."):
+                column = self.expect_identifier("column name")
+                return ast.ColumnRef(column, table=token.value)
+            return ast.ColumnRef(token.value)
+        raise SqlParseError(f"unexpected token {token.value!r} in expression")
+
+    def case_expression(self) -> ast.Case:
+        """Parse a searched CASE expression (the CASE keyword is current)."""
+        self.expect_keyword("case")
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("when"):
+            condition = self.expression()
+            self.expect_keyword("then")
+            whens.append((condition, self.expression()))
+        if not whens:
+            raise SqlParseError("CASE requires at least one WHEN branch")
+        default = self.expression() if self.accept_keyword("else") else None
+        self.expect_keyword("end")
+        return ast.Case(tuple(whens), default)
+
+    def function_call(self, name: str) -> ast.FuncCall:
+        distinct = self.accept_keyword("distinct")
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return ast.FuncCall(name.lower(), (ast.Star(),), distinct)
+        if self.accept_punct(")"):
+            return ast.FuncCall(name.lower(), (), distinct)
+        args = tuple(self.expression_list())
+        self.expect_punct(")")
+        return ast.FuncCall(name.lower(), args, distinct)

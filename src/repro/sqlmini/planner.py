@@ -1,0 +1,159 @@
+"""Name resolution and validation for SELECT statements.
+
+The planner *binds* a parsed :class:`~repro.sqlmini.ast.Select` against the
+catalog: it resolves table names to storage objects, computes the visible
+column namespace (qualified and bare names, detecting ambiguity), decides
+whether the query is an aggregate query, and collects the aggregate calls
+the executor must accumulate.  Execution itself lives in
+:mod:`repro.sqlmini.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlPlanError
+from repro.sqlmini.schema import TableSchema
+from repro.sqlmini.types import Value
+
+
+class TableLike(Protocol):
+    """What the planner needs from a table (heap tables and views)."""
+
+    schema: TableSchema
+
+    def scan(self):
+        """Yield every stored row."""
+        ...  # pragma: no cover - protocol
+
+    def __len__(self) -> int: ...  # pragma: no cover - protocol
+
+
+class CatalogLike(Protocol):
+    """What the planner needs from the database catalog."""
+
+    def table(self, name: str) -> TableLike:
+        """Resolve a table or view by name."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class BoundTable:
+    """One table in the FROM clause, with its effective alias."""
+
+    table: TableLike
+    alias: str
+    condition: ast.Expression | None  # join condition (None for the base)
+    outer: bool = False  # LEFT JOIN: emit a NULL row when nothing matches
+
+
+@dataclass(frozen=True)
+class BoundSelect:
+    """A SELECT statement bound to the catalog and validated."""
+
+    select: ast.Select
+    tables: tuple[BoundTable, ...]
+    #: every visible column as (alias, column name), in namespace order
+    visible: tuple[tuple[str, str], ...]
+    #: bare column name -> qualified key; ambiguous names are absent
+    bare_names: dict[str, str]
+    aggregate_mode: bool
+    #: distinct aggregate calls across select list, HAVING and ORDER BY
+    aggregates: tuple[ast.FuncCall, ...]
+    output_names: tuple[str, ...]
+
+    def env_for(self, rows: tuple[tuple[Value, ...], ...]) -> dict[str, Value]:
+        """Build the evaluation environment for one joined row combo.
+
+        ``rows`` holds one storage row per bound table, in FROM order.
+        """
+        env: dict[str, Value] = {}
+        for bound, row in zip(self.tables, rows):
+            for position, column in enumerate(bound.table.schema.columns):
+                env[f"{bound.alias}.{column.name}"] = row[position]
+        for bare, qualified in self.bare_names.items():
+            env[bare] = env[qualified]
+        return env
+
+
+def bind_select(select: ast.Select, catalog: CatalogLike) -> BoundSelect:
+    """Resolve and validate ``select`` against ``catalog``."""
+    tables: list[BoundTable] = []
+    base = catalog.table(select.table)
+    tables.append(BoundTable(base, select.table_alias or select.table, None))
+    for join in select.joins:
+        joined = catalog.table(join.table)
+        tables.append(
+            BoundTable(joined, join.alias or join.table, join.condition, join.outer)
+        )
+
+    aliases = [bound.alias for bound in tables]
+    if len(set(aliases)) != len(aliases):
+        raise SqlPlanError(f"duplicate table alias in FROM clause: {aliases}")
+
+    visible: list[tuple[str, str]] = []
+    counts: dict[str, int] = {}
+    for bound in tables:
+        for column in bound.table.schema.columns:
+            visible.append((bound.alias, column.name))
+            counts[column.name] = counts.get(column.name, 0) + 1
+    bare_names = {
+        name: f"{alias}.{name}"
+        for alias, name in visible
+        if counts[name] == 1
+    }
+
+    if select.where is not None and ast.contains_aggregate(select.where):
+        raise SqlPlanError("aggregates are not allowed in WHERE (use HAVING)")
+    for join in select.joins:
+        if ast.contains_aggregate(join.condition):
+            raise SqlPlanError("aggregates are not allowed in JOIN conditions")
+    for expr in select.group_by:
+        if ast.contains_aggregate(expr):
+            raise SqlPlanError("aggregates are not allowed in GROUP BY")
+        if isinstance(expr, ast.Star):
+            raise SqlPlanError("'*' is not a valid GROUP BY expression")
+
+    aggregates: list[ast.FuncCall] = []
+    for item in select.items:
+        if not isinstance(item.expr, ast.Star):
+            aggregates.extend(ast.collect_aggregates(item.expr))
+    if select.having is not None:
+        aggregates.extend(ast.collect_aggregates(select.having))
+    for order in select.order_by:
+        aggregates.extend(ast.collect_aggregates(order.expr))
+    # deduplicate while preserving order (frozen dataclasses hash by value)
+    unique: dict[ast.FuncCall, None] = {}
+    for call in aggregates:
+        unique.setdefault(call, None)
+    aggregate_mode = bool(select.group_by) or bool(unique)
+
+    if select.having is not None and not aggregate_mode:
+        raise SqlPlanError("HAVING requires GROUP BY or an aggregate select list")
+    if aggregate_mode:
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                raise SqlPlanError("'*' is not valid in an aggregated select list")
+        for call in unique:
+            for arg in call.args:
+                if ast.contains_aggregate(arg):
+                    raise SqlPlanError("nested aggregate calls are not allowed")
+
+    output_names: list[str] = []
+    for position, item in enumerate(select.items):
+        if isinstance(item.expr, ast.Star):
+            output_names.extend(name for _, name in visible)
+        else:
+            output_names.append(item.output_name(position))
+
+    return BoundSelect(
+        select=select,
+        tables=tuple(tables),
+        visible=tuple(visible),
+        bare_names=bare_names,
+        aggregate_mode=aggregate_mode,
+        aggregates=tuple(unique),
+        output_names=tuple(output_names),
+    )

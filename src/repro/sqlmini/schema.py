@@ -1,0 +1,103 @@
+"""Table schemas for the sqlmini engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlmini.errors import SqlCatalogError, SqlTypeError
+from repro.sqlmini.types import SqlType, Value, coerce
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column declaration."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise SqlCatalogError("column names must be non-empty")
+        object.__setattr__(self, "name", self.name.strip().lower())
+        if isinstance(self.sql_type, str):
+            object.__setattr__(self, "sql_type", SqlType.parse(self.sql_type))
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered set of columns with name-based lookup."""
+
+    name: str
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.strip().lower())
+        if not self.columns:
+            raise SqlCatalogError(f"table {self.name!r} must have at least one column")
+        index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in index:
+                raise SqlCatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            index[column.name] = position
+        object.__setattr__(self, "_index", index)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._index
+
+    def position(self, name: str) -> int:
+        """Return the 0-based position of ``name``; raises if absent."""
+        try:
+            return self._index[name.strip().lower()]
+        except KeyError:
+            raise SqlCatalogError(
+                f"table {self.name!r} has no column {name!r} "
+                f"(columns: {', '.join(self.column_names)})"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """The column declaration named ``name``; raises if absent."""
+        return self.columns[self.position(name)]
+
+    # ------------------------------------------------------------------
+    # row validation
+    # ------------------------------------------------------------------
+    def validate_row(self, values: tuple[Value, ...] | list[Value]) -> tuple[Value, ...]:
+        """Coerce and validate one row; returns the stored tuple."""
+        if len(values) != len(self.columns):
+            raise SqlTypeError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        row: list[Value] = []
+        for column, value in zip(self.columns, values):
+            if value is None and not column.nullable:
+                raise SqlTypeError(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            row.append(coerce(value, column.sql_type, column.name))
+        return tuple(row)
+
+    def row_from_mapping(self, mapping: dict[str, Value]) -> tuple[Value, ...]:
+        """Build a full row tuple from a column→value mapping.
+
+        Missing nullable columns become NULL; unknown keys raise.
+        """
+        unknown = [key for key in mapping if key.strip().lower() not in self._index]
+        if unknown:
+            raise SqlCatalogError(
+                f"unknown column(s) {unknown} for table {self.name!r}"
+            )
+        normalised = {key.strip().lower(): value for key, value in mapping.items()}
+        values = [normalised.get(column.name) for column in self.columns]
+        return self.validate_row(values)

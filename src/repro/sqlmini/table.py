@@ -1,0 +1,178 @@
+"""Row storage for the sqlmini engine.
+
+A :class:`Table` stores rows as tuples in insertion order and optionally
+maintains hash indexes on single columns.  Indexes are used by the executor
+for equality predicates and by the HDB enforcement layer for fast consent
+lookups; they are maintained incrementally on insert/delete.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterator
+
+from repro.sqlmini.errors import SqlCatalogError
+from repro.sqlmini.schema import TableSchema
+from repro.sqlmini.types import Value
+
+
+class Table:
+    """An in-memory heap table with optional per-column hash indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Value, ...]] = []
+        #: column name -> value -> set of row positions
+        self._indexes: dict[str, dict[Value, set[int]]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: tuple[Value, ...] | list[Value]) -> int:
+        """Validate and append one row; returns its position."""
+        row = self.schema.validate_row(values)
+        position = len(self._rows)
+        self._rows.append(row)
+        for column, index in self._indexes.items():
+            index[row[self.schema.position(column)]].add(position)
+        return position
+
+    def insert_mapping(self, mapping: dict[str, Value]) -> int:
+        """Insert from a column→value mapping (missing columns → NULL)."""
+        return self.insert(self.schema.row_from_mapping(mapping))
+
+    def insert_many(self, rows: list[tuple[Value, ...]] | list[list[Value]]) -> int:
+        """Insert every row; returns the number inserted."""
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    def delete_where(self, predicate: Callable[[tuple[Value, ...]], bool]) -> int:
+        """Delete rows matching ``predicate``; returns the count removed.
+
+        Deletion compacts the heap, so row positions shift; indexes are
+        rebuilt.  Fine for the audit-retention use case this serves.
+        """
+        kept = [row for row in self._rows if not predicate(row)]
+        removed = len(self._rows) - len(kept)
+        if removed:
+            self._rows = kept
+            for column in list(self._indexes):
+                self._build_index(column)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every row, keeping schema and index definitions."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Create a hash index on ``column`` (no-op if present)."""
+        name = column.strip().lower()
+        self.schema.position(name)  # validates existence
+        if name not in self._indexes:
+            self._build_index(name)
+
+    def _build_index(self, column: str) -> None:
+        position = self.schema.position(column)
+        index: dict[Value, set[int]] = defaultdict(set)
+        for row_position, row in enumerate(self._rows):
+            index[row[position]].add(row_position)
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        """True iff a hash index exists on ``column``."""
+        return column.strip().lower() in self._indexes
+
+    def lookup(self, column: str, value: Value) -> Iterator[tuple[Value, ...]]:
+        """Yield rows where ``column`` equals ``value``.
+
+        Uses the hash index when one exists, otherwise scans.  NULL never
+        matches (SQL equality semantics).
+        """
+        if value is None:
+            return
+        name = column.strip().lower()
+        index = self._indexes.get(name)
+        if index is not None:
+            for row_position in sorted(index.get(value, ())):
+                yield self._rows[row_position]
+            return
+        position = self.schema.position(name)
+        for row in self._rows:
+            if row[position] == value:
+                yield row
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[tuple[Value, ...]]:
+        """Yield every row in insertion order."""
+        return iter(self._rows)
+
+    def rows(self) -> tuple[tuple[Value, ...], ...]:
+        """Snapshot of all rows."""
+        return tuple(self._rows)
+
+    def column_values(self, column: str) -> list[Value]:
+        """All values of one column, in row order."""
+        position = self.schema.position(column)
+        return [row[position] for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, rows={len(self._rows)})"
+
+
+class ViewTable:
+    """A read-only virtual table over a row-producing callable.
+
+    This is how the federation layer exposes a consolidated audit view
+    without copying rows: the callable re-enumerates the underlying logs on
+    every scan, so readers always see current data.
+    """
+
+    def __init__(self, schema: TableSchema, producer: Callable[[], Iterator[tuple[Value, ...]]]) -> None:
+        self.schema = schema
+        self._producer = producer
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._producer())
+
+    def scan(self) -> Iterator[tuple[Value, ...]]:
+        """Re-enumerate the producer (views never cache)."""
+        return self._producer()
+
+    def has_index(self, column: str) -> bool:
+        """Views carry no indexes."""
+        return False
+
+    def lookup(self, column: str, value: Value) -> Iterator[tuple[Value, ...]]:
+        """Scan the producer for rows where ``column`` equals ``value``."""
+        if value is None:
+            return
+        position = self.schema.position(column)
+        for row in self._producer():
+            if row[position] == value:
+                yield row
+
+    def insert(self, values: object) -> int:
+        """Always refuses: views are read-only."""
+        raise SqlCatalogError(f"view {self.name!r} is read-only")
+
+    def __repr__(self) -> str:
+        return f"ViewTable(name={self.name!r})"

@@ -1,0 +1,109 @@
+"""Value types for the sqlmini engine.
+
+Values are plain Python objects — ``int``, ``float``, ``str``, ``bool`` and
+``None`` — tagged at the schema level with a :class:`SqlType`.  The helpers
+here centralise coercion (what Python value is acceptable for a declared
+type) and SQL comparison semantics (NULL never compares equal to anything,
+including itself).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from repro.sqlmini.errors import SqlTypeError
+
+#: The Python value type used throughout the engine.
+Value = Any
+
+
+class SqlType(str, Enum):
+    """Declared column types."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def parse(cls, name: str) -> "SqlType":
+        """Parse a type name, accepting common aliases (INT, FLOAT, ...)."""
+        alias = name.strip().upper()
+        mapping = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        try:
+            return mapping[alias]
+        except KeyError:
+            raise SqlTypeError(f"unknown SQL type {name!r}") from None
+
+
+def coerce(value: Value, sql_type: SqlType, column: str = "?") -> Value:
+    """Coerce ``value`` into ``sql_type``; NULL passes through.
+
+    Accepted widenings: ``int`` → REAL.  ``bool`` is *not* accepted for
+    INTEGER (and vice versa) so that flag columns stay honest.  Raises
+    :class:`SqlTypeError` otherwise.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SqlTypeError(f"column {column!r} expects INTEGER, got {value!r}")
+        return value
+    if sql_type is SqlType.REAL:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlTypeError(f"column {column!r} expects REAL, got {value!r}")
+        return float(value)
+    if sql_type is SqlType.TEXT:
+        if not isinstance(value, str):
+            raise SqlTypeError(f"column {column!r} expects TEXT, got {value!r}")
+        return value
+    if sql_type is SqlType.BOOLEAN:
+        if not isinstance(value, bool):
+            raise SqlTypeError(f"column {column!r} expects BOOLEAN, got {value!r}")
+        return value
+    raise SqlTypeError(f"unhandled SQL type {sql_type!r}")  # pragma: no cover
+
+
+def compare(left: Value, right: Value) -> int | None:
+    """Three-valued SQL comparison.
+
+    Returns ``-1``/``0``/``1`` like a comparator, or ``None`` when either
+    side is NULL or the values are incomparable (e.g. TEXT vs INTEGER) —
+    conditions built on a ``None`` comparison evaluate to unknown, which
+    filters treat as false.
+    """
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return (left > right) - (left < right)
+        return None
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    return None
+
+
+def sort_key(value: Value) -> tuple:
+    """Total-order key for ORDER BY: NULLs first, then by type family."""
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, bool):
+        return (1, int(value), "")
+    if isinstance(value, (int, float)):
+        return (2, value, "")
+    return (3, 0, str(value))

@@ -1,0 +1,41 @@
+"""Tree-structured records — the paper's conclusion extension.
+
+"While emerging healthcare organizations leverage relational database
+systems, legacy systems employ hierarchical, XML-like structures.  Thus,
+the natural evolution for PRIMA is to adapt the core concepts and
+technology to the tree-based structures."  This package is that
+adaptation:
+
+- :class:`~repro.treestore.node.TreeNode` / :class:`TreeDocument` — the
+  document model, with a from-scratch XML reader/writer in
+  :mod:`repro.treestore.xmlio`;
+- :func:`~repro.treestore.path.compile_path` — an XPath subset for
+  selection and binding;
+- :class:`~repro.treestore.enforcement.TreeEnforcer` /
+  :class:`TreeBinding` — Active Enforcement with subtree pruning instead
+  of column masking, auditing through the same Compliance Auditing
+  schema so the refinement pipeline is shared.
+"""
+
+from repro.treestore.enforcement import (
+    TreeBinding,
+    TreeEnforcementResult,
+    TreeEnforcer,
+)
+from repro.treestore.node import TreeDocument, TreeError, TreeNode
+from repro.treestore.path import PathExpression, Step, compile_path
+from repro.treestore.xmlio import dumps, loads
+
+__all__ = [
+    "PathExpression",
+    "Step",
+    "TreeBinding",
+    "TreeDocument",
+    "TreeEnforcementResult",
+    "TreeEnforcer",
+    "TreeError",
+    "TreeNode",
+    "compile_path",
+    "dumps",
+    "loads",
+]

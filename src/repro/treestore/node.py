@@ -1,0 +1,158 @@
+"""Tree-structured clinical records.
+
+The paper's conclusion notes that "legacy systems employ hierarchical,
+XML-like structures" and that "the natural evolution for PRIMA is to adapt
+the core concepts and technology to the tree-based structures".  This
+package is that adaptation: an XML-like document model
+(:class:`TreeNode` / :class:`TreeDocument`), a path query language
+(:mod:`repro.treestore.path`), and an enforcement adapter that masks
+subtrees instead of columns (:mod:`repro.treestore.enforcement`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import PrimaError
+
+
+class TreeError(PrimaError):
+    """A tree document or path expression is malformed or misused."""
+
+
+class TreeNode:
+    """One element of a hierarchical record.
+
+    A node has a ``name`` (tag), string-valued ``attributes``, optional
+    ``text`` content, and ordered children.  Node names and attribute
+    names are case-sensitive identifiers (letters, digits, ``_``, ``-``),
+    matching the XML subset the reader accepts.
+    """
+
+    __slots__ = ("name", "attributes", "text", "_children", "_parent")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: dict[str, str] | None = None,
+        text: str = "",
+    ) -> None:
+        if not _valid_name(name):
+            raise TreeError(f"invalid element name {name!r}")
+        self.name = name
+        self.attributes: dict[str, str] = {}
+        for key, value in (attributes or {}).items():
+            if not _valid_name(key):
+                raise TreeError(f"invalid attribute name {key!r}")
+            self.attributes[key] = str(value)
+        self.text = text
+        self._children: list["TreeNode"] = []
+        self._parent: "TreeNode | None" = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def parent(self) -> "TreeNode | None":
+        return self._parent
+
+    @property
+    def children(self) -> tuple["TreeNode", ...]:
+        return tuple(self._children)
+
+    def append(self, child: "TreeNode") -> "TreeNode":
+        """Attach ``child`` as the last child; returns the child."""
+        if not isinstance(child, TreeNode):
+            raise TreeError(f"children must be TreeNode objects, got {child!r}")
+        if child._parent is not None:
+            raise TreeError(f"node <{child.name}> already has a parent")
+        child._parent = self
+        self._children.append(child)
+        return child
+
+    def child(self, name: str, attributes: dict[str, str] | None = None, text: str = "") -> "TreeNode":
+        """Create, attach and return a new child element."""
+        return self.append(TreeNode(name, attributes, text))
+
+    def remove(self, child: "TreeNode") -> None:
+        """Detach ``child``; raises if it is not a child of this node."""
+        try:
+            self._children.remove(child)
+        except ValueError:
+            raise TreeError(
+                f"<{child.name}> is not a child of <{self.name}>"
+            ) from None
+        child._parent = None
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator["TreeNode"]:
+        """Yield this node and every descendant, preorder."""
+        stack: list[TreeNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def path(self) -> str:
+        """Absolute path of this node, e.g. ``/patients/patient/name``."""
+        parts: list[str] = []
+        node: TreeNode | None = self
+        while node is not None:
+            parts.append(node.name)
+            node = node._parent
+        return "/" + "/".join(reversed(parts))
+
+    def find_all(self, name: str) -> tuple["TreeNode", ...]:
+        """Every descendant (or self) with the given element name."""
+        return tuple(node for node in self.walk() if node.name == name)
+
+    # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
+    def clone(self) -> "TreeNode":
+        """Deep copy, detached from any parent."""
+        copy = TreeNode(self.name, dict(self.attributes), self.text)
+        for child in self._children:
+            copy.append(child.clone())
+        return copy
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeNode(<{self.name}> attrs={len(self.attributes)}, "
+            f"children={len(self._children)})"
+        )
+
+
+class TreeDocument:
+    """A named document with a single root element."""
+
+    def __init__(self, root: TreeNode, name: str = "document") -> None:
+        if not isinstance(root, TreeNode):
+            raise TreeError("a document needs a TreeNode root")
+        self.root = root
+        self.name = name
+
+    def clone(self) -> "TreeDocument":
+        """Deep copy of the whole document."""
+        return TreeDocument(self.root.clone(), self.name)
+
+    def size(self) -> int:
+        """Total number of elements in the document."""
+        return sum(1 for _ in self.root.walk())
+
+    def __repr__(self) -> str:
+        return f"TreeDocument(name={self.name!r}, elements={self.size()})"
+
+
+def _valid_name(name: str) -> bool:
+    return (
+        isinstance(name, str)
+        and bool(name)
+        and not name[0].isdigit()
+        and all(ch.isalnum() or ch in "_-" for ch in name)
+    )

@@ -1,0 +1,147 @@
+"""A path query language for tree documents (XPath subset).
+
+Supported forms::
+
+    /patients/patient/prescription      absolute child steps
+    /patients//psychiatry               descendant step ("//")
+    //note                              descendants anywhere
+    /patients/patient[@id='p1']/name    attribute-equality predicate
+    /patients/*/name                    wildcard element name
+
+This is exactly enough to bind legacy hierarchical records to the
+privacy vocabulary (a :class:`~repro.treestore.enforcement.TreeBinding`
+maps path patterns to data categories) and to let tests pin selection
+semantics precisely.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.treestore.node import TreeDocument, TreeError, TreeNode
+
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_-]*|\*")
+_PREDICATE = re.compile(r"\[@([A-Za-z_][A-Za-z0-9_-]*)='([^']*)'\]")
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One step of a compiled path."""
+
+    axis: str  # "child" or "descendant"
+    name: str  # element name or "*"
+    attribute: tuple[str, str] | None = None  # (attr, required value)
+
+    def matches(self, node: TreeNode) -> bool:
+        """Does ``node`` satisfy this step's name and predicate?"""
+        if self.name != "*" and node.name != self.name:
+            return False
+        if self.attribute is not None:
+            attr, value = self.attribute
+            if node.attributes.get(attr) != value:
+                return False
+        return True
+
+
+class PathExpression:
+    """A compiled path; use :meth:`select` to run it."""
+
+    def __init__(self, steps: tuple[Step, ...], source: str) -> None:
+        self.steps = steps
+        self.source = source
+
+    def select(self, target: TreeDocument | TreeNode) -> tuple[TreeNode, ...]:
+        """Nodes matched by this path, in document order, deduplicated.
+
+        Against a :class:`TreeDocument` the first child step must match
+        the root element (standard absolute-path semantics); against a
+        bare node the node plays the document-root role.
+        """
+        root = target.root if isinstance(target, TreeDocument) else target
+        context: list[TreeNode] = [_DocumentSentinel(root)]  # type: ignore[list-item]
+        for step in self.steps:
+            matched: list[TreeNode] = []
+            seen: set[int] = set()
+            for node in context:
+                candidates = (
+                    _descendants(node) if step.axis == "descendant" else node.children
+                )
+                for candidate in candidates:
+                    if step.matches(candidate) and id(candidate) not in seen:
+                        seen.add(id(candidate))
+                        matched.append(candidate)
+            context = matched
+            if not context:
+                return ()
+        return tuple(context)
+
+    def matches_node(self, node: TreeNode) -> bool:
+        """True iff ``node`` is in the selection of this path from its
+        document root — used by bindings to classify arbitrary nodes."""
+        top = node
+        while top.parent is not None:
+            top = top.parent
+        return node in self.select(top)
+
+    def __str__(self) -> str:
+        return self.source
+
+    def __repr__(self) -> str:
+        return f"PathExpression({self.source!r})"
+
+
+class _DocumentSentinel:
+    """Stands above the root so absolute paths can match the root itself."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self, root: TreeNode) -> None:
+        self._root = root
+
+    @property
+    def children(self) -> tuple[TreeNode, ...]:
+        return (self._root,)
+
+    def walk(self):  # pragma: no cover - only _descendants uses children
+        yield from self._root.walk()
+
+
+def _descendants(node) -> tuple[TreeNode, ...]:
+    """All strict descendants (the ``//`` axis) of ``node``."""
+    found: list[TreeNode] = []
+    for child in node.children:
+        found.extend(child.walk())
+    return tuple(found)
+
+
+def compile_path(text: str) -> PathExpression:
+    """Compile a path expression; raises :class:`TreeError` on bad syntax."""
+    if not isinstance(text, str) or not text.startswith("/"):
+        raise TreeError(f"paths must start with '/': {text!r}")
+    steps: list[Step] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        if text.startswith("//", position):
+            axis = "descendant"
+            position += 2
+        elif text.startswith("/", position):
+            axis = "child"
+            position += 1
+        else:
+            raise TreeError(f"expected '/' at offset {position} in {text!r}")
+        name_match = _NAME.match(text, position)
+        if name_match is None:
+            raise TreeError(f"expected an element name at offset {position} in {text!r}")
+        name = name_match.group(0)
+        position = name_match.end()
+        attribute: tuple[str, str] | None = None
+        predicate_match = _PREDICATE.match(text, position)
+        if predicate_match is not None:
+            attribute = (predicate_match.group(1), predicate_match.group(2))
+            position = predicate_match.end()
+        steps.append(Step(axis=axis, name=name, attribute=attribute))
+    if not steps:
+        raise TreeError(f"empty path expression: {text!r}")
+    return PathExpression(tuple(steps), text)

@@ -1,0 +1,201 @@
+"""A small XML reader/writer for tree documents.
+
+Supports the subset legacy clinical exports actually use: elements,
+string attributes (double-quoted), text content, self-closing tags,
+comments, and the five standard entities.  No namespaces, processing
+instructions, DTDs or CDATA — the reader rejects what it does not
+understand rather than guessing.
+"""
+
+from __future__ import annotations
+
+from repro.treestore.node import TreeDocument, TreeError, TreeNode
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+
+def escape(text: str) -> str:
+    """Escape the XML-special characters in text content."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(text: str) -> str:
+    return escape(text).replace('"', "&quot;")
+
+
+def dumps(document: TreeDocument, indent: int = 2) -> str:
+    """Serialise a document to pretty-printed XML text."""
+
+    def render(node: TreeNode, depth: int, out: list[str]) -> None:
+        pad = " " * (indent * depth)
+        attributes = "".join(
+            f' {key}="{_escape_attribute(value)}"'
+            for key, value in node.attributes.items()
+        )
+        if not node.children and not node.text:
+            out.append(f"{pad}<{node.name}{attributes}/>")
+            return
+        if not node.children:
+            out.append(
+                f"{pad}<{node.name}{attributes}>{escape(node.text)}</{node.name}>"
+            )
+            return
+        out.append(f"{pad}<{node.name}{attributes}>")
+        if node.text:
+            out.append(f"{pad}{' ' * indent}{escape(node.text)}")
+        for child in node.children:
+            render(child, depth + 1, out)
+        out.append(f"{pad}</{node.name}>")
+
+    lines: list[str] = []
+    render(document.root, 0, lines)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def loads(text: str, name: str = "document") -> TreeDocument:
+    """Parse XML text into a :class:`TreeDocument`."""
+    parser = _XmlParser(text)
+    root = parser.parse()
+    return TreeDocument(root, name=name)
+
+
+class _XmlParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> TreeNode:
+        self._skip_misc()
+        root = self._element()
+        self._skip_misc()
+        if self._pos != len(self._text):
+            raise TreeError(
+                f"trailing content after the root element (offset {self._pos})"
+            )
+        return root
+
+    # ------------------------------------------------------------------
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments and an optional XML declaration."""
+        while True:
+            while self._pos < len(self._text) and self._text[self._pos].isspace():
+                self._pos += 1
+            if self._text.startswith("<!--", self._pos):
+                end = self._text.find("-->", self._pos + 4)
+                if end < 0:
+                    raise TreeError("unterminated comment")
+                self._pos = end + 3
+                continue
+            if self._text.startswith("<?", self._pos):
+                end = self._text.find("?>", self._pos + 2)
+                if end < 0:
+                    raise TreeError("unterminated declaration")
+                self._pos = end + 2
+                continue
+            return
+
+    def _element(self) -> TreeNode:
+        if not self._text.startswith("<", self._pos):
+            raise TreeError(f"expected '<' at offset {self._pos}")
+        self._pos += 1
+        tag = self._name("element name")
+        attributes = self._attributes()
+        if self._text.startswith("/>", self._pos):
+            self._pos += 2
+            return TreeNode(tag, attributes)
+        if not self._text.startswith(">", self._pos):
+            raise TreeError(f"malformed start tag <{tag}> at offset {self._pos}")
+        self._pos += 1
+        node = TreeNode(tag, attributes)
+        text_parts: list[str] = []
+        while True:
+            if self._text.startswith("<!--", self._pos):
+                end = self._text.find("-->", self._pos + 4)
+                if end < 0:
+                    raise TreeError("unterminated comment")
+                self._pos = end + 3
+                continue
+            if self._text.startswith("</", self._pos):
+                self._pos += 2
+                closing = self._name("closing tag name")
+                if closing != tag:
+                    raise TreeError(
+                        f"mismatched closing tag </{closing}> for <{tag}>"
+                    )
+                if not self._text.startswith(">", self._pos):
+                    raise TreeError(f"malformed closing tag </{closing}>")
+                self._pos += 1
+                node.text = "".join(text_parts).strip()
+                return node
+            if self._text.startswith("<", self._pos):
+                node.append(self._element())
+                continue
+            if self._pos >= len(self._text):
+                raise TreeError(f"unterminated element <{tag}>")
+            start = self._pos
+            while self._pos < len(self._text) and self._text[self._pos] not in "<&":
+                self._pos += 1
+            text_parts.append(self._text[start : self._pos])
+            if self._text.startswith("&", self._pos):
+                text_parts.append(self._entity())
+
+    def _name(self, what: str) -> str:
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isalnum() or self._text[self._pos] in "_-"
+        ):
+            self._pos += 1
+        if self._pos == start:
+            raise TreeError(f"expected {what} at offset {start}")
+        return self._text[start : self._pos]
+
+    def _attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            while self._pos < len(self._text) and self._text[self._pos].isspace():
+                self._pos += 1
+            ch = self._text[self._pos : self._pos + 1]
+            if ch in (">", "/") or not ch:
+                return attributes
+            key = self._name("attribute name")
+            if not self._text.startswith('="', self._pos):
+                raise TreeError(f'attribute {key!r} must be ="quoted"')
+            self._pos += 2
+            parts: list[str] = []
+            while self._pos < len(self._text) and self._text[self._pos] != '"':
+                if self._text[self._pos] == "&":
+                    parts.append(self._entity())
+                else:
+                    parts.append(self._text[self._pos])
+                    self._pos += 1
+            if self._pos >= len(self._text):
+                raise TreeError(f"unterminated attribute value for {key!r}")
+            self._pos += 1  # closing quote
+            if key in attributes:
+                raise TreeError(f"duplicate attribute {key!r}")
+            attributes[key] = "".join(parts)
+
+    def _entity(self) -> str:
+        end = self._text.find(";", self._pos)
+        if end < 0 or end - self._pos > 6:
+            raise TreeError(f"malformed entity at offset {self._pos}")
+        name = self._text[self._pos + 1 : end]
+        self._pos = end + 1
+        try:
+            return _ENTITIES[name]
+        except KeyError:
+            raise TreeError(f"unknown entity &{name};") from None

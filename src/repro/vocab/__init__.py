@@ -1,0 +1,31 @@
+"""Privacy policy vocabularies (the ``V`` of every PRIMA algorithm).
+
+Public surface:
+
+- :class:`~repro.vocab.tree.VocabularyTree` — one attribute's hierarchy.
+- :class:`~repro.vocab.vocabulary.Vocabulary` — the per-attribute bundle.
+- :func:`~repro.vocab.builtin.healthcare_vocabulary` — Figure 1's sample
+  vocabulary, used by every paper example.
+- :mod:`repro.vocab.io` — JSON persistence.
+"""
+
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.evolution import (
+    ImpactReport,
+    VocabularyDiff,
+    assess_policy_impact,
+    diff_vocabularies,
+)
+from repro.vocab.tree import VocabularyTree, canonical
+from repro.vocab.vocabulary import Vocabulary
+
+__all__ = [
+    "ImpactReport",
+    "Vocabulary",
+    "VocabularyDiff",
+    "VocabularyTree",
+    "assess_policy_impact",
+    "canonical",
+    "diff_vocabularies",
+    "healthcare_vocabulary",
+]

@@ -1,0 +1,204 @@
+"""Vocabulary evolution: diffing and policy impact analysis.
+
+Vocabularies are living artifacts — Section 2 argues for finer-grained
+purposes and roles, which means curators keep refining the trees.  Every
+change risks silently altering policy semantics: removing a value orphans
+rules that mention it, and *splitting* a leaf into children widens every
+rule that granted it (the old leaf becomes composite, so its ground set
+grows).  This module makes those consequences visible before deployment:
+
+- :func:`diff_vocabularies` — structural diff of two vocabularies;
+- :func:`assess_policy_impact` — per-rule verdicts for a policy store
+  against the diff (unchanged / widened / narrowed / orphaned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.vocab.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # imported lazily to avoid a vocab <-> policy cycle
+    from repro.policy.policy import Policy
+    from repro.policy.rule import Rule
+
+
+@dataclass(frozen=True, slots=True)
+class ValueChange:
+    """One changed value in one attribute tree."""
+
+    attribute: str
+    value: str
+    kind: str  # "added" | "removed" | "moved" | "split" | "merged"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind}: {self.attribute}.{self.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class VocabularyDiff:
+    """All changes between two vocabularies."""
+
+    changes: tuple[ValueChange, ...]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def of_kind(self, kind: str) -> tuple[ValueChange, ...]:
+        """All changes of one kind (added/removed/moved/split/merged)."""
+        return tuple(change for change in self.changes if change.kind == kind)
+
+    def removed_values(self) -> dict[str, set[str]]:
+        """attribute -> values that no longer exist."""
+        removed: dict[str, set[str]] = {}
+        for change in self.of_kind("removed"):
+            removed.setdefault(change.attribute, set()).add(change.value)
+        return removed
+
+
+def diff_vocabularies(old: Vocabulary, new: Vocabulary) -> VocabularyDiff:
+    """Structural diff: added/removed values, moves, splits and merges."""
+    changes: list[ValueChange] = []
+    attributes = sorted(set(old.attributes) | set(new.attributes))
+    for attribute in attributes:
+        old_tree = old.tree_for(attribute)
+        new_tree = new.tree_for(attribute)
+        if old_tree is None:
+            for value in new_tree:
+                changes.append(ValueChange(attribute, value, "added", "new tree"))
+            continue
+        if new_tree is None:
+            for value in old_tree:
+                changes.append(ValueChange(attribute, value, "removed", "tree dropped"))
+            continue
+        old_values = set(old_tree)
+        new_values = set(new_tree)
+        for value in sorted(new_values - old_values):
+            changes.append(ValueChange(attribute, value, "added"))
+        for value in sorted(old_values - new_values):
+            changes.append(ValueChange(attribute, value, "removed"))
+        for value in sorted(old_values & new_values):
+            old_parent = old_tree.parent(value)
+            new_parent = new_tree.parent(value)
+            if old_parent != new_parent:
+                changes.append(
+                    ValueChange(
+                        attribute, value, "moved",
+                        f"parent {old_parent!r} -> {new_parent!r}",
+                    )
+                )
+            was_leaf = old_tree.is_leaf(value)
+            is_leaf = new_tree.is_leaf(value)
+            if was_leaf and not is_leaf:
+                children = ", ".join(new_tree.children(value))
+                changes.append(
+                    ValueChange(attribute, value, "split", f"now covers: {children}")
+                )
+            elif not was_leaf and is_leaf:
+                changes.append(ValueChange(attribute, value, "merged", "children removed"))
+    return VocabularyDiff(tuple(changes))
+
+
+@dataclass(frozen=True, slots=True)
+class RuleImpact:
+    """What a vocabulary change does to one policy rule."""
+
+    rule: Rule
+    verdict: str  # "unchanged" | "widened" | "narrowed" | "orphaned"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.verdict}: {self.rule}{suffix}"
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Per-rule impact of migrating a policy to a new vocabulary."""
+
+    impacts: tuple[RuleImpact, ...]
+
+    def of_verdict(self, verdict: str) -> tuple[RuleImpact, ...]:
+        """All rule impacts with one verdict."""
+        return tuple(impact for impact in self.impacts if impact.verdict == verdict)
+
+    @property
+    def safe(self) -> bool:
+        """True when no rule is orphaned or silently widened."""
+        return not self.of_verdict("orphaned") and not self.of_verdict("widened")
+
+    def summary(self) -> str:
+        """One-paragraph migration summary listing non-trivial impacts."""
+        counts = {
+            verdict: len(self.of_verdict(verdict))
+            for verdict in ("unchanged", "widened", "narrowed", "orphaned")
+        }
+        lines = [
+            "vocabulary migration impact: "
+            + ", ".join(f"{count} {verdict}" for verdict, count in counts.items())
+        ]
+        for impact in self.impacts:
+            if impact.verdict != "unchanged":
+                lines.append(f"  - {impact}")
+        return "\n".join(lines)
+
+
+def assess_policy_impact(
+    policy: Policy, old: Vocabulary, new: Vocabulary
+) -> ImpactReport:
+    """Classify every rule of ``policy`` under the vocabulary change.
+
+    A rule is **orphaned** when it mentions a removed value (its meaning
+    is undefined under the new vocabulary), **widened** when its ground
+    set gains members (a silent privacy regression — e.g. a granted leaf
+    was split into children), **narrowed** when it loses members, and
+    **unchanged** otherwise.
+    """
+    removed = diff_vocabularies(old, new).removed_values()
+    impacts: list[RuleImpact] = []
+    for rule in policy:
+        missing = [
+            term
+            for term in rule.terms
+            if term.value in removed.get(term.attr, ())
+        ]
+        if missing:
+            impacts.append(
+                RuleImpact(
+                    rule,
+                    "orphaned",
+                    "mentions removed "
+                    + ", ".join(f"{t.attr}={t.value}" for t in missing),
+                )
+            )
+            continue
+        old_range = set(rule.ground_rules(old))
+        new_range = set(rule.ground_rules(new))
+        if old_range == new_range:
+            impacts.append(RuleImpact(rule, "unchanged"))
+        elif old_range < new_range:
+            impacts.append(
+                RuleImpact(
+                    rule, "widened",
+                    f"ground set {len(old_range)} -> {len(new_range)}",
+                )
+            )
+        elif new_range < old_range:
+            impacts.append(
+                RuleImpact(
+                    rule, "narrowed",
+                    f"ground set {len(old_range)} -> {len(new_range)}",
+                )
+            )
+        else:
+            impacts.append(
+                RuleImpact(
+                    rule, "widened",
+                    "ground set changed membership "
+                    f"({len(old_range)} -> {len(new_range)})",
+                )
+            )
+    return ImpactReport(tuple(impacts))

@@ -1,0 +1,41 @@
+"""JSON persistence for vocabularies.
+
+A vocabulary is an organisational artifact that privacy officers curate over
+time, so it needs a stable on-disk format.  The format here is the plain
+nested-dict encoding produced by :meth:`Vocabulary.to_dict`, written as
+UTF-8 JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import VocabularyError
+from repro.vocab.vocabulary import Vocabulary
+
+
+def dumps(vocabulary: Vocabulary, indent: int | None = 2) -> str:
+    """Serialise ``vocabulary`` to a JSON string."""
+    return json.dumps(vocabulary.to_dict(), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> Vocabulary:
+    """Parse a vocabulary from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise VocabularyError(f"invalid vocabulary JSON: {exc}") from exc
+    return Vocabulary.from_dict(payload)
+
+
+def save(vocabulary: Vocabulary, path: str | Path) -> Path:
+    """Write ``vocabulary`` to ``path`` as JSON; returns the path."""
+    target = Path(path)
+    target.write_text(dumps(vocabulary), encoding="utf-8")
+    return target
+
+
+def load(path: str | Path) -> Vocabulary:
+    """Read a vocabulary previously written by :func:`save`."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,37 @@
+"""ASCII rendering of vocabulary trees (regenerates Figure 1).
+
+The paper's Figure 1 shows the sample privacy policy vocabulary as a
+tree.  :func:`render_tree` and :func:`render_vocabulary` reproduce that
+artifact for any vocabulary, for docs, CLIs and review material.
+"""
+
+from __future__ import annotations
+
+from repro.vocab.tree import VocabularyTree
+from repro.vocab.vocabulary import Vocabulary
+
+
+def render_tree(tree: VocabularyTree) -> str:
+    """Render one attribute hierarchy with box-drawing guides."""
+    lines = [tree.root]
+
+    def walk(node: str, prefix: str) -> None:
+        children = tree.children(node)
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "`-- " if last else "|-- "
+            lines.append(f"{prefix}{connector}{child}")
+            walk(child, prefix + ("    " if last else "|   "))
+
+    walk(tree.root, "")
+    return "\n".join(lines)
+
+
+def render_vocabulary(vocabulary: Vocabulary) -> str:
+    """Render every tree of the vocabulary, Figure 1 style."""
+    sections = []
+    for tree in vocabulary:
+        sections.append(f"[{tree.attribute}]")
+        sections.append(render_tree(tree))
+        sections.append("")
+    return "\n".join(sections).rstrip()

@@ -1,0 +1,59 @@
+"""Synthetic clinical workloads (the real-audit-trace substitute).
+
+Public surface:
+
+- :func:`~repro.workload.hospital.build_hospital` /
+  :class:`HospitalModel` — the synthetic organisation.
+- :class:`~repro.workload.generator.SyntheticHospitalEnvironment` /
+  :class:`WorkloadConfig` — traffic generation under a live policy store.
+- :mod:`repro.workload.scenarios` — the paper's Figure 3 and Table 1
+  verbatim.
+- :mod:`repro.workload.traces` — reproducible trace bundles.
+"""
+
+from repro.workload.entities import (
+    Department,
+    Patient,
+    StaffMember,
+    WorkflowPractice,
+)
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import HospitalModel, build_hospital
+from repro.workload.multisite import MultiSiteEnvironment, SiteTraffic
+from repro.workload.shifts import ShiftStructuredEnvironment, add_night_practice
+from repro.workload.scenarios import (
+    expected_table1_pattern,
+    figure3_audit_policy,
+    figure3_audit_rules,
+    figure3_policy,
+    figure3_policy_store,
+    figure3_rules,
+    figure3_vocabulary,
+    table1_audit_log,
+)
+from repro.workload.traces import load_trace, save_trace
+
+__all__ = [
+    "Department",
+    "HospitalModel",
+    "MultiSiteEnvironment",
+    "ShiftStructuredEnvironment",
+    "SiteTraffic",
+    "add_night_practice",
+    "Patient",
+    "StaffMember",
+    "SyntheticHospitalEnvironment",
+    "WorkflowPractice",
+    "WorkloadConfig",
+    "build_hospital",
+    "expected_table1_pattern",
+    "figure3_audit_policy",
+    "figure3_audit_rules",
+    "figure3_policy",
+    "figure3_policy_store",
+    "figure3_rules",
+    "figure3_vocabulary",
+    "load_trace",
+    "save_trace",
+    "table1_audit_log",
+]

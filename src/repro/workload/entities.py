@@ -1,0 +1,88 @@
+"""Entities of the synthetic hospital: staff, patients, departments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.policy.conditions import TimeWindow
+from repro.vocab.tree import canonical
+
+
+@dataclass(frozen=True, slots=True)
+class StaffMember:
+    """One clinician or administrator."""
+
+    user_id: str
+    role: str
+    department: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "user_id", canonical(self.user_id))
+        object.__setattr__(self, "role", canonical(self.role))
+        object.__setattr__(self, "department", canonical(self.department))
+
+
+@dataclass(frozen=True, slots=True)
+class Patient:
+    """One data subject."""
+
+    patient_id: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "patient_id", canonical(self.patient_id))
+
+
+@dataclass
+class Department:
+    """A hospital unit with its staff roster."""
+
+    name: str
+    staff: list[StaffMember] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.name = canonical(self.name)
+
+    def add_staff(self, user_id: str, role: str) -> StaffMember:
+        """Hire one staff member into this department."""
+        member = StaffMember(user_id=user_id, role=role, department=self.name)
+        self.staff.append(member)
+        return member
+
+    def staff_with_role(self, role: str) -> tuple[StaffMember, ...]:
+        """Department staff holding ``role``."""
+        wanted = canonical(role)
+        return tuple(member for member in self.staff if member.role == wanted)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowPractice:
+    """One element of the hospital's *true* workflow.
+
+    A practice is a (data, purpose, role) combination that the clinical
+    staff genuinely perform, with a relative ``weight`` controlling how
+    often it happens.  Whether a practice is also *documented* (present in
+    the policy store) is exactly the gap PRIMA measures.
+
+    ``window`` optionally confines the practice to a daily time window
+    (a :class:`~repro.policy.conditions.TimeWindow`) — night-shift
+    routines are the clinical archetype.  Only the shift-structured
+    generator honours it; the plain generator ignores timing entirely.
+    """
+
+    data: str
+    purpose: str
+    role: str
+    weight: float = 1.0
+    window: TimeWindow | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "data", canonical(self.data))
+        object.__setattr__(self, "purpose", canonical(self.purpose))
+        object.__setattr__(self, "role", canonical(self.role))
+        if self.weight <= 0:
+            raise WorkloadError(f"practice weights must be positive, got {self.weight}")
+
+    def key(self) -> tuple[str, str, str]:
+        """The (data, purpose, role) triple identifying the practice."""
+        return (self.data, self.purpose, self.role)

@@ -1,0 +1,181 @@
+"""The synthetic access-trace generator.
+
+:class:`SyntheticHospitalEnvironment` implements the refinement loop's
+:class:`~repro.refinement.loop.ClinicalEnvironment` protocol: each round it
+samples accesses from the hospital's true workflow, decides — against the
+*current* policy store — whether each access goes through the sanctioned
+path (``status = regular``) or break-the-glass (``status = exception``),
+and stamps ground-truth labels so classifier experiments can score.
+
+Three traffic components, mirroring what real audit studies report:
+
+``workflow``
+    Weighted samples from the hospital's true practices.  Covered by the
+    store → regular; uncovered → exception labelled ``practice``.
+``noise``
+    One-off idiosyncratic accesses (a random staff member touching a
+    random data category for a random plausible purpose).  These are
+    legitimate but unrepeated, so they should never clear the miner's
+    thresholds; they keep coverage from reaching 1.0.
+``violations``
+    Snooping: a single curious user repeatedly pulling data far outside
+    their role's profile, labelled ``violation``.  Low distinct-user
+    count is exactly the signal the paper's ``c`` condition and our
+    classifier key on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import WorkloadError
+from repro.hdb.auditing import LogicalClock
+from repro.policy.grounding import Grounder
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+from repro.workload.hospital import HospitalModel
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Traffic mix for one simulation."""
+
+    accesses_per_round: int = 5000
+    noise_rate: float = 0.05
+    violation_rate: float = 0.02
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.accesses_per_round < 1:
+            raise WorkloadError("accesses_per_round must be >= 1")
+        if not 0.0 <= self.noise_rate < 1.0:
+            raise WorkloadError(f"noise_rate must be in [0, 1), got {self.noise_rate}")
+        if not 0.0 <= self.violation_rate < 1.0:
+            raise WorkloadError(
+                f"violation_rate must be in [0, 1), got {self.violation_rate}"
+            )
+        if self.noise_rate + self.violation_rate >= 1.0:
+            raise WorkloadError("noise_rate + violation_rate must stay below 1")
+
+
+class SyntheticHospitalEnvironment:
+    """Generates audit traffic for a hospital under a live policy store."""
+
+    def __init__(
+        self,
+        hospital: HospitalModel,
+        config: WorkloadConfig | None = None,
+        clock: LogicalClock | None = None,
+    ) -> None:
+        self.hospital = hospital
+        self.config = config or WorkloadConfig()
+        self.clock = clock or LogicalClock()
+        self._rng = random.Random(self.config.seed)
+        self._grounder = Grounder(hospital.vocabulary)
+        if not hospital.practices:
+            raise WorkloadError("the hospital has no workflow practices")
+        self._practice_weights = [p.weight for p in hospital.practices]
+        data_tree = hospital.vocabulary.tree_for("data")
+        purpose_tree = hospital.vocabulary.tree_for("purpose")
+        self._data_values = data_tree.leaves() if data_tree else ("record",)
+        purpose_leaves = purpose_tree.leaves() if purpose_tree else ("care",)
+        # Noise models legitimate-but-unrepeated work, and no legitimate
+        # user manually enters "telemarketing" as a purpose — that value
+        # is reserved for the snooper, keeping the violation signal
+        # single-user (the property the paper's c condition exploits).
+        self._purpose_values = tuple(
+            purpose for purpose in purpose_leaves if purpose != "telemarketing"
+        ) or purpose_leaves
+        # one dedicated snooper per simulation keeps the violation signal
+        # single-user, matching the threat the classifier targets
+        staff = hospital.all_staff()
+        if not staff:
+            raise WorkloadError("the hospital has no staff")
+        self._snooper = self._rng.choice(staff)
+
+    # ------------------------------------------------------------------
+    # the ClinicalEnvironment protocol
+    # ------------------------------------------------------------------
+    def simulate_round(self, round_index: int, store: PolicyStore) -> AuditLog:
+        """Simulate one interval of operation under ``store``."""
+        covered = self._covered_rules(store)
+        log = AuditLog(name=f"round_{round_index}")
+        for _ in range(self.config.accesses_per_round):
+            draw = self._rng.random()
+            if draw < self.config.violation_rate:
+                entry = self._violation_access(covered, self.clock.tick())
+            elif draw < self.config.violation_rate + self.config.noise_rate:
+                entry = self._noise_access(covered, self.clock.tick())
+            else:
+                entry = self._workflow_access(covered, self.clock.tick())
+            log.append(entry)
+        return log
+
+    # ------------------------------------------------------------------
+    # traffic components
+    # ------------------------------------------------------------------
+    def _workflow_access(self, covered: set[Rule], time: int):
+        practice = self._rng.choices(
+            self.hospital.practices, weights=self._practice_weights, k=1
+        )[0]
+        member = self._rng.choice(self.hospital.staff_with_role(practice.role))
+        rule = Rule.of(
+            data=practice.data, purpose=practice.purpose, authorized=practice.role
+        )
+        sanctioned = rule in covered
+        return make_entry(
+            time=time,
+            user=member.user_id,
+            data=practice.data,
+            purpose=practice.purpose,
+            authorized=practice.role,
+            status=AccessStatus.REGULAR if sanctioned else AccessStatus.EXCEPTION,
+            truth="" if sanctioned else "practice",
+        )
+
+    def _noise_access(self, covered: set[Rule], time: int):
+        member = self._rng.choice(self.hospital.all_staff())
+        data = self._rng.choice(self._data_values)
+        purpose = self._rng.choice(self._purpose_values)
+        rule = Rule.of(data=data, purpose=purpose, authorized=member.role)
+        sanctioned = rule in covered
+        return make_entry(
+            time=time,
+            user=member.user_id,
+            data=data,
+            purpose=purpose,
+            authorized=member.role,
+            status=AccessStatus.REGULAR if sanctioned else AccessStatus.EXCEPTION,
+            truth="" if sanctioned else "practice",
+        )
+
+    def _violation_access(self, covered: set[Rule], time: int):
+        member = self._snooper
+        # snooping targets sensitive categories for an implausible purpose
+        # no sanctioned workflow ever names (see _purpose_values above)
+        data = self._rng.choice(("psychiatry", "payment_history", "insurance"))
+        purpose = "telemarketing"
+        rule = Rule.of(data=data, purpose=purpose, authorized=member.role)
+        sanctioned = rule in covered
+        return make_entry(
+            time=time,
+            user=member.user_id,
+            data=data,
+            purpose=purpose,
+            authorized=member.role,
+            status=AccessStatus.REGULAR if sanctioned else AccessStatus.EXCEPTION,
+            truth="" if sanctioned else "violation",
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _covered_rules(self, store: PolicyStore) -> set[Rule]:
+        """Ground rules the current store covers (memoised per rule)."""
+        covered: set[Rule] = set()
+        for rule in store:
+            covered.update(self._grounder.ground_rules(rule))
+        return covered

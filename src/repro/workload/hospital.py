@@ -1,0 +1,195 @@
+"""The synthetic hospital model.
+
+This is the stand-in for the Norwegian healthcare organisation whose audit
+trails motivated the paper [Rostad & Edsburg 2006]: a hospital with
+departments, role-structured staff, patients, and — crucially — a **true
+workflow**: the set of (data, purpose, role) practices staff actually
+perform, with relative frequencies.  The documented policy typically
+covers only part of the true workflow; the rest surfaces as exception
+traffic, which is exactly the regime the study reported and the input
+PRIMA's refinement loop needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+from repro.vocab.vocabulary import Vocabulary
+from repro.workload.entities import Department, Patient, StaffMember, WorkflowPractice
+
+
+@dataclass
+class HospitalModel:
+    """Departments, staff, patients and the true workflow."""
+
+    name: str
+    vocabulary: Vocabulary
+    departments: list[Department] = field(default_factory=list)
+    patients: list[Patient] = field(default_factory=list)
+    practices: list[WorkflowPractice] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # rosters
+    # ------------------------------------------------------------------
+    def all_staff(self) -> tuple[StaffMember, ...]:
+        """Every staff member across all departments."""
+        return tuple(
+            member for department in self.departments for member in department.staff
+        )
+
+    def staff_with_role(self, role: str) -> tuple[StaffMember, ...]:
+        """Staff holding ``role`` across all departments."""
+        return tuple(
+            member
+            for department in self.departments
+            for member in department.staff_with_role(role)
+        )
+
+    def roles(self) -> tuple[str, ...]:
+        """Sorted distinct roles actually staffed."""
+        return tuple(sorted({member.role for member in self.all_staff()}))
+
+    # ------------------------------------------------------------------
+    # workflow
+    # ------------------------------------------------------------------
+    def add_practice(self, practice: WorkflowPractice) -> None:
+        """Add a true-workflow practice (its role must be staffed)."""
+        if not self.staff_with_role(practice.role):
+            raise WorkloadError(
+                f"practice {practice.key()} names role {practice.role!r} "
+                "but no staff member holds it"
+            )
+        self.practices.append(practice)
+
+    def practice_rules(self) -> tuple[Rule, ...]:
+        """The true workflow as ground policy rules (deduplicated)."""
+        seen: dict[Rule, None] = {}
+        for practice in self.practices:
+            rule = Rule.of(
+                data=practice.data,
+                purpose=practice.purpose,
+                authorized=practice.role,
+            )
+            seen.setdefault(rule, None)
+        return tuple(seen)
+
+    def documented_store(
+        self, fraction: float, rng: random.Random, name: str = "P_PS"
+    ) -> PolicyStore:
+        """Build an initial policy store covering part of the true workflow.
+
+        A deployment never starts from zero: some practices are documented.
+        ``fraction`` of the distinct practice rules (weighted toward the
+        most frequent ones, as real policy authors document the common
+        cases first) are seeded into the store.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+        by_rule: dict[Rule, float] = {}
+        for practice in self.practices:
+            rule = Rule.of(
+                data=practice.data,
+                purpose=practice.purpose,
+                authorized=practice.role,
+            )
+            by_rule[rule] = by_rule.get(rule, 0.0) + practice.weight
+        ranked = sorted(by_rule.items(), key=lambda pair: -pair[1])
+        keep = round(len(ranked) * fraction)
+        store = PolicyStore(name)
+        for rule, _ in ranked[:keep]:
+            store.add(rule, added_by="initial-deployment", origin="seed")
+        # a little realism: the officer also documents a couple of random
+        # less-frequent practices, so the seeded set is not a clean prefix
+        tail = ranked[keep:]
+        if tail and keep:
+            for rule, _ in rng.sample(tail, k=min(2, len(tail))):
+                store.add(rule, added_by="initial-deployment", origin="seed")
+        return store
+
+
+#: Plausible (data branch, purposes) per role for the built-in hospital.
+_ROLE_PROFILE: dict[str, list[tuple[str, str]]] = {
+    "nurse": [
+        ("prescription", "treatment"),
+        ("referral", "treatment"),
+        ("lab_results", "treatment"),
+        ("referral", "registration"),
+        ("prescription", "diagnosis"),
+        ("lab_results", "diagnosis"),
+        ("name", "treatment"),
+        ("psychiatry", "emergency_care"),
+    ],
+    "physician": [
+        ("prescription", "treatment"),
+        ("referral", "treatment"),
+        ("lab_results", "treatment"),
+        ("psychiatry", "treatment"),
+        ("lab_results", "diagnosis"),
+        ("psychiatry", "diagnosis"),
+        ("lab_results", "research"),
+    ],
+    "doctor": [
+        ("prescription", "treatment"),
+        ("lab_results", "diagnosis"),
+        ("referral", "treatment"),
+        ("psychiatry", "treatment"),
+    ],
+    "clerk": [
+        ("address", "billing"),
+        ("name", "billing"),
+        ("insurance", "billing"),
+        ("payment_history", "billing"),
+        ("prescription", "billing"),
+        ("insurance", "insurance_verification"),
+    ],
+    "registrar": [
+        ("name", "registration"),
+        ("address", "registration"),
+        ("gender", "registration"),
+        ("birth_date", "registration"),
+        ("referral", "registration"),
+        ("insurance", "insurance_verification"),
+    ],
+}
+
+
+def build_hospital(
+    vocabulary: Vocabulary,
+    departments: int = 3,
+    staff_per_role: int = 4,
+    patients: int = 200,
+    seed: int = 7,
+    name: str = "st-elsewhere",
+) -> HospitalModel:
+    """Build the default synthetic hospital.
+
+    Staffing: every department gets ``staff_per_role`` members of each role
+    in the built-in profile.  The true workflow samples each role-profile
+    practice with a heavy-tailed weight (a few dominant practices plus a
+    long tail), which is what gives refinement experiments their
+    characteristic fast-then-slow coverage curves.
+    """
+    if departments < 1 or staff_per_role < 1 or patients < 1:
+        raise WorkloadError("departments, staff_per_role and patients must be >= 1")
+    rng = random.Random(seed)
+    hospital = HospitalModel(name=name, vocabulary=vocabulary)
+    department_names = [f"dept_{index:02d}" for index in range(departments)]
+    for dept_name in department_names:
+        department = Department(dept_name)
+        for role in _ROLE_PROFILE:
+            for index in range(staff_per_role):
+                department.add_staff(f"{role}_{dept_name}_{index:02d}", role)
+        hospital.departments.append(department)
+    hospital.patients = [Patient(f"patient_{index:04d}") for index in range(patients)]
+    for role, profile in _ROLE_PROFILE.items():
+        for data, purpose in profile:
+            # heavy-tailed weights: a few practices dominate the workflow
+            weight = rng.choice([20.0, 10.0, 5.0, 2.0, 1.0, 0.5])
+            hospital.add_practice(
+                WorkflowPractice(data=data, purpose=purpose, role=role, weight=weight)
+            )
+    return hospital

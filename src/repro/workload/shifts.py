@@ -1,0 +1,128 @@
+"""Shift-structured workloads: traffic with a real time-of-day profile.
+
+The plain generator treats time as a bare counter; this variant models a
+day per round.  Each access gets an hour — drawn from the practice's
+:class:`~repro.policy.conditions.TimeWindow` when it has one, uniformly
+otherwise — and a tick computed as ``(day * 24 + hour) * ticks_per_hour
++ offset``, so :func:`repro.mining.temporal.hour_extractor` recovers the
+hour exactly.  This is what lets the temporal-refinement extension run
+against *generated* hospitals instead of hand-built logs.
+"""
+
+from __future__ import annotations
+
+from repro.audit.log import AuditLog
+from repro.errors import WorkloadError
+from repro.policy.conditions import TimeWindow
+from repro.policy.store import PolicyStore
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import HospitalModel
+from repro.workload.entities import WorkflowPractice
+
+
+def add_night_practice(
+    hospital: HospitalModel,
+    data: str,
+    purpose: str,
+    role: str,
+    weight: float = 5.0,
+    window: TimeWindow | None = None,
+) -> WorkflowPractice:
+    """Add a time-confined practice to ``hospital`` (default 22:00-06:00)."""
+    practice = WorkflowPractice(
+        data=data,
+        purpose=purpose,
+        role=role,
+        weight=weight,
+        window=window or TimeWindow(22, 6),
+    )
+    hospital.add_practice(practice)
+    return practice
+
+
+class ShiftStructuredEnvironment(SyntheticHospitalEnvironment):
+    """One round = one day; practices respect their time windows.
+
+    Noise and violation traffic falls uniformly across the day (snoopers
+    do not keep office hours).  The parent class's traffic mix, coverage
+    logic and ground-truth labelling are inherited unchanged — only the
+    timestamping differs.
+    """
+
+    def __init__(
+        self,
+        hospital: HospitalModel,
+        config: WorkloadConfig | None = None,
+        ticks_per_hour: int = 10,
+    ) -> None:
+        super().__init__(hospital, config)
+        if ticks_per_hour < 1:
+            raise WorkloadError(f"ticks_per_hour must be >= 1, got {ticks_per_hour}")
+        self.ticks_per_hour = ticks_per_hour
+        self._next_day = 0
+
+    def simulate_round(self, round_index: int, store: PolicyStore) -> AuditLog:
+        """Simulate one day of operation under ``store``.
+
+        Rounds advance an internal day counter (so repeated calls with
+        any ``round_index`` still move time forward monotonically).
+        """
+        covered = self._covered_rules(store)
+        day = self._next_day
+        self._next_day += 1
+        planned: list = []
+        for _ in range(self.config.accesses_per_round):
+            draw = self._rng.random()
+            if draw < self.config.violation_rate:
+                hour = self._rng.randrange(24)
+                planned.append(("violation", None, hour))
+            elif draw < self.config.violation_rate + self.config.noise_rate:
+                hour = self._rng.randrange(24)
+                planned.append(("noise", None, hour))
+            else:
+                practice = self._rng.choices(
+                    self.hospital.practices, weights=self._practice_weights, k=1
+                )[0]
+                if practice.window is not None:
+                    hour = self._rng.choice(practice.window.hours())
+                else:
+                    hour = self._rng.randrange(24)
+                planned.append(("workflow", practice, hour))
+        # assign in-hour offsets, then emit in chronological order
+        events = []
+        for kind, practice, hour in planned:
+            tick = (day * 24 + hour) * self.ticks_per_hour + self._rng.randrange(
+                self.ticks_per_hour
+            )
+            events.append((tick, kind, practice))
+        events.sort(key=lambda item: item[0])
+        log = AuditLog(name=f"day_{day}")
+        for tick, kind, practice in events:
+            if kind == "violation":
+                log.append(self._violation_access(covered, tick))
+            elif kind == "noise":
+                log.append(self._noise_access(covered, tick))
+            else:
+                log.append(self._practice_access(practice, covered, tick))
+        return log
+
+    def _practice_access(self, practice: WorkflowPractice, covered, tick: int):
+        """Emit one access for a *specific* practice at ``tick``."""
+        from repro.audit.schema import AccessStatus
+        from repro.audit.log import make_entry
+        from repro.policy.rule import Rule
+
+        member = self._rng.choice(self.hospital.staff_with_role(practice.role))
+        rule = Rule.of(
+            data=practice.data, purpose=practice.purpose, authorized=practice.role
+        )
+        sanctioned = rule in covered
+        return make_entry(
+            time=tick,
+            user=member.user_id,
+            data=practice.data,
+            purpose=practice.purpose,
+            authorized=practice.role,
+            status=AccessStatus.REGULAR if sanctioned else AccessStatus.EXCEPTION,
+            truth="" if sanctioned else "practice",
+        )

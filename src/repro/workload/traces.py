@@ -1,0 +1,60 @@
+"""Reproducible trace bundles: a workload config plus its audit log.
+
+Synthetic experiments live or die on reproducibility, so a generated trace
+can be saved as a bundle — a JSON manifest carrying the generator
+parameters next to the JSONL entries — and reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.audit.io import load_jsonl, save_jsonl
+from repro.audit.log import AuditLog
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadConfig
+
+_MANIFEST_SUFFIX = ".manifest.json"
+_LOG_SUFFIX = ".entries.jsonl"
+
+
+def save_trace(
+    log: AuditLog, config: WorkloadConfig, directory: str | Path, name: str
+) -> tuple[Path, Path]:
+    """Write a trace bundle; returns (manifest path, entries path)."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest_path = target / f"{name}{_MANIFEST_SUFFIX}"
+    entries_path = target / f"{name}{_LOG_SUFFIX}"
+    manifest = {
+        "name": name,
+        "entries_file": entries_path.name,
+        "entry_count": len(log),
+        "config": asdict(config),
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    save_jsonl(log, entries_path)
+    return manifest_path, entries_path
+
+
+def load_trace(directory: str | Path, name: str) -> tuple[AuditLog, WorkloadConfig]:
+    """Read a bundle written by :func:`save_trace`."""
+    target = Path(directory)
+    manifest_path = target / f"{name}{_MANIFEST_SUFFIX}"
+    if not manifest_path.exists():
+        raise WorkloadError(f"no trace manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        config = WorkloadConfig(**manifest["config"])
+        entries_path = target / manifest["entries_file"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise WorkloadError(f"malformed trace manifest {manifest_path}: {exc}") from exc
+    log = load_jsonl(entries_path, name=manifest.get("name"))
+    if len(log) != manifest.get("entry_count"):
+        raise WorkloadError(
+            f"trace {name!r} is corrupt: manifest says "
+            f"{manifest.get('entry_count')} entries, file has {len(log)}"
+        )
+    return log, config

@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's vocabulary, policies and audit trail."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog
+from repro.policy.policy import Policy
+from repro.policy.store import PolicyStore
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.vocabulary import Vocabulary
+from repro.workload.scenarios import (
+    figure3_audit_policy,
+    figure3_policy,
+    figure3_policy_store,
+    table1_audit_log,
+)
+
+
+@pytest.fixture()
+def vocabulary() -> Vocabulary:
+    """The Figure 1 healthcare vocabulary."""
+    return healthcare_vocabulary()
+
+
+@pytest.fixture()
+def strict_vocabulary() -> Vocabulary:
+    return healthcare_vocabulary(strict=True)
+
+
+@pytest.fixture()
+def fig3_store() -> PolicyStore:
+    """Figure 3(a) as a policy store."""
+    return figure3_policy_store()
+
+
+@pytest.fixture()
+def fig3_policy() -> Policy:
+    """Figure 3(a) as a plain policy."""
+    return figure3_policy()
+
+
+@pytest.fixture()
+def fig3_audit() -> Policy:
+    """Figure 3(b) as the audit-log policy."""
+    return figure3_audit_policy()
+
+
+@pytest.fixture()
+def table1_log() -> AuditLog:
+    """The Section 5 audit trail (t1..t10)."""
+    return table1_audit_log()

@@ -1,0 +1,70 @@
+"""Unit tests for audit CSV/JSONL persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import io as audit_io
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import AuditError
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        rebuilt = audit_io.load_csv(path)
+        assert rebuilt.entries == table1_log.entries
+
+    def test_csv_drops_truth(self, tmp_path):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "a", "referral", "treatment", "nurse",
+                       status=AccessStatus.EXCEPTION, truth="practice")
+        )
+        path = audit_io.save_csv(log, tmp_path / "log.csv")
+        rebuilt = audit_io.load_csv(path)
+        assert rebuilt[0].truth == ""
+
+    def test_load_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n", encoding="utf-8")
+        with pytest.raises(AuditError):
+            audit_io.load_csv(path)
+
+    def test_name_defaults_to_stem(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "trail.csv")
+        assert audit_io.load_csv(path).name == "trail"
+
+
+class TestJsonl:
+    def test_round_trip_keeps_truth(self, tmp_path):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "a", "referral", "treatment", "nurse",
+                       status=AccessStatus.EXCEPTION, truth="violation")
+        )
+        path = audit_io.save_jsonl(log, tmp_path / "log.jsonl")
+        rebuilt = audit_io.load_jsonl(path)
+        assert rebuilt[0].truth == "violation"
+
+    def test_round_trip_can_drop_truth(self, tmp_path):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "a", "referral", "treatment", "nurse",
+                       status=AccessStatus.EXCEPTION, truth="violation")
+        )
+        path = audit_io.save_jsonl(log, tmp_path / "log.jsonl", include_truth=False)
+        assert audit_io.load_jsonl(path)[0].truth == ""
+
+    def test_blank_lines_skipped(self, tmp_path, table1_log):
+        path = audit_io.save_jsonl(table1_log, tmp_path / "log.jsonl")
+        padded = path.read_text() + "\n\n"
+        path.write_text(padded, encoding="utf-8")
+        assert len(audit_io.load_jsonl(path)) == 10
+
+    def test_invalid_json_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n", encoding="utf-8")
+        with pytest.raises(AuditError, match="bad.jsonl:1"):
+            audit_io.load_jsonl(path)

@@ -1,0 +1,106 @@
+"""Unit tests for audit logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.errors import AuditError
+from repro.policy.policy import PolicySource
+from repro.policy.rule import Rule
+from repro.sqlmini.database import Database
+
+
+class TestAppendOrdering:
+    def test_times_must_be_non_decreasing(self):
+        log = AuditLog()
+        log.append(make_entry(1, "a", "referral", "treatment", "nurse"))
+        log.append(make_entry(1, "b", "referral", "treatment", "nurse"))
+        with pytest.raises(AuditError):
+            log.append(make_entry(0, "c", "referral", "treatment", "nurse"))
+
+    def test_rejects_non_entries(self):
+        with pytest.raises(AuditError):
+            AuditLog().append("nope")  # type: ignore[arg-type]
+
+    def test_len_iter_getitem(self, table1_log):
+        assert len(table1_log) == 10
+        assert table1_log[0].user == "john"
+        assert [e.time for e in table1_log] == list(range(1, 11))
+
+
+class TestSlicing:
+    def test_window_is_half_open(self, table1_log):
+        window = table1_log.window(3, 7)
+        assert [e.time for e in window] == [3, 4, 5, 6]
+
+    def test_exceptions_subset(self, table1_log):
+        # t3, t4, t6, t7, t8, t9, t10
+        assert len(table1_log.exceptions()) == 7
+
+    def test_regular_subset(self, table1_log):
+        assert len(table1_log.regular()) == 3
+
+    def test_denials_subset(self, table1_log):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "a", "psychiatry", "research", "clerk", op=AccessOp.DENY)
+        )
+        log.append(make_entry(2, "b", "referral", "treatment", "nurse"))
+        assert len(log.denials()) == 1
+
+    def test_where_preserves_order(self, table1_log):
+        marks = table1_log.where(lambda e: e.user == "mark")
+        assert [e.time for e in marks] == [3, 7, 10]
+
+
+class TestStatistics:
+    def test_distinct_users(self, table1_log):
+        assert table1_log.distinct_users() == (
+            "bill", "bob", "jason", "john", "mark", "sarah", "tim",
+        )
+
+    def test_time_range(self, table1_log):
+        assert table1_log.time_range() == (1, 10)
+
+    def test_time_range_empty_raises(self):
+        with pytest.raises(AuditError):
+            AuditLog().time_range()
+
+    def test_exception_rate(self, table1_log):
+        assert table1_log.exception_rate() == pytest.approx(0.7)
+
+    def test_exception_rate_no_allowed_raises(self):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "a", "referral", "treatment", "nurse", op=AccessOp.DENY)
+        )
+        with pytest.raises(AuditError):
+            log.exception_rate()
+
+    def test_rule_histogram(self, table1_log):
+        histogram = table1_log.rule_histogram()
+        key = Rule.of(data="referral", purpose="registration", authorized="nurse")
+        assert histogram[key] == 5
+
+
+class TestConversions:
+    def test_to_policy_preserves_duplicates(self, table1_log):
+        policy = table1_log.to_policy()
+        assert policy.cardinality == 10
+        assert policy.source is PolicySource.AUDIT_LOG
+
+    def test_to_table_materialises_rows(self, table1_log):
+        db = Database()
+        table = table1_log.to_table(db, "audit")
+        assert len(table) == 10
+        count = db.query(
+            "SELECT COUNT(*) FROM audit WHERE status = 0"
+        ).scalar()
+        assert count == 7
+
+    def test_make_entry_defaults(self):
+        entry = make_entry(5, "u", "referral", "treatment", "nurse")
+        assert entry.op is AccessOp.ALLOW
+        assert entry.status is AccessStatus.REGULAR

@@ -1,0 +1,70 @@
+"""Tests for the compliance report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog
+from repro.audit.reports import compliance_report
+from repro.errors import AuditError
+from repro.experiments.harness import standard_loop_setup
+
+
+@pytest.fixture(scope="module")
+def report():
+    setup = standard_loop_setup(accesses_per_round=1500, seed=5)
+    log = setup.environment.simulate_round(0, setup.store)
+    return compliance_report(setup.store.policy(), log, setup.vocabulary)
+
+
+class TestComplianceReport:
+    def test_headline_numbers_consistent(self, report):
+        assert report.entries == 1500
+        assert 0.0 <= report.set_coverage.ratio <= 1.0
+        assert 0.0 <= report.entry_coverage.ratio <= 1.0
+        assert 0.0 < report.exception_rate < 1.0
+
+    def test_trend_has_about_ten_windows(self, report):
+        assert 8 <= len(report.trend) <= 11
+
+    def test_weakest_first_ordering(self, report):
+        ratios = [item.entry_coverage for item in report.weakest_roles]
+        assert ratios == sorted(ratios)
+
+    def test_candidates_present_for_undocumented_workflow(self, report):
+        assert report.candidates  # 60% of the workflow is undocumented
+
+    def test_triage_splits_exceptions(self, report):
+        classified = len(report.triage.practice) + len(report.triage.violations)
+        assert classified > 0
+
+    def test_render_contains_all_sections(self, report):
+        text = report.render()
+        for expected in (
+            "PRIMA compliance report",
+            "break-the-glass rate",
+            "coverage trend",
+            "least-covered roles",
+            "least-covered data categories",
+            "exception triage",
+            "refinement candidates",
+        ):
+            assert expected in text
+
+    def test_render_truncates_long_lists(self, report):
+        text = report.render(max_items=1)
+        if len(report.candidates) > 1:
+            assert "more" in text
+
+    def test_table1_report(self, vocabulary, fig3_policy, table1_log):
+        result = compliance_report(
+            fig3_policy, table1_log, vocabulary, window_size=5
+        )
+        assert result.entry_coverage.ratio == pytest.approx(0.3)
+        assert len(result.candidates) == 1
+        text = result.render()
+        assert "referral" in text
+
+    def test_empty_log_rejected(self, vocabulary, fig3_policy):
+        with pytest.raises(AuditError):
+            compliance_report(fig3_policy, AuditLog(), vocabulary)

@@ -1,0 +1,157 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.io import save_csv, save_jsonl
+from repro.cli import main
+from repro.policy.parser import format_policy
+from repro.workload.scenarios import figure3_policy, table1_audit_log
+
+
+@pytest.fixture()
+def store_file(tmp_path):
+    path = tmp_path / "store.policy"
+    path.write_text(format_policy(figure3_policy()), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def log_file(tmp_path):
+    return str(save_csv(table1_audit_log(), tmp_path / "audit.csv"))
+
+
+class TestPaperCommand:
+    def test_prints_paper_tables(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Table 1" in out
+        assert "50%" in out
+        assert "30%" in out
+
+
+class TestCoverageCommand:
+    def test_both_semantics_reported(self, capsys, store_file, log_file):
+        assert main(["coverage", "--store", store_file, "--log", log_file]) == 0
+        out = capsys.readouterr().out
+        assert "set coverage   : 50.0%" in out
+        assert "entry coverage : 30.0%" in out
+        assert "deviations:" in out
+
+    def test_breakdown_flag(self, capsys, store_file, log_file):
+        assert main(
+            ["coverage", "--store", store_file, "--log", log_file,
+             "--by", "authorized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "entry coverage by authorized" in out
+        assert "nurse" in out
+
+    def test_missing_file_is_reported_not_raised(self, capsys, store_file):
+        assert main(
+            ["coverage", "--store", store_file, "--log", "/nope/missing.csv"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_log_format_reported(self, capsys, store_file, tmp_path):
+        bogus = tmp_path / "log.xml"
+        bogus.write_text("<x/>", encoding="utf-8")
+        assert main(
+            ["coverage", "--store", store_file, "--log", str(bogus)]
+        ) == 1
+        assert "unsupported audit log format" in capsys.readouterr().err
+
+
+class TestRefineCommand:
+    def test_finds_table1_pattern(self, capsys, store_file, log_file):
+        assert main(["refine", "--store", store_file, "--log", log_file]) == 0
+        out = capsys.readouterr().out
+        assert "ALLOW nurse TO USE referral FOR registration" in out
+        assert "support=5" in out
+
+    def test_threshold_flags(self, capsys, store_file, log_file):
+        assert main(
+            ["refine", "--store", store_file, "--log", log_file,
+             "--min-support", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "patterns mined   : 0" in out
+
+    def test_apriori_miner(self, capsys, store_file, log_file):
+        assert main(
+            ["refine", "--store", store_file, "--log", log_file,
+             "--miner", "apriori"]
+        ) == 0
+        assert "referral" in capsys.readouterr().out
+
+    def test_temporal_flag(self, capsys, store_file, tmp_path):
+        # a night-shift-only practice in jsonl form
+        from repro.audit.log import AuditLog, make_entry
+        from repro.audit.schema import AccessStatus
+
+        log = AuditLog()
+        tick_users = []
+        for day in range(3):
+            for offset, user in ((22, "a"), (23, "b"), (24, "c")):
+                tick_users.append((day * 24 + offset, user))
+        tick_users.sort()
+        for tick, user in tick_users:
+            log.append(
+                make_entry(tick, user, "referral", "registration", "nurse",
+                           status=AccessStatus.EXCEPTION)
+            )
+        path = save_jsonl(log, tmp_path / "night.jsonl")
+        assert main(
+            ["refine", "--store", store_file, "--log", str(path), "--temporal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "WHEN HOUR IN" in out
+
+
+class TestReportCommand:
+    def test_full_report(self, capsys, store_file, log_file):
+        assert main(
+            ["report", "--store", store_file, "--log", log_file, "--window", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PRIMA compliance report" in out
+        assert "coverage trend" in out
+        assert "refinement candidates" in out
+
+    def test_accepts_store_json(self, capsys, tmp_path, log_file):
+        from repro.policy import store_io
+        from repro.workload.scenarios import figure3_policy_store
+
+        path = store_io.save(figure3_policy_store(), tmp_path / "store.json")
+        assert main(
+            ["coverage", "--store", str(path), "--log", log_file]
+        ) == 0
+        assert "set coverage   : 50.0%" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_triage_summary(self, capsys, log_file):
+        assert main(["classify", "--log", log_file]) == 0
+        out = capsys.readouterr().out
+        assert "exceptions          : 7" in out
+        assert "judged practice" in out
+
+
+class TestSimulateCommand:
+    def test_prints_round_table(self, capsys):
+        assert main(
+            ["simulate", "--rounds", "2", "--accesses", "800", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "refinement loop" in out
+        assert "exc-rate" in out
+        assert out.count("\n") >= 4
+
+    def test_accept_all_review(self, capsys):
+        assert main(
+            ["simulate", "--rounds", "1", "--accesses", "500",
+             "--review", "accept-all"]
+        ) == 0
+        assert "accept-all" in capsys.readouterr().out

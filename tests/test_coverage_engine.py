@@ -1,0 +1,134 @@
+"""Unit tests for repro.coverage.engine (Algorithm 1, Definitions 9-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.engine import (
+    completely_covers,
+    compute_coverage,
+    compute_entry_coverage,
+)
+from repro.errors import CoverageError
+from repro.policy.grounding import Grounder
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+def _rule(data: str, purpose: str = "treatment", role: str = "nurse") -> Rule:
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+class TestFigure3:
+    def test_paper_coverage_is_fifty_percent(self, vocabulary, fig3_policy, fig3_audit):
+        report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        assert report.ratio == pytest.approx(0.5)
+        assert report.overlap.cardinality == 3
+        assert report.reference.cardinality == 6
+
+    def test_uncovered_rules_match_paper_narrative(
+        self, vocabulary, fig3_policy, fig3_audit
+    ):
+        report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        uncovered = set(report.uncovered)
+        assert uncovered == {
+            _rule("referral", "registration", "nurse"),
+            _rule("psychiatry", "treatment", "nurse"),
+            _rule("prescription", "billing", "clerk"),
+        }
+
+    def test_not_complete(self, vocabulary, fig3_policy, fig3_audit):
+        report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        assert not report.complete
+        assert not completely_covers(fig3_policy, fig3_audit, vocabulary)
+
+
+class TestSemantics:
+    def test_self_coverage_is_complete(self, vocabulary, fig3_policy):
+        report = compute_coverage(fig3_policy, fig3_policy, vocabulary)
+        assert report.ratio == 1.0
+        assert report.complete
+
+    def test_coverage_is_directional(self, vocabulary, fig3_policy, fig3_audit):
+        forward = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        backward = compute_coverage(fig3_audit, fig3_policy, vocabulary)
+        # store covers 3 of 6 audit rules; audit covers 3 of 8 store rules
+        assert forward.ratio == pytest.approx(0.5)
+        assert backward.ratio == pytest.approx(3 / 8)
+
+    def test_empty_reference_raises(self, vocabulary, fig3_policy):
+        with pytest.raises(CoverageError):
+            compute_coverage(fig3_policy, Policy([]), vocabulary)
+
+    def test_empty_covering_gives_zero(self, vocabulary, fig3_audit):
+        report = compute_coverage(Policy([]), fig3_audit, vocabulary)
+        assert report.ratio == 0.0
+
+    def test_ratio_bounds(self, vocabulary, fig3_policy, fig3_audit):
+        report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        assert 0.0 <= report.ratio <= 1.0
+
+    def test_composite_reference_expands_before_comparison(self, vocabulary):
+        # store grants one leaf; reference asks for the whole composite
+        store = Policy([_rule("address", "billing", "clerk")])
+        reference = Policy([_rule("demographic", "billing", "clerk")])
+        report = compute_coverage(store, reference, vocabulary)
+        assert report.ratio == pytest.approx(1 / 4)
+
+    def test_shared_grounder_must_match_vocabulary(self, vocabulary, fig3_policy, fig3_audit):
+        other = healthcare_vocabulary()
+        grounder = Grounder(other)
+        with pytest.raises(CoverageError):
+            compute_coverage(fig3_policy, fig3_audit, vocabulary, grounder)
+
+    def test_shared_grounder_reused(self, vocabulary, fig3_policy, fig3_audit):
+        grounder = Grounder(vocabulary)
+        first = compute_coverage(fig3_policy, fig3_audit, vocabulary, grounder)
+        second = compute_coverage(fig3_policy, fig3_audit, vocabulary, grounder)
+        assert first.ratio == second.ratio
+        assert grounder.hits > 0
+
+    def test_str_rendering(self, vocabulary, fig3_policy, fig3_audit):
+        report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+        assert "50.0%" in str(report)
+
+
+class TestEntryCoverage:
+    def test_table1_entry_coverage_is_thirty_percent(self, vocabulary, fig3_policy, table1_log):
+        trace = [entry.to_rule() for entry in table1_log]
+        report = compute_entry_coverage(fig3_policy, trace, vocabulary)
+        assert report.ratio == pytest.approx(0.3)
+        assert report.matched == 3
+        assert report.total == 10
+
+    def test_uncovered_entry_indices(self, vocabulary, fig3_policy, table1_log):
+        trace = [entry.to_rule() for entry in table1_log]
+        report = compute_entry_coverage(fig3_policy, trace, vocabulary)
+        # t3, t4, t6, t7, t8, t9, t10 -> zero-based 2,3,5,6,7,8,9
+        assert report.uncovered_entries == (2, 3, 5, 6, 7, 8, 9)
+
+    def test_empty_trace_raises(self, vocabulary, fig3_policy):
+        with pytest.raises(CoverageError):
+            compute_entry_coverage(fig3_policy, [], vocabulary)
+
+    def test_composite_entry_needs_full_expansion_covered(self, vocabulary):
+        store = Policy([_rule("address", "billing", "clerk")])
+        composite_entry = _rule("demographic", "billing", "clerk")
+        report = compute_entry_coverage(store, [composite_entry], vocabulary)
+        assert report.matched == 0
+        full_store = Policy([_rule("demographic", "billing", "clerk")])
+        report = compute_entry_coverage(full_store, [composite_entry], vocabulary)
+        assert report.matched == 1
+
+    def test_set_vs_entry_semantics_differ_on_duplicates(
+        self, vocabulary, fig3_policy, table1_log
+    ):
+        # the documented paper discrepancy: dedup -> 50%, entries -> 30%
+        audit_policy = table1_log.to_policy()
+        set_report = compute_coverage(fig3_policy, audit_policy, vocabulary)
+        entry_report = compute_entry_coverage(
+            fig3_policy, iter(audit_policy), vocabulary
+        )
+        assert set_report.ratio == pytest.approx(0.5)
+        assert entry_report.ratio == pytest.approx(0.3)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.coverage.gaps (the Section 3.3 narrative)."""
+
+from __future__ import annotations
+
+from repro.coverage.engine import compute_coverage
+from repro.coverage.gaps import analyse_gaps
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+
+
+def _gaps(vocabulary, fig3_policy, fig3_audit):
+    report = compute_coverage(fig3_policy, fig3_audit, vocabulary)
+    return analyse_gaps(report, fig3_policy, vocabulary)
+
+
+class TestFigure3Narrative:
+    def test_rule3_deviates_on_purpose(self, vocabulary, fig3_policy, fig3_audit):
+        # "a nurse needed to access referral data for registration purpose,
+        #  but the policy allows the use of such data only for treatment"
+        gaps = _gaps(vocabulary, fig3_policy, fig3_audit)
+        rule3 = Rule.of(data="referral", purpose="registration", authorized="nurse")
+        deviations = [d for d in gaps.deviations if d.uncovered == rule3]
+        assert len(deviations) == 1
+        assert deviations[0].attribute == "purpose"
+        assert deviations[0].observed == "registration"
+        assert deviations[0].allowed == "treatment"
+
+    def test_rule4_deviates_on_role_and_data(self, vocabulary, fig3_policy, fig3_audit):
+        # psychiatry:treatment:nurse misses the physician-only rule on the
+        # role axis and the medical-records rule on the data axis
+        gaps = _gaps(vocabulary, fig3_policy, fig3_audit)
+        rule4 = Rule.of(data="psychiatry", purpose="treatment", authorized="nurse")
+        attributes = {d.attribute for d in gaps.deviations if d.uncovered == rule4}
+        assert attributes == {"authorized", "data"}
+
+    def test_rule6_deviates_on_data(self, vocabulary, fig3_policy, fig3_audit):
+        # "the policy allows the use of only demographic data for this purpose"
+        gaps = _gaps(vocabulary, fig3_policy, fig3_audit)
+        rule6 = Rule.of(data="prescription", purpose="billing", authorized="clerk")
+        deviations = [d for d in gaps.deviations if d.uncovered == rule6]
+        assert len(deviations) == 1
+        assert deviations[0].attribute == "data"
+        assert deviations[0].allowed == "demographic"
+
+    def test_every_figure3_gap_is_explained(self, vocabulary, fig3_policy, fig3_audit):
+        gaps = _gaps(vocabulary, fig3_policy, fig3_audit)
+        assert gaps.unexplained == ()
+        assert gaps.explained_count == 3
+
+    def test_by_attribute_histogram(self, vocabulary, fig3_policy, fig3_audit):
+        gaps = _gaps(vocabulary, fig3_policy, fig3_audit)
+        assert gaps.by_attribute() == {"data": 2, "authorized": 1, "purpose": 1}
+
+    def test_describe_mentions_values(self, vocabulary, fig3_policy, fig3_audit):
+        text = _gaps(vocabulary, fig3_policy, fig3_audit).describe()
+        assert "registration" in text
+        assert "deviates" in text
+
+
+class TestEdgeCases:
+    def test_unexplained_when_no_near_miss(self, vocabulary):
+        store = Policy([Rule.of(data="address", purpose="billing", authorized="clerk")])
+        audit = Policy([Rule.of(data="psychiatry", purpose="research", authorized="nurse")])
+        report = compute_coverage(store, audit, vocabulary)
+        gaps = analyse_gaps(report, store, vocabulary)
+        assert len(gaps.unexplained) == 1
+        assert gaps.deviations == ()
+        assert "no near-miss" in gaps.describe()
+
+    def test_cardinality_mismatch_is_not_comparable(self, vocabulary):
+        store = Policy([Rule.of(data="address", purpose="billing")])
+        audit = Policy([Rule.of(data="address", purpose="research", authorized="clerk")])
+        report = compute_coverage(store, audit, vocabulary)
+        gaps = analyse_gaps(report, store, vocabulary)
+        assert gaps.unexplained != ()
+
+    def test_no_gaps_when_complete(self, vocabulary, fig3_policy):
+        report = compute_coverage(fig3_policy, fig3_policy, vocabulary)
+        gaps = analyse_gaps(report, fig3_policy, vocabulary)
+        assert gaps.deviations == ()
+        assert gaps.unexplained == ()

@@ -1,0 +1,97 @@
+"""Unit tests for the streaming coverage tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.engine import compute_coverage, compute_entry_coverage
+from repro.coverage.incremental import IncrementalCoverage
+from repro.errors import CoverageError
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+
+
+def _rule(data: str, purpose: str = "treatment", role: str = "nurse") -> Rule:
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+class TestObserve:
+    def test_observe_reports_covered(self, vocabulary, fig3_policy):
+        tracker = IncrementalCoverage(vocabulary, fig3_policy)
+        assert tracker.observe(_rule("referral")) is True
+        assert tracker.observe(_rule("psychiatry")) is False
+
+    def test_counts(self, vocabulary, fig3_policy):
+        tracker = IncrementalCoverage(vocabulary, fig3_policy)
+        tracker.observe(_rule("referral"))
+        tracker.observe(_rule("referral"))
+        tracker.observe(_rule("psychiatry"))
+        assert tracker.total_entries == 3
+        assert tracker.matched_entries == 2
+        assert tracker.distinct_ground_entries == 2
+        assert tracker.entry_coverage() == pytest.approx(2 / 3)
+        assert tracker.set_coverage() == pytest.approx(1 / 2)
+
+    def test_empty_tracker_raises(self, vocabulary):
+        tracker = IncrementalCoverage(vocabulary)
+        with pytest.raises(CoverageError):
+            tracker.entry_coverage()
+        with pytest.raises(CoverageError):
+            tracker.set_coverage()
+
+
+class TestAddRule:
+    def test_retroactive_credit(self, vocabulary):
+        tracker = IncrementalCoverage(vocabulary)
+        tracker.observe(_rule("referral"))
+        tracker.observe(_rule("referral"))
+        assert tracker.matched_entries == 0
+        added = tracker.add_rule(_rule("referral"))
+        assert added == 1
+        assert tracker.matched_entries == 2
+        assert tracker.entry_coverage() == 1.0
+
+    def test_composite_rule_credits_all_leaves(self, vocabulary):
+        tracker = IncrementalCoverage(vocabulary)
+        tracker.observe(_rule("address", "billing", "clerk"))
+        added = tracker.add_rule(_rule("demographic", "billing", "clerk"))
+        assert added == 4
+        assert tracker.entry_coverage() == 1.0
+
+    def test_duplicate_rule_adds_nothing(self, vocabulary):
+        tracker = IncrementalCoverage(vocabulary)
+        tracker.add_rule(_rule("referral"))
+        assert tracker.add_rule(_rule("referral")) == 0
+
+    def test_uncovered_ground_entries(self, vocabulary, fig3_policy):
+        tracker = IncrementalCoverage(vocabulary, fig3_policy)
+        tracker.observe(_rule("psychiatry"))
+        tracker.observe(_rule("referral"))
+        assert tracker.uncovered_ground_entries() == (_rule("psychiatry"),)
+
+
+class TestAgreementWithBatch:
+    def test_matches_batch_computation_on_table1(
+        self, vocabulary, fig3_policy, table1_log
+    ):
+        tracker = IncrementalCoverage(vocabulary, fig3_policy)
+        trace = [entry.to_rule() for entry in table1_log]
+        for rule in trace:
+            tracker.observe(rule)
+        batch_entry = compute_entry_coverage(fig3_policy, trace, vocabulary)
+        batch_set = compute_coverage(
+            fig3_policy, Policy(trace, source="AL"), vocabulary
+        )
+        assert tracker.entry_coverage() == pytest.approx(batch_entry.ratio)
+        assert tracker.set_coverage() == pytest.approx(batch_set.ratio)
+
+    def test_matches_batch_after_rule_addition(self, vocabulary, fig3_policy, table1_log):
+        tracker = IncrementalCoverage(vocabulary, fig3_policy)
+        trace = [entry.to_rule() for entry in table1_log]
+        for rule in trace:
+            tracker.observe(rule)
+        new_rule = _rule("referral", "registration", "nurse")
+        tracker.add_rule(new_rule)
+        grown = Policy([*fig3_policy, new_rule])
+        batch = compute_entry_coverage(grown, trace, vocabulary)
+        assert tracker.entry_coverage() == pytest.approx(batch.ratio)  # 0.8

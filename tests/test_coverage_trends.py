@@ -1,0 +1,105 @@
+"""Unit tests for coverage trend analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.coverage.trends import coverage_by_attribute, coverage_series
+from repro.errors import AuditError, CoverageError
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+
+
+def _covered_entry(tick: int):
+    return make_entry(tick, "u1", "referral", "treatment", "nurse")
+
+
+def _uncovered_entry(tick: int):
+    return make_entry(tick, "u2", "psychiatry", "treatment", "nurse",
+                      status=AccessStatus.EXCEPTION)
+
+
+@pytest.fixture()
+def store_policy() -> Policy:
+    return Policy([
+        Rule.of(data="medical_records", purpose="treatment", authorized="nurse"),
+    ])
+
+
+class TestCoverageSeries:
+    def test_windows_aligned_and_scored(self, vocabulary, store_policy):
+        log = AuditLog()
+        # window 1 (ticks 0-9): 2 covered, 2 uncovered; window 2: all covered
+        log.extend([_covered_entry(0), _uncovered_entry(1),
+                    _covered_entry(5), _uncovered_entry(9)])
+        log.extend([_covered_entry(10), _covered_entry(12)])
+        points = coverage_series(store_policy, log, vocabulary, window_size=10)
+        assert len(points) == 2
+        first, second = points
+        assert (first.start, first.end, first.entries) == (0, 10, 4)
+        assert first.entry_coverage == pytest.approx(0.5)
+        assert first.set_coverage == pytest.approx(0.5)
+        assert first.exception_rate == pytest.approx(0.5)
+        assert second.entry_coverage == 1.0
+        assert second.exception_rate == 0.0
+
+    def test_empty_windows_skipped(self, vocabulary, store_policy):
+        log = AuditLog()
+        log.append(_covered_entry(0))
+        log.append(_covered_entry(35))
+        points = coverage_series(store_policy, log, vocabulary, window_size=10)
+        assert [point.start for point in points] == [0, 30]
+
+    def test_validation(self, vocabulary, store_policy):
+        with pytest.raises(CoverageError):
+            coverage_series(store_policy, AuditLog([_covered_entry(0)]),
+                            vocabulary, window_size=0)
+        with pytest.raises(AuditError):
+            coverage_series(store_policy, AuditLog(), vocabulary, window_size=10)
+
+    def test_trend_shows_improvement_on_table1_plus_fix(
+        self, vocabulary, fig3_policy, table1_log
+    ):
+        grown = Policy([
+            *fig3_policy,
+            Rule.of(data="referral", purpose="registration", authorized="nurse"),
+        ])
+        before = coverage_series(fig3_policy, table1_log, vocabulary, window_size=10)
+        after = coverage_series(grown, table1_log, vocabulary, window_size=10)
+        assert after[0].entry_coverage > before[0].entry_coverage
+
+
+class TestCoverageByAttribute:
+    def test_breakdown_by_role(self, vocabulary, fig3_policy, table1_log):
+        slices = coverage_by_attribute(
+            fig3_policy, table1_log, vocabulary, "authorized"
+        )
+        by_value = {item.value: item for item in slices}
+        # nurses: 2 of 7 entries covered; clerks: 1 of 2; the doctor: 0 of 1
+        assert by_value["nurse"].entries == 7
+        assert by_value["nurse"].matched == 2
+        assert by_value["clerk"].matched == 1
+        assert by_value["doctor"].matched == 0
+
+    def test_sorted_worst_first(self, vocabulary, fig3_policy, table1_log):
+        slices = coverage_by_attribute(
+            fig3_policy, table1_log, vocabulary, "authorized"
+        )
+        ratios = [item.entry_coverage for item in slices]
+        assert ratios == sorted(ratios)
+
+    def test_breakdown_by_data(self, vocabulary, fig3_policy, table1_log):
+        slices = coverage_by_attribute(fig3_policy, table1_log, vocabulary, "data")
+        by_value = {item.value: item for item in slices}
+        assert by_value["referral"].entries == 6
+        assert by_value["referral"].matched == 1  # only the treatment one
+
+    def test_unknown_attribute_rejected(self, vocabulary, fig3_policy, table1_log):
+        with pytest.raises(AuditError):
+            coverage_by_attribute(fig3_policy, table1_log, vocabulary, "bogus")
+
+    def test_empty_log_rejected(self, vocabulary, fig3_policy):
+        with pytest.raises(AuditError):
+            coverage_by_attribute(fig3_policy, AuditLog(), vocabulary)

@@ -1,0 +1,53 @@
+"""Tests pinning the E1/E2 reproductions to the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper import reproduce_figure3, reproduce_table1
+from repro.policy.rule import Rule
+
+
+class TestFigure3:
+    def test_headline_numbers(self):
+        result = reproduce_figure3()
+        assert result.store_range_size == 8
+        assert result.audit_range_size == 6
+        assert result.overlap_size == 3
+        assert result.coverage == pytest.approx(0.5)
+
+    def test_gap_analysis_covers_all_three_exceptions(self):
+        result = reproduce_figure3()
+        assert result.gaps.explained_count == 3
+        assert result.gaps.unexplained == ()
+
+
+class TestTable1:
+    def test_coverage_before(self):
+        result = reproduce_table1()
+        assert result.entry_coverage_before.ratio == pytest.approx(0.3)
+        assert result.set_coverage_before.ratio == pytest.approx(0.5)
+
+    def test_filter_keeps_seven_entries(self):
+        assert reproduce_table1().practice_size == 7
+
+    def test_single_pattern_with_paper_evidence(self):
+        result = reproduce_table1()
+        assert len(result.patterns) == 1
+        pattern = result.patterns[0]
+        assert pattern.rule == Rule.of(
+            data="referral", purpose="registration", authorized="nurse"
+        )
+        assert pattern.support == 5
+        assert pattern.distinct_users == 3
+        assert result.useful_patterns == result.patterns  # nothing pruned
+
+    def test_coverage_after_adoption(self):
+        result = reproduce_table1()
+        assert result.entry_coverage_after.ratio == pytest.approx(0.8)
+        assert result.set_coverage_after.ratio == pytest.approx(4 / 6)
+
+    def test_refinement_improves_both_semantics(self):
+        result = reproduce_table1()
+        assert result.entry_coverage_after.ratio > result.entry_coverage_before.ratio
+        assert result.set_coverage_after.ratio > result.set_coverage_before.ratio

@@ -1,0 +1,127 @@
+"""Tests for the E4/E5/E9 sweep harnesses."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.harness import clinical_db_setup, standard_loop_setup
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.sweeps import (
+    mining_comparison,
+    planted_correlation_log,
+    threshold_sweep,
+    violation_sweep,
+)
+from repro.policy.store import PolicyStore
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import build_hospital
+
+
+@pytest.fixture(scope="module")
+def synthetic_setup():
+    setup = standard_loop_setup(accesses_per_round=2000, seed=11)
+    log = setup.environment.simulate_round(0, setup.store)
+    workflow = set(setup.hospital.practice_rules())
+    return log, workflow
+
+
+class TestThresholdSweep:
+    def test_lower_f_finds_more_patterns(self, synthetic_setup):
+        log, workflow = synthetic_setup
+        points = threshold_sweep(
+            log, workflow, support_values=(2, 20), user_values=(2,)
+        )
+        low, high = points
+        assert low.patterns_found >= high.patterns_found
+
+    def test_recall_monotone_nonincreasing_in_f(self, synthetic_setup):
+        log, workflow = synthetic_setup
+        points = threshold_sweep(
+            log, workflow, support_values=(2, 5, 10, 20), user_values=(2,)
+        )
+        recalls = [p.workflow_recall for p in points]
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_user_condition_screens_snooper(self, synthetic_setup):
+        log, workflow = synthetic_setup
+        loose, strict = threshold_sweep(
+            log, workflow, support_values=(5,), user_values=(1, 2)
+        )
+        # with c=1 the single-user violation patterns are mined too
+        assert loose.violation_found > 0
+        assert strict.violation_found == 0
+
+    def test_counts_partition_patterns(self, synthetic_setup):
+        log, workflow = synthetic_setup
+        for point in threshold_sweep(log, workflow, (2, 5), (1, 2)):
+            assert 0.0 <= point.workflow_recall <= 1.0
+            assert (
+                point.workflow_found + point.violation_found + point.noise_found
+                == point.patterns_found
+            )
+
+
+class TestMiningComparison:
+    def test_planted_pair_split(self):
+        comparison = mining_comparison(planted_correlation_log())
+        assert comparison.planted_pair_found_by_sql is False
+        assert comparison.planted_pair_found_by_apriori is True
+
+    def test_runtimes_recorded(self):
+        comparison = mining_comparison(planted_correlation_log())
+        assert comparison.sql_seconds > 0
+        assert comparison.apriori_seconds > 0
+
+    def test_planted_log_shape(self):
+        log = planted_correlation_log(per_role_support=4, roles=("a_role", "b_role"))
+        pair_entries = [
+            e for e in log if e.data == "referral" and e.purpose == "registration"
+        ]
+        assert len(pair_entries) == 8
+
+
+class TestViolationSweep:
+    def test_recall_reported_per_rate(self, vocabulary):
+        hospital = build_hospital(vocabulary, departments=1, staff_per_role=3, seed=2)
+
+        def make_environment(rate):
+            env = SyntheticHospitalEnvironment(
+                hospital,
+                WorkloadConfig(accesses_per_round=1500, violation_rate=rate, seed=2),
+            )
+            store = hospital.documented_store(0.5, random.Random(2))
+            return env, store
+
+        points = violation_sweep(make_environment, rates=(0.05, 0.15))
+        assert len(points) == 2
+        for point in points:
+            assert point.labelled_violations > 0
+            assert point.recall > 0.5  # the snooper is caught
+
+
+class TestClinicalDbSetup:
+    def test_builds_enforceable_database(self):
+        setup = clinical_db_setup(rows=50)
+        result = setup.control_center.run(
+            "n1", "nurse", "treatment", "SELECT prescription FROM patients LIMIT 5"
+        )
+        assert len(result.result.rows) == 5
+        assert result.categories_returned == ("prescription",)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 0.5], [22, "x"]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "0.5000" in text
+        assert "22" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_format_series(self):
+        assert format_series("cov", [0.5, 0.75]) == "cov: [0.500, 0.750]"

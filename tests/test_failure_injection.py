@@ -1,0 +1,154 @@
+"""Failure injection: the library must fail loudly and precisely.
+
+Cross-module error-path tests: corrupted inputs, misconfigured pipelines
+and abusive call sequences must raise the documented PrimaError subtypes
+with actionable messages — never silently return wrong answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import io as audit_io
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import (
+    AuditError,
+    CoverageError,
+    PolicyError,
+    PrimaError,
+    RefinementError,
+    VocabularyError,
+)
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.refinement.engine import refine
+from repro.refinement.loop import RefinementLoop
+from repro.refinement.review import AcceptAll
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlError
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+class TestCorruptedInputs:
+    def test_truncated_csv_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time,op,user,data,purpose,authorized,status\n1,1,u,d\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(Exception):
+            audit_io.load_csv(path)
+
+    def test_non_numeric_time_in_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time,op,user,data,purpose,authorized,status\n"
+            "yesterday,1,u,d,p,r,1\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError):
+            audit_io.load_csv(path)
+
+    def test_jsonl_with_wrong_status_value(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"time": 1, "op": 1, "user": "u", "data": "d", '
+            '"purpose": "p", "authorized": "r", "status": 9}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(AuditError):
+            audit_io.load_jsonl(path)
+
+
+class TestMisconfiguredPipelines:
+    def test_refine_needs_entries(self, vocabulary):
+        with pytest.raises(RefinementError):
+            refine(Policy([]), AuditLog(), vocabulary)
+
+    def test_coverage_needs_reference_range(self, vocabulary):
+        with pytest.raises(CoverageError):
+            from repro.coverage.engine import compute_coverage
+
+            compute_coverage(Policy([]), Policy([]), vocabulary)
+
+    def test_loop_environment_must_produce_traffic(self, vocabulary):
+        class Silent:
+            def simulate_round(self, round_index, store):
+                return AuditLog()
+
+        from repro.policy.store import PolicyStore
+
+        loop = RefinementLoop(Silent(), PolicyStore(), vocabulary, AcceptAll())
+        with pytest.raises(RefinementError):
+            loop.run(1)
+
+    def test_strict_vocabulary_rejects_unknown_values_end_to_end(self):
+        strict = healthcare_vocabulary(strict=True)
+        rule = Rule.of(data="alien_artifact", purpose="treatment",
+                       authorized="nurse")
+        with pytest.raises(VocabularyError):
+            rule.ground_rules(strict)
+
+    def test_refinement_with_benign_log_proposes_nothing(self, vocabulary, fig3_policy):
+        # a log of purely sanctioned traffic must not generate candidates
+        log = AuditLog()
+        for tick in range(1, 8):
+            log.append(
+                make_entry(tick, f"u{tick % 3}", "referral", "treatment",
+                           "nurse", status=AccessStatus.REGULAR)
+            )
+        result = refine(fig3_policy, log, vocabulary)
+        assert result.patterns == ()
+        assert result.useful_patterns == ()
+
+
+class TestAbusiveCallSequences:
+    def test_audit_log_rejects_time_travel(self):
+        log = AuditLog()
+        log.append(make_entry(10, "u", "d_cat", "p_cat", "r_cat"))
+        with pytest.raises(AuditError):
+            log.append(make_entry(9, "u", "d_cat", "p_cat", "r_cat"))
+
+    def test_sql_errors_are_prima_errors(self):
+        db = Database()
+        with pytest.raises(PrimaError):
+            db.execute("SELECT FROM nothing")
+        with pytest.raises(SqlError):
+            db.query("SELECT * FROM missing_table")
+
+    def test_policy_errors_are_prima_errors(self):
+        with pytest.raises(PolicyError):
+            Rule(())
+        assert issubclass(PolicyError, PrimaError)
+
+    def test_error_messages_name_the_offender(self):
+        db = Database()
+        db.define_table("present", [("a", "integer")])
+        with pytest.raises(SqlError, match="present"):
+            db.table("absent")
+
+    def test_division_by_zero_in_query_raises_not_returns(self):
+        db = Database()
+        db.define_table("t", [("a", "integer")])
+        db.execute("INSERT INTO t VALUES (0)")
+        with pytest.raises(SqlError):
+            db.query("SELECT 1 / a FROM t")
+
+    def test_enforcer_refuses_vocabulary_mismatch_gracefully(self, vocabulary):
+        # an unknown role is not an error: the lenient vocabulary treats
+        # it as ground, the policy simply never covers it -> denial
+        from repro.errors import AccessDeniedError
+        from repro.hdb.control_center import HdbControlCenter
+        from repro.hdb.enforcement import TableBinding
+
+        center = HdbControlCenter(vocabulary)
+        center.database.execute(
+            "CREATE TABLE p (pid TEXT NOT NULL, referral TEXT)"
+        )
+        center.database.execute("INSERT INTO p VALUES ('x', 'r')")
+        center.bind_table(TableBinding("p", "pid", {"referral": "referral"}))
+        center.define_rule("ALLOW nurse TO USE referral FOR treatment")
+        with pytest.raises(AccessDeniedError):
+            center.run("intruder", "janitor", "treatment",
+                       "SELECT referral FROM p")

@@ -1,0 +1,139 @@
+"""Tests for the accounting-of-disclosures ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.schema import AccessStatus
+from repro.errors import AuditError
+from repro.hdb.accounting import Disclosure, DisclosureLedger
+from repro.hdb.control_center import HdbControlCenter
+from repro.hdb.enforcement import TableBinding
+
+
+def _disclosure(time=1, patient="p1", user="nurse_kim", data="referral",
+                status=AccessStatus.REGULAR) -> Disclosure:
+    return Disclosure(
+        time=time, patient=patient, user=user, role="nurse",
+        data=data, purpose="treatment", status=status,
+    )
+
+
+class TestLedgerBasics:
+    def test_record_and_account(self):
+        ledger = DisclosureLedger()
+        ledger.record(_disclosure())
+        ledger.record(_disclosure(time=2, data="prescription"))
+        ledger.record(_disclosure(time=3, patient="p2"))
+        assert len(ledger) == 3
+        assert len(ledger.accounting_for("p1")) == 2
+        assert len(ledger.accounting_for("P1")) == 2  # canonical lookup
+        assert ledger.accounting_for("unknown") == ()
+
+    def test_rejects_non_disclosures(self):
+        with pytest.raises(AuditError):
+            DisclosureLedger().record("nope")  # type: ignore[arg-type]
+
+    def test_recipients_of(self):
+        ledger = DisclosureLedger()
+        ledger.record(_disclosure(user="nurse_a"))
+        ledger.record(_disclosure(time=2, user="nurse_b", data="prescription"))
+        assert ledger.recipients_of("p1") == ("nurse_a", "nurse_b")
+        assert ledger.recipients_of("p1", data="referral") == ("nurse_a",)
+
+    def test_break_the_glass_count(self):
+        ledger = DisclosureLedger()
+        ledger.record(_disclosure())
+        ledger.record(_disclosure(time=2, status=AccessStatus.EXCEPTION))
+        assert ledger.break_the_glass_count("p1") == 1
+
+    def test_busiest_patients(self):
+        ledger = DisclosureLedger()
+        for tick in range(3):
+            ledger.record(_disclosure(time=tick + 1))
+        ledger.record(_disclosure(time=9, patient="p2"))
+        assert ledger.busiest_patients(top=1) == (("p1", 3),)
+
+    def test_record_access_cross_product(self):
+        ledger = DisclosureLedger()
+        written = ledger.record_access(
+            time=5, patients=("p1", "p2"), user="u", role="nurse",
+            categories=("referral", "prescription"), purpose="treatment",
+            status=AccessStatus.REGULAR,
+        )
+        assert written == 4
+        assert len(ledger.accounting_for("p2")) == 2
+
+    def test_render_accounting(self):
+        ledger = DisclosureLedger()
+        ledger.record(_disclosure(status=AccessStatus.EXCEPTION))
+        text = ledger.render_accounting("p1")
+        assert "Accounting of disclosures" in text
+        assert "BREAK-THE-GLASS" in text
+
+
+class TestEnforcementIntegration:
+    @pytest.fixture()
+    def center(self, vocabulary) -> HdbControlCenter:
+        cc = HdbControlCenter(vocabulary)
+        cc.database.execute(
+            "CREATE TABLE patients (pid TEXT NOT NULL, prescription TEXT, "
+            "psychiatry TEXT)"
+        )
+        cc.database.execute(
+            "INSERT INTO patients VALUES ('p1', 'rx-1', 'psy-1'), "
+            "('p2', 'rx-2', 'psy-2')"
+        )
+        cc.bind_table(TableBinding("patients", "pid", {
+            "prescription": "prescription", "psychiatry": "psychiatry"}))
+        cc.define_rule("ALLOW nurse TO USE medical_records FOR treatment")
+        return cc
+
+    def test_returned_categories_are_ledgered_per_patient(self, center):
+        center.run("nurse_kim", "nurse", "treatment",
+                   "SELECT prescription, psychiatry FROM patients")
+        # psychiatry was policy-masked: it must NOT appear in the ledger
+        for patient in ("p1", "p2"):
+            events = center.ledger.accounting_for(patient)
+            assert {event.data for event in events} == {"prescription"}
+
+    def test_where_clause_limits_disclosed_patients(self, center):
+        center.run("nurse_kim", "nurse", "treatment",
+                   "SELECT prescription FROM patients WHERE pid = 'p2'")
+        assert center.ledger.accounting_for("p1") == ()
+        assert len(center.ledger.accounting_for("p2")) == 1
+
+    def test_consent_masked_cells_not_disclosed(self, center):
+        center.record_consent("p1", "treatment", allowed=False,
+                              data="prescription")
+        center.run("nurse_kim", "nurse", "treatment",
+                   "SELECT prescription FROM patients")
+        assert center.ledger.accounting_for("p1") == ()
+        assert len(center.ledger.accounting_for("p2")) == 1
+
+    def test_break_the_glass_is_ledgered_with_flag(self, center):
+        center.run("clerk_jo", "clerk", "billing",
+                   "SELECT psychiatry FROM patients", exception=True)
+        assert center.ledger.break_the_glass_count("p1") == 1
+        assert center.ledger.break_the_glass_count("p2") == 1
+
+    def test_denied_request_discloses_nothing(self, center):
+        from repro.errors import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            center.run("clerk_jo", "clerk", "billing",
+                       "SELECT psychiatry FROM patients")
+        assert len(center.ledger) == 0
+
+    def test_accounting_facade(self, center):
+        center.run("nurse_kim", "nurse", "treatment",
+                   "SELECT prescription FROM patients")
+        text = center.accounting_for("p1")
+        assert "prescription -> nurse_kim" in text
+
+    def test_ledger_time_matches_audit_time(self, center):
+        center.run("nurse_kim", "nurse", "treatment",
+                   "SELECT prescription FROM patients")
+        audit_time = center.audit_log[-1].time
+        ledger_time = center.ledger.accounting_for("p1")[0].time
+        assert audit_time == ledger_time

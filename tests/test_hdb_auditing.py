@@ -1,0 +1,87 @@
+"""Unit tests for Compliance Auditing and the logical clock."""
+
+from __future__ import annotations
+
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.hdb.auditing import ComplianceAuditor, LogicalClock
+
+
+class TestLogicalClock:
+    def test_monotone(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.peek() == 3
+
+    def test_custom_start(self):
+        assert LogicalClock(start=100).tick() == 100
+
+    def test_advance_to(self):
+        clock = LogicalClock()
+        clock.advance_to(50)
+        assert clock.tick() == 50
+
+    def test_advance_to_rejects_rewind(self):
+        import pytest
+
+        clock = LogicalClock(start=10)
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+
+class TestComplianceAuditor:
+    def test_one_entry_per_category_single_tick(self):
+        auditor = ComplianceAuditor()
+        entries = auditor.record_access(
+            user="john",
+            role="nurse",
+            purpose="treatment",
+            categories=("prescription", "referral"),
+            op=AccessOp.ALLOW,
+            status=AccessStatus.REGULAR,
+        )
+        assert len(entries) == 2
+        assert entries[0].time == entries[1].time == 1
+        assert {e.data for e in entries} == {"prescription", "referral"}
+        assert len(auditor.log) == 2
+
+    def test_empty_categories_writes_nothing(self):
+        auditor = ComplianceAuditor()
+        assert auditor.record_access(
+            "u", "nurse", "treatment", (), AccessOp.ALLOW, AccessStatus.REGULAR
+        ) == ()
+        assert len(auditor.log) == 0
+        assert auditor.clock.peek() == 1  # the clock did not advance
+
+    def test_stats_counters(self):
+        auditor = ComplianceAuditor()
+        auditor.record_access(
+            "u", "nurse", "treatment", ("a_cat", "b_cat"),
+            AccessOp.ALLOW, AccessStatus.REGULAR,
+        )
+        auditor.record_access(
+            "u", "nurse", "treatment", ("c_cat",),
+            AccessOp.DENY, AccessStatus.REGULAR,
+        )
+        assert auditor.stats.entries_written == 3
+        assert auditor.stats.requests_audited == 2
+
+    def test_truth_label_propagates(self):
+        auditor = ComplianceAuditor()
+        entries = auditor.record_access(
+            "u", "nurse", "treatment", ("a_cat",),
+            AccessOp.ALLOW, AccessStatus.EXCEPTION, truth="practice",
+        )
+        assert entries[0].truth == "practice"
+
+    def test_times_strictly_increase_across_requests(self):
+        auditor = ComplianceAuditor()
+        first = auditor.record_access(
+            "u", "nurse", "treatment", ("a_cat",),
+            AccessOp.ALLOW, AccessStatus.REGULAR,
+        )
+        second = auditor.record_access(
+            "u", "nurse", "treatment", ("b_cat",),
+            AccessOp.ALLOW, AccessStatus.REGULAR,
+        )
+        assert second[0].time == first[0].time + 1

@@ -1,0 +1,96 @@
+"""Unit tests for the patient consent store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConsentError
+from repro.hdb.consent import ConsentStore
+
+
+@pytest.fixture()
+def consent(vocabulary) -> ConsentStore:
+    return ConsentStore(vocabulary, default_allowed=True)
+
+
+class TestDefaults:
+    def test_default_allows(self, consent):
+        decision = consent.decide("p1", "address", "billing")
+        assert decision.allowed is True
+        assert decision.choice is None
+
+    def test_opt_in_default_false(self, vocabulary):
+        strict = ConsentStore(vocabulary, default_allowed=False)
+        assert not strict.permits("p1", "address", "billing")
+
+    def test_patient_id_validated(self, consent):
+        with pytest.raises(ConsentError):
+            consent.record("  ", "billing", allowed=False)
+
+
+class TestDirectives:
+    def test_whole_purpose_opt_out(self, consent):
+        consent.opt_out("p1", "secondary_use")
+        assert not consent.permits("p1", "prescription", "telemarketing")
+        assert not consent.permits("p1", "prescription", "research")
+        # other purposes unaffected
+        assert consent.permits("p1", "prescription", "treatment")
+
+    def test_whole_purpose_opt_out_is_row_level(self, consent):
+        consent.opt_out("p1", "research")
+        decision = consent.decide("p1", "prescription", "research")
+        assert decision.row_level is True
+
+    def test_data_specific_opt_out_is_cell_level(self, consent):
+        consent.opt_out("p1", "research", data="psychiatry")
+        decision = consent.decide("p1", "psychiatry", "research")
+        assert not decision.allowed
+        assert decision.row_level is False
+        # other data categories still allowed for that purpose
+        assert consent.permits("p1", "prescription", "research")
+
+    def test_hierarchy_aware_purpose(self, consent):
+        consent.opt_out("p1", "operations")
+        assert not consent.permits("p1", "address", "billing")
+        assert not consent.permits("p1", "address", "registration")
+
+    def test_hierarchy_aware_data(self, consent):
+        consent.opt_out("p1", "billing", data="demographic")
+        assert not consent.permits("p1", "address", "billing")
+        assert not consent.permits("p1", "gender", "billing")
+        assert consent.permits("p1", "insurance", "billing")
+
+    def test_choices_isolated_per_patient(self, consent):
+        consent.opt_out("p1", "research")
+        assert consent.permits("p2", "prescription", "research")
+
+    def test_choices_for(self, consent):
+        consent.opt_out("p1", "research")
+        consent.opt_in("p1", "treatment")
+        assert len(consent.choices_for("p1")) == 2
+        assert consent.choices_for("unknown") == ()
+
+
+class TestSpecificityResolution:
+    def test_specific_opt_in_overrides_broad_opt_out(self, consent):
+        consent.opt_out("p1", "secondary_use")
+        consent.opt_in("p1", "research", data="lab_results")
+        assert consent.permits("p1", "lab_results", "research")
+        assert not consent.permits("p1", "lab_results", "telemarketing")
+
+    def test_specific_opt_out_overrides_broad_opt_in(self, consent):
+        consent.opt_in("p1", "operations")
+        consent.opt_out("p1", "billing", data="address")
+        assert not consent.permits("p1", "address", "billing")
+        assert consent.permits("p1", "name", "billing")
+
+    def test_deny_wins_exact_tie(self, consent):
+        consent.opt_in("p1", "billing", data="address")
+        consent.opt_out("p1", "billing", data="address")
+        assert not consent.permits("p1", "address", "billing")
+
+    def test_deeper_data_wins_over_deeper_purpose(self, consent):
+        # data depth is the primary specificity axis
+        consent.opt_out("p1", "operations", data="address")
+        consent.opt_in("p1", "billing")
+        assert not consent.permits("p1", "address", "billing")

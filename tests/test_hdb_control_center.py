@@ -1,0 +1,66 @@
+"""Unit tests for the HDB Control Center facade."""
+
+from __future__ import annotations
+
+from repro.hdb.control_center import HdbControlCenter
+from repro.policy.rule import Rule
+
+
+class TestPolicyEntry:
+    def test_define_rule_from_dsl(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        assert center.define_rule("ALLOW nurse TO USE referral FOR treatment")
+        assert Rule.of(
+            data="referral", purpose="treatment", authorized="nurse"
+        ) in center.policy_store
+
+    def test_define_rule_from_object(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        rule = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        assert center.define_rule(rule) is True
+        assert center.define_rule(rule) is False  # dedup
+
+    def test_define_rules_counts_changes(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        added = center.define_rules(
+            [
+                "ALLOW nurse TO USE referral FOR treatment",
+                "ALLOW nurse TO USE referral FOR treatment",
+                Rule.of(data="address", purpose="billing", authorized="clerk"),
+            ]
+        )
+        assert added == 2
+
+    def test_current_policy_snapshot(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        center.define_rule("ALLOW nurse TO USE referral FOR treatment")
+        policy = center.current_policy()
+        assert policy.cardinality == 1
+
+    def test_provenance_records_author(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        center.define_rule(
+            "ALLOW nurse TO USE referral FOR treatment", added_by="cpo"
+        )
+        record = center.policy_store.record_for(
+            Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        )
+        assert record.added_by == "cpo"
+
+
+class TestWiring:
+    def test_components_share_vocabulary_and_log(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        assert center.enforcer.vocabulary is vocabulary
+        assert center.consent.vocabulary is vocabulary
+        assert center.audit_log is center.auditor.log
+        assert center.enforcer.policy_store is center.policy_store
+
+    def test_default_consent_flag(self, vocabulary):
+        strict = HdbControlCenter(vocabulary, default_consent=False)
+        assert strict.consent.default_allowed is False
+
+    def test_record_consent_delegates(self, vocabulary):
+        center = HdbControlCenter(vocabulary)
+        center.record_consent("p1", "research", allowed=False)
+        assert not center.consent.permits("p1", "prescription", "research")

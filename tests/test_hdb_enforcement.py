@@ -1,0 +1,198 @@
+"""Unit tests for HDB Active Enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.errors import AccessDeniedError, EnforcementError
+from repro.hdb.control_center import HdbControlCenter
+from repro.hdb.enforcement import TableBinding
+
+
+@pytest.fixture()
+def center(vocabulary) -> HdbControlCenter:
+    cc = HdbControlCenter(vocabulary)
+    cc.database.execute(
+        "CREATE TABLE patients (pid TEXT NOT NULL, name TEXT, address TEXT, "
+        "prescription TEXT, referral TEXT, psychiatry TEXT)"
+    )
+    cc.database.execute(
+        "INSERT INTO patients VALUES "
+        "('p1', 'Alice', '12 Elm', 'amoxicillin', 'cardio', 'notes-a'), "
+        "('p2', 'Bob', '9 Oak', 'ibuprofen', 'ortho', 'notes-b')"
+    )
+    cc.bind_table(
+        TableBinding(
+            "patients",
+            "pid",
+            {
+                "name": "name",
+                "address": "address",
+                "prescription": "prescription",
+                "referral": "referral",
+                "psychiatry": "psychiatry",
+            },
+        )
+    )
+    cc.define_rules(
+        [
+            "ALLOW nurse TO USE medical_records FOR treatment",
+            "ALLOW physician TO USE psychiatry FOR treatment",
+            "ALLOW clerk TO USE demographic FOR billing",
+        ]
+    )
+    return cc
+
+
+class TestPolicyDecisions:
+    def test_composite_rule_covers_leaf_category(self, center):
+        assert center.enforcer.policy_permits("prescription", "treatment", "nurse")
+
+    def test_denied_outside_grant(self, center):
+        assert not center.enforcer.policy_permits("psychiatry", "treatment", "nurse")
+        assert not center.enforcer.policy_permits("prescription", "billing", "clerk")
+
+
+class TestQueryPath:
+    def test_permitted_columns_returned(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription FROM patients")
+        assert result.result.rows == (("amoxicillin",), ("ibuprofen",))
+        assert result.categories_returned == ("prescription",)
+        assert result.status is AccessStatus.REGULAR
+
+    def test_denied_column_masked_to_null(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription, psychiatry FROM patients")
+        assert result.categories_masked == ("psychiatry",)
+        assert all(row[1] is None for row in result.result.rows)
+
+    def test_masking_happens_in_the_rewritten_query(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription, psychiatry FROM patients")
+        assert "NULL AS psychiatry" in result.rewritten_sql
+
+    def test_patient_rider_stripped_from_output(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription FROM patients")
+        assert result.result.columns == ("prescription",)
+
+    def test_full_denial_raises_and_audits_deny(self, center):
+        with pytest.raises(AccessDeniedError):
+            center.run("jason", "clerk", "billing",
+                       "SELECT prescription FROM patients")
+        entry = center.audit_log[-1]
+        assert entry.op is AccessOp.DENY
+        assert entry.data == "prescription"
+
+    def test_star_expands_against_binding(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT * FROM patients")
+        # pid is unbound and passes; demographic/psychiatry columns masked
+        assert set(result.categories_masked) == {"name", "address", "psychiatry"}
+        assert set(result.categories_returned) == {"prescription", "referral"}
+
+    def test_where_clause_respected(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription FROM patients WHERE pid = 'p2'")
+        assert result.result.rows == (("ibuprofen",),)
+
+    def test_unbound_column_flows_through(self, center):
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT pid, prescription FROM patients")
+        assert result.result.rows[0][0] == "p1"
+
+
+class TestBreakTheGlass:
+    def test_exception_bypasses_policy_with_exception_status(self, center):
+        result = center.run("jason", "clerk", "billing",
+                            "SELECT prescription FROM patients", exception=True)
+        assert result.status is AccessStatus.EXCEPTION
+        assert result.categories_returned == ("prescription",)
+        assert result.categories_masked == ()
+
+    def test_exception_access_audited_as_exception(self, center):
+        center.run("jason", "clerk", "billing",
+                   "SELECT prescription FROM patients", exception=True)
+        entry = center.audit_log[-1]
+        assert entry.status is AccessStatus.EXCEPTION
+        assert entry.op is AccessOp.ALLOW
+
+    def test_truth_label_flows_to_audit(self, center):
+        center.run("jason", "clerk", "billing",
+                   "SELECT prescription FROM patients",
+                   exception=True, truth="practice")
+        assert center.audit_log[-1].truth == "practice"
+
+
+class TestConsent:
+    def test_cell_masking(self, center):
+        center.record_consent("p2", "billing", allowed=False, data="demographic")
+        result = center.run("bill", "clerk", "billing",
+                            "SELECT name, address FROM patients")
+        assert result.result.rows[0] == ("Alice", "12 Elm")
+        assert result.result.rows[1] == (None, None)
+        assert result.cells_masked_by_consent == 2
+
+    def test_row_drop_on_whole_purpose_opt_out(self, center):
+        center.define_rule("ALLOW physician TO USE medical_records FOR research")
+        center.record_consent("p1", "research", allowed=False)
+        result = center.run("dr", "physician", "research",
+                            "SELECT prescription FROM patients")
+        assert result.result.rows == (("ibuprofen",),)
+        assert result.rows_dropped_by_consent == 1
+
+    def test_break_the_glass_overrides_consent(self, center):
+        center.record_consent("p1", "treatment", allowed=False)
+        result = center.run("john", "nurse", "treatment",
+                            "SELECT prescription FROM patients", exception=True)
+        assert len(result.result.rows) == 2
+        assert result.cells_masked_by_consent == 0
+
+
+class TestGuardRails:
+    def test_unbound_table_refused(self, center):
+        center.database.execute("CREATE TABLE loose (a TEXT)")
+        with pytest.raises(EnforcementError):
+            center.run("u", "nurse", "treatment", "SELECT a FROM loose")
+
+    def test_joins_refused(self, center):
+        with pytest.raises(EnforcementError):
+            center.run("u", "nurse", "treatment",
+                       "SELECT p.name FROM patients p JOIN patients q ON TRUE")
+
+    def test_aggregation_refused(self, center):
+        with pytest.raises(EnforcementError):
+            center.run("u", "nurse", "treatment",
+                       "SELECT COUNT(*) FROM patients")
+
+    def test_expressions_over_protected_columns_refused(self, center):
+        with pytest.raises(EnforcementError):
+            center.run("u", "nurse", "treatment",
+                       "SELECT LOWER(psychiatry) FROM patients")
+
+    def test_non_select_refused(self, center):
+        with pytest.raises(EnforcementError):
+            center.run("u", "nurse", "treatment",
+                       "DELETE FROM patients")
+
+    def test_binding_validates_columns(self, center):
+        with pytest.raises(EnforcementError):
+            center.bind_table(TableBinding("patients", "bogus", {}))
+        center.database.execute("CREATE TABLE other (pid TEXT)")
+        with pytest.raises(EnforcementError):
+            center.bind_table(TableBinding("other", "pid", {"missing": "name"}))
+
+    def test_stats_counters(self, center):
+        center.run("john", "nurse", "treatment",
+                   "SELECT prescription, psychiatry FROM patients")
+        try:
+            center.run("jason", "clerk", "billing",
+                       "SELECT prescription FROM patients")
+        except AccessDeniedError:
+            pass
+        stats = center.enforcer.stats
+        assert stats.requests == 2
+        assert stats.denials == 1
+        assert stats.policy_masked_columns == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the Audit Management federation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import FederationError
+from repro.hdb.federation import AuditFederation
+from repro.sqlmini.database import Database
+
+
+def _site_log(name: str, times: list[int], user: str) -> AuditLog:
+    log = AuditLog(name=name)
+    for tick in times:
+        log.append(
+            make_entry(tick, user, "referral", "registration", "nurse",
+                       status=AccessStatus.EXCEPTION)
+        )
+    return log
+
+
+@pytest.fixture()
+def federation() -> AuditFederation:
+    fed = AuditFederation()
+    fed.register("cardio", _site_log("cardio", [1, 4, 9], "mark"))
+    fed.register("er", _site_log("er", [2, 3, 10], "tim"))
+    return fed
+
+
+class TestMembership:
+    def test_sites_sorted(self, federation):
+        assert federation.sites == ("cardio", "er")
+
+    def test_total_length(self, federation):
+        assert len(federation) == 6
+
+    def test_duplicate_site_rejected(self, federation):
+        with pytest.raises(FederationError):
+            federation.register("CARDIO", AuditLog())
+
+    def test_empty_site_name_rejected(self):
+        with pytest.raises(FederationError):
+            AuditFederation().register("  ", AuditLog())
+
+    def test_member_lookup(self, federation):
+        assert federation.member("er").name == "er"
+        with pytest.raises(FederationError):
+            federation.member("derm")
+
+
+class TestConsolidation:
+    def test_merge_is_time_ordered(self, federation):
+        merged = federation.consolidated_log()
+        assert [entry.time for entry in merged] == [1, 2, 3, 4, 9, 10]
+
+    def test_merge_preserves_all_entries(self, federation):
+        merged = federation.consolidated_log()
+        assert len(merged) == 6
+        assert set(merged.distinct_users()) == {"mark", "tim"}
+
+    def test_empty_federation_raises(self):
+        with pytest.raises(FederationError):
+            AuditFederation().consolidated_log()
+
+    def test_tie_break_is_stable_by_site_order(self):
+        fed = AuditFederation()
+        fed.register("beta", _site_log("beta", [5], "b_user"))
+        fed.register("alpha", _site_log("alpha", [5], "a_user"))
+        merged = fed.consolidated_log()
+        assert [entry.user for entry in merged] == ["a_user", "b_user"]
+
+
+class TestVirtualView:
+    def test_view_queryable_with_site_column(self, federation):
+        db = Database()
+        federation.register_view(db)
+        result = db.query(
+            "SELECT site, COUNT(*) AS n FROM federated_audit "
+            "GROUP BY site ORDER BY site"
+        )
+        assert result.rows == (("cardio", 3), ("er", 3))
+
+    def test_view_reflects_new_entries(self, federation):
+        db = Database()
+        federation.register_view(db)
+        before = db.query("SELECT COUNT(*) FROM federated_audit").scalar()
+        federation.member("er").append(
+            make_entry(11, "bob", "referral", "registration", "nurse",
+                       status=AccessStatus.EXCEPTION)
+        )
+        after = db.query("SELECT COUNT(*) FROM federated_audit").scalar()
+        assert (before, after) == (6, 7)
+
+    def test_algorithm5_shape_over_view(self, federation):
+        db = Database()
+        federation.register_view(db)
+        result = db.query(
+            "SELECT data, purpose, authorized FROM federated_audit "
+            "WHERE status = 0 GROUP BY data, purpose, authorized "
+            "HAVING COUNT(*) >= 5 AND COUNT(DISTINCT user) >= 2"
+        )
+        assert result.rows == (("referral", "registration", "nurse"),)

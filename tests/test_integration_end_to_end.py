@@ -1,0 +1,123 @@
+"""End-to-end integration: enforce → audit → federate → refine → amend.
+
+This is the whole PRIMA architecture (Figure 4) exercised in one flow:
+clinical queries run through Active Enforcement at two hospital sites,
+Compliance Auditing produces the logs, Audit Management consolidates them,
+the Refinement pipeline mines the break-the-glass traffic, the review
+queue pushes an accepted rule into the policy store, and the previously
+exceptional workflow becomes sanctioned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.schema import AccessStatus
+from repro.errors import AccessDeniedError
+from repro.hdb.control_center import HdbControlCenter
+from repro.hdb.enforcement import TableBinding
+from repro.hdb.federation import AuditFederation
+from repro.mining.patterns import MiningConfig
+from repro.policy.rule import Rule
+from repro.refinement.engine import RefinementConfig, refine
+from repro.refinement.review import ReviewQueue
+from repro.sqlmini.database import Database
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+def _make_site(vocabulary, site: str) -> HdbControlCenter:
+    center = HdbControlCenter(vocabulary)
+    center.database.execute(
+        "CREATE TABLE patients (pid TEXT NOT NULL, name TEXT, referral TEXT, "
+        "prescription TEXT)"
+    )
+    center.database.execute(
+        f"INSERT INTO patients VALUES "
+        f"('{site}-p1', 'One', 'ref-1', 'rx-1'), "
+        f"('{site}-p2', 'Two', 'ref-2', 'rx-2')"
+    )
+    center.bind_table(
+        TableBinding(
+            "patients",
+            "pid",
+            {"name": "name", "referral": "referral", "prescription": "prescription"},
+        )
+    )
+    center.define_rule("ALLOW nurse TO USE medical_records FOR treatment")
+    return center
+
+
+def test_full_prima_cycle():
+    vocabulary = healthcare_vocabulary()
+    sites = {name: _make_site(vocabulary, name) for name in ("cardio", "er")}
+
+    # --- phase 1: clinical operation ------------------------------------
+    # sanctioned traffic
+    for center in sites.values():
+        center.run("nurse_a", "nurse", "treatment", "SELECT referral FROM patients")
+
+    # registration staff need referral data but the policy never said so:
+    # the sanctioned path denies them ...
+    with pytest.raises(AccessDeniedError):
+        sites["cardio"].run(
+            "nurse_b", "nurse", "registration", "SELECT referral FROM patients"
+        )
+    # ... so they break the glass, repeatedly, across sites and users
+    for center, users in ((sites["cardio"], ("nurse_b", "nurse_c")),
+                          (sites["er"], ("nurse_d",))):
+        for user in users:
+            for _ in range(2):
+                center.run(
+                    user, "nurse", "registration",
+                    "SELECT referral FROM patients", exception=True,
+                )
+
+    # --- phase 2: audit management (federation) -------------------------
+    federation = AuditFederation()
+    for name, center in sites.items():
+        federation.register(name, center.audit_log)
+    consolidated = federation.consolidated_log()
+    assert len(consolidated) == 2 + 1 + 6  # allow x2, deny x1, btg x6
+
+    # the federated view is queryable with provenance
+    analysis_db = Database()
+    federation.register_view(analysis_db)
+    by_site = analysis_db.query(
+        "SELECT site, COUNT(*) FROM federated_audit WHERE status = 0 "
+        "GROUP BY site ORDER BY site"
+    )
+    assert by_site.rows == (("cardio", 4), ("er", 2))
+
+    # --- phase 3: refinement ---------------------------------------------
+    store = sites["cardio"].policy_store  # shared organisational policy
+    result = refine(
+        store.policy(),
+        consolidated,
+        vocabulary,
+        RefinementConfig(mining=MiningConfig(min_support=5)),
+    )
+    expected = Rule.of(data="referral", purpose="registration", authorized="nurse")
+    assert result.candidate_rules == (expected,)
+    assert result.useful_patterns[0].support == 6
+    assert result.useful_patterns[0].distinct_users == 3
+
+    # --- phase 4: human review and amendment -----------------------------
+    queue = ReviewQueue(result.useful_patterns)
+    queue.accept(result.useful_patterns[0], reviewer="privacy-officer")
+    assert queue.apply(store) == 1
+
+    # --- phase 5: the workflow is now sanctioned --------------------------
+    outcome = sites["cardio"].run(
+        "nurse_b", "nurse", "registration", "SELECT referral FROM patients"
+    )
+    assert outcome.status is AccessStatus.REGULAR
+    assert outcome.categories_returned == ("referral",)
+
+    # and a second refinement pass proposes nothing new
+    second = refine(
+        store.policy(),
+        federation.consolidated_log(),
+        vocabulary,
+        RefinementConfig(mining=MiningConfig(min_support=5)),
+    )
+    assert second.useful_patterns == ()

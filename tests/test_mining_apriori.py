@@ -1,0 +1,135 @@
+"""Unit tests for the Apriori miner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import MiningError
+from repro.mining.apriori import (
+    AprioriPatternMiner,
+    apriori,
+    transactions_from_log,
+)
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.refinement.filtering import filter_practice
+
+
+def _itemset(*pairs):
+    return frozenset(pairs)
+
+
+class TestApriori:
+    def test_simple_frequent_sets(self):
+        transactions = [
+            _itemset(("a", "1"), ("b", "1")),
+            _itemset(("a", "1"), ("b", "1")),
+            _itemset(("a", "1"), ("b", "2")),
+        ]
+        found = {fi.items: fi.support for fi in apriori(transactions, 2)}
+        assert found[_itemset(("a", "1"))] == 3
+        assert found[_itemset(("b", "1"))] == 2
+        assert found[_itemset(("a", "1"), ("b", "1"))] == 2
+        assert _itemset(("b", "2")) not in found
+
+    def test_empty_transactions(self):
+        assert apriori([], 1) == ()
+
+    def test_min_support_validated(self):
+        with pytest.raises(MiningError):
+            apriori([_itemset(("a", "1"))], 0)
+
+    def test_max_size_caps_levels(self):
+        transactions = [_itemset(("a", "1"), ("b", "1"), ("c", "1"))] * 3
+        found = apriori(transactions, 2, max_size=2)
+        assert max(fi.size for fi in found) == 2
+
+    def test_support_anti_monotone(self):
+        transactions = [
+            _itemset(("a", str(i % 2)), ("b", str(i % 3)), ("c", "1"))
+            for i in range(30)
+        ]
+        found = apriori(transactions, 3)
+        support = {fi.items: fi.support for fi in found}
+        for items, count in support.items():
+            for item in items:
+                subset = items - {item}
+                if subset:
+                    assert support[subset] >= count
+
+    def test_same_attribute_pairs_never_generated(self):
+        transactions = [
+            _itemset(("a", "1"), ("b", "1")),
+            _itemset(("a", "2"), ("b", "1")),
+        ] * 3
+        found = apriori(transactions, 2)
+        for fi in found:
+            attributes = [attr for attr, _ in fi.items]
+            assert len(attributes) == len(set(attributes))
+
+
+class TestTransactions:
+    def test_transactions_from_log(self, table1_log):
+        transactions = transactions_from_log(
+            table1_log, ("data", "purpose", "authorized")
+        )
+        assert len(transactions) == 10
+        assert transactions[0] == _itemset(
+            ("data", "prescription"), ("purpose", "treatment"), ("authorized", "nurse")
+        )
+
+
+class TestMinerProtocol:
+    def test_agrees_with_sql_miner_on_table1(self, table1_log):
+        practice = filter_practice(table1_log)
+        config = MiningConfig()
+        sql_patterns = SqlPatternMiner().mine(practice, config)
+        apriori_patterns = AprioriPatternMiner().mine(practice, config)
+        assert {p.rule for p in sql_patterns} == {p.rule for p in apriori_patterns}
+        assert sql_patterns[0].support == apriori_patterns[0].support
+        assert sql_patterns[0].distinct_users == apriori_patterns[0].distinct_users
+
+    def test_empty_log(self):
+        assert AprioriPatternMiner().mine(AuditLog(), MiningConfig()) == ()
+        assert AprioriPatternMiner().correlations(AuditLog(), MiningConfig()) == ()
+
+    def test_distinct_user_filter(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert not AprioriPatternMiner().mine(
+            practice, MiningConfig(min_distinct_users=4)
+        )
+
+    def test_correlations_exclude_full_width_and_singletons(self, table1_log):
+        practice = filter_practice(table1_log)
+        correlations = AprioriPatternMiner().correlations(
+            practice, MiningConfig(min_support=2)
+        )
+        assert correlations  # pairs exist
+        widths = {c.size for c in correlations}
+        assert widths <= {2}
+
+    def test_finds_cross_role_correlation_sql_misses(self):
+        # the Section 5 future-work claim, in miniature
+        log = AuditLog()
+        tick = 1
+        for role in ("nurse", "registrar", "clerk"):
+            for index in range(3):  # 3 < f=5 per role, 9 >= 5 for the pair
+                log.append(
+                    make_entry(tick, f"{role}_{index}", "referral", "registration",
+                               role, status=AccessStatus.EXCEPTION)
+                )
+                tick += 1
+        config = MiningConfig(min_support=5)
+        assert SqlPatternMiner().mine(log, config) == ()
+        correlations = AprioriPatternMiner().correlations(log, config)
+        pair = frozenset({("data", "referral"), ("purpose", "registration")})
+        assert any(c.items == pair and c.support == 9 for c in correlations)
+
+    def test_frequent_itemset_to_rule(self, table1_log):
+        practice = filter_practice(table1_log)
+        patterns = AprioriPatternMiner().mine(practice, MiningConfig())
+        rule = patterns[0].rule
+        assert rule.value_of("data") == "referral"
+        assert rule.cardinality == 3

@@ -1,0 +1,77 @@
+"""Unit tests for association-rule derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.apriori import apriori
+from repro.mining.association import derive_rules
+
+
+def _itemset(*pairs):
+    return frozenset(pairs)
+
+
+@pytest.fixture()
+def itemsets():
+    # 10 transactions: {a=1,b=1} x8, {a=1,b=2} x2
+    transactions = [_itemset(("a", "1"), ("b", "1"))] * 8
+    transactions += [_itemset(("a", "1"), ("b", "2"))] * 2
+    return apriori(transactions, 2), len(transactions)
+
+
+class TestDeriveRules:
+    def test_confidence_and_support(self, itemsets):
+        frequent, n = itemsets
+        rules = derive_rules(frequent, n, min_confidence=0.5)
+        # b=1 => a=1 has confidence 1.0 (8/8), support 0.8
+        rule = next(
+            r for r in rules
+            if r.antecedent == _itemset(("b", "1")) and r.consequent == _itemset(("a", "1"))
+        )
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(0.8)
+
+    def test_lift(self, itemsets):
+        frequent, n = itemsets
+        rules = derive_rules(frequent, n, min_confidence=0.5)
+        rule = next(
+            r for r in rules
+            if r.antecedent == _itemset(("b", "1")) and r.consequent == _itemset(("a", "1"))
+        )
+        # support(a=1) = 1.0, so lift = 1.0 (a=1 is universal)
+        assert rule.lift == pytest.approx(1.0)
+
+    def test_min_confidence_filters(self, itemsets):
+        frequent, n = itemsets
+        strict = derive_rules(frequent, n, min_confidence=0.9)
+        # a=1 => b=1 has confidence 0.8 and is dropped
+        assert not any(
+            r.antecedent == _itemset(("a", "1")) and r.consequent == _itemset(("b", "1"))
+            for r in strict
+        )
+
+    def test_sorted_by_confidence_then_support(self, itemsets):
+        frequent, n = itemsets
+        rules = derive_rules(frequent, n, min_confidence=0.1)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_singletons_produce_no_rules(self):
+        frequent = apriori([_itemset(("a", "1"))] * 3, 2)
+        assert derive_rules(frequent, 3) == ()
+
+    def test_validation(self, itemsets):
+        frequent, n = itemsets
+        with pytest.raises(MiningError):
+            derive_rules(frequent, 0)
+        with pytest.raises(MiningError):
+            derive_rules(frequent, n, min_confidence=0.0)
+        with pytest.raises(MiningError):
+            derive_rules(frequent, n, min_confidence=1.5)
+
+    def test_str_rendering(self, itemsets):
+        frequent, n = itemsets
+        rules = derive_rules(frequent, n, min_confidence=0.5)
+        assert "=>" in str(rules[0])

@@ -1,0 +1,95 @@
+"""Unit tests for the SQL pattern miner (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import MiningError
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner, build_analysis_sql
+from repro.policy.rule import Rule
+from repro.refinement.filtering import filter_practice
+
+
+class TestBuildSql:
+    def test_default_statement_shape(self):
+        sql = build_analysis_sql("practice", MiningConfig())
+        assert "GROUP BY data, purpose, authorized" in sql
+        assert "COUNT(*) >= 5" in sql
+        assert "COUNT(DISTINCT user) >= 2" in sql
+
+    def test_custom_attributes(self):
+        sql = build_analysis_sql(
+            "t", MiningConfig(attributes=("data", "purpose"), min_support=3)
+        )
+        assert "GROUP BY data, purpose" in sql
+        assert "COUNT(*) >= 3" in sql
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(MiningError):
+            build_analysis_sql("t", MiningConfig(attributes=("bogus",)))
+
+    def test_config_validation(self):
+        with pytest.raises(MiningError):
+            MiningConfig(min_support=0)
+        with pytest.raises(MiningError):
+            MiningConfig(min_distinct_users=0)
+        with pytest.raises(MiningError):
+            MiningConfig(attributes=())
+
+
+class TestMine:
+    def test_table1_pattern(self, table1_log):
+        practice = filter_practice(table1_log)
+        patterns = SqlPatternMiner().mine(practice, MiningConfig())
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.rule == Rule.of(
+            data="referral", purpose="registration", authorized="nurse"
+        )
+        assert pattern.support == 5
+        assert pattern.distinct_users == 3
+
+    def test_inclusive_support_boundary(self, table1_log):
+        # exactly f occurrences must pass (the paper's worked example)
+        practice = filter_practice(table1_log)
+        assert SqlPatternMiner().mine(practice, MiningConfig(min_support=5))
+        assert not SqlPatternMiner().mine(practice, MiningConfig(min_support=6))
+
+    def test_distinct_user_condition(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert not SqlPatternMiner().mine(
+            practice, MiningConfig(min_distinct_users=4)
+        )
+        assert SqlPatternMiner().mine(practice, MiningConfig(min_distinct_users=3))
+
+    def test_empty_log_yields_nothing(self):
+        assert SqlPatternMiner().mine(AuditLog(), MiningConfig()) == ()
+
+    def test_patterns_ordered_by_support(self):
+        log = AuditLog()
+        tick = 1
+        for _ in range(3):
+            for user in ("a", "b"):
+                log.append(
+                    make_entry(tick, user, "address", "billing", "clerk",
+                               status=AccessStatus.EXCEPTION)
+                )
+                tick += 1
+        for _ in range(5):
+            for user in ("c", "d"):
+                log.append(
+                    make_entry(tick, user, "referral", "treatment", "nurse",
+                               status=AccessStatus.EXCEPTION)
+                )
+                tick += 1
+        patterns = SqlPatternMiner().mine(log, MiningConfig(min_support=2))
+        assert [p.support for p in patterns] == [10, 6]
+
+    def test_custom_attribute_subset(self, table1_log):
+        practice = filter_practice(table1_log)
+        config = MiningConfig(attributes=("data", "purpose"), min_support=5)
+        patterns = SqlPatternMiner().mine(practice, config)
+        assert patterns[0].rule == Rule.of(data="referral", purpose="registration")

@@ -1,0 +1,158 @@
+"""Unit tests for temporal pattern mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import MiningError
+from repro.mining.patterns import MiningConfig
+from repro.mining.temporal import (
+    TemporalPattern,
+    hour_extractor,
+    mine_temporal_patterns,
+)
+from repro.policy.conditions import TimeWindow
+from repro.policy.rule import Rule
+
+
+def _exception(tick: int, user: str, data: str = "referral",
+               purpose: str = "registration", role: str = "nurse"):
+    return make_entry(tick, user, data, purpose, role,
+                      status=AccessStatus.EXCEPTION)
+
+
+def _night_shift_log(ticks_per_hour: int = 1) -> AuditLog:
+    """A practice performed only between 22:00 and 02:00, plus a
+    round-the-clock one."""
+    entries = []
+    tick = 0
+    users = ("a", "b", "c")
+    for day in range(3):
+        base = day * 24 * ticks_per_hour
+        # the night practice: hours 22, 23, 0, 1 of each day
+        for offset, hour in enumerate((22, 23, 24, 25)):
+            entries.append(
+                (base + hour * ticks_per_hour, users[offset % 3], "referral")
+            )
+        # an all-day practice: every 6 hours, rotating staff
+        for index, hour in enumerate((1, 7, 13, 19)):
+            entries.append(
+                (base + hour * ticks_per_hour, users[index % 3], "prescription")
+            )
+    entries.sort()
+    log = AuditLog()
+    for tick, user, data in entries:
+        log.append(_exception(tick, user, data))
+    return log
+
+
+class TestHourExtractor:
+    def test_default_mapping(self):
+        extract = hour_extractor()
+        assert extract(_exception(0, "u")) == 0
+        assert extract(_exception(23, "u")) == 23
+        assert extract(_exception(25, "u")) == 1
+
+    def test_ticks_per_hour(self):
+        extract = hour_extractor(ticks_per_hour=10)
+        assert extract(_exception(95, "u")) == 9
+
+    def test_start_hour_offset(self):
+        extract = hour_extractor(start_hour=8)
+        assert extract(_exception(0, "u")) == 8
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            hour_extractor(ticks_per_hour=0)
+
+
+class TestMineTemporalPatterns:
+    def test_night_practice_gets_a_window(self):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(
+            log, MiningConfig(min_support=5), max_span=6
+        )
+        assert len(found) == 1
+        temporal = found[0]
+        assert temporal.pattern.rule == Rule.of(
+            data="referral", purpose="registration", authorized="nurse"
+        )
+        assert temporal.window == TimeWindow(22, 2)
+        assert temporal.concentration == 1.0
+
+    def test_all_day_practice_excluded(self):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(
+            log, MiningConfig(min_support=5), max_span=6
+        )
+        rules = {t.pattern.rule for t in found}
+        assert Rule.of(
+            data="prescription", purpose="registration", authorized="nurse"
+        ) not in rules
+
+    def test_wider_span_catches_all_day_practice(self):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(
+            log, MiningConfig(min_support=5), max_span=23, min_concentration=1.0
+        )
+        # the 4x-daily practice needs a 19-hour window (1..19 inclusive)
+        spans = {t.pattern.rule.value_of("data"): t.window.span for t in found}
+        assert spans["referral"] == 4
+        assert spans["prescription"] == 19
+
+    def test_window_is_minimal(self):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(log, MiningConfig(min_support=5), max_span=12)
+        assert found[0].window.span == 4
+
+    def test_concentration_threshold(self):
+        log = AuditLog()
+        tick = 0
+        # 9 occurrences at hour 3, 1 at hour 15 -> 90% in a 1-hour window
+        for day in range(9):
+            log.append(_exception(day * 24 + 3, f"u{day % 3}"))
+        log.append(_exception(9 * 24 + 15, "u0"))
+        strict = mine_temporal_patterns(
+            log, MiningConfig(min_support=5), min_concentration=0.95
+        )
+        lenient = mine_temporal_patterns(
+            log, MiningConfig(min_support=5), min_concentration=0.9
+        )
+        assert strict == () or strict[0].window.span > 1
+        assert lenient[0].window == TimeWindow(3, 4)
+        assert lenient[0].concentration == pytest.approx(0.9)
+
+    def test_ticks_per_hour_scaling(self):
+        log = _night_shift_log(ticks_per_hour=5)
+        found = mine_temporal_patterns(
+            log,
+            MiningConfig(min_support=5),
+            hour_of=hour_extractor(ticks_per_hour=5),
+            max_span=6,
+        )
+        assert found[0].window == TimeWindow(22, 2)
+
+    def test_empty_log(self):
+        assert mine_temporal_patterns(AuditLog()) == ()
+
+    def test_validation(self):
+        log = _night_shift_log()
+        with pytest.raises(MiningError):
+            mine_temporal_patterns(log, min_concentration=0.0)
+        with pytest.raises(MiningError):
+            mine_temporal_patterns(log, max_span=24)
+
+    def test_to_conditional_rule(self, vocabulary):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(log, MiningConfig(min_support=5), max_span=6)
+        conditional = found[0].to_conditional_rule()
+        request = Rule.of(data="referral", purpose="registration", authorized="nurse")
+        assert conditional.covers(request, 23, vocabulary)
+        assert not conditional.covers(request, 10, vocabulary)
+
+    def test_str(self):
+        log = _night_shift_log()
+        found = mine_temporal_patterns(log, MiningConfig(min_support=5), max_span=6)
+        assert "100%" in str(found[0])

@@ -1,0 +1,112 @@
+"""Unit tests for conditional rules and time windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.conditions import ConditionalPolicySet, ConditionalRule, TimeWindow
+from repro.policy.rule import Rule
+
+
+def _rule(data: str = "referral", purpose: str = "registration", role: str = "nurse") -> Rule:
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+class TestTimeWindow:
+    def test_plain_window(self):
+        window = TimeWindow(9, 17)
+        assert window.span == 8
+        assert window.contains(9)
+        assert window.contains(16)
+        assert not window.contains(17)
+        assert not window.contains(3)
+
+    def test_wrapping_window(self):
+        night = TimeWindow(22, 6)
+        assert night.span == 8
+        assert night.contains(23)
+        assert night.contains(0)
+        assert night.contains(5)
+        assert not night.contains(6)
+        assert not night.contains(12)
+
+    def test_all_day(self):
+        day = TimeWindow.all_day()
+        assert day.span == 24
+        assert all(day.contains(hour) for hour in range(24))
+
+    def test_hours_enumeration(self):
+        assert TimeWindow(22, 2).hours() == (22, 23, 0, 1)
+        assert TimeWindow(3, 5).hours() == (3, 4)
+
+    def test_end_24_is_plain(self):
+        late = TimeWindow(20, 24)
+        assert late.span == 4
+        assert late.contains(23)
+        assert not late.contains(0)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            TimeWindow(-1, 5)
+        with pytest.raises(PolicyError):
+            TimeWindow(0, 25)
+        with pytest.raises(PolicyError):
+            TimeWindow(5, 10).contains(24)
+
+    def test_str(self):
+        assert str(TimeWindow(22, 6)) == "[22:00, 06:00)"
+
+
+class TestConditionalRule:
+    def test_covers_inside_window(self, vocabulary):
+        conditional = ConditionalRule(_rule(), TimeWindow(22, 6))
+        assert conditional.covers(_rule(), 23, vocabulary)
+        assert not conditional.covers(_rule(), 12, vocabulary)
+
+    def test_covers_respects_rule_semantics(self, vocabulary):
+        conditional = ConditionalRule(
+            Rule.of(data="medical_records", purpose="treatment", authorized="nurse"),
+            TimeWindow(0, 24),
+        )
+        request = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        assert conditional.covers(request, 12, vocabulary)
+        other = Rule.of(data="psychiatry", purpose="treatment", authorized="nurse")
+        assert not conditional.covers(other, 12, vocabulary)
+
+    def test_unconditional_strips_window(self):
+        conditional = ConditionalRule(_rule(), TimeWindow(22, 6))
+        assert conditional.unconditional() == _rule()
+
+    def test_to_dsl(self):
+        conditional = ConditionalRule(_rule(), TimeWindow(22, 6))
+        text = conditional.to_dsl()
+        assert text.startswith("ALLOW nurse TO USE referral FOR registration")
+        assert text.endswith("WHEN HOUR IN [22:00, 06:00)")
+
+
+class TestConditionalPolicySet:
+    def test_plain_rules_always_permit(self, vocabulary):
+        policy_set = ConditionalPolicySet()
+        policy_set.add(_rule())
+        assert policy_set.permits(_rule(), 3, vocabulary)
+        assert policy_set.permits(_rule(), 15, vocabulary)
+
+    def test_conditional_rules_scoped(self, vocabulary):
+        policy_set = ConditionalPolicySet()
+        policy_set.add(ConditionalRule(_rule(), TimeWindow(22, 6)))
+        assert policy_set.permits(_rule(), 23, vocabulary)
+        assert not policy_set.permits(_rule(), 12, vocabulary)
+
+    def test_mixture(self, vocabulary):
+        policy_set = ConditionalPolicySet()
+        policy_set.add(_rule("prescription", "treatment"))
+        policy_set.add(ConditionalRule(_rule(), TimeWindow(22, 6)))
+        assert len(policy_set) == 2
+        assert len(policy_set.conditional_rules) == 1
+        assert policy_set.permits(_rule("prescription", "treatment"), 12, vocabulary)
+        assert not policy_set.permits(_rule(), 12, vocabulary)
+
+    def test_rejects_junk(self):
+        with pytest.raises(PolicyError):
+            ConditionalPolicySet().add("nope")  # type: ignore[arg-type]

@@ -1,0 +1,82 @@
+"""Unit tests for repro.policy.grounding (Definition 8, Range algebra)."""
+
+from __future__ import annotations
+
+from repro.policy.grounding import Grounder, Range, policy_range
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+
+
+def _rule(data: str, purpose: str = "treatment", role: str = "nurse") -> Rule:
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+class TestRange:
+    def test_cardinality_and_membership(self, vocabulary, fig3_policy):
+        rng = policy_range(fig3_policy, vocabulary)
+        assert rng.cardinality == 8
+        assert _rule("referral") in rng
+        assert _rule("psychiatry") not in rng
+
+    def test_set_algebra(self):
+        a = Range([_rule("a_data"), _rule("b_data")])
+        b = Range([_rule("b_data"), _rule("c_data")])
+        assert (a & b).cardinality == 1
+        assert (a | b).cardinality == 3
+        assert (a - b).rules() == (_rule("a_data"),)
+        assert Range([_rule("b_data")]) <= a
+
+    def test_equality_and_hash(self):
+        a = Range([_rule("a_data")])
+        b = Range([_rule("a_data")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Range([_rule("b_data")])
+
+    def test_rules_is_deterministic(self):
+        rng = Range([_rule("b_data"), _rule("a_data"), _rule("c_data")])
+        assert rng.rules() == rng.rules()
+        values = [rule.value_of("data") for rule in rng.rules()]
+        assert values == sorted(values)
+
+    def test_iteration(self):
+        rng = Range([_rule("a_data")])
+        assert list(rng) == [_rule("a_data")]
+
+
+class TestGrounder:
+    def test_memoisation_counts_hits(self, vocabulary):
+        grounder = Grounder(vocabulary)
+        rule = _rule("demographic", "billing", "clerk")
+        grounder.ground_rules(rule)
+        grounder.ground_rules(rule)
+        assert grounder.misses == 1
+        assert grounder.hits == 1
+
+    def test_range_of_accepts_policy_or_iterable(self, vocabulary, fig3_policy):
+        grounder = Grounder(vocabulary)
+        from_policy = grounder.range_of(fig3_policy)
+        from_iterable = grounder.range_of(list(fig3_policy))
+        assert from_policy == from_iterable
+
+    def test_memoised_matches_naive(self, vocabulary, fig3_policy):
+        grounder = Grounder(vocabulary)
+        memoised = grounder.range_of(fig3_policy)
+        naive = Range(
+            ground
+            for rule in fig3_policy
+            for ground in rule.ground_rules(vocabulary)
+        )
+        assert memoised == naive
+
+    def test_clear_resets_cache(self, vocabulary):
+        grounder = Grounder(vocabulary)
+        grounder.ground_rules(_rule("demographic", "billing", "clerk"))
+        grounder.clear()
+        assert grounder.misses == 0
+        grounder.ground_rules(_rule("demographic", "billing", "clerk"))
+        assert grounder.misses == 1
+
+    def test_range_of_duplicate_rules_is_set(self, vocabulary):
+        policy = Policy([_rule("referral"), _rule("referral")])
+        assert Grounder(vocabulary).range_of(policy).cardinality == 1

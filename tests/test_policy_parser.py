@@ -1,0 +1,107 @@
+"""Unit tests for the policy authoring DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.policy.parser import format_policy, format_rule, parse_policy, parse_rule
+from repro.policy.policy import PolicySource
+from repro.policy.rule import Rule
+
+
+class TestParseRule:
+    def test_sentence_form(self):
+        rule = parse_rule("ALLOW nurse TO USE medical_records FOR treatment")
+        assert rule == Rule.of(
+            data="medical_records", purpose="treatment", authorized="nurse"
+        )
+
+    def test_sentence_form_verbs_interchangeable(self):
+        for verb in ("USE", "ACCESS", "READ", "DISCLOSE", "use"):
+            rule = parse_rule(f"ALLOW clerk TO {verb} demographic FOR billing")
+            assert rule.value_of("authorized") == "clerk"
+
+    def test_sentence_form_is_case_insensitive(self):
+        assert parse_rule("allow Nurse to use Referral for Treatment") == Rule.of(
+            data="referral", purpose="treatment", authorized="nurse"
+        )
+
+    def test_quoted_multiword_values(self):
+        rule = parse_rule("ALLOW 'billing clerk' TO USE demographic FOR billing")
+        assert rule.value_of("authorized") == "billing_clerk"
+
+    def test_generic_form(self):
+        rule = parse_rule("RULE data=referral, purpose=registration, authorized=nurse")
+        assert rule == Rule.of(
+            data="referral", purpose="registration", authorized="nurse"
+        )
+
+    def test_generic_form_without_keyword(self):
+        rule = parse_rule("data=referral, purpose=registration")
+        assert rule.cardinality == 2
+
+    def test_generic_form_arbitrary_attributes(self):
+        rule = parse_rule("RULE op=allow, status=exception")
+        assert rule.value_of("op") == "allow"
+
+    def test_trailing_comment_ignored(self):
+        rule = parse_rule("ALLOW nurse TO USE referral FOR treatment # why not")
+        assert rule.cardinality == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DENY nurse TO USE x FOR y",
+            "ALLOW nurse USE x FOR y",
+            "ALLOW nurse TO FROB x FOR y",
+            "ALLOW nurse TO USE x WITH y",
+            "RULE data referral",
+            "RULE",
+            "ALLOW 'unbalanced TO USE x FOR y",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PolicyParseError):
+            parse_rule(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PolicyParseError, match="line 2"):
+            parse_policy("ALLOW nurse TO USE referral FOR treatment\nGARBAGE here")
+
+
+class TestParsePolicy:
+    def test_skips_blanks_and_comments(self):
+        text = """
+        # the store
+        ALLOW nurse TO USE medical_records FOR treatment
+
+        ALLOW clerk TO USE demographic FOR billing
+        """
+        policy = parse_policy(text)
+        assert policy.cardinality == 2
+        assert policy.source is PolicySource.POLICY_STORE
+
+    def test_source_override(self):
+        policy = parse_policy("ALLOW a TO USE b FOR c", source="AL", name="log")
+        assert policy.source is PolicySource.AUDIT_LOG
+        assert policy.name == "log"
+
+
+class TestFormatting:
+    def test_format_rule_round_trips_sentence_form(self):
+        rule = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        assert parse_rule(format_rule(rule)) == rule
+        assert format_rule(rule).startswith("ALLOW")
+
+    def test_format_rule_round_trips_generic_form(self):
+        rule = Rule.of(data="referral", purpose="treatment")
+        text = format_rule(rule)
+        assert text.startswith("RULE")
+        assert parse_rule(text) == rule
+
+    def test_format_policy_round_trips(self, fig3_policy):
+        text = format_policy(fig3_policy)
+        rebuilt = parse_policy(text)
+        assert rebuilt.rules == fig3_policy.rules

@@ -1,0 +1,83 @@
+"""Unit tests for repro.policy.policy (Definition 7, Corollary 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+
+
+def _rule(data: str, purpose: str = "treatment", role: str = "nurse") -> Rule:
+    return Rule.of(data=data, purpose=purpose, authorized=role)
+
+
+class TestConstruction:
+    def test_source_enum_from_string(self):
+        policy = Policy([], source="PS")
+        assert policy.source is PolicySource.POLICY_STORE
+        assert policy.name == "P_PS"
+
+    def test_name_override(self):
+        assert Policy([], source="AL", name="dept").name == "dept"
+
+    def test_rejects_non_rules(self):
+        with pytest.raises(PolicyError):
+            Policy(["not a rule"])  # type: ignore[list-item]
+
+    def test_add_rejects_non_rules(self):
+        policy = Policy([])
+        with pytest.raises(PolicyError):
+            policy.add("nope")  # type: ignore[arg-type]
+
+
+class TestCollection:
+    def test_preserves_duplicates_and_order(self):
+        rule = _rule("referral")
+        policy = Policy([rule, rule, _rule("prescription")])
+        assert policy.cardinality == 3
+        assert policy[0] == policy[1]
+
+    def test_contains_and_iter(self):
+        rule = _rule("referral")
+        policy = Policy([rule])
+        assert rule in policy
+        assert list(policy) == [rule]
+
+    def test_extend(self):
+        policy = Policy([])
+        policy.extend([_rule("a_data"), _rule("b_data")])
+        assert len(policy) == 2
+
+    def test_distinct_removes_duplicates_keeps_order(self):
+        first, second = _rule("referral"), _rule("prescription")
+        policy = Policy([first, second, first])
+        deduped = policy.distinct()
+        assert deduped.rules == (first, second)
+
+    def test_equality_compares_rules_and_source(self):
+        a = Policy([_rule("referral")], source="AL")
+        b = Policy([_rule("referral")], source="AL")
+        c = Policy([_rule("referral")], source="PS")
+        assert a == b
+        assert a != c
+
+
+class TestGrounding:
+    def test_ground_policy_detection(self, vocabulary, fig3_policy, fig3_audit):
+        assert not fig3_policy.is_ground(vocabulary)  # has composite rules
+        assert fig3_audit.is_ground(vocabulary)
+
+    def test_corollary2_ground_rules_exist(self, vocabulary, fig3_policy):
+        ground = fig3_policy.ground_rules(vocabulary)
+        assert len(ground) == 8  # 3 (medical_records) + 1 + 4 (demographic)
+        assert all(rule.is_ground(vocabulary) for rule in ground)
+
+    def test_ground_rules_deduplicated(self, vocabulary):
+        policy = Policy([
+            _rule("demographic", "billing", "clerk"),
+            _rule("address", "billing", "clerk"),
+        ])
+        ground = policy.ground_rules(vocabulary)
+        assert len(ground) == 4  # address appears once

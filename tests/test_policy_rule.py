@@ -1,0 +1,137 @@
+"""Unit tests for repro.policy.rule (Definitions 5-6, Corollary 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.rule import Rule
+from repro.policy.ruleterm import RuleTerm
+
+
+class TestConstruction:
+    def test_of_builds_canonical_rule(self):
+        rule = Rule.of(data="Referral", purpose="Treatment", authorized="Nurse")
+        assert rule.cardinality == 3
+        assert rule.value_of("data") == "referral"
+
+    def test_terms_sorted_canonically(self):
+        a = Rule.of(purpose="billing", data="insurance", authorized="nurse")
+        b = Rule.of(authorized="nurse", data="insurance", purpose="billing")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_duplicate_terms_collapse(self):
+        rule = Rule.from_pairs([("data", "name"), ("data", "name")])
+        assert rule.cardinality == 1
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(PolicyError):
+            Rule(())
+
+    def test_of_requires_assignments(self):
+        with pytest.raises(PolicyError):
+            Rule.of()
+
+    def test_str_matches_paper_notation(self):
+        rule = Rule.of(data="insurance", purpose="billing", authorized="nurse")
+        assert str(rule) == (
+            "{(authorized, nurse) ^ (data, insurance) ^ (purpose, billing)}"
+        )
+
+
+class TestProjection:
+    def test_project_keeps_requested_attributes(self):
+        rule = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        projected = rule.project(["data", "purpose"])
+        assert projected == Rule.of(data="referral", purpose="treatment")
+
+    def test_project_empty_raises(self):
+        rule = Rule.of(data="referral")
+        with pytest.raises(PolicyError):
+            rule.project(["purpose"])
+
+    def test_value_of_missing_attribute_is_none(self):
+        assert Rule.of(data="referral").value_of("purpose") is None
+
+
+class TestGrounding:
+    def test_ground_rule_stays_itself(self, vocabulary):
+        rule = Rule.of(data="gender", purpose="billing", authorized="clerk")
+        assert rule.is_ground(vocabulary)
+        assert rule.ground_rules(vocabulary) == (rule,)
+
+    def test_composite_rule_expands_by_product(self, vocabulary):
+        # demographic (4 leaves) x operations (3 leaves) = 12 ground rules
+        rule = Rule.of(data="demographic", purpose="operations", authorized="clerk")
+        assert not rule.is_ground(vocabulary)
+        expansion = rule.ground_rules(vocabulary)
+        assert len(expansion) == 12
+        assert all(ground.is_ground(vocabulary) for ground in expansion)
+
+    def test_corollary1_every_rule_has_ground_counterpart(self, vocabulary):
+        rule = Rule.of(data="clinical", purpose="healthcare", authorized="clinical_staff")
+        assert len(rule.ground_rules(vocabulary)) >= 1
+
+    def test_figure3_rule1_expands_to_three(self, vocabulary):
+        rule = Rule.of(data="medical_records", purpose="treatment", authorized="nurse")
+        expansion = rule.ground_rules(vocabulary)
+        assert len(expansion) == 3
+        assert Rule.of(data="referral", purpose="treatment", authorized="nurse") in expansion
+
+
+class TestEquivalence:
+    def test_ground_rules_equivalent_iff_equal(self, vocabulary):
+        a = Rule.of(data="gender", purpose="billing", authorized="clerk")
+        b = Rule.of(data="gender", purpose="billing", authorized="clerk")
+        c = Rule.of(data="name", purpose="billing", authorized="clerk")
+        assert a.equivalent(b, vocabulary)
+        assert not a.equivalent(c, vocabulary)
+
+    def test_different_cardinality_never_equivalent(self, vocabulary):
+        a = Rule.of(data="gender", purpose="billing")
+        b = Rule.of(data="gender", purpose="billing", authorized="clerk")
+        assert not a.equivalent(b, vocabulary)
+
+    def test_composite_equivalent_to_contained_ground(self, vocabulary):
+        composite = Rule.of(data="demographic", purpose="billing", authorized="clerk")
+        ground = Rule.of(data="address", purpose="billing", authorized="clerk")
+        assert composite.equivalent(ground, vocabulary)
+        assert ground.equivalent(composite, vocabulary)
+
+    def test_equivalence_requires_overlap_on_every_attribute(self, vocabulary):
+        a = Rule.of(data="demographic", purpose="billing", authorized="clerk")
+        b = Rule.of(data="address", purpose="treatment", authorized="clerk")
+        assert not a.equivalent(b, vocabulary)
+
+
+class TestCovers:
+    def test_composite_covers_contained_ground_rule(self, vocabulary):
+        store_rule = Rule.of(
+            data="medical_records", purpose="treatment", authorized="nurse"
+        )
+        request = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        assert store_rule.covers(request, vocabulary)
+
+    def test_does_not_cover_outside_subtree(self, vocabulary):
+        store_rule = Rule.of(
+            data="medical_records", purpose="treatment", authorized="nurse"
+        )
+        request = Rule.of(data="psychiatry", purpose="treatment", authorized="nurse")
+        assert not store_rule.covers(request, vocabulary)
+
+    def test_ground_covers_only_itself(self, vocabulary):
+        rule = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        assert rule.covers(rule, vocabulary)
+        other = Rule.of(data="referral", purpose="registration", authorized="nurse")
+        assert not rule.covers(other, vocabulary)
+
+    def test_cardinality_mismatch_not_covered(self, vocabulary):
+        wide = Rule.of(data="referral", purpose="treatment", authorized="nurse")
+        narrow = Rule.of(data="referral", purpose="treatment")
+        assert not wide.covers(narrow, vocabulary)
+
+    def test_term_subsumes_helper(self, vocabulary):
+        assert RuleTerm("data", "clinical").subsumes(
+            RuleTerm("data", "prescription"), vocabulary
+        )

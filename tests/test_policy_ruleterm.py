@@ -1,0 +1,109 @@
+"""Unit tests for repro.policy.ruleterm (Definitions 1-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.ruleterm import RuleTerm
+
+
+class TestConstruction:
+    def test_canonicalises_both_elements(self):
+        term = RuleTerm("Data", " Birth Date ")
+        assert term.attr == "data"
+        assert term.value == "birth_date"
+
+    def test_equality_after_canonicalisation(self):
+        assert RuleTerm("DATA", "Gender") == RuleTerm("data", "gender")
+
+    def test_hashable(self):
+        assert len({RuleTerm("data", "gender"), RuleTerm("Data", "GENDER")}) == 1
+
+    def test_rejects_empty_value(self):
+        with pytest.raises(PolicyError):
+            RuleTerm("data", "  ")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(PolicyError):
+            RuleTerm("data", 5)  # type: ignore[arg-type]
+
+    def test_str_matches_paper_notation(self):
+        assert str(RuleTerm("data", "demographic")) == "(data, demographic)"
+
+
+class TestGroundness:
+    def test_leaf_value_is_ground(self, vocabulary):
+        assert RuleTerm("data", "gender").is_ground(vocabulary)
+
+    def test_internal_value_is_composite(self, vocabulary):
+        assert not RuleTerm("data", "demographic").is_ground(vocabulary)
+
+    def test_flat_attribute_is_ground(self, vocabulary):
+        assert RuleTerm("user", "mark").is_ground(vocabulary)
+
+    def test_ground_terms_of_composite(self, vocabulary):
+        expanded = RuleTerm("data", "demographic").ground_terms(vocabulary)
+        assert set(expanded) == {
+            RuleTerm("data", "name"),
+            RuleTerm("data", "address"),
+            RuleTerm("data", "gender"),
+            RuleTerm("data", "birth_date"),
+        }
+
+    def test_ground_terms_of_ground_is_singleton(self, vocabulary):
+        # Definition 3: a ground term always exists.
+        assert RuleTerm("data", "gender").ground_terms(vocabulary) == (
+            RuleTerm("data", "gender"),
+        )
+
+
+class TestEquivalence:
+    def test_definition4_example(self, vocabulary):
+        # RT2=(data,address) and RT3=(data,gender) are equivalent to
+        # RT1=(data,demographic) because ground terms of each lie in RT1'.
+        rt1 = RuleTerm("data", "demographic")
+        rt2 = RuleTerm("data", "address")
+        rt3 = RuleTerm("data", "gender")
+        assert rt2.equivalent(rt1, vocabulary)
+        assert rt3.equivalent(rt1, vocabulary)
+        assert rt1.equivalent(rt2, vocabulary)
+
+    def test_different_attributes_never_equivalent(self, vocabulary):
+        assert not RuleTerm("data", "billing").equivalent(
+            RuleTerm("purpose", "billing"), vocabulary
+        )
+
+    def test_disjoint_subtrees_not_equivalent(self, vocabulary):
+        assert not RuleTerm("data", "demographic").equivalent(
+            RuleTerm("data", "psychiatry"), vocabulary
+        )
+
+    def test_equal_terms_equivalent(self, vocabulary):
+        term = RuleTerm("purpose", "billing")
+        assert term.equivalent(term, vocabulary)
+
+    def test_unknown_values_equivalent_only_on_equality(self, vocabulary):
+        assert RuleTerm("data", "martian").equivalent(
+            RuleTerm("data", "martian"), vocabulary
+        )
+        assert not RuleTerm("data", "martian").equivalent(
+            RuleTerm("data", "venusian"), vocabulary
+        )
+
+
+class TestSubsumption:
+    def test_composite_subsumes_its_leaves(self, vocabulary):
+        assert RuleTerm("data", "demographic").subsumes(
+            RuleTerm("data", "address"), vocabulary
+        )
+
+    def test_leaf_does_not_subsume_composite(self, vocabulary):
+        assert not RuleTerm("data", "address").subsumes(
+            RuleTerm("data", "demographic"), vocabulary
+        )
+
+    def test_cross_attribute_never_subsumes(self, vocabulary):
+        assert not RuleTerm("data", "billing").subsumes(
+            RuleTerm("purpose", "billing"), vocabulary
+        )

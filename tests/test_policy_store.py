@@ -1,0 +1,95 @@
+"""Unit tests for the versioned policy store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.policy import PolicySource
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+
+
+def _rule(data: str = "referral") -> Rule:
+    return Rule.of(data=data, purpose="treatment", authorized="nurse")
+
+
+class TestAdd:
+    def test_add_returns_true_on_change(self):
+        store = PolicyStore()
+        assert store.add(_rule()) is True
+        assert len(store) == 1
+
+    def test_add_duplicate_is_noop(self):
+        store = PolicyStore()
+        store.add(_rule())
+        assert store.add(_rule()) is False
+        assert store.revision == 1
+
+    def test_add_all_counts_changes(self):
+        store = PolicyStore()
+        added = store.add_all([_rule("a_data"), _rule("b_data"), _rule("a_data")])
+        assert added == 2
+
+    def test_add_rejects_non_rule(self):
+        with pytest.raises(PolicyError):
+            PolicyStore().add("nope")  # type: ignore[arg-type]
+
+    def test_provenance_recorded(self):
+        store = PolicyStore()
+        store.add(_rule(), added_by="alice", origin="refinement", note="support=9")
+        record = store.record_for(_rule())
+        assert record.added_by == "alice"
+        assert record.origin == "refinement"
+        assert record.note == "support=9"
+        assert record.revision == 1
+
+
+class TestRetire:
+    def test_retire_deactivates_but_keeps_record(self):
+        store = PolicyStore()
+        store.add(_rule())
+        assert store.retire(_rule()) is True
+        assert _rule() not in store
+        assert len(store) == 0
+        assert store.record_for(_rule()) is not None
+        assert store.records(include_retired=True)[0].active is False
+
+    def test_retire_missing_is_noop(self):
+        assert PolicyStore().retire(_rule()) is False
+
+    def test_reactivation_after_retire(self):
+        store = PolicyStore()
+        store.add(_rule())
+        store.retire(_rule())
+        assert store.add(_rule()) is True
+        assert _rule() in store
+
+
+class TestHistoryAndSnapshot:
+    def test_history_orders_events(self):
+        store = PolicyStore()
+        store.add(_rule("a_data"))
+        store.add(_rule("b_data"))
+        store.retire(_rule("a_data"))
+        actions = [event.action for event in store.history]
+        assert actions == ["add", "add", "retire"]
+        assert [event.revision for event in store.history] == [1, 2, 3]
+
+    def test_policy_snapshot(self):
+        store = PolicyStore("hospital")
+        store.add(_rule("a_data"))
+        snapshot = store.policy()
+        assert snapshot.source is PolicySource.POLICY_STORE
+        assert snapshot.name == "hospital"
+        assert snapshot.cardinality == 1
+        # the snapshot is detached from future store changes
+        store.add(_rule("b_data"))
+        assert snapshot.cardinality == 1
+
+    def test_iteration_yields_active_rules(self):
+        store = PolicyStore()
+        store.add(_rule("a_data"))
+        store.add(_rule("b_data"))
+        store.retire(_rule("a_data"))
+        assert list(store) == [_rule("b_data")]

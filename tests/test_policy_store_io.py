@@ -1,0 +1,79 @@
+"""Tests for policy store persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import store_io
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+
+
+def _store() -> PolicyStore:
+    store = PolicyStore("hospital")
+    store.add(
+        Rule.of(data="medical_records", purpose="treatment", authorized="nurse"),
+        added_by="cpo", origin="seed",
+    )
+    store.add(
+        Rule.of(data="referral", purpose="registration", authorized="nurse"),
+        added_by="loop-review", origin="refinement", note="support=12",
+    )
+    store.retire(
+        Rule.of(data="medical_records", purpose="treatment", authorized="nurse"),
+        added_by="cpo", note="superseded",
+    )
+    return store
+
+
+class TestRoundTrip:
+    def test_records_survive(self):
+        original = _store()
+        rebuilt = store_io.loads(store_io.dumps(original))
+        assert rebuilt.name == original.name
+        assert rebuilt.revision == original.revision
+        assert set(rebuilt) == set(original)
+        retired = [r for r in rebuilt.records(include_retired=True) if not r.active]
+        assert len(retired) == 1
+
+    def test_provenance_survives(self):
+        rebuilt = store_io.loads(store_io.dumps(_store()))
+        record = rebuilt.record_for(
+            Rule.of(data="referral", purpose="registration", authorized="nurse")
+        )
+        assert record.origin == "refinement"
+        assert record.note == "support=12"
+        assert record.added_by == "loop-review"
+
+    def test_history_survives(self):
+        rebuilt = store_io.loads(store_io.dumps(_store()))
+        actions = [event.action for event in rebuilt.history]
+        assert actions == ["add", "add", "retire"]
+
+    def test_store_remains_usable_after_load(self):
+        rebuilt = store_io.loads(store_io.dumps(_store()))
+        added = rebuilt.add(
+            Rule.of(data="address", purpose="billing", authorized="clerk")
+        )
+        assert added is True
+        assert rebuilt.revision == 4  # continues from the loaded counter
+
+    def test_file_round_trip(self, tmp_path):
+        path = store_io.save(_store(), tmp_path / "store.json")
+        rebuilt = store_io.load(path)
+        assert len(rebuilt) == 1
+
+    def test_rules_serialised_as_dsl(self):
+        text = store_io.dumps(_store())
+        assert "ALLOW nurse TO USE referral FOR registration" in text
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(PolicyError):
+            store_io.loads("{broken")
+
+    def test_missing_fields(self):
+        with pytest.raises(PolicyError):
+            store_io.loads('{"name": "x"}')

@@ -1,0 +1,89 @@
+"""Property-based tests for time windows and the temporal detector."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.temporal import _best_window
+from repro.policy.conditions import TimeWindow
+
+starts = st.integers(min_value=0, max_value=23)
+ends = st.integers(min_value=0, max_value=24)
+hours = st.integers(min_value=0, max_value=23)
+
+
+class TestTimeWindowProperties:
+    @given(starts, ends)
+    def test_span_equals_hours_length(self, start, end):
+        window = TimeWindow(start, end)
+        assert window.span == len(window.hours())
+
+    @given(starts, ends, hours)
+    def test_contains_agrees_with_hours(self, start, end, hour):
+        window = TimeWindow(start, end)
+        assert window.contains(hour) == (hour in window.hours())
+
+    @given(starts, ends)
+    def test_hours_are_distinct_and_valid(self, start, end):
+        listed = TimeWindow(start, end).hours()
+        assert len(listed) == len(set(listed))
+        assert all(0 <= hour <= 23 for hour in listed)
+
+    @given(starts, ends)
+    def test_span_bounds(self, start, end):
+        assert 0 <= TimeWindow(start, end).span <= 24
+
+    @given(hours)
+    def test_all_day_contains_everything(self, hour):
+        assert TimeWindow.all_day().contains(hour)
+
+
+histograms = st.lists(
+    st.integers(min_value=0, max_value=10), min_size=24, max_size=24
+)
+
+
+class TestBestWindowProperties:
+    @settings(max_examples=100)
+    @given(histograms, st.integers(min_value=1, max_value=23),
+           st.floats(min_value=0.5, max_value=1.0))
+    def test_returned_window_meets_concentration(self, histogram, max_span, threshold):
+        result = _best_window(histogram, max_span, threshold)
+        total = sum(histogram)
+        if result is None:
+            return
+        window, concentration = result
+        inside = sum(histogram[hour] for hour in window.hours())
+        assert window.span <= max_span
+        assert concentration == inside / total
+        assert concentration >= threshold
+
+    @settings(max_examples=100)
+    @given(histograms, st.integers(min_value=1, max_value=23),
+           st.floats(min_value=0.5, max_value=1.0))
+    def test_window_is_minimal(self, histogram, max_span, threshold):
+        result = _best_window(histogram, max_span, threshold)
+        total = sum(histogram)
+        if result is None or total == 0:
+            return
+        window, _ = result
+        for span in range(1, window.span):
+            for start in range(24):
+                inside = sum(histogram[(start + k) % 24] for k in range(span))
+                assert inside / total < threshold
+
+    @settings(max_examples=60)
+    @given(st.integers(min_value=1, max_value=23))
+    def test_empty_histogram_yields_nothing(self, max_span):
+        assert _best_window([0] * 24, max_span, 0.9) is None
+
+    @settings(max_examples=60)
+    @given(hours, st.integers(min_value=1, max_value=10))
+    def test_single_hour_spike_gets_one_hour_window(self, hour, count):
+        histogram = [0] * 24
+        histogram[hour] = count
+        window, concentration = _best_window(histogram, 12, 0.9)
+        assert window.span == 1
+        assert window.contains(hour)
+        assert concentration == 1.0

@@ -1,0 +1,143 @@
+"""Property-based tests across the audit/mining/refinement pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.entry import AuditEntry
+from repro.audit.io import load_jsonl, save_jsonl
+from repro.audit.log import AuditLog
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.mining.apriori import AprioriPatternMiner, apriori, transactions_from_log
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.policy.policy import Policy
+from repro.refinement.filtering import filter_practice
+from repro.refinement.prune import prune_patterns
+from repro.vocab.builtin import healthcare_vocabulary
+
+VOCAB = healthcare_vocabulary()
+
+users = st.sampled_from(["ann", "bob", "cid", "dee"])
+data_values = st.sampled_from(["referral", "prescription", "psychiatry", "address"])
+purposes = st.sampled_from(["treatment", "registration", "billing"])
+roles = st.sampled_from(["nurse", "clerk", "doctor"])
+ops = st.sampled_from([AccessOp.ALLOW, AccessOp.DENY])
+statuses = st.sampled_from([AccessStatus.REGULAR, AccessStatus.EXCEPTION])
+
+
+@st.composite
+def audit_logs(draw, min_size: int = 0, max_size: int = 30) -> AuditLog:
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    log = AuditLog()
+    for tick in range(1, count + 1):
+        log.append(
+            AuditEntry(
+                time=tick,
+                op=draw(ops),
+                user=draw(users),
+                data=draw(data_values),
+                purpose=draw(purposes),
+                authorized=draw(roles),
+                status=draw(statuses),
+            )
+        )
+    return log
+
+
+class TestAuditProperties:
+    @settings(max_examples=40)
+    @given(audit_logs())
+    def test_jsonl_round_trip(self, tmp_path_factory, log):
+        path = tmp_path_factory.mktemp("logs") / "log.jsonl"
+        save_jsonl(log, path)
+        assert load_jsonl(path).entries == log.entries
+
+    @settings(max_examples=60)
+    @given(audit_logs())
+    def test_filter_subsets_and_idempotent(self, log):
+        practice = filter_practice(log)
+        assert len(practice) <= len(log)
+        assert all(e.is_exception and e.is_allowed for e in practice)
+        assert filter_practice(practice).entries == practice.entries
+
+    @settings(max_examples=60)
+    @given(audit_logs())
+    def test_slices_partition_allowed_traffic(self, log):
+        assert len(log.exceptions()) + len(log.regular()) + len(log.denials()) == len(log)
+
+
+class TestMiningProperties:
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1))
+    def test_sql_and_apriori_miners_agree(self, log):
+        config = MiningConfig(min_support=2, min_distinct_users=1)
+        practice = filter_practice(log)
+        sql = SqlPatternMiner().mine(practice, config)
+        ap = AprioriPatternMiner().mine(practice, config)
+        assert {(p.rule, p.support, p.distinct_users) for p in sql} == {
+            (p.rule, p.support, p.distinct_users) for p in ap
+        }
+
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1), st.integers(min_value=1, max_value=6))
+    def test_apriori_supports_meet_threshold(self, log, min_support):
+        transactions = transactions_from_log(log, ("data", "purpose", "authorized"))
+        for itemset in apriori(transactions, min_support):
+            assert itemset.support >= min_support
+            # recount from scratch
+            actual = sum(1 for t in transactions if itemset.items <= t)
+            assert actual == itemset.support
+
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1))
+    def test_apriori_anti_monotone(self, log):
+        transactions = transactions_from_log(log, ("data", "purpose", "authorized"))
+        found = {fi.items: fi.support for fi in apriori(transactions, 2)}
+        for items, support in found.items():
+            for item in items:
+                subset = items - {item}
+                if subset:
+                    assert found[subset] >= support
+
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1))
+    def test_mined_support_bounded_by_practice_size(self, log):
+        practice = filter_practice(log)
+        config = MiningConfig(min_support=1, min_distinct_users=1)
+        for pattern in SqlPatternMiner().mine(practice, config):
+            assert pattern.support <= len(practice)
+            assert pattern.distinct_users <= pattern.support
+
+
+class TestPruneProperties:
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1))
+    def test_prune_partitions_patterns(self, log):
+        practice = filter_practice(log)
+        config = MiningConfig(min_support=1, min_distinct_users=1)
+        patterns = SqlPatternMiner().mine(practice, config)
+        store = Policy(
+            [e.to_rule() for e in log.regular()] or []
+        )
+        if store.cardinality == 0:
+            return
+        result = prune_patterns(patterns, store, VOCAB)
+        assert set(result.useful) | set(result.pruned) == set(patterns)
+        assert not (set(result.useful) & set(result.pruned))
+
+    @settings(max_examples=40)
+    @given(audit_logs(min_size=1))
+    def test_novel_range_disjoint_from_store_range(self, log):
+        from repro.policy.grounding import policy_range
+
+        practice = filter_practice(log)
+        config = MiningConfig(min_support=1, min_distinct_users=1)
+        patterns = SqlPatternMiner().mine(practice, config)
+        store = Policy([e.to_rule() for e in log.regular()])
+        if store.cardinality == 0:
+            return
+        result = prune_patterns(patterns, store, VOCAB)
+        store_range = policy_range(store, VOCAB)
+        assert (result.novel_range & store_range).cardinality == 0

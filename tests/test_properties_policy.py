@@ -1,0 +1,149 @@
+"""Property-based tests for the formal model (hypothesis).
+
+These pin the invariants the paper's definitions promise: grounding always
+terminates in vocabulary leaves (Definition 3 / Corollaries 1-2), ground
+equivalence is an equivalence relation, ranges behave like sets, and
+coverage is a monotone ratio in [0, 1].
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.engine import compute_coverage, compute_entry_coverage
+from repro.policy.grounding import Grounder, policy_range
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.policy.ruleterm import RuleTerm
+from repro.vocab.builtin import healthcare_vocabulary
+
+VOCAB = healthcare_vocabulary()
+_DATA_VALUES = sorted(VOCAB.tree_for("data"))
+_PURPOSE_VALUES = sorted(VOCAB.tree_for("purpose"))
+_ROLE_VALUES = sorted(VOCAB.tree_for("authorized"))
+
+data_values = st.sampled_from(_DATA_VALUES)
+purpose_values = st.sampled_from(_PURPOSE_VALUES)
+role_values = st.sampled_from(_ROLE_VALUES)
+
+
+@st.composite
+def rules(draw) -> Rule:
+    return Rule.of(
+        data=draw(data_values),
+        purpose=draw(purpose_values),
+        authorized=draw(role_values),
+    )
+
+
+policies = st.lists(rules(), min_size=1, max_size=8).map(Policy)
+
+
+class TestGroundingProperties:
+    @given(data_values)
+    def test_ground_values_are_vocabulary_leaves(self, value):
+        tree = VOCAB.tree_for("data")
+        for ground in VOCAB.ground_values("data", value):
+            assert tree.is_leaf(ground)
+
+    @given(rules())
+    def test_every_expansion_is_ground(self, rule):
+        for ground in rule.ground_rules(VOCAB):
+            assert ground.is_ground(VOCAB)
+
+    @given(rules())
+    def test_expansion_never_empty(self, rule):
+        assert len(rule.ground_rules(VOCAB)) >= 1
+
+    @given(rules())
+    def test_expansion_size_is_product_of_fanouts(self, rule):
+        expected = 1
+        for term in rule.terms:
+            expected *= VOCAB.fanout(term.attr, term.value)
+        assert len(rule.ground_rules(VOCAB)) == expected
+
+    @given(rules())
+    def test_rule_covers_its_whole_expansion(self, rule):
+        for ground in rule.ground_rules(VOCAB):
+            assert rule.covers(ground, VOCAB)
+            assert rule.equivalent(ground, VOCAB)
+
+    @given(policies)
+    def test_range_of_ground_policy_is_its_rule_set(self, policy):
+        ground_policy = Policy(policy.ground_rules(VOCAB))
+        rng = policy_range(ground_policy, VOCAB)
+        assert set(rng) == set(ground_policy.ground_rules(VOCAB))
+
+    @given(policies)
+    def test_memoised_grounder_matches_fresh(self, policy):
+        grounder = Grounder(VOCAB)
+        first = grounder.range_of(policy)
+        second = grounder.range_of(policy)  # all cache hits
+        assert first == second == policy_range(policy, VOCAB)
+
+
+class TestEquivalenceProperties:
+    @given(data_values, data_values)
+    def test_term_equivalence_symmetric(self, a, b):
+        left = RuleTerm("data", a)
+        right = RuleTerm("data", b)
+        assert left.equivalent(right, VOCAB) == right.equivalent(left, VOCAB)
+
+    @given(data_values)
+    def test_term_equivalence_reflexive(self, value):
+        term = RuleTerm("data", value)
+        assert term.equivalent(term, VOCAB)
+
+    @given(rules(), rules())
+    def test_rule_equivalence_symmetric(self, a, b):
+        assert a.equivalent(b, VOCAB) == b.equivalent(a, VOCAB)
+
+    @given(rules(), rules())
+    def test_ground_rule_equivalence_is_equality(self, a, b):
+        ground_a = a.ground_rules(VOCAB)[0]
+        ground_b = b.ground_rules(VOCAB)[0]
+        assert ground_a.equivalent(ground_b, VOCAB) == (ground_a == ground_b)
+
+
+class TestCoverageProperties:
+    @settings(max_examples=50)
+    @given(policies, policies)
+    def test_ratio_in_unit_interval(self, cover, reference):
+        report = compute_coverage(cover, reference, VOCAB)
+        assert 0.0 <= report.ratio <= 1.0
+
+    @given(policies)
+    def test_self_coverage_is_complete(self, policy):
+        report = compute_coverage(policy, policy, VOCAB)
+        assert report.ratio == 1.0
+        assert report.complete
+
+    @settings(max_examples=50)
+    @given(policies, policies)
+    def test_complete_iff_ratio_one(self, cover, reference):
+        report = compute_coverage(cover, reference, VOCAB)
+        assert report.complete == (report.ratio == 1.0)
+
+    @settings(max_examples=50)
+    @given(policies, policies, rules())
+    def test_adding_rules_never_decreases_coverage(self, cover, reference, extra):
+        before = compute_coverage(cover, reference, VOCAB).ratio
+        grown = Policy([*cover, extra])
+        after = compute_coverage(grown, reference, VOCAB).ratio
+        assert after >= before
+
+    @settings(max_examples=50)
+    @given(policies, policies)
+    def test_overlap_bounded_by_both_ranges(self, cover, reference):
+        report = compute_coverage(cover, reference, VOCAB)
+        assert report.overlap.cardinality <= report.covering.cardinality
+        assert report.overlap.cardinality <= report.reference.cardinality
+
+    @settings(max_examples=50)
+    @given(policies, st.lists(rules(), min_size=1, max_size=10))
+    def test_entry_coverage_consistent_with_counts(self, cover, trace):
+        ground_trace = [rule.ground_rules(VOCAB)[0] for rule in trace]
+        report = compute_entry_coverage(cover, ground_trace, VOCAB)
+        assert report.matched + len(report.uncovered_entries) == report.total
+        assert report.ratio == report.matched / report.total

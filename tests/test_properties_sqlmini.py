@@ -1,0 +1,136 @@
+"""Property-based tests for the sqlmini engine (hypothesis).
+
+The engine's aggregates and clauses are checked against plain-Python
+recomputations of the same quantity over the same rows.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.types import sort_key
+
+names = st.sampled_from(["ann", "bob", "cid", "dee", "eve"])
+groups = st.sampled_from(["er", "icu", "lab"])
+amounts = st.one_of(st.none(), st.integers(min_value=-1000, max_value=1000))
+
+rows = st.lists(st.tuples(names, groups, amounts), min_size=0, max_size=40)
+
+
+def _database(data) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE t (name TEXT, grp TEXT, amount INTEGER)")
+    table = db.table("t")
+    for row in data:
+        table.insert(row)
+    return db
+
+
+class TestAggregateProperties:
+    @settings(max_examples=60)
+    @given(rows)
+    def test_count_star_matches_len(self, data):
+        db = _database(data)
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == len(data)
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_sum_matches_python(self, data):
+        db = _database(data)
+        values = [amount for _, _, amount in data if amount is not None]
+        expected = sum(values) if values else None
+        assert db.query("SELECT SUM(amount) FROM t").scalar() == expected
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_count_column_skips_nulls(self, data):
+        db = _database(data)
+        expected = sum(1 for _, _, amount in data if amount is not None)
+        assert db.query("SELECT COUNT(amount) FROM t").scalar() == expected
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_count_distinct_matches_set(self, data):
+        db = _database(data)
+        expected = len({name for name, _, _ in data})
+        assert db.query("SELECT COUNT(DISTINCT name) FROM t").scalar() == expected
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_min_max_match_python(self, data):
+        db = _database(data)
+        values = [amount for _, _, amount in data if amount is not None]
+        row = db.query("SELECT MIN(amount), MAX(amount) FROM t").first()
+        if values:
+            assert row == (min(values), max(values))
+        else:
+            assert row == (None, None)
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_group_counts_sum_to_total(self, data):
+        db = _database(data)
+        result = db.query("SELECT grp, COUNT(*) AS n FROM t GROUP BY grp")
+        assert sum(result.column("n")) == len(data)
+        assert len(result) == len({grp for _, grp, _ in data})
+
+
+class TestClauseProperties:
+    @settings(max_examples=60)
+    @given(rows, names)
+    def test_where_equality_partition(self, data, needle):
+        db = _database(data)
+        hits = db.query(f"SELECT COUNT(*) FROM t WHERE name = '{needle}'").scalar()
+        misses = db.query(f"SELECT COUNT(*) FROM t WHERE name <> '{needle}'").scalar()
+        assert hits == sum(1 for name, _, _ in data if name == needle)
+        assert hits + misses == len(data)  # name is never NULL here
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_order_by_sorts_with_nulls_first(self, data):
+        db = _database(data)
+        ordered = db.query("SELECT amount FROM t ORDER BY amount").column("amount")
+        assert ordered == sorted(
+            (amount for _, _, amount in data), key=sort_key
+        )
+
+    @settings(max_examples=60)
+    @given(rows)
+    def test_distinct_matches_set_semantics(self, data):
+        db = _database(data)
+        result = db.query("SELECT DISTINCT name, grp FROM t")
+        assert set(result.rows) == {(name, grp) for name, grp, _ in data}
+        assert len(result) == len(set(result.rows))
+
+    @settings(max_examples=60)
+    @given(rows, st.integers(min_value=0, max_value=10))
+    def test_limit_truncates(self, data, limit):
+        db = _database(data)
+        result = db.query(f"SELECT name FROM t LIMIT {limit}")
+        assert len(result) == min(limit, len(data))
+
+    @settings(max_examples=40)
+    @given(rows)
+    def test_union_all_doubles(self, data):
+        db = _database(data)
+        result = db.query("SELECT name FROM t UNION ALL SELECT name FROM t")
+        assert len(result) == 2 * len(data)
+
+    @settings(max_examples=40)
+    @given(rows)
+    def test_delete_then_count_zero(self, data):
+        db = _database(data)
+        removed = db.execute("DELETE FROM t")
+        assert removed == len(data)
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+    @settings(max_examples=40)
+    @given(rows, st.integers(min_value=-5, max_value=5))
+    def test_update_shifts_sum(self, data, delta):
+        db = _database(data)
+        values = [amount for _, _, amount in data if amount is not None]
+        db.execute(f"UPDATE t SET amount = amount + {delta} WHERE amount IS NOT NULL")
+        expected = sum(values) + delta * len(values) if values else None
+        assert db.query("SELECT SUM(amount) FROM t").scalar() == expected

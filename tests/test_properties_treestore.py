@@ -1,0 +1,101 @@
+"""Property-based tests for the tree store (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.treestore.node import TreeDocument, TreeNode
+from repro.treestore.path import compile_path
+from repro.treestore.xmlio import dumps, loads
+
+names = st.sampled_from(["patient", "record", "note", "name", "item", "x-1", "a_b"])
+texts = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters="\x00\r", categories=("L", "N", "P", "Zs")
+    ),
+    max_size=30,
+).map(str.strip)
+attribute_values = texts
+
+
+@st.composite
+def trees(draw, max_depth: int = 3, max_children: int = 3) -> TreeNode:
+    node = TreeNode(
+        draw(names),
+        attributes={
+            key: draw(attribute_values)
+            for key in draw(st.sets(st.sampled_from(["id", "kind", "ref"]), max_size=2))
+        },
+    )
+    child_count = draw(st.integers(min_value=0, max_value=max_children))
+    if max_depth > 0:
+        for _ in range(child_count):
+            node.append(draw(trees(max_depth=max_depth - 1, max_children=max_children)))
+    if not node.children:
+        node.text = draw(texts)
+    return node
+
+
+def _shape(node: TreeNode) -> tuple:
+    return (
+        node.name,
+        tuple(sorted(node.attributes.items())),
+        node.text,
+        tuple(_shape(child) for child in node.children),
+    )
+
+
+class TestXmlRoundTrip:
+    @settings(max_examples=80)
+    @given(trees())
+    def test_dumps_loads_preserves_shape(self, root):
+        document = TreeDocument(root)
+        rebuilt = loads(dumps(document))
+        assert _shape(rebuilt.root) == _shape(root)
+
+    @settings(max_examples=80)
+    @given(trees())
+    def test_clone_preserves_shape_and_detaches(self, root):
+        copy = root.clone()
+        assert _shape(copy) == _shape(root)
+        assert copy.parent is None
+
+    @settings(max_examples=50)
+    @given(trees())
+    def test_size_equals_walk_length(self, root):
+        document = TreeDocument(root)
+        assert document.size() == len(list(root.walk()))
+
+
+class TestPathProperties:
+    @settings(max_examples=60)
+    @given(trees(), names)
+    def test_descendant_selection_matches_walk_filter(self, root, wanted):
+        # XPath semantics: //x from the document includes the root element
+        document = TreeDocument(root)
+        selected = compile_path(f"//{wanted}").select(document)
+        walked = [node for node in root.walk() if node.name == wanted]
+        assert list(selected) == walked
+
+    @settings(max_examples=60)
+    @given(trees())
+    def test_root_step_selects_root(self, root):
+        document = TreeDocument(root)
+        assert compile_path(f"/{root.name}").select(document) == (root,)
+
+    @settings(max_examples=60)
+    @given(trees(), names)
+    def test_matches_node_agrees_with_select(self, root, wanted):
+        document = TreeDocument(root)
+        expression = compile_path(f"//{wanted}")
+        selected = set(map(id, expression.select(document)))
+        for node in root.walk():
+            assert expression.matches_node(node) == (id(node) in selected)
+
+    @settings(max_examples=60)
+    @given(trees())
+    def test_wildcard_child_equals_children(self, root):
+        document = TreeDocument(root)
+        selected = compile_path(f"/{root.name}/*").select(document)
+        assert list(selected) == list(root.children)

@@ -1,0 +1,85 @@
+"""Unit tests for Algorithms 4 (extractPatterns) and 6 (Prune)."""
+
+from __future__ import annotations
+
+from repro.mining.apriori import AprioriPatternMiner
+from repro.mining.patterns import MiningConfig, Pattern
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.refinement.extract import extract_patterns
+from repro.refinement.filtering import filter_practice
+from repro.refinement.prune import prune_patterns
+
+
+class TestExtract:
+    def test_defaults_match_algorithm4(self, table1_log):
+        practice = filter_practice(table1_log)
+        patterns = extract_patterns(practice)
+        assert len(patterns) == 1
+        assert patterns[0].support == 5
+
+    def test_custom_config(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert extract_patterns(practice, MiningConfig(min_support=6)) == ()
+
+    def test_pluggable_miner(self, table1_log):
+        practice = filter_practice(table1_log)
+        default = extract_patterns(practice)
+        swapped = extract_patterns(practice, miner=AprioriPatternMiner())
+        assert {p.rule for p in default} == {p.rule for p in swapped}
+
+
+def _pattern(data: str, purpose: str = "registration", role: str = "nurse") -> Pattern:
+    return Pattern(
+        rule=Rule.of(data=data, purpose=purpose, authorized=role),
+        support=5,
+        distinct_users=2,
+    )
+
+
+class TestPrune:
+    def test_novel_pattern_kept(self, vocabulary, fig3_policy):
+        result = prune_patterns([_pattern("referral")], fig3_policy, vocabulary)
+        assert len(result.useful) == 1
+        assert result.pruned == ()
+        assert result.novel_range.cardinality == 1
+
+    def test_equivalence_based_pruning(self, vocabulary, fig3_policy):
+        # ground pattern prescription:treatment:nurse is syntactically
+        # absent from the store but covered by the composite
+        # medical_records:treatment:nurse rule -> pruned
+        covered = _pattern("prescription", "treatment", "nurse")
+        result = prune_patterns([covered], fig3_policy, vocabulary)
+        assert result.useful == ()
+        assert len(result.pruned) == 1
+
+    def test_mixed_patterns_split(self, vocabulary, fig3_policy):
+        patterns = [
+            _pattern("prescription", "treatment", "nurse"),  # covered
+            _pattern("referral", "registration", "nurse"),   # novel
+        ]
+        result = prune_patterns(patterns, fig3_policy, vocabulary)
+        assert [p.rule.value_of("purpose") for p in result.useful] == ["registration"]
+        assert [p.rule.value_of("purpose") for p in result.pruned] == ["treatment"]
+
+    def test_composite_pattern_with_partial_overlap_kept(self, vocabulary, fig3_policy):
+        # a composite pattern contributing at least one novel ground rule
+        # survives, and the novel range excludes the covered part
+        composite = Pattern(
+            rule=Rule.of(data="clinical", purpose="treatment", authorized="nurse"),
+            support=9,
+            distinct_users=3,
+        )
+        result = prune_patterns([composite], fig3_policy, vocabulary)
+        assert len(result.useful) == 1
+        # clinical expands to 4 leaves; 3 (medical_records) already covered
+        assert result.novel_range.cardinality == 1
+
+    def test_empty_patterns(self, vocabulary, fig3_policy):
+        result = prune_patterns([], fig3_policy, vocabulary)
+        assert result.useful == () and result.pruned == ()
+        assert result.novel_range.cardinality == 0
+
+    def test_empty_store_keeps_everything(self, vocabulary):
+        result = prune_patterns([_pattern("referral")], Policy([]), vocabulary)
+        assert len(result.useful) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for Algorithm 3 (Filter)."""
+
+from __future__ import annotations
+
+from repro.audit.classify import ClassifierConfig
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.refinement.filtering import filter_practice
+
+
+class TestBasicFilter:
+    def test_keeps_only_exceptions(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert len(practice) == 7
+        assert all(entry.is_exception for entry in practice)
+        assert [entry.time for entry in practice] == [3, 4, 6, 7, 8, 9, 10]
+
+    def test_denied_requests_dropped_by_default(self):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "x", "psychiatry", "research", "clerk",
+                       op=AccessOp.DENY, status=AccessStatus.EXCEPTION)
+        )
+        log.append(
+            make_entry(2, "y", "referral", "registration", "nurse",
+                       status=AccessStatus.EXCEPTION)
+        )
+        practice = filter_practice(log)
+        assert len(practice) == 1
+        assert practice[0].user == "y"
+
+    def test_include_denied_restores_literal_algorithm3(self):
+        log = AuditLog()
+        log.append(
+            make_entry(1, "x", "psychiatry", "research", "clerk",
+                       op=AccessOp.DENY, status=AccessStatus.EXCEPTION)
+        )
+        practice = filter_practice(log, include_denied=True)
+        assert len(practice) == 1
+
+    def test_result_is_fresh_log_with_practice_name(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert practice.name.endswith(".practice")
+        assert practice is not table1_log
+
+    def test_idempotent(self, table1_log):
+        once = filter_practice(table1_log)
+        twice = filter_practice(once)
+        assert once.entries == twice.entries
+
+
+class TestViolationExclusion:
+    def _mixed_log(self) -> AuditLog:
+        log = AuditLog()
+        tick = 1
+        # practice: 3 users, 6 occurrences
+        for user in ("a", "b", "c", "a", "b", "c"):
+            log.append(
+                make_entry(tick, user, "referral", "registration", "nurse",
+                           status=AccessStatus.EXCEPTION, truth="practice")
+            )
+            tick += 1
+        # snooper: single user, 4 occurrences
+        for _ in range(4):
+            log.append(
+                make_entry(tick, "creep", "psychiatry", "telemarketing", "clerk",
+                           status=AccessStatus.EXCEPTION, truth="violation")
+            )
+            tick += 1
+        return log
+
+    def test_suspected_violations_excluded(self):
+        log = self._mixed_log()
+        plain = filter_practice(log)
+        screened = filter_practice(log, exclude_suspected_violations=True)
+        assert len(plain) == 10
+        assert len(screened) == 6
+        assert all(entry.truth == "practice" for entry in screened)
+
+    def test_classifier_config_forwarded(self):
+        log = self._mixed_log()
+        lax = ClassifierConfig(min_support=1, min_distinct_users=1)
+        screened = filter_practice(
+            log, exclude_suspected_violations=True, classifier_config=lax
+        )
+        # with trivial thresholds everything looks like practice
+        assert len(screened) == 10

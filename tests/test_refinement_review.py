@@ -1,0 +1,93 @@
+"""Unit tests for the review queue and automated review policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RefinementError
+from repro.mining.patterns import Pattern
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+from repro.refinement.review import (
+    AcceptAll,
+    Decision,
+    RejectAll,
+    ReviewQueue,
+    ThresholdReview,
+)
+
+
+def _pattern(data: str = "referral", support: int = 5, users: int = 3) -> Pattern:
+    return Pattern(
+        rule=Rule.of(data=data, purpose="registration", authorized="nurse"),
+        support=support,
+        distinct_users=users,
+    )
+
+
+class TestReviewQueue:
+    def test_decisions_recorded(self):
+        queue = ReviewQueue([_pattern()])
+        item = queue.accept(_pattern(), reviewer="cpo", note="routine")
+        assert item.decision is Decision.ACCEPTED
+        assert item.reviewer == "cpo"
+        assert queue.pending() == ()
+
+    def test_reject_and_investigate(self):
+        queue = ReviewQueue([_pattern("a_data"), _pattern("b_data")])
+        queue.reject(_pattern("a_data"), reviewer="cpo")
+        queue.investigate(_pattern("b_data"), reviewer="cpo", note="odd hours")
+        decisions = {item.pattern.rule.value_of("data"): item.decision for item in queue.items}
+        assert decisions == {"a_data": Decision.REJECTED, "b_data": Decision.INVESTIGATE}
+
+    def test_cannot_decide_missing_pattern(self):
+        queue = ReviewQueue()
+        with pytest.raises(RefinementError):
+            queue.accept(_pattern(), reviewer="cpo")
+
+    def test_cannot_decide_twice(self):
+        queue = ReviewQueue([_pattern()])
+        queue.accept(_pattern(), reviewer="cpo")
+        with pytest.raises(RefinementError):
+            queue.reject(_pattern(), reviewer="cpo")
+
+    def test_pending_decision_invalid(self):
+        queue = ReviewQueue([_pattern()])
+        with pytest.raises(RefinementError):
+            queue.decide(_pattern(), Decision.PENDING, reviewer="cpo")
+
+    def test_add_after_construction(self):
+        queue = ReviewQueue()
+        queue.add(_pattern())
+        assert len(queue) == 1
+
+    def test_apply_pushes_accepted_to_store(self):
+        queue = ReviewQueue([_pattern("a_data"), _pattern("b_data")])
+        queue.accept(_pattern("a_data"), reviewer="cpo")
+        queue.reject(_pattern("b_data"), reviewer="cpo")
+        store = PolicyStore()
+        assert queue.apply(store) == 1
+        assert len(store) == 1
+        record = store.record_for(_pattern("a_data").rule)
+        assert record.origin == "refinement"
+        assert record.added_by == "cpo"
+        assert "support=5" in record.note
+
+    def test_apply_is_idempotent(self):
+        queue = ReviewQueue([_pattern()])
+        queue.accept(_pattern(), reviewer="cpo")
+        store = PolicyStore()
+        assert queue.apply(store) == 1
+        assert queue.apply(store) == 0
+
+
+class TestReviewPolicies:
+    def test_accept_all_and_reject_all(self):
+        assert AcceptAll().accept(_pattern()) is True
+        assert RejectAll().accept(_pattern()) is False
+
+    def test_threshold_review(self):
+        review = ThresholdReview(min_support=10, min_distinct_users=3)
+        assert review.accept(_pattern(support=10, users=3))
+        assert not review.accept(_pattern(support=9, users=3))
+        assert not review.accept(_pattern(support=10, users=2))

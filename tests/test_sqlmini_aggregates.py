@@ -1,0 +1,123 @@
+"""Unit tests for aggregate accumulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.aggregates import (
+    Avg,
+    Count,
+    CountAll,
+    Extreme,
+    Sum,
+    make_accumulator,
+)
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+from repro.sqlmini.parser import parse_expression
+
+
+def feed(accumulator, values):
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+class TestCount:
+    def test_count_all_includes_nulls(self):
+        assert feed(CountAll(), [1, None, "x"]) == 3
+
+    def test_count_expr_skips_nulls(self):
+        assert feed(Count(), [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert feed(Count(distinct=True), [1, 1, 2, None, 2]) == 2
+
+    def test_count_empty_is_zero(self):
+        assert Count().result() == 0
+        assert CountAll().result() == 0
+
+
+class TestSumAvg:
+    def test_sum(self):
+        assert feed(Sum(), [1, 2, 3]) == 6
+
+    def test_sum_distinct(self):
+        assert feed(Sum(distinct=True), [1, 1, 2]) == 3
+
+    def test_sum_empty_is_null(self):
+        assert Sum().result() is None
+
+    def test_sum_ignores_nulls(self):
+        assert feed(Sum(), [None, 5, None]) == 5
+
+    def test_sum_rejects_text(self):
+        with pytest.raises(SqlExecutionError):
+            Sum().add("x")
+
+    def test_avg(self):
+        assert feed(Avg(), [1, 2, 3]) == pytest.approx(2.0)
+
+    def test_avg_distinct(self):
+        assert feed(Avg(distinct=True), [1, 1, 4]) == pytest.approx(2.5)
+
+    def test_avg_empty_is_null(self):
+        assert Avg().result() is None
+
+    def test_avg_rejects_bool(self):
+        with pytest.raises(SqlExecutionError):
+            Avg().add(True)
+
+
+class TestMinMax:
+    def test_min_max_numbers(self):
+        assert feed(Extreme(want_max=False), [3, 1, 2]) == 1
+        assert feed(Extreme(want_max=True), [3, 1, 2]) == 3
+
+    def test_min_max_text(self):
+        assert feed(Extreme(want_max=False), ["b", "a"]) == "a"
+
+    def test_empty_is_null(self):
+        assert Extreme(want_max=True).result() is None
+
+    def test_nulls_skipped(self):
+        assert feed(Extreme(want_max=True), [None, 2, None]) == 2
+
+    def test_incomparable_mix_raises(self):
+        acc = Extreme(want_max=True)
+        acc.add(1)
+        with pytest.raises(SqlExecutionError):
+            acc.add("x")
+
+
+class TestFactory:
+    def _call(self, text):
+        return parse_expression(text)
+
+    def test_count_star(self):
+        assert isinstance(make_accumulator(self._call("COUNT(*)")), CountAll)
+
+    def test_count_distinct(self):
+        acc = make_accumulator(self._call("COUNT(DISTINCT x)"))
+        assert isinstance(acc, Count)
+
+    def test_count_distinct_star_rejected(self):
+        with pytest.raises(SqlPlanError):
+            make_accumulator(self._call("COUNT(DISTINCT *)"))
+
+    def test_sum_avg_min_max(self):
+        assert isinstance(make_accumulator(self._call("SUM(x)")), Sum)
+        assert isinstance(make_accumulator(self._call("AVG(x)")), Avg)
+        assert isinstance(make_accumulator(self._call("MIN(x)")), Extreme)
+        assert isinstance(make_accumulator(self._call("MAX(x)")), Extreme)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SqlPlanError):
+            make_accumulator(self._call("SUM(a, b)"))
+        with pytest.raises(SqlPlanError):
+            make_accumulator(self._call("MIN(*)"))
+        with pytest.raises(SqlPlanError):
+            make_accumulator(self._call("COUNT(a, b)"))
+
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(SqlPlanError):
+            make_accumulator(self._call("LOWER(x)"))

@@ -1,0 +1,79 @@
+"""Unit tests for the Database catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlCatalogError, SqlExecutionError
+from repro.sqlmini.schema import Column
+from repro.sqlmini.types import SqlType
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.define_table("t", [("a", "integer"), ("b", SqlType.TEXT)])
+        assert "t" in db
+        assert db.table("T").schema.column_names == ("a", "b")
+
+    def test_define_table_with_nullability(self):
+        db = Database()
+        table = db.define_table("t", [("a", "integer", False)])
+        assert table.schema.column("a").nullable is False
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.define_table("t", [("a", "integer")])
+        with pytest.raises(SqlCatalogError):
+            db.define_table("T", [("a", "integer")])
+
+    def test_missing_table_error_lists_known(self):
+        db = Database()
+        db.define_table("known", [("a", "integer")])
+        with pytest.raises(SqlCatalogError, match="known"):
+            db.table("missing")
+
+    def test_drop_table(self):
+        db = Database()
+        db.define_table("t", [("a", "integer")])
+        db.drop_table("t")
+        assert "t" not in db
+        with pytest.raises(SqlCatalogError):
+            db.drop_table("t")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.define_table("zeta", [("a", "integer")])
+        db.define_table("alpha", [("a", "integer")])
+        assert db.table_names == ("alpha", "zeta")
+
+
+class TestViews:
+    def test_register_and_query_view(self):
+        db = Database()
+        rows = [(1,), (2,)]
+        db.register_view("v", (Column("a", SqlType.INTEGER),), lambda: iter(rows))
+        assert db.query("SELECT SUM(a) FROM v").scalar() == 3
+        rows.append((3,))
+        assert db.query("SELECT SUM(a) FROM v").scalar() == 6
+
+    def test_view_name_conflict(self):
+        db = Database()
+        db.define_table("v", [("a", "integer")])
+        with pytest.raises(SqlCatalogError):
+            db.register_view("v", (Column("a", SqlType.INTEGER),), lambda: iter(()))
+
+
+class TestEntryPoints:
+    def test_query_rejects_dml(self):
+        db = Database()
+        db.define_table("t", [("a", "integer")])
+        with pytest.raises(SqlExecutionError):
+            db.query("INSERT INTO t VALUES (1)")
+
+    def test_execute_runs_ddl_and_query(self):
+        db = Database()
+        assert db.execute("CREATE TABLE t (a INTEGER)") == 0
+        assert db.execute("INSERT INTO t VALUES (1), (2)") == 2
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2

@@ -1,0 +1,244 @@
+"""Integration tests for the SQL executor over a live database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER NOT NULL, name TEXT, dept TEXT, salary REAL)"
+    )
+    database.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 'er', 100.0), (2, 'bob', 'er', 80.0), "
+        "(3, 'cid', 'icu', 120.0), (4, 'dee', 'icu', 120.0), "
+        "(5, 'eve', 'lab', NULL)"
+    )
+    return database
+
+
+class TestProjectionAndFilter:
+    def test_star(self, db):
+        result = db.query("SELECT * FROM emp")
+        assert result.columns == ("id", "name", "dept", "salary")
+        assert len(result) == 5
+
+    def test_expressions_and_aliases(self, db):
+        result = db.query("SELECT id * 2 AS double_id FROM emp WHERE id <= 2")
+        assert result.columns == ("double_id",)
+        assert result.column("double_id") == [2, 4]
+
+    def test_where_filters_unknown_as_false(self, db):
+        # eve's NULL salary fails the predicate (unknown, not true)
+        result = db.query("SELECT name FROM emp WHERE salary > 90")
+        assert set(result.column("name")) == {"ann", "cid", "dee"}
+
+    def test_like_and_in(self, db):
+        assert db.query("SELECT name FROM emp WHERE dept LIKE 'e%'").column("name") == [
+            "ann", "bob",
+        ]
+        assert len(db.query("SELECT name FROM emp WHERE dept IN ('er', 'lab')")) == 3
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept")
+        assert result.column("dept") == ["er", "icu", "lab"]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT id FROM emp LIMIT 3")) == 3
+
+    def test_order_by_asc_desc(self, db):
+        ascending = db.query("SELECT name FROM emp ORDER BY salary, name")
+        # NULL sorts first ascending
+        assert ascending.column("name") == ["eve", "bob", "ann", "cid", "dee"]
+        descending = db.query("SELECT name FROM emp ORDER BY salary DESC, name")
+        assert descending.column("name")[:3] == ["cid", "dee", "ann"]
+        assert descending.column("name")[-1] == "eve"
+
+    def test_order_by_alias(self, db):
+        result = db.query("SELECT id * -1 AS neg FROM emp ORDER BY neg")
+        assert result.column("neg") == [-5, -4, -3, -2, -1]
+
+    def test_order_by_text_desc(self, db):
+        result = db.query("SELECT name FROM emp ORDER BY name DESC LIMIT 2")
+        assert result.column("name") == ["eve", "dee"]
+
+
+class TestAggregation:
+    def test_global_count(self, db):
+        assert db.query("SELECT COUNT(*) FROM emp").scalar() == 5
+
+    def test_count_skips_nulls(self, db):
+        assert db.query("SELECT COUNT(salary) FROM emp").scalar() == 4
+
+    def test_group_by_with_aggregates(self, db):
+        result = db.query(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) AS pay "
+            "FROM emp GROUP BY dept ORDER BY dept"
+        )
+        assert result.rows == (
+            ("er", 2, 90.0),
+            ("icu", 2, 120.0),
+            ("lab", 1, None),
+        )
+
+    def test_having(self, db):
+        result = db.query(
+            "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept"
+        )
+        assert result.column("dept") == ["er", "icu"]
+
+    def test_having_with_distinct_count(self, db):
+        result = db.query(
+            "SELECT dept FROM emp GROUP BY dept "
+            "HAVING COUNT(DISTINCT salary) = 1 ORDER BY dept"
+        )
+        # icu has two rows but one distinct salary; lab's NULL doesn't count
+        assert result.column("dept") == ["icu"]
+
+    def test_min_max_sum(self, db):
+        row = db.query(
+            "SELECT MIN(salary), MAX(salary), SUM(salary) FROM emp"
+        ).first()
+        assert row == (80.0, 120.0, 420.0)
+
+    def test_aggregate_over_empty_input(self, db):
+        row = db.query("SELECT COUNT(*), SUM(salary) FROM emp WHERE id > 99").first()
+        assert row == (0, None)
+
+    def test_group_by_empty_input_yields_no_groups(self, db):
+        assert len(db.query("SELECT dept FROM emp WHERE id > 99 GROUP BY dept")) == 0
+
+    def test_order_by_aggregate(self, db):
+        result = db.query(
+            "SELECT dept FROM emp GROUP BY dept ORDER BY COUNT(*) DESC, dept"
+        )
+        assert result.column("dept") == ["er", "icu", "lab"]
+
+    def test_arithmetic_over_aggregates(self, db):
+        value = db.query("SELECT MAX(salary) - MIN(salary) FROM emp").scalar()
+        assert value == 40.0
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT name FROM emp GROUP BY dept")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT dept FROM emp WHERE COUNT(*) > 1 GROUP BY dept")
+
+    def test_having_without_group_or_aggregate_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT name FROM emp HAVING name = 'ann'")
+
+    def test_star_in_aggregate_select_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT *, COUNT(*) FROM emp")
+
+    def test_nested_aggregate_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT SUM(COUNT(*)) FROM emp GROUP BY dept")
+
+
+class TestJoins:
+    @pytest.fixture()
+    def joined(self, db) -> Database:
+        db.execute("CREATE TABLE dept (code TEXT, building TEXT)")
+        db.execute(
+            "INSERT INTO dept VALUES ('er', 'east'), ('icu', 'west'), ('ghost', 'void')"
+        )
+        return db
+
+    def test_inner_join(self, joined):
+        result = joined.query(
+            "SELECT e.name, d.building FROM emp e "
+            "JOIN dept d ON e.dept = d.code ORDER BY e.name"
+        )
+        assert result.rows == (
+            ("ann", "east"), ("bob", "east"), ("cid", "west"), ("dee", "west"),
+        )
+
+    def test_join_with_where_and_group(self, joined):
+        result = joined.query(
+            "SELECT d.building, COUNT(*) AS n FROM emp e "
+            "JOIN dept d ON e.dept = d.code WHERE e.salary >= 100 "
+            "GROUP BY d.building ORDER BY d.building"
+        )
+        assert result.rows == (("east", 1), ("west", 2))
+
+    def test_ambiguous_bare_column_rejected(self, joined):
+        joined.execute("CREATE TABLE emp2 (name TEXT)")
+        joined.execute("INSERT INTO emp2 VALUES ('zed')")
+        with pytest.raises(SqlPlanError):
+            joined.query("SELECT name FROM emp JOIN emp2 ON TRUE")
+
+    def test_duplicate_alias_rejected(self, joined):
+        with pytest.raises(SqlPlanError):
+            joined.query("SELECT 1 FROM emp x JOIN dept x ON TRUE")
+
+    def test_aggregate_in_join_condition_rejected(self, joined):
+        with pytest.raises(SqlPlanError):
+            joined.query("SELECT 1 FROM emp e JOIN dept d ON COUNT(*) > 0")
+
+
+class TestUnionAll:
+    def test_concatenates(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE dept = 'er' "
+            "UNION ALL SELECT name FROM emp WHERE dept = 'icu'"
+        )
+        assert len(result) == 4
+
+    def test_mismatched_width_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT name FROM emp UNION ALL SELECT name, id FROM emp")
+
+
+class TestDml:
+    def test_insert_returns_count(self, db):
+        assert db.execute("INSERT INTO emp VALUES (6, 'fay', 'er', 90.0)") == 1
+
+    def test_insert_with_columns(self, db):
+        db.execute("INSERT INTO emp (id, name) VALUES (7, 'gus')")
+        row = db.query("SELECT dept, salary FROM emp WHERE id = 7").first()
+        assert row == (None, None)
+
+    def test_insert_wrong_arity_with_columns(self, db):
+        with pytest.raises(SqlPlanError):
+            db.execute("INSERT INTO emp (id, name) VALUES (7)")
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM emp WHERE dept = 'er'") == 2
+        assert db.query("SELECT COUNT(*) FROM emp").scalar() == 3
+
+    def test_update(self, db):
+        changed = db.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'icu'")
+        assert changed == 2
+        assert db.query(
+            "SELECT MAX(salary) FROM emp WHERE dept = 'icu'"
+        ).scalar() == 130.0
+
+    def test_update_without_where_touches_all(self, db):
+        assert db.execute("UPDATE emp SET dept = 'all'") == 5
+
+
+class TestResultSet:
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT id FROM emp").scalar()
+
+    def test_as_dicts(self, db):
+        dicts = db.query("SELECT id, name FROM emp LIMIT 1").as_dicts()
+        assert dicts == [{"id": 1, "name": "ann"}]
+
+    def test_first_on_empty(self, db):
+        assert db.query("SELECT id FROM emp WHERE id > 99").first() is None
+
+    def test_column_missing(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT id FROM emp").column("nope")

@@ -1,0 +1,162 @@
+"""Unit tests for expression evaluation (three-valued logic, LIKE, etc.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
+from repro.sqlmini.expressions import evaluate, to_bool
+from repro.sqlmini.parser import parse_expression
+
+
+def ev(text: str, env: dict | None = None):
+    return evaluate(parse_expression(text), env or {})
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("7 % 3") == 1
+        assert ev("8 / 2") == 4.0
+        assert ev("-(2 + 3)") == -5
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("-x", {"x": None}) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(SqlExecutionError):
+            ev("1 / 0")
+        with pytest.raises(SqlExecutionError):
+            ev("1 % 0")
+
+    def test_arithmetic_on_text_rejected(self):
+        with pytest.raises(SqlExecutionError):
+            ev("'a' + 1")
+
+    def test_unary_minus_on_text_rejected(self):
+        with pytest.raises(SqlExecutionError):
+            ev("-'a'")
+
+
+class TestComparisons:
+    def test_equality_and_ordering(self):
+        assert ev("2 = 2") is True
+        assert ev("2 <> 3") is True
+        assert ev("2 < 3") is True
+        assert ev("'abc' >= 'abb'") is True
+
+    def test_null_comparisons_are_unknown(self):
+        assert ev("NULL = NULL") is None
+        assert ev("1 < NULL") is None
+
+    def test_incomparable_types_are_unknown(self):
+        assert ev("'1' = 1") is None
+
+
+class TestBooleanLogic:
+    def test_truth_tables_with_unknown(self):
+        # SQL three-valued logic
+        assert ev("FALSE AND NULL") is False
+        assert ev("TRUE AND NULL") is None
+        assert ev("TRUE OR NULL") is True
+        assert ev("FALSE OR NULL") is None
+        assert ev("NOT NULL") is None
+
+    def test_plain_and_or_not(self):
+        assert ev("TRUE AND TRUE") is True
+        assert ev("TRUE OR FALSE") is True
+        assert ev("NOT FALSE") is True
+
+    def test_to_bool_rejects_non_boolean(self):
+        with pytest.raises(SqlExecutionError):
+            to_bool(5)
+
+    def test_to_bool_none(self):
+        assert to_bool(None) is None
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert ev("x IS NULL", {"x": None}) is True
+        assert ev("x IS NOT NULL", {"x": 1}) is True
+
+    def test_in_list(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("5 IN (1, 2)") is False
+        assert ev("5 NOT IN (1, 2)") is True
+
+    def test_in_with_null_option_is_unknown_on_miss(self):
+        assert ev("5 IN (1, NULL)") is None
+        assert ev("1 IN (1, NULL)") is True
+        assert ev("NULL IN (1)") is None
+
+    def test_between(self):
+        assert ev("2 BETWEEN 1 AND 3") is True
+        assert ev("0 BETWEEN 1 AND 3") is False
+        assert ev("0 NOT BETWEEN 1 AND 3") is True
+        assert ev("NULL BETWEEN 1 AND 3") is None
+
+    def test_like(self):
+        assert ev("'referral' LIKE 'ref%'") is True
+        assert ev("'referral' LIKE 'REF%'") is True  # case-insensitive
+        assert ev("'abc' LIKE 'a_c'") is True
+        assert ev("'abc' LIKE 'a_'") is False
+        assert ev("NULL LIKE 'a%'") is None
+
+    def test_like_escapes_regex_metacharacters(self):
+        assert ev("'a.c' LIKE 'a.c'") is True
+        assert ev("'abc' LIKE 'a.c'") is False
+
+    def test_like_requires_text(self):
+        with pytest.raises(SqlExecutionError):
+            ev("1 LIKE 'a'")
+
+
+class TestColumnsAndFunctions:
+    def test_column_lookup(self):
+        assert ev("a + b", {"a": 1, "b": 2}) == 3
+
+    def test_qualified_column_lookup(self):
+        assert evaluate(parse_expression("t.a"), {"t.a": 9}) == 9
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SqlPlanError):
+            ev("missing")
+
+    def test_scalar_functions(self):
+        assert ev("LOWER('ABC')") == "abc"
+        assert ev("UPPER('abc')") == "ABC"
+        assert ev("LENGTH('abcd')") == 4
+        assert ev("TRIM('  x ')") == "x"
+        assert ev("ABS(-3)") == 3
+        assert ev("ROUND(3.456, 1)") == 3.5
+        assert ev("COALESCE(NULL, NULL, 7)") == 7
+        assert ev("CONCAT('a', 1, 'b')") == "a1b"
+
+    def test_scalar_functions_null_handling(self):
+        assert ev("LOWER(NULL)") is None
+        assert ev("CONCAT('a', NULL)") is None
+        assert ev("COALESCE(NULL, NULL)") is None
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlPlanError):
+            ev("FROBNICATE(1)")
+
+    def test_function_arity_errors(self):
+        with pytest.raises(SqlExecutionError):
+            ev("LOWER('a', 'b')")
+        with pytest.raises(SqlExecutionError):
+            ev("ROUND(1, 2, 3)")
+
+    def test_aggregate_outside_group_context_rejected(self):
+        with pytest.raises(SqlPlanError):
+            ev("COUNT(*)")
+
+
+class TestReplacements:
+    def test_replacements_shortcircuit_nodes(self):
+        expr = parse_expression("COUNT(*) + x")
+        count_node = expr.left
+        result = evaluate(expr, {"x": 1}, {count_node: 41})
+        assert result == 42

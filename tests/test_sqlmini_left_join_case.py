@@ -1,0 +1,139 @@
+"""Tests for LEFT JOIN and CASE expressions in sqlmini."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlParseError
+from repro.sqlmini.parser import parse, parse_expression
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE emp (id INTEGER, name TEXT, dept TEXT)")
+    database.execute(
+        "INSERT INTO emp VALUES (1, 'ann', 'er'), (2, 'bob', 'icu'), "
+        "(3, 'cid', 'ghost')"
+    )
+    database.execute("CREATE TABLE dept (code TEXT, building TEXT)")
+    database.execute("INSERT INTO dept VALUES ('er', 'east'), ('icu', 'west')")
+    return database
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_survive_with_nulls(self, db):
+        result = db.query(
+            "SELECT e.name, d.building FROM emp e "
+            "LEFT JOIN dept d ON e.dept = d.code ORDER BY e.name"
+        )
+        assert result.rows == (
+            ("ann", "east"), ("bob", "west"), ("cid", None),
+        )
+
+    def test_left_outer_join_synonym(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.code"
+        )
+        assert result.scalar() == 3
+
+    def test_inner_join_still_drops_unmatched(self, db):
+        result = db.query(
+            "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.code"
+        )
+        assert result.scalar() == 2
+
+    def test_filter_unmatched_via_is_null(self, db):
+        # the anti-join idiom: audit rows with no covering policy row
+        result = db.query(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.code "
+            "WHERE d.code IS NULL"
+        )
+        assert result.rows == (("cid",),)
+
+    def test_aggregate_over_left_join(self, db):
+        result = db.query(
+            "SELECT d.building, COUNT(*) AS n FROM emp e "
+            "LEFT JOIN dept d ON e.dept = d.code "
+            "GROUP BY d.building ORDER BY n DESC, d.building"
+        )
+        # NULL building forms its own group
+        assert set(result.rows) == {("east", 1), ("west", 1), (None, 1)}
+
+    def test_str_round_trip(self, db):
+        sql = "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.code"
+        statement = parse(sql)
+        assert parse(str(statement)) == statement
+
+    def test_multiple_matches_multiply(self, db):
+        db.execute("INSERT INTO dept VALUES ('er', 'annex')")
+        result = db.query(
+            "SELECT COUNT(*) FROM emp e LEFT JOIN dept d ON e.dept = d.code "
+            "WHERE e.name = 'ann'"
+        )
+        assert result.scalar() == 2
+
+
+class TestCase:
+    def test_searched_case(self, db):
+        result = db.query(
+            "SELECT name, CASE WHEN dept = 'er' THEN 'emergency' "
+            "WHEN dept = 'icu' THEN 'intensive' ELSE 'unknown' END AS label "
+            "FROM emp ORDER BY id"
+        )
+        assert result.column("label") == ["emergency", "intensive", "unknown"]
+
+    def test_case_without_else_yields_null(self):
+        assert (
+            parse_expression("CASE WHEN FALSE THEN 1 END") is not None
+        )
+        from repro.sqlmini.expressions import evaluate
+
+        assert evaluate(parse_expression("CASE WHEN FALSE THEN 1 END"), {}) is None
+        assert evaluate(parse_expression("CASE WHEN TRUE THEN 1 END"), {}) == 1
+
+    def test_first_true_branch_wins(self):
+        from repro.sqlmini.expressions import evaluate
+
+        expr = parse_expression(
+            "CASE WHEN 1 < 2 THEN 'first' WHEN 2 < 3 THEN 'second' END"
+        )
+        assert evaluate(expr, {}) == "first"
+
+    def test_unknown_condition_is_not_taken(self):
+        from repro.sqlmini.expressions import evaluate
+
+        expr = parse_expression("CASE WHEN NULL THEN 'x' ELSE 'y' END")
+        assert evaluate(expr, {}) == "y"
+
+    def test_case_in_where(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE CASE WHEN dept = 'ghost' THEN TRUE "
+            "ELSE FALSE END"
+        )
+        assert result.rows == (("cid",),)
+
+    def test_case_over_aggregates(self, db):
+        result = db.query(
+            "SELECT dept, CASE WHEN COUNT(*) > 0 THEN 'busy' ELSE 'idle' END "
+            "AS load FROM emp GROUP BY dept ORDER BY dept"
+        )
+        assert result.column("load") == ["busy", "busy", "busy"]
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_case_str_round_trip(self):
+        source = "CASE WHEN (a = 1) THEN 'x' ELSE 'y' END"
+        expr = parse_expression(source)
+        assert parse_expression(str(expr)) == expr
+
+    def test_aggregates_collected_inside_case(self):
+        from repro.sqlmini import ast
+
+        expr = parse_expression("CASE WHEN COUNT(*) > 1 THEN SUM(x) END")
+        assert len(ast.collect_aggregates(expr)) == 2
+        columns = ast.collect_columns(expr)
+        assert [c.name for c in columns] == ["x"]

@@ -1,0 +1,96 @@
+"""Unit tests for the SQL tokeniser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.errors import SqlLexError
+from repro.sqlmini.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[tuple[TokenType, str]]:
+    return [(token.type, token.value) for token in tokenize(sql)]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("SELECT Foo FROM bar")
+        assert tokens[0].is_keyword("select")
+        assert tokens[2].is_keyword("from")
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Foo")[0] == (TokenType.IDENTIFIER, "foo")
+
+    def test_always_ends_with_eof(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("select")[-1].type is TokenType.EOF
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert len(tokenize("  select\n\t x ")) == 3  # select, x, eof
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("select -- a comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["select", "x"]
+
+    def test_comment_at_end_of_input(self):
+        assert tokenize("select -- trailing")[-1].type is TokenType.EOF
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+
+    def test_float(self):
+        assert kinds("3.25")[0] == (TokenType.NUMBER, "3.25")
+
+    def test_leading_dot_float(self):
+        assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+
+    def test_string(self):
+        assert kinds("'hello world'")[0] == (TokenType.STRING, "hello world")
+
+    def test_string_quote_escape(self):
+        assert kinds("'o''brien'")[0] == (TokenType.STRING, "o'brien")
+
+    def test_string_preserves_case(self):
+        assert kinds("'MixedCase'")[0] == (TokenType.STRING, "MixedCase")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_each_operator(self, op):
+        assert kinds(op)[0] == (TokenType.OPERATOR, op)
+
+    def test_two_char_operators_win(self):
+        values = [t.value for t in tokenize("a<=b") if t.type is TokenType.OPERATOR]
+        assert values == ["<="]
+
+    def test_punct(self):
+        tokens = tokenize("( ) , . ;")
+        assert all(t.type is TokenType.PUNCT for t in tokens[:-1])
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_identifier_is_identifier_not_keyword(self):
+        token = tokenize('"select"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "select"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlLexError):
+            tokenize('"oops')
+
+
+def test_unexpected_character_reports_offset():
+    with pytest.raises(SqlLexError) as excinfo:
+        tokenize("select @")
+    assert excinfo.value.position == 7
+
+
+def test_token_repr_roundtrip():
+    token = Token(TokenType.KEYWORD, "select", 0)
+    assert "select" in str(token)

@@ -1,0 +1,221 @@
+"""Unit tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini import ast
+from repro.sqlmini.errors import SqlParseError
+from repro.sqlmini.parser import parse, parse_expression
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.table == "t"
+        assert stmt.items[0].expr == ast.ColumnRef("a")
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_table_alias(self):
+        assert parse("SELECT a FROM t AS u").table_alias == "u"
+        assert parse("SELECT a FROM t u").table_alias == "u"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) c FROM t WHERE b = 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY c DESC, a ASC LIMIT 7"
+        )
+        assert stmt.where is not None
+        assert stmt.group_by == (ast.ColumnRef("a"),)
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 7
+
+    def test_join(self):
+        stmt = parse("SELECT a FROM t INNER JOIN u ON t.id = u.id")
+        assert stmt.joins[0].table == "u"
+        assert isinstance(stmt.joins[0].condition, ast.BinaryOp)
+
+    def test_join_without_inner_keyword(self):
+        assert parse("SELECT a FROM t JOIN u x ON t.id = x.id").joins[0].alias == "x"
+
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.selects) == 2
+
+    def test_union_requires_all(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t UNION SELECT a FROM u")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_trailing_semicolon_tolerated(self):
+        assert isinstance(parse("SELECT a FROM t;"), ast.Select)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t garbage extra")
+
+
+class TestExpressions:
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            expr = parse_expression(f"a {op} 1")
+            assert expr.op == op
+
+    def test_bang_equals_normalised(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("a IS NULL") == ast.IsNull(ast.ColumnRef("a"))
+        assert parse_expression("a IS NOT NULL") == ast.IsNull(
+            ast.ColumnRef("a"), negated=True
+        )
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.options) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated is True
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 5").negated is True
+
+    def test_like(self):
+        expr = parse_expression("a LIKE 'x%'")
+        assert expr.op == "LIKE"
+
+    def test_not_like_wraps_in_not(self):
+        expr = parse_expression("a NOT LIKE 'x%'")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+
+    def test_literals(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+        assert parse_expression("3.5") == ast.Literal(3.5)
+        assert parse_expression("'s'") == ast.Literal("s")
+
+    def test_unary_minus_and_plus(self):
+        assert parse_expression("-a") == ast.UnaryOp("-", ast.ColumnRef("a"))
+        assert parse_expression("+5") == ast.Literal(5)
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ast.ColumnRef("col", table="t")
+
+    def test_function_call(self):
+        expr = parse_expression("LOWER(a)")
+        assert expr == ast.FuncCall("lower", (ast.ColumnRef("a"),))
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == ast.FuncCall("count", (ast.Star(),))
+
+    def test_count_distinct_with_parenthesised_arg(self):
+        # the paper writes COUNT(DISTINCT(User))
+        expr = parse_expression("COUNT(DISTINCT(user))")
+        assert expr == ast.FuncCall("count", (ast.ColumnRef("user"),), distinct=True)
+
+    def test_zero_arg_function(self):
+        assert parse_expression("f()") == ast.FuncCall("f", ())
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a INTEGER NOT NULL, b TEXT)")
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].not_null is True
+        assert stmt.columns[1].not_null is False
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ()
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlParseError):
+            parse("DROP TABLE t")
+
+
+class TestAstHelpers:
+    def test_collect_aggregates(self):
+        expr = parse_expression("COUNT(*) > 5 AND COUNT(DISTINCT u) >= 2")
+        calls = ast.collect_aggregates(expr)
+        assert len(calls) == 2
+        assert {c.distinct for c in calls} == {True, False}
+
+    def test_contains_aggregate_negative(self):
+        assert not ast.contains_aggregate(parse_expression("a + LOWER(b)"))
+
+    def test_collect_columns(self):
+        expr = parse_expression("a + LOWER(t.b) BETWEEN c AND d")
+        names = {str(ref) for ref in ast.collect_columns(expr)}
+        assert names == {"a", "t.b", "c", "d"}
+
+    def test_select_str_round_trips_through_parser(self):
+        sql = (
+            "SELECT data, COUNT(*) AS freq FROM audit WHERE status = 0 "
+            "GROUP BY data HAVING COUNT(*) >= 5 ORDER BY freq DESC LIMIT 3"
+        )
+        stmt = parse(sql)
+        reparsed = parse(str(stmt))
+        assert reparsed == stmt

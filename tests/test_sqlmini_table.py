@@ -1,0 +1,121 @@
+"""Unit tests for sqlmini heap tables and views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.errors import SqlCatalogError, SqlTypeError
+from repro.sqlmini.schema import Column, TableSchema
+from repro.sqlmini.table import Table, ViewTable
+from repro.sqlmini.types import SqlType
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema(
+        "people",
+        (
+            Column("id", SqlType.INTEGER, nullable=False),
+            Column("name", SqlType.TEXT),
+            Column("age", SqlType.INTEGER),
+        ),
+    )
+    t = Table(schema)
+    t.insert((1, "alice", 30))
+    t.insert((2, "bob", 25))
+    t.insert((3, "alice", 41))
+    return t
+
+
+class TestInsertScan:
+    def test_len_and_scan_order(self, table):
+        assert len(table) == 3
+        assert [row[0] for row in table.scan()] == [1, 2, 3]
+
+    def test_insert_validates(self, table):
+        with pytest.raises(SqlTypeError):
+            table.insert((4, "eve", "old"))
+
+    def test_insert_mapping(self, table):
+        table.insert_mapping({"id": 4, "name": "eve"})
+        assert table.rows()[-1] == (4, "eve", None)
+
+    def test_insert_many(self, table):
+        assert table.insert_many([(4, "x", 1), (5, "y", 2)]) == 2
+        assert len(table) == 5
+
+    def test_column_values(self, table):
+        assert table.column_values("name") == ["alice", "bob", "alice"]
+
+
+class TestIndexes:
+    def test_lookup_without_index_scans(self, table):
+        rows = list(table.lookup("name", "alice"))
+        assert [row[0] for row in rows] == [1, 3]
+
+    def test_lookup_with_index(self, table):
+        table.create_index("name")
+        assert table.has_index("name")
+        rows = list(table.lookup("name", "alice"))
+        assert [row[0] for row in rows] == [1, 3]
+
+    def test_index_maintained_on_insert(self, table):
+        table.create_index("name")
+        table.insert((4, "alice", 50))
+        assert [row[0] for row in table.lookup("name", "alice")] == [1, 3, 4]
+
+    def test_lookup_null_matches_nothing(self, table):
+        table.insert((4, None, None))
+        assert list(table.lookup("name", None)) == []
+
+    def test_create_index_on_missing_column(self, table):
+        with pytest.raises(SqlCatalogError):
+            table.create_index("bogus")
+
+    def test_index_rebuilt_after_delete(self, table):
+        table.create_index("name")
+        table.delete_where(lambda row: row[0] == 1)
+        assert [row[0] for row in table.lookup("name", "alice")] == [3]
+
+
+class TestDeleteClear:
+    def test_delete_where(self, table):
+        removed = table.delete_where(lambda row: row[2] is not None and row[2] > 28)
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_delete_nothing(self, table):
+        assert table.delete_where(lambda row: False) == 0
+
+    def test_clear_keeps_schema(self, table):
+        table.create_index("name")
+        table.clear()
+        assert len(table) == 0
+        table.insert((9, "zed", 1))
+        assert [row[0] for row in table.lookup("name", "zed")] == [9]
+
+
+class TestViewTable:
+    def _view(self, rows):
+        schema = TableSchema("v", (Column("a", SqlType.INTEGER),))
+        return ViewTable(schema, lambda: iter(rows))
+
+    def test_scan_reflects_producer(self):
+        backing = [(1,), (2,)]
+        view = self._view(backing)
+        assert len(view) == 2
+        backing.append((3,))
+        assert len(view) == 3  # virtual: sees new data
+
+    def test_lookup(self):
+        view = self._view([(1,), (2,), (1,)])
+        assert list(view.lookup("a", 1)) == [(1,), (1,)]
+        assert list(view.lookup("a", None)) == []
+
+    def test_read_only(self):
+        view = self._view([])
+        with pytest.raises(SqlCatalogError):
+            view.insert((1,))
+
+    def test_never_has_index(self):
+        assert self._view([]).has_index("a") is False

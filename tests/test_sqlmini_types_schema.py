@@ -1,0 +1,140 @@
+"""Unit tests for sqlmini value types and table schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.errors import SqlCatalogError, SqlTypeError
+from repro.sqlmini.schema import Column, TableSchema
+from repro.sqlmini.types import SqlType, coerce, compare, sort_key
+
+
+class TestSqlType:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("int", SqlType.INTEGER),
+            ("BIGINT", SqlType.INTEGER),
+            ("float", SqlType.REAL),
+            ("double", SqlType.REAL),
+            ("varchar", SqlType.TEXT),
+            ("string", SqlType.TEXT),
+            ("bool", SqlType.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert SqlType.parse(alias) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlTypeError):
+            SqlType.parse("blob")
+
+
+class TestCoerce:
+    def test_null_passes_any_type(self):
+        for sql_type in SqlType:
+            assert coerce(None, sql_type) is None
+
+    def test_integer(self):
+        assert coerce(5, SqlType.INTEGER) == 5
+        with pytest.raises(SqlTypeError):
+            coerce(5.0, SqlType.INTEGER)
+        with pytest.raises(SqlTypeError):
+            coerce(True, SqlType.INTEGER)  # bools are not ints here
+
+    def test_real_widens_int(self):
+        value = coerce(5, SqlType.REAL)
+        assert value == 5.0 and isinstance(value, float)
+
+    def test_text(self):
+        assert coerce("x", SqlType.TEXT) == "x"
+        with pytest.raises(SqlTypeError):
+            coerce(5, SqlType.TEXT)
+
+    def test_boolean(self):
+        assert coerce(True, SqlType.BOOLEAN) is True
+        with pytest.raises(SqlTypeError):
+            coerce(1, SqlType.BOOLEAN)
+
+
+class TestCompare:
+    def test_null_is_unknown(self):
+        assert compare(None, 1) is None
+        assert compare(None, None) is None
+
+    def test_numbers(self):
+        assert compare(1, 2) == -1
+        assert compare(2.0, 2) == 0
+        assert compare(3, 2.5) == 1
+
+    def test_text(self):
+        assert compare("a", "b") == -1
+        assert compare("b", "b") == 0
+
+    def test_mixed_types_unknown(self):
+        assert compare("1", 1) is None
+        assert compare(True, 1) is None
+
+    def test_booleans_compare_to_each_other(self):
+        assert compare(False, True) == -1
+
+    def test_sort_key_orders_nulls_first(self):
+        values = ["b", None, 2, "a", 1, True]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+        assert ordered[1] is True  # booleans before numbers
+        assert ordered[2:4] == [1, 2]
+        assert ordered[4:] == ["a", "b"]
+
+
+class TestSchema:
+    def _schema(self) -> TableSchema:
+        return TableSchema(
+            "t",
+            (
+                Column("id", SqlType.INTEGER, nullable=False),
+                Column("name", SqlType.TEXT),
+            ),
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            TableSchema("t", (Column("a", SqlType.TEXT), Column("A", SqlType.TEXT)))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SqlCatalogError):
+            TableSchema("t", ())
+
+    def test_column_type_from_string(self):
+        column = Column("a", "varchar")  # type: ignore[arg-type]
+        assert column.sql_type is SqlType.TEXT
+
+    def test_position_and_lookup(self):
+        schema = self._schema()
+        assert schema.position("NAME") == 1
+        assert schema.column("id").nullable is False
+        assert "id" in schema and "missing" not in schema
+
+    def test_position_missing_raises_with_known_columns(self):
+        with pytest.raises(SqlCatalogError, match="id, name"):
+            self._schema().position("missing")
+
+    def test_validate_row_coerces(self):
+        schema = self._schema()
+        assert schema.validate_row([1, "x"]) == (1, "x")
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SqlTypeError):
+            self._schema().validate_row([1])
+
+    def test_validate_row_not_null(self):
+        with pytest.raises(SqlTypeError):
+            self._schema().validate_row([None, "x"])
+
+    def test_row_from_mapping_fills_nulls(self):
+        schema = self._schema()
+        assert schema.row_from_mapping({"id": 1}) == (1, None)
+
+    def test_row_from_mapping_rejects_unknown(self):
+        with pytest.raises(SqlCatalogError):
+            self._schema().row_from_mapping({"id": 1, "bogus": 2})

@@ -1,0 +1,132 @@
+"""Unit tests for the tree document model and the XML reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.treestore.node import TreeDocument, TreeError, TreeNode
+from repro.treestore.xmlio import dumps, loads
+
+
+@pytest.fixture()
+def document() -> TreeDocument:
+    root = TreeNode("patients")
+    alice = root.child("patient", {"id": "p1"})
+    alice.child("name", text="Alice")
+    record = alice.child("record")
+    record.child("prescription", text="amoxicillin")
+    record.child("psychiatry", text="notes-a")
+    bob = root.child("patient", {"id": "p2"})
+    bob.child("name", text="Bob")
+    return TreeDocument(root, name="ward")
+
+
+class TestTreeNode:
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TreeError):
+            TreeNode("1bad")
+        with pytest.raises(TreeError):
+            TreeNode("ok", {"bad name": "x"})
+
+    def test_append_sets_parent(self, document):
+        alice = document.root.children[0]
+        assert alice.parent is document.root
+        assert alice.children[0].name == "name"
+
+    def test_append_rejects_reparenting(self, document):
+        alice = document.root.children[0]
+        other = TreeNode("other")
+        with pytest.raises(TreeError):
+            other.append(alice)
+
+    def test_append_rejects_non_node(self):
+        with pytest.raises(TreeError):
+            TreeNode("a").append("nope")  # type: ignore[arg-type]
+
+    def test_remove(self, document):
+        root = document.root
+        bob = root.children[1]
+        root.remove(bob)
+        assert bob.parent is None
+        assert len(root) == 1
+        with pytest.raises(TreeError):
+            root.remove(bob)
+
+    def test_walk_preorder(self, document):
+        names = [node.name for node in document.root.walk()]
+        assert names == [
+            "patients", "patient", "name", "record", "prescription",
+            "psychiatry", "patient", "name",
+        ]
+
+    def test_path(self, document):
+        prescription = document.root.find_all("prescription")[0]
+        assert prescription.path() == "/patients/patient/record/prescription"
+
+    def test_find_all(self, document):
+        assert len(document.root.find_all("name")) == 2
+
+    def test_clone_is_deep_and_detached(self, document):
+        copy = document.root.clone()
+        assert copy.parent is None
+        assert [n.name for n in copy.walk()] == [n.name for n in document.root.walk()]
+        copy.children[0].attributes["id"] = "changed"
+        assert document.root.children[0].attributes["id"] == "p1"
+
+    def test_document_size(self, document):
+        assert document.size() == 8
+
+
+class TestXmlWriter:
+    def test_round_trip(self, document):
+        text = dumps(document)
+        rebuilt = loads(text, name="ward")
+        assert [n.name for n in rebuilt.root.walk()] == [
+            n.name for n in document.root.walk()
+        ]
+        assert rebuilt.root.children[0].attributes == {"id": "p1"}
+        assert rebuilt.root.find_all("prescription")[0].text == "amoxicillin"
+
+    def test_escaping_round_trip(self):
+        root = TreeNode("note", {"author": 'Dr "A" & co'}, text="a < b & c > d")
+        rebuilt = loads(dumps(TreeDocument(root)))
+        assert rebuilt.root.text == "a < b & c > d"
+        assert rebuilt.root.attributes["author"] == 'Dr "A" & co'
+
+    def test_self_closing_for_empty_elements(self):
+        text = dumps(TreeDocument(TreeNode("empty")))
+        assert text == "<empty/>"
+
+
+class TestXmlReader:
+    def test_declaration_and_comments_skipped(self):
+        text = "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>"
+        document = loads(text)
+        assert [n.name for n in document.root.walk()] == ["a", "b"]
+
+    def test_entities_decoded(self):
+        document = loads("<a t=\"&quot;x&quot;\">&lt;&amp;&gt;</a>")
+        assert document.root.text == "<&>"
+        assert document.root.attributes["t"] == '"x"'
+
+    def test_text_and_children_mix(self):
+        document = loads("<a>hello <b/> world</a>")
+        assert document.root.text == "hello  world"
+        assert document.root.children[0].name == "b"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a>",                      # unterminated element
+            "<a></b>",                  # mismatched closing tag
+            "<a b=c/>",                 # unquoted attribute
+            "<a b=\"1\" b=\"2\"/>",     # duplicate attribute
+            "<a>&bogus;</a>",           # unknown entity
+            "<a/><b/>",                 # two roots
+            "<!-- only a comment -->",  # no root at all
+            "<a><!-- unterminated </a>",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TreeError):
+            loads(bad)

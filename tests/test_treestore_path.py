@@ -1,0 +1,85 @@
+"""Unit tests for the path query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.treestore.node import TreeDocument, TreeError, TreeNode
+from repro.treestore.path import compile_path
+
+
+@pytest.fixture()
+def document() -> TreeDocument:
+    root = TreeNode("patients")
+    for pid, name in (("p1", "Alice"), ("p2", "Bob")):
+        patient = root.child("patient", {"id": pid})
+        patient.child("name", text=name)
+        record = patient.child("record")
+        record.child("prescription", text=f"rx-{pid}")
+        nested = record.child("attachments")
+        nested.child("note", text=f"note-{pid}")
+    return TreeDocument(root, name="ward")
+
+
+class TestSelection:
+    def test_absolute_child_steps(self, document):
+        nodes = compile_path("/patients/patient/name").select(document)
+        assert [node.text for node in nodes] == ["Alice", "Bob"]
+
+    def test_root_name_must_match(self, document):
+        assert compile_path("/hospital/patient").select(document) == ()
+
+    def test_descendant_axis_anywhere(self, document):
+        nodes = compile_path("//note").select(document)
+        assert [node.text for node in nodes] == ["note-p1", "note-p2"]
+
+    def test_descendant_axis_mid_path(self, document):
+        nodes = compile_path("/patients//note").select(document)
+        assert len(nodes) == 2
+
+    def test_wildcard_step(self, document):
+        nodes = compile_path("/patients/*/name").select(document)
+        assert len(nodes) == 2
+
+    def test_attribute_predicate(self, document):
+        nodes = compile_path("/patients/patient[@id='p2']/name").select(document)
+        assert [node.text for node in nodes] == ["Bob"]
+
+    def test_predicate_no_match(self, document):
+        assert compile_path("/patients/patient[@id='p9']").select(document) == ()
+
+    def test_descendant_results_deduplicated_in_order(self, document):
+        nodes = compile_path("//record//note").select(document)
+        assert [node.text for node in nodes] == ["note-p1", "note-p2"]
+
+    def test_select_from_bare_node(self, document):
+        patient = document.root.children[0]
+        nodes = compile_path("/patient/record/prescription").select(patient)
+        assert [node.text for node in nodes] == ["rx-p1"]
+
+    def test_matches_node(self, document):
+        expression = compile_path("/patients/patient[@id='p1']/record/prescription")
+        prescription = document.root.children[0].children[1].children[0]
+        other = document.root.children[1].children[1].children[0]
+        assert expression.matches_node(prescription)
+        assert not expression.matches_node(other)
+
+
+class TestCompilation:
+    def test_steps_structure(self):
+        expression = compile_path("/a//b[@x='1']/*")
+        axes = [step.axis for step in expression.steps]
+        assert axes == ["child", "descendant", "child"]
+        assert expression.steps[1].attribute == ("x", "1")
+        assert expression.steps[2].name == "*"
+
+    def test_str_round_trip(self):
+        source = "/a//b[@x='1']"
+        assert str(compile_path(source)) == source
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a/b", "/", "/a/", "/a[@b]", "/a[@b=c]", "/a[b='c']"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TreeError):
+            compile_path(bad)

@@ -1,0 +1,69 @@
+"""Tests pinning the built-in healthcare vocabulary to the paper."""
+
+from __future__ import annotations
+
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+def test_demographic_expands_to_exactly_four_ground_terms():
+    # Figure 1: the ground set of (data, demographic) has four members.
+    vocab = healthcare_vocabulary()
+    assert len(vocab.ground_values("data", "demographic")) == 4
+
+
+def test_gender_is_ground_and_demographic_is_composite():
+    # The Definition 2 example: RT3=(data, gender) ground, RT1 composite.
+    vocab = healthcare_vocabulary()
+    assert vocab.is_ground("data", "gender")
+    assert not vocab.is_ground("data", "demographic")
+
+
+def test_address_and_gender_are_subsumed_by_demographic():
+    # The Definition 1/4 example: RT2 and RT3 are subsumed by RT1.
+    vocab = healthcare_vocabulary()
+    assert vocab.subsumes("data", "demographic", "address")
+    assert vocab.subsumes("data", "demographic", "gender")
+
+
+def test_medical_records_exclude_psychiatry():
+    # Figure 3's audit rule 4 depends on this separation.
+    vocab = healthcare_vocabulary()
+    ground = set(vocab.ground_values("data", "medical_records"))
+    assert "psychiatry" not in ground
+    assert {"prescription", "referral"} <= ground
+
+
+def test_doctor_and_physician_are_distinct_ground_roles():
+    # Section 5 counts t4 (role Doctor) as uncovered although the store
+    # authorises physician — the two must not subsume each other.
+    vocab = healthcare_vocabulary()
+    assert vocab.is_ground("authorized", "doctor")
+    assert vocab.is_ground("authorized", "physician")
+    assert not vocab.subsumes("authorized", "physician", "doctor")
+    assert not vocab.subsumes("authorized", "doctor", "physician")
+
+
+def test_telemarketing_is_a_known_purpose():
+    # The Definition 1 example mentions (purpose, telemarketing).
+    vocab = healthcare_vocabulary()
+    assert vocab.is_ground("purpose", "telemarketing")
+
+
+def test_every_paper_value_is_present():
+    vocab = healthcare_vocabulary()
+    data_tree = vocab.tree_for("data")
+    purpose_tree = vocab.tree_for("purpose")
+    role_tree = vocab.tree_for("authorized")
+    for value in ("prescription", "referral", "psychiatry", "address", "insurance"):
+        assert value in data_tree
+    for value in ("treatment", "registration", "billing"):
+        assert value in purpose_tree
+    for value in ("nurse", "doctor", "physician", "clerk"):
+        assert value in role_tree
+
+
+def test_instances_are_independent():
+    first = healthcare_vocabulary()
+    second = healthcare_vocabulary()
+    first.tree_for("data").add("genomics", "clinical")
+    assert "genomics" not in second.tree_for("data")

@@ -1,0 +1,148 @@
+"""Tests for vocabulary diffing and policy impact analysis."""
+
+from __future__ import annotations
+
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.evolution import assess_policy_impact, diff_vocabularies
+
+
+def _evolved():
+    """The built-in vocabulary plus a curated round of changes."""
+    vocab = healthcare_vocabulary()
+    data = vocab.tree_for("data")
+    # split: lab_results now distinguishes bloodwork and imaging
+    data.add("bloodwork", parent="lab_results")
+    data.add("imaging", parent="lab_results")
+    # add: a brand-new category
+    data.add("genomics", parent="clinical")
+    return vocab
+
+
+class TestDiff:
+    def test_no_changes(self):
+        diff = diff_vocabularies(healthcare_vocabulary(), healthcare_vocabulary())
+        assert len(diff) == 0
+
+    def test_added_and_split_detected(self):
+        diff = diff_vocabularies(healthcare_vocabulary(), _evolved())
+        added = {change.value for change in diff.of_kind("added")}
+        assert added == {"bloodwork", "imaging", "genomics"}
+        split = diff.of_kind("split")
+        assert [change.value for change in split] == ["lab_results"]
+        assert "bloodwork" in split[0].detail
+
+    def test_removed_detected(self):
+        old = healthcare_vocabulary()
+        new = healthcare_vocabulary()
+        # rebuild new without telemarketing by constructing a fresh tree
+        from repro.vocab.vocabulary import Vocabulary
+
+        trimmed = Vocabulary("trimmed")
+        for tree in new:
+            if tree.attribute != "purpose":
+                trimmed.add_tree(tree)
+        purpose = trimmed.new_tree("purpose")
+        purpose.add_branch("healthcare", ["treatment", "diagnosis", "emergency_care"])
+        purpose.add_branch("operations", ["billing", "registration",
+                                          "insurance_verification"])
+        purpose.add_branch("secondary_use", ["research"])
+        diff = diff_vocabularies(old, trimmed)
+        assert {c.value for c in diff.of_kind("removed")} == {"telemarketing"}
+        assert diff.removed_values() == {"purpose": {"telemarketing"}}
+
+    def test_whole_tree_changes(self):
+        from repro.vocab.vocabulary import Vocabulary
+
+        old = Vocabulary("old")
+        old.new_tree("data").add("x")
+        new = Vocabulary("new")
+        new.new_tree("purpose").add("y")
+        diff = diff_vocabularies(old, new)
+        kinds = {(c.attribute, c.kind) for c in diff.changes}
+        assert ("data", "removed") in kinds
+        assert ("purpose", "added") in kinds
+
+    def test_moved_detected(self):
+        old = healthcare_vocabulary()
+        from repro.vocab.vocabulary import Vocabulary
+
+        new = Vocabulary("moved")
+        for tree in old:
+            if tree.attribute != "data":
+                new.add_tree(tree)
+        data = new.new_tree("data")
+        data.add_branch("demographic", ["name", "address", "gender", "birth_date"])
+        data.add("clinical")
+        data.add("medical_records", parent="clinical")
+        for leaf in ("prescription", "referral", "lab_results"):
+            data.add(leaf, parent="medical_records")
+        # psychiatry moves under medical_records
+        data.add("psychiatry", parent="medical_records")
+        data.add_branch("financial", ["insurance", "payment_history"])
+        diff = diff_vocabularies(old, new)
+        moved = [c for c in diff.of_kind("moved")]
+        assert any(c.value == "psychiatry" for c in moved)
+
+
+class TestPolicyImpact:
+    def test_unchanged_rules(self):
+        policy = Policy([
+            Rule.of(data="referral", purpose="treatment", authorized="nurse"),
+        ])
+        report = assess_policy_impact(
+            policy, healthcare_vocabulary(), healthcare_vocabulary()
+        )
+        assert report.safe
+        assert len(report.of_verdict("unchanged")) == 1
+
+    def test_split_widens_granting_rules(self):
+        # a grant on lab_results silently covers bloodwork and imaging
+        # after the split — exactly the regression the tool must flag
+        policy = Policy([
+            Rule.of(data="lab_results", purpose="treatment", authorized="nurse"),
+            Rule.of(data="referral", purpose="treatment", authorized="nurse"),
+        ])
+        report = assess_policy_impact(policy, healthcare_vocabulary(), _evolved())
+        assert not report.safe
+        widened = report.of_verdict("widened")
+        assert len(widened) == 1
+        assert widened[0].rule.value_of("data") == "lab_results"
+        assert len(report.of_verdict("unchanged")) == 1
+
+    def test_composite_rule_widens_when_subtree_grows(self):
+        policy = Policy([
+            Rule.of(data="medical_records", purpose="treatment", authorized="nurse"),
+        ])
+        report = assess_policy_impact(policy, healthcare_vocabulary(), _evolved())
+        # medical_records now expands to 4 leaves (bloodwork, imaging
+        # replace lab_results) vs 3 before -> membership changed
+        assert report.impacts[0].verdict == "widened"
+
+    def test_orphaned_rule_detected(self):
+        from repro.vocab.vocabulary import Vocabulary
+
+        old = healthcare_vocabulary()
+        new = Vocabulary("no-telemarketing")
+        for tree in old:
+            if tree.attribute != "purpose":
+                new.add_tree(tree)
+        purpose = new.new_tree("purpose")
+        purpose.add_branch("healthcare", ["treatment"])
+        policy = Policy([
+            Rule.of(data="address", purpose="telemarketing", authorized="clerk"),
+        ])
+        report = assess_policy_impact(policy, old, new)
+        orphaned = report.of_verdict("orphaned")
+        assert len(orphaned) == 1
+        assert "telemarketing" in orphaned[0].detail
+
+    def test_summary_lists_non_trivial_impacts(self):
+        policy = Policy([
+            Rule.of(data="lab_results", purpose="treatment", authorized="nurse"),
+        ])
+        report = assess_policy_impact(policy, healthcare_vocabulary(), _evolved())
+        text = report.summary()
+        assert "1 widened" in text
+        assert "lab_results" in text

@@ -1,0 +1,41 @@
+"""Tests for vocabulary JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.vocab import io as vocab_io
+from repro.vocab.builtin import healthcare_vocabulary
+
+
+def test_dumps_loads_round_trip():
+    original = healthcare_vocabulary()
+    rebuilt = vocab_io.loads(vocab_io.dumps(original))
+    assert rebuilt.name == original.name
+    assert rebuilt.attributes == original.attributes
+    for attribute in original.attributes:
+        assert (
+            rebuilt.tree_for(attribute).leaves()
+            == original.tree_for(attribute).leaves()
+        )
+
+
+def test_save_load_round_trip(tmp_path):
+    original = healthcare_vocabulary()
+    path = vocab_io.save(original, tmp_path / "vocab.json")
+    rebuilt = vocab_io.load(path)
+    assert set(rebuilt.ground_values("data", "demographic")) == set(
+        original.ground_values("data", "demographic")
+    )
+
+
+def test_strict_flag_survives_round_trip():
+    original = healthcare_vocabulary(strict=True)
+    rebuilt = vocab_io.loads(vocab_io.dumps(original))
+    assert rebuilt.strict is True
+
+
+def test_loads_rejects_invalid_json():
+    with pytest.raises(VocabularyError):
+        vocab_io.loads("{not json")

@@ -1,0 +1,40 @@
+"""Tests for the Figure 1 tree renderer."""
+
+from __future__ import annotations
+
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.vocab.render import render_tree, render_vocabulary
+from repro.vocab.tree import VocabularyTree
+
+
+class TestRenderTree:
+    def test_single_root(self):
+        assert render_tree(VocabularyTree("data")) == "data"
+
+    def test_branch_guides(self):
+        tree = VocabularyTree("data")
+        tree.add_branch("demographic", ["name", "gender"])
+        tree.add("psychiatry")
+        text = render_tree(tree)
+        assert text.splitlines() == [
+            "data",
+            "|-- demographic",
+            "|   |-- name",
+            "|   `-- gender",
+            "`-- psychiatry",
+        ]
+
+    def test_every_node_rendered(self):
+        vocab = healthcare_vocabulary()
+        tree = vocab.tree_for("data")
+        text = render_tree(tree)
+        for node in tree:
+            assert node in text
+
+    def test_render_vocabulary_sections(self):
+        text = render_vocabulary(healthcare_vocabulary())
+        assert "[data]" in text
+        assert "[purpose]" in text
+        assert "[authorized]" in text
+        assert "demographic" in text
+        assert "telemarketing" in text

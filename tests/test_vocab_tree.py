@@ -1,0 +1,162 @@
+"""Unit tests for repro.vocab.tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateTermError, UnknownTermError, VocabularyError
+from repro.vocab.tree import VocabularyTree, canonical
+
+
+class TestCanonical:
+    def test_lowercases_and_strips(self):
+        assert canonical("  Gender ") == "gender"
+
+    def test_collapses_internal_whitespace_to_underscore(self):
+        assert canonical("Birth  Date") == "birth_date"
+
+    def test_rejects_empty(self):
+        with pytest.raises(VocabularyError):
+            canonical("   ")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(VocabularyError):
+            canonical(42)  # type: ignore[arg-type]
+
+
+class TestConstruction:
+    def test_root_defaults_to_attribute_name(self):
+        tree = VocabularyTree("data")
+        assert tree.root == "data"
+        assert "data" in tree
+
+    def test_explicit_root(self):
+        tree = VocabularyTree("authorized", root="staff")
+        assert tree.root == "staff"
+        assert "authorized" not in tree
+
+    def test_add_under_root_by_default(self):
+        tree = VocabularyTree("data")
+        tree.add("demographic")
+        assert tree.parent("demographic") == "data"
+
+    def test_add_under_named_parent(self):
+        tree = VocabularyTree("data")
+        tree.add("demographic")
+        tree.add("address", "demographic")
+        assert tree.parent("address") == "demographic"
+
+    def test_add_duplicate_raises(self):
+        tree = VocabularyTree("data")
+        tree.add("x")
+        with pytest.raises(DuplicateTermError):
+            tree.add("X")  # canonicalises to the same node
+
+    def test_add_under_missing_parent_raises(self):
+        tree = VocabularyTree("data")
+        with pytest.raises(UnknownTermError):
+            tree.add("address", "nope")
+
+    def test_add_branch_creates_parent_and_children(self):
+        tree = VocabularyTree("data")
+        added = tree.add_branch("demographic", ["name", "address"])
+        assert added == ["name", "address"]
+        assert tree.children("demographic") == ("name", "address")
+
+    def test_add_branch_reuses_existing_parent(self):
+        tree = VocabularyTree("data")
+        tree.add("demographic")
+        tree.add_branch("demographic", ["gender"])
+        assert tree.children("demographic") == ("gender",)
+
+
+@pytest.fixture()
+def data_tree() -> VocabularyTree:
+    tree = VocabularyTree("data")
+    tree.add_branch("demographic", ["name", "address", "gender", "birth_date"])
+    tree.add("clinical")
+    tree.add("medical_records", "clinical")
+    tree.add("prescription", "medical_records")
+    tree.add("referral", "medical_records")
+    tree.add("psychiatry", "clinical")
+    return tree
+
+
+class TestQueries:
+    def test_contains_is_case_insensitive(self, data_tree):
+        assert "Demographic" in data_tree
+        assert "nonexistent" not in data_tree
+
+    def test_contains_handles_invalid_value(self, data_tree):
+        assert "" not in data_tree
+
+    def test_len_counts_all_nodes(self, data_tree):
+        assert len(data_tree) == 11  # root + 10
+
+    def test_preorder_iteration_starts_at_root(self, data_tree):
+        nodes = list(data_tree)
+        assert nodes[0] == "data"
+        assert set(nodes) == {
+            "data", "demographic", "name", "address", "gender", "birth_date",
+            "clinical", "medical_records", "prescription", "referral", "psychiatry",
+        }
+
+    def test_is_leaf(self, data_tree):
+        assert data_tree.is_leaf("gender")
+        assert not data_tree.is_leaf("demographic")
+
+    def test_leaves(self, data_tree):
+        assert set(data_tree.leaves()) == {
+            "name", "address", "gender", "birth_date",
+            "prescription", "referral", "psychiatry",
+        }
+
+    def test_leaves_under_composite(self, data_tree):
+        assert set(data_tree.leaves_under("demographic")) == {
+            "name", "address", "gender", "birth_date",
+        }
+
+    def test_leaves_under_ground_value_is_itself(self, data_tree):
+        assert data_tree.leaves_under("gender") == ("gender",)
+
+    def test_leaves_under_unknown_raises(self, data_tree):
+        with pytest.raises(UnknownTermError):
+            data_tree.leaves_under("nope")
+
+    def test_ancestors(self, data_tree):
+        assert data_tree.ancestors("prescription") == (
+            "medical_records", "clinical", "data",
+        )
+        assert data_tree.ancestors("data") == ()
+
+    def test_depth(self, data_tree):
+        assert data_tree.depth("data") == 0
+        assert data_tree.depth("prescription") == 3
+
+    def test_height(self, data_tree):
+        assert data_tree.height() == 3
+
+    def test_subsumes_reflexive(self, data_tree):
+        assert data_tree.subsumes("gender", "gender")
+
+    def test_subsumes_ancestor(self, data_tree):
+        assert data_tree.subsumes("demographic", "gender")
+        assert data_tree.subsumes("data", "prescription")
+
+    def test_subsumes_is_directional(self, data_tree):
+        assert not data_tree.subsumes("gender", "demographic")
+
+    def test_subsumes_siblings_false(self, data_tree):
+        assert not data_tree.subsumes("demographic", "psychiatry")
+
+
+class TestSerialisation:
+    def test_round_trip(self, data_tree):
+        rebuilt = VocabularyTree.from_dict(data_tree.to_dict())
+        assert list(rebuilt) == list(data_tree)
+        assert rebuilt.attribute == data_tree.attribute
+        assert rebuilt.leaves() == data_tree.leaves()
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(VocabularyError):
+            VocabularyTree.from_dict({"attribute": "data"})

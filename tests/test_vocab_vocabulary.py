@@ -1,0 +1,109 @@
+"""Unit tests for repro.vocab.vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownTermError, VocabularyError
+from repro.vocab.tree import VocabularyTree
+from repro.vocab.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab() -> Vocabulary:
+    vocabulary = Vocabulary("test")
+    data = vocabulary.new_tree("data")
+    data.add_branch("demographic", ["name", "address"])
+    purpose = vocabulary.new_tree("purpose")
+    purpose.add_branch("operations", ["billing", "registration"])
+    return vocabulary
+
+
+class TestRegistration:
+    def test_attributes_lists_registered_trees(self, vocab):
+        assert vocab.attributes == ("data", "purpose")
+
+    def test_duplicate_tree_rejected(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.add_tree(VocabularyTree("data"))
+
+    def test_tree_for_flat_attribute_is_none(self, vocab):
+        assert vocab.tree_for("user") is None
+
+    def test_contains(self, vocab):
+        assert "data" in vocab
+        assert "user" not in vocab
+        assert "" not in vocab
+
+    def test_iteration_yields_trees(self, vocab):
+        assert {tree.attribute for tree in vocab} == {"data", "purpose"}
+
+
+class TestGrounding:
+    def test_flat_attribute_values_are_ground(self, vocab):
+        assert vocab.is_ground("user", "mark")
+        assert vocab.ground_values("user", "Mark") == ("mark",)
+
+    def test_leaf_is_ground(self, vocab):
+        assert vocab.is_ground("data", "name")
+
+    def test_internal_node_is_composite(self, vocab):
+        assert not vocab.is_ground("data", "demographic")
+
+    def test_ground_values_of_composite(self, vocab):
+        assert set(vocab.ground_values("data", "demographic")) == {"name", "address"}
+
+    def test_ground_values_never_empty(self, vocab):
+        assert vocab.ground_values("data", "name") == ("name",)
+
+    def test_unknown_value_is_ground_in_lenient_mode(self, vocab):
+        assert vocab.is_ground("data", "martian")
+        assert vocab.ground_values("data", "martian") == ("martian",)
+
+    def test_unknown_value_raises_in_strict_mode(self):
+        strict = Vocabulary("strict", strict=True)
+        tree = strict.new_tree("data")
+        tree.add("name")
+        with pytest.raises(UnknownTermError):
+            strict.is_ground("data", "martian")
+
+    def test_fanout(self, vocab):
+        assert vocab.fanout("data", "demographic") == 2
+        assert vocab.fanout("data", "name") == 1
+
+
+class TestSubsumptionAndOverlap:
+    def test_subsumes_in_tree(self, vocab):
+        assert vocab.subsumes("data", "demographic", "name")
+        assert not vocab.subsumes("data", "name", "demographic")
+
+    def test_flat_attribute_subsumes_only_equal(self, vocab):
+        assert vocab.subsumes("user", "mark", "Mark")
+        assert not vocab.subsumes("user", "mark", "tim")
+
+    def test_unknown_descendant_subsumed_only_by_itself(self, vocab):
+        assert vocab.subsumes("data", "martian", "martian")
+        assert not vocab.subsumes("data", "demographic", "martian")
+
+    def test_overlap_composite_and_leaf(self, vocab):
+        assert vocab.overlap("data", "demographic", "name")
+        assert vocab.overlap("data", "name", "demographic")
+
+    def test_overlap_disjoint(self, vocab):
+        assert not vocab.overlap("purpose", "billing", "registration")
+
+    def test_overlap_ground_equality(self, vocab):
+        assert vocab.overlap("user", "mark", "mark")
+        assert not vocab.overlap("user", "mark", "tim")
+
+
+class TestSerialisation:
+    def test_round_trip(self, vocab):
+        rebuilt = Vocabulary.from_dict(vocab.to_dict())
+        assert rebuilt.name == vocab.name
+        assert rebuilt.attributes == vocab.attributes
+        assert set(rebuilt.ground_values("data", "demographic")) == {"name", "address"}
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary.from_dict({"name": "x"})

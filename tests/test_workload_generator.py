@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic traffic generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.policy.store import PolicyStore
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import build_hospital
+
+
+@pytest.fixture()
+def hospital(vocabulary):
+    return build_hospital(vocabulary, departments=2, staff_per_role=3, seed=3)
+
+
+def _env(hospital, **config) -> SyntheticHospitalEnvironment:
+    defaults = dict(accesses_per_round=500, seed=3)
+    defaults.update(config)
+    return SyntheticHospitalEnvironment(hospital, WorkloadConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_rates_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(noise_rate=1.0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(violation_rate=-0.1)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(noise_rate=0.6, violation_rate=0.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(accesses_per_round=0)
+
+    def test_hospital_must_have_practices(self, vocabulary):
+        from repro.workload.hospital import HospitalModel
+
+        empty = HospitalModel("h", vocabulary)
+        empty.departments.append(__import__("repro.workload.entities", fromlist=["Department"]).Department("d"))
+        with pytest.raises(WorkloadError):
+            SyntheticHospitalEnvironment(empty, WorkloadConfig())
+
+
+class TestSimulation:
+    def test_round_size_and_time_order(self, hospital):
+        env = _env(hospital)
+        log = env.simulate_round(0, PolicyStore())
+        assert len(log) == 500
+        times = [entry.time for entry in log]
+        assert times == sorted(times)
+
+    def test_reproducible_with_same_seed(self, hospital, vocabulary):
+        a = _env(hospital).simulate_round(0, PolicyStore())
+        b = _env(build_hospital(vocabulary, departments=2, staff_per_role=3, seed=3)).simulate_round(
+            0, PolicyStore()
+        )
+        assert a.entries == b.entries
+
+    def test_empty_store_makes_everything_exceptional(self, hospital):
+        log = _env(hospital, violation_rate=0.0, noise_rate=0.0).simulate_round(
+            0, PolicyStore()
+        )
+        assert log.exception_rate() == 1.0
+        assert all(entry.truth == "practice" for entry in log)
+
+    def test_full_store_sanctions_workflow_traffic(self, hospital):
+        store = hospital.documented_store(1.0, random.Random(3))
+        log = _env(hospital, violation_rate=0.0, noise_rate=0.0).simulate_round(0, store)
+        assert log.exception_rate() == 0.0
+
+    def test_violations_come_from_single_user(self, hospital):
+        log = _env(hospital, violation_rate=0.2).simulate_round(0, PolicyStore())
+        snoopers = {e.user for e in log if e.truth == "violation"}
+        assert len(snoopers) == 1
+
+    def test_violation_rate_roughly_respected(self, hospital):
+        env = _env(hospital, accesses_per_round=4000, violation_rate=0.1)
+        log = env.simulate_round(0, PolicyStore())
+        labelled = sum(1 for e in log if e.truth == "violation")
+        assert labelled == pytest.approx(400, rel=0.25)
+
+    def test_sanctioned_entries_carry_no_truth_label(self, hospital):
+        store = hospital.documented_store(1.0, random.Random(3))
+        log = _env(hospital, violation_rate=0.0, noise_rate=0.0).simulate_round(0, store)
+        assert all(entry.truth == "" for entry in log)
+
+    def test_clock_continues_across_rounds(self, hospital):
+        env = _env(hospital)
+        first = env.simulate_round(0, PolicyStore())
+        second = env.simulate_round(1, PolicyStore())
+        assert second[0].time > first[-1].time
+
+    def test_workflow_roles_match_staff(self, hospital):
+        log = _env(hospital, violation_rate=0.0, noise_rate=0.0).simulate_round(
+            0, PolicyStore()
+        )
+        role_by_user = {m.user_id: m.role for m in hospital.all_staff()}
+        assert all(role_by_user[e.user] == e.authorized for e in log)

@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic hospital model and entities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.policy.rule import Rule
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.workload.entities import Department, StaffMember, WorkflowPractice
+from repro.workload.hospital import HospitalModel, build_hospital
+
+
+class TestEntities:
+    def test_staff_member_canonicalised(self):
+        member = StaffMember("Nurse 01", "Nurse", "ER")
+        assert member.user_id == "nurse_01"
+        assert member.role == "nurse"
+        assert member.department == "er"
+
+    def test_department_roster(self):
+        department = Department("ER")
+        department.add_staff("n1", "nurse")
+        department.add_staff("c1", "clerk")
+        assert len(department.staff_with_role("NURSE")) == 1
+
+    def test_practice_weight_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkflowPractice("referral", "treatment", "nurse", weight=0)
+
+
+class TestBuildHospital:
+    def test_default_build_is_reproducible(self, vocabulary):
+        a = build_hospital(vocabulary, seed=5)
+        b = build_hospital(vocabulary, seed=5)
+        assert [p.key() for p in a.practices] == [p.key() for p in b.practices]
+        assert [p.weight for p in a.practices] == [p.weight for p in b.practices]
+
+    def test_staffing_counts(self, vocabulary):
+        hospital = build_hospital(vocabulary, departments=2, staff_per_role=3)
+        assert len(hospital.departments) == 2
+        # 5 roles x 3 each x 2 departments
+        assert len(hospital.all_staff()) == 30
+        assert len(hospital.staff_with_role("nurse")) == 6
+
+    def test_parameters_validated(self, vocabulary):
+        with pytest.raises(WorkloadError):
+            build_hospital(vocabulary, departments=0)
+
+    def test_practices_reference_staffed_roles(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        roles = set(hospital.roles())
+        assert all(practice.role in roles for practice in hospital.practices)
+
+    def test_add_practice_requires_staffed_role(self, vocabulary):
+        hospital = HospitalModel("h", vocabulary)
+        with pytest.raises(WorkloadError):
+            hospital.add_practice(WorkflowPractice("referral", "treatment", "nurse"))
+
+    def test_practice_rules_deduplicated(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        rules = hospital.practice_rules()
+        assert len(rules) == len(set(rules))
+
+
+class TestDocumentedStore:
+    def test_fraction_bounds_validated(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        with pytest.raises(WorkloadError):
+            hospital.documented_store(1.5, random.Random(0))
+
+    def test_zero_fraction_gives_empty_store(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        store = hospital.documented_store(0.0, random.Random(0))
+        assert len(store) == 0
+
+    def test_full_fraction_documents_everything(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        store = hospital.documented_store(1.0, random.Random(0))
+        assert set(store) == set(hospital.practice_rules())
+
+    def test_partial_fraction_weighted_toward_frequent(self, vocabulary):
+        hospital = build_hospital(vocabulary, seed=5)
+        store = hospital.documented_store(0.3, random.Random(5))
+        assert 0 < len(store) < len(hospital.practice_rules())
+        # the single heaviest practice must be documented
+        heaviest = max(hospital.practices, key=lambda p: p.weight)
+        rule = Rule.of(
+            data=heaviest.data, purpose=heaviest.purpose, authorized=heaviest.role
+        )
+        assert rule in store
+
+    def test_store_provenance_is_seed(self, vocabulary):
+        hospital = build_hospital(vocabulary)
+        store = hospital.documented_store(0.5, random.Random(0))
+        for rule in store:
+            assert store.record_for(rule).origin == "seed"
+
+
+def test_fixture_vocabulary_matches_builtin(vocabulary):
+    fresh = healthcare_vocabulary()
+    assert fresh.attributes == vocabulary.attributes

@@ -1,0 +1,119 @@
+"""Tests for the multi-site environment and federated refinement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import SqlPatternMiner
+from repro.refinement.engine import RefinementConfig
+from repro.refinement.filtering import filter_practice
+from repro.refinement.loop import RefinementLoop
+from repro.refinement.review import AcceptAll
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.workload.generator import WorkloadConfig
+from repro.workload.hospital import build_hospital
+from repro.workload.multisite import MultiSiteEnvironment, SiteTraffic
+
+
+@pytest.fixture()
+def hospital(vocabulary):
+    return build_hospital(vocabulary, departments=2, staff_per_role=3, seed=13)
+
+
+def _environment(hospital, accesses: int = 400, sites: int = 3) -> MultiSiteEnvironment:
+    return MultiSiteEnvironment(
+        hospital,
+        [
+            SiteTraffic(f"site_{index}", WorkloadConfig(
+                accesses_per_round=accesses, seed=13))
+            for index in range(sites)
+        ],
+    )
+
+
+class TestConstruction:
+    def test_sites_registered(self, hospital):
+        environment = _environment(hospital)
+        assert environment.sites == ("site_0", "site_1", "site_2")
+
+    def test_needs_sites(self, hospital):
+        with pytest.raises(WorkloadError):
+            MultiSiteEnvironment(hospital, [])
+
+    def test_duplicate_names_rejected(self, hospital):
+        with pytest.raises(WorkloadError):
+            MultiSiteEnvironment(
+                hospital,
+                [SiteTraffic("a", WorkloadConfig()), SiteTraffic("a", WorkloadConfig())],
+            )
+
+
+class TestSimulation:
+    def test_round_consolidates_all_sites(self, hospital):
+        from repro.policy.store import PolicyStore
+
+        environment = _environment(hospital, accesses=200)
+        window = environment.simulate_round(0, PolicyStore())
+        assert len(window) == 600
+        assert len(environment.federation) == 600
+        assert all(len(environment.site_log(site)) == 200 for site in environment.sites)
+
+    def test_consolidated_window_is_time_ordered(self, hospital):
+        from repro.policy.store import PolicyStore
+
+        environment = _environment(hospital, accesses=150)
+        window = environment.simulate_round(0, PolicyStore())
+        times = [entry.time for entry in window]
+        assert times == sorted(times)
+
+    def test_sites_are_decorrelated(self, hospital):
+        from repro.policy.store import PolicyStore
+
+        environment = _environment(hospital, accesses=200, sites=2)
+        environment.simulate_round(0, PolicyStore())
+        first = [e.to_rule() for e in environment.site_log("site_0")]
+        second = [e.to_rule() for e in environment.site_log("site_1")]
+        assert first != second
+
+
+class TestFederatedRefinement:
+    def test_federation_crosses_mining_thresholds(self, hospital):
+        """A practice below f at each site clears f organisation-wide."""
+        store = hospital.documented_store(0.0, random.Random(13))
+        environment = _environment(hospital, accesses=120, sites=4)
+        from repro.policy.store import PolicyStore
+
+        environment.simulate_round(0, PolicyStore())
+        config = MiningConfig(min_support=15)
+        miner = SqlPatternMiner()
+        per_site_rules = set()
+        for site in environment.sites:
+            practice = filter_practice(environment.site_log(site))
+            per_site_rules.update(p.rule for p in miner.mine(practice, config))
+        consolidated = environment.federation.consolidated_log()
+        federated_rules = {
+            p.rule
+            for p in miner.mine(filter_practice(consolidated), config)
+        }
+        # federation can only add patterns, and on this workload it
+        # strictly adds some no single site could support
+        assert per_site_rules <= federated_rules
+        assert federated_rules - per_site_rules
+
+    def test_loop_runs_over_multisite_environment(self, hospital):
+        store = hospital.documented_store(0.4, random.Random(13))
+        environment = _environment(hospital, accesses=400, sites=2)
+        loop = RefinementLoop(
+            environment=environment,
+            store=store,
+            vocabulary=healthcare_vocabulary(),
+            review=AcceptAll(),
+            config=RefinementConfig(mining=MiningConfig(min_support=5)),
+        )
+        result = loop.run(3)
+        assert result.rounds[-1].exception_rate < result.rounds[0].exception_rate
+        assert len(result.cumulative_log) == 2400

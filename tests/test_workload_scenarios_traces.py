@@ -1,0 +1,92 @@
+"""Tests for canned scenarios and trace bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.schema import AccessStatus
+from repro.errors import WorkloadError
+from repro.workload.generator import SyntheticHospitalEnvironment, WorkloadConfig
+from repro.workload.hospital import build_hospital
+from repro.workload.scenarios import (
+    expected_table1_pattern,
+    figure3_audit_policy,
+    figure3_policy,
+    figure3_policy_store,
+    table1_audit_log,
+)
+from repro.workload.traces import load_trace, save_trace
+from repro.policy.store import PolicyStore
+
+
+class TestScenarios:
+    def test_figure3_store_has_three_composite_rules(self, vocabulary):
+        policy = figure3_policy()
+        assert policy.cardinality == 3
+        assert not policy.is_ground(vocabulary)
+
+    def test_figure3_audit_policy_is_ground_with_six_rules(self, vocabulary):
+        audit = figure3_audit_policy()
+        assert audit.cardinality == 6
+        assert audit.is_ground(vocabulary)
+
+    def test_store_and_policy_agree(self):
+        assert set(figure3_policy_store()) == set(figure3_policy())
+
+    def test_table1_is_verbatim(self, table1_log):
+        assert len(table1_log) == 10
+        t4 = table1_log[3]
+        assert (t4.user, t4.data, t4.authorized) == ("sarah", "psychiatry", "doctor")
+        assert t4.status is AccessStatus.EXCEPTION
+        statuses = [int(e.status) for e in table1_log]
+        assert statuses == [1, 1, 0, 0, 1, 0, 0, 0, 0, 0]
+
+    def test_table1_exceptions_labelled_practice(self, table1_log):
+        for entry in table1_log:
+            if entry.is_exception:
+                assert entry.truth == "practice"
+            else:
+                assert entry.truth == ""
+
+    def test_expected_pattern(self):
+        pattern = expected_table1_pattern()
+        assert pattern.value_of("data") == "referral"
+
+
+class TestTraces:
+    def test_round_trip(self, tmp_path, vocabulary):
+        hospital = build_hospital(vocabulary, departments=1, staff_per_role=2, seed=1)
+        config = WorkloadConfig(accesses_per_round=100, seed=1)
+        log = SyntheticHospitalEnvironment(hospital, config).simulate_round(
+            0, PolicyStore()
+        )
+        save_trace(log, config, tmp_path, "demo")
+        loaded_log, loaded_config = load_trace(tmp_path, "demo")
+        assert loaded_log.entries == log.entries
+        assert loaded_config == config
+
+    def test_truth_labels_survive(self, tmp_path, vocabulary):
+        hospital = build_hospital(vocabulary, departments=1, staff_per_role=2, seed=1)
+        config = WorkloadConfig(accesses_per_round=50, violation_rate=0.2, seed=1)
+        log = SyntheticHospitalEnvironment(hospital, config).simulate_round(
+            0, PolicyStore()
+        )
+        save_trace(log, config, tmp_path, "demo")
+        loaded, _ = load_trace(tmp_path, "demo")
+        assert [e.truth for e in loaded] == [e.truth for e in log]
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path, "ghost")
+
+    def test_corrupt_count_detected(self, tmp_path, vocabulary):
+        hospital = build_hospital(vocabulary, departments=1, staff_per_role=2, seed=1)
+        config = WorkloadConfig(accesses_per_round=10, seed=1)
+        log = SyntheticHospitalEnvironment(hospital, config).simulate_round(
+            0, PolicyStore()
+        )
+        manifest, entries = save_trace(log, config, tmp_path, "demo")
+        text = entries.read_text().splitlines()
+        entries.write_text("\n".join(text[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(WorkloadError, match="corrupt"):
+            load_trace(tmp_path, "demo")

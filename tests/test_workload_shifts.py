@@ -1,0 +1,105 @@
+"""Tests for the shift-structured workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mining.patterns import MiningConfig
+from repro.mining.temporal import hour_extractor, mine_temporal_patterns
+from repro.policy.conditions import TimeWindow
+from repro.policy.store import PolicyStore
+from repro.refinement.filtering import filter_practice
+from repro.workload.generator import WorkloadConfig
+from repro.workload.hospital import build_hospital
+from repro.workload.shifts import ShiftStructuredEnvironment, add_night_practice
+
+
+@pytest.fixture()
+def hospital(vocabulary):
+    model = build_hospital(vocabulary, departments=1, staff_per_role=3, seed=23)
+    add_night_practice(model, "insurance", "registration", "nurse", weight=8.0)
+    return model
+
+
+def _environment(hospital, **config) -> ShiftStructuredEnvironment:
+    defaults = dict(accesses_per_round=1200, seed=23,
+                    noise_rate=0.0, violation_rate=0.0)
+    defaults.update(config)
+    return ShiftStructuredEnvironment(
+        hospital, WorkloadConfig(**defaults), ticks_per_hour=10
+    )
+
+
+class TestTimestamps:
+    def test_round_spans_one_day(self, hospital):
+        environment = _environment(hospital)
+        log = environment.simulate_round(0, PolicyStore())
+        first, last = log.time_range()
+        assert 0 <= first
+        assert last < 24 * 10
+
+    def test_rounds_advance_days(self, hospital):
+        environment = _environment(hospital)
+        day0 = environment.simulate_round(0, PolicyStore())
+        day1 = environment.simulate_round(1, PolicyStore())
+        assert day1[0].time >= 24 * 10
+        assert day0[-1].time < day1[0].time or day0[-1].time < 24 * 10
+
+    def test_entries_time_ordered(self, hospital):
+        log = _environment(hospital).simulate_round(0, PolicyStore())
+        times = [entry.time for entry in log]
+        assert times == sorted(times)
+
+    def test_hour_extractor_recovers_hours(self, hospital):
+        log = _environment(hospital).simulate_round(0, PolicyStore())
+        extract = hour_extractor(ticks_per_hour=10)
+        assert all(0 <= extract(entry) <= 23 for entry in log)
+
+    def test_ticks_per_hour_validated(self, hospital):
+        with pytest.raises(WorkloadError):
+            ShiftStructuredEnvironment(hospital, ticks_per_hour=0)
+
+
+class TestWindowedPractices:
+    def test_windowed_practice_stays_in_window(self, hospital):
+        log = _environment(hospital).simulate_round(0, PolicyStore())
+        extract = hour_extractor(ticks_per_hour=10)
+        window = TimeWindow(22, 6)
+        night_entries = [
+            entry for entry in log
+            if entry.data == "insurance" and entry.purpose == "registration"
+        ]
+        assert night_entries
+        assert all(window.contains(extract(entry)) for entry in night_entries)
+
+    def test_unwindowed_practices_spread_across_day(self, hospital):
+        log = _environment(hospital, accesses_per_round=2400).simulate_round(
+            0, PolicyStore()
+        )
+        extract = hour_extractor(ticks_per_hour=10)
+        day_hours = {
+            extract(entry)
+            for entry in log
+            if not (entry.data == "insurance" and entry.purpose == "registration")
+        }
+        assert len(day_hours) > 18  # essentially all hours hit
+
+    def test_temporal_miner_finds_generated_night_practice(self, hospital):
+        environment = _environment(hospital, accesses_per_round=2000)
+        log = environment.simulate_round(0, PolicyStore())
+        practice = filter_practice(log)
+        temporal = mine_temporal_patterns(
+            practice,
+            MiningConfig(min_support=10),
+            hour_of=hour_extractor(ticks_per_hour=10),
+            max_span=10,
+        )
+        windows = {
+            (t.pattern.rule.value_of("data"), t.pattern.rule.value_of("purpose")):
+                t.window
+            for t in temporal
+        }
+        assert ("insurance", "registration") in windows
+        night = windows[("insurance", "registration")]
+        assert all(hour in TimeWindow(22, 6).hours() for hour in night.hours())
