@@ -1,0 +1,174 @@
+"""E14 — interned bitset Range backend vs the frozenset baseline.
+
+The bitset backend (see DESIGN.md §7) re-encodes ``Range`` as an ``int``
+bitmask over dense ground-rule IDs, so the set algebra behind Algorithm 1
+coverage and Algorithm 6 prune runs as bitwise ops instead of hash-table
+probes over composite :class:`~repro.policy.rule.Rule` objects.  This
+bench reruns the E8 coverage-scaling workload shape at >= 10k ground
+rules, materialises each policy's range once under both backends, and
+times the algebra phase (intersection, union, difference, subset,
+cardinality over every policy pair) head to head.  A JSON perf record
+lands in ``benchmarks/out/e14_range_backend.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.experiments.reporting import format_table
+from repro.policy.grounding import Grounder
+from repro.policy.policy import Policy
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+#: 3 attributes x (5 branches x 5 leaves) = 25 leaves each -> 15 625
+#: possible ground rules, comfortably past the 10k floor.
+_BRANCHES = 5
+_LEAVES_PER_BRANCH = 5
+_POLICIES = 8
+_RULES_PER_POLICY = 150
+_REPEATS = 40
+
+_OUT_PATH = Path(__file__).parent / "out" / "e14_range_backend.json"
+
+
+def _scale_vocabulary() -> Vocabulary:
+    vocab = Vocabulary("e14-scale")
+    for attr in ("data", "purpose", "authorized"):
+        tree = vocab.new_tree(attr)
+        for b in range(_BRANCHES):
+            tree.add_branch(
+                f"{attr}_b{b}",
+                [f"{attr}_b{b}_l{i}" for i in range(_LEAVES_PER_BRANCH)],
+            )
+    return vocab
+
+
+def _random_policy(vocab: Vocabulary, rules: int, seed: int) -> Policy:
+    rng = random.Random(seed)
+    trees = [vocab.tree_for(attr) for attr in ("data", "purpose", "authorized")]
+    choices = []
+    for tree in trees:
+        nodes = list(tree)
+        choices.append(
+            (
+                [n for n in nodes if not tree.is_leaf(n)],
+                [n for n in nodes if tree.is_leaf(n)],
+            )
+        )
+    out = []
+    for _ in range(rules):
+        picked = []
+        for internal, leaves in choices:
+            pool = internal if rng.random() < 0.5 else leaves
+            picked.append(rng.choice(pool))
+        out.append(
+            Rule.of(data=picked[0], purpose=picked[1], authorized=picked[2])
+        )
+    return Policy(out)
+
+
+def _algebra_frozenset(sets: list[frozenset]) -> int:
+    checksum = 0
+    for i, a in enumerate(sets):
+        for b in sets[i + 1 :]:
+            checksum += len(a & b)
+            checksum += len(a | b)
+            checksum += len(a - b)
+            checksum += a <= b
+    return checksum
+
+
+def _algebra_bitset(ranges: list) -> int:
+    checksum = 0
+    for i, a in enumerate(ranges):
+        for b in ranges[i + 1 :]:
+            checksum += (a & b).cardinality
+            checksum += (a | b).cardinality
+            checksum += (a - b).cardinality
+            checksum += a <= b
+    return checksum
+
+
+def test_e14_bitset_backend_speedup(benchmark):
+    vocab = _scale_vocabulary()
+    universe = 1
+    for attr in ("data", "purpose", "authorized"):
+        universe *= len(vocab.tree_for(attr).leaves())
+    assert universe >= 10_000, "workload must cover >= 10k ground rules"
+
+    policies = [
+        _random_policy(vocab, _RULES_PER_POLICY, seed=11 * (i + 1))
+        for i in range(_POLICIES)
+    ]
+    # Ground once, outside the timed region: the expansion cost is
+    # identical under both backends; E14 isolates the algebra itself.
+    grounder = Grounder(vocab)
+    bitset_ranges = [grounder.range_of(policy) for policy in policies]
+    frozen_sets = [frozenset(rng) for rng in bitset_ranges]
+    ground_total = len(frozenset().union(*frozen_sets))
+
+    assert _algebra_frozenset(frozen_sets) == _algebra_bitset(bitset_ranges)
+
+    started = time.perf_counter()
+    for _ in range(_REPEATS):
+        _algebra_frozenset(frozen_sets)
+    frozen_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(_REPEATS):
+        _algebra_bitset(bitset_ranges)
+    bitset_seconds = time.perf_counter() - started
+
+    speedup = frozen_seconds / bitset_seconds
+    record = {
+        "experiment": "E14",
+        "ground_universe": universe,
+        "distinct_ground_rules": ground_total,
+        "policies": _POLICIES,
+        "rules_per_policy": _RULES_PER_POLICY,
+        "pairs": _POLICIES * (_POLICIES - 1) // 2,
+        "repeats": _REPEATS,
+        "frozenset_seconds": round(frozen_seconds, 6),
+        "bitset_seconds": round(bitset_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    _OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    _OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    emit(
+        format_table(
+            ["backend", f"seconds ({_REPEATS}x pairwise algebra)"],
+            [
+                ["frozenset baseline", f"{frozen_seconds:.4f}"],
+                ["interned bitset", f"{bitset_seconds:.4f}"],
+                ["speedup", f"{speedup:.1f}x"],
+            ],
+            title=(
+                f"E14 — Range backend on {ground_total} distinct ground rules "
+                f"(universe {universe})"
+            ),
+        )
+        + f"\nJSON record: {_OUT_PATH}"
+    )
+
+    assert speedup >= 3.0, (
+        f"bitset backend should be >= 3x faster than frozensets, got {speedup:.2f}x"
+    )
+    benchmark(_algebra_bitset, bitset_ranges)
+
+
+def test_e14_coverage_end_to_end(benchmark):
+    """The E8 shape end to end on the bitset backend (grounding included)."""
+    from repro.coverage.engine import compute_coverage
+
+    vocab = _scale_vocabulary()
+    store = _random_policy(vocab, 300, seed=3)
+    audit = _random_policy(vocab, 200, seed=7)
+    grounder = Grounder(vocab)
+    report = benchmark(compute_coverage, store, audit, vocab, grounder)
+    assert 0.0 <= report.ratio <= 1.0

@@ -120,14 +120,18 @@ def compute_entry_coverage(
     """
     if grounder is None:
         grounder = Grounder(vocabulary)
+    elif grounder.vocabulary is not vocabulary:
+        raise CoverageError("grounder and coverage call use different vocabularies")
     range_x = grounder.range_of(policy_x)
+    covering_mask = range_x.mask
     matched = 0
     total = 0
     misses: list[int] = []
     for index, entry in enumerate(entries):
         total += 1
-        expansion = grounder.ground_rules(entry)
-        if all(ground in range_x for ground in expansion):
+        # range_x came from this grounder, so both masks share one interner
+        # and "whole expansion covered" is a single bitwise expression.
+        if grounder.ground_mask(entry) & ~covering_mask == 0:
             matched += 1
         else:
             misses.append(index)

@@ -109,8 +109,13 @@ def analyse_gaps(
     """
     deviations: list[Deviation] = []
     unexplained: list[Rule] = []
+    uncovered_range = report.uncovered
+    if not uncovered_range.cardinality:
+        # Complete coverage: the bitset difference is empty, so skip the
+        # near-miss scan entirely.
+        return GapReport(deviations=(), unexplained=())
     store_rules = tuple(policy_store)
-    for uncovered in report.uncovered.rules():
+    for uncovered in uncovered_range.rules():
         found = False
         for candidate in store_rules:
             deviation = _single_attribute_deviation(uncovered, candidate, vocabulary)

@@ -11,6 +11,13 @@ coverage semantics online:
   rules are credited retroactively to all previously observed entries).
 
 Both operations are amortised O(ground-expansion) instead of O(log size).
+
+State is held in the bitset backend's native encoding: the covered set is
+one ID bitmask and the per-rule entry counters are keyed by dense
+ground-rule IDs from the vocabulary's shared
+:class:`~repro.policy.interning.RuleInterner`, so the per-entry coverage
+probe is a single bitwise expression rather than a hash lookup per ground
+rule.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from collections import Counter
 
 from repro.errors import CoverageError
 from repro.policy.grounding import Grounder
+from repro.policy.interning import iter_bits
 from repro.policy.policy import Policy
 from repro.policy.rule import Rule
 from repro.vocab.vocabulary import Vocabulary
@@ -30,8 +38,9 @@ class IncrementalCoverage:
     def __init__(self, vocabulary: Vocabulary, policy: Policy | None = None) -> None:
         self.vocabulary = vocabulary
         self._grounder = Grounder(vocabulary)
-        self._covered: set[Rule] = set()
-        self._entry_counts: Counter[Rule] = Counter()
+        self._interner = self._grounder.interner
+        self._covered_mask = 0
+        self._entry_counts: Counter[int] = Counter()  # ground-rule ID -> entries
         self._matched_entries = 0
         self._total_entries = 0
         if policy is not None:
@@ -48,10 +57,10 @@ class IncrementalCoverage:
         counts as covered only when the whole expansion is covered (the
         same convention as :func:`compute_entry_coverage`).
         """
-        expansion = self._grounder.ground_rules(entry_rule)
-        covered = all(ground in self._covered for ground in expansion)
-        for ground in expansion:
-            self._entry_counts[ground] += 1
+        mask = self._grounder.ground_mask(entry_rule)
+        covered = mask & ~self._covered_mask == 0
+        for rule_id in iter_bits(mask):
+            self._entry_counts[rule_id] += 1
         self._total_entries += 1
         if covered:
             self._matched_entries += 1
@@ -65,36 +74,36 @@ class IncrementalCoverage:
         policy over the *whole* history — what the refinement loop reports
         after each round.
         """
-        newly_covered = [
-            ground
-            for ground in self._grounder.ground_rules(rule)
-            if ground not in self._covered
-        ]
+        newly_covered = self._grounder.ground_mask(rule) & ~self._covered_mask
         if not newly_covered:
             return 0
-        self._covered.update(newly_covered)
+        self._covered_mask |= newly_covered
         # Retroactive credit: a historical entry flips to matched when its
         # single ground rule became covered.  Entries were observed as
         # ground rules (the overwhelmingly common audit case) or composite;
         # composite history cannot be replayed exactly from the counter, so
         # we only credit the ground entries, which is exact for audit logs.
-        for ground in newly_covered:
-            self._matched_entries += self._entry_counts.get(ground, 0)
-        return len(newly_covered)
+        counts = self._entry_counts
+        for rule_id in iter_bits(newly_covered):
+            self._matched_entries += counts.get(rule_id, 0)
+        return newly_covered.bit_count()
 
     # ------------------------------------------------------------------
     # readouts
     # ------------------------------------------------------------------
     @property
     def total_entries(self) -> int:
+        """How many entries :meth:`observe` has seen."""
         return self._total_entries
 
     @property
     def matched_entries(self) -> int:
+        """How many observed entries the current policy covers."""
         return self._matched_entries
 
     @property
     def distinct_ground_entries(self) -> int:
+        """How many distinct ground rules the trace has produced."""
         return len(self._entry_counts)
 
     def entry_coverage(self) -> float:
@@ -107,11 +116,18 @@ class IncrementalCoverage:
         """Definition 9 coverage over the distinct ground entries so far."""
         if not self._entry_counts:
             raise CoverageError("no entries observed yet; set coverage undefined")
-        covered = sum(1 for ground in self._entry_counts if ground in self._covered)
+        covered_mask = self._covered_mask
+        covered = sum(
+            1 for rule_id in self._entry_counts if (covered_mask >> rule_id) & 1
+        )
         return covered / len(self._entry_counts)
 
     def uncovered_ground_entries(self) -> tuple[Rule, ...]:
         """Distinct observed ground rules the policy does not cover."""
+        covered_mask = self._covered_mask
+        rule_for = self._interner.rule_for
         return tuple(
-            ground for ground in self._entry_counts if ground not in self._covered
+            rule_for(rule_id)
+            for rule_id in self._entry_counts
+            if not (covered_mask >> rule_id) & 1
         )

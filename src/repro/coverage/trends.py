@@ -55,7 +55,7 @@ def coverage_series(
     if len(log) == 0:
         raise AuditError("cannot compute a coverage series over an empty log")
     grounder = Grounder(vocabulary)
-    covered = grounder.range_of(policy)
+    covered_mask = grounder.range_of(policy).mask
     first, last = log.time_range()
     points: list[WindowPoint] = []
     start = first
@@ -70,9 +70,7 @@ def coverage_series(
             for entry in window:
                 rule = entry.to_rule(attributes)
                 distinct.add(rule)
-                hit = all(
-                    ground in covered for ground in grounder.ground_rules(rule)
-                )
+                hit = grounder.ground_mask(rule) & ~covered_mask == 0
                 if hit:
                     matched += 1
                     distinct_covered.add(rule)
@@ -123,14 +121,14 @@ def coverage_by_attribute(
     if len(log) == 0:
         raise AuditError("cannot break down coverage of an empty log")
     grounder = Grounder(vocabulary)
-    covered = grounder.range_of(policy)
+    covered_mask = grounder.range_of(policy).mask
     totals: dict[str, int] = defaultdict(int)
     matches: dict[str, int] = defaultdict(int)
     for entry in log:
         key = str(getattr(entry, attribute))
         totals[key] += 1
         rule = entry.to_rule(rule_attributes)
-        if all(ground in covered for ground in grounder.ground_rules(rule)):
+        if grounder.ground_mask(rule) & ~covered_mask == 0:
             matches[key] += 1
     slices = [
         AttributeCoverage(value=value, entries=count, matched=matches[value])

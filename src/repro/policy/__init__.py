@@ -6,7 +6,8 @@ Public surface:
 - :class:`~repro.policy.rule.Rule` — Definition 5.
 - :class:`~repro.policy.policy.Policy` / :class:`PolicySource` — Definition 7.
 - :class:`~repro.policy.grounding.Range` / :class:`Grounder` /
-  :func:`policy_range` — Definition 8.
+  :func:`policy_range` — Definition 8, bitset-backed via
+  :class:`~repro.policy.interning.RuleInterner`.
 - :class:`~repro.policy.store.PolicyStore` — the versioned ``P_PS``.
 - :func:`~repro.policy.parser.parse_policy` and friends — the authoring DSL.
 """
@@ -17,6 +18,7 @@ from repro.policy.conditions import (
     TimeWindow,
 )
 from repro.policy.grounding import Grounder, Range, policy_range
+from repro.policy.interning import RuleInterner, iter_bits
 from repro.policy.parser import format_policy, format_rule, parse_policy, parse_rule
 from repro.policy.policy import Policy, PolicySource
 from repro.policy.rule import Rule
@@ -33,10 +35,12 @@ __all__ = [
     "PolicyStore",
     "Range",
     "Rule",
+    "RuleInterner",
     "RuleRecord",
     "RuleTerm",
     "format_policy",
     "format_rule",
+    "iter_bits",
     "parse_policy",
     "parse_rule",
     "policy_range",

@@ -5,87 +5,192 @@ The *range* of a policy is the set of all ground rules derivable from it
 (Algorithm 6) reduce to set algebra on ranges, so :class:`Range` supports
 intersection, union, difference and membership directly.
 
+Since the bitset backend landed, a range is stored as a Python ``int``
+bitmask over dense ground-rule IDs handed out by a
+:class:`~repro.policy.interning.RuleInterner`: two ranges built against
+the same interner intersect with a single bitwise ``&`` instead of
+re-hashing every composite :class:`~repro.policy.rule.Rule`.  Ranges from
+*different* interners (different vocabularies, or a bare ``Range(...)``
+literal combined with a grounder-produced one) transparently fall back to
+rule-level comparison, so the public set protocol is backend-agnostic.
+
 Grounding the same composite rules over and over dominates the cost of a
-refinement loop, so :class:`Grounder` memoises per-rule expansions for a
-fixed vocabulary.  The ablation benchmark E8 measures memoised vs. naive
-grounding.
+refinement loop, so :class:`Grounder` memoises per-rule expansions (both
+the rule tuples and their ID bitmasks) for a fixed vocabulary.  The
+vocabulary is version-stamped: mutating it after grounding began raises
+:class:`~repro.errors.CoverageError` instead of silently serving stale
+expansions.  The ablation benchmark E8 measures memoised vs. naive
+grounding; E14 measures the bitset backend against the frozenset baseline.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.errors import CoverageError, PolicyError
+from repro.policy.interning import RuleInterner
 from repro.policy.policy import Policy
 from repro.policy.rule import Rule
 from repro.vocab.vocabulary import Vocabulary
+
+#: Interner behind bare ``Range(rules)`` literals that are not tied to any
+#: vocabulary.  Sharing one process-wide table keeps literal ranges on the
+#: bitwise fast path with each other.
+_LITERAL_INTERNER = RuleInterner()
+
+
+def _rule_sort_key(rule: Rule) -> tuple:
+    """The deterministic ordering :meth:`Range.rules` has always promised."""
+    return tuple((t.attr, t.value) for t in rule.terms)
 
 
 class Range:
     """An immutable set of ground rules (Definition 8).
 
-    Equality and hashing follow the underlying frozenset, so two ranges are
-    equal exactly when they derive the same ground rules — the equivalence
-    relation Definition 6 induces.
+    Equality and hashing follow the underlying *set of ground rules*, so
+    two ranges are equal exactly when they derive the same ground rules —
+    the equivalence relation Definition 6 induces — regardless of which
+    interner encodes them.
     """
 
-    __slots__ = ("_rules",)
+    __slots__ = ("_interner", "_mask", "_hash")
 
-    def __init__(self, rules: Iterable[Rule] = ()) -> None:
-        self._rules = frozenset(rules)
+    def __init__(
+        self, rules: Iterable[Rule] = (), *, interner: RuleInterner | None = None
+    ) -> None:
+        if interner is None:
+            interner = _LITERAL_INTERNER
+        self._interner = interner
+        self._mask = interner.mask_of(rules)
+        self._hash: int | None = None
+
+    @classmethod
+    def from_mask(cls, mask: int, interner: RuleInterner) -> "Range":
+        """Wrap an already-encoded ID bitmask (the zero-copy constructor).
+
+        ``mask`` must only use IDs the interner has assigned; a stray high
+        bit would decode to a nonexistent rule, so it is rejected eagerly.
+        """
+        if mask < 0 or mask.bit_length() > len(interner):
+            raise PolicyError(
+                f"mask uses rule IDs up to {mask.bit_length() - 1}, but the "
+                f"interner has only assigned {len(interner)}"
+            )
+        rng = cls.__new__(cls)
+        rng._interner = interner
+        rng._mask = mask
+        rng._hash = None
+        return rng
+
+    # ------------------------------------------------------------------
+    # backend accessors (for mask-level consumers: coverage, prune)
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        """The ID bitmask encoding this range under :attr:`interner`."""
+        return self._mask
+
+    @property
+    def interner(self) -> RuleInterner:
+        """The interner whose IDs :attr:`mask` is encoded against."""
+        return self._interner
+
+    def _mask_under(self, interner: RuleInterner, *, grow: bool) -> int:
+        """Re-encode this range's mask against ``interner``.
+
+        With ``grow=False`` unseen rules are dropped — correct for
+        intersection/difference/subset probes, where a rule the other
+        interner never met cannot be in the other range anyway.
+        """
+        if interner is self._interner:
+            return self._mask
+        if grow:
+            return interner.mask_of(self._interner.rules_of(self._mask))
+        mask = 0
+        for rule in self._interner.rules_of(self._mask):
+            rule_id = interner.id_of(rule)
+            if rule_id is not None:
+                mask |= 1 << rule_id
+        return mask
 
     # ------------------------------------------------------------------
     # set protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._rules)
+        return self._mask.bit_count()
 
     def __iter__(self) -> Iterator[Rule]:
-        return iter(self._rules)
+        return self._interner.rules_of(self._mask)
 
     def __contains__(self, rule: Rule) -> bool:
-        return rule in self._rules
+        rule_id = self._interner.id_of(rule)
+        return rule_id is not None and (self._mask >> rule_id) & 1 == 1
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Range):
             return NotImplemented
-        return self._rules == other._rules
+        if other._interner is self._interner:
+            return self._mask == other._mask
+        return frozenset(self) == frozenset(other)
 
     def __hash__(self) -> int:
-        return hash(self._rules)
+        if self._hash is None:
+            self._hash = hash(frozenset(self))
+        return self._hash
 
     @property
     def cardinality(self) -> int:
         """The paper's ``#Range_P``."""
-        return len(self._rules)
+        return self._mask.bit_count()
 
     def intersection(self, other: "Range") -> "Range":
         """Ground-rule intersection (the overlap of Algorithm 1, line 5)."""
-        return Range(self._rules & other._rules)
+        return Range.from_mask(
+            self._mask & other._mask_under(self._interner, grow=False),
+            self._interner,
+        )
 
     def union(self, other: "Range") -> "Range":
         """Ground-rule union of the two ranges."""
-        return Range(self._rules | other._rules)
+        return Range.from_mask(
+            self._mask | other._mask_under(self._interner, grow=True),
+            self._interner,
+        )
 
     def difference(self, other: "Range") -> "Range":
         """Rules in this range but not in ``other`` (Algorithm 6's
         'set complement')."""
-        return Range(self._rules - other._rules)
+        return Range.from_mask(
+            self._mask & ~other._mask_under(self._interner, grow=False),
+            self._interner,
+        )
 
     def issubset(self, other: "Range") -> bool:
         """True iff every ground rule here is also in ``other``."""
-        return self._rules <= other._rules
+        return self._mask & ~other._mask_under(self._interner, grow=False) == 0
 
     __and__ = intersection
     __or__ = union
     __sub__ = difference
     __le__ = issubset
 
+    def covers_mask(self, mask: int, interner: RuleInterner) -> bool:
+        """True iff every rule in ``mask`` (under ``interner``) is in this range.
+
+        The mask-level form of the ``all(ground in range for ...)`` loops
+        the coverage engines used to run; with a shared interner it is one
+        bitwise expression.
+        """
+        if interner is self._interner:
+            return mask & ~self._mask == 0
+        return all(rule in self for rule in interner.rules_of(mask))
+
     def rules(self) -> tuple[Rule, ...]:
         """Return the ground rules in a deterministic (sorted) order."""
-        return tuple(sorted(self._rules, key=lambda r: tuple((t.attr, t.value) for t in r.terms)))
+        return tuple(sorted(self, key=_rule_sort_key))
 
     def __repr__(self) -> str:
-        return f"Range({len(self._rules)} ground rules)"
+        return f"Range({self._mask.bit_count()} ground rules)"
 
 
 class Grounder:
@@ -93,19 +198,38 @@ class Grounder:
 
     The cache key is the rule itself (rules are immutable and hashable), so
     repeated range computations over evolving policies only pay for rules
-    they have not seen before.  Create one grounder per vocabulary; mutating
-    the vocabulary afterwards invalidates the cache semantics, so call
-    :meth:`clear` if you do.
+    they have not seen before.  Expansions are cached twice: as ground-rule
+    tuples (:meth:`ground_rules`) and as ID bitmasks (:meth:`ground_mask`)
+    against the vocabulary's shared :class:`RuleInterner`.
+
+    Create one grounder per vocabulary.  The vocabulary's version is
+    stamped at construction; mutating the vocabulary afterwards makes every
+    grounding call raise :class:`~repro.errors.CoverageError` until
+    :meth:`clear` re-stamps, so stale memo entries can never silently
+    corrupt a coverage number.
     """
 
     def __init__(self, vocabulary: Vocabulary) -> None:
         self.vocabulary = vocabulary
+        self.interner = RuleInterner.for_vocabulary(vocabulary)
+        self._version = vocabulary.version
         self._cache: dict[Rule, tuple[Rule, ...]] = {}
+        self._mask_cache: dict[Rule, int] = {}
         self.hits = 0
         self.misses = 0
 
+    def _check_version(self) -> None:
+        if self.vocabulary.version != self._version:
+            raise CoverageError(
+                f"vocabulary {self.vocabulary.name!r} was mutated after this "
+                "grounder cached expansions against it (version "
+                f"{self._version} -> {self.vocabulary.version}); call "
+                "Grounder.clear() to drop the stale cache and re-stamp"
+            )
+
     def ground_rules(self, rule: Rule) -> tuple[Rule, ...]:
         """Return (and cache) the ground expansion of ``rule``."""
+        self._check_version()
         cached = self._cache.get(rule)
         if cached is not None:
             self.hits += 1
@@ -115,16 +239,34 @@ class Grounder:
         self._cache[rule] = expansion
         return expansion
 
+    def ground_mask(self, rule: Rule) -> int:
+        """Return (and cache) the ID bitmask of ``rule``'s ground expansion."""
+        self._check_version()
+        mask = self._mask_cache.get(rule)
+        if mask is not None:
+            self.hits += 1
+            return mask
+        mask = self.interner.mask_of(self.ground_rules(rule))
+        self._mask_cache[rule] = mask
+        return mask
+
     def range_of(self, policy: Policy | Iterable[Rule]) -> Range:
         """Compute ``Range_P`` for a policy or bare rule iterable."""
-        rules: set[Rule] = set()
+        mask = 0
         for rule in policy:
-            rules.update(self.ground_rules(rule))
-        return Range(rules)
+            mask |= self.ground_mask(rule)
+        return Range.from_mask(mask, self.interner)
 
     def clear(self) -> None:
-        """Drop the memo table (needed after vocabulary mutation)."""
+        """Drop the memo table and re-stamp the vocabulary version.
+
+        This is the recovery path after an intentional vocabulary
+        mutation: stale expansions are discarded and grounding resumes
+        against the current hierarchy.
+        """
         self._cache.clear()
+        self._mask_cache.clear()
+        self._version = self.vocabulary.version
         self.hits = 0
         self.misses = 0
 

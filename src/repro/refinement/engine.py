@@ -79,18 +79,27 @@ def refine(
     audit_log: AuditLog,
     vocabulary: Vocabulary,
     config: RefinementConfig | None = None,
+    grounder: Grounder | None = None,
 ) -> RefinementResult:
     """Algorithm 2: mine the audit log for rules the policy should gain.
 
     Parameters mirror the paper's ``Refinement(P_PS, P_AL, V)``; the
     result's :attr:`~RefinementResult.useful_patterns` is the paper's
     ``usefulPatterns`` return value, with evidence attached.
+
+    Pass a shared ``grounder`` when refining repeatedly over one
+    vocabulary (the refinement loop does): store rules survive between
+    rounds, so their memoised expansions and interned range masks are
+    reused instead of re-ground every round.
     """
     cfg = config or RefinementConfig()
     if len(audit_log) == 0:
         raise RefinementError("cannot refine against an empty audit log")
 
-    grounder = Grounder(vocabulary)
+    if grounder is None:
+        grounder = Grounder(vocabulary)
+    elif grounder.vocabulary is not vocabulary:
+        raise RefinementError("refine called with a grounder for a different vocabulary")
     audit_policy = audit_log.to_policy(cfg.mining.attributes)
     coverage = compute_coverage(policy_store, audit_policy, vocabulary, grounder)
     entry_coverage = compute_entry_coverage(

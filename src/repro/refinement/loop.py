@@ -90,6 +90,10 @@ class RefinementLoop:
         self.vocabulary = vocabulary
         self.review = review
         self.config = config or RefinementConfig()
+        # One grounder for the life of the loop: the store mostly persists
+        # between rounds, so expansions memoised (and range masks interned)
+        # in round N are free in round N+1.
+        self._grounder = Grounder(vocabulary)
         #: refine over everything seen so far (True) or only the latest
         #: round's window (False) — the training-period choice the paper
         #: leaves to the deploying organisation.
@@ -110,7 +114,11 @@ class RefinementLoop:
             cumulative.extend(window)
             target = cumulative if self.refine_on_cumulative else window
             result = refine(
-                self.store.policy(), target, self.vocabulary, self.config
+                self.store.policy(),
+                target,
+                self.vocabulary,
+                self.config,
+                grounder=self._grounder,
             )
             accepted = 0
             for pattern in result.useful_patterns:
@@ -143,7 +151,7 @@ class RefinementLoop:
         )
 
     def _coverage_after(self, log: AuditLog) -> tuple[float, float]:
-        grounder = Grounder(self.vocabulary)
+        grounder = self._grounder
         policy = self.store.policy()
         audit_policy = log.to_policy(self.config.mining.attributes)
         set_report = compute_coverage(policy, audit_policy, self.vocabulary, grounder)

@@ -40,18 +40,21 @@ def prune_patterns(
     """Algorithm 6 over mined ``patterns`` and the current ``policy_store``."""
     if grounder is None:
         grounder = Grounder(vocabulary)
-    store_range = grounder.range_of(policy_store)
+    store_mask = grounder.range_of(policy_store).mask
     useful: list[Pattern] = []
     pruned: list[Pattern] = []
-    novel = Range()
+    novel_mask = 0
+    # Masks from one grounder share one interner, so Algorithm 6's
+    # per-pattern "set complement" is a single bitwise and-not.
     for pattern in patterns:
-        pattern_range = grounder.range_of([pattern.rule])
-        contribution = pattern_range - store_range
-        if contribution.cardinality:
+        contribution = grounder.ground_mask(pattern.rule) & ~store_mask
+        if contribution:
             useful.append(pattern)
-            novel = novel | contribution
+            novel_mask |= contribution
         else:
             pruned.append(pattern)
     return PruneResult(
-        useful=tuple(useful), pruned=tuple(pruned), novel_range=novel
+        useful=tuple(useful),
+        pruned=tuple(pruned),
+        novel_range=Range.from_mask(novel_mask, grounder.interner),
     )

@@ -59,6 +59,17 @@ class VocabularyTree:
         self.root = canonical(root) if root is not None else self.attribute
         self._parent: dict[str, str | None] = {self.root: None}
         self._children: dict[str, list[str]] = {self.root: []}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped on every :meth:`add`.
+
+        Consumers that cache derived data (the memoised grounder, interned
+        range masks) stamp this value and detect later mutation instead of
+        silently serving stale expansions.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +92,7 @@ class VocabularyTree:
         self._parent[node] = parent_node
         self._children[node] = []
         self._children[parent_node].append(node)
+        self._version += 1
         return node
 
     def add_branch(self, parent: str, values: list[str] | tuple[str, ...]) -> list[str]:

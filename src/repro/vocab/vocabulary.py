@@ -39,6 +39,18 @@ class Vocabulary:
         self.name = name
         self.strict = strict
         self._trees: dict[str, VocabularyTree] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation stamp over the whole vocabulary.
+
+        Changes whenever a tree is registered *or* any registered tree
+        gains a node, so a consumer holding one stamped value can detect
+        every mutation path.  The memoised grounder uses this to refuse to
+        serve expansions cached against an older hierarchy.
+        """
+        return self._version + sum(tree.version for tree in self._trees.values())
 
     # ------------------------------------------------------------------
     # construction
@@ -51,6 +63,7 @@ class Vocabulary:
                 f"attribute {tree.attribute!r}"
             )
         self._trees[tree.attribute] = tree
+        self._version += 1
         return tree
 
     def new_tree(self, attribute: str, root: str | None = None) -> VocabularyTree:

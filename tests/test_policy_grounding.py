@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro.errors import CoverageError, PolicyError
 from repro.policy.grounding import Grounder, Range, policy_range
+from repro.policy.interning import RuleInterner, iter_bits
 from repro.policy.policy import Policy
 from repro.policy.rule import Rule
 
@@ -80,3 +84,82 @@ class TestGrounder:
     def test_range_of_duplicate_rules_is_set(self, vocabulary):
         policy = Policy([_rule("referral"), _rule("referral")])
         assert Grounder(vocabulary).range_of(policy).cardinality == 1
+
+
+class TestRuleInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = RuleInterner()
+        first = interner.intern(_rule("a_data"))
+        second = interner.intern(_rule("b_data"))
+        assert (first, second) == (0, 1)
+        assert interner.intern(_rule("a_data")) == 0
+        assert len(interner) == 2
+        assert interner.rule_for(1) == _rule("b_data")
+
+    def test_id_of_does_not_intern(self):
+        interner = RuleInterner()
+        assert interner.id_of(_rule("a_data")) is None
+        assert len(interner) == 0
+
+    def test_mask_roundtrip(self):
+        interner = RuleInterner()
+        rules = [_rule("a_data"), _rule("b_data"), _rule("c_data")]
+        mask = interner.mask_of(rules)
+        assert mask == 0b111
+        assert list(interner.rules_of(0b101)) == [rules[0], rules[2]]
+        assert list(iter_bits(0b1010)) == [1, 3]
+
+    def test_shared_per_vocabulary(self, vocabulary):
+        assert Grounder(vocabulary).interner is Grounder(vocabulary).interner
+
+    def test_ranges_from_one_vocabulary_share_interner(self, vocabulary, fig3_policy):
+        range_a = Grounder(vocabulary).range_of(fig3_policy)
+        range_b = Grounder(vocabulary).range_of(fig3_policy)
+        assert range_a.interner is range_b.interner
+        assert range_a == range_b
+
+    def test_from_mask_rejects_unassigned_ids(self):
+        interner = RuleInterner()
+        interner.intern(_rule("a_data"))
+        with pytest.raises(PolicyError):
+            Range.from_mask(0b10, interner)
+
+
+class TestStaleCacheHazard:
+    def test_vocabulary_mutation_raises_coverage_error(self, vocabulary):
+        grounder = Grounder(vocabulary)
+        composite = _rule("demographic")
+        before = grounder.ground_rules(composite)
+        assert len(before) == 4
+        vocabulary.tree_for("data").add("middle_name", parent="demographic")
+        with pytest.raises(CoverageError, match="mutated"):
+            grounder.ground_rules(composite)
+        with pytest.raises(CoverageError, match="mutated"):
+            grounder.ground_mask(composite)
+        with pytest.raises(CoverageError, match="mutated"):
+            grounder.range_of([composite])
+
+    def test_clear_recovers_with_fresh_expansions(self, vocabulary):
+        grounder = Grounder(vocabulary)
+        composite = _rule("demographic")
+        grounder.ground_rules(composite)
+        vocabulary.tree_for("data").add("middle_name", parent="demographic")
+        grounder.clear()
+        refreshed = grounder.ground_rules(composite)
+        assert len(refreshed) == 5  # the new leaf is in the expansion
+        assert _rule("middle_name") in refreshed
+
+    def test_adding_a_whole_tree_is_detected(self, vocabulary):
+        grounder = Grounder(vocabulary)
+        grounder.ground_rules(_rule("referral"))
+        vocabulary.new_tree("location")
+        with pytest.raises(CoverageError):
+            grounder.ground_rules(_rule("referral"))
+
+    def test_version_is_monotonic(self, vocabulary):
+        before = vocabulary.version
+        vocabulary.tree_for("data").add("scan_results", parent="medical_records")
+        middle = vocabulary.version
+        vocabulary.new_tree("device")
+        after = vocabulary.version
+        assert before < middle < after

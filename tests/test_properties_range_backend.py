@@ -1,0 +1,153 @@
+"""Differential property tests: bitset Range vs a frozenset reference.
+
+The bitset backend re-encodes ranges as ID bitmasks (see DESIGN.md §7);
+these tests are the contract that the re-encoding changed *nothing*
+observable.  Hypothesis generates random vocabularies (random per-attribute
+trees) and random composite policies, grounds them both through the real
+:class:`~repro.policy.grounding.Range` and through a plain-frozenset
+reference model, and asserts the two agree on every public operation:
+``∩ ∪ − ⊆ ∈ ==``, cardinality, and the deterministic :meth:`Range.rules`
+ordering.  Cross-interner combinations (bare ``Range`` literals, ranges
+from different vocabularies) are exercised explicitly, since those take
+the slow rule-level path instead of the bitwise one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.grounding import Grounder, Range
+from repro.policy.rule import Rule
+from repro.vocab.vocabulary import Vocabulary
+
+_ATTRIBUTES = ("data", "purpose")
+
+
+def _rule_sort_key(rule: Rule) -> tuple:
+    return tuple((t.attr, t.value) for t in rule.terms)
+
+
+@st.composite
+def vocabularies(draw) -> Vocabulary:
+    """A random two-attribute vocabulary with 1-3 branches of 1-4 leaves."""
+    vocab = Vocabulary("prop-range")
+    for attr in _ATTRIBUTES:
+        tree = vocab.new_tree(attr)
+        branches = draw(st.integers(min_value=1, max_value=3))
+        for b in range(branches):
+            leaves = draw(st.integers(min_value=1, max_value=4))
+            tree.add_branch(
+                f"{attr}_b{b}", [f"{attr}_b{b}_l{i}" for i in range(leaves)]
+            )
+    return vocab
+
+
+def _node_strategy(vocab: Vocabulary, attr: str):
+    return st.sampled_from(sorted(vocab.tree_for(attr)))
+
+
+def _rules_strategy(vocab: Vocabulary):
+    return st.builds(
+        lambda d, p: Rule.of(data=d, purpose=p),
+        _node_strategy(vocab, "data"),
+        _node_strategy(vocab, "purpose"),
+    )
+
+
+@st.composite
+def vocab_and_rule_lists(draw):
+    """A vocabulary plus two random rule lists drawn from its node universe."""
+    vocab = draw(vocabularies())
+    rules = _rules_strategy(vocab)
+    lists = st.lists(rules, min_size=0, max_size=6)
+    return vocab, draw(lists), draw(lists)
+
+
+def _model(vocab: Vocabulary, rules) -> frozenset:
+    """The reference implementation: a plain frozenset of ground rules."""
+    return frozenset(
+        ground for rule in rules for ground in rule.ground_rules(vocab)
+    )
+
+
+class TestDifferentialAlgebra:
+    @settings(max_examples=120, deadline=None)
+    @given(vocab_and_rule_lists())
+    def test_bitset_agrees_with_frozenset_model(self, payload):
+        vocab, rules_a, rules_b = payload
+        grounder = Grounder(vocab)
+        range_a = grounder.range_of(rules_a)
+        range_b = grounder.range_of(rules_b)
+        model_a = _model(vocab, rules_a)
+        model_b = _model(vocab, rules_b)
+
+        assert frozenset(range_a) == model_a
+        assert frozenset(range_b) == model_b
+        assert range_a.cardinality == len(model_a)
+        assert len(range_a) == len(model_a)
+
+        assert frozenset(range_a & range_b) == model_a & model_b
+        assert frozenset(range_a | range_b) == model_a | model_b
+        assert frozenset(range_a - range_b) == model_a - model_b
+        assert (range_a <= range_b) == (model_a <= model_b)
+        assert (range_a == range_b) == (model_a == model_b)
+        if model_a == model_b:
+            assert hash(range_a) == hash(range_b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(vocab_and_rule_lists())
+    def test_membership_and_rules_ordering(self, payload):
+        vocab, rules_a, rules_b = payload
+        grounder = Grounder(vocab)
+        range_a = grounder.range_of(rules_a)
+        model_a = _model(vocab, rules_a)
+
+        # membership agrees for rules inside and outside the range
+        for ground in model_a:
+            assert ground in range_a
+        for ground in _model(vocab, rules_b) - model_a:
+            assert ground not in range_a
+        assert Rule.of(data="unseen_value", purpose="unseen_value") not in range_a
+
+        # rules() returns exactly the model, in the documented sort order
+        assert range_a.rules() == tuple(sorted(model_a, key=_rule_sort_key))
+
+    @settings(max_examples=60, deadline=None)
+    @given(vocab_and_rule_lists())
+    def test_cross_interner_operations_agree(self, payload):
+        """Bare Range literals use a different interner than the grounder's;
+        mixed-interner algebra must agree with the model all the same."""
+        vocab, rules_a, rules_b = payload
+        grounder = Grounder(vocab)
+        range_a = grounder.range_of(rules_a)
+        model_a = _model(vocab, rules_a)
+        model_b = _model(vocab, rules_b)
+        literal_b = Range(model_b)  # literal interner, not the vocabulary's
+
+        assert literal_b.interner is not range_a.interner
+        assert frozenset(range_a & literal_b) == model_a & model_b
+        assert frozenset(range_a | literal_b) == model_a | model_b
+        assert frozenset(range_a - literal_b) == model_a - model_b
+        assert frozenset(literal_b - range_a) == model_b - model_a
+        assert (range_a <= literal_b) == (model_a <= model_b)
+        assert (literal_b <= range_a) == (model_b <= model_a)
+        assert (range_a == literal_b) == (model_a == model_b)
+        assert (literal_b == range_a) == (model_b == model_a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vocab_and_rule_lists())
+    def test_empty_and_identity_laws(self, payload):
+        vocab, rules_a, _ = payload
+        grounder = Grounder(vocab)
+        range_a = grounder.range_of(rules_a)
+        empty = Range()
+
+        assert (range_a & empty).cardinality == 0
+        assert frozenset(range_a | empty) == frozenset(range_a)
+        assert frozenset(range_a - empty) == frozenset(range_a)
+        assert empty <= range_a
+        assert (range_a <= empty) == (range_a.cardinality == 0)
+        assert range_a | range_a == range_a
+        assert range_a & range_a == range_a
+        assert (range_a - range_a).cardinality == 0
