@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 
 from benchmarks.conftest import emit
+from repro import obs
 from repro.experiments.reporting import format_table
 from repro.policy.grounding import Grounder
 from repro.policy.policy import Policy
@@ -107,8 +108,12 @@ def test_e14_bitset_backend_speedup(benchmark):
     ]
     # Ground once, outside the timed region: the expansion cost is
     # identical under both backends; E14 isolates the algebra itself.
-    grounder = Grounder(vocab)
-    bitset_ranges = [grounder.range_of(policy) for policy in policies]
+    # A private registry observes the grounding so the perf record can
+    # carry the telemetry snapshot (cache behaviour, interner size).
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        grounder = Grounder(vocab)
+        bitset_ranges = [grounder.range_of(policy) for policy in policies]
     frozen_sets = [frozenset(rng) for rng in bitset_ranges]
     ground_total = len(frozenset().union(*frozen_sets))
 
@@ -136,6 +141,7 @@ def test_e14_bitset_backend_speedup(benchmark):
         "frozenset_seconds": round(frozen_seconds, 6),
         "bitset_seconds": round(bitset_seconds, 6),
         "speedup": round(speedup, 2),
+        "metrics": registry.snapshot(),
     }
     _OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     _OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -16,12 +16,21 @@ Commands:
     violations.
 ``simulate``
     Run the closed refinement loop on the synthetic hospital and print
-    the round-by-round trajectory.
+    the round-by-round trajectory (optionally replaying a sample of the
+    traffic through active enforcement with ``--enforce-sample``).
+``metrics``
+    Render a telemetry snapshot saved with ``--metrics-out`` as
+    Prometheus text or indented JSON.
 
 Policies are DSL text files (see :mod:`repro.policy.parser`); audit logs
 are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`); the
 vocabulary defaults to the built-in healthcare one and can be overridden
 with ``--vocab vocab.json``.
+
+Telemetry: every command runs under the process-wide metrics registry
+(:mod:`repro.obs`).  ``--metrics-out PATH`` on ``coverage``, ``refine``
+and ``simulate`` saves the end-of-run snapshot as JSON; ``--verbose``
+turns on structured DEBUG logging for the ``repro`` logger tree.
 """
 
 from __future__ import annotations
@@ -39,6 +48,9 @@ from repro.coverage.gaps import analyse_gaps
 from repro.coverage.trends import coverage_by_attribute
 from repro.errors import PrimaError
 from repro.experiments.reporting import format_table
+from repro.obs.exposition import load_snapshot, render_prometheus, save_snapshot
+from repro.obs.logsetup import configure_logging
+from repro.obs.runtime import get_registry
 from repro.mining.apriori import AprioriPatternMiner
 from repro.mining.patterns import MiningConfig
 from repro.mining.sql_patterns import SqlPatternMiner
@@ -56,8 +68,15 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.verbose:
+        configure_logging(verbose=True)
     try:
-        return arguments.handler(arguments)
+        code = arguments.handler(arguments)
+        metrics_out = getattr(arguments, "metrics_out", None)
+        if code == 0 and metrics_out:
+            save_snapshot(get_registry().snapshot(), metrics_out)
+            print(f"metrics snapshot written to {metrics_out}")
+        return code
     except PrimaError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -76,6 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PRIMA: privacy policy coverage and refinement for healthcare",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="structured DEBUG logging for the repro logger tree",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     paper = commands.add_parser("paper", help="reproduce the paper's worked examples")
@@ -87,10 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--by", default=None, choices=("authorized", "data", "purpose", "user"),
         help="also break coverage down by this audit attribute",
     )
+    _add_metrics_out(coverage)
     coverage.set_defaults(handler=_cmd_coverage)
 
     refine_cmd = commands.add_parser("refine", help="mine the log for candidate rules")
     _add_common_inputs(refine_cmd)
+    _add_metrics_out(refine_cmd)
     refine_cmd.add_argument("--min-support", type=int, default=5,
                             help="the paper's f threshold (inclusive, default 5)")
     refine_cmd.add_argument("--min-users", type=int, default=2,
@@ -125,7 +150,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="fraction of the true workflow documented at start")
     simulate.add_argument("--review", choices=("accept-all", "threshold"),
                           default="threshold")
+    simulate.add_argument("--enforce-sample", type=int, default=200,
+                          help="replay this many simulated accesses through "
+                               "active enforcement afterwards (0 disables)")
+    _add_metrics_out(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    metrics = commands.add_parser("metrics",
+                                  help="render a saved telemetry snapshot")
+    metrics.add_argument("snapshot",
+                         help="snapshot JSON written by --metrics-out")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus",
+                         help="output format (default: prometheus text)")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     return parser
 
@@ -134,6 +172,11 @@ def _add_common_inputs(command: argparse.ArgumentParser) -> None:
     command.add_argument("--store", required=True, help="policy DSL file")
     command.add_argument("--log", required=True, help="audit log (.csv or .jsonl)")
     command.add_argument("--vocab", default=None, help="vocabulary JSON (default: built-in)")
+
+
+def _add_metrics_out(command: argparse.ArgumentParser) -> None:
+    command.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="save the telemetry snapshot as JSON on success")
 
 
 def _load_vocabulary(path: str | None) -> Vocabulary:
@@ -312,6 +355,26 @@ def _cmd_simulate(arguments: argparse.Namespace) -> int:
             title=f"refinement loop ({arguments.review} review)",
         )
     )
+    if arguments.enforce_sample > 0:
+        from repro.experiments.harness import replay_through_enforcement
+
+        stats = replay_through_enforcement(
+            result.cumulative_log,
+            sample_size=arguments.enforce_sample,
+            seed=arguments.seed,
+        )
+        print(stats.summary())
+    return 0
+
+
+def _cmd_metrics(arguments: argparse.Namespace) -> int:
+    import json
+
+    snapshot = load_snapshot(arguments.snapshot)
+    if arguments.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 

@@ -22,6 +22,8 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.errors import CoverageError
+from repro.obs.metrics import CARDINALITY_BUCKETS
+from repro.obs.runtime import get_registry
 from repro.policy.grounding import Grounder, Range
 from repro.policy.policy import Policy
 from repro.policy.rule import Rule
@@ -79,15 +81,25 @@ def compute_coverage(
         grounder = Grounder(vocabulary)
     elif grounder.vocabulary is not vocabulary:
         raise CoverageError("grounder and coverage call use different vocabularies")
-    range_x = grounder.range_of(policy_x)
-    range_y = grounder.range_of(policy_y)
-    if range_y.cardinality == 0:
-        raise CoverageError(
-            f"reference policy {policy_y.name!r} has an empty range; "
-            "coverage is undefined"
+    reg = get_registry()
+    with reg.span("repro_coverage_compute", kind="set"):
+        range_x = grounder.range_of(policy_x)
+        range_y = grounder.range_of(policy_y)
+        if range_y.cardinality == 0:
+            raise CoverageError(
+                f"reference policy {policy_y.name!r} has an empty range; "
+                "coverage is undefined"
+            )
+        overlap = range_x & range_y
+        ratio = overlap.cardinality / range_y.cardinality
+    if reg.enabled:
+        reg.counter("repro_coverage_computations_total", kind="set").inc()
+        reg.counter("repro_coverage_recompute_total").inc()
+        cardinality = reg.histogram(
+            "repro_coverage_range_cardinality", buckets=CARDINALITY_BUCKETS
         )
-    overlap = range_x & range_y
-    ratio = overlap.cardinality / range_y.cardinality
+        cardinality.observe(range_x.cardinality)
+        cardinality.observe(range_y.cardinality)
     return CoverageReport(ratio=ratio, overlap=overlap, covering=range_x, reference=range_y)
 
 
@@ -122,21 +134,29 @@ def compute_entry_coverage(
         grounder = Grounder(vocabulary)
     elif grounder.vocabulary is not vocabulary:
         raise CoverageError("grounder and coverage call use different vocabularies")
-    range_x = grounder.range_of(policy_x)
-    covering_mask = range_x.mask
-    matched = 0
-    total = 0
-    misses: list[int] = []
-    for index, entry in enumerate(entries):
-        total += 1
-        # range_x came from this grounder, so both masks share one interner
-        # and "whole expansion covered" is a single bitwise expression.
-        if grounder.ground_mask(entry) & ~covering_mask == 0:
-            matched += 1
-        else:
-            misses.append(index)
+    reg = get_registry()
+    with reg.span("repro_coverage_compute", kind="entry"):
+        range_x = grounder.range_of(policy_x)
+        covering_mask = range_x.mask
+        matched = 0
+        total = 0
+        misses: list[int] = []
+        for index, entry in enumerate(entries):
+            total += 1
+            # range_x came from this grounder, so both masks share one interner
+            # and "whole expansion covered" is a single bitwise expression.
+            if grounder.ground_mask(entry) & ~covering_mask == 0:
+                matched += 1
+            else:
+                misses.append(index)
     if total == 0:
         raise CoverageError("entry coverage over an empty trace is undefined")
+    if reg.enabled:
+        reg.counter("repro_coverage_computations_total", kind="entry").inc()
+        reg.counter("repro_coverage_recompute_total").inc()
+        reg.histogram(
+            "repro_coverage_range_cardinality", buckets=CARDINALITY_BUCKETS
+        ).observe(range_x.cardinality)
     return EntryCoverageReport(
         ratio=matched / total,
         matched=matched,

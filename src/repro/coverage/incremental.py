@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.errors import CoverageError
+from repro.obs.runtime import get_registry
 from repro.policy.grounding import Grounder
 from repro.policy.interning import iter_bits
 from repro.policy.policy import Policy
@@ -43,9 +44,33 @@ class IncrementalCoverage:
         self._entry_counts: Counter[int] = Counter()  # ground-rule ID -> entries
         self._matched_entries = 0
         self._total_entries = 0
+        # Per-entry observation is the hot path, so telemetry flushes the
+        # plain counters above through a weakly-held collector instead of
+        # touching the registry per observe() (see DESIGN.md §8).
+        self._rules_applied = 0
+        self._obs = get_registry()
+        self._reported = (0, 0, 0)  # observations, matched, rules applied
+        if self._obs.enabled:
+            self._obs.register_collector(self._flush_metrics)
         if policy is not None:
             for rule in policy:
                 self.add_rule(rule)
+
+    def _flush_metrics(self) -> None:
+        reg = self._obs
+        current = (self._total_entries, self._matched_entries, self._rules_applied)
+        seen = self._reported
+        reg.counter("repro_coverage_incremental_observations_total").inc(
+            current[0] - seen[0]
+        )
+        reg.counter("repro_coverage_incremental_matched_total").inc(
+            current[1] - seen[1]
+        )
+        reg.counter("repro_coverage_delta_apply_total").inc(current[2] - seen[2])
+        self._reported = current
+        reg.gauge("repro_coverage_incremental_distinct_ground_rules").set(
+            len(self._entry_counts)
+        )
 
     # ------------------------------------------------------------------
     # streaming inputs
@@ -74,6 +99,7 @@ class IncrementalCoverage:
         policy over the *whole* history — what the refinement loop reports
         after each round.
         """
+        self._rules_applied += 1
         newly_covered = self._grounder.ground_mask(rule) & ~self._covered_mask
         if not newly_covered:
             return 0

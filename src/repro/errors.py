@@ -85,3 +85,7 @@ class WorkloadError(PrimaError):
 
 class FederationError(PrimaError):
     """The audit federation layer was misconfigured or failed."""
+
+
+class ObservabilityError(PrimaError):
+    """The telemetry layer (metrics, spans, snapshots) was misused."""

@@ -10,6 +10,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.audit.log import AuditLog
+from repro.audit.schema import AccessStatus
+from repro.errors import AccessDeniedError
 from repro.hdb.control_center import HdbControlCenter
 from repro.hdb.enforcement import TableBinding
 from repro.mining.patterns import MiningConfig
@@ -145,3 +148,75 @@ def clinical_db_setup(rows: int = 1000, seed: int = 7) -> ClinicalDbSetup:
         ]
     )
     return ClinicalDbSetup(control_center=center, table="patients", rows=rows)
+
+
+@dataclass(frozen=True)
+class EnforcementReplayStats:
+    """What happened when audit traffic was replayed through enforcement."""
+
+    replayed: int
+    allowed: int
+    denied: int
+    masked: int
+    skipped: int
+
+    def summary(self) -> str:
+        """One line suitable for CLI output."""
+        return (
+            f"enforcement replay: {self.replayed} queries "
+            f"({self.allowed} allowed, {self.denied} denied, "
+            f"{self.masked} with masking; {self.skipped} entries skipped)"
+        )
+
+
+def replay_through_enforcement(
+    log: AuditLog,
+    sample_size: int = 200,
+    rows: int = 200,
+    seed: int = 7,
+) -> EnforcementReplayStats:
+    """Replay a sample of audit entries as enforced SQL queries.
+
+    The synthetic hospital fabricates audit entries directly (it models the
+    *outcome* of enforcement, not the mechanism), so a simulation alone never
+    exercises the active-enforcement path.  This helper closes that gap for
+    telemetry and demos: it builds the E6 clinical database and re-issues a
+    sample of the log's accesses as ``SELECT`` queries through the control
+    center, so enforcement decision counters and query-rewrite metrics
+    reflect the simulated workload.
+
+    Entries whose data category has no column in the demo ``patients`` table
+    are skipped (and counted in :attr:`EnforcementReplayStats.skipped`).
+    """
+    setup = clinical_db_setup(rows=rows, seed=seed)
+    column_for = {category: column for column, category in PATIENT_COLUMNS.items()}
+    entries = list(log)
+    replayable = [entry for entry in entries if entry.data in column_for]
+    skipped = len(entries) - len(replayable)
+    if sample_size < len(replayable):
+        replayable = random.Random(seed).sample(replayable, sample_size)
+    allowed = denied = masked = 0
+    for entry in replayable:
+        sql = f"SELECT {column_for[entry.data]} FROM patients LIMIT 3"
+        try:
+            outcome = setup.control_center.run(
+                user=entry.user,
+                role=entry.authorized,
+                purpose=entry.purpose,
+                sql=sql,
+                exception=entry.status is AccessStatus.EXCEPTION,
+                truth=entry.truth,
+            )
+        except AccessDeniedError:
+            denied += 1
+        else:
+            allowed += 1
+            if outcome.categories_masked:
+                masked += 1
+    return EnforcementReplayStats(
+        replayed=allowed + denied,
+        allowed=allowed,
+        denied=denied,
+        masked=masked,
+        skipped=skipped,
+    )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import AccessOp, AccessStatus
+from repro.obs.runtime import get_registry
 
 
 class LogicalClock:
@@ -67,6 +68,21 @@ class ComplianceAuditor:
         self.log = log if log is not None else AuditLog()
         self.clock = clock if clock is not None else LogicalClock()
         self.stats = AuditorStats()
+        # The append path stays counter-free; a weakly-held collector
+        # flushes AuditorStats deltas into the registry at snapshot time.
+        self._obs = get_registry()
+        self._reported = (0, 0)  # entries written, requests audited
+        if self._obs.enabled:
+            self._obs.register_collector(self._flush_metrics)
+
+    def _flush_metrics(self) -> None:
+        reg = self._obs
+        current = (self.stats.entries_written, self.stats.requests_audited)
+        seen = self._reported
+        reg.counter("repro_hdb_audit_entries_total").inc(current[0] - seen[0])
+        reg.counter("repro_hdb_audit_requests_total").inc(current[1] - seen[1])
+        self._reported = current
+        reg.gauge("repro_hdb_audit_log_size").set(len(self.log))
 
     def record_access(
         self,

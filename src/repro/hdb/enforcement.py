@@ -30,11 +30,13 @@ workflow, not adversarial SQL) accepts this.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.audit.schema import AccessOp, AccessStatus
 from repro.errors import AccessDeniedError, EnforcementError
 from repro.hdb.auditing import ComplianceAuditor
+from repro.obs.runtime import get_registry
 from repro.hdb.consent import ConsentStore
 from repro.policy.rule import Rule
 from repro.policy.store import PolicyStore
@@ -44,6 +46,8 @@ from repro.sqlmini.executor import ResultSet
 from repro.sqlmini.parser import parse
 from repro.vocab.tree import canonical
 from repro.vocab.vocabulary import Vocabulary
+
+_LOGGER = logging.getLogger("repro.hdb.enforcement")
 
 
 @dataclass(frozen=True)
@@ -134,6 +138,9 @@ class ActiveEnforcer:
         self.ledger = ledger
         self._bindings: dict[str, TableBinding] = {}
         self.stats = EnforcerStats()
+        #: registry captured at construction; enforcement decisions and
+        #: per-request latency are recorded against it
+        self._obs = get_registry()
 
     # ------------------------------------------------------------------
     # configuration
@@ -176,7 +183,24 @@ class ActiveEnforcer:
     # the enforcement pipeline
     # ------------------------------------------------------------------
     def execute(self, request: AccessRequest) -> EnforcementResult:
-        """Enforce, run and audit one request."""
+        """Enforce, run and audit one request.
+
+        The whole decision-rewrite-execute-audit path runs inside a
+        ``repro_hdb_enforcement_execute`` span; the outcome lands in
+        ``repro_hdb_enforcement_decisions_total{decision,purpose,role}``.
+        """
+        with self._obs.span("repro_hdb_enforcement_execute"):
+            return self._serve(request)
+
+    def _count_decision(self, decision: str, purpose: str, role: str) -> None:
+        self._obs.counter(
+            "repro_hdb_enforcement_decisions_total",
+            decision=decision,
+            purpose=purpose,
+            role=role,
+        ).inc()
+
+    def _serve(self, request: AccessRequest) -> EnforcementResult:
         self.stats.requests += 1
         select = self._parse_select(request.sql)
         binding = self.binding_for(select.table)
@@ -209,6 +233,12 @@ class ActiveEnforcer:
         returned = tuple(sorted(permitted))
         if controlled and not permitted:
             self.stats.denials += 1
+            if self._obs.enabled:
+                self._count_decision("deny", purpose, role)
+            _LOGGER.debug(
+                "deny user=%s role=%s purpose=%s categories=%s",
+                request.user, role, purpose, ",".join(masked),
+            )
             self.auditor.record_access(
                 user=request.user,
                 role=role,
@@ -232,6 +262,22 @@ class ActiveEnforcer:
         self.stats.policy_masked_columns += len(masked)
         self.stats.consent_masked_cells += cells_masked
         self.stats.consent_dropped_rows += rows_dropped
+        if self._obs.enabled:
+            reg = self._obs
+            self._count_decision(
+                "exception" if request.exception else "allow", purpose, role
+            )
+            if masked:
+                self._count_decision("rewrite", purpose, role)
+                reg.counter("repro_hdb_enforcement_masked_columns_total").inc(
+                    len(masked)
+                )
+            reg.counter("repro_hdb_enforcement_consent_cells_masked_total").inc(
+                cells_masked
+            )
+            reg.counter("repro_hdb_enforcement_consent_rows_dropped_total").inc(
+                rows_dropped
+            )
 
         allow_entries = self.auditor.record_access(
             user=request.user,

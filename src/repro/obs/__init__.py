@@ -1,0 +1,71 @@
+"""repro.obs — the telemetry layer of the PRIMA reproduction.
+
+PRIMA's thesis is that a privacy system must watch itself; this package
+turns that lens on the pipeline: a dependency-free metrics registry
+(counters, gauges, log-scale histograms), ``span`` timers that feed
+histograms and an optional structured JSONL event log, Prometheus-text and
+JSON snapshot exposition, and a no-op :class:`NullRegistry` so
+instrumentation costs nothing when disabled (benchmark E15 holds the
+instrumented pipeline within 5 % of dark).
+
+Metric names follow ``repro_<pkg>_<name>`` with ``_total`` counters and
+``_seconds`` span histograms — see DESIGN.md §8 for the full scheme and
+the inventory of instrumented call sites.
+
+Typical use::
+
+    from repro import obs
+
+    reg = obs.get_registry()
+    with obs.use_registry(obs.MetricsRegistry()) as reg:   # private scope
+        ...run the pipeline...
+        print(obs.render_prometheus(reg.snapshot()))
+"""
+
+from repro.obs.events import JsonlEventSink, memory_sink
+from repro.obs.exposition import load_snapshot, render_prometheus, save_snapshot
+from repro.obs.logsetup import StructuredFormatter, configure_logging, kv
+from repro.obs.metrics import (
+    CARDINALITY_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    format_sample,
+    log_buckets,
+    sample_delta,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+)
+from repro.obs.runtime import get_registry, set_registry, span, use_registry
+
+__all__ = [
+    "CARDINALITY_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlEventSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "StructuredFormatter",
+    "configure_logging",
+    "format_sample",
+    "get_registry",
+    "kv",
+    "load_snapshot",
+    "log_buckets",
+    "memory_sink",
+    "render_prometheus",
+    "sample_delta",
+    "save_snapshot",
+    "set_registry",
+    "span",
+    "use_registry",
+]

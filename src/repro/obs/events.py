@@ -1,0 +1,62 @@
+"""Structured JSONL event log — the audit trail of the telemetry layer.
+
+Metrics aggregate; events narrate.  A :class:`JsonlEventSink` attached to a
+:class:`~repro.obs.registry.MetricsRegistry` receives one JSON object per
+line for every span completion (and any explicit
+:meth:`~repro.obs.registry.MetricsRegistry.event` call), so a failed run
+leaves a machine-readable trace of what the pipeline did, in order —
+PRIMA's own Compliance-Auditing idea turned on the pipeline itself.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO
+
+
+class JsonlEventSink:
+    """Append-only JSON-lines event writer.
+
+    Accepts either a filesystem path (opened for append, line-buffered by
+    ``flush`` after every event so crashes lose nothing) or an existing
+    text stream (handy for tests and in-memory capture).  Each event is
+    one object: ``{"event": <name>, ...fields}``.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.events_written = 0
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write one event line and flush it."""
+        record: dict[str, object] = {"event": event}
+        record.update(fields)
+        self._stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._stream.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Close the underlying stream if this sink opened it."""
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        """Context-manager support: ``with JsonlEventSink(path) as sink``."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the sink on block exit."""
+        self.close()
+
+
+def memory_sink() -> tuple[JsonlEventSink, io.StringIO]:
+    """A sink writing to an in-memory buffer (for tests and inspection)."""
+    buffer = io.StringIO()
+    return JsonlEventSink(buffer), buffer

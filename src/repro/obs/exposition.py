@@ -1,0 +1,98 @@
+"""Snapshot exposition: Prometheus text format and JSON files.
+
+Snapshots (see :meth:`repro.obs.registry.MetricsRegistry.snapshot`) are
+plain dicts, so they serialise with :mod:`json` directly; this module adds
+the Prometheus text rendering (the format every scraper and most humans
+already read) and the save/load helpers behind the CLI's
+``--metrics-out PATH`` and ``repro metrics`` surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+
+def _format_number(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus convention)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot dict in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expand to the
+    conventional ``_bucket{le=…}`` / ``_sum`` / ``_count`` series.  One
+    ``# TYPE`` header is emitted per metric name.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for sample in snapshot.get("counters", []):
+        header(sample["name"], "counter")
+        lines.append(
+            f"{sample['name']}{_labels_text(sample['labels'])} "
+            f"{_format_number(sample['value'])}"
+        )
+    for sample in snapshot.get("gauges", []):
+        header(sample["name"], "gauge")
+        lines.append(
+            f"{sample['name']}{_labels_text(sample['labels'])} "
+            f"{_format_number(sample['value'])}"
+        )
+    for sample in snapshot.get("histograms", []):
+        name = sample["name"]
+        header(name, "histogram")
+        for bucket in sample["buckets"]:
+            le = bucket["le"]
+            le_text = le if isinstance(le, str) else _format_number(float(le))
+            lines.append(
+                f"{name}_bucket{_labels_text(sample['labels'], {'le': le_text})} "
+                f"{bucket['count']}"
+            )
+        lines.append(
+            f"{name}_sum{_labels_text(sample['labels'])} "
+            f"{_format_number(sample['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_labels_text(sample['labels'])} {sample['count']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_snapshot(snapshot: dict, path: str | Path) -> Path:
+    """Write a snapshot as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read a snapshot JSON written by :func:`save_snapshot`."""
+    try:
+        snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ObservabilityError(f"{path} is not a metrics snapshot: {error}")
+    if not isinstance(snapshot, dict):
+        raise ObservabilityError(f"{path} is not a metrics snapshot (not an object)")
+    return snapshot

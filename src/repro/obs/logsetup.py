@@ -1,0 +1,58 @@
+"""Structured stdlib-logging configuration for the CLI's ``--verbose``.
+
+The pipeline logs under the ``repro.*`` logger namespace (round summaries
+from the refinement loop, denials from enforcement, every span at debug).
+By default nothing is emitted — the CLI prints only final numbers — but
+``repro --verbose <command>`` routes the whole namespace through one
+stderr handler with a structured ``timestamp level module key=value``
+line format, which is what makes a failed run diagnosable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+
+class StructuredFormatter(logging.Formatter):
+    """``timestamp level module message`` with ``key=value`` payloads.
+
+    Messages produced by this repo already carry their variables as
+    ``key=value`` tokens (see the span logger and the loop's round
+    summaries), so the formatter only needs to prepend the envelope.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+
+def kv(**fields: object) -> str:
+    """Format fields as sorted ``key=value`` tokens for structured lines."""
+    return " ".join(f"{key}={value}" for key, value in sorted(fields.items()))
+
+
+def configure_logging(
+    verbose: bool = False, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger namespace; returns its root logger.
+
+    ``verbose=False`` keeps the library quiet (WARNING and above only);
+    ``verbose=True`` opens the floodgates at DEBUG, including one line
+    per completed span.  Calling again reconfigures idempotently — the
+    previously installed handler is replaced, never duplicated.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.DEBUG if verbose else logging.WARNING)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(StructuredFormatter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,106 @@
+"""The active-registry switch: one global default, swappable per scope.
+
+Instrumented components resolve :func:`get_registry` (usually once, at
+construction) instead of importing a singleton, so benchmarks and tests
+can run the same code instrumented or dark:
+
+- :func:`set_registry` swaps the process default;
+- :func:`use_registry` swaps it for one ``with`` block (the E15 overhead
+  benchmark's A/B mechanism);
+- :func:`span` is the module-level timer that binds to whatever registry
+  is active *when the block runs*, making it safe as a decorator on
+  functions defined at import time.
+
+The default is a live :class:`~repro.obs.registry.MetricsRegistry`:
+telemetry is on out of the box (E15 shows it within noise of disabled)
+and switched off by installing
+:data:`~repro.obs.registry.NULL_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from functools import wraps
+
+from repro.obs.registry import MetricsRegistry, Span
+
+#: the process-default registry, live unless replaced
+_DEFAULT_REGISTRY = MetricsRegistry()
+_active: MetricsRegistry = _DEFAULT_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the default unless swapped)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` active inside the ``with`` block, then restore.
+
+    Components constructed inside the block capture ``registry``;
+    components constructed outside keep whatever they captured — swap
+    *before* building the pipeline under measurement.
+    """
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+class _LateBoundSpan:
+    """A span that resolves the active registry at enter/call time."""
+
+    __slots__ = ("_name", "_labels", "_inner")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self._name = name
+        self._labels = labels
+        self._inner: object | None = None
+
+    def __enter__(self):
+        """Open a span on whatever registry is active right now."""
+        self._inner = get_registry().span(self._name, **self._labels)
+        return self._inner.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the underlying span."""
+        inner, self._inner = self._inner, None
+        return inner.__exit__(exc_type, exc, tb)
+
+    def __call__(self, fn: Callable) -> Callable:
+        """Decorator form: each call re-resolves the active registry."""
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_registry().span(self._name, **self._labels):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **labels: object) -> _LateBoundSpan:
+    """Module-level ``span(name, **labels)`` bound to the active registry.
+
+    Usable both ways::
+
+        with obs.span("repro_refinement_stage", stage="prune"):
+            ...
+
+        @obs.span("repro_coverage_compute", kind="set")
+        def compute(...): ...
+    """
+    return _LateBoundSpan(name, dict(labels))
+
+
+__all__ = ["get_registry", "set_registry", "use_registry", "span", "Span"]

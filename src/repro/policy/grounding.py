@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.errors import CoverageError, PolicyError
+from repro.obs.runtime import get_registry
 from repro.policy.interning import RuleInterner
 from repro.policy.policy import Policy
 from repro.policy.rule import Rule
@@ -217,6 +218,30 @@ class Grounder:
         self._mask_cache: dict[Rule, int] = {}
         self.hits = 0
         self.misses = 0
+        # Telemetry rides the plain counters above: the memo probe itself
+        # stays metric-free and a weakly-held collector flushes deltas to
+        # the registry at snapshot time (see DESIGN.md §8).
+        self._obs = get_registry()
+        self._reported_hits = 0
+        self._reported_misses = 0
+        if self._obs.enabled:
+            self._obs.register_collector(self._flush_metrics)
+
+    def _flush_metrics(self) -> None:
+        reg = self._obs
+        hits, misses = self.hits, self.misses
+        reg.counter("repro_policy_grounder_cache_hits_total").inc(
+            hits - self._reported_hits
+        )
+        reg.counter("repro_policy_grounder_cache_misses_total").inc(
+            misses - self._reported_misses
+        )
+        reg.counter("repro_policy_ground_expansions_total").inc(
+            misses - self._reported_misses
+        )
+        self._reported_hits, self._reported_misses = hits, misses
+        reg.gauge("repro_policy_interner_rules").set(len(self.interner))
+        reg.gauge("repro_policy_grounder_cached_rules").set(len(self._cache))
 
     def _check_version(self) -> None:
         if self.vocabulary.version != self._version:
@@ -269,6 +294,9 @@ class Grounder:
         self._version = self.vocabulary.version
         self.hits = 0
         self.misses = 0
+        # re-baseline the flushed-delta bookkeeping with the counters
+        self._reported_hits = 0
+        self._reported_misses = 0
 
 
 def policy_range(policy: Policy | Iterable[Rule], vocabulary: Vocabulary) -> Range:

@@ -21,6 +21,7 @@ from repro.coverage.engine import (
 )
 from repro.errors import RefinementError
 from repro.mining.patterns import MiningConfig, Pattern, PatternMiner
+from repro.obs.runtime import get_registry
 from repro.policy.grounding import Grounder
 from repro.policy.policy import Policy
 from repro.refinement.extract import extract_patterns
@@ -100,22 +101,36 @@ def refine(
         grounder = Grounder(vocabulary)
     elif grounder.vocabulary is not vocabulary:
         raise RefinementError("refine called with a grounder for a different vocabulary")
-    audit_policy = audit_log.to_policy(cfg.mining.attributes)
-    coverage = compute_coverage(policy_store, audit_policy, vocabulary, grounder)
-    entry_coverage = compute_entry_coverage(
-        policy_store, iter(audit_policy), vocabulary, grounder
-    )
+    reg = get_registry()
+    with reg.span("repro_refinement_stage", stage="coverage"):
+        audit_policy = audit_log.to_policy(cfg.mining.attributes)
+        coverage = compute_coverage(policy_store, audit_policy, vocabulary, grounder)
+        entry_coverage = compute_entry_coverage(
+            policy_store, iter(audit_policy), vocabulary, grounder
+        )
 
-    practice = filter_practice(
-        audit_log,
-        include_denied=cfg.include_denied,
-        exclude_suspected_violations=cfg.exclude_suspected_violations,
-        classifier_config=cfg.classifier,
-    )
-    patterns = extract_patterns(practice, cfg.mining, cfg.miner)
-    prune_result: PruneResult = prune_patterns(
-        patterns, policy_store, vocabulary, grounder
-    )
+    with reg.span("repro_refinement_stage", stage="filter"):
+        practice = filter_practice(
+            audit_log,
+            include_denied=cfg.include_denied,
+            exclude_suspected_violations=cfg.exclude_suspected_violations,
+            classifier_config=cfg.classifier,
+        )
+    with reg.span("repro_refinement_stage", stage="extract"):
+        patterns = extract_patterns(practice, cfg.mining, cfg.miner)
+    with reg.span("repro_refinement_stage", stage="prune"):
+        prune_result: PruneResult = prune_patterns(
+            patterns, policy_store, vocabulary, grounder
+        )
+    if reg.enabled:
+        reg.counter("repro_refinement_runs_total").inc()
+        reg.counter("repro_refinement_patterns_mined_total").inc(len(patterns))
+        reg.counter("repro_refinement_patterns_useful_total").inc(
+            len(prune_result.useful)
+        )
+        reg.counter("repro_refinement_patterns_pruned_total").inc(
+            len(prune_result.pruned)
+        )
     return RefinementResult(
         practice=practice,
         patterns=patterns,

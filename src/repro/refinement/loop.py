@@ -11,17 +11,22 @@ drives that cycle against any traffic source implementing
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.audit.log import AuditLog
 from repro.coverage.engine import compute_coverage, compute_entry_coverage
 from repro.errors import RefinementError
+from repro.obs.metrics import sample_delta
+from repro.obs.runtime import get_registry
 from repro.policy.grounding import Grounder
 from repro.policy.store import PolicyStore
 from repro.refinement.engine import RefinementConfig, RefinementResult, refine
 from repro.refinement.review import ReviewPolicy
 from repro.vocab.vocabulary import Vocabulary
+
+_LOGGER = logging.getLogger("repro.refinement.loop")
 
 
 class ClinicalEnvironment(Protocol):
@@ -54,6 +59,12 @@ class RoundReport:
     rules_accepted: int
     store_size_after: int
     refinement: RefinementResult
+    #: what this round contributed to every monotone telemetry sample
+    #: (counter values, span-histogram counts/sums) under the registry
+    #: active when the loop ran; empty under the null registry.  This is
+    #: the series E3-style experiments chart cache behaviour and stage
+    #: latency against.
+    metrics: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,18 @@ class LoopResult:
     def exception_rate_series(self) -> tuple[float, ...]:
         """Break-the-glass rate per round."""
         return tuple(r.exception_rate for r in self.rounds)
+
+    def metrics_series(self, sample: str | None = None) -> tuple:
+        """Per-round telemetry deltas (optionally one sample's series).
+
+        With no argument, the tuple of per-round delta dicts; with a
+        sample key (e.g. ``"repro_policy_grounder_cache_hits_total"``)
+        the per-round numeric series for that sample, zero-filled where a
+        round did not move it.
+        """
+        if sample is None:
+            return tuple(r.metrics for r in self.rounds)
+        return tuple(r.metrics.get(sample, 0.0) for r in self.rounds)
 
 
 class RefinementLoop:
@@ -105,31 +128,53 @@ class RefinementLoop:
             raise RefinementError(f"the loop needs at least one round, got {rounds}")
         cumulative = AuditLog(name="cumulative")
         reports: list[RoundReport] = []
+        reg = get_registry()
+        samples_before = reg.sample_values() if reg.enabled else {}
         for round_index in range(rounds):
-            window = self.environment.simulate_round(round_index, self.store)
-            if len(window) == 0:
-                raise RefinementError(
-                    f"environment produced no audit entries in round {round_index}"
-                )
-            cumulative.extend(window)
-            target = cumulative if self.refine_on_cumulative else window
-            result = refine(
-                self.store.policy(),
-                target,
-                self.vocabulary,
-                self.config,
-                grounder=self._grounder,
-            )
-            accepted = 0
-            for pattern in result.useful_patterns:
-                if self.review.accept(pattern):
-                    accepted += self.store.add(
-                        pattern.rule,
-                        added_by="loop-review",
-                        origin="refinement",
-                        note=f"round={round_index}, support={pattern.support}",
+            with reg.span("repro_refinement_round"):
+                with reg.span("repro_refinement_stage", stage="simulate"):
+                    window = self.environment.simulate_round(round_index, self.store)
+                if len(window) == 0:
+                    raise RefinementError(
+                        f"environment produced no audit entries in round {round_index}"
                     )
-            after = self._coverage_after(target)
+                cumulative.extend(window)
+                target = cumulative if self.refine_on_cumulative else window
+                result = refine(
+                    self.store.policy(),
+                    target,
+                    self.vocabulary,
+                    self.config,
+                    grounder=self._grounder,
+                )
+                accepted = 0
+                with reg.span("repro_refinement_stage", stage="review"):
+                    for pattern in result.useful_patterns:
+                        if self.review.accept(pattern):
+                            accepted += self.store.add(
+                                pattern.rule,
+                                added_by="loop-review",
+                                origin="refinement",
+                                note=f"round={round_index}, support={pattern.support}",
+                            )
+                after = self._coverage_after(target)
+            if reg.enabled:
+                reg.counter("repro_refinement_rounds_total").inc()
+                reg.counter("repro_refinement_rules_accepted_total").inc(accepted)
+                reg.counter("repro_refinement_entries_total").inc(len(window))
+                samples_after = reg.sample_values()
+                round_metrics = sample_delta(samples_before, samples_after)
+                samples_before = samples_after
+            else:
+                round_metrics = {}
+            if _LOGGER.isEnabledFor(logging.INFO):
+                _LOGGER.info(
+                    "round=%d entries=%d exception_rate=%.3f coverage_after=%.3f "
+                    "entry_coverage_after=%.3f patterns_mined=%d accepted=%d "
+                    "store_size=%d",
+                    round_index, len(window), window.exception_rate(), after[0],
+                    after[1], len(result.patterns), accepted, len(self.store),
+                )
             reports.append(
                 RoundReport(
                     round_index=round_index,
@@ -144,6 +189,7 @@ class RefinementLoop:
                     rules_accepted=accepted,
                     store_size_after=len(self.store),
                     refinement=result,
+                    metrics=round_metrics,
                 )
             )
         return LoopResult(

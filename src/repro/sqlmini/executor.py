@@ -14,6 +14,7 @@ import itertools
 from collections.abc import Iterator
 from dataclasses import dataclass
 
+from repro.obs.runtime import get_registry
 from repro.sqlmini import ast
 from repro.sqlmini.aggregates import Accumulator, make_accumulator
 from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
@@ -71,12 +72,54 @@ class Executor:
 
     def __init__(self, catalog) -> None:
         self._catalog = catalog
+        # Row-level work keeps plain ints on the hot path; a weakly-held
+        # collector flushes the deltas to the registry at snapshot time.
+        self._obs = get_registry()
+        self._statement_counts: dict[str, int] = {}
+        self._rows_scanned = 0
+        self._rows_returned = 0
+        self._reported_statements: dict[str, int] = {}
+        self._reported_rows = (0, 0)  # scanned, returned
+        if self._obs.enabled:
+            self._obs.register_collector(self._flush_metrics)
+
+    def _flush_metrics(self) -> None:
+        reg = self._obs
+        for kind, count in self._statement_counts.items():
+            reg.counter("repro_sqlmini_statements_total", kind=kind).inc(
+                count - self._reported_statements.get(kind, 0)
+            )
+            self._reported_statements[kind] = count
+        scanned, returned = self._rows_scanned, self._rows_returned
+        reg.counter("repro_sqlmini_rows_scanned_total").inc(
+            scanned - self._reported_rows[0]
+        )
+        reg.counter("repro_sqlmini_rows_returned_total").inc(
+            returned - self._reported_rows[1]
+        )
+        self._reported_rows = (scanned, returned)
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def execute(self, statement: ast.Statement) -> ResultSet | int:
-        """Run any statement; queries return a ResultSet, DML a count."""
+        """Run any statement; queries return a ResultSet, DML a count.
+
+        Each statement runs inside a ``repro_sqlmini_statement`` span
+        labelled by statement kind, and contributes to the statement/row
+        counters (flushed lazily — see ``_flush_metrics``).
+        """
+        if not self._obs.enabled:
+            return self._dispatch(statement)
+        kind = type(statement).__name__.lower()
+        self._statement_counts[kind] = self._statement_counts.get(kind, 0) + 1
+        with self._obs.span("repro_sqlmini_statement", kind=kind):
+            result = self._dispatch(statement)
+        if isinstance(result, ResultSet):
+            self._rows_returned += len(result.rows)
+        return result
+
+    def _dispatch(self, statement: ast.Statement) -> ResultSet | int:
         if isinstance(statement, ast.Select):
             return self.execute_select(statement)
         if isinstance(statement, ast.UnionAll):
@@ -160,9 +203,16 @@ class Executor:
 
     def _filtered_envs(self, bound: BoundSelect) -> Iterator[dict[str, Value]]:
         where = bound.select.where
-        for env in self._input_envs(bound):
-            if where is None or to_bool(evaluate(where, env)) is True:
-                yield env
+        scanned = 0
+        try:
+            for env in self._input_envs(bound):
+                scanned += 1
+                if where is None or to_bool(evaluate(where, env)) is True:
+                    yield env
+        finally:
+            # plain-int accounting; the collector turns this into
+            # repro_sqlmini_rows_scanned_total at snapshot time
+            self._rows_scanned += scanned
 
     def _plain_rows(
         self, bound: BoundSelect

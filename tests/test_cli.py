@@ -155,3 +155,64 @@ class TestSimulateCommand:
              "--review", "accept-all"]
         ) == 0
         assert "accept-all" in capsys.readouterr().out
+
+    def test_enforce_sample_prints_replay_summary(self, capsys):
+        assert main(
+            ["simulate", "--rounds", "1", "--accesses", "400",
+             "--enforce-sample", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "enforcement replay: 40 queries" in out
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_writes_snapshot_with_live_counters(
+        self, capsys, tmp_path
+    ):
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        with obs.use_registry(obs.MetricsRegistry()):
+            assert main(
+                ["simulate", "--rounds", "1", "--accesses", "400",
+                 "--enforce-sample", "30", "--metrics-out", str(path)]
+            ) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snapshot = obs.load_snapshot(path)
+        names = {sample["name"] for sample in snapshot["counters"]}
+        assert "repro_policy_grounder_cache_hits_total" in names
+        assert "repro_hdb_enforcement_decisions_total" in names
+        stage_names = {sample["name"] for sample in snapshot["histograms"]}
+        assert "repro_refinement_stage_seconds" in stage_names
+
+    def test_metrics_command_renders_prometheus_and_json(
+        self, capsys, tmp_path
+    ):
+        from repro import obs
+
+        reg = obs.MetricsRegistry()
+        reg.counter("repro_demo_total").inc(4)
+        path = obs.save_snapshot(reg.snapshot(), tmp_path / "m.json")
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_demo_total counter" in out
+        assert "repro_demo_total 4" in out
+        assert main(["metrics", str(path), "--format", "json"]) == 0
+        assert '"repro_demo_total"' in capsys.readouterr().out
+
+    def test_metrics_command_rejects_garbage(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not a snapshot", encoding="utf-8")
+        assert main(["metrics", str(bogus)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_verbose_flag_enables_debug_logging(self, capsys):
+        import logging
+
+        from repro.obs.logsetup import configure_logging
+
+        try:
+            assert main(["--verbose", "paper"]) == 0
+            assert logging.getLogger("repro").isEnabledFor(logging.DEBUG)
+        finally:
+            configure_logging(verbose=False)

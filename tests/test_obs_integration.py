@@ -1,0 +1,161 @@
+"""Integration tests: the pipeline observed end to end through its telemetry.
+
+These run real workloads — a three-round refinement loop, enforced SQL
+queries, the simulate→enforcement replay — under a private registry and
+assert on what the instruments recorded, which is exactly what a scraper
+or the CLI's ``--metrics-out`` would see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.experiments.harness import (
+    clinical_db_setup,
+    replay_through_enforcement,
+    run_refinement_loop,
+    standard_loop_setup,
+)
+from repro.refinement.review import ThresholdReview
+
+
+def _sample(snapshot: dict, section: str, name: str, **labels: str) -> dict | None:
+    wanted = {key: str(value) for key, value in labels.items()}
+    for sample in snapshot[section]:
+        if sample["name"] == name and sample["labels"] == wanted:
+            return sample
+    return None
+
+
+@pytest.fixture(scope="module")
+def loop_run():
+    """One three-round loop, observed by a private registry."""
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        setup = standard_loop_setup(accesses_per_round=800, seed=3)
+        result = run_refinement_loop(setup, ThresholdReview(), rounds=3)
+        snapshot = registry.snapshot()
+    return result, snapshot
+
+
+class TestRefinementLoopTelemetry:
+    def test_every_stage_has_a_span_histogram(self, loop_run):
+        _, snapshot = loop_run
+        for stage in ("simulate", "coverage", "filter", "extract", "prune",
+                      "review"):
+            sample = _sample(snapshot, "histograms",
+                             "repro_refinement_stage_seconds", stage=stage)
+            assert sample is not None, f"missing stage span for {stage!r}"
+            assert sample["count"] == 3  # one per round
+
+    def test_round_counters_match_loop_result(self, loop_run):
+        result, snapshot = loop_run
+        rounds = _sample(snapshot, "counters", "repro_refinement_rounds_total")
+        assert rounds["value"] == 3.0
+        accepted = _sample(snapshot, "counters",
+                           "repro_refinement_rules_accepted_total")
+        assert accepted["value"] == sum(r.rules_accepted for r in result.rounds)
+        entries = _sample(snapshot, "counters", "repro_refinement_entries_total")
+        assert entries["value"] == sum(r.entries for r in result.rounds)
+
+    def test_grounder_cache_hits_recorded_and_grow(self, loop_run):
+        _, snapshot = loop_run
+        hits = _sample(snapshot, "counters", "repro_policy_grounder_cache_hits_total")
+        misses = _sample(snapshot, "counters",
+                         "repro_policy_grounder_cache_misses_total")
+        assert hits is not None and hits["value"] > 0
+        assert misses is not None and misses["value"] > 0
+
+    def test_per_round_metrics_deltas_sum_to_totals(self, loop_run):
+        result, snapshot = loop_run
+        series = result.metrics_series("repro_policy_grounder_cache_hits_total")
+        assert len(series) == 3
+        assert all(value > 0 for value in series)
+        hits = _sample(snapshot, "counters", "repro_policy_grounder_cache_hits_total")
+        assert sum(series) == pytest.approx(hits["value"])
+
+    def test_round_reports_carry_stage_span_deltas(self, loop_run):
+        result, _ = loop_run
+        for report in result.rounds:
+            key = 'repro_refinement_stage_seconds{stage="prune"}#count'
+            assert report.metrics.get(key) == 1.0
+
+    def test_coverage_computations_counted(self, loop_run):
+        _, snapshot = loop_run
+        by_kind = {
+            kind: _sample(snapshot, "counters",
+                          "repro_coverage_computations_total", kind=kind)
+            for kind in ("set", "entry")
+        }
+        assert all(sample and sample["value"] >= 3 for sample in by_kind.values())
+
+    def test_null_registry_leaves_round_metrics_empty(self):
+        with obs.use_registry(obs.NULL_REGISTRY):
+            setup = standard_loop_setup(accesses_per_round=400, seed=5)
+            result = run_refinement_loop(setup, ThresholdReview(), rounds=1)
+        assert result.rounds[0].metrics == {}
+        assert result.metrics_series("anything") == (0.0,)
+
+
+class TestEnforcementTelemetry:
+    def test_decision_counters_by_purpose_and_role(self):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            setup = clinical_db_setup(rows=50)
+            center = setup.control_center
+            center.run("n1", "nurse", "treatment",
+                       "SELECT name FROM patients LIMIT 2")
+            from repro.errors import AccessDeniedError
+
+            with pytest.raises(AccessDeniedError):
+                center.run("n1", "nurse", "billing",
+                           "SELECT insurance FROM patients LIMIT 2")
+            snapshot = registry.snapshot()
+        allow = _sample(snapshot, "counters",
+                        "repro_hdb_enforcement_decisions_total",
+                        decision="allow", purpose="treatment", role="nurse")
+        deny = _sample(snapshot, "counters",
+                       "repro_hdb_enforcement_decisions_total",
+                       decision="deny", purpose="billing", role="nurse")
+        assert allow["value"] == 1.0
+        assert deny["value"] == 1.0
+        latency = _sample(snapshot, "histograms",
+                          "repro_hdb_enforcement_execute_seconds")
+        assert latency["count"] == 2
+
+    def test_sqlmini_and_audit_counters(self):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            setup = clinical_db_setup(rows=25)
+            setup.control_center.run("n1", "nurse", "treatment",
+                                     "SELECT name FROM patients LIMIT 3")
+            snapshot = registry.snapshot()
+        selects = _sample(snapshot, "counters", "repro_sqlmini_statements_total",
+                          kind="select")
+        assert selects is not None and selects["value"] >= 1
+        returned = _sample(snapshot, "counters",
+                           "repro_sqlmini_rows_returned_total")
+        assert returned["value"] >= 3
+        entries = _sample(snapshot, "counters", "repro_hdb_audit_entries_total")
+        assert entries is not None and entries["value"] >= 1
+        log_size = _sample(snapshot, "gauges", "repro_hdb_audit_log_size")
+        assert log_size["value"] >= 1
+
+
+class TestEnforcementReplay:
+    def test_replay_exercises_enforcement_from_simulated_traffic(self):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            setup = standard_loop_setup(accesses_per_round=400, seed=3)
+            result = run_refinement_loop(setup, ThresholdReview(), rounds=1)
+            stats = replay_through_enforcement(
+                result.cumulative_log, sample_size=60, rows=30, seed=3
+            )
+            snapshot = registry.snapshot()
+        assert stats.replayed == 60
+        assert stats.replayed == stats.allowed + stats.denied
+        decisions = [
+            sample for sample in snapshot["counters"]
+            if sample["name"] == "repro_hdb_enforcement_decisions_total"
+        ]
+        assert sum(sample["value"] for sample in decisions) >= stats.replayed
+        assert {sample["labels"]["decision"] for sample in decisions} >= {
+            "allow", "deny"
+        }
