@@ -24,7 +24,7 @@ Quickstart::
 Subpackages: :mod:`repro.vocab`, :mod:`repro.policy`,
 :mod:`repro.coverage`, :mod:`repro.sqlmini`, :mod:`repro.hdb`,
 :mod:`repro.audit`, :mod:`repro.mining`, :mod:`repro.refinement`,
-:mod:`repro.workload`, :mod:`repro.experiments`.
+:mod:`repro.workload`, :mod:`repro.experiments`, :mod:`repro.store`.
 """
 
 from repro.audit import AccessOp, AccessStatus, AuditEntry, AuditLog, make_entry
@@ -72,6 +72,7 @@ from repro.refinement import (
     refine,
 )
 from repro.sqlmini import Database
+from repro.store import AuditStore, DurableAuditLog, StoreConfig, copy_to_durable
 from repro.vocab import Vocabulary, VocabularyTree, healthcare_vocabulary
 
 __version__ = "1.0.0"
@@ -86,9 +87,11 @@ __all__ = [
     "AuditEntry",
     "AuditFederation",
     "AuditLog",
+    "AuditStore",
     "ComplianceAuditor",
     "ConsentStore",
     "Database",
+    "DurableAuditLog",
     "HdbControlCenter",
     "LogicalClock",
     "MiningConfig",
@@ -104,6 +107,7 @@ __all__ = [
     "Rule",
     "RuleTerm",
     "SqlPatternMiner",
+    "StoreConfig",
     "TableBinding",
     "ThresholdReview",
     "Vocabulary",
@@ -113,6 +117,7 @@ __all__ = [
     "completely_covers",
     "compute_coverage",
     "compute_entry_coverage",
+    "copy_to_durable",
     "derive_rules",
     "healthcare_vocabulary",
     "make_entry",

@@ -4,6 +4,12 @@ CSV uses the paper's column order (Table 1) and integer encodings for
 ``op`` and ``status``.  JSONL writes one entry object per line; the
 evaluation-only ``truth`` label survives the JSONL round trip but is
 deliberately dropped by CSV (which models the production schema).
+
+Both loaders report malformed input as :class:`~repro.errors.AuditError`
+carrying the file path and line number — truncated rows, wrong arity and
+non-integer ``time``/``op``/``status`` values never surface as bare
+``ValueError``s.  (For crash-safe binary persistence see
+:mod:`repro.store`.)
 """
 
 from __future__ import annotations
@@ -42,14 +48,26 @@ def load_csv(path: str | Path, name: str | None = None) -> AuditLog:
                 f"(expected header {AUDIT_ATTRIBUTES})"
             )
         for row in reader:
+            line_number = reader.line_num
             if not row:
                 continue
+            if len(row) != len(AUDIT_ATTRIBUTES):
+                raise AuditError(
+                    f"{source}:{line_number}: expected {len(AUDIT_ATTRIBUTES)} "
+                    f"fields ({', '.join(AUDIT_ATTRIBUTES)}), got {len(row)}"
+                )
             time, op, user, data, purpose, authorized, status = row
-            log.append(
-                AuditEntry.from_row(
+            try:
+                entry = AuditEntry.from_row(
                     (int(time), int(op), user, data, purpose, authorized, int(status))
                 )
-            )
+            except ValueError as exc:
+                raise AuditError(
+                    f"{source}:{line_number}: malformed audit row: {exc}"
+                ) from exc
+            except AuditError as exc:
+                raise AuditError(f"{source}:{line_number}: {exc}") from exc
+            log.append(entry)
     return log
 
 

@@ -17,13 +17,20 @@ Commands:
 ``simulate``
     Run the closed refinement loop on the synthetic hospital and print
     the round-by-round trajectory (optionally replaying a sample of the
-    traffic through active enforcement with ``--enforce-sample``).
+    traffic through active enforcement with ``--enforce-sample``; with
+    ``--store-dir`` the cumulative history is persisted in a durable
+    segmented store and refinement streams it off disk).
+``store``
+    Inspect and maintain a durable audit store directory:
+    ``stats``, ``verify`` (full checksum pass), ``tail`` (newest
+    entries), ``compact`` (merge sealed segments).
 ``metrics``
     Render a telemetry snapshot saved with ``--metrics-out`` as
     Prometheus text or indented JSON.
 
 Policies are DSL text files (see :mod:`repro.policy.parser`); audit logs
-are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`); the
+are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`) or durable
+store directories (see :mod:`repro.store`; ``refine --store-dir``); the
 vocabulary defaults to the built-in healthcare one and can be overridden
 with ``--vocab vocab.json``.
 
@@ -114,7 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     coverage.set_defaults(handler=_cmd_coverage)
 
     refine_cmd = commands.add_parser("refine", help="mine the log for candidate rules")
-    _add_common_inputs(refine_cmd)
+    _add_common_inputs(refine_cmd, log_required=False)
+    refine_cmd.add_argument("--store-dir", default=None, metavar="DIR",
+                            help="read the audit log from a durable store "
+                                 "directory instead of --log")
     _add_metrics_out(refine_cmd)
     refine_cmd.add_argument("--min-support", type=int, default=5,
                             help="the paper's f threshold (inclusive, default 5)")
@@ -153,8 +163,35 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--enforce-sample", type=int, default=200,
                           help="replay this many simulated accesses through "
                                "active enforcement afterwards (0 disables)")
+    simulate.add_argument("--store-dir", default=None, metavar="DIR",
+                          help="persist the cumulative audit history in a "
+                               "durable segmented store at DIR and refine "
+                               "straight off disk")
     _add_metrics_out(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    store_cmd = commands.add_parser(
+        "store", help="inspect and maintain a durable audit store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser("stats", help="summarise a store directory")
+    store_stats.add_argument("directory", help="durable audit store directory")
+    store_stats.set_defaults(handler=_cmd_store_stats)
+    store_verify = store_sub.add_parser(
+        "verify", help="full checksum pass over every segment"
+    )
+    store_verify.add_argument("directory", help="durable audit store directory")
+    store_verify.set_defaults(handler=_cmd_store_verify)
+    store_tail = store_sub.add_parser("tail", help="print the newest entries")
+    store_tail.add_argument("directory", help="durable audit store directory")
+    store_tail.add_argument("-n", "--count", type=int, default=10,
+                            help="how many entries (default 10)")
+    store_tail.set_defaults(handler=_cmd_store_tail)
+    store_compact = store_sub.add_parser(
+        "compact", help="merge sealed segments into full-sized ones"
+    )
+    store_compact.add_argument("directory", help="durable audit store directory")
+    store_compact.set_defaults(handler=_cmd_store_compact)
 
     metrics = commands.add_parser("metrics",
                                   help="render a saved telemetry snapshot")
@@ -168,9 +205,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_common_inputs(command: argparse.ArgumentParser) -> None:
+def _add_common_inputs(
+    command: argparse.ArgumentParser, log_required: bool = True
+) -> None:
     command.add_argument("--store", required=True, help="policy DSL file")
-    command.add_argument("--log", required=True, help="audit log (.csv or .jsonl)")
+    command.add_argument("--log", required=log_required,
+                         help="audit log (.csv or .jsonl)")
     command.add_argument("--vocab", default=None, help="vocabulary JSON (default: built-in)")
 
 
@@ -270,10 +310,23 @@ def _cmd_coverage(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_refine_log(arguments: argparse.Namespace):
+    """Pick the audit source for ``refine``: ``--log`` xor ``--store-dir``."""
+    if (arguments.log is None) == (arguments.store_dir is None):
+        raise PrimaError(
+            "refine needs exactly one audit source: --log FILE or --store-dir DIR"
+        )
+    if arguments.store_dir is not None:
+        from repro.store.durable import DurableAuditLog
+
+        return DurableAuditLog(arguments.store_dir, create=False)
+    return _load_log(arguments.log)
+
+
 def _cmd_refine(arguments: argparse.Namespace) -> int:
     vocabulary = _load_vocabulary(arguments.vocab)
     store = _load_policy(arguments.store)
-    log = _load_log(arguments.log)
+    log = _resolve_refine_log(arguments)
     config = RefinementConfig(
         mining=MiningConfig(
             min_support=arguments.min_support,
@@ -342,7 +395,14 @@ def _cmd_simulate(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
     )
     review = AcceptAll() if arguments.review == "accept-all" else ThresholdReview()
-    result = run_refinement_loop(setup, review, rounds=arguments.rounds)
+    durable = None
+    if arguments.store_dir is not None:
+        from repro.store.durable import DurableAuditLog
+
+        durable = DurableAuditLog(arguments.store_dir, name="cumulative")
+    result = run_refinement_loop(
+        setup, review, rounds=arguments.rounds, cumulative_log=durable
+    )
     print(
         format_table(
             ["round", "entries", "exc-rate", "entry-cov", "accepted", "store"],
@@ -364,6 +424,50 @@ def _cmd_simulate(arguments: argparse.Namespace) -> int:
             seed=arguments.seed,
         )
         print(stats.summary())
+    if durable is not None:
+        durable.sync()
+        print(durable.stats().summary())
+        durable.close()
+        print(f"cumulative history persisted at {arguments.store_dir}")
+    return 0
+
+
+def _open_store(directory: str):
+    """Open an existing durable store directory for a ``store`` subcommand."""
+    from repro.store.store import AuditStore
+
+    return AuditStore(directory, create=False)
+
+
+def _cmd_store_stats(arguments: argparse.Namespace) -> int:
+    with _open_store(arguments.directory) as store:
+        print(store.stats().summary())
+    return 0
+
+
+def _cmd_store_verify(arguments: argparse.Namespace) -> int:
+    with _open_store(arguments.directory) as store:
+        report = store.verify()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_store_tail(arguments: argparse.Namespace) -> int:
+    with _open_store(arguments.directory) as store:
+        entries = store.tail(arguments.count)
+    for entry in entries:
+        print(f"t{entry.time} {entry.op.name.lower()} {entry.user} "
+              f"{entry.data} {entry.purpose} as {entry.authorized} "
+              f"[{entry.status.name.lower()}]")
+    if not entries:
+        print("(store is empty)")
+    return 0
+
+
+def _cmd_store_compact(arguments: argparse.Namespace) -> int:
+    with _open_store(arguments.directory) as store:
+        report = store.compact()
+    print(report.summary())
     return 0
 
 

@@ -55,6 +55,10 @@ class AuditError(PrimaError):
     """An audit entry or audit log is malformed or misused."""
 
 
+class StoreError(PrimaError):
+    """The durable audit store is corrupt, misused, or misconfigured."""
+
+
 class EnforcementError(PrimaError):
     """Active Enforcement rejected or could not rewrite a query."""
 

@@ -78,8 +78,14 @@ def run_refinement_loop(
     min_support: int = 5,
     min_distinct_users: int = 2,
     refine_on_cumulative: bool = True,
+    cumulative_log=None,
 ) -> LoopResult:
-    """Drive the closed loop for E3 (and its review-policy ablation)."""
+    """Drive the closed loop for E3 (and its review-policy ablation).
+
+    ``cumulative_log`` optionally supplies the history sink — pass a
+    :class:`~repro.store.durable.DurableAuditLog` to persist every round's
+    traffic and refine straight off disk (the CLI's ``--store-dir``).
+    """
     loop = RefinementLoop(
         environment=setup.environment,
         store=setup.store,
@@ -91,6 +97,7 @@ def run_refinement_loop(
             )
         ),
         refine_on_cumulative=refine_on_cumulative,
+        cumulative_log=cumulative_log,
     )
     return loop.run(rounds)
 

@@ -6,18 +6,25 @@ and the regular/exception flag (``status``).  The auditor owns the logical
 clock so entry times are monotone even when many components log.
 
 The paper's first concern about retroactive controls is overhead; the
-auditor therefore does nothing but append to an in-memory log (cheap by
+auditor therefore does nothing but append to its log (cheap by
 construction) and exposes counters so benchmark E6 can quantify the cost.
+The log defaults to in-memory; hand the constructor a
+:class:`~repro.store.durable.DurableAuditLog` to write the trail through
+to the crash-safe segmented store instead (E16 measures that path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import AccessOp, AccessStatus
 from repro.obs.runtime import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.durable import DurableAuditLog
 
 
 class LogicalClock:
@@ -62,9 +69,19 @@ class AuditorStats:
 
 
 class ComplianceAuditor:
-    """Writes audit entries for enforced accesses."""
+    """Writes audit entries for enforced accesses.
 
-    def __init__(self, log: AuditLog | None = None, clock: LogicalClock | None = None) -> None:
+    ``log`` is any AuditLog-protocol sink: the default in-memory
+    :class:`~repro.audit.log.AuditLog`, or a
+    :class:`~repro.store.durable.DurableAuditLog` to write the trail
+    through to crash-safe disk segments.
+    """
+
+    def __init__(
+        self,
+        log: "AuditLog | DurableAuditLog | None" = None,
+        clock: LogicalClock | None = None,
+    ) -> None:
         self.log = log if log is not None else AuditLog()
         self.clock = clock if clock is not None else LogicalClock()
         self.stats = AuditorStats()

@@ -5,7 +5,11 @@ a virtual view of all the audit trails"; any mechanism "that can
 consolidate all audit data in one place for subsequent analysis" is
 acceptable.  :class:`AuditFederation` is that mechanism here:
 
-- member sites register their :class:`~repro.audit.log.AuditLog`s;
+- member sites register their :class:`~repro.audit.log.AuditLog`s —
+  eagerly (:meth:`register`) or lazily from a path
+  (:meth:`register_path`, :meth:`register_directory`), so a federation
+  over many sites' CSV/JSONL exports or durable store directories costs
+  nothing until consolidation actually reads a member;
 - :meth:`consolidated_log` merges them into one time-ordered log (a
   physical consolidation, what refinement consumes);
 - :meth:`register_view` exposes a *virtual* union view inside a sqlmini
@@ -18,6 +22,8 @@ from __future__ import annotations
 
 import heapq
 from collections.abc import Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
@@ -27,6 +33,36 @@ from repro.sqlmini.schema import Column
 from repro.sqlmini.table import ViewTable
 from repro.sqlmini.types import SqlType, Value
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.durable import DurableAuditLog
+
+#: File suffixes :meth:`AuditFederation.register_path` understands.
+_FILE_SUFFIXES = (".csv", ".jsonl", ".ndjson")
+
+
+def _load_member(path: Path, site: str) -> "AuditLog | DurableAuditLog":
+    """Load one member source: a CSV/JSONL file or a store directory."""
+    from repro.audit import io as audit_io
+
+    if path.is_dir():
+        from repro.store.durable import DurableAuditLog
+        from repro.store.manifest import manifest_path
+
+        if not manifest_path(path).exists():
+            raise FederationError(
+                f"member path {path} is a directory without a store manifest"
+            )
+        return DurableAuditLog(path, name=site, create=False)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return audit_io.load_csv(path, name=site)
+    if suffix in (".jsonl", ".ndjson"):
+        return audit_io.load_jsonl(path, name=site)
+    raise FederationError(
+        f"member path {path} has unsupported format {suffix!r} "
+        f"(use {_FILE_SUFFIXES} or a store directory)"
+    )
+
 
 class AuditFederation:
     """A consolidated view over many per-site audit logs."""
@@ -34,35 +70,85 @@ class AuditFederation:
     def __init__(self, name: str = "audit_federation") -> None:
         self.name = name
         self._members: dict[str, AuditLog] = {}
+        self._pending: dict[str, Path] = {}  # site -> unloaded source path
 
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
-    def register(self, site: str, log: AuditLog) -> None:
-        """Register one member site's log under the name ``site``."""
+    def _claim_site(self, site: str) -> str:
         key = site.strip().lower()
         if not key:
             raise FederationError("site names must be non-empty")
-        if key in self._members:
+        if key in self._members or key in self._pending:
             raise FederationError(f"site {site!r} is already registered")
-        self._members[key] = log
+        return key
+
+    def register(self, site: str, log: AuditLog) -> None:
+        """Register one member site's log under the name ``site``."""
+        self._members[self._claim_site(site)] = log
+
+    def register_path(self, site: str, path: str | Path) -> None:
+        """Attach a member lazily from an on-disk source.
+
+        ``path`` may be a ``.csv`` / ``.jsonl`` / ``.ndjson`` export or a
+        durable store directory; nothing is read until the member is
+        first consolidated, queried or measured, so registering hundreds
+        of sites is free.  The source must exist at registration time
+        (fail fast on typos); format problems surface on first access.
+        """
+        source = Path(path)
+        if not source.exists():
+            raise FederationError(f"member path {source} does not exist")
+        self._pending[self._claim_site(site)] = source
+
+    def register_directory(self, root: str | Path) -> tuple[str, ...]:
+        """Register every audit source directly under ``root`` as a site.
+
+        Each ``*.csv`` / ``*.jsonl`` / ``*.ndjson`` file becomes a site
+        named by its stem; each subdirectory containing a store manifest
+        becomes a site named by the directory name.  Returns the site
+        names added, sorted.
+        """
+        from repro.store.manifest import manifest_path
+
+        base = Path(root)
+        if not base.is_dir():
+            raise FederationError(f"{base} is not a directory of member sites")
+        added: list[str] = []
+        for child in sorted(base.iterdir()):
+            if child.is_dir() and manifest_path(child).exists():
+                self.register_path(child.name, child)
+                added.append(child.name.strip().lower())
+            elif child.is_file() and child.suffix.lower() in _FILE_SUFFIXES:
+                self.register_path(child.stem, child)
+                added.append(child.stem.strip().lower())
+        if not added:
+            raise FederationError(f"{base} holds no recognisable audit sources")
+        return tuple(sorted(added))
 
     @property
     def sites(self) -> tuple[str, ...]:
-        return tuple(sorted(self._members))
+        return tuple(sorted(set(self._members) | set(self._pending)))
 
-    def member(self, site: str) -> AuditLog:
-        """The registered log of one member site."""
+    def member(self, site: str) -> "AuditLog | DurableAuditLog":
+        """The registered log of one member site (loading it if lazy)."""
+        key = site.strip().lower()
+        if key in self._pending:
+            self._members[key] = _load_member(self._pending.pop(key), key)
         try:
-            return self._members[site.strip().lower()]
+            return self._members[key]
         except KeyError:
             raise FederationError(
                 f"no such federation member {site!r} (sites: {self.sites})"
             ) from None
 
+    def _resolved_members(self) -> list[tuple[str, "AuditLog | DurableAuditLog"]]:
+        """All members in site order, loading any still-lazy ones."""
+        return [(site, self.member(site)) for site in self.sites]
+
     def __len__(self) -> int:
-        """Total entries across all members."""
-        return sum(len(log) for log in self._members.values())
+        """Total entries across all members (loads lazy members)."""
+        return sum(len(log) for _, log in self._resolved_members())
 
     # ------------------------------------------------------------------
     # consolidation
@@ -73,17 +159,17 @@ class AuditFederation:
         Member logs are individually time-ordered, so this is a k-way
         merge; ties keep site order stable.
         """
-        if not self._members:
+        if not self._members and not self._pending:
             raise FederationError(f"federation {self.name!r} has no members")
 
-        def keyed(site_index: int, log: AuditLog) -> Iterator[tuple[int, int, int, AuditEntry]]:
+        def keyed(site_index: int, log) -> Iterator[tuple[int, int, int, AuditEntry]]:
             for sequence, entry in enumerate(log):
                 yield (entry.time, site_index, sequence, entry)
 
         merged = heapq.merge(
             *(
                 keyed(index, log)
-                for index, (_, log) in enumerate(sorted(self._members.items()))
+                for index, (_, log) in enumerate(self._resolved_members())
             )
         )
         result = AuditLog(name=name or f"{self.name}.consolidated")
@@ -93,7 +179,7 @@ class AuditFederation:
 
     def _view_rows(self) -> Iterator[tuple[Value, ...]]:
         """Rows of the virtual union view: audit columns plus site."""
-        for site, log in sorted(self._members.items()):
+        for site, log in self._resolved_members():
             for entry in log:
                 yield (*entry.as_row(), site)
 

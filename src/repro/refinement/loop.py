@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 from repro.audit.log import AuditLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.durable import DurableAuditLog
 from repro.coverage.engine import compute_coverage, compute_entry_coverage
 from repro.errors import RefinementError
 from repro.obs.metrics import sample_delta
@@ -73,7 +76,7 @@ class LoopResult:
 
     rounds: tuple[RoundReport, ...]
     store: PolicyStore
-    cumulative_log: AuditLog
+    cumulative_log: "AuditLog | DurableAuditLog"
 
     def coverage_series(self) -> tuple[float, ...]:
         """Set-coverage after each round (the E3 headline series)."""
@@ -107,12 +110,19 @@ class RefinementLoop:
         review: ReviewPolicy,
         config: RefinementConfig | None = None,
         refine_on_cumulative: bool = True,
+        cumulative_log: "AuditLog | DurableAuditLog | None" = None,
     ) -> None:
         self.environment = environment
         self.store = store
         self.vocabulary = vocabulary
         self.review = review
         self.config = config or RefinementConfig()
+        #: where the loop accumulates audit history: any AuditLog-protocol
+        #: sink (a :class:`~repro.store.durable.DurableAuditLog` makes the
+        #: whole loop run off disk — appends are crash-safe and refinement
+        #: streams the history instead of holding it in RAM).  None means
+        #: a fresh in-memory log per :meth:`run`.
+        self.cumulative_log = cumulative_log
         # One grounder for the life of the loop: the store mostly persists
         # between rounds, so expansions memoised (and range masks interned)
         # in round N are free in round N+1.
@@ -126,7 +136,11 @@ class RefinementLoop:
         """Drive the loop for ``rounds`` intervals."""
         if rounds < 1:
             raise RefinementError(f"the loop needs at least one round, got {rounds}")
-        cumulative = AuditLog(name="cumulative")
+        cumulative = (
+            self.cumulative_log
+            if self.cumulative_log is not None
+            else AuditLog(name="cumulative")
+        )
         reports: list[RoundReport] = []
         reg = get_registry()
         samples_before = reg.sample_values() if reg.enabled else {}
@@ -196,7 +210,7 @@ class RefinementLoop:
             rounds=tuple(reports), store=self.store, cumulative_log=cumulative
         )
 
-    def _coverage_after(self, log: AuditLog) -> tuple[float, float]:
+    def _coverage_after(self, log: "AuditLog | DurableAuditLog") -> tuple[float, float]:
         grounder = self._grounder
         policy = self.store.policy()
         audit_policy = log.to_policy(self.config.mining.attributes)

@@ -1,0 +1,47 @@
+"""Durable segmented audit storage (the on-disk ``P_AL``).
+
+The PRIMA architecture treats the audit trail as a large, continuously
+growing object that analyses stream over incrementally; this package is
+the storage engine for that shape of workload:
+
+- :class:`~repro.store.store.AuditStore` — crash-safe segmented append
+  log: CRC32-framed records, size/entry rotation, atomic manifest,
+  torn-tail recovery, per-segment hash + sparse time indexes, offline
+  compaction, configurable fsync policy.
+- :class:`~repro.store.durable.DurableAuditLog` — the
+  :class:`~repro.audit.log.AuditLog`-protocol face of a store, with
+  streaming views, so auditing, federation, refinement and coverage can
+  run straight off disk.
+
+See DESIGN.md §9 for the on-disk format and recovery invariants, and
+EXPERIMENTS.md E16 for the throughput/recovery/memory numbers.
+"""
+
+from repro.store.compaction import CompactionReport, compact_store
+from repro.store.durable import (
+    AuditReadOps,
+    DurableAuditLog,
+    StreamedAuditView,
+    copy_to_durable,
+)
+from repro.store.store import (
+    AuditStore,
+    RecoveryReport,
+    StoreConfig,
+    StoreStats,
+    VerifyReport,
+)
+
+__all__ = [
+    "AuditReadOps",
+    "AuditStore",
+    "CompactionReport",
+    "DurableAuditLog",
+    "RecoveryReport",
+    "StoreConfig",
+    "StoreStats",
+    "StreamedAuditView",
+    "VerifyReport",
+    "compact_store",
+    "copy_to_durable",
+]

@@ -1,0 +1,170 @@
+"""Per-segment indexes: hash lookups and sparse time seeks.
+
+Each sealed segment carries a JSON sidecar (``<segment>.idx.json``) with
+
+- a **hash index** per lookup attribute (``user``, ``data``, ``purpose``):
+  value → sorted record byte offsets, for point lookups without a scan;
+- a **sparse time index**: ``(time, offset)`` for every *stride*-th record
+  (and always the first), so a window scan seeks close to ``start``
+  instead of decoding the whole segment.
+
+Indexes are derivative — they can always be rebuilt from the segment —
+so they are written with the same atomic replace as the manifest but are
+*not* required for correctness: a missing sidecar downgrades reads to a
+segment scan.  The active segment keeps the same structure in memory
+(:class:`IndexBuilder`), fed record-by-record on append and replayed by
+recovery, so lookups cover unsealed data too.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.audit.entry import AuditEntry
+from repro.errors import StoreError
+from repro.store.codec import HEADER_SIZE
+from repro.store.manifest import atomic_write_bytes
+
+#: The audit attributes hash-indexed per segment.
+INDEXED_ATTRIBUTES: tuple[str, ...] = ("user", "data", "purpose")
+
+#: Index sidecar schema version.
+INDEX_FORMAT: int = 1
+
+#: Default record stride of the sparse time index.
+DEFAULT_TIME_STRIDE: int = 64
+
+
+@dataclass
+class SegmentIndex:
+    """The queryable index of one segment."""
+
+    entries: int = 0
+    stride: int = DEFAULT_TIME_STRIDE
+    by: dict[str, dict[str, list[int]]] = field(
+        default_factory=lambda: {attr: {} for attr in INDEXED_ATTRIBUTES}
+    )
+    times: list[tuple[int, int]] = field(default_factory=list)
+
+    def offsets_for(self, attribute: str, value: str) -> list[int]:
+        """Record offsets whose ``attribute`` equals ``value`` (sorted)."""
+        if attribute not in self.by:
+            raise StoreError(
+                f"attribute {attribute!r} is not indexed "
+                f"(indexed: {INDEXED_ATTRIBUTES})"
+            )
+        return self.by[attribute].get(value, [])
+
+    def seek_offset(self, start_time: int) -> int:
+        """A byte offset at or before the first record with
+        ``time >= start_time`` — where a window scan should begin."""
+        if not self.times:
+            return HEADER_SIZE
+        position = bisect.bisect_right([t for t, _ in self.times], start_time) - 1
+        if position < 0:
+            return HEADER_SIZE
+        return self.times[position][1]
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping."""
+        return {
+            "format": INDEX_FORMAT,
+            "entries": self.entries,
+            "stride": self.stride,
+            "by": self.by,
+            "times": [[time, offset] for time, offset in self.times],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SegmentIndex":
+        """Rebuild from sidecar JSON."""
+        try:
+            if payload["format"] != INDEX_FORMAT:
+                raise StoreError(
+                    f"unsupported index format {payload['format']!r}"
+                )
+            return cls(
+                entries=int(payload["entries"]),
+                stride=int(payload["stride"]),
+                by={
+                    attr: {
+                        value: list(map(int, offsets))
+                        for value, offsets in payload["by"].get(attr, {}).items()
+                    }
+                    for attr in INDEXED_ATTRIBUTES
+                },
+                times=[(int(t), int(o)) for t, o in payload["times"]],
+            )
+        except StoreError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed segment index: {exc}") from exc
+
+
+class IndexBuilder:
+    """Accumulates a :class:`SegmentIndex` record-by-record.
+
+    The store feeds it on every append (and recovery replays the active
+    segment through it), so the index of the active segment is always
+    current in memory and is simply serialised at seal time.
+    """
+
+    def __init__(self, stride: int = DEFAULT_TIME_STRIDE) -> None:
+        if stride < 1:
+            raise StoreError(f"time-index stride must be >= 1, got {stride}")
+        self._index = SegmentIndex(stride=stride)
+
+    def add(self, offset: int, entry: AuditEntry) -> None:
+        """Record one appended entry at byte ``offset``."""
+        index = self._index
+        for attribute in INDEXED_ATTRIBUTES:
+            index.by[attribute].setdefault(getattr(entry, attribute), []).append(offset)
+        if index.entries % index.stride == 0:
+            index.times.append((entry.time, offset))
+        index.entries += 1
+
+    @property
+    def index(self) -> SegmentIndex:
+        """The live index (shared, not a copy)."""
+        return self._index
+
+
+def index_path(segment_path: str | Path) -> Path:
+    """Sidecar path of the index for the segment at ``segment_path``."""
+    path = Path(segment_path)
+    return path.with_name(path.name + ".idx.json")
+
+
+def save_index(segment_path: str | Path, index: SegmentIndex) -> Path:
+    """Atomically write the sidecar index for a sealed segment."""
+    target = index_path(segment_path)
+    atomic_write_bytes(
+        target, (json.dumps(index.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+    )
+    return target
+
+
+def load_index(segment_path: str | Path) -> SegmentIndex | None:
+    """Load a segment's sidecar index; None when the sidecar is missing."""
+    source = index_path(segment_path)
+    if not source.exists():
+        return None
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"{source} is not valid JSON: {exc}") from exc
+    return SegmentIndex.from_dict(payload)
+
+
+def build_index(
+    segment_path: str | Path, stride: int = DEFAULT_TIME_STRIDE
+) -> SegmentIndex:
+    """Rebuild a segment's index by scanning the segment file."""
+    from repro.store.segment import scan_segment
+
+    builder = IndexBuilder(stride=stride)
+    scan_segment(segment_path, visit=builder.add)
+    return builder.index

@@ -1,0 +1,213 @@
+"""Append-only segment files: the writer, the scanner, random reads.
+
+A segment is one bounded, append-only file of framed audit records (see
+:mod:`repro.store.codec`).  Readers work a segment at a time: segments
+are bounded by the store's rotation limits, so holding one segment's
+bytes while decoding keeps memory proportional to the segment size, never
+the log size.
+
+:func:`scan_segment` is the recovery and streaming primitive — it decodes
+every committed record and reports exactly where the valid prefix ends,
+so a torn tail can be truncated without guessing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.audit.entry import AuditEntry
+from repro.errors import StoreError
+from repro.store.codec import (
+    FRAME_OVERHEAD,
+    HEADER_SIZE,
+    SEGMENT_HEADER,
+    decode_payload,
+    encode_record,
+    read_frame,
+)
+
+
+def segment_name(index: int) -> str:
+    """The canonical file name of segment number ``index``."""
+    return f"seg-{index:08d}.seg"
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """What :func:`scan_segment` learned about one segment file.
+
+    ``valid_bytes`` is the offset where the checksum-valid prefix ends;
+    ``torn`` is True when bytes exist past that offset (a torn or corrupt
+    tail).  ``first_time``/``last_time`` are None for an empty segment.
+    """
+
+    entries: int
+    valid_bytes: int
+    torn: bool
+    first_time: int | None
+    last_time: int | None
+
+
+def check_header(raw: bytes, path: Path) -> None:
+    """Raise :class:`~repro.errors.StoreError` unless ``raw`` starts with
+    a well-formed segment header."""
+    if raw[:HEADER_SIZE] != SEGMENT_HEADER:
+        raise StoreError(
+            f"{path} is not a v{SEGMENT_HEADER[4]} audit segment "
+            f"(bad magic/version in header)"
+        )
+
+
+def scan_segment(
+    path: str | Path,
+    visit: Callable[[int, AuditEntry], None] | None = None,
+) -> SegmentScan:
+    """Decode every committed record of the segment at ``path``.
+
+    ``visit(offset, entry)`` is called for each record (recovery uses it
+    to rebuild the active segment's in-memory index).  A file shorter
+    than the header counts as fully torn (``valid_bytes`` is then the
+    header size the rewritten file must be truncated to).
+    """
+    source = Path(path)
+    raw = source.read_bytes()
+    if len(raw) < HEADER_SIZE:
+        return SegmentScan(
+            entries=0, valid_bytes=HEADER_SIZE, torn=True,
+            first_time=None, last_time=None,
+        )
+    check_header(raw, source)
+    offset = HEADER_SIZE
+    entries = 0
+    first_time: int | None = None
+    last_time: int | None = None
+    while True:
+        result = read_frame(raw, offset)
+        if result is None:
+            break
+        payload, next_offset = result
+        try:
+            entry = decode_payload(payload)
+        except StoreError:
+            break  # checksum-valid but undecodable: treat as end of prefix
+        if visit is not None:
+            visit(offset, entry)
+        if first_time is None:
+            first_time = entry.time
+        last_time = entry.time
+        entries += 1
+        offset = next_offset
+    return SegmentScan(
+        entries=entries,
+        valid_bytes=offset,
+        torn=offset < len(raw),
+        first_time=first_time,
+        last_time=last_time,
+    )
+
+
+def iter_segment(path: str | Path, start_offset: int = HEADER_SIZE) -> Iterator[AuditEntry]:
+    """Yield every committed entry of a segment, from ``start_offset`` on.
+
+    Stops silently at the first invalid frame (the scan/recovery path is
+    responsible for deciding whether that is acceptable); use
+    :func:`scan_segment` when the end position matters.
+    """
+    raw = Path(path).read_bytes()
+    if len(raw) < HEADER_SIZE:
+        return
+    check_header(raw, Path(path))
+    offset = start_offset
+    while True:
+        result = read_frame(raw, offset)
+        if result is None:
+            return
+        payload, offset = result
+        yield decode_payload(payload)
+
+
+def read_record_at(handle: BinaryIO, offset: int) -> AuditEntry:
+    """Random-access read of the record starting at byte ``offset``.
+
+    Used by index-driven lookups; raises :class:`~repro.errors.StoreError`
+    when the frame at ``offset`` is invalid.
+    """
+    handle.seek(offset)
+    header = handle.read(FRAME_OVERHEAD)
+    if len(header) != FRAME_OVERHEAD:
+        raise StoreError(f"no record frame at offset {offset}")
+    length, crc = struct.unpack("<II", header)
+    payload = handle.read(length)
+    if len(payload) != length or zlib.crc32(payload) != crc:
+        raise StoreError(f"corrupt record frame at offset {offset}")
+    return decode_payload(payload)
+
+
+class SegmentWriter:
+    """Appends framed records to one segment file.
+
+    The writer owns the file handle and tracks the segment's entry count,
+    byte size and time bounds.  Flushing and fsync policy live in the
+    store — the writer only exposes the primitives.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        create: bool,
+        entries: int = 0,
+        size: int = HEADER_SIZE,
+        first_time: int | None = None,
+        last_time: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        if create:
+            self._handle = self.path.open("wb")
+            self._handle.write(SEGMENT_HEADER)
+            self._handle.flush()
+            self.entries = 0
+            self.size = HEADER_SIZE
+            self.first_time: int | None = None
+            self.last_time: int | None = None
+        else:
+            self._handle = self.path.open("ab")
+            self.entries = entries
+            self.size = size
+            self.first_time = first_time
+            self.last_time = last_time
+
+    @property
+    def name(self) -> str:
+        """The segment's file name."""
+        return self.path.name
+
+    def append(self, entry: AuditEntry) -> tuple[int, int]:
+        """Write one record; returns ``(record_offset, bytes_written)``."""
+        record = encode_record(entry)
+        offset = self.size
+        self._handle.write(record)
+        self.size += len(record)
+        self.entries += 1
+        if self.first_time is None:
+            self.first_time = entry.time
+        self.last_time = entry.time
+        return offset, len(record)
+
+    def flush(self, sync: bool = False) -> None:
+        """Flush Python buffers; with ``sync`` also fsync to stable storage."""
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+
+    def close(self, sync: bool = True) -> None:
+        """Flush (optionally fsync) and close the file handle."""
+        if self._handle.closed:
+            return
+        self.flush(sync=sync)
+        self._handle.close()

@@ -36,6 +36,49 @@ class TestCsv:
         path = audit_io.save_csv(table1_log, tmp_path / "trail.csv")
         assert audit_io.load_csv(path).name == "trail"
 
+    def test_truncated_row_raises_with_location(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[3] = ",".join(lines[3].split(",")[:4])  # drop trailing fields
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(AuditError, match=r"log\.csv:4: expected 7 fields"):
+            audit_io.load_csv(path)
+
+    def test_extra_field_raises_with_location(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] += ",surprise"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(AuditError, match=r"log\.csv:3: expected 7 fields"):
+            audit_io.load_csv(path)
+
+    def test_non_integer_time_raises_with_location(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        fields = lines[5].split(",")
+        fields[0] = "not-a-tick"
+        lines[5] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(AuditError, match=r"log\.csv:6: malformed audit row"):
+            audit_io.load_csv(path)
+
+    def test_corrupt_status_raises_with_location(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        fields = lines[1].split(",")
+        fields[-1] = "42"  # not a valid AccessStatus
+        lines[1] = ",".join(fields)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(AuditError, match=r"log\.csv:2"):
+            audit_io.load_csv(path)
+
+    def test_blank_csv_lines_skipped(self, tmp_path, table1_log):
+        path = audit_io.save_csv(table1_log, tmp_path / "log.csv")
+        path.write_text(
+            path.read_text(encoding="utf-8") + "\n\n", encoding="utf-8"
+        )
+        assert len(audit_io.load_csv(path)) == len(table1_log)
+
 
 class TestJsonl:
     def test_round_trip_keeps_truth(self, tmp_path):

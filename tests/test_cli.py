@@ -216,3 +216,97 @@ class TestTelemetryFlags:
             assert logging.getLogger("repro").isEnabledFor(logging.DEBUG)
         finally:
             configure_logging(verbose=False)
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        from repro.store.durable import copy_to_durable
+        from repro.store.store import StoreConfig
+
+        directory = tmp_path / "trail"
+        copy_to_durable(
+            table1_audit_log(), directory,
+            StoreConfig(max_segment_entries=3, fsync="off"),
+        ).close()
+        return str(directory)
+
+    def test_stats(self, capsys, store_dir):
+        assert main(["store", "stats", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 10" in out
+        assert "sealed" in out
+
+    def test_verify_clean(self, capsys, store_dir):
+        assert main(["store", "verify", store_dir]) == 0
+        assert "result           : OK" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_nonzero(self, capsys, store_dir):
+        from pathlib import Path
+
+        victim = sorted(Path(store_dir).glob("seg-*.seg"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["store", "verify", store_dir]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_tail(self, capsys, store_dir):
+        assert main(["store", "tail", store_dir, "-n", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert out[-1].startswith("t10 ")
+
+    def test_compact(self, capsys, store_dir):
+        assert main(["store", "compact", store_dir]) == 0
+        assert "compaction:" in capsys.readouterr().out
+        assert main(["store", "verify", store_dir]) == 0
+
+    def test_missing_directory_reported(self, capsys, tmp_path):
+        assert main(["store", "stats", str(tmp_path / "missing")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStoreDirFlags:
+    def test_simulate_persists_then_refine_reads_back(
+        self, capsys, store_file, tmp_path
+    ):
+        directory = str(tmp_path / "history")
+        assert main(
+            ["simulate", "--rounds", "2", "--accesses", "500",
+             "--enforce-sample", "0", "--store-dir", directory]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cumulative history persisted" in out
+        assert "entries    : 1000" in out
+        assert main(
+            ["refine", "--store", store_file, "--store-dir", directory]
+        ) == 0
+        assert "patterns mined" in capsys.readouterr().out
+
+    def test_refine_requires_exactly_one_source(
+        self, capsys, store_file, log_file, tmp_path
+    ):
+        assert main(["refine", "--store", store_file]) == 1
+        assert "exactly one audit source" in capsys.readouterr().err
+        assert main(
+            ["refine", "--store", store_file, "--log", log_file,
+             "--store-dir", str(tmp_path)]
+        ) == 1
+        assert "exactly one audit source" in capsys.readouterr().err
+
+    def test_refine_store_dir_matches_log_file(
+        self, capsys, store_file, log_file, tmp_path
+    ):
+        from repro.audit.io import load_csv
+        from repro.store.durable import copy_to_durable
+
+        directory = tmp_path / "trail"
+        copy_to_durable(load_csv(log_file), directory).close()
+        assert main(["refine", "--store", store_file, "--log", log_file]) == 0
+        from_file = capsys.readouterr().out
+        assert main(
+            ["refine", "--store", store_file, "--store-dir", str(directory)]
+        ) == 0
+        from_store = capsys.readouterr().out
+        assert from_store == from_file

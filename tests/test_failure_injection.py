@@ -37,7 +37,7 @@ class TestCorruptedInputs:
             "time,op,user,data,purpose,authorized,status\n1,1,u,d\n",
             encoding="utf-8",
         )
-        with pytest.raises(Exception):
+        with pytest.raises(AuditError, match=r"bad\.csv:2"):
             audit_io.load_csv(path)
 
     def test_non_numeric_time_in_csv(self, tmp_path):
@@ -47,7 +47,7 @@ class TestCorruptedInputs:
             "yesterday,1,u,d,p,r,1\n",
             encoding="utf-8",
         )
-        with pytest.raises(ValueError):
+        with pytest.raises(AuditError, match=r"bad\.csv:2"):
             audit_io.load_csv(path)
 
     def test_jsonl_with_wrong_status_value(self, tmp_path):

@@ -102,3 +102,94 @@ class TestVirtualView:
             "HAVING COUNT(*) >= 5 AND COUNT(DISTINCT user) >= 2"
         )
         assert result.rows == (("referral", "registration", "nurse"),)
+
+
+class TestLazyMembers:
+    def _write_sources(self, tmp_path):
+        from repro.audit import io as audit_io
+        from repro.store.durable import copy_to_durable
+        from repro.store.store import StoreConfig
+
+        cardio = _site_log("cardio", [1, 4, 9], "mark")
+        er = _site_log("er", [2, 3, 10], "tim")
+        derm = _site_log("derm", [5, 6], "ann")
+        audit_io.save_csv(cardio, tmp_path / "cardio.csv")
+        audit_io.save_jsonl(er, tmp_path / "er.jsonl")
+        copy_to_durable(
+            derm, tmp_path / "derm", StoreConfig(fsync="off")
+        ).close()
+        return cardio, er, derm
+
+    def test_register_path_is_lazy(self, tmp_path):
+        self._write_sources(tmp_path)
+        fed = AuditFederation()
+        fed.register_path("cardio", tmp_path / "cardio.csv")
+        (tmp_path / "cardio.csv").unlink()  # never read until accessed
+        assert fed.sites == ("cardio",)
+        with pytest.raises(FileNotFoundError):
+            fed.member("cardio")
+
+    def test_register_path_requires_existing_source(self, tmp_path):
+        with pytest.raises(FederationError):
+            AuditFederation().register_path("ghost", tmp_path / "missing.csv")
+
+    def test_register_path_rejects_unknown_format(self, tmp_path):
+        weird = tmp_path / "trail.xml"
+        weird.write_text("<log/>", encoding="utf-8")
+        fed = AuditFederation()
+        fed.register_path("weird", weird)
+        with pytest.raises(FederationError):
+            fed.member("weird")
+
+    def test_lazy_consolidation_matches_eager(self, tmp_path):
+        cardio, er, derm = self._write_sources(tmp_path)
+        eager = AuditFederation()
+        eager.register("cardio", cardio)
+        eager.register("er", er)
+        eager.register("derm", derm)
+        lazy = AuditFederation()
+        lazy.register_path("cardio", tmp_path / "cardio.csv")
+        lazy.register_path("er", tmp_path / "er.jsonl")
+        lazy.register_path("derm", tmp_path / "derm")
+        assert lazy.consolidated_log().entries == eager.consolidated_log().entries
+
+    def test_register_directory_discovers_all_sources(self, tmp_path):
+        self._write_sources(tmp_path)
+        fed = AuditFederation()
+        added = fed.register_directory(tmp_path)
+        assert added == ("cardio", "derm", "er")
+        assert len(fed) == 8
+
+    def test_register_directory_ignores_unrelated_files(self, tmp_path):
+        self._write_sources(tmp_path)
+        (tmp_path / "notes.txt").write_text("hello", encoding="utf-8")
+        (tmp_path / "plain_dir").mkdir()
+        fed = AuditFederation()
+        assert fed.register_directory(tmp_path) == ("cardio", "derm", "er")
+
+    def test_register_directory_empty_raises(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises(FederationError):
+            AuditFederation().register_directory(empty)
+
+    def test_durable_member_queryable_in_view(self, tmp_path):
+        self._write_sources(tmp_path)
+        fed = AuditFederation()
+        fed.register_directory(tmp_path)
+        db = Database()
+        fed.register_view(db)
+        result = db.query(
+            "SELECT site, COUNT(*) AS n FROM federated_audit "
+            "GROUP BY site ORDER BY site"
+        )
+        assert result.rows == (("cardio", 3), ("derm", 2), ("er", 3))
+
+    def test_duplicate_lazy_site_rejected(self, tmp_path):
+        self._write_sources(tmp_path)
+        fed = AuditFederation()
+        fed.register_path("cardio", tmp_path / "cardio.csv")
+        with pytest.raises(FederationError):
+            fed.register("cardio", AuditLog())
+        with pytest.raises(FederationError):
+            fed.register_path("CARDIO", tmp_path / "er.jsonl")

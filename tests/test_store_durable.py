@@ -1,0 +1,179 @@
+"""DurableAuditLog: AuditLog-protocol parity and pipeline integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.classify import classify_exceptions
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.errors import StoreError
+from repro.hdb.auditing import ComplianceAuditor
+from repro.refinement.engine import refine
+from repro.refinement.filtering import filter_practice
+from repro.store.durable import DurableAuditLog, StreamedAuditView, copy_to_durable
+from repro.store.store import StoreConfig
+
+
+@pytest.fixture()
+def durable_table1(tmp_path, table1_log) -> DurableAuditLog:
+    """The Section 5 trail persisted through the segmented store."""
+    return copy_to_durable(
+        table1_log, tmp_path / "t1",
+        StoreConfig(max_segment_entries=3, fsync="off"),
+    )
+
+
+class TestProtocolParity:
+    def test_len_and_iteration(self, durable_table1, table1_log):
+        assert len(durable_table1) == len(table1_log)
+        assert list(durable_table1) == list(table1_log)
+
+    def test_getitem(self, durable_table1, table1_log):
+        assert durable_table1[0] == table1_log[0]
+        assert durable_table1[-1] == table1_log[-1]
+
+    def test_getitem_out_of_range(self, durable_table1):
+        with pytest.raises(IndexError):
+            durable_table1[99]
+
+    def test_entries_materialises(self, durable_table1, table1_log):
+        assert durable_table1.entries == tuple(table1_log.entries)
+
+    def test_window(self, durable_table1, table1_log):
+        assert list(durable_table1.window(3, 8)) == list(table1_log.window(3, 8))
+
+    def test_exceptions_regular_denials(self, durable_table1, table1_log):
+        assert list(durable_table1.exceptions()) == list(table1_log.exceptions())
+        assert list(durable_table1.regular()) == list(table1_log.regular())
+        assert list(durable_table1.denials()) == list(table1_log.denials())
+
+    def test_exception_rate(self, durable_table1, table1_log):
+        assert durable_table1.exception_rate() == table1_log.exception_rate()
+
+    def test_distinct_users(self, durable_table1, table1_log):
+        assert durable_table1.distinct_users() == table1_log.distinct_users()
+
+    def test_time_range(self, durable_table1, table1_log):
+        assert durable_table1.time_range() == table1_log.time_range()
+
+    def test_rule_histogram(self, durable_table1, table1_log):
+        assert durable_table1.rule_histogram() == table1_log.rule_histogram()
+
+    def test_to_policy(self, durable_table1, table1_log):
+        assert tuple(durable_table1.to_policy()) == tuple(table1_log.to_policy())
+
+    def test_where_chains(self, durable_table1, table1_log):
+        durable = durable_table1.exceptions().where(lambda e: e.time > 5)
+        plain = table1_log.exceptions().where(lambda e: e.time > 5)
+        assert list(durable) == list(plain)
+
+    def test_views_are_reiterable(self, durable_table1):
+        view = durable_table1.exceptions()
+        assert isinstance(view, StreamedAuditView)
+        assert list(view) == list(view)
+        assert len(view) == len(list(view))
+
+
+class TestPipelineIntegration:
+    def test_refine_matches_in_memory(
+        self, durable_table1, table1_log, fig3_store, vocabulary
+    ):
+        on_disk = refine(fig3_store.policy(), durable_table1, vocabulary)
+        in_memory = refine(fig3_store.policy(), table1_log, vocabulary)
+        assert [p.rule for p in on_disk.useful_patterns] == [
+            p.rule for p in in_memory.useful_patterns
+        ]
+        assert on_disk.coverage.ratio == in_memory.coverage.ratio
+        assert on_disk.entry_coverage.ratio == in_memory.entry_coverage.ratio
+
+    def test_filter_practice_matches(self, durable_table1, table1_log):
+        assert list(filter_practice(durable_table1)) == list(
+            filter_practice(table1_log)
+        )
+
+    def test_classify_exceptions_matches(self, durable_table1, table1_log):
+        on_disk = classify_exceptions(durable_table1)
+        in_memory = classify_exceptions(table1_log)
+        assert [c.verdict for c in on_disk.classified] == [
+            c.verdict for c in in_memory.classified
+        ]
+
+    def test_auditor_writes_through(self, tmp_path):
+        durable = DurableAuditLog(tmp_path / "trail", StoreConfig(fsync="off"))
+        auditor = ComplianceAuditor(log=durable)
+        auditor.record_access(
+            user="mark", role="nurse", purpose="registration",
+            categories=("referral", "name"),
+            op=AccessOp.ALLOW, status=AccessStatus.REGULAR,
+        )
+        durable.sync()
+        assert len(durable) == 2
+        reopened = DurableAuditLog(tmp_path / "trail", create=False)
+        assert [entry.data for entry in reopened] == ["referral", "name"]
+
+
+class TestLifecycle:
+    def test_indexed_window_equals_full_scan_filter(self, tmp_path):
+        durable = DurableAuditLog(
+            tmp_path / "big", StoreConfig(max_segment_entries=7, fsync="off")
+        )
+        durable.extend(
+            make_entry(tick, f"user{tick % 5}", "referral", "registration", "nurse")
+            for tick in range(1, 101)
+        )
+        windowed = [entry.time for entry in durable.window(30, 61)]
+        assert windowed == list(range(30, 61))
+
+    def test_lookup_streams_matches(self, tmp_path):
+        durable = DurableAuditLog(
+            tmp_path / "big", StoreConfig(max_segment_entries=7, fsync="off")
+        )
+        durable.extend(
+            make_entry(tick, f"user{tick % 5}", "referral", "registration", "nurse")
+            for tick in range(1, 101)
+        )
+        hits = list(durable.lookup(user="user2"))
+        assert [entry.time for entry in hits] == [
+            tick for tick in range(1, 101) if tick % 5 == 2
+        ]
+
+    def test_close_then_read_raises(self, tmp_path):
+        durable = DurableAuditLog(tmp_path / "d", StoreConfig(fsync="off"))
+        durable.append(make_entry(1, "a", "referral", "registration", "nurse"))
+        durable.close()
+        with pytest.raises(StoreError):
+            durable.append(make_entry(2, "a", "referral", "registration", "nurse"))
+
+    def test_name_defaults_to_directory(self, tmp_path):
+        durable = DurableAuditLog(tmp_path / "trail", StoreConfig(fsync="off"))
+        assert durable.name == "trail"
+
+    def test_copy_to_durable_roundtrip_empty(self, tmp_path):
+        durable = copy_to_durable(AuditLog(), tmp_path / "empty")
+        assert len(durable) == 0
+        assert list(durable) == []
+
+
+class TestLoopIntegration:
+    def test_loop_accepts_same_rules_off_disk(self, tmp_path):
+        from repro.experiments.harness import run_refinement_loop, standard_loop_setup
+        from repro.refinement.review import ThresholdReview
+
+        kwargs = dict(accesses_per_round=600, seed=11)
+        in_memory = run_refinement_loop(
+            standard_loop_setup(**kwargs), ThresholdReview(), rounds=3
+        )
+        durable = DurableAuditLog(
+            tmp_path / "loop", StoreConfig(max_segment_entries=500, fsync="off")
+        )
+        on_disk = run_refinement_loop(
+            standard_loop_setup(**kwargs), ThresholdReview(), rounds=3,
+            cumulative_log=durable,
+        )
+        assert [r.rules_accepted for r in on_disk.rounds] == [
+            r.rules_accepted for r in in_memory.rounds
+        ]
+        assert tuple(on_disk.store.policy()) == tuple(in_memory.store.policy())
+        assert len(durable) == len(in_memory.cumulative_log)
+        assert durable.verify().ok

@@ -1,0 +1,144 @@
+"""Crash-safety tests: torn tails, missing files, recovery telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.audit.log import make_entry
+from repro.store.codec import HEADER_SIZE, SEGMENT_HEADER
+from repro.store.manifest import load_manifest
+from repro.store.store import AuditStore, StoreConfig
+
+
+def _entry(tick: int):
+    return make_entry(tick, f"user{tick % 3}", "referral", "registration", "nurse")
+
+
+def _populate(directory, count: int = 23, **config) -> None:
+    config.setdefault("fsync", "off")
+    config.setdefault("max_segment_entries", 5)
+    with AuditStore(directory, StoreConfig(**config)) as store:
+        store.extend(_entry(tick) for tick in range(1, count + 1))
+
+
+GARBAGE = b"\x50\x00\x00\x00\xde\xad\xbe\xefpartial"
+
+
+class TestTornTail:
+    def test_truncated_on_reopen(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        active = directory / load_manifest(directory).active
+        intact = active.stat().st_size
+        with active.open("ab") as handle:
+            handle.write(GARBAGE)
+        with AuditStore(directory, create=False) as store:
+            report = store.last_recovery
+            assert report is not None
+            assert report.torn
+            assert report.torn_bytes_dropped == len(GARBAGE)
+            assert len(store) == 23
+            assert [entry.time for entry in store][:3] == [1, 2, 3]
+        assert active.stat().st_size == intact
+
+    def test_recovered_store_accepts_appends(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        active = directory / load_manifest(directory).active
+        with active.open("ab") as handle:
+            handle.write(GARBAGE)
+        with AuditStore(directory, create=False) as store:
+            store.append(_entry(24))
+            assert len(store) == 24
+        with AuditStore(directory, create=False) as store:
+            assert store.verify().ok
+            assert len(store) == 24
+
+    def test_sub_header_stub_rewritten(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory, count=20)  # exactly 4 segments; active is fresh
+        active = directory / load_manifest(directory).active
+        active.write_bytes(SEGMENT_HEADER[:3])  # crash mid header write
+        with AuditStore(directory, create=False) as store:
+            assert store.last_recovery.torn
+            assert len(store) == 20
+        assert active.stat().st_size == HEADER_SIZE
+
+    def test_missing_active_file_recreated(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory, count=20)
+        active = directory / load_manifest(directory).active
+        active.unlink()  # crash between manifest swap and file creation
+        with AuditStore(directory, create=False) as store:
+            assert store.last_recovery.active_recreated
+            assert len(store) == 20
+            store.append(_entry(21))
+            assert store.verify().ok
+
+    def test_clean_reopen_reports_nothing_torn(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        with AuditStore(directory, create=False) as store:
+            assert not store.last_recovery.torn
+            assert store.last_recovery.scanned_entries == 3  # active only
+
+    def test_garbage_beyond_valid_tail_ignored_by_iteration(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        active = directory / load_manifest(directory).active
+        with active.open("ab") as handle:
+            handle.write(b"\x00" * 3)  # truncated length prefix
+        with AuditStore(directory, create=False) as store:
+            assert len(list(store)) == 23
+
+
+class TestRecoveryTelemetry:
+    def test_torn_truncation_counters(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        active = directory / load_manifest(directory).active
+        with active.open("ab") as handle:
+            handle.write(GARBAGE)
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            with AuditStore(directory, create=False):
+                pass
+            assert registry.counter("repro_store_recoveries_total").value == 1
+            assert registry.counter(
+                "repro_store_torn_tail_truncations_total"
+            ).value == 1
+            assert registry.counter(
+                "repro_store_torn_bytes_dropped_total"
+            ).value == len(GARBAGE)
+
+    def test_clean_recovery_does_not_count_truncation(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory)
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            with AuditStore(directory, create=False):
+                pass
+            assert registry.counter("repro_store_recoveries_total").value == 1
+            assert registry.counter(
+                "repro_store_torn_tail_truncations_total"
+            ).value == 0
+
+    def test_append_metrics_flow_through_snapshot(self, tmp_path):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            with AuditStore(tmp_path / "s", StoreConfig(fsync="off")) as store:
+                store.extend(_entry(tick) for tick in range(1, 11))
+                registry.snapshot()
+                assert registry.counter("repro_store_appends_total").value == 10
+                assert registry.gauge("repro_store_entries").value == 10
+
+
+class TestSealDurability:
+    def test_sealed_segments_survive_torn_active(self, tmp_path):
+        directory = tmp_path / "s"
+        _populate(directory, count=23)
+        manifest = load_manifest(directory)
+        assert len(manifest.sealed) == 4
+        active = directory / manifest.active
+        active.write_bytes(SEGMENT_HEADER)  # lose the whole active tail
+        with AuditStore(directory, create=False) as store:
+            assert len(store) == 20  # the 4 sealed segments
+            assert store.verify().ok

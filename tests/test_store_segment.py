@@ -1,0 +1,103 @@
+"""Unit tests for segment files: writer, scanner, iterator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import make_entry
+from repro.errors import StoreError
+from repro.store.codec import HEADER_SIZE, SEGMENT_HEADER
+from repro.store.segment import (
+    SegmentWriter,
+    iter_segment,
+    read_record_at,
+    scan_segment,
+    segment_name,
+)
+
+
+def _entries(count: int):
+    return [
+        make_entry(tick, f"user{tick % 3}", "referral", "registration", "nurse")
+        for tick in range(1, count + 1)
+    ]
+
+
+class TestNaming:
+    def test_zero_padded(self):
+        assert segment_name(1) == "seg-00000001.seg"
+        assert segment_name(42) == "seg-00000042.seg"
+
+
+class TestWriterAndScan:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        written = _entries(5)
+        for entry in written:
+            writer.append(entry)
+        writer.close()
+        assert list(iter_segment(path)) == written
+
+    def test_append_reports_offsets(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        offset, size = writer.append(_entries(1)[0])
+        writer.close()
+        assert offset == HEADER_SIZE
+        assert size > 0
+        with path.open("rb") as handle:
+            assert read_record_at(handle, offset) == _entries(1)[0]
+
+    def test_scan_tracks_time_bounds(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        for entry in _entries(4):
+            writer.append(entry)
+        writer.close()
+        scan = scan_segment(path)
+        assert not scan.torn
+        assert (scan.first_time, scan.last_time) == (1, 4)
+        assert scan.entries == 4
+        assert scan.valid_bytes == path.stat().st_size
+
+    def test_scan_flags_torn_tail(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        for entry in _entries(3):
+            writer.append(entry)
+        writer.close()
+        intact = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b"\x99\x00\x00\x00\xde\xad\xbe\xefpartial")
+        scan = scan_segment(path)
+        assert scan.torn
+        assert scan.entries == 3
+        assert scan.valid_bytes == intact
+
+    def test_scan_visit_callback_sees_offsets(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        offsets = [writer.append(entry)[0] for entry in _entries(3)]
+        writer.close()
+        seen: list[int] = []
+        scan_segment(path, visit=lambda offset, entry: seen.append(offset))
+        assert seen == offsets
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_bytes(b"NOPE" + SEGMENT_HEADER[4:])
+        with pytest.raises(StoreError):
+            scan_segment(path)
+
+    def test_reopen_existing_appends(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        writer = SegmentWriter(path, create=True)
+        writer.append(_entries(1)[0])
+        writer.close()
+        size = path.stat().st_size
+        writer = SegmentWriter(path, create=False, entries=1, size=size,
+                               first_time=1, last_time=1)
+        writer.append(make_entry(2, "tim", "referral", "registration", "nurse"))
+        writer.close()
+        assert [entry.time for entry in iter_segment(path)] == [1, 2]

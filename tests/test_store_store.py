@@ -1,0 +1,171 @@
+"""Unit tests for the segmented AuditStore: append, rotate, read, verify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import make_entry
+from repro.errors import AuditError, StoreError
+from repro.store.store import AuditStore, StoreConfig
+
+
+def _entry(tick: int, user: str = "mark", data: str = "referral"):
+    return make_entry(tick, user, data, "registration", "nurse")
+
+
+@pytest.fixture()
+def small_config() -> StoreConfig:
+    """Rotate every 5 entries so rotation paths get exercised."""
+    return StoreConfig(max_segment_entries=5, fsync="off")
+
+
+class TestConfig:
+    def test_rejects_unknown_fsync_policy(self):
+        with pytest.raises(StoreError):
+            StoreConfig(fsync="sometimes")
+
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(StoreError):
+            StoreConfig(max_segment_bytes=0)
+        with pytest.raises(StoreError):
+            StoreConfig(max_segment_entries=0)
+        with pytest.raises(StoreError):
+            StoreConfig(fsync_interval=0)
+        with pytest.raises(StoreError):
+            StoreConfig(time_index_stride=0)
+
+
+class TestAppendAndRead:
+    def test_round_trip_order_preserved(self, tmp_path, small_config):
+        written = [_entry(tick) for tick in range(1, 23)]
+        with AuditStore(tmp_path / "s", small_config) as store:
+            store.extend(written)
+            assert len(store) == 22
+            assert list(store) == written
+
+    def test_rotation_seals_segments(self, tmp_path, small_config):
+        with AuditStore(tmp_path / "s", small_config) as store:
+            store.extend(_entry(tick) for tick in range(1, 23))
+            stats = store.stats()
+        assert stats.sealed_segments == 4
+        assert stats.entries == 22
+
+    def test_reopen_preserves_everything(self, tmp_path, small_config):
+        directory = tmp_path / "s"
+        written = [_entry(tick) for tick in range(1, 23)]
+        with AuditStore(directory, small_config) as store:
+            store.extend(written)
+        with AuditStore(directory, small_config, create=False) as store:
+            assert list(store) == written
+            assert store.time_range() == (1, 22)
+
+    def test_rejects_non_entry(self, tmp_path):
+        with AuditStore(tmp_path / "s", StoreConfig(fsync="off")) as store:
+            with pytest.raises(AuditError):
+                store.append("not an entry")
+
+    def test_rejects_time_regression(self, tmp_path):
+        with AuditStore(tmp_path / "s", StoreConfig(fsync="off")) as store:
+            store.append(_entry(5))
+            with pytest.raises(AuditError):
+                store.append(_entry(4))
+
+    def test_equal_times_allowed(self, tmp_path):
+        with AuditStore(tmp_path / "s", StoreConfig(fsync="off")) as store:
+            store.append(_entry(5))
+            store.append(_entry(5, user="tim"))
+            assert len(store) == 2
+
+    def test_closed_store_refuses_io(self, tmp_path):
+        store = AuditStore(tmp_path / "s", StoreConfig(fsync="off"))
+        store.close()
+        with pytest.raises(StoreError):
+            store.append(_entry(1))
+
+    def test_time_range_empty_raises(self, tmp_path):
+        with AuditStore(tmp_path / "s", StoreConfig(fsync="off")) as store:
+            with pytest.raises(AuditError):
+                store.time_range()
+
+    def test_segments_without_manifest_rejected(self, tmp_path):
+        directory = tmp_path / "s"
+        directory.mkdir()
+        (directory / "seg-00000001.seg").write_bytes(b"PRAS\x01\x00\x00\x00")
+        with pytest.raises(StoreError):
+            AuditStore(directory)
+
+    def test_open_missing_store_without_create(self, tmp_path):
+        with pytest.raises(StoreError):
+            AuditStore(tmp_path / "absent", create=False)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def populated(self, tmp_path, small_config):
+        with AuditStore(tmp_path / "s", small_config) as store:
+            for tick in range(1, 23):
+                store.append(_entry(tick, user=f"user{tick % 3}",
+                                    data="referral" if tick % 2 else "name"))
+            yield store
+
+    def test_scan_window_half_open(self, populated):
+        times = [entry.time for entry in populated.scan_window(5, 12)]
+        assert times == [5, 6, 7, 8, 9, 10, 11]
+
+    def test_scan_window_crosses_segments(self, populated):
+        assert len(list(populated.scan_window(1, 23))) == 22
+
+    def test_scan_window_empty_range(self, populated):
+        assert list(populated.scan_window(100, 200)) == []
+
+    def test_lookup_by_user(self, populated):
+        hits = tuple(populated.lookup(user="user1"))
+        assert all(entry.user == "user1" for entry in hits)
+        assert len(hits) == len([t for t in range(1, 23) if t % 3 == 1])
+
+    def test_lookup_intersection(self, populated):
+        hits = tuple(populated.lookup(user="user1", data="name"))
+        assert all(
+            entry.user == "user1" and entry.data == "name" for entry in hits
+        )
+        assert len(hits) == len(
+            [t for t in range(1, 23) if t % 3 == 1 and t % 2 == 0]
+        )
+
+    def test_lookup_canonicalises_query(self, populated):
+        assert tuple(populated.lookup(user="  USER1 ")) == tuple(
+            populated.lookup(user="user1")
+        )
+
+    def test_lookup_unknown_value_empty(self, populated):
+        assert tuple(populated.lookup(user="nobody")) == ()
+
+    def test_lookup_without_attributes_rejected(self, populated):
+        with pytest.raises(StoreError):
+            next(populated.lookup())
+
+    def test_tail_newest_first_window(self, populated):
+        assert [entry.time for entry in populated.tail(3)] == [20, 21, 22]
+
+    def test_tail_larger_than_store(self, populated):
+        assert len(populated.tail(1000)) == 22
+
+
+class TestVerify:
+    def test_clean_store_verifies(self, tmp_path, small_config):
+        with AuditStore(tmp_path / "s", small_config) as store:
+            store.extend(_entry(tick) for tick in range(1, 23))
+            report = store.verify()
+        assert report.ok
+        assert report.records == 22
+
+    def test_flipped_bit_detected(self, tmp_path, small_config):
+        directory = tmp_path / "s"
+        with AuditStore(directory, small_config) as store:
+            store.extend(_entry(tick) for tick in range(1, 23))
+        victim = sorted(directory.glob("seg-*.seg"))[0]
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with AuditStore(directory, small_config, create=False) as store:
+            assert not store.verify().ok
