@@ -61,9 +61,28 @@ class AuditLog:
         self._entries.append(entry)
 
     def extend(self, entries: Iterable[AuditEntry]) -> None:
-        """Append every entry in order (same time rules as append)."""
-        for entry in entries:
-            self.append(entry)
+        """Append every entry in order (same time rules as append).
+
+        The batch is validated *before* any entry lands, so ``extend`` is
+        all-or-nothing: a mid-iterable entry that is not an
+        :class:`AuditEntry` or violates time ordering raises
+        :class:`~repro.errors.AuditError` and leaves the log unchanged.
+        """
+        batch = list(entries)
+        last_time = self._last_time
+        for entry in batch:
+            if not isinstance(entry, AuditEntry):
+                raise AuditError(
+                    f"audit logs hold AuditEntry objects, got {entry!r}"
+                )
+            if entry.time < last_time:
+                raise AuditError(
+                    f"audit entries must be time-ordered: {entry.time} after "
+                    f"{last_time}"
+                )
+            last_time = entry.time
+        self._entries.extend(batch)
+        self._last_time = last_time
 
     # ------------------------------------------------------------------
     # slicing

@@ -137,6 +137,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="also propose time-windowed conditional rules")
     refine_cmd.add_argument("--ticks-per-hour", type=int, default=1,
                             help="log ticks per hour for --temporal (default 1)")
+    refine_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                            help="shard refinement across N worker processes "
+                                 "(results identical to serial; default 1)")
     refine_cmd.set_defaults(handler=_cmd_refine)
 
     report = commands.add_parser(
@@ -167,6 +170,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="persist the cumulative audit history in a "
                                "durable segmented store at DIR and refine "
                                "straight off disk")
+    simulate.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="shard each round's refinement across N worker "
+                               "processes (default 1)")
     _add_metrics_out(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -327,6 +333,11 @@ def _cmd_refine(arguments: argparse.Namespace) -> int:
     vocabulary = _load_vocabulary(arguments.vocab)
     store = _load_policy(arguments.store)
     log = _resolve_refine_log(arguments)
+    execution = None
+    if arguments.workers > 1:
+        from repro.parallel.execution import ExecutionPolicy
+
+        execution = ExecutionPolicy(workers=arguments.workers)
     config = RefinementConfig(
         mining=MiningConfig(
             min_support=arguments.min_support,
@@ -334,6 +345,7 @@ def _cmd_refine(arguments: argparse.Namespace) -> int:
         ),
         miner=AprioriPatternMiner() if arguments.miner == "apriori" else SqlPatternMiner(),
         exclude_suspected_violations=arguments.screen_violations,
+        execution=execution,
     )
     result = refine(store, log, vocabulary, config)
     print(result.summary())
@@ -401,7 +413,11 @@ def _cmd_simulate(arguments: argparse.Namespace) -> int:
 
         durable = DurableAuditLog(arguments.store_dir, name="cumulative")
     result = run_refinement_loop(
-        setup, review, rounds=arguments.rounds, cumulative_log=durable
+        setup,
+        review,
+        rounds=arguments.rounds,
+        cumulative_log=durable,
+        workers=arguments.workers,
     )
     print(
         format_table(

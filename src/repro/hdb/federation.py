@@ -146,6 +146,30 @@ class AuditFederation:
         """All members in site order, loading any still-lazy ones."""
         return [(site, self.member(site)) for site in self.sites]
 
+    def shard_sources(self) -> tuple[tuple[str, "AuditLog | DurableAuditLog | Path"], ...]:
+        """Per-site shard sources in site order, without forcing parses.
+
+        Each element is ``(site, source)`` where ``source`` is either the
+        registered log object or, for members still lazy, the raw
+        :class:`~pathlib.Path` (CSV/JSONL export or store directory).
+        The parallel refinement sharder
+        (:func:`repro.parallel.shards.shards_of`) maps each member to its
+        own shard, so a lazy file member is parsed inside the worker that
+        owns it rather than in the coordinator.  The federation-wide
+        entry order this implies is site-major — site order, then each
+        member's own append order — matching :meth:`register_view`'s
+        virtual rows, not the time-merged :meth:`consolidated_log`.
+        """
+        if not self._members and not self._pending:
+            raise FederationError(f"federation {self.name!r} has no members")
+        sources: list[tuple[str, "AuditLog | DurableAuditLog | Path"]] = []
+        for site in self.sites:
+            if site in self._pending:
+                sources.append((site, self._pending[site]))
+            else:
+                sources.append((site, self._members[site]))
+        return tuple(sources)
+
     def __len__(self) -> int:
         """Total entries across all members (loads lazy members)."""
         return sum(len(log) for _, log in self._resolved_members())

@@ -12,16 +12,118 @@ This module builds exactly that statement (with the inclusive-``f`` fix
 documented in :class:`~repro.mining.patterns.MiningConfig`), materialises
 the practice log into a fresh sqlmini database, executes, and lifts the
 result rows into :class:`~repro.mining.patterns.Pattern` objects.
+
+Partial aggregates
+------------------
+``GROUP BY`` / ``HAVING`` is an algebraic aggregation, so it decomposes
+over any partition of its input: each shard contributes a *partial
+aggregate* mapping every group key to ``(support, user-set)`` — raw
+counts and raw user sets, because ``COUNT(DISTINCT user)`` is not
+mergeable but user sets are — and the coordinator merges partials by
+summing supports and unioning user sets, then applies the global
+``HAVING`` thresholds and the statement's ``ORDER BY``.  That is exactly
+how distributed engines execute this statement, and it is what the
+parallel refinement layer (:mod:`repro.parallel`) runs per shard.
+:class:`SqlPartialAggregate` is the mergeable piece;
+:func:`finalize_patterns` is the global reduce.  ``finalize_patterns
+(merge of shard partials)`` equals :meth:`SqlPatternMiner.mine` on the
+concatenated input, group for group and in the same order.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import AUDIT_ATTRIBUTES
 from repro.errors import MiningError
 from repro.mining.patterns import MiningConfig, Pattern
 from repro.policy.rule import Rule
 from repro.sqlmini.database import Database
+
+#: One GROUP BY key: the entry's values over the configured attributes.
+GroupKey = tuple[str, ...]
+
+
+@dataclass
+class SqlPartialAggregate:
+    """The mergeable shard-local state of the Algorithm 5 GROUP BY.
+
+    ``groups`` maps each attribute-value tuple to ``[support, users]``;
+    supports add and user sets union under :meth:`merge`, so partials
+    built over disjoint shards reduce to exactly the whole-log aggregate.
+    """
+
+    attributes: tuple[str, ...]
+    groups: dict[GroupKey, list] = field(default_factory=dict)
+
+    def add(self, values: GroupKey, user: str, count: int = 1) -> None:
+        """Fold one (or ``count`` identical) practice entries in."""
+        slot = self.groups.get(values)
+        if slot is None:
+            self.groups[values] = [count, {user}]
+        else:
+            slot[0] += count
+            slot[1].add(user)
+
+    def add_entry(self, entry: AuditEntry) -> None:
+        """Fold one audit entry in (key = its configured attributes)."""
+        self.add(
+            tuple(str(getattr(entry, a)) for a in self.attributes), entry.user
+        )
+
+    def merge(self, other: "SqlPartialAggregate") -> None:
+        """Fold another shard's partial into this one (associative)."""
+        if other.attributes != self.attributes:
+            raise MiningError(
+                f"cannot merge partial aggregates over {other.attributes} "
+                f"into one over {self.attributes}"
+            )
+        for values, (count, users) in other.groups.items():
+            slot = self.groups.get(values)
+            if slot is None:
+                self.groups[values] = [count, set(users)]
+            else:
+                slot[0] += count
+                slot[1] |= users
+
+    @classmethod
+    def from_entries(
+        cls, entries: Iterable[AuditEntry], config: MiningConfig
+    ) -> "SqlPartialAggregate":
+        """Aggregate one shard (already filtered to practice entries)."""
+        partial = cls(attributes=config.attributes)
+        for entry in entries:
+            partial.add_entry(entry)
+        return partial
+
+
+def finalize_patterns(
+    partial: SqlPartialAggregate, config: MiningConfig
+) -> tuple[Pattern, ...]:
+    """Apply the global ``HAVING`` thresholds and ``ORDER BY`` to a
+    (merged) partial aggregate — the reduce step of Algorithm 5.
+
+    Ordering matches the rendered statement: support descending, then the
+    attribute values ascending, so the result is deterministic and equal
+    to :meth:`SqlPatternMiner.mine` over the concatenated shards.
+    """
+    surviving = [
+        (values, count, len(users))
+        for values, (count, users) in partial.groups.items()
+        if count >= config.min_support and len(users) >= config.min_distinct_users
+    ]
+    surviving.sort(key=lambda item: (-item[1], item[0]))
+    return tuple(
+        Pattern(
+            rule=Rule.from_pairs(list(zip(partial.attributes, values))),
+            support=count,
+            distinct_users=distinct_users,
+        )
+        for values, count, distinct_users in surviving
+    )
 
 
 def build_analysis_sql(table: str, config: MiningConfig) -> str:

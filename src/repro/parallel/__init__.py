@@ -1,0 +1,40 @@
+"""Parallel sharded refinement — map-reduce over the audit trail.
+
+The refinement pipeline (Algorithms 3-6) is a single serial pass in the
+paper, but every stage decomposes over a partition of the log:
+
+- **shard** (:mod:`repro.parallel.shards`): the trail is split into
+  contiguous shards — durable-store segment files, in-memory chunks, or
+  federation members — that concatenate back to the global append order;
+- **map** (:mod:`repro.parallel.partials`): each worker process streams
+  its shard once, computing Filter plus *partial* pattern-mining
+  aggregates (mergeable ``group -> (support, user-set)`` state for the
+  SQL miner, SON-style local candidates for Apriori) and the per-rule
+  entry positions coverage needs;
+- **merge** (:mod:`repro.parallel.refine`): the coordinator folds the
+  partials together deterministically, re-applies the global ``HAVING``
+  thresholds, reconstructs both coverage semantics, and prunes with one
+  shared interned grounder so every mask stays comparable.
+
+The result is *byte-identical* to :func:`repro.refinement.engine.refine`
+run serially over the same log — same accepted rules in the same order,
+same prune partition, same coverage ratios and uncovered-entry indices —
+because every merge is over exact counts and the final ordering rules are
+re-applied globally.  ``RefinementConfig(execution=ExecutionPolicy(
+workers=N))`` opts a refine call in; everything falls back to the serial
+path when it cannot help (one shard, one worker, a custom miner, or a
+process pool the platform refuses to give us).
+"""
+
+from repro.parallel.execution import ExecutionPolicy
+from repro.parallel.refine import parallel_refine, supports_parallel_miner
+from repro.parallel.shards import Shard, iter_shard, shards_of
+
+__all__ = [
+    "ExecutionPolicy",
+    "Shard",
+    "iter_shard",
+    "parallel_refine",
+    "shards_of",
+    "supports_parallel_miner",
+]

@@ -1,0 +1,181 @@
+"""The map side: one streaming pass per shard, mergeable results out.
+
+:func:`map_shard` is what a worker process runs.  It streams its shard
+exactly once and computes every per-shard quantity the coordinator
+needs, keyed so that merging across shards is exact:
+
+- ``rule_entries`` — for every distinct lifted rule (the mining
+  attributes, stringified exactly as :meth:`AuditEntry.to_rule` does),
+  the *local* positions of its entries.  Contiguous sharding turns these
+  into global entry-coverage indices by adding per-shard offsets.
+- ``groups`` — the practice-mining partial aggregate
+  ``key -> [support, user-set]``.  Counts add and user sets union, which
+  is why the user *sets* travel: ``COUNT(DISTINCT user)`` is not
+  mergeable but its underlying set is.  For the SQL miner under
+  violation screening the key is compounded with the entry's classifier
+  rule so suspected groups can be dropped at merge time; for the Apriori
+  miner the SON phase-1 reduction keeps only locally frequent keys.
+- ``cls_stats`` / ``regular_rules`` — the violation classifier's
+  signals (exception support, exception users, regular echo), collected
+  per shard so the coordinator can reproduce
+  :func:`repro.audit.classify.classify_exceptions` verdicts globally.
+
+:func:`count_shard` is the SON phase 2: an exact recount of the globally
+unioned candidate set, run only for the Apriori miner.
+
+Both functions are module-level and operate on picklable dataclasses so
+they cross the process boundary under any multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.audit.entry import AuditEntry
+from repro.audit.schema import RULE_ATTRIBUTES
+from repro.parallel.shards import Shard, iter_shard
+
+#: A lifted-rule key: the entry's stringified values over some attributes.
+GroupKey = tuple[str, ...]
+
+#: Miner kinds the map phase knows how to partially aggregate.
+PARALLEL_MINERS: tuple[str, ...] = ("sql", "apriori")
+
+
+def _values(entry: AuditEntry, attributes: tuple[str, ...]) -> GroupKey:
+    """The entry's rule key — string conversion matching ``to_rule``."""
+    return tuple(str(getattr(entry, attribute)) for attribute in attributes)
+
+
+@dataclass(frozen=True)
+class MapTask:
+    """Everything a worker needs to map one shard (picklable)."""
+
+    attributes: tuple[str, ...]
+    include_denied: bool
+    exclude_suspected: bool
+    collect_regular: bool
+    miner: str
+    local_min_support: int
+
+
+@dataclass
+class ShardPartial:
+    """One shard's mergeable contribution (see module docstring)."""
+
+    index: int
+    entries: int
+    practice_entries: int
+    rule_entries: dict[GroupKey, list[int]]
+    groups: dict
+    cls_stats: dict | None
+    regular_rules: set | None
+    seconds: float
+
+
+def map_shard(shard: Shard, task: MapTask) -> ShardPartial:
+    """Stream ``shard`` once; return its partial aggregates."""
+    started = time.perf_counter()
+    rule_entries: dict[GroupKey, list[int]] = {}
+    groups: dict = {}
+    cls_stats: dict | None = {} if task.exclude_suspected else None
+    regular_rules: set | None = set() if task.collect_regular else None
+    needs_cls = task.exclude_suspected or task.collect_regular
+    entries = 0
+    practice_entries = 0
+    compound_keys = task.exclude_suspected and task.miner == "sql"
+    for index, entry in enumerate(iter_shard(shard)):
+        entries += 1
+        values = _values(entry, task.attributes)
+        positions = rule_entries.get(values)
+        if positions is None:
+            rule_entries[values] = [index]
+        else:
+            positions.append(index)
+        is_exception = entry.is_exception
+        is_allowed = entry.is_allowed
+        cls_values: GroupKey | None = None
+        if needs_cls:
+            cls_values = _values(entry, RULE_ATTRIBUTES)
+            if cls_stats is not None and is_exception and is_allowed:
+                slot = cls_stats.get(cls_values)
+                if slot is None:
+                    cls_stats[cls_values] = [1, {entry.user}]
+                else:
+                    slot[0] += 1
+                    slot[1].add(entry.user)
+            if regular_rules is not None and not is_exception and is_allowed:
+                regular_rules.add(cls_values)
+        if is_exception and (task.include_denied or is_allowed):
+            practice_entries += 1
+            key = (values, cls_values) if compound_keys else values
+            slot = groups.get(key)
+            if slot is None:
+                groups[key] = [1, {entry.user}]
+            else:
+                slot[0] += 1
+                slot[1].add(entry.user)
+    if task.miner == "apriori":
+        # SON phase 1: only locally frequent keys become candidates.  The
+        # pigeonhole bound ceil(min_support / shard_count) guarantees no
+        # globally frequent key is dropped by every shard.
+        groups = {
+            key: slot
+            for key, slot in groups.items()
+            if slot[0] >= task.local_min_support
+        }
+    return ShardPartial(
+        index=shard.index,
+        entries=entries,
+        practice_entries=practice_entries,
+        rule_entries=rule_entries,
+        groups=groups,
+        cls_stats=cls_stats,
+        regular_rules=regular_rules,
+        seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class CountTask:
+    """SON phase 2 instructions: exact-count the candidate union."""
+
+    attributes: tuple[str, ...]
+    include_denied: bool
+    candidates: frozenset
+    suspected: frozenset = field(default_factory=frozenset)
+
+
+@dataclass
+class CountPartial:
+    """One shard's exact candidate counts (SON phase 2)."""
+
+    index: int
+    counts: dict[GroupKey, list]
+    seconds: float
+
+
+def count_shard(shard: Shard, task: CountTask) -> CountPartial:
+    """Exactly count ``task.candidates`` over the shard's practice set."""
+    started = time.perf_counter()
+    counts: dict[GroupKey, list] = {}
+    for entry in iter_shard(shard):
+        if not entry.is_exception:
+            continue
+        if not task.include_denied and not entry.is_allowed:
+            continue
+        if task.suspected and _values(entry, RULE_ATTRIBUTES) in task.suspected:
+            continue
+        values = _values(entry, task.attributes)
+        if values not in task.candidates:
+            continue
+        slot = counts.get(values)
+        if slot is None:
+            counts[values] = [1, {entry.user}]
+        else:
+            slot[0] += 1
+            slot[1].add(entry.user)
+    return CountPartial(
+        index=shard.index, counts=counts, seconds=time.perf_counter() - started
+    )

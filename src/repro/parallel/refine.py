@@ -1,0 +1,352 @@
+"""The reduce side: deterministic merge of shard partials.
+
+:func:`parallel_refine` is a drop-in for
+:func:`repro.refinement.engine.refine` that executes shard → map → merge
+→ prune.  Determinism and serial equivalence come from four commitments:
+
+1. **Exact partials.**  Supports add, user sets union, entry positions
+   offset — nothing sampled, nothing approximated — so merged counts
+   equal a single global pass.
+2. **Global thresholds re-applied at the merge.**  The ``HAVING`` bounds
+   (and the classifier's verdict thresholds under violation screening)
+   are evaluated only against merged totals; workers never discard a
+   group the globals might keep (the SQL path ships every group, the
+   Apriori path over-collects candidates via the SON pigeonhole bound).
+3. **Global ordering re-applied at the merge.**  Results are re-sorted
+   with the serial miners' own keys — ``(support desc, values asc)`` for
+   SQL, ``(support desc, str(rule))`` for Apriori — so worker completion
+   order never shows through.
+4. **One shared grounder.**  Coverage and pruning masks are produced by
+   the coordinator's single interned grounder; worker processes never
+   ground anything, so every mask is comparable and the prune partition
+   is identical to the serial run's.
+
+The produced :class:`~repro.refinement.engine.RefinementResult` matches
+the serial path field for field, including
+``entry_coverage.uncovered_entries`` (shard offsets restore global
+positions) and the lazy ``practice`` view.
+"""
+
+from __future__ import annotations
+
+from heapq import merge as heap_merge
+
+from repro.audit.classify import ClassifierConfig
+from repro.audit.schema import RULE_ATTRIBUTES
+from repro.coverage.engine import EntryCoverageReport, compute_coverage
+from repro.errors import RefinementError
+from repro.mining.apriori import AprioriPatternMiner
+from repro.mining.patterns import Pattern
+from repro.mining.sql_patterns import (
+    SqlPartialAggregate,
+    SqlPatternMiner,
+    finalize_patterns,
+)
+from repro.obs.metrics import CARDINALITY_BUCKETS
+from repro.obs.runtime import get_registry
+from repro.parallel.partials import (
+    CountTask,
+    MapTask,
+    ShardPartial,
+    count_shard,
+    map_shard,
+)
+from repro.parallel.pool import run_sharded
+from repro.parallel.shards import shards_of
+from repro.policy.grounding import Grounder
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+from repro.refinement.engine import RefinementConfig, RefinementResult
+from repro.refinement.prune import prune_patterns
+from repro.vocab.vocabulary import Vocabulary
+
+
+def supports_parallel_miner(miner) -> bool:
+    """Can the map phase partially aggregate for this miner?
+
+    ``None`` (the engine default) and the two built-in miners are
+    supported; an arbitrary ``PatternMiner`` implementation has no
+    partial-aggregate form, so the engine falls back to serial for it.
+    """
+    return miner is None or isinstance(miner, (SqlPatternMiner, AprioriPatternMiner))
+
+
+def _miner_kind(miner) -> str:
+    if miner is None or isinstance(miner, SqlPatternMiner):
+        return "sql"
+    if isinstance(miner, AprioriPatternMiner):
+        return "apriori"
+    raise RefinementError(
+        f"parallel refinement supports the built-in miners, not "
+        f"{type(miner).__name__}; run serially for custom miners"
+    )
+
+
+def _merge_suspected(
+    partials: list[ShardPartial], config: ClassifierConfig
+) -> frozenset:
+    """Reproduce ``classify_exceptions`` verdicts from merged signals.
+
+    A rule is suspected iff its merged exception support/user counts fail
+    both thresholds *and* no shard saw it echoed through the regular
+    path (the echo sets are empty under ``classify_scope="practice"``,
+    which is exactly the serial semantics: the practice subset holds no
+    regular entries, so the echo rescue never fires there).
+    """
+    stats: dict = {}
+    echoed: set = set()
+    for partial in partials:
+        for key, (count, users) in (partial.cls_stats or {}).items():
+            slot = stats.get(key)
+            if slot is None:
+                stats[key] = [count, set(users)]
+            else:
+                slot[0] += count
+                slot[1] |= users
+        if partial.regular_rules:
+            echoed |= partial.regular_rules
+    suspected = set()
+    for key, (count, users) in stats.items():
+        practice_like = (
+            count >= config.min_support and len(users) >= config.min_distinct_users
+        ) or (config.trust_regular_echo and key in echoed)
+        if not practice_like:
+            suspected.add(key)
+    return frozenset(suspected)
+
+
+def _sql_patterns(
+    partials: list[ShardPartial],
+    suspected: frozenset,
+    exclude_suspected: bool,
+    cfg: RefinementConfig,
+) -> tuple[Pattern, ...]:
+    """Collapse SQL-path partials and apply the global reduce."""
+    aggregate = SqlPartialAggregate(attributes=cfg.mining.attributes)
+    for partial in partials:
+        for key, (count, users) in partial.groups.items():
+            if exclude_suspected:
+                values, cls_values = key
+                if cls_values in suspected:
+                    continue
+            else:
+                values = key
+            slot = aggregate.groups.get(values)
+            if slot is None:
+                aggregate.groups[values] = [count, set(users)]
+            else:
+                slot[0] += count
+                slot[1] |= users
+    return finalize_patterns(aggregate, cfg.mining)
+
+
+def _apriori_patterns(count_partials: list, cfg: RefinementConfig) -> tuple[Pattern, ...]:
+    """Merge SON phase-2 counts and apply the serial miner's reduce."""
+    merged: dict = {}
+    for partial in count_partials:
+        for values, (count, users) in partial.counts.items():
+            slot = merged.get(values)
+            if slot is None:
+                merged[values] = [count, set(users)]
+            else:
+                slot[0] += count
+                slot[1] |= users
+    patterns = [
+        Pattern(
+            rule=Rule.from_pairs(sorted(zip(cfg.mining.attributes, values))),
+            support=count,
+            distinct_users=len(users),
+        )
+        for values, (count, users) in merged.items()
+        if count >= cfg.mining.min_support
+        and len(users) >= cfg.mining.min_distinct_users
+    ]
+    patterns.sort(key=lambda p: (-p.support, str(p.rule)))
+    return tuple(patterns)
+
+
+def parallel_refine(
+    policy_store: Policy,
+    audit_log,
+    vocabulary: Vocabulary,
+    config: RefinementConfig | None = None,
+    grounder: Grounder | None = None,
+) -> RefinementResult:
+    """Algorithm 2 as shard → partial aggregate → deterministic merge.
+
+    Accepts exactly what :func:`repro.refinement.engine.refine` accepts
+    (plus requires ``config.execution`` for the worker count) and returns
+    an identical :class:`~repro.refinement.engine.RefinementResult` —
+    same patterns in the same order, same prune partition, same coverage
+    ratios and uncovered-entry indices.
+    """
+    from repro.parallel.execution import ExecutionPolicy
+
+    cfg = config or RefinementConfig()
+    execution = cfg.execution or ExecutionPolicy()
+    kind = _miner_kind(cfg.miner)
+    if len(audit_log) == 0:
+        raise RefinementError("cannot refine against an empty audit log")
+    if grounder is None:
+        grounder = Grounder(vocabulary)
+    elif grounder.vocabulary is not vocabulary:
+        raise RefinementError("refine called with a grounder for a different vocabulary")
+
+    reg = get_registry()
+    with reg.span("repro_parallel_stage", stage="shard"):
+        shards = shards_of(audit_log, execution.shard_limit)
+    task = MapTask(
+        attributes=cfg.mining.attributes,
+        include_denied=cfg.include_denied,
+        exclude_suspected=cfg.exclude_suspected_violations,
+        collect_regular=(
+            cfg.exclude_suspected_violations and cfg.classify_scope == "log"
+        ),
+        miner=kind,
+        local_min_support=max(
+            1, -(-cfg.mining.min_support // max(1, len(shards)))
+        ),
+    )
+    with reg.span("repro_parallel_stage", stage="map"):
+        partials, mode = run_sharded(map_shard, shards, task, execution.workers)
+
+    if reg.enabled:
+        reg.counter("repro_parallel_runs_total", mode=mode, miner=kind).inc()
+        reg.counter("repro_parallel_shards_total").inc(len(shards))
+        sizes = reg.histogram(
+            "repro_parallel_shard_entries", buckets=CARDINALITY_BUCKETS
+        )
+        worker_seconds = reg.histogram("repro_parallel_worker_seconds")
+        for partial in partials:
+            sizes.observe(partial.entries)
+            worker_seconds.observe(partial.seconds)
+
+    with reg.span("repro_parallel_stage", stage="merge"):
+        # Distinct lifted rules in first-global-occurrence order: shard
+        # order plus each worker dict's insertion order restores the
+        # order a serial scan would have discovered them in.
+        rules: dict = {}
+        for partial in partials:
+            for values in partial.rule_entries:
+                if values not in rules:
+                    rules[values] = Rule.from_pairs(
+                        list(zip(cfg.mining.attributes, values))
+                    )
+        audit_policy = Policy(
+            rules.values(),
+            source=PolicySource.AUDIT_LOG,
+            name=f"P_AL({getattr(audit_log, 'name', 'audit_log')})",
+        )
+        coverage = compute_coverage(policy_store, audit_policy, vocabulary, grounder)
+        covering_mask = coverage.covering.mask
+        uncovered_rules = {
+            values
+            for values, rule in rules.items()
+            if grounder.ground_mask(rule) & ~covering_mask != 0
+        }
+        misses: list[int] = []
+        offset = 0
+        for partial in partials:
+            if uncovered_rules:
+                local = heap_merge(
+                    *(
+                        positions
+                        for values, positions in partial.rule_entries.items()
+                        if values in uncovered_rules
+                    )
+                )
+                misses.extend(offset + position for position in local)
+            offset += partial.entries
+        total = offset
+        matched = total - len(misses)
+        entry_coverage = EntryCoverageReport(
+            ratio=matched / total,
+            matched=matched,
+            total=total,
+            covering=coverage.covering,
+            uncovered_entries=tuple(misses),
+        )
+
+        suspected: frozenset = frozenset()
+        if cfg.exclude_suspected_violations:
+            suspected = _merge_suspected(partials, cfg.classifier or ClassifierConfig())
+
+        if kind == "sql":
+            patterns = _sql_patterns(
+                partials, suspected, cfg.exclude_suspected_violations, cfg
+            )
+        else:
+            candidates = frozenset(
+                values for partial in partials for values in partial.groups
+            )
+            if candidates:
+                count_task = CountTask(
+                    attributes=cfg.mining.attributes,
+                    include_denied=cfg.include_denied,
+                    candidates=candidates,
+                    suspected=suspected,
+                )
+                with reg.span("repro_parallel_stage", stage="count"):
+                    count_partials, _ = run_sharded(
+                        count_shard, shards, count_task, execution.workers
+                    )
+                patterns = _apriori_patterns(count_partials, cfg)
+            else:
+                patterns = ()
+        if reg.enabled:
+            reg.counter("repro_parallel_merged_groups_total").inc(
+                sum(len(partial.groups) for partial in partials)
+            )
+
+    with reg.span("repro_parallel_stage", stage="prune"):
+        prune_result = prune_patterns(patterns, policy_store, vocabulary, grounder)
+
+    practice_source = audit_log
+    if not hasattr(audit_log, "where"):
+        # Sources without the AuditLog read protocol (an AuditFederation)
+        # are exposed through a lazy view over the shard plan, so the
+        # returned practice subset streams in the same site-major order
+        # the merge used.
+        from repro.parallel.shards import iter_shard
+        from repro.store.durable import StreamedAuditView
+
+        practice_source = StreamedAuditView(
+            lambda: (entry for shard in shards for entry in iter_shard(shard)),
+            name=getattr(audit_log, "name", "audit_source"),
+        )
+    # Same subset filter_practice would produce, but the suspected-rule
+    # verdicts come from the merged shard signals instead of an eager
+    # re-classification pass over the whole trail.
+    suspected_rules = (
+        {Rule.from_pairs(list(zip(RULE_ATTRIBUTES, key))) for key in suspected}
+        if cfg.exclude_suspected_violations
+        else None
+    )
+    include_denied = cfg.include_denied
+
+    def _is_practice(entry) -> bool:
+        if not entry.is_exception:
+            return False
+        if not include_denied and not entry.is_allowed:
+            return False
+        return suspected_rules is None or entry.to_rule() not in suspected_rules
+
+    practice = practice_source.where(_is_practice)
+    practice.name = f"{getattr(audit_log, 'name', 'audit_source')}.practice"
+    if reg.enabled:
+        reg.counter("repro_refinement_runs_total").inc()
+        reg.counter("repro_refinement_patterns_mined_total").inc(len(patterns))
+        reg.counter("repro_refinement_patterns_useful_total").inc(
+            len(prune_result.useful)
+        )
+        reg.counter("repro_refinement_patterns_pruned_total").inc(
+            len(prune_result.pruned)
+        )
+    return RefinementResult(
+        practice=practice,
+        patterns=patterns,
+        useful_patterns=prune_result.useful,
+        pruned_patterns=prune_result.pruned,
+        coverage=coverage,
+        entry_coverage=entry_coverage,
+    )

@@ -10,6 +10,7 @@ is trying to move.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.audit.classify import ClassifierConfig
 from repro.audit.log import AuditLog
@@ -29,14 +30,23 @@ from repro.refinement.filtering import filter_practice
 from repro.refinement.prune import PruneResult, prune_patterns
 from repro.vocab.vocabulary import Vocabulary
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.execution import ExecutionPolicy
+
 
 @dataclass(frozen=True)
 class RefinementConfig:
     """Everything tunable about one refinement run.
 
-    ``mining`` carries the Algorithm 4 parameters.  ``include_denied`` and
-    ``exclude_suspected_violations`` control Algorithm 3's filtering (see
-    :func:`~repro.refinement.filtering.filter_practice`).
+    ``mining`` carries the Algorithm 4 parameters.  ``include_denied``,
+    ``exclude_suspected_violations`` and ``classify_scope`` control
+    Algorithm 3's filtering (see
+    :func:`~repro.refinement.filtering.filter_practice`).  ``execution``
+    opts into the sharded parallel path
+    (:mod:`repro.parallel`): with ``ExecutionPolicy(workers=N)`` and a
+    built-in miner the run is delegated to
+    :func:`~repro.parallel.refine.parallel_refine`; custom miners have no
+    partial-aggregate form and fall back to the serial pipeline.
     """
 
     mining: MiningConfig = field(default_factory=MiningConfig)
@@ -44,6 +54,8 @@ class RefinementConfig:
     include_denied: bool = False
     exclude_suspected_violations: bool = False
     classifier: ClassifierConfig | None = None
+    classify_scope: str = "log"
+    execution: "ExecutionPolicy | None" = None
 
 
 @dataclass(frozen=True)
@@ -94,6 +106,16 @@ def refine(
     reused instead of re-ground every round.
     """
     cfg = config or RefinementConfig()
+    if cfg.execution is not None and cfg.execution.workers > 1:
+        from repro.parallel.refine import parallel_refine, supports_parallel_miner
+
+        if supports_parallel_miner(cfg.miner):
+            return parallel_refine(policy_store, audit_log, vocabulary, cfg, grounder)
+        fallback_reg = get_registry()
+        if fallback_reg.enabled:
+            fallback_reg.counter(
+                "repro_parallel_fallbacks_total", reason="custom_miner"
+            ).inc()
     if len(audit_log) == 0:
         raise RefinementError("cannot refine against an empty audit log")
 
@@ -115,6 +137,7 @@ def refine(
             include_denied=cfg.include_denied,
             exclude_suspected_violations=cfg.exclude_suspected_violations,
             classifier_config=cfg.classifier,
+            classify_scope=cfg.classify_scope,
         )
     with reg.span("repro_refinement_stage", stage="extract"):
         patterns = extract_patterns(practice, cfg.mining, cfg.miner)

@@ -414,6 +414,26 @@ class AuditStore:
             self._writer.flush(sync=False)
         yield from iter_segment(self._writer.path, start_offset)
 
+    def segment_snapshot(self) -> tuple[tuple[str, int], ...]:
+        """Segment file paths with committed entry counts, oldest first.
+
+        Flushes the active segment (no fsync) so the returned files hold
+        every appended entry; the snapshot therefore enumerates exactly
+        the entries ``iter_entries`` would stream, in the same order.
+        The parallel refinement sharder uses this to plan disjoint
+        segment-file shards that worker processes stream directly with
+        :func:`~repro.store.segment.iter_segment` — no store recovery,
+        no shared file handles.
+        """
+        self._check_open()
+        self._writer.flush(sync=False)
+        rows = [
+            (str(self.directory / meta.name), meta.entries)
+            for meta in self._manifest.sealed
+        ]
+        rows.append((str(self._writer.path), self._writer.entries))
+        return tuple(rows)
+
     def scan_window(self, start: int, end: int) -> Iterator[AuditEntry]:
         """Stream entries with ``start <= time < end``.
 

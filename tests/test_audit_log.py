@@ -104,3 +104,63 @@ class TestConversions:
         entry = make_entry(5, "u", "referral", "treatment", "nurse")
         assert entry.op is AccessOp.ALLOW
         assert entry.status is AccessStatus.REGULAR
+
+
+class TestExtendAtomicity:
+    def _seed(self) -> AuditLog:
+        log = AuditLog()
+        log.append(make_entry(5, "u", "referral", "treatment", "nurse"))
+        return log
+
+    def test_extend_appends_valid_batch(self):
+        log = self._seed()
+        log.extend(
+            [
+                make_entry(6, "v", "referral", "treatment", "nurse"),
+                make_entry(6, "w", "labs", "treatment", "doctor"),
+            ]
+        )
+        assert [e.time for e in log] == [5, 6, 6]
+
+    def test_time_violation_mid_batch_leaves_log_unchanged(self):
+        log = self._seed()
+        before = log.entries
+        batch = [
+            make_entry(7, "v", "referral", "treatment", "nurse"),
+            make_entry(3, "w", "labs", "treatment", "doctor"),  # goes back in time
+            make_entry(9, "x", "labs", "treatment", "doctor"),
+        ]
+        with pytest.raises(AuditError):
+            log.extend(batch)
+        assert log.entries == before
+        # the log still accepts entries from its original last time onward
+        log.append(make_entry(5, "y", "referral", "treatment", "nurse"))
+        assert len(log) == 2
+
+    def test_non_entry_mid_batch_leaves_log_unchanged(self):
+        log = self._seed()
+        before = log.entries
+        with pytest.raises(AuditError):
+            log.extend(
+                [make_entry(8, "v", "referral", "treatment", "nurse"), "not-an-entry"]
+            )
+        assert log.entries == before
+
+    def test_batch_validated_against_current_tail(self):
+        log = self._seed()  # last time = 5
+        before = log.entries
+        with pytest.raises(AuditError):
+            log.extend([make_entry(2, "v", "referral", "treatment", "nurse")])
+        assert log.entries == before
+
+    def test_generator_batches_are_atomic_too(self):
+        log = self._seed()
+        before = log.entries
+
+        def bad():
+            yield make_entry(6, "v", "referral", "treatment", "nurse")
+            yield make_entry(1, "w", "labs", "treatment", "doctor")
+
+        with pytest.raises(AuditError):
+            log.extend(bad())
+        assert log.entries == before

@@ -1,0 +1,494 @@
+"""Tests for the sharded map-reduce refinement layer (repro.parallel).
+
+The headline property is *serial equivalence*: a parallel refine must
+return exactly what the serial pipeline returns — patterns in the same
+order, identical prune partition, identical coverage ratios and
+uncovered-entry indices, identical practice subset — over every source
+shape and miner the layer supports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import RefinementError
+from repro.mining.apriori import AprioriPatternMiner
+from repro.mining.patterns import MiningConfig
+from repro.mining.sql_patterns import (
+    SqlPartialAggregate,
+    SqlPatternMiner,
+    finalize_patterns,
+)
+from repro.parallel.execution import ExecutionPolicy
+from repro.parallel.partials import MapTask, map_shard
+from repro.parallel.pool import run_sharded
+from repro.parallel.refine import parallel_refine, supports_parallel_miner
+from repro.parallel.shards import Shard, iter_shard, shards_of
+from repro.policy.grounding import Grounder
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+from repro.refinement.engine import RefinementConfig, refine
+from repro.store.durable import copy_to_durable
+from repro.store.store import StoreConfig
+
+
+# The ``vocabulary`` fixture comes from conftest (Figure 1 healthcare
+# vocabulary); the values below that are not in it ("labs") are treated
+# as ground atoms by the non-strict vocabulary.
+@pytest.fixture(scope="module")
+def policy_store() -> Policy:
+    return Policy(
+        [
+            Rule.from_pairs(
+                [("data", "labs"), ("purpose", "treatment"), ("authorized", "doctor")]
+            )
+        ],
+        source=PolicySource.POLICY_STORE,
+        name="store",
+    )
+
+
+def build_log(entries: int = 400, name: str = "trail") -> AuditLog:
+    """Deterministic mixed workload of exactly ``entries`` entries:
+    practice clusters, regulars, a rare echoed combination, and a
+    lone-wolf suspected violation (the last four entries)."""
+    log = AuditLog(name=name)
+    combos = [
+        ("referral", "registration", "nurse"),
+        ("labs", "treatment", "doctor"),
+        ("prescription", "treatment", "nurse"),
+        ("labs", "billing", "clerk"),
+    ]
+    for tick in range(entries - 4):
+        data, purpose, role = combos[tick % len(combos)]
+        status = AccessStatus.EXCEPTION if tick % 3 != 2 else AccessStatus.REGULAR
+        log.append(
+            make_entry(tick, f"u{tick % 7}", data, purpose, role, status=status)
+        )
+    tick = entries - 4
+    # a lone-wolf rare combination (1 user, 2 hits, no echo) -> suspected
+    for _ in range(2):
+        log.append(
+            make_entry(tick, "creep", "psychiatry", "telemarketing", "clerk",
+                       status=AccessStatus.EXCEPTION)
+        )
+        tick += 1
+    # a rare combination with a regular echo -> rescued under scope="log"
+    log.append(
+        make_entry(tick, "solo", "psychiatry", "billing", "doctor",
+                   status=AccessStatus.EXCEPTION)
+    )
+    log.append(
+        make_entry(tick + 1, "other", "psychiatry", "billing", "doctor",
+                   status=AccessStatus.REGULAR)
+    )
+    return log
+
+
+def assert_identical(serial, par):
+    assert serial.patterns == par.patterns
+    assert serial.useful_patterns == par.useful_patterns
+    assert serial.pruned_patterns == par.pruned_patterns
+    assert serial.coverage.ratio == par.coverage.ratio
+    assert serial.coverage.overlap == par.coverage.overlap
+    assert serial.coverage.reference == par.coverage.reference
+    assert serial.entry_coverage.ratio == par.entry_coverage.ratio
+    assert serial.entry_coverage.matched == par.entry_coverage.matched
+    assert serial.entry_coverage.total == par.entry_coverage.total
+    assert (
+        serial.entry_coverage.uncovered_entries
+        == par.entry_coverage.uncovered_entries
+    )
+    assert [(e.time, e.user) for e in serial.practice] == [
+        (e.time, e.user) for e in par.practice
+    ]
+    assert serial.practice.name == par.practice.name
+
+
+CONFIG_CASES = {
+    "sql": {},
+    "sql-screened": {"exclude_suspected_violations": True},
+    "sql-screened-practice-scope": {
+        "exclude_suspected_violations": True,
+        "classify_scope": "practice",
+    },
+    "sql-denied": {"include_denied": True},
+    "apriori": {"miner": AprioriPatternMiner()},
+    "apriori-screened": {
+        "miner": AprioriPatternMiner(),
+        "exclude_suspected_violations": True,
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# serial equivalence
+# ----------------------------------------------------------------------
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("case", sorted(CONFIG_CASES))
+    def test_in_memory_log(self, case, policy_store, vocabulary):
+        log = build_log()
+        kwargs = CONFIG_CASES[case]
+        mining = MiningConfig(min_support=5, min_distinct_users=2)
+        serial = refine(
+            policy_store, log, vocabulary,
+            RefinementConfig(mining=mining, **kwargs), Grounder(vocabulary),
+        )
+        par = refine(
+            policy_store, log, vocabulary,
+            RefinementConfig(
+                mining=mining, execution=ExecutionPolicy(workers=3), **kwargs
+            ),
+            Grounder(vocabulary),
+        )
+        assert serial.patterns  # the workload must actually mine something
+        assert_identical(serial, par)
+
+    @pytest.mark.parametrize("case", sorted(CONFIG_CASES))
+    def test_multi_segment_durable_store(self, case, policy_store, vocabulary, tmp_path):
+        log = build_log()
+        durable = copy_to_durable(
+            log, tmp_path / "store", config=StoreConfig(max_segment_entries=45)
+        )
+        try:
+            assert durable.stats().sealed_segments >= 5
+            kwargs = CONFIG_CASES[case]
+            mining = MiningConfig(min_support=5, min_distinct_users=2)
+            serial = refine(
+                policy_store, durable, vocabulary,
+                RefinementConfig(mining=mining, **kwargs), Grounder(vocabulary),
+            )
+            par = refine(
+                policy_store, durable, vocabulary,
+                RefinementConfig(
+                    mining=mining, execution=ExecutionPolicy(workers=3), **kwargs
+                ),
+                Grounder(vocabulary),
+            )
+            assert_identical(serial, par)
+        finally:
+            durable.close()
+
+    def test_parallel_run_is_deterministic(self, policy_store, vocabulary):
+        log = build_log()
+        cfg = RefinementConfig(execution=ExecutionPolicy(workers=4, max_shards=8))
+        runs = [
+            refine(policy_store, log, vocabulary, cfg, Grounder(vocabulary))
+            for _ in range(2)
+        ]
+        assert runs[0].patterns == runs[1].patterns
+        assert (
+            runs[0].entry_coverage.uncovered_entries
+            == runs[1].entry_coverage.uncovered_entries
+        )
+
+    def test_shared_grounder_masks_stay_comparable(self, policy_store, vocabulary):
+        """Prune with one shared grounder across serial + parallel runs."""
+        grounder = Grounder(vocabulary)
+        log = build_log()
+        serial = refine(policy_store, log, vocabulary, None, grounder)
+        par = refine(
+            policy_store, log, vocabulary,
+            RefinementConfig(execution=ExecutionPolicy(workers=2)), grounder,
+        )
+        assert serial.coverage.overlap == par.coverage.overlap
+        assert serial.entry_coverage.covering == par.entry_coverage.covering
+
+    def test_federation_matches_consolidated_serial(self, policy_store, vocabulary, tmp_path):
+        from repro.hdb.federation import AuditFederation
+
+        federation = AuditFederation()
+        site_a = build_log(120, name="site_a")
+        site_b = build_log(80, name="site_b")
+        federation.register("alpha", site_a)
+        durable = copy_to_durable(
+            site_b, tmp_path / "beta", config=StoreConfig(max_segment_entries=30)
+        )
+        try:
+            federation.register("beta", durable)
+            par = parallel_refine(
+                policy_store, federation, vocabulary,
+                RefinementConfig(execution=ExecutionPolicy(workers=3)),
+                Grounder(vocabulary),
+            )
+            serial = refine(
+                policy_store, federation.consolidated_log(), vocabulary,
+                None, Grounder(vocabulary),
+            )
+            # order-insensitive quantities agree with the time-merged serial
+            # run; entry indices follow the federation's site-major order so
+            # they are not compared.
+            assert par.patterns == serial.patterns
+            assert par.coverage.ratio == serial.coverage.ratio
+            assert par.entry_coverage.ratio == serial.entry_coverage.ratio
+            assert par.entry_coverage.total == len(federation)
+        finally:
+            durable.close()
+
+
+# ----------------------------------------------------------------------
+# fallbacks and delegation
+# ----------------------------------------------------------------------
+class _RecordingMiner:
+    """A custom miner the parallel layer cannot decompose."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def mine(self, log, config):
+        self.calls += 1
+        return SqlPatternMiner().mine(log, config)
+
+
+class TestDelegation:
+    def test_workers_1_stays_serial(self, policy_store, vocabulary):
+        log = build_log(100)
+        result = refine(
+            policy_store, log, vocabulary,
+            RefinementConfig(execution=ExecutionPolicy(workers=1)),
+        )
+        assert isinstance(result.practice, AuditLog)
+
+    def test_custom_miner_falls_back_to_serial(self, policy_store, vocabulary):
+        log = build_log(100)
+        miner = _RecordingMiner()
+        result = refine(
+            policy_store, log, vocabulary,
+            RefinementConfig(miner=miner, execution=ExecutionPolicy(workers=4)),
+        )
+        assert miner.calls == 1  # the serial pipeline actually ran it
+        assert result.patterns
+
+    def test_supports_parallel_miner(self):
+        assert supports_parallel_miner(None)
+        assert supports_parallel_miner(SqlPatternMiner())
+        assert supports_parallel_miner(AprioriPatternMiner())
+        assert not supports_parallel_miner(_RecordingMiner())
+
+    def test_parallel_refine_rejects_custom_miner(self, policy_store, vocabulary):
+        with pytest.raises(RefinementError):
+            parallel_refine(
+                policy_store, build_log(50), vocabulary,
+                RefinementConfig(
+                    miner=_RecordingMiner(), execution=ExecutionPolicy(workers=2)
+                ),
+            )
+
+    def test_empty_log_raises(self, policy_store, vocabulary):
+        with pytest.raises(RefinementError):
+            parallel_refine(
+                policy_store, AuditLog(), vocabulary,
+                RefinementConfig(execution=ExecutionPolicy(workers=2)),
+            )
+
+    def test_execution_policy_validation(self):
+        with pytest.raises(RefinementError):
+            ExecutionPolicy(workers=0)
+        with pytest.raises(RefinementError):
+            ExecutionPolicy(workers=2, max_shards=0)
+        assert ExecutionPolicy(workers=4).shard_limit == 4
+        assert ExecutionPolicy(workers=4, max_shards=9).shard_limit == 9
+        assert not ExecutionPolicy().parallel
+        assert ExecutionPolicy(workers=2).parallel
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+class TestShardPlanning:
+    def test_in_memory_chunks_are_contiguous_and_balanced(self):
+        log = build_log(101)
+        shards = shards_of(log, 4)
+        assert len(shards) == 4
+        sizes = [len(shard.entries) for shard in shards]
+        assert sum(sizes) == len(log)
+        assert max(sizes) - min(sizes) <= 1
+        rebuilt = [e for shard in shards for e in iter_shard(shard)]
+        assert [(e.time, e.user) for e in rebuilt] == [
+            (e.time, e.user) for e in log
+        ]
+
+    def test_durable_shards_are_segment_files(self, tmp_path):
+        log = build_log(100)
+        durable = copy_to_durable(
+            log, tmp_path / "store", config=StoreConfig(max_segment_entries=12)
+        )
+        try:
+            shards = shards_of(durable, 4)
+            assert len(shards) == 4
+            assert all(shard.kind == "segments" for shard in shards)
+            assert all(not shard.entries for shard in shards)  # no pickled data
+            rebuilt = [e for shard in shards for e in iter_shard(shard)]
+            assert [(e.time, e.user) for e in rebuilt] == [
+                (e.time, e.user) for e in log
+            ]
+            assert sum(shard.planned_entries for shard in shards) == len(log)
+        finally:
+            durable.close()
+
+    def test_shard_limit_one_gives_single_shard(self, tmp_path):
+        durable = copy_to_durable(
+            build_log(60), tmp_path / "store",
+            config=StoreConfig(max_segment_entries=10),
+        )
+        try:
+            shards = shards_of(durable, 1)
+            assert len(shards) == 1
+            assert len(list(iter_shard(shards[0]))) == 60
+        finally:
+            durable.close()
+
+    def test_more_workers_than_segments(self, tmp_path):
+        durable = copy_to_durable(
+            build_log(30), tmp_path / "store",
+            config=StoreConfig(max_segment_entries=20),
+        )
+        try:
+            shards = shards_of(durable, 16)
+            # at most one shard per segment file (sealed + active)
+            assert 1 <= len(shards) <= durable.stats().segments
+        finally:
+            durable.close()
+
+    def test_csv_member_shards_lazily(self, tmp_path):
+        from repro.audit.io import save_csv
+        from repro.hdb.federation import AuditFederation
+
+        log = build_log(40, name="exported")
+        path = tmp_path / "site.csv"
+        save_csv(log, path)
+        federation = AuditFederation()
+        federation.register_path("filed", path)
+        shards = shards_of(federation, 4)
+        assert [shard.kind for shard in shards] == ["csv"]
+        assert len(list(iter_shard(shards[0]))) == 40
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(RefinementError):
+            shards_of(object(), 2)
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(RefinementError):
+            shards_of(build_log(10), 0)
+
+
+# ----------------------------------------------------------------------
+# the mergeable partial-aggregate algebra
+# ----------------------------------------------------------------------
+class TestPartialAggregates:
+    def test_merge_of_split_equals_whole(self):
+        log = build_log(200)
+        config = MiningConfig(min_support=3, min_distinct_users=2)
+        practice = log.exceptions()
+        whole = SqlPartialAggregate.from_entries(practice, config)
+        half = len(practice) // 2
+        left = SqlPartialAggregate.from_entries(practice.entries[:half], config)
+        right = SqlPartialAggregate.from_entries(practice.entries[half:], config)
+        left.merge(right)
+        assert {k: (c, set(u)) for k, (c, u) in whole.groups.items()} == {
+            k: (c, set(u)) for k, (c, u) in left.groups.items()
+        }
+        assert finalize_patterns(left, config) == finalize_patterns(whole, config)
+
+    def test_finalize_matches_sql_miner(self):
+        log = build_log(300)
+        config = MiningConfig(min_support=5, min_distinct_users=2)
+        practice = log.exceptions()
+        direct = SqlPatternMiner().mine(practice, config)
+        via_partial = finalize_patterns(
+            SqlPartialAggregate.from_entries(practice, config), config
+        )
+        assert direct == via_partial
+
+    def test_mismatched_attributes_refuse_to_merge(self):
+        from repro.errors import MiningError
+
+        left = SqlPartialAggregate(attributes=("data",))
+        right = SqlPartialAggregate(attributes=("purpose",))
+        with pytest.raises(MiningError):
+            left.merge(right)
+
+    def test_map_shard_counts_and_offsets(self):
+        log = build_log(50)
+        shard = Shard(index=0, kind="entries", label="t", entries=log.entries)
+        partial = map_shard(
+            shard,
+            MapTask(
+                attributes=("data", "purpose", "authorized"),
+                include_denied=False,
+                exclude_suspected=False,
+                collect_regular=False,
+                miner="sql",
+                local_min_support=1,
+            ),
+        )
+        assert partial.entries == 50
+        assert sum(len(v) for v in partial.rule_entries.values()) == 50
+        assert partial.practice_entries == sum(
+            1 for e in log if e.is_exception and e.is_allowed
+        )
+        assert partial.cls_stats is None
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+class TestPool:
+    def test_serial_mode_for_single_worker(self):
+        log = build_log(20)
+        shards = shards_of(log, 2)
+        task = MapTask(
+            attributes=("data",), include_denied=False, exclude_suspected=False,
+            collect_regular=False, miner="sql", local_min_support=1,
+        )
+        results, mode = run_sharded(map_shard, shards, task, workers=1)
+        assert mode == "serial"
+        assert [r.index for r in results] == [0, 1]
+
+    def test_pool_mode_preserves_shard_order(self):
+        log = build_log(40)
+        shards = shards_of(log, 4)
+        task = MapTask(
+            attributes=("data",), include_denied=False, exclude_suspected=False,
+            collect_regular=False, miner="sql", local_min_support=1,
+        )
+        results, mode = run_sharded(map_shard, shards, task, workers=4)
+        assert mode in ("pool", "serial")  # pool unless the platform refuses
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert sum(r.entries for r in results) == 40
+
+    def test_unpicklable_worker_falls_back_in_process(self):
+        shards = shards_of(build_log(10), 2)
+
+        def local_worker(shard, task):  # local fn: unpicklable on spawn/fork pools
+            return sum(1 for _ in iter_shard(shard))
+
+        results, mode = run_sharded(local_worker, shards, None, workers=2)
+        assert sum(results) == 10
+
+
+# ----------------------------------------------------------------------
+# loop integration
+# ----------------------------------------------------------------------
+class TestLoopIntegration:
+    def test_loop_with_workers_matches_serial_loop(self):
+        from repro.experiments.harness import run_refinement_loop, standard_loop_setup
+        from repro.refinement.review import ThresholdReview
+
+        serial = run_refinement_loop(
+            standard_loop_setup(accesses_per_round=800, seed=5),
+            ThresholdReview(), rounds=2,
+        )
+        parallel = run_refinement_loop(
+            standard_loop_setup(accesses_per_round=800, seed=5),
+            ThresholdReview(), rounds=2, workers=2,
+        )
+        assert serial.coverage_series() == parallel.coverage_series()
+        assert [r.rules_accepted for r in serial.rounds] == [
+            r.rules_accepted for r in parallel.rounds
+        ]
+        assert sorted(map(str, serial.store.policy())) == sorted(
+            map(str, parallel.store.policy())
+        )

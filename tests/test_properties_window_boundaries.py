@@ -1,0 +1,109 @@
+"""Property tests: window boundary semantics, in memory and on disk.
+
+The parallel sharder slices the trail into contiguous pieces and relies
+on both log shapes agreeing about half-open windows — ``start <= time <
+end`` — *especially* when equal timestamps straddle a segment boundary
+(the store's sparse time index must not skip or duplicate the ties).
+``AuditLog.window`` is the executable model; ``DurableAuditLog.window``
+(backed by ``AuditStore.scan_window`` and its index seeks) must match it
+entry for entry on arbitrary logs and arbitrary window edges.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.store.durable import copy_to_durable
+from repro.store.store import StoreConfig
+
+users = st.sampled_from(["ann", "bob", "cmd"])
+data_values = st.sampled_from(["referral", "labs"])
+
+
+@st.composite
+def clustered_logs(draw, max_size: int = 30) -> AuditLog:
+    """Logs with heavy timestamp ties (steps of 0 are the common draw)."""
+    count = draw(st.integers(min_value=1, max_value=max_size))
+    log = AuditLog()
+    tick = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(count):
+        tick += draw(st.sampled_from([0, 0, 0, 1, 2]))
+        log.append(
+            make_entry(
+                tick,
+                draw(users),
+                draw(data_values),
+                "treatment",
+                "nurse",
+                status=draw(
+                    st.sampled_from([AccessStatus.REGULAR, AccessStatus.EXCEPTION])
+                ),
+            )
+        )
+    return log
+
+
+def _key(entry):
+    return (entry.time, entry.user, entry.data, entry.purpose, entry.authorized)
+
+
+@given(
+    log=clustered_logs(),
+    start=st.integers(min_value=-2, max_value=20),
+    span=st.integers(min_value=0, max_value=20),
+    segment_entries=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=120, deadline=None)
+def test_durable_window_matches_in_memory_model(log, start, span, segment_entries):
+    end = start + span
+    expected = [_key(e) for e in log.window(start, end)]
+    with tempfile.TemporaryDirectory() as tmp:
+        durable = copy_to_durable(
+            log,
+            Path(tmp) / "store",
+            config=StoreConfig(max_segment_entries=segment_entries),
+        )
+        try:
+            via_window = [_key(e) for e in durable.window(start, end)]
+            via_scan = [_key(e) for e in durable.store.scan_window(start, end)]
+        finally:
+            durable.close()
+    assert via_window == expected
+    assert via_scan == expected
+
+
+def test_equal_timestamps_straddling_a_segment_boundary():
+    """The pinned concrete case: one timestamp spans two segments."""
+    log = AuditLog()
+    for user in ("a", "b"):
+        log.append(make_entry(5, user, "referral", "treatment", "nurse"))
+    for user in ("c", "d", "e"):
+        log.append(make_entry(7, user, "referral", "treatment", "nurse"))
+    log.append(make_entry(9, "f", "referral", "treatment", "nurse"))
+    with tempfile.TemporaryDirectory() as tmp:
+        # two entries per segment: the three t=7 entries straddle
+        # the seal between segments 2 and 3
+        durable = copy_to_durable(
+            log, Path(tmp) / "store", config=StoreConfig(max_segment_entries=2)
+        )
+        try:
+            assert durable.stats().sealed_segments >= 2
+            for start, end, expected_users in [
+                (7, 8, ["c", "d", "e"]),   # exactly the straddling tie
+                (5, 7, ["a", "b"]),        # end is exclusive at the tie
+                (7, 9, ["c", "d", "e"]),   # end excludes the last entry
+                (6, 10, ["c", "d", "e", "f"]),
+                (8, 9, []),
+                (9, 9, []),                # empty half-open window
+            ]:
+                got = [e.user for e in durable.window(start, end)]
+                model = [e.user for e in log.window(start, end)]
+                assert got == model == expected_users, (start, end)
+        finally:
+            durable.close()

@@ -85,3 +85,143 @@ class TestViolationExclusion:
         )
         # with trivial thresholds everything looks like practice
         assert len(screened) == 10
+
+
+class TestLazyStreaming:
+    """filter_practice must not materialise disk-backed logs (PR 3's
+    bounded-memory streaming claim)."""
+
+    def _durable(self, tmp_path, entries=60, segment_entries=7):
+        from repro.store.durable import DurableAuditLog
+        from repro.store.store import StoreConfig
+
+        log = DurableAuditLog(
+            tmp_path / "store",
+            config=StoreConfig(max_segment_entries=segment_entries),
+            name="trail",
+        )
+        for tick in range(entries):
+            status = AccessStatus.EXCEPTION if tick % 3 == 0 else AccessStatus.REGULAR
+            log.append(
+                make_entry(tick, f"u{tick % 5}", "referral", "registration",
+                           "nurse", status=status)
+            )
+        log.sync()
+        return log
+
+    def test_durable_log_yields_lazy_view_over_many_segments(self, tmp_path):
+        from repro.store.durable import StreamedAuditView
+
+        log = self._durable(tmp_path)
+        assert log.stats().sealed_segments > 3  # genuinely multi-segment
+        practice = filter_practice(log)
+        assert isinstance(practice, StreamedAuditView)
+        assert not isinstance(practice, AuditLog)  # nothing materialised
+        assert practice.name == "trail.practice"
+        # re-iterable: two passes see the same entries
+        first = [entry.time for entry in practice]
+        second = [entry.time for entry in practice]
+        assert first == second == [t for t in range(60) if t % 3 == 0]
+        log.close()
+
+    def test_view_is_live_not_a_snapshot(self, tmp_path):
+        log = self._durable(tmp_path)
+        practice = filter_practice(log)
+        before = sum(1 for _ in practice)
+        log.append(
+            make_entry(99, "late", "referral", "registration", "nurse",
+                       status=AccessStatus.EXCEPTION)
+        )
+        assert sum(1 for _ in practice) == before + 1
+        log.close()
+
+    def test_screened_durable_filter_stays_lazy(self, tmp_path):
+        from repro.store.durable import StreamedAuditView
+
+        log = self._durable(tmp_path)
+        screened = filter_practice(log, exclude_suspected_violations=True)
+        assert isinstance(screened, StreamedAuditView)
+        assert sum(1 for _ in screened) > 0
+        log.close()
+
+    def test_in_memory_input_still_returns_audit_log(self, table1_log):
+        practice = filter_practice(table1_log)
+        assert isinstance(practice, AuditLog)
+        assert practice.entries == practice.entries  # materialised, indexable
+
+
+class TestClassifyScope:
+    def _echoed_rare_log(self) -> AuditLog:
+        log = AuditLog()
+        tick = 1
+        # solid practice: 3 users, 6 exception occurrences
+        for user in ("a", "b", "c", "a", "b", "c"):
+            log.append(
+                make_entry(tick, user, "referral", "registration", "nurse",
+                           status=AccessStatus.EXCEPTION)
+            )
+            tick += 1
+        # rare exception combination... (1 user, 1 occurrence)
+        log.append(
+            make_entry(tick, "solo", "labs", "billing", "clerk",
+                       status=AccessStatus.EXCEPTION)
+        )
+        tick += 1
+        # ...that also flows through the sanctioned path (regular echo)
+        log.append(
+            make_entry(tick, "other", "labs", "billing", "clerk",
+                       status=AccessStatus.REGULAR)
+        )
+        return log
+
+    def test_log_scope_keeps_echoed_rare_combination(self):
+        log = self._echoed_rare_log()
+        screened = filter_practice(
+            log, exclude_suspected_violations=True, classify_scope="log"
+        )
+        # the regular echo rescues the rare entry under the full-log scope
+        assert len(screened) == 7
+        assert any(entry.user == "solo" for entry in screened)
+
+    def test_practice_scope_drops_echoed_rare_combination(self):
+        log = self._echoed_rare_log()
+        screened = filter_practice(
+            log, exclude_suspected_violations=True, classify_scope="practice"
+        )
+        # the practice subset holds no regular entries, so no echo rescue:
+        # the rare combination fails the thresholds and is excluded
+        assert len(screened) == 6
+        assert all(entry.user != "solo" for entry in screened)
+
+    def test_default_scope_is_log(self):
+        log = self._echoed_rare_log()
+        default = filter_practice(log, exclude_suspected_violations=True)
+        explicit = filter_practice(
+            log, exclude_suspected_violations=True, classify_scope="log"
+        )
+        assert default.entries == explicit.entries
+
+    def test_scopes_agree_when_no_echo_is_involved(self):
+        log = AuditLog()
+        for tick, user in enumerate(("a", "b", "c", "a", "b", "c"), start=1):
+            log.append(
+                make_entry(tick, user, "referral", "registration", "nurse",
+                           status=AccessStatus.EXCEPTION)
+            )
+        log.append(
+            make_entry(9, "creep", "psychiatry", "telemarketing", "clerk",
+                       status=AccessStatus.EXCEPTION)
+        )
+        by_log = filter_practice(
+            log, exclude_suspected_violations=True, classify_scope="log"
+        )
+        by_practice = filter_practice(
+            log, exclude_suspected_violations=True, classify_scope="practice"
+        )
+        assert by_log.entries == by_practice.entries
+
+    def test_unknown_scope_rejected(self, table1_log):
+        import pytest
+
+        with pytest.raises(ValueError):
+            filter_practice(table1_log, classify_scope="everything")
