@@ -84,6 +84,14 @@ class AuditLog:
         self._entries.extend(batch)
         self._last_time = last_time
 
+    def sync(self) -> None:
+        """Flush to stable storage — a no-op for the in-memory log.
+
+        Present so sinks are interchangeable: the decision service calls
+        ``log.sync()`` on drain regardless of whether the trail is this
+        in-memory log or a :class:`~repro.store.durable.DurableAuditLog`.
+        """
+
     # ------------------------------------------------------------------
     # slicing
     # ------------------------------------------------------------------

@@ -27,6 +27,14 @@ Commands:
 ``metrics``
     Render a telemetry snapshot saved with ``--metrics-out`` as
     Prometheus text or indented JSON.
+``serve``
+    Run the online policy decision service (NDJSON frames over TCP plus
+    ``/healthz``, ``/metrics`` and ``/decide`` over HTTP) on the demo
+    clinical database; ``--store-dir`` writes the audit trail through to
+    a durable segmented store.
+``decide``
+    Ask a running decision service for one decision — category-level
+    with ``--categories``, or full SQL enforcement with ``--sql``.
 
 Policies are DSL text files (see :mod:`repro.policy.parser`); audit logs
 are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`) or durable
@@ -198,6 +206,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_compact.add_argument("directory", help="durable audit store directory")
     store_compact.set_defaults(handler=_cmd_store_compact)
+
+    serve = commands.add_parser(
+        "serve", help="run the online policy decision service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7070,
+                       help="TCP port (0 picks an ephemeral one; default 7070)")
+    serve.add_argument("--rows", type=int, default=200,
+                       help="synthetic patient rows in the demo database")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--rules", default=None, metavar="FILE",
+                       help="file of ALLOW rules replacing the demo policy "
+                            "(one per line, # comments)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="write the audit trail through to a durable "
+                            "segmented store at DIR")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the interned decision cache")
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="decision ops executing at once")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="decisions queued before OVERLOADED shedding")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       help="seconds before an idle connection is dropped")
+    serve.add_argument("--deadline", type=float, default=10.0,
+                       help="default per-request deadline in seconds")
+    serve.set_defaults(handler=_cmd_serve)
+
+    decide = commands.add_parser(
+        "decide", help="ask a running decision service for one decision"
+    )
+    decide.add_argument("--host", default="127.0.0.1")
+    decide.add_argument("--port", type=int, default=7070)
+    decide.add_argument("--user", required=True)
+    decide.add_argument("--role", required=True)
+    decide.add_argument("--purpose", required=True)
+    decide.add_argument("--categories", nargs="+", default=None,
+                        help="data categories for a category-level decision")
+    decide.add_argument("--sql", default=None,
+                        help="run full SQL enforcement instead of --categories")
+    decide.add_argument("--exception", action="store_true",
+                        help="break-the-glass access (audited as exception)")
+    decide.add_argument("--deadline-ms", type=float, default=None)
+    decide.set_defaults(handler=_cmd_decide)
 
     metrics = commands.add_parser("metrics",
                                   help="render a saved telemetry snapshot")
@@ -485,6 +538,90 @@ def _cmd_store_compact(arguments: argparse.Namespace) -> int:
         report = store.compact()
     print(report.summary())
     return 0
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import PdpServer, ServerConfig, build_demo_engine
+
+    audit_log = None
+    if arguments.store_dir is not None:
+        from repro.store.durable import DurableAuditLog
+
+        audit_log = DurableAuditLog(arguments.store_dir, name="served")
+    rules = None
+    if arguments.rules is not None:
+        rules = [
+            line.strip()
+            for line in Path(arguments.rules).read_text(encoding="utf-8").splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    engine = build_demo_engine(
+        rows=arguments.rows,
+        seed=arguments.seed,
+        rules=rules,
+        audit_log=audit_log,
+        cache=not arguments.no_cache,
+        cache_size=arguments.cache_size,
+    )
+    server = PdpServer(
+        engine,
+        ServerConfig(
+            host=arguments.host,
+            port=arguments.port,
+            max_inflight=arguments.max_inflight,
+            max_queue=arguments.max_queue,
+            idle_timeout=arguments.idle_timeout,
+            default_deadline=arguments.deadline,
+        ),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.shutdown())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        print(f"pdp server listening on {server.host}:{server.port}", flush=True)
+        await server.wait_closed()
+
+    asyncio.run(_run())
+    print("pdp server stopped (audit trail flushed)")
+    if audit_log is not None:
+        audit_log.close()
+        print(f"durable trail persisted at {arguments.store_dir}")
+    return 0
+
+
+def _cmd_decide(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import PdpClient
+
+    if (arguments.categories is None) == (arguments.sql is None):
+        raise PrimaError(
+            "decide needs exactly one request shape: --categories ... or --sql SQL"
+        )
+    with PdpClient(arguments.host, arguments.port) as client:
+        if arguments.sql is not None:
+            response = client.query(
+                arguments.user, arguments.role, arguments.purpose, arguments.sql,
+                exception=arguments.exception, deadline_ms=arguments.deadline_ms,
+            )
+        else:
+            response = client.decide(
+                arguments.user, arguments.role, arguments.purpose,
+                arguments.categories, exception=arguments.exception,
+                deadline_ms=arguments.deadline_ms,
+            )
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def _cmd_metrics(arguments: argparse.Namespace) -> int:

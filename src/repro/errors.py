@@ -93,3 +93,7 @@ class FederationError(PrimaError):
 
 class ObservabilityError(PrimaError):
     """The telemetry layer (metrics, spans, snapshots) was misused."""
+
+
+class ServeError(PrimaError):
+    """The policy decision service (server, client or protocol) failed."""

@@ -133,12 +133,35 @@ PATIENT_COLUMNS: dict[str, str] = {
     "insurance": "insurance",
 }
 
+#: The demo deployment's sanctioned rules (shared by E6, E18 and the
+#: ``repro serve`` default engine so served and in-process decisions are
+#: comparable by construction).
+DEMO_RULES: tuple[str, ...] = (
+    "ALLOW nurse TO USE medical_records FOR treatment",
+    "ALLOW nurse TO USE demographic FOR treatment",
+    "ALLOW physician TO USE clinical FOR treatment",
+    "ALLOW physician TO USE clinical FOR diagnosis",
+    "ALLOW clerk TO USE demographic FOR billing",
+    "ALLOW clerk TO USE insurance FOR billing",
+    "ALLOW registrar TO USE demographic FOR registration",
+)
 
-def clinical_db_setup(rows: int = 1000, seed: int = 7) -> ClinicalDbSetup:
-    """Build an enforced patients table with ``rows`` synthetic records."""
+
+def clinical_db_setup(
+    rows: int = 1000,
+    seed: int = 7,
+    audit_log=None,
+    rules: tuple[str, ...] | list[str] | None = None,
+) -> ClinicalDbSetup:
+    """Build an enforced patients table with ``rows`` synthetic records.
+
+    ``audit_log`` optionally replaces the in-memory trail (pass a
+    :class:`~repro.store.durable.DurableAuditLog` for write-through
+    persistence); ``rules`` replaces :data:`DEMO_RULES`.
+    """
     rng = random.Random(seed)
     vocabulary = healthcare_vocabulary()
-    center = HdbControlCenter(vocabulary)
+    center = HdbControlCenter(vocabulary, audit_log=audit_log)
     columns = ", ".join(f"{column} TEXT" for column in PATIENT_COLUMNS)
     center.database.execute(
         f"CREATE TABLE patients (pid TEXT NOT NULL, {columns})"
@@ -152,17 +175,7 @@ def clinical_db_setup(rows: int = 1000, seed: int = 7) -> ClinicalDbSetup:
         table.insert(record)
     table.create_index("pid")
     center.bind_table(TableBinding("patients", "pid", dict(PATIENT_COLUMNS)))
-    center.define_rules(
-        [
-            "ALLOW nurse TO USE medical_records FOR treatment",
-            "ALLOW nurse TO USE demographic FOR treatment",
-            "ALLOW physician TO USE clinical FOR treatment",
-            "ALLOW physician TO USE clinical FOR diagnosis",
-            "ALLOW clerk TO USE demographic FOR billing",
-            "ALLOW clerk TO USE insurance FOR billing",
-            "ALLOW registrar TO USE demographic FOR registration",
-        ]
-    )
+    center.define_rules(list(rules if rules is not None else DEMO_RULES))
     return ClinicalDbSetup(control_center=center, table="patients", rows=rows)
 
 

@@ -9,6 +9,15 @@ out of ``secondary_use`` covers ``research`` and ``telemarketing``.
 Resolution picks the **most specific** matching choice (deepest data
 value, then deepest purpose); on a tie between allow and deny, deny wins —
 the privacy-preserving default.
+
+Concurrency: the directive table is held as an immutable mapping of
+patient → tuple-of-choices and every update builds a **new** mapping and
+swaps it in with a single reference assignment.  A reader that grabbed the
+mapping (or a ``choices_for`` tuple) therefore always sees a consistent
+snapshot — never a half-applied update — which is what lets the decision
+service interleave admin consent updates with live decision traffic on
+one event loop.  :attr:`version` stamps each swap so caches keyed on it
+invalidate precisely.
 """
 
 from __future__ import annotations
@@ -65,7 +74,15 @@ class ConsentStore:
     def __init__(self, vocabulary: Vocabulary, default_allowed: bool = True) -> None:
         self.vocabulary = vocabulary
         self.default_allowed = default_allowed
-        self._choices: dict[str, list[ConsentChoice]] = {}
+        # patient -> tuple of choices; treated as immutable and replaced
+        # wholesale on every update (atomic snapshot swap)
+        self._choices: dict[str, tuple[ConsentChoice, ...]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic update stamp; bumps on every recorded directive."""
+        return self._version
 
     # ------------------------------------------------------------------
     # recording
@@ -77,11 +94,20 @@ class ConsentStore:
         allowed: bool,
         data: str | None = None,
     ) -> ConsentChoice:
-        """Record one directive for ``patient``; returns the choice."""
+        """Record one directive for ``patient``; returns the choice.
+
+        The update is applied copy-on-write: a new directive table is
+        built and swapped in with one assignment, so concurrent readers
+        holding the old table keep a consistent snapshot.
+        """
         if not isinstance(patient, str) or not patient.strip():
             raise ConsentError("patient identifiers must be non-empty strings")
         choice = ConsentChoice(purpose=purpose, allowed=allowed, data=data)
-        self._choices.setdefault(canonical(patient), []).append(choice)
+        key = canonical(patient)
+        choices = dict(self._choices)
+        choices[key] = choices.get(key, ()) + (choice,)
+        self._choices = choices  # the atomic swap
+        self._version += 1
         return choice
 
     def opt_out(self, patient: str, purpose: str, data: str | None = None) -> ConsentChoice:
@@ -93,8 +119,24 @@ class ConsentStore:
         return self.record(patient, purpose, allowed=True, data=data)
 
     def choices_for(self, patient: str) -> tuple[ConsentChoice, ...]:
-        """Every directive recorded for ``patient``, oldest first."""
-        return tuple(self._choices.get(canonical(patient), ()))
+        """Every directive recorded for ``patient``, oldest first.
+
+        The returned tuple is a stable snapshot: later updates build new
+        tuples rather than mutating this one.
+        """
+        return self._choices.get(canonical(patient), ())
+
+    def clone(self) -> "ConsentStore":
+        """An independent copy at the same version.
+
+        Directive tuples are immutable, so the copy is shallow; the
+        decision service clones the store for copy-on-write snapshot
+        swaps exactly as it does the policy store.
+        """
+        twin = ConsentStore(self.vocabulary, default_allowed=self.default_allowed)
+        twin._choices = dict(self._choices)
+        twin._version = self._version
+        return twin
 
     # ------------------------------------------------------------------
     # lookup
@@ -104,7 +146,10 @@ class ConsentStore:
         data = canonical(data)
         purpose = canonical(purpose)
         matches: list[tuple[int, int, ConsentChoice]] = []
-        for choice in self._choices.get(canonical(patient), ()):
+        # one read of the directive table: the whole resolution runs
+        # against this snapshot even if an update swaps the table mid-way
+        table = self._choices
+        for choice in table.get(canonical(patient), ()):
             if not self.vocabulary.subsumes("purpose", choice.purpose, purpose):
                 continue
             if choice.data is not None and not self.vocabulary.subsumes(

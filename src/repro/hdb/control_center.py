@@ -37,12 +37,19 @@ class HdbControlCenter:
         database: Database | None = None,
         clock: LogicalClock | None = None,
         default_consent: bool = True,
+        audit_log=None,
     ) -> None:
         self.vocabulary = vocabulary
         self.database = database if database is not None else Database("clinical")
         self.policy_store = PolicyStore()
         self.consent = ConsentStore(vocabulary, default_allowed=default_consent)
-        self.auditor = ComplianceAuditor(AuditLog(), clock or LogicalClock())
+        # audit_log may be any AuditLog-protocol sink — pass a
+        # DurableAuditLog to write the trail through to disk (the
+        # decision service does exactly that)
+        self.auditor = ComplianceAuditor(
+            audit_log if audit_log is not None else AuditLog(),
+            clock or LogicalClock(),
+        )
         self.ledger = DisclosureLedger()
         self.enforcer = ActiveEnforcer(
             database=self.database,

@@ -113,6 +113,9 @@ class EnforcerStats:
     policy_masked_columns: int = 0
     consent_masked_cells: int = 0
     consent_dropped_rows: int = 0
+    permit_cache_hits: int = 0
+    permit_cache_misses: int = 0
+    permit_cache_invalidations: int = 0
 
 
 class ActiveEnforcer:
@@ -138,6 +141,16 @@ class ActiveEnforcer:
         self.ledger = ledger
         self._bindings: dict[str, TableBinding] = {}
         self.stats = EnforcerStats()
+        # permit decisions memoised per (category, purpose, role), stamped
+        # with (policy-store revision, vocabulary version) — the grounder's
+        # version-stamp pattern, so a stale cache is impossible by
+        # construction (see policy_permits)
+        self._permit_cache: dict[tuple[str, str, str], bool] = {}
+        self._permit_stamp: tuple[int, int] = (-1, -1)
+        # per-(table, column signature) controlled-item plans; re-binding
+        # a table invalidates (see _controlled_plan)
+        self._plan_cache: dict[tuple[str, tuple[str | None, ...]],
+                               tuple[tuple[int, str, str], ...]] = {}
         #: registry captured at construction; enforcement decisions and
         #: per-request latency are recorded against it
         self._obs = get_registry()
@@ -159,6 +172,13 @@ class ActiveEnforcer:
                     f"bound column {column!r} does not exist in table {binding.table!r}"
                 )
         self._bindings[binding.table] = binding
+        self._plan_cache.clear()  # plans may embed the replaced binding
+
+    @property
+    def bindings(self) -> tuple[TableBinding, ...]:
+        """Every registered table binding (the decision service rebinds
+        these when it builds a copy-on-write snapshot)."""
+        return tuple(self._bindings.values())
 
     def binding_for(self, table: str) -> TableBinding:
         """The registered binding for ``table``; raises if unbound."""
@@ -173,11 +193,32 @@ class ActiveEnforcer:
     # policy decision
     # ------------------------------------------------------------------
     def policy_permits(self, category: str, purpose: str, role: str) -> bool:
-        """Does any active store rule cover this concrete access?"""
-        request_rule = Rule.of(data=category, purpose=purpose, authorized=role)
-        return any(
-            rule.covers(request_rule, self.vocabulary) for rule in self.policy_store
-        )
+        """Does any active store rule cover this concrete access?
+
+        Memoised per ``(category, purpose, role)`` and stamped with
+        ``(policy-store revision, vocabulary version)``: mutating either
+        clears the memo before the next lookup, so the serve hot path
+        repays repeated decisions without ever reading a stale one.
+        """
+        stamp = (self.policy_store.revision, self.vocabulary.version)
+        if stamp != self._permit_stamp:
+            if self._permit_cache:
+                self.stats.permit_cache_invalidations += 1
+                self._permit_cache.clear()
+            self._permit_stamp = stamp
+        key = (canonical(category), canonical(purpose), canonical(role))
+        permitted = self._permit_cache.get(key)
+        if permitted is None:
+            request_rule = Rule.of(data=key[0], purpose=key[1], authorized=key[2])
+            permitted = any(
+                rule.covers(request_rule, self.vocabulary)
+                for rule in self.policy_store
+            )
+            self._permit_cache[key] = permitted
+            self.stats.permit_cache_misses += 1
+        else:
+            self.stats.permit_cache_hits += 1
+        return permitted
 
     # ------------------------------------------------------------------
     # the enforcement pipeline
@@ -208,30 +249,27 @@ class ActiveEnforcer:
 
         role = canonical(request.role)
         purpose = canonical(request.purpose)
-        controlled: list[tuple[ast.SelectItem, str, str]] = []  # item, column, category
-        for item in items:
-            column = self._item_column(item)
-            category = binding.category_of(column) if column is not None else None
-            if category is not None:
-                controlled.append((item, column, category))
+        # (position, column, category) for every controlled select item,
+        # memoised per column signature
+        plan = self._controlled_plan(binding, items)
 
         if request.exception:
             status = AccessStatus.EXCEPTION
-            permitted = {category for _, _, category in controlled}
+            permitted = {category for _, _, category in plan}
             self.stats.exceptions += 1
         else:
             status = AccessStatus.REGULAR
             permitted = {
                 category
-                for _, _, category in controlled
+                for _, _, category in plan
                 if self.policy_permits(category, purpose, role)
             }
 
         masked = tuple(
-            sorted({cat for _, _, cat in controlled if cat not in permitted})
+            sorted({cat for _, _, cat in plan if cat not in permitted})
         )
         returned = tuple(sorted(permitted))
-        if controlled and not permitted:
+        if plan and not permitted:
             self.stats.denials += 1
             if self._obs.enabled:
                 self._count_decision("deny", purpose, role)
@@ -253,11 +291,12 @@ class ActiveEnforcer:
                 f"for role {role!r} and purpose {purpose!r}"
             )
 
-        rewritten = self._rewrite(select, items, binding, permitted)
+        rewritten = self._rewrite(select, items, plan, binding, permitted)
         raw = self.database.execute_statement(rewritten)
         assert isinstance(raw, ResultSet)
+        category_positions = [(position, category) for position, _, category in plan]
         final, cells_masked, rows_dropped, disclosed = self._apply_consent(
-            raw, items, binding, purpose, bypass=request.exception
+            raw, category_positions, purpose, bypass=request.exception
         )
         self.stats.policy_masked_columns += len(masked)
         self.stats.consent_masked_cells += cells_masked
@@ -375,18 +414,42 @@ class ActiveEnforcer:
             )
         return None
 
+    def _controlled_plan(
+        self, binding: TableBinding, items: tuple[ast.SelectItem, ...]
+    ) -> tuple[tuple[int, str, str], ...]:
+        """``(position, column, category)`` for each controlled item.
+
+        Memoised per ``(table, column signature)``: the serve hot path
+        replays a small set of query shapes over and over, and the
+        per-item category lookups are pure functions of the binding.
+        Re-binding a table clears the memo (see :meth:`bind_table`).
+        """
+        columns = tuple(self._item_column(item) for item in items)
+        key = (binding.table, columns)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = tuple(
+                (position, column, category)
+                for position, column in enumerate(columns)
+                if column is not None
+                and (category := binding.category_of(column)) is not None
+            )
+            self._plan_cache[key] = plan
+        return plan
+
     def _rewrite(
         self,
         select: ast.Select,
         items: tuple[ast.SelectItem, ...],
+        plan: tuple[tuple[int, str, str], ...],
         binding: TableBinding,
         permitted: set[str],
     ) -> ast.Select:
         """Mask policy-denied columns and smuggle the patient id along."""
+        category_at = {position: category for position, _, category in plan}
         new_items: list[ast.SelectItem] = []
         for position, item in enumerate(items):
-            column = self._item_column(item)
-            category = binding.category_of(column) if column is not None else None
+            category = category_at.get(position)
             if category is not None and category not in permitted:
                 new_items.append(
                     ast.SelectItem(ast.Literal(None), item.output_name(position))
@@ -412,8 +475,7 @@ class ActiveEnforcer:
     def _apply_consent(
         self,
         raw: ResultSet,
-        items: tuple[ast.SelectItem, ...],
-        binding: TableBinding,
+        category_positions: list[tuple[int, str]],
         purpose: str,
         bypass: bool,
     ) -> tuple[ResultSet, int, int, dict[str, set[str]]]:
@@ -424,12 +486,6 @@ class ActiveEnforcer:
         accounting-of-disclosures ledger.
         """
         visible_columns = raw.columns[:-1]
-        category_positions = []
-        for position, item in enumerate(items):
-            column = self._item_column(item)
-            category = binding.category_of(column) if column is not None else None
-            if category is not None:
-                category_positions.append((position, category))
         rows: list[tuple] = []
         cells_masked = 0
         rows_dropped = 0

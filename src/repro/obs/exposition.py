@@ -79,6 +79,19 @@ def render_prometheus(snapshot: dict) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def render_registry(registry=None) -> str:
+    """Prometheus text for a *live* registry (collects, snapshots, renders).
+
+    With no argument the process-active registry is used — this is the
+    single call behind the decision service's ``GET /metrics`` endpoint.
+    """
+    if registry is None:
+        from repro.obs.runtime import get_registry
+
+        registry = get_registry()
+    return render_prometheus(registry.snapshot())
+
+
 def save_snapshot(snapshot: dict, path: str | Path) -> Path:
     """Write a snapshot as pretty-printed JSON; returns the path."""
     path = Path(path)

@@ -158,6 +158,21 @@ class PolicyStore:
         """Snapshot the active rules as a ``P_PS`` policy."""
         return Policy(iter(self), source=PolicySource.POLICY_STORE, name=self.name)
 
+    def clone(self, name: str | None = None) -> "PolicyStore":
+        """An independent copy carrying the same records, history and
+        revision.
+
+        Records and history events are immutable, so the copy is shallow
+        and O(rules); the decision service uses this for copy-on-write
+        snapshots — admin mutations build and populate a clone, then swap
+        it in atomically while in-flight readers keep the old store.
+        """
+        twin = PolicyStore(name or self.name)
+        twin._records = dict(self._records)
+        twin._history = list(self._history)
+        twin._revision = self._revision
+        return twin
+
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------

@@ -1,0 +1,299 @@
+"""Clients for the PDP server: synchronous sockets and asyncio streams.
+
+Both clients speak the NDJSON frame protocol of
+:mod:`repro.serve.protocol` and share one retry discipline
+(:class:`RetryPolicy`): **connection establishment** retries with
+exponential backoff, and a request that dies on a broken connection is
+retried on a fresh connection — but only for idempotent ops (``ping``,
+``decide``, ``query``, ``stats``; a ``decide`` re-sent after a transport
+failure at worst duplicates an audit entry for the same decision, which
+the refinement pipeline's frequency thresholds tolerate, while an admin
+mutation must not be silently replayed).  Transport failures after the
+retry budget surface as :class:`~repro.errors.ServeError`.
+
+The response's ``ok``/``code`` is *not* converted into an exception:
+``DENIED`` or ``OVERLOADED`` are answers, not transport failures, and
+callers (the load driver above all) need to see and count them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+#: Ops safe to replay on a fresh connection after a transport failure.
+_IDEMPOTENT_OPS = frozenset({"ping", "decide", "query", "stats"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for connection/transport failures."""
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    backoff: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * (self.backoff ** attempt))
+
+
+class _RequestIds:
+    """Monotonic request-id source shared by both client shapes."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def take(self) -> int:
+        self._next += 1
+        return self._next
+
+
+class _ClientOps:
+    """The op surface both clients expose; subclasses provide _call."""
+
+    def _call(self, payload: dict, idempotent: bool):
+        raise NotImplementedError
+
+    def _op(self, op: str, idempotent: bool = True, **fields):
+        payload = {"op": op, "id": self._ids.take()}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        return self._call(payload, idempotent)
+
+    def request(self, payload: dict, idempotent: bool = True):
+        """Send one raw request payload (an ``id`` is added if missing)."""
+        body = dict(payload)
+        body.setdefault("id", self._ids.take())
+        return self._call(body, idempotent)
+
+    def ping(self):
+        """Liveness probe; returns the server's version stamp."""
+        return self._op("ping")
+
+    def decide(self, user, role, purpose, categories, exception=False,
+               truth="", deadline_ms=None):
+        """One category-level PDP decision."""
+        return self._op(
+            "decide", user=user, role=role, purpose=purpose,
+            categories=list(categories), exception=exception, truth=truth,
+            deadline_ms=deadline_ms,
+        )
+
+    def query(self, user, role, purpose, sql, exception=False, truth="",
+              deadline_ms=None):
+        """One fully enforced SQL query."""
+        return self._op(
+            "query", user=user, role=role, purpose=purpose, sql=sql,
+            exception=exception, truth=truth, deadline_ms=deadline_ms,
+        )
+
+    def stats(self):
+        """Engine + server statistics."""
+        return self._op("stats")
+
+    def add_rule(self, rule, note=""):
+        """Hot-load one policy rule (copy-on-write snapshot swap)."""
+        return self._op("admin.add_rule", idempotent=False, rule=rule, note=note)
+
+    def retire_rule(self, rule, note=""):
+        """Hot-retire one policy rule (copy-on-write snapshot swap)."""
+        return self._op("admin.retire_rule", idempotent=False, rule=rule, note=note)
+
+    def record_consent(self, patient, purpose, allowed, data=None):
+        """Hot-record one consent directive."""
+        return self._op(
+            "admin.consent", idempotent=False, patient=patient,
+            purpose=purpose, allowed=allowed, data=data,
+        )
+
+    def shutdown_server(self):
+        """Ask the server to drain and stop."""
+        return self._op("admin.shutdown", idempotent=False)
+
+
+class PdpClient(_ClientOps):
+    """Blocking socket client (tests, benchmarks, the CLI)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._ids = _RequestIds()
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(self) -> "PdpClient":
+        """Open the connection, retrying with backoff; idempotent."""
+        if self._sock is not None:
+            return self
+        last: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._sock = sock
+                self._file = sock.makefile("rb")
+                return self
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < self.retry.attempts:
+                    time.sleep(self.retry.delay(attempt))
+        raise ServeError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retry.attempts} attempts: {last}"
+        ) from last
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "PdpClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame: bytes) -> dict:
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(frame)
+        line = self._file.readline(protocol.MAX_FRAME_BYTES + 1)
+        if not line or not line.endswith(b"\n"):
+            raise ConnectionResetError("server closed the connection mid-response")
+        return protocol.decode_frame(line)
+
+    def _call(self, payload: dict, idempotent: bool) -> dict:
+        frame = protocol.encode_frame(payload)
+        self.connect()
+        attempts = self.retry.attempts if idempotent else 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                return self._roundtrip(frame)
+            except (OSError, ConnectionResetError, BrokenPipeError) as exc:
+                last = exc
+                self.close()
+                if attempt + 1 < attempts:
+                    time.sleep(self.retry.delay(attempt))
+                    self.connect()
+        raise ServeError(
+            f"request {payload.get('op')!r} failed after {attempts} "
+            f"attempt(s): {last}"
+        ) from last
+
+
+class AsyncPdpClient(_ClientOps):
+    """The same surface over asyncio streams (every op is a coroutine)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._ids = _RequestIds()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncPdpClient":
+        """Open the connection, retrying with backoff; idempotent."""
+        if self._writer is not None:
+            return self
+        last: Exception | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                self._reader, self._writer = await asyncio.wait_for(
+                    asyncio.open_connection(
+                        self.host, self.port, limit=protocol.MAX_FRAME_BYTES
+                    ),
+                    timeout=self.timeout,
+                )
+                return self
+            except (OSError, asyncio.TimeoutError) as exc:
+                last = exc
+                if attempt + 1 < self.retry.attempts:
+                    await asyncio.sleep(self.retry.delay(attempt))
+        raise ServeError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retry.attempts} attempts: {last}"
+        ) from last
+
+    async def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionResetError):
+                pass
+
+    async def __aenter__(self) -> "AsyncPdpClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def _roundtrip(self, frame: bytes) -> dict:
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(frame)
+        await self._writer.drain()
+        line = await asyncio.wait_for(self._reader.readline(), self.timeout)
+        if not line or not line.endswith(b"\n"):
+            raise ConnectionResetError("server closed the connection mid-response")
+        return protocol.decode_frame(line)
+
+    async def _call(self, payload: dict, idempotent: bool) -> dict:
+        frame = protocol.encode_frame(payload)
+        await self.connect()
+        attempts = self.retry.attempts if idempotent else 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            try:
+                return await self._roundtrip(frame)
+            except (OSError, ConnectionResetError, asyncio.TimeoutError) as exc:
+                last = exc
+                await self.close()
+                if attempt + 1 < attempts:
+                    await asyncio.sleep(self.retry.delay(attempt))
+                    await self.connect()
+        raise ServeError(
+            f"request {payload.get('op')!r} failed after {attempts} "
+            f"attempt(s): {last}"
+        ) from last

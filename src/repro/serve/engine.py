@@ -1,0 +1,356 @@
+"""The decision engine: versioned snapshots over Active Enforcement.
+
+The server owns exactly one :class:`PdpEngine`.  The engine owns a
+:class:`SnapshotManager` whose *current* :class:`EngineSnapshot` bundles
+one :class:`~repro.hdb.enforcement.ActiveEnforcer` with the policy store
+and consent store it reads.  Snapshots are **copy-on-write**: an admin
+mutation clones both stores, applies the change, builds a fresh enforcer
+over the same database/auditor, and swaps the bundle in with a single
+reference assignment — in-flight decisions keep the snapshot they
+resolved at admission, so a hot reload can never produce a half-updated
+decision.  Every response is stamped with the snapshot's versions
+``{snapshot, policy, consent, vocab}`` (``vocab`` being the interner's
+vocabulary version from PR 1).
+
+Two decision shapes:
+
+``decide``
+    The pure PDP path — ``(user, role, purpose, data categories)`` in,
+    permitted/masked categories out.  Verdicts come from the interned
+    :class:`~repro.serve.cache.DecisionCache`; compliance auditing runs
+    on every request (cache hits included) with exactly the enforcer's
+    entry semantics, so the served trail is indistinguishable from an
+    in-process one.
+``query``
+    Full Active Enforcement — the SQL is rewritten, executed, and
+    consent-masked by the snapshot's enforcer, byte-identical to calling
+    :meth:`ActiveEnforcer.execute` in process (E18 asserts this).
+
+Auditing is write-through: hand :func:`build_demo_engine` a
+:class:`~repro.store.durable.DurableAuditLog` and every served decision
+lands in the crash-safe segmented store, ready for
+``repro refine --store-dir`` against the live service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.schema import AccessOp, AccessStatus
+from repro.errors import AccessDeniedError, EnforcementError, PrimaError
+from repro.hdb.consent import ConsentStore
+from repro.hdb.enforcement import AccessRequest, ActiveEnforcer
+from repro.obs.runtime import get_registry
+from repro.policy.parser import parse_rule
+from repro.policy.store import PolicyStore
+from repro.serve import protocol
+from repro.serve.cache import DecisionCache
+from repro.serve.protocol import ServeRequest
+from repro.sqlmini.errors import SqlError
+from repro.vocab.tree import canonical
+from repro.vocab.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One immutable generation of the service's decision state."""
+
+    snapshot_id: int
+    enforcer: ActiveEnforcer
+    policy_store: PolicyStore
+    consent: ConsentStore
+    vocabulary: Vocabulary
+
+    def versions(self) -> dict:
+        """The version stamp carried by every response."""
+        return {
+            "snapshot": self.snapshot_id,
+            "policy": self.policy_store.revision,
+            "consent": self.consent.version,
+            "vocab": self.vocabulary.version,
+        }
+
+
+class SnapshotManager:
+    """Copy-on-write swaps of the engine's decision state."""
+
+    def __init__(self, enforcer: ActiveEnforcer) -> None:
+        self._obs = get_registry()
+        self._snapshot_id = 1
+        self._current = EngineSnapshot(
+            snapshot_id=1,
+            enforcer=enforcer,
+            policy_store=enforcer.policy_store,
+            consent=enforcer.consent,
+            vocabulary=enforcer.vocabulary,
+        )
+
+    @property
+    def current(self) -> EngineSnapshot:
+        """The live snapshot (grab once per request)."""
+        return self._current
+
+    @property
+    def auditor(self):
+        """The compliance auditor — shared across snapshots so the
+        logical clock and trail are continuous over reloads."""
+        return self._current.enforcer.auditor
+
+    def mutate(self, fn) -> tuple[EngineSnapshot, object]:
+        """Apply ``fn(policy_store, consent)`` on clones; swap; return.
+
+        ``fn`` runs against private clones, so concurrent readers of the
+        old snapshot are never exposed to a partial update; the swap is
+        one reference assignment.  Returns ``(new snapshot, fn result)``.
+        """
+        base = self._current
+        store = base.policy_store.clone()
+        consent = base.consent.clone()
+        changed = fn(store, consent)
+        enforcer = ActiveEnforcer(
+            database=base.enforcer.database,
+            policy_store=store,
+            consent=consent,
+            auditor=base.enforcer.auditor,
+            vocabulary=base.vocabulary,
+            ledger=base.enforcer.ledger,
+        )
+        for binding in base.enforcer.bindings:
+            enforcer.bind_table(binding)
+        self._snapshot_id += 1
+        snapshot = EngineSnapshot(
+            snapshot_id=self._snapshot_id,
+            enforcer=enforcer,
+            policy_store=store,
+            consent=consent,
+            vocabulary=base.vocabulary,
+        )
+        self._current = snapshot  # the atomic swap
+        if self._obs.enabled:
+            self._obs.counter("repro_serve_snapshot_swaps_total").inc()
+            self._obs.gauge("repro_serve_snapshot_version").set(snapshot.snapshot_id)
+        return snapshot, changed
+
+
+class PdpEngine:
+    """Decision + admin surface the server exposes over the wire."""
+
+    def __init__(
+        self, manager: SnapshotManager, cache: DecisionCache | None = None
+    ) -> None:
+        self.manager = manager
+        self.cache = cache
+        self._obs = get_registry()
+        self.decisions_served = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # read surface
+    # ------------------------------------------------------------------
+    @property
+    def audit_log(self):
+        """The write-through audit trail (in-memory or durable)."""
+        return self.manager.auditor.log
+
+    def versions(self) -> dict:
+        """The current snapshot's version stamp."""
+        return self.manager.current.versions()
+
+    def stats(self) -> dict:
+        """JSON-ready engine statistics for the ``stats`` op."""
+        snapshot = self.manager.current
+        enforcer_stats = snapshot.enforcer.stats
+        return {
+            "versions": snapshot.versions(),
+            "decisions_served": self.decisions_served,
+            "queries_served": self.queries_served,
+            "audit_entries": len(self.audit_log),
+            "active_rules": len(snapshot.policy_store),
+            "decision_cache": self.cache.stats() if self.cache else None,
+            "permit_cache": {
+                "hits": enforcer_stats.permit_cache_hits,
+                "misses": enforcer_stats.permit_cache_misses,
+                "invalidations": enforcer_stats.permit_cache_invalidations,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # the decision paths
+    # ------------------------------------------------------------------
+    def decide(self, request: ServeRequest) -> dict:
+        """The category-level PDP decision, audited write-through.
+
+        Mirrors the enforcer's audit semantics exactly: a fully denied
+        request writes DENY entries and answers ``DENIED``; an allowed
+        request writes ALLOW entries for the permitted categories plus
+        DENY entries for any masked ones.
+        """
+        snapshot = self.manager.current
+        role = canonical(request.role)
+        purpose = canonical(request.purpose)
+        categories = tuple(sorted({canonical(c) for c in request.categories}))
+        if request.exception:
+            status = AccessStatus.EXCEPTION
+            permitted = frozenset(categories)
+        else:
+            status = AccessStatus.REGULAR
+            permitted = self._permitted(snapshot, role, purpose, categories)
+        masked = tuple(sorted(set(categories) - permitted))
+        returned = tuple(sorted(permitted))
+        auditor = self.manager.auditor
+        self.decisions_served += 1
+        versions = snapshot.versions()
+        if categories and not permitted:
+            auditor.record_access(
+                user=request.user, role=role, purpose=purpose,
+                categories=masked, op=AccessOp.DENY, status=status,
+                truth=request.truth,
+            )
+            return protocol.error_response(
+                code=protocol.DENIED,
+                error=f"policy permits none of {list(masked)} for role "
+                      f"{role!r} and purpose {purpose!r}",
+                decision="deny", returned=[], masked=list(masked),
+                versions=versions,
+            )
+        auditor.record_access(
+            user=request.user, role=role, purpose=purpose,
+            categories=returned, op=AccessOp.ALLOW, status=status,
+            truth=request.truth,
+        )
+        if masked:
+            auditor.record_access(
+                user=request.user, role=role, purpose=purpose,
+                categories=masked, op=AccessOp.DENY, status=status,
+                truth=request.truth,
+            )
+        return protocol.ok_response(
+            decision="allow",
+            status="exception" if request.exception else "regular",
+            returned=list(returned), masked=list(masked), versions=versions,
+        )
+
+    def _permitted(
+        self,
+        snapshot: EngineSnapshot,
+        role: str,
+        purpose: str,
+        categories: tuple[str, ...],
+    ) -> frozenset[str]:
+        """The policy verdict, via the interned decision cache."""
+        cache = self.cache
+        if cache is None:
+            return frozenset(
+                category
+                for category in categories
+                if snapshot.enforcer.policy_permits(category, purpose, role)
+            )
+        key = cache.key(
+            snapshot.policy_store.revision, snapshot.consent.version,
+            role, purpose, categories,
+        )
+        permitted = cache.get(key)
+        if permitted is None:
+            permitted = frozenset(
+                category
+                for category in categories
+                if snapshot.enforcer.policy_permits(category, purpose, role)
+            )
+            cache.put(key, permitted)
+        return permitted
+
+    def query(self, request: ServeRequest) -> dict:
+        """Full Active Enforcement over one SQL request."""
+        snapshot = self.manager.current
+        access = AccessRequest(
+            user=request.user, role=request.role, purpose=request.purpose,
+            sql=request.sql, exception=request.exception, truth=request.truth,
+        )
+        self.queries_served += 1
+        versions = snapshot.versions()
+        try:
+            result = snapshot.enforcer.execute(access)
+        except AccessDeniedError as exc:
+            return protocol.error_response(
+                code=protocol.DENIED, error=exc.reason, decision="deny",
+                versions=versions,
+            )
+        except (EnforcementError, SqlError) as exc:
+            # raised before anything executed or was audited: the query
+            # never entered the trail, exactly like a malformed frame
+            return protocol.error_response(
+                code=protocol.BAD_REQUEST, error=str(exc), versions=versions
+            )
+        return protocol.ok_response(
+            decision="allow",
+            status=result.status.name.lower(),
+            returned=list(result.categories_returned),
+            masked=list(result.categories_masked),
+            cells_masked=result.cells_masked_by_consent,
+            rows_dropped=result.rows_dropped_by_consent,
+            columns=list(result.result.columns),
+            rows=[list(row) for row in result.result.rows],
+            versions=versions,
+        )
+
+    # ------------------------------------------------------------------
+    # admin surface (each call = one copy-on-write snapshot swap)
+    # ------------------------------------------------------------------
+    def admin(self, request: ServeRequest) -> dict:
+        """Apply one admin op; answers with the new version stamp."""
+        try:
+            if request.op == "admin.add_rule":
+                rule = parse_rule(request.rule)
+                snapshot, changed = self.manager.mutate(
+                    lambda store, consent: store.add(
+                        rule, added_by="serve-admin", origin="serve",
+                        note=request.note,
+                    )
+                )
+            elif request.op == "admin.retire_rule":
+                rule = parse_rule(request.rule)
+                snapshot, changed = self.manager.mutate(
+                    lambda store, consent: store.retire(
+                        rule, added_by="serve-admin", note=request.note
+                    )
+                )
+            else:  # admin.consent
+                snapshot, changed = self.manager.mutate(
+                    lambda store, consent: consent.record(
+                        request.patient, request.purpose, request.allowed,
+                        data=request.data,
+                    )
+                )
+                changed = True
+        except PrimaError as exc:
+            return protocol.error_response(code=protocol.BAD_REQUEST, error=str(exc))
+        if self.cache is not None:
+            self.cache.invalidate()
+        return protocol.ok_response(
+            changed=bool(changed), versions=snapshot.versions()
+        )
+
+
+def build_demo_engine(
+    rows: int = 200,
+    seed: int = 7,
+    rules=None,
+    audit_log=None,
+    cache: bool = True,
+    cache_size: int = 4096,
+) -> PdpEngine:
+    """The standard served deployment: the E6 clinical database.
+
+    Built from :func:`repro.experiments.harness.clinical_db_setup` with
+    the same ``rows``/``seed``, so an in-process control center built the
+    same way is *the same system* — the E18 identity assertion depends on
+    this.  ``audit_log`` accepts a durable log for write-through
+    persistence; ``rules`` replaces the demo policy.
+    """
+    from repro.experiments.harness import clinical_db_setup
+
+    setup = clinical_db_setup(
+        rows=rows, seed=seed, audit_log=audit_log, rules=rules
+    )
+    manager = SnapshotManager(setup.control_center.enforcer)
+    return PdpEngine(manager, DecisionCache(cache_size) if cache else None)

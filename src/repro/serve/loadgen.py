@@ -1,0 +1,131 @@
+"""A load driver replaying workload traffic against a live PDP server.
+
+Feed it decision payloads — typically
+:func:`repro.workload.traces.decision_payloads` over a synthetic audit
+log from the workload generator — and it partitions them across N
+client threads, each with its own blocking :class:`PdpClient`
+connection, and measures what the server actually did: throughput,
+latency percentiles, and the per-code outcome counts (``OVERLOADED``
+shedding included — shed responses are outcomes, not errors).  The E18
+benchmark and ``repro serve --load`` both sit on this.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.client import PdpClient, RetryPolicy
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """The ``fraction`` quantile (nearest-rank) of ``samples``; 0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
+@dataclass
+class LoadReport:
+    """What one load run did, ready for the benchmark JSON record."""
+
+    requests: int = 0
+    ok: int = 0
+    denied: int = 0
+    shed: int = 0
+    errors: int = 0
+    seconds: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    codes: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second."""
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready flattening of the report."""
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "denied": self.denied,
+            "shed": self.shed,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 6),
+            "throughput_rps": round(self.throughput, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "codes": dict(sorted(self.codes.items())),
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    payloads: list[dict],
+    clients: int = 4,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Replay ``payloads`` against ``host:port`` with ``clients`` threads.
+
+    Payload *i* goes to client ``i % clients``, so a single-client run
+    preserves the original order exactly (the E18 identity phase depends
+    on that).  Returns the merged :class:`LoadReport`.
+    """
+    clients = max(1, min(clients, len(payloads) or 1))
+    shards: list[list[dict]] = [[] for _ in range(clients)]
+    for index, payload in enumerate(payloads):
+        shards[index % clients].append(payload)
+
+    lock = threading.Lock()
+    latencies: list[float] = []
+    report = LoadReport()
+
+    def worker(shard: list[dict]) -> None:
+        local_lat: list[float] = []
+        local_codes: dict[str, int] = {}
+        local_errors = 0
+        client = PdpClient(host, port, timeout=timeout, retry=RetryPolicy())
+        try:
+            client.connect()
+            for payload in shard:
+                begun = time.perf_counter()
+                try:
+                    response = client.request(payload)
+                    code = response.get("code", "INTERNAL")
+                except Exception:
+                    local_errors += 1
+                    continue
+                local_lat.append((time.perf_counter() - begun) * 1000.0)
+                local_codes[code] = local_codes.get(code, 0) + 1
+        finally:
+            client.close()
+        with lock:
+            latencies.extend(local_lat)
+            report.errors += local_errors
+            for code, count in local_codes.items():
+                report.codes[code] = report.codes.get(code, 0) + count
+
+    threads = [
+        threading.Thread(target=worker, args=(shard,), name=f"pdp-load-{i}")
+        for i, shard in enumerate(shards)
+        if shard
+    ]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.seconds = time.perf_counter() - begun
+    report.requests = len(latencies)
+    report.ok = report.codes.get("OK", 0)
+    report.denied = report.codes.get("DENIED", 0)
+    report.shed = report.codes.get("OVERLOADED", 0)
+    report.p50_ms = percentile(latencies, 0.50)
+    report.p99_ms = percentile(latencies, 0.99)
+    return report

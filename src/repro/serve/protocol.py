@@ -1,0 +1,275 @@
+"""The PDP wire protocol: newline-delimited JSON frames.
+
+One frame is one UTF-8 JSON object terminated by ``\\n``.  Clients send
+request frames carrying an ``op`` (plus op-specific fields) and receive
+exactly one response frame per request, in order.  Responses always carry
+``ok``/``code`` and — for any frame the engine actually served — the
+``versions`` stamp ``{snapshot, policy, consent, vocab}`` so a client can
+detect a hot reload between two answers (``vocab`` is the interner's
+vocabulary version from PR 1).
+
+The protocol is deliberately strict: a frame that is not a JSON object,
+names an unknown op, or is missing/mistyping a required field is rejected
+with ``BAD_REQUEST`` *before* it reaches enforcement, so rejected frames
+never produce audit entries.  Oversized frames (no newline within
+:data:`MAX_FRAME_BYTES`) terminate the connection after one
+``BAD_REQUEST`` response — an unbounded line is indistinguishable from a
+memory-exhaustion attack.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+#: Hard ceiling on one frame (request or response), newline included.
+MAX_FRAME_BYTES = 64 * 1024
+
+# ----------------------------------------------------------------------
+# response codes
+# ----------------------------------------------------------------------
+
+OK = "OK"
+DENIED = "DENIED"
+BAD_REQUEST = "BAD_REQUEST"
+OVERLOADED = "OVERLOADED"
+TIMEOUT = "TIMEOUT"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+INTERNAL = "INTERNAL"
+
+#: Every code a response frame may carry.
+CODES = frozenset(
+    {OK, DENIED, BAD_REQUEST, OVERLOADED, TIMEOUT, SHUTTING_DOWN, INTERNAL}
+)
+
+#: The HTTP status the shim maps each code onto.
+HTTP_STATUS = {
+    OK: 200,
+    DENIED: 403,
+    BAD_REQUEST: 400,
+    OVERLOADED: 503,
+    TIMEOUT: 504,
+    SHUTTING_DOWN: 503,
+    INTERNAL: 500,
+}
+
+#: Ops the server accepts over the frame protocol.
+OPS = frozenset(
+    {
+        "ping",
+        "decide",
+        "query",
+        "stats",
+        "admin.add_rule",
+        "admin.retire_rule",
+        "admin.consent",
+        "admin.shutdown",
+    }
+)
+
+#: Ops that run through the decision engine (and admission control).
+DECISION_OPS = frozenset({"decide", "query"})
+
+
+class ProtocolError(ServeError):
+    """A frame violated the wire protocol; carries the response code."""
+
+    def __init__(self, message: str, code: str = BAD_REQUEST) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise one frame: compact JSON + newline."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frames are JSON objects, got {type(payload).__name__}")
+    data = json.dumps(payload, separators=(",", ":"), ensure_ascii=False)
+    frame = data.encode("utf-8") + b"\n"
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return frame
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one frame line into a dict; rejects anything else."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frames are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ServeRequest:
+    """One validated request frame."""
+
+    op: str
+    id: object = None
+    user: str = ""
+    role: str = ""
+    purpose: str = ""
+    categories: tuple[str, ...] = ()
+    sql: str = ""
+    exception: bool = False
+    truth: str = ""
+    deadline_ms: float | None = None
+    # admin fields
+    rule: str = ""
+    patient: str = ""
+    allowed: bool = True
+    data: str | None = None
+    note: str = field(default="", repr=False)
+
+
+def _string(payload: dict, key: str, required: bool = True) -> str:
+    value = payload.get(key, "" if not required else None)
+    if value is None:
+        raise ProtocolError(f"{payload.get('op')!r} requires a {key!r} string")
+    if not isinstance(value, str):
+        raise ProtocolError(f"{key!r} must be a string, got {type(value).__name__}")
+    if required and not value.strip():
+        raise ProtocolError(f"{key!r} must be a non-empty string")
+    return value
+
+
+def _bool(payload: dict, key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{key!r} must be a boolean, got {value!r}")
+    return value
+
+
+def _categories(payload: dict) -> tuple[str, ...]:
+    value = payload.get("categories")
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ProtocolError("'decide' requires a non-empty 'categories' list")
+    out = []
+    for item in value:
+        if not isinstance(item, str) or not item.strip():
+            raise ProtocolError(f"categories must be non-empty strings, got {item!r}")
+        out.append(item)
+    return tuple(out)
+
+
+def _deadline(payload: dict) -> float | None:
+    value = payload.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ProtocolError(f"'deadline_ms' must be a positive number, got {value!r}")
+    return float(value)
+
+
+def parse_request(payload: dict) -> ServeRequest:
+    """Validate a decoded frame into a :class:`ServeRequest`.
+
+    Raises :class:`ProtocolError` (→ ``BAD_REQUEST``) on any violation;
+    by contract nothing that fails here may reach the audit trail.
+    """
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("every request frame needs a string 'op'")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {sorted(OPS)})")
+    request_id = payload.get("id")
+
+    if op in ("ping", "stats", "admin.shutdown"):
+        return ServeRequest(op=op, id=request_id)
+    if op == "decide":
+        return ServeRequest(
+            op=op,
+            id=request_id,
+            user=_string(payload, "user"),
+            role=_string(payload, "role"),
+            purpose=_string(payload, "purpose"),
+            categories=_categories(payload),
+            exception=_bool(payload, "exception", False),
+            truth=_string(payload, "truth", required=False),
+            deadline_ms=_deadline(payload),
+        )
+    if op == "query":
+        return ServeRequest(
+            op=op,
+            id=request_id,
+            user=_string(payload, "user"),
+            role=_string(payload, "role"),
+            purpose=_string(payload, "purpose"),
+            sql=_string(payload, "sql"),
+            exception=_bool(payload, "exception", False),
+            truth=_string(payload, "truth", required=False),
+            deadline_ms=_deadline(payload),
+        )
+    if op in ("admin.add_rule", "admin.retire_rule"):
+        return ServeRequest(
+            op=op,
+            id=request_id,
+            rule=_string(payload, "rule"),
+            note=_string(payload, "note", required=False),
+        )
+    # op == "admin.consent"
+    data = payload.get("data")
+    if data is not None and (not isinstance(data, str) or not data.strip()):
+        raise ProtocolError(f"'data' must be a non-empty string or null, got {data!r}")
+    return ServeRequest(
+        op=op,
+        id=request_id,
+        patient=_string(payload, "patient"),
+        purpose=_string(payload, "purpose"),
+        allowed=_bool(payload, "allowed", True),
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+
+
+def ok_response(request_id: object = None, **fields: object) -> dict:
+    """Build a success response frame."""
+    response: dict = {"ok": True, "code": OK}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request_id: object = None, code: str = INTERNAL, error: str = "", **fields: object
+) -> dict:
+    """Build an error response frame for ``code``."""
+    if code not in CODES or code == OK:
+        raise ServeError(f"not an error code: {code!r}")
+    response: dict = {"ok": False, "code": code, "error": error}
+    if request_id is not None:
+        response["id"] = request_id
+    response.update(fields)
+    return response

@@ -1,0 +1,592 @@
+"""The PDP server: asyncio, NDJSON frames, and an HTTP/1.1 shim.
+
+One :class:`PdpServer` serves one :class:`~repro.serve.engine.PdpEngine`
+on a single event loop.  Connections speak the newline-delimited JSON
+frame protocol of :mod:`repro.serve.protocol`; a connection whose first
+line looks like an HTTP request line is handed to a minimal HTTP/1.1
+shim exposing ``GET /healthz``, ``GET /metrics`` (Prometheus text via
+the PR 2 registry) and ``POST /decide`` — enough for probes, scrapers
+and curl without pulling in a web framework.
+
+Admission control: decision ops (``decide``/``query``) pass through a
+bounded in-flight semaphore with a bounded wait queue.  When the server
+is saturated *and* the queue is full, the request is shed immediately
+with ``OVERLOADED`` (plus ``retry_after_ms``) rather than queued without
+bound; a request whose per-request deadline expires while queued gets
+``TIMEOUT``.  Shed and timed-out requests never touch the engine, so
+they are never audited.  Gauges track in-flight and queue depth;
+``repro_serve_shed_total`` counts the load shed.
+
+Shutdown is drain-then-stop: the listener closes, queued-and-admitted
+work finishes, new decision frames answer ``SHUTTING_DOWN``, and the
+audit log is flushed (``sync``) before the server reports closed — an
+accepted decision is never lost from the trail.
+
+:class:`ServerThread` runs the whole thing on a private loop in a daemon
+thread so synchronous callers (tests, benchmarks, the CLI's client
+commands) can drive a live server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import PrimaError, ServeError
+from repro.obs.exposition import render_registry
+from repro.obs.runtime import get_registry
+from repro.serve import protocol
+from repro.serve.engine import PdpEngine
+
+_LOGGER = logging.getLogger("repro.serve.server")
+
+#: HTTP methods the shim recognises on a sniffed first line.
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`PdpServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick an ephemeral port
+    #: decision ops executing at once (the admission semaphore's size)
+    max_inflight: int = 64
+    #: decision ops allowed to wait for admission before shedding
+    max_queue: int = 256
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: seconds a connection may sit idle mid-frame before being dropped
+    #: (the slow-loris bound)
+    idle_timeout: float = 30.0
+    #: deadline applied when a request does not carry ``deadline_ms``
+    default_deadline: float = 10.0
+    #: seconds shutdown waits for queued-and-admitted work to finish
+    drain_timeout: float = 10.0
+    #: hint returned with OVERLOADED responses
+    retry_after_ms: int = 50
+    #: artificial seconds each admitted decision holds its slot; lets
+    #: tests and the E18 driver make saturation deterministic (engine
+    #: calls are otherwise too fast to observe admission behaviour)
+    handling_delay: float = 0.0
+
+
+class _FrameTooLarge(Exception):
+    """Internal signal: the peer sent a line beyond max_frame_bytes."""
+
+
+class PdpServer:
+    """One engine served over NDJSON frames plus the HTTP shim."""
+
+    def __init__(self, engine: PdpEngine, config: ServerConfig | None = None) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self._obs = get_registry()
+        self._server: asyncio.AbstractServer | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._closed: asyncio.Event | None = None
+        self._draining = False
+        self._shutdown_started = False
+        self._queued = 0
+        self._inflight = 0
+        self._connections = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PdpServer":
+        """Bind the listener; returns once the port is open."""
+        if self._server is not None:
+            raise ServeError("server is already started")
+        self._sem = asyncio.Semaphore(self.config.max_inflight)
+        self._closed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+        if self._obs.enabled:
+            self._obs.gauge("repro_serve_up").set(1)
+        _LOGGER.info("pdp server listening on %s:%d", self.host, self.port)
+        return self
+
+    @property
+    def host(self) -> str:
+        """The bound host (valid after :meth:`start`)."""
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port — the ephemeral one when configured as 0."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight work, flush the audit trail."""
+        if self._shutdown_started:
+            await self._closed.wait()
+            return
+        self._shutdown_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.config.drain_timeout
+            while (self._inflight or self._queued) and loop.time() < deadline:
+                await asyncio.sleep(0.005)
+        sync = getattr(self.engine.audit_log, "sync", None)
+        if callable(sync):
+            sync()
+        if self._obs.enabled:
+            self._obs.gauge("repro_serve_up").set(0)
+        _LOGGER.info("pdp server drained and stopped")
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`shutdown` has completed."""
+        if self._closed is None:
+            raise ServeError("server is not started")
+        await self._closed.wait()
+
+    async def serve_forever(self) -> None:
+        """Start if needed, then run until shut down."""
+        if self._server is None:
+            await self.start()
+        await self.wait_closed()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        if self._obs.enabled:
+            self._obs.counter("repro_serve_connections_total").inc()
+            self._obs.gauge("repro_serve_open_connections").set(self._connections)
+        try:
+            line = await self._read_line(reader)
+            if line is not None and line.startswith(_HTTP_METHODS):
+                await self._handle_http(line, reader, writer)
+            else:
+                await self._frame_loop(line, reader, writer)
+        except _FrameTooLarge:
+            await self._best_effort_write(
+                writer,
+                protocol.encode_frame(
+                    protocol.error_response(
+                        code=protocol.BAD_REQUEST,
+                        error=f"frame exceeds {self.config.max_frame_bytes} bytes",
+                    )
+                ),
+            )
+            self._count_rejected("oversized")
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            # the client vanished mid-conversation; nothing left to say
+            self._count_rejected("disconnect")
+        finally:
+            self._connections -= 1
+            if self._obs.enabled:
+                self._obs.gauge("repro_serve_open_connections").set(self._connections)
+            # close without awaiting wait_closed(): the handler task may
+            # be cancelled during loop teardown, and awaiting here turns
+            # that into "Exception in callback" noise from streams
+            writer.close()
+
+    async def _frame_loop(
+        self,
+        first: bytes | None,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve NDJSON frames until EOF, idle timeout, or shutdown op."""
+        line = first
+        while line is not None:
+            response, op = await self._handle_frame(line)
+            writer.write(protocol.encode_frame(response))
+            await writer.drain()
+            if op == "admin.shutdown":
+                return  # the reply is out; shutdown is underway
+            line = await self._read_line(reader)
+
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One frame line, or None on EOF / idle timeout / torn frame."""
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.idle_timeout
+            )
+        except asyncio.TimeoutError:
+            # slow-loris: the peer held the connection without completing
+            # a frame inside the idle window
+            self._count_rejected("idle_timeout")
+            return None
+        except ValueError:
+            # StreamReader's limit tripped: a line longer than one frame
+            raise _FrameTooLarge() from None
+        if not line:
+            return None  # clean EOF
+        if not line.endswith(b"\n"):
+            # torn frame: the connection died mid-line; serve nothing
+            self._count_rejected("torn")
+            return None
+        return line
+
+    def _count_rejected(self, reason: str) -> None:
+        if self._obs.enabled:
+            self._obs.counter(
+                "repro_serve_frames_rejected_total", reason=reason
+            ).inc()
+
+    async def _best_effort_write(
+        self, writer: asyncio.StreamWriter, data: bytes
+    ) -> None:
+        try:
+            writer.write(data)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # frame dispatch
+    # ------------------------------------------------------------------
+    async def _handle_frame(self, line: bytes) -> tuple[dict, str | None]:
+        """Serve one frame; returns ``(response, op)`` (op None if bad)."""
+        started = time.perf_counter()
+        try:
+            request = protocol.parse_request(protocol.decode_frame(line))
+        except protocol.ProtocolError as exc:
+            self._count_rejected("malformed")
+            response = protocol.error_response(code=exc.code, error=str(exc))
+            self._count_request("invalid", exc.code)
+            return response, None
+        response = await self._dispatch(request)
+        if request.id is not None and "id" not in response:
+            response["id"] = request.id
+        if self._obs.enabled:
+            self._count_request(request.op, response.get("code", protocol.INTERNAL))
+            self._obs.histogram(
+                "repro_serve_request_seconds", op=request.op
+            ).observe(time.perf_counter() - started)
+        return response, request.op
+
+    def _count_request(self, op: str, code: str) -> None:
+        if self._obs.enabled:
+            self._obs.counter(
+                "repro_serve_requests_total", op=op, code=code
+            ).inc()
+
+    async def _dispatch(self, request: protocol.ServeRequest) -> dict:
+        op = request.op
+        if op == "ping":
+            return protocol.ok_response(op="pong", versions=self.engine.versions())
+        if op == "stats":
+            stats = self.engine.stats()
+            stats["server"] = {
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "connections": self._connections,
+                "draining": self._draining,
+            }
+            return protocol.ok_response(**stats)
+        if op == "admin.shutdown":
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return protocol.ok_response(draining=True)
+        if op.startswith("admin."):
+            if self._draining:
+                return protocol.error_response(
+                    code=protocol.SHUTTING_DOWN, error="server is draining"
+                )
+            return self.engine.admin(request)
+        return await self._serve_decision(request)
+
+    async def _serve_decision(self, request: protocol.ServeRequest) -> dict:
+        """Admission control + deadline around one decide/query op."""
+        cfg = self.config
+        if self._draining:
+            return protocol.error_response(
+                code=protocol.SHUTTING_DOWN, error="server is draining"
+            )
+        loop = asyncio.get_running_loop()
+        deadline_s = (
+            request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else cfg.default_deadline
+        )
+        deadline_at = loop.time() + deadline_s
+        sem = self._sem
+        assert sem is not None
+        if sem.locked() and self._queued >= cfg.max_queue:
+            # saturated and the wait queue is full: shed, don't buffer
+            if self._obs.enabled:
+                self._obs.counter("repro_serve_shed_total").inc()
+            return protocol.error_response(
+                code=protocol.OVERLOADED,
+                error="server is at capacity; retry later",
+                retry_after_ms=cfg.retry_after_ms,
+            )
+        self._queued += 1
+        if self._obs.enabled:
+            self._obs.gauge("repro_serve_queue_depth").set(self._queued)
+        try:
+            try:
+                await asyncio.wait_for(
+                    sem.acquire(), timeout=max(0.0, deadline_at - loop.time())
+                )
+            except asyncio.TimeoutError:
+                if self._obs.enabled:
+                    self._obs.counter("repro_serve_timeouts_total").inc()
+                return protocol.error_response(
+                    code=protocol.TIMEOUT,
+                    error=f"deadline of {deadline_s:.3f}s expired while queued",
+                )
+        finally:
+            self._queued -= 1
+            if self._obs.enabled:
+                self._obs.gauge("repro_serve_queue_depth").set(self._queued)
+        self._inflight += 1
+        if self._obs.enabled:
+            self._obs.gauge("repro_serve_inflight").set(self._inflight)
+        try:
+            # yield once while holding the slot: engine calls are
+            # synchronous, so without this no other connection could ever
+            # observe the server occupied (and cfg.handling_delay lets
+            # tests hold the slot long enough to fill the queue)
+            if cfg.handling_delay > 0:
+                await asyncio.sleep(cfg.handling_delay)
+            else:
+                await asyncio.sleep(0)
+            if loop.time() > deadline_at:
+                if self._obs.enabled:
+                    self._obs.counter("repro_serve_timeouts_total").inc()
+                return protocol.error_response(
+                    code=protocol.TIMEOUT,
+                    error=f"deadline of {deadline_s:.3f}s expired before execution",
+                )
+            if request.op == "decide":
+                return self.engine.decide(request)
+            return self.engine.query(request)
+        except PrimaError as exc:
+            _LOGGER.exception("decision failed: %s", exc)
+            return protocol.error_response(code=protocol.INTERNAL, error=str(exc))
+        finally:
+            self._inflight -= 1
+            if self._obs.enabled:
+                self._obs.gauge("repro_serve_inflight").set(self._inflight)
+            sem.release()
+
+    # ------------------------------------------------------------------
+    # the HTTP/1.1 shim
+    # ------------------------------------------------------------------
+    async def _handle_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) != 3:
+                raise ValueError(request_line)
+            method, target, _version = parts
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.config.idle_timeout
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.config.max_frame_bytes:
+                await self._http_respond(
+                    writer, 400, {"error": "request body too large"}
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            self._count_rejected("http_malformed")
+            return
+
+        if method == "GET" and target == "/healthz":
+            status = 503 if self._draining else 200
+            await self._http_respond(
+                writer,
+                status,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "versions": self.engine.versions(),
+                    "inflight": self._inflight,
+                    "queued": self._queued,
+                    "audit_entries": len(self.engine.audit_log),
+                },
+            )
+        elif method == "GET" and target == "/metrics":
+            await self._http_respond(
+                writer,
+                200,
+                render_registry(self._obs),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif method == "POST" and target == "/decide":
+            payload_response = await self._http_decide(body)
+            code = payload_response.get("code", protocol.INTERNAL)
+            extra = {}
+            if code == protocol.OVERLOADED:
+                extra["Retry-After"] = str(
+                    max(1, self.config.retry_after_ms // 1000 or 1)
+                )
+            await self._http_respond(
+                writer,
+                protocol.HTTP_STATUS.get(code, 500),
+                payload_response,
+                extra_headers=extra,
+            )
+        else:
+            await self._http_respond(
+                writer, 404, {"error": f"no route for {method} {target}"}
+            )
+
+    async def _http_decide(self, body: bytes) -> dict:
+        try:
+            payload = protocol.decode_frame(body or b"{}")
+            payload.setdefault("op", "decide")
+            if payload["op"] not in protocol.DECISION_OPS:
+                raise protocol.ProtocolError(
+                    f"POST /decide serves decision ops only, got {payload['op']!r}"
+                )
+            request = protocol.parse_request(payload)
+        except protocol.ProtocolError as exc:
+            self._count_rejected("malformed")
+            self._count_request("invalid", exc.code)
+            return protocol.error_response(code=exc.code, error=str(exc))
+        response = await self._serve_decision(request)
+        self._count_request(request.op, response.get("code", protocol.INTERNAL))
+        return response
+
+    async def _http_respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict | str,
+        content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+                  404: "Not Found", 500: "Internal Server Error",
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(
+            status, "Unknown"
+        )
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        await self._best_effort_write(
+            writer, ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+
+class ServerThread:
+    """A PdpServer on a private event loop in a daemon thread.
+
+    Lets synchronous code — tests, the benchmark driver, the CLI client
+    commands — stand up a real server in-process::
+
+        with ServerThread(engine, ServerConfig(port=0)) as srv:
+            client = PdpClient(srv.host, srv.port)
+            ...
+
+    Exiting the context performs the graceful drain-then-stop shutdown.
+    """
+
+    def __init__(self, engine: PdpEngine, config: ServerConfig | None = None) -> None:
+        self.server = PdpServer(engine, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread; returns once the port is listening."""
+        if self._thread is not None:
+            raise ServeError("server thread is already running")
+        started = threading.Event()
+        failure: list[BaseException] = []
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # surface bind errors to start()
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, name="pdp-server", daemon=True)
+        self._thread.start()
+        if not started.wait(10.0):
+            raise ServeError("server did not start within 10s")
+        if failure:
+            self._thread.join(5.0)
+            self._thread = None
+            raise ServeError(f"server failed to start: {failure[0]}") from failure[0]
+        return self
+
+    @property
+    def host(self) -> str:
+        """The server's bound host."""
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        """The server's bound (possibly ephemeral) port."""
+        return self.server.port
+
+    def stop(self, drain: bool = True, timeout: float = 15.0) -> None:
+        """Gracefully shut the server down and join the loop thread."""
+        thread, loop = self._thread, self._loop
+        if thread is None or loop is None:
+            return
+        self._thread = None
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain), loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

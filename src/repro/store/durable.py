@@ -232,6 +232,11 @@ class DurableAuditLog(AuditReadOps):
         """(first, last) entry times from segment metadata (no scan)."""
         return self.store.time_range()
 
+    def tail(self, count: int) -> tuple[AuditEntry, ...]:
+        """The newest ``count`` entries (the serve health surface uses
+        this to report the live trail's head without a full scan)."""
+        return self.store.tail(count)
+
     # ------------------------------------------------------------------
     # store lifecycle and maintenance
     # ------------------------------------------------------------------

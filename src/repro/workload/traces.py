@@ -39,6 +39,33 @@ def save_trace(
     return manifest_path, entries_path
 
 
+def decision_payloads(log: AuditLog, limit: int | None = None) -> list[dict]:
+    """Turn audit traffic into PDP ``decide`` request payloads.
+
+    Each entry becomes one category-level decision request against the
+    decision service — the natural replay of the workload generator's
+    traffic through a live server (the E18 load phase and ``repro serve
+    --load`` both use this).  Ground truth rides along so served trails
+    stay minable by the evaluation pipeline.
+    """
+    payloads: list[dict] = []
+    for entry in log:
+        if limit is not None and len(payloads) >= limit:
+            break
+        payloads.append(
+            {
+                "op": "decide",
+                "user": entry.user,
+                "role": entry.authorized,
+                "purpose": entry.purpose,
+                "categories": [entry.data],
+                "exception": entry.is_exception,
+                "truth": entry.truth,
+            }
+        )
+    return payloads
+
+
 def load_trace(directory: str | Path, name: str) -> tuple[AuditLog, WorkloadConfig]:
     """Read a bundle written by :func:`save_trace`."""
     target = Path(directory)

@@ -310,3 +310,94 @@ class TestStoreDirFlags:
         ) == 0
         from_store = capsys.readouterr().out
         assert from_store == from_file
+
+
+class TestServeCommands:
+    @pytest.fixture()
+    def server_process(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--rows", "20", "--store-dir", str(tmp_path / "trail")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[1]),
+            env=env,
+        )
+        banner = process.stdout.readline()
+        assert "pdp server listening on" in banner, banner
+        port = int(banner.rsplit(":", 1)[1])
+        try:
+            yield process, port
+        finally:
+            if process.poll() is None:
+                process.terminate()
+                process.wait(timeout=10)
+
+    def test_serve_and_decide_round_trip(self, server_process, capsys):
+        _, port = server_process
+        exit_code = main([
+            "decide", "--port", str(port), "--user", "alice",
+            "--role", "physician", "--purpose", "treatment",
+            "--categories", "prescription",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert '"decision": "allow"' in out
+        assert '"snapshot": 1' in out
+
+    def test_decide_denied_exits_nonzero(self, server_process, capsys):
+        _, port = server_process
+        exit_code = main([
+            "decide", "--port", str(port), "--user", "mallory",
+            "--role", "clerk", "--purpose", "billing",
+            "--categories", "prescription",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert '"code": "DENIED"' in out
+
+    def test_decide_sql_mode(self, server_process, capsys):
+        _, port = server_process
+        exit_code = main([
+            "decide", "--port", str(port), "--user", "alice",
+            "--role", "physician", "--purpose", "treatment",
+            "--sql", "SELECT prescription FROM patients LIMIT 1",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert '"rows"' in out
+
+    def test_decide_requires_exactly_one_mode(self, capsys):
+        exit_code = main([
+            "decide", "--port", "1", "--user", "u", "--role", "r",
+            "--purpose", "p",
+        ])
+        assert exit_code != 0
+        assert "exactly one request shape" in capsys.readouterr().err
+
+    def test_graceful_shutdown_flushes_durable_trail(self, server_process,
+                                                     tmp_path):
+        import signal
+
+        from repro.store.durable import DurableAuditLog
+
+        process, port = server_process
+        assert main([
+            "decide", "--port", str(port), "--user", "alice",
+            "--role", "physician", "--purpose", "treatment",
+            "--categories", "prescription",
+        ]) == 0
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=15)
+        remaining = process.stdout.read()
+        assert "pdp server stopped" in remaining
+        reopened = DurableAuditLog(tmp_path / "trail", create=False)
+        assert len(reopened) == 1
+        reopened.close()

@@ -152,3 +152,137 @@ class TestAbusiveCallSequences:
         with pytest.raises(AccessDeniedError):
             center.run("intruder", "janitor", "treatment",
                        "SELECT referral FROM p")
+
+
+class TestDecisionServiceFailures:
+    """Hostile and broken clients must never crash the PDP server, and a
+    rejected request must leave **no** trace in the audit log."""
+
+    @pytest.fixture()
+    def served(self):
+        from repro.serve import ServerConfig, ServerThread, build_demo_engine
+
+        engine = build_demo_engine(rows=20, seed=7)
+        config = ServerConfig(port=0, idle_timeout=0.4)
+        with ServerThread(engine, config) as srv:
+            yield engine, srv
+
+    @staticmethod
+    def raw_connection(srv):
+        import socket
+
+        return socket.create_connection((srv.host, srv.port), timeout=10)
+
+    @staticmethod
+    def assert_alive(srv):
+        from repro.serve import PdpClient
+
+        with PdpClient(srv.host, srv.port) as probe:
+            assert probe.ping()["ok"] is True
+
+    def test_torn_frame_drops_connection_without_audit(self, served):
+        engine, srv = served
+        base = len(engine.audit_log)
+        with self.raw_connection(srv) as sock:
+            sock.sendall(b'{"op": "decide", "user": "u"')  # no newline, ever
+            sock.shutdown(1)  # SHUT_WR: EOF mid-frame
+            assert sock.makefile("rb").readline() == b""
+        self.assert_alive(srv)
+        assert len(engine.audit_log) == base
+
+    def test_oversized_frame_is_rejected_then_closed(self, served):
+        from repro.serve import protocol
+
+        engine, srv = served
+        base = len(engine.audit_log)
+        with self.raw_connection(srv) as sock:
+            sock.sendall(b'{"op": "decide", "sql": "' +
+                         b"x" * (protocol.MAX_FRAME_BYTES + 1024) + b'"}\n')
+            reply = protocol.decode_frame(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert reply["code"] == protocol.BAD_REQUEST
+        self.assert_alive(srv)
+        assert len(engine.audit_log) == base
+
+    def test_malformed_json_and_unknown_op_answered_not_crashed(self, served):
+        from repro.serve import protocol
+
+        engine, srv = served
+        base = len(engine.audit_log)
+        with self.raw_connection(srv) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"not json at all\n")
+            first = protocol.decode_frame(reader.readline())
+            sock.sendall(b'{"op": "drop_all_tables"}\n')
+            second = protocol.decode_frame(reader.readline())
+        assert first["code"] == protocol.BAD_REQUEST
+        assert second["code"] == protocol.BAD_REQUEST
+        self.assert_alive(srv)
+        assert len(engine.audit_log) == base
+
+    def test_incomplete_decide_is_rejected_unaudited(self, served):
+        from repro.serve import PdpClient, protocol
+
+        engine, srv = served
+        base = len(engine.audit_log)
+        with PdpClient(srv.host, srv.port) as client:
+            response = client.request({"op": "decide", "user": "u"})
+        assert response["code"] == protocol.BAD_REQUEST
+        assert "role" in response["error"]
+        assert len(engine.audit_log) == base
+
+    def test_slow_loris_connection_is_reaped(self, served):
+        import time
+
+        engine, srv = served
+        with self.raw_connection(srv) as sock:
+            sock.sendall(b'{"op": "ping"')  # then stall past idle_timeout
+            started = time.monotonic()
+            assert sock.makefile("rb").readline() == b""
+            assert time.monotonic() - started < 5.0
+        self.assert_alive(srv)
+        assert len(engine.audit_log) == 0
+
+    def test_client_disconnect_mid_response_does_not_kill_server(self, served):
+        from repro.serve import protocol
+
+        engine, srv = served
+        for _ in range(3):
+            sock = self.raw_connection(srv)
+            sock.sendall(protocol.encode_frame(
+                {"op": "query", "user": "u", "role": "physician",
+                 "purpose": "treatment",
+                 "sql": "SELECT prescription FROM patients"}
+            ))
+            sock.close()  # gone before the response is written
+        self.assert_alive(srv)
+
+    def test_shutdown_with_inflight_work_drains_cleanly(self):
+        import threading
+        import time
+
+        from repro.serve import (
+            PdpClient,
+            ServerConfig,
+            ServerThread,
+            build_demo_engine,
+            protocol,
+        )
+
+        engine = build_demo_engine(rows=20, seed=7)
+        config = ServerConfig(port=0, handling_delay=0.3)
+        srv = ServerThread(engine, config).start()
+        outcome = {}
+
+        def inflight():
+            with PdpClient(srv.host, srv.port) as client:
+                outcome.update(client.decide("u", "physician", "treatment",
+                                             ["prescription"]))
+
+        worker = threading.Thread(target=inflight)
+        worker.start()
+        time.sleep(0.1)
+        srv.stop()  # drain must let the admitted request finish
+        worker.join(10)
+        assert outcome["code"] == protocol.OK
+        assert len(engine.audit_log) == 1

@@ -94,3 +94,52 @@ class TestSpecificityResolution:
         consent.opt_out("p1", "operations", data="address")
         consent.opt_in("p1", "billing")
         assert not consent.permits("p1", "address", "billing")
+
+
+class TestAtomicSnapshots:
+    """Copy-on-write swap semantics the decision service leans on."""
+
+    def test_version_bumps_on_every_record(self, consent):
+        assert consent.version == 0
+        consent.opt_out("p1", "research")
+        assert consent.version == 1
+        consent.opt_in("p1", "research", data="referral")
+        assert consent.version == 2
+
+    def test_choices_for_returns_a_stable_snapshot(self, consent):
+        consent.opt_out("p1", "research")
+        before = consent.choices_for("p1")
+        consent.opt_out("p1", "billing")
+        assert len(before) == 1  # the held tuple did not grow
+        assert len(consent.choices_for("p1")) == 2
+
+    def test_record_replaces_the_table_not_the_rows(self, consent):
+        consent.opt_out("p1", "research")
+        table_before = consent._choices
+        consent.opt_out("p2", "research")
+        assert consent._choices is not table_before
+        assert table_before.keys() == {"p1"}
+
+    def test_clone_is_independent_and_same_version(self, consent):
+        consent.opt_out("p1", "research")
+        twin = consent.clone()
+        assert twin.version == consent.version
+        assert twin.permits("p1", "prescription", "research") is False
+        twin.opt_out("p2", "billing")
+        assert consent.choices_for("p2") == ()
+        assert consent.version == 1
+        assert twin.version == 2
+
+    def test_clone_preserves_default(self, vocabulary):
+        strict = ConsentStore(vocabulary, default_allowed=False)
+        assert strict.clone().default_allowed is False
+
+    def test_mid_update_reader_sees_old_or_new_never_mixed(self, consent):
+        # a reader that resolved against the pre-swap table still gets a
+        # coherent answer built entirely from that table
+        consent.opt_out("p1", "secondary_use")
+        decision_before = consent.decide("p1", "prescription", "research")
+        consent.opt_in("p1", "research", data="prescription")
+        decision_after = consent.decide("p1", "prescription", "research")
+        assert decision_before.allowed is False
+        assert decision_after.allowed is True  # more specific choice wins

@@ -196,3 +196,82 @@ class TestGuardRails:
         assert stats.requests == 2
         assert stats.denials == 1
         assert stats.policy_masked_columns == 1
+
+
+class TestPermitMemoization:
+    """The serve hot path memoises policy_permits per (category, purpose,
+    role), stamped with (store revision, vocabulary version)."""
+
+    def test_repeat_lookup_hits_the_cache(self, center):
+        enforcer = center.enforcer
+        assert enforcer.policy_permits("prescription", "treatment", "nurse")
+        misses = enforcer.stats.permit_cache_misses
+        hits = enforcer.stats.permit_cache_hits
+        assert enforcer.policy_permits("prescription", "treatment", "nurse")
+        assert enforcer.stats.permit_cache_hits == hits + 1
+        assert enforcer.stats.permit_cache_misses == misses
+
+    def test_distinct_triples_are_distinct_entries(self, center):
+        enforcer = center.enforcer
+        enforcer.policy_permits("prescription", "treatment", "nurse")
+        enforcer.policy_permits("prescription", "treatment", "physician")
+        assert enforcer.stats.permit_cache_misses == 2
+        assert enforcer.stats.permit_cache_hits == 0
+
+    def test_policy_revision_invalidates(self, center):
+        enforcer = center.enforcer
+        assert not enforcer.policy_permits("psychiatry", "treatment", "nurse")
+        center.define_rule("ALLOW nurse TO USE psychiatry FOR treatment")
+        # the revision bump must flush the memo before the next lookup
+        assert enforcer.policy_permits("psychiatry", "treatment", "nurse")
+        assert enforcer.stats.permit_cache_invalidations == 1
+
+    def test_retiring_a_rule_invalidates(self, center):
+        from repro.policy.parser import parse_rule
+
+        enforcer = center.enforcer
+        assert enforcer.policy_permits("prescription", "treatment", "nurse")
+        assert center.policy_store.retire(
+            parse_rule("ALLOW nurse TO USE medical_records FOR treatment")
+        )
+        assert not enforcer.policy_permits("prescription", "treatment", "nurse")
+        assert enforcer.stats.permit_cache_invalidations == 1
+
+    def test_vocabulary_growth_invalidates(self, center, vocabulary):
+        enforcer = center.enforcer
+        assert not enforcer.policy_permits("genomics", "treatment", "nurse")
+        # grafting the new category under medical_records changes the
+        # vocabulary version, so the cached denial must not survive
+        vocabulary.tree_for("data").add("genomics", parent="medical_records")
+        assert enforcer.policy_permits("genomics", "treatment", "nurse")
+        assert enforcer.stats.permit_cache_invalidations == 1
+
+    def test_rebinding_a_table_clears_the_plan_cache(self, center):
+        enforcer = center.enforcer
+        center.run("john", "nurse", "treatment",
+                   "SELECT prescription FROM patients")
+        assert enforcer._plan_cache
+        center.bind_table(enforcer.binding_for("patients"))
+        assert not enforcer._plan_cache
+
+    def test_memoised_answers_match_fresh_enforcer(self, center, vocabulary):
+        from repro.hdb.consent import ConsentStore
+        from repro.hdb.enforcement import ActiveEnforcer
+
+        triples = [
+            ("prescription", "treatment", "nurse"),
+            ("psychiatry", "treatment", "nurse"),
+            ("psychiatry", "treatment", "physician"),
+            ("name", "billing", "clerk"),
+            ("prescription", "billing", "clerk"),
+        ]
+        warm = [center.enforcer.policy_permits(*t) for t in triples * 2]
+        fresh = ActiveEnforcer(
+            database=center.database,
+            policy_store=center.policy_store,
+            consent=ConsentStore(vocabulary),
+            auditor=center.enforcer.auditor,
+            vocabulary=vocabulary,
+        )
+        cold = [fresh.policy_permits(*t) for t in triples * 2]
+        assert warm == cold

@@ -1,0 +1,167 @@
+"""Tests for the PDP clients: retry discipline, reconnects, async surface."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    AsyncPdpClient,
+    PdpClient,
+    RetryPolicy,
+    ServerConfig,
+    ServerThread,
+    build_demo_engine,
+    protocol,
+)
+
+
+@pytest.fixture()
+def served():
+    engine = build_demo_engine(rows=30, seed=7)
+    with ServerThread(engine, ServerConfig(port=0)) as srv:
+        yield engine, srv
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.5,
+                             backoff=2.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(5) == pytest.approx(0.5)
+
+    def test_connect_fails_after_budget_when_nothing_listens(self):
+        client = PdpClient("127.0.0.1", free_port(),
+                           retry=RetryPolicy(attempts=2, base_delay=0.01))
+        started = time.monotonic()
+        with pytest.raises(ServeError, match="could not connect"):
+            client.connect()
+        assert time.monotonic() - started < 5.0
+
+    def test_connect_retries_until_server_appears(self):
+        port = free_port()
+        engine = build_demo_engine(rows=30, seed=7)
+        srv = ServerThread(engine, ServerConfig(port=port))
+
+        def start_late():
+            time.sleep(0.3)
+            srv.start()
+
+        opener = threading.Thread(target=start_late)
+        opener.start()
+        try:
+            client = PdpClient(
+                "127.0.0.1", port,
+                retry=RetryPolicy(attempts=10, base_delay=0.1, max_delay=0.2),
+            )
+            with client:
+                assert client.ping()["ok"] is True
+        finally:
+            opener.join(10)
+            srv.stop()
+
+
+class TestSyncClient:
+    def test_idempotent_request_survives_a_dropped_connection(self, served):
+        _, srv = served
+        client = PdpClient(srv.host, srv.port)
+        with client:
+            assert client.ping()["ok"] is True
+            # simulate a dropped transport: the next call reconnects
+            client._sock.shutdown(socket.SHUT_RDWR)
+            response = client.decide("u", "physician", "treatment",
+                                     ["prescription"])
+            assert response["code"] == protocol.OK
+
+    def test_admin_ops_are_not_replayed(self, served):
+        _, srv = served
+        client = PdpClient(srv.host, srv.port)
+        with client:
+            client.ping()
+            client._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(ServeError, match="1 attempt"):
+                client.add_rule("ALLOW physician TO USE insurance FOR treatment")
+
+    def test_close_is_idempotent_and_reusable(self, served):
+        _, srv = served
+        client = PdpClient(srv.host, srv.port)
+        with client:
+            client.ping()
+        client.close()
+        client.close()
+        with client:  # reconnects after close
+            assert client.ping()["ok"] is True
+
+    def test_none_valued_fields_are_dropped_from_frames(self, served):
+        _, srv = served
+        with PdpClient(srv.host, srv.port) as client:
+            # deadline_ms=None must not reach the validator
+            response = client.decide("u", "physician", "treatment",
+                                     ["prescription"], deadline_ms=None)
+        assert response["ok"] is True
+
+
+class TestAsyncClient:
+    def test_full_surface(self, served):
+        _, srv = served
+
+        async def drive():
+            async with AsyncPdpClient(srv.host, srv.port) as client:
+                pong = await client.ping()
+                decision = await client.decide(
+                    "u", "physician", "treatment", ["prescription"]
+                )
+                queried = await client.query(
+                    "u", "physician", "treatment",
+                    "SELECT prescription FROM patients LIMIT 1",
+                )
+                stats = await client.stats()
+            return pong, decision, queried, stats
+
+        pong, decision, queried, stats = asyncio.run(drive())
+        assert pong["op"] == "pong"
+        assert decision["code"] == protocol.OK
+        assert queried["rows"] and queried["returned"] == ["prescription"]
+        assert stats["decisions_served"] == 1
+
+    def test_connect_fails_after_budget(self):
+        port = free_port()
+
+        async def drive():
+            client = AsyncPdpClient(
+                "127.0.0.1", port,
+                retry=RetryPolicy(attempts=2, base_delay=0.01),
+            )
+            with pytest.raises(ServeError, match="could not connect"):
+                await client.connect()
+
+        asyncio.run(drive())
+
+    def test_many_concurrent_clients_share_one_server(self, served):
+        _, srv = served
+
+        async def one(index):
+            async with AsyncPdpClient(srv.host, srv.port) as client:
+                response = await client.decide(
+                    f"user-{index}", "physician", "treatment", ["prescription"]
+                )
+            return response["code"]
+
+        async def drive():
+            return await asyncio.gather(*(one(index) for index in range(16)))
+
+        assert set(asyncio.run(drive())) == {protocol.OK}

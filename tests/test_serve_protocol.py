@@ -1,0 +1,156 @@
+"""Unit tests for the PDP wire protocol (NDJSON frames)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+
+class TestFrames:
+    def test_encode_decode_roundtrip(self):
+        payload = {"op": "ping", "id": 7, "note": "héllo"}
+        assert protocol.decode_frame(protocol.encode_frame(payload)) == payload
+
+    def test_encoded_frame_is_one_line(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(protocol.ProtocolError, match="not JSON"):
+            protocol.decode_frame(b"this is not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON objects"):
+            protocol.decode_frame(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_binary_garbage(self):
+        with pytest.raises(protocol.ProtocolError, match="not UTF-8"):
+            protocol.decode_frame(b"\xff\xfe\x00\x01\n")
+
+    def test_oversized_frame_rejected_both_ways(self):
+        big = {"op": "decide", "sql": "x" * protocol.MAX_FRAME_BYTES}
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.encode_frame(big)
+        line = (json.dumps(big) + "\n").encode()
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.decode_frame(line)
+
+    def test_protocol_error_is_serve_error(self):
+        assert issubclass(protocol.ProtocolError, ServeError)
+
+
+class TestParseRequest:
+    def test_requires_op(self):
+        with pytest.raises(protocol.ProtocolError, match="'op'"):
+            protocol.parse_request({"user": "u"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.parse_request({"op": "drop_tables"})
+
+    def test_ping_parses_bare(self):
+        request = protocol.parse_request({"op": "ping", "id": 3})
+        assert request.op == "ping"
+        assert request.id == 3
+
+    def test_decide_requires_all_fields(self):
+        base = {"op": "decide", "user": "u", "role": "nurse",
+                "purpose": "treatment", "categories": ["referral"]}
+        assert protocol.parse_request(base).categories == ("referral",)
+        for missing in ("user", "role", "purpose", "categories"):
+            broken = {k: v for k, v in base.items() if k != missing}
+            with pytest.raises(protocol.ProtocolError):
+                protocol.parse_request(broken)
+
+    def test_decide_rejects_empty_categories(self):
+        with pytest.raises(protocol.ProtocolError, match="categories"):
+            protocol.parse_request(
+                {"op": "decide", "user": "u", "role": "r", "purpose": "p",
+                 "categories": []}
+            )
+
+    def test_decide_rejects_non_string_category(self):
+        with pytest.raises(protocol.ProtocolError, match="categories"):
+            protocol.parse_request(
+                {"op": "decide", "user": "u", "role": "r", "purpose": "p",
+                 "categories": ["ok", 42]}
+            )
+
+    def test_decide_rejects_non_boolean_exception(self):
+        with pytest.raises(protocol.ProtocolError, match="exception"):
+            protocol.parse_request(
+                {"op": "decide", "user": "u", "role": "r", "purpose": "p",
+                 "categories": ["c"], "exception": "yes"}
+            )
+
+    def test_deadline_must_be_positive_number(self):
+        base = {"op": "query", "user": "u", "role": "r", "purpose": "p",
+                "sql": "SELECT 1"}
+        assert protocol.parse_request({**base, "deadline_ms": 250}).deadline_ms == 250.0
+        for bad in (0, -5, "soon", True):
+            with pytest.raises(protocol.ProtocolError, match="deadline_ms"):
+                protocol.parse_request({**base, "deadline_ms": bad})
+
+    def test_query_requires_sql(self):
+        with pytest.raises(protocol.ProtocolError, match="sql"):
+            protocol.parse_request(
+                {"op": "query", "user": "u", "role": "r", "purpose": "p"}
+            )
+
+    def test_admin_rule_ops_require_rule_text(self):
+        for op in ("admin.add_rule", "admin.retire_rule"):
+            request = protocol.parse_request({"op": op, "rule": "ALLOW x TO USE y FOR z"})
+            assert request.rule.startswith("ALLOW")
+            with pytest.raises(protocol.ProtocolError):
+                protocol.parse_request({"op": op})
+
+    def test_admin_consent_parses(self):
+        request = protocol.parse_request(
+            {"op": "admin.consent", "patient": "p1", "purpose": "research",
+             "allowed": False, "data": "psychiatry"}
+        )
+        assert request.patient == "p1"
+        assert request.allowed is False
+        assert request.data == "psychiatry"
+
+    def test_admin_consent_data_defaults_to_whole_purpose(self):
+        request = protocol.parse_request(
+            {"op": "admin.consent", "patient": "p1", "purpose": "research",
+             "allowed": False}
+        )
+        assert request.data is None
+
+    def test_admin_consent_rejects_blank_data(self):
+        with pytest.raises(protocol.ProtocolError, match="data"):
+            protocol.parse_request(
+                {"op": "admin.consent", "patient": "p1", "purpose": "research",
+                 "allowed": False, "data": "   "}
+            )
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = protocol.ok_response(9, decision="allow")
+        assert response["ok"] is True
+        assert response["code"] == protocol.OK
+        assert response["id"] == 9
+        assert response["decision"] == "allow"
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(1, protocol.OVERLOADED, "full",
+                                           retry_after_ms=50)
+        assert response["ok"] is False
+        assert response["code"] == protocol.OVERLOADED
+        assert response["retry_after_ms"] == 50
+
+    def test_error_response_refuses_ok_code(self):
+        with pytest.raises(ServeError):
+            protocol.error_response(1, protocol.OK, "not an error")
+
+    def test_every_code_has_an_http_status(self):
+        assert set(protocol.HTTP_STATUS) == set(protocol.CODES)
