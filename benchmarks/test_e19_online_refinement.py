@@ -1,0 +1,227 @@
+"""E19 — online refinement: live coverage converges without a restart.
+
+DESIGN.md §12's closing claim, measured: a PDP server with an embedded
+refinement daemon, fed the E18 load driver's skewed ward traffic
+(including break-the-glass exceptions), *converges its policy coverage
+to the offline refinement figure while serving* — no restart, no
+re-deploy, every adoption one hot snapshot swap.
+
+Protocol per round: drive a slice of decide traffic through the live
+server (write-through to the durable trail), seal the segment, let the
+daemon poll (tail → mine → gate → swap), and sample coverage + wall
+time.  After N rounds the serving policy store must be byte-identical to
+what the offline :class:`~repro.refinement.loop.RefinementLoop` accepts
+over the very same recorded trail, and the live coverage equals the
+offline figure exactly.
+
+Knobs: ``E19_REQUESTS`` (default 1200, per round), ``E19_ROUNDS``
+(default 4), ``E19_CLIENTS`` (default 6).  A JSON record lands in
+``benchmarks/out/e19_online_refinement.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.coverage.engine import compute_coverage
+from repro.experiments.harness import DEMO_RULES, ReplayEnvironment
+from repro.experiments.reporting import format_table
+from repro.mining.patterns import MiningConfig
+from repro.policy.parser import format_rule, parse_rule
+from repro.policy.store import PolicyStore
+from repro.refine_daemon import (
+    AutoAcceptGate,
+    DaemonConfig,
+    EnginePolicyTarget,
+    RefineDaemon,
+)
+from repro.refinement.engine import RefinementConfig
+from repro.refinement.loop import RefinementLoop
+from repro.refinement.review import ThresholdReview
+from repro.serve import (
+    PdpClient,
+    ServerConfig,
+    ServerThread,
+    build_demo_engine,
+    protocol,
+    run_load,
+)
+from repro.store.durable import DurableAuditLog
+from repro.vocab.builtin import healthcare_vocabulary
+from repro.workload.traces import decision_payloads
+
+_REQUESTS = int(os.environ.get("E19_REQUESTS", "1200"))
+_ROUNDS = int(os.environ.get("E19_ROUNDS", "4"))
+_CLIENTS = int(os.environ.get("E19_CLIENTS", "6"))
+_ROWS = 60
+_SEED = 7
+_MINING = MiningConfig(min_support=5, min_distinct_users=2)
+
+_OUT_PATH = Path(__file__).parent / "out" / "e19_online_refinement.json"
+
+# the E18 ward wheel, tilted toward undocumented-but-legitimate practice:
+# three exception combos the demo policy does not cover — the daemon's
+# job is to mine them back into the store while the server runs
+_COMBOS = (
+    ("prescription", "treatment", "physician", AccessStatus.REGULAR),
+    ("referral", "treatment", "nurse", AccessStatus.REGULAR),
+    ("name", "billing", "clerk", AccessStatus.REGULAR),
+    ("insurance", "treatment", "physician", AccessStatus.EXCEPTION),
+    ("lab_results", "treatment", "nurse", AccessStatus.EXCEPTION),
+    ("referral", "registration", "registrar", AccessStatus.EXCEPTION),
+    ("lab_results", "diagnosis", "physician", AccessStatus.REGULAR),
+)
+_WEIGHTS = (22, 18, 14, 14, 12, 1, 9)
+
+
+def _round_payloads(round_index: int, count: int) -> list[dict]:
+    """``count`` decide payloads for one round, deterministic by round."""
+    wheel: list[int] = []
+    for combo_index, weight in enumerate(_WEIGHTS):
+        wheel.extend([combo_index] * weight)
+    log = AuditLog()
+    base = round_index * count
+    for offset in range(count):
+        tick = base + offset
+        slot = (tick * 2654435761) % len(wheel)
+        data, purpose, role, status = _COMBOS[wheel[slot]]
+        log.append(
+            make_entry(tick + 1, f"user{(tick * 97) % 23}", data, purpose,
+                       role, status=status)
+        )
+    return decision_payloads(log)
+
+
+def _coverage_of(store: PolicyStore, trail, vocabulary) -> float:
+    audit_policy = AuditLog(tuple(trail)).to_policy(_MINING.attributes)
+    return compute_coverage(store.policy(), audit_policy, vocabulary).ratio
+
+
+def test_e19_online_refinement(tmp_path):
+    vocabulary = healthcare_vocabulary()
+    durable = DurableAuditLog(tmp_path / "served", name="served")
+    engine = build_demo_engine(rows=_ROWS, seed=_SEED, audit_log=durable)
+    daemon = RefineDaemon(
+        durable,
+        EnginePolicyTarget(engine),
+        vocabulary,
+        AutoAcceptGate(
+            min_support=_MINING.min_support,
+            min_distinct_users=_MINING.min_distinct_users,
+        ),
+        DaemonConfig(mining=_MINING),
+    )
+    rounds = []
+    boundaries = [0]
+    started = time.perf_counter()
+    with ServerThread(engine, ServerConfig(port=0), daemon=daemon) as srv:
+        for round_index in range(_ROUNDS):
+            payloads = _round_payloads(round_index, _REQUESTS)
+            load = run_load(srv.host, srv.port, payloads, clients=_CLIENTS)
+            durable.seal_active()
+            trail_so_far = list(durable)
+            before = _coverage_of(
+                engine.manager.current.policy_store, trail_so_far, vocabulary
+            )
+            report = daemon.poll()
+            boundaries.append(len(durable))
+            rounds.append(
+                {
+                    "round": round_index,
+                    "requests": load.summary()["requests"],
+                    "elapsed_s": round(time.perf_counter() - started, 3),
+                    "coverage_before": round(before, 4),
+                    "consumed": report.consumed,
+                    "accepted": [format_rule(r) for r in report.accepted],
+                    "rules": len(engine.manager.current.policy_store),
+                    "coverage": round(
+                        _coverage_of(
+                            engine.manager.current.policy_store,
+                            trail_so_far,
+                            vocabulary,
+                        ),
+                        4,
+                    ),
+                    "snapshot": engine.manager.current.snapshot_id,
+                }
+            )
+        # the server never restarted: it still answers, on the same port
+        with PdpClient(srv.host, srv.port) as client:
+            ping = client.ping()
+        assert ping["code"] == protocol.OK
+        live_store = engine.manager.current.policy_store
+        live_rules = sorted(format_rule(r) for r in live_store.policy())
+        trail = list(durable)
+    durable.close()
+
+    # offline comparator: the stock loop over the same recorded trail,
+    # from the same seed policy, same thresholds
+    windows = [
+        trail[boundaries[i] : boundaries[i + 1]] for i in range(_ROUNDS)
+    ]
+    offline_store = PolicyStore()
+    for dsl in DEMO_RULES:
+        offline_store.add(parse_rule(dsl))
+    offline = RefinementLoop(
+        ReplayEnvironment(windows),
+        offline_store,
+        vocabulary,
+        ThresholdReview(_MINING.min_support, _MINING.min_distinct_users),
+        config=RefinementConfig(mining=_MINING),
+    )
+    offline_result = offline.run(_ROUNDS)
+    offline_rules = sorted(format_rule(r) for r in offline_store.policy())
+    offline_coverage = round(_coverage_of(offline_store, trail, vocabulary), 4)
+
+    record = {
+        "experiment": "E19",
+        "rows": _ROWS,
+        "requests_per_round": _REQUESTS,
+        "rounds": _ROUNDS,
+        "clients": _CLIENTS,
+        "series": rounds,
+        "live_coverage": rounds[-1]["coverage"],
+        "offline_coverage": offline_coverage,
+        "identical_rule_sets": live_rules == offline_rules,
+        "snapshot_swaps": rounds[-1]["snapshot"] - 1,
+        "trail_entries": len(trail),
+    }
+    _OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    _OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    emit(
+        format_table(
+            ["round", "t (s)", "consumed", "accepted", "rules",
+             "coverage before → after"],
+            [
+                [r["round"], r["elapsed_s"], r["consumed"],
+                 len(r["accepted"]), r["rules"],
+                 f"{r['coverage_before']:.3f} → {r['coverage']:.3f}"]
+                for r in rounds
+            ],
+            title=(
+                f"E19 — online refinement under live load: coverage "
+                f"{rounds[0]['coverage_before']:.3f} → "
+                f"{rounds[-1]['coverage']:.3f} "
+                f"(offline figure {offline_coverage:.3f}), no restart"
+            ),
+        )
+        + f"\nJSON record: {_OUT_PATH}"
+    )
+
+    # the daemon actually refined: rules were adopted via hot swaps
+    assert any(r["accepted"] for r in rounds)
+    assert rounds[-1]["snapshot"] > 1
+    # convergence: the live service ends byte-identical to the offline
+    # loop over the same trail, with exactly the offline coverage
+    assert live_rules == offline_rules
+    assert rounds[-1]["coverage"] == offline_coverage
+    # and coverage improved over the run (the paper's Figure-3 arc, live)
+    assert rounds[-1]["coverage"] > rounds[0]["coverage_before"]
+    assert offline_result.rounds[-1].coverage_after == offline_coverage

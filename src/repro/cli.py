@@ -229,11 +229,63 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="decision ops executing at once")
     serve.add_argument("--max-queue", type=int, default=256,
                        help="decisions queued before OVERLOADED shedding")
+    serve.add_argument("--segment-entries", type=int, default=None, metavar="N",
+                       help="seal the durable trail's active segment every N "
+                            "entries (rotation cadence; feeds the daemon)")
+    serve.add_argument("--refine-daemon", action="store_true",
+                       help="embed the online refinement daemon "
+                            "(requires --store-dir)")
+    serve.add_argument("--refine-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="daemon poll interval (seals wake it early)")
+    serve.add_argument("--refine-min-support", type=int, default=5,
+                       help="mining threshold frequency f for the daemon")
+    serve.add_argument("--refine-min-users", type=int, default=2,
+                       help="mining distinct-user floor for the daemon")
+    serve.add_argument("--gate", choices=("auto", "queue"), default="auto",
+                       help="review gate: auto-accept by thresholds, or "
+                            "queue every candidate for `repro refine-daemon`")
+    serve.add_argument("--gate-support", type=int, default=10,
+                       help="auto gate: minimum support to adopt")
+    serve.add_argument("--gate-users", type=int, default=3,
+                       help="auto gate: minimum distinct users to adopt")
     serve.add_argument("--idle-timeout", type=float, default=30.0,
                        help="seconds before an idle connection is dropped")
     serve.add_argument("--deadline", type=float, default=10.0,
                        help="default per-request deadline in seconds")
     serve.set_defaults(handler=_cmd_serve)
+
+    daemon_cmd = commands.add_parser(
+        "refine-daemon",
+        help="inspect the online refinement daemon and review its queue",
+    )
+    daemon_sub = daemon_cmd.add_subparsers(dest="daemon_command", required=True)
+    rd_status = daemon_sub.add_parser(
+        "status", help="watermark, rounds and ledger sizes"
+    )
+    rd_status.add_argument("--store-dir", required=True, metavar="DIR",
+                           help="the served durable audit store directory")
+    rd_status.set_defaults(handler=_cmd_daemon_status)
+    rd_pending = daemon_sub.add_parser(
+        "pending", help="list candidates awaiting human review"
+    )
+    rd_pending.add_argument("--store-dir", required=True, metavar="DIR")
+    rd_pending.set_defaults(handler=_cmd_daemon_pending)
+    rd_accept = daemon_sub.add_parser(
+        "accept", help="accept a pending candidate (adopted at next poll)"
+    )
+    rd_accept.add_argument("--store-dir", required=True, metavar="DIR")
+    rd_accept.add_argument("rule", help="candidate index (from `pending`) or "
+                                        "its exact rule DSL")
+    rd_accept.add_argument("--note", default="", help="review note")
+    rd_accept.set_defaults(handler=_cmd_daemon_accept)
+    rd_reject = daemon_sub.add_parser(
+        "reject", help="reject a pending candidate (a durable human veto)"
+    )
+    rd_reject.add_argument("--store-dir", required=True, metavar="DIR")
+    rd_reject.add_argument("rule", help="candidate index or exact rule DSL")
+    rd_reject.add_argument("--note", default="", help="review note")
+    rd_reject.set_defaults(handler=_cmd_daemon_reject)
 
     decide = commands.add_parser(
         "decide", help="ask a running decision service for one decision"
@@ -549,8 +601,14 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     audit_log = None
     if arguments.store_dir is not None:
         from repro.store.durable import DurableAuditLog
+        from repro.store.store import StoreConfig
 
-        audit_log = DurableAuditLog(arguments.store_dir, name="served")
+        store_config = None
+        if arguments.segment_entries is not None:
+            store_config = StoreConfig(max_segment_entries=arguments.segment_entries)
+        audit_log = DurableAuditLog(
+            arguments.store_dir, config=store_config, name="served"
+        )
     rules = None
     if arguments.rules is not None:
         rules = [
@@ -566,6 +624,41 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         cache=not arguments.no_cache,
         cache_size=arguments.cache_size,
     )
+    runner = None
+    daemon = None
+    if arguments.refine_daemon:
+        if audit_log is None:
+            print("--refine-daemon needs --store-dir (a durable trail to tail)")
+            return 2
+        from repro.mining.patterns import MiningConfig
+        from repro.refine_daemon import (
+            AutoAcceptGate,
+            DaemonConfig,
+            DaemonThread,
+            EnginePolicyTarget,
+            QueueForReviewGate,
+            RefineDaemon,
+        )
+        from repro.vocab.builtin import healthcare_vocabulary
+
+        gate = (
+            AutoAcceptGate(arguments.gate_support, arguments.gate_users)
+            if arguments.gate == "auto"
+            else QueueForReviewGate()
+        )
+        daemon = RefineDaemon(
+            audit_log,
+            EnginePolicyTarget(engine),
+            healthcare_vocabulary(),
+            gate,
+            DaemonConfig(
+                mining=MiningConfig(
+                    min_support=arguments.refine_min_support,
+                    min_distinct_users=arguments.refine_min_users,
+                )
+            ),
+        )
+        runner = DaemonThread(daemon, interval=arguments.refine_interval)
     server = PdpServer(
         engine,
         ServerConfig(
@@ -576,6 +669,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             idle_timeout=arguments.idle_timeout,
             default_deadline=arguments.deadline,
         ),
+        daemon=daemon,
     )
 
     async def _run() -> None:
@@ -591,11 +685,104 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         print(f"pdp server listening on {server.host}:{server.port}", flush=True)
         await server.wait_closed()
 
-    asyncio.run(_run())
+    if runner is not None:
+        runner.start()
+        print(
+            f"refinement daemon tailing {arguments.store_dir} "
+            f"every {arguments.refine_interval:g}s (gate={arguments.gate})",
+            flush=True,
+        )
+    try:
+        asyncio.run(_run())
+    finally:
+        if runner is not None:
+            runner.stop()
     print("pdp server stopped (audit trail flushed)")
     if audit_log is not None:
         audit_log.close()
         print(f"durable trail persisted at {arguments.store_dir}")
+    return 0
+
+
+def _resolve_pending(state, token: str):
+    """A pending candidate by index (as printed) or exact rule DSL."""
+    if token.isdigit():
+        index = int(token)
+        if 0 <= index < len(state.pending):
+            return state.pending[index]
+        return None
+    return state.find_pending(token)
+
+
+def _cmd_daemon_status(arguments: argparse.Namespace) -> int:
+    from repro.refine_daemon import load_state
+
+    state = load_state(arguments.store_dir)
+    print(f"daemon state for {arguments.store_dir}")
+    print(f"  watermark entries : {state.watermark}")
+    print(f"  segments consumed : {len(state.segments_consumed)}")
+    print(f"  polls / rounds    : {state.polls} / {state.rounds}")
+    if state.last_set_coverage is not None:
+        print(f"  set coverage      : {state.last_set_coverage:.3f}")
+        print(f"  entry coverage    : {state.last_entry_coverage:.3f}")
+    print(f"  pending / accepted / rejected : "
+          f"{len(state.pending)} / {len(state.accepted)} / {len(state.rejected)}")
+    return 0
+
+
+def _cmd_daemon_pending(arguments: argparse.Namespace) -> int:
+    from repro.refine_daemon import load_state
+
+    state = load_state(arguments.store_dir)
+    if not state.pending:
+        print("no candidates pending review")
+        return 0
+    for index, candidate in enumerate(state.pending):
+        print(f"[{index}] {candidate.rule}  "
+              f"(support={candidate.support}, "
+              f"users={candidate.distinct_users}, "
+              f"round={candidate.round_index})")
+    print(f"{len(state.pending)} pending; decide with "
+          f"`repro refine-daemon accept|reject --store-dir "
+          f"{arguments.store_dir} <index|rule>`")
+    return 0
+
+
+def _cmd_daemon_accept(arguments: argparse.Namespace) -> int:
+    from repro.refine_daemon import load_state, save_state
+
+    state = load_state(arguments.store_dir)
+    candidate = _resolve_pending(state, arguments.rule)
+    if candidate is None:
+        print(f"no pending candidate matches {arguments.rule!r} "
+              f"(see `repro refine-daemon pending`)")
+        return 1
+    state.pending.remove(candidate)
+    candidate.decided_by = "cli-review"
+    candidate.note = arguments.note
+    state.accepted.append(candidate)
+    save_state(arguments.store_dir, state)
+    print(f"accepted: {candidate.rule}")
+    print("the daemon adopts it into the serving policy at its next poll")
+    return 0
+
+
+def _cmd_daemon_reject(arguments: argparse.Namespace) -> int:
+    from repro.refine_daemon import load_state, save_state
+
+    state = load_state(arguments.store_dir)
+    candidate = _resolve_pending(state, arguments.rule)
+    if candidate is None:
+        print(f"no pending candidate matches {arguments.rule!r} "
+              f"(see `repro refine-daemon pending`)")
+        return 1
+    state.pending.remove(candidate)
+    candidate.decided_by = "cli-review"
+    candidate.note = arguments.note
+    state.rejected.append(candidate)
+    save_state(arguments.store_dir, state)
+    print(f"rejected: {candidate.rule} (a durable veto — it will not be "
+          f"re-proposed)")
     return 0
 
 

@@ -97,3 +97,7 @@ class ObservabilityError(PrimaError):
 
 class ServeError(PrimaError):
     """The policy decision service (server, client or protocol) failed."""
+
+
+class DaemonError(PrimaError):
+    """The online refinement daemon's state or wiring is invalid."""

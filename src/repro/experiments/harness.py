@@ -71,6 +71,37 @@ def standard_loop_setup(
     )
 
 
+class ReplayEnvironment:
+    """A :class:`~repro.refinement.loop.ClinicalEnvironment` that replays
+    recorded traffic instead of simulating fresh rounds.
+
+    Built from per-round windows (any iterables of audit entries), it
+    returns them verbatim regardless of the policy store it is handed —
+    the tool for comparing two refinement pipelines over the *same*
+    trail, e.g. the online daemon against the offline loop in
+    ``tests/test_refine_daemon_sim.py``.
+    """
+
+    def __init__(self, windows) -> None:
+        self.windows = [
+            window
+            if isinstance(window, AuditLog)
+            else AuditLog(tuple(window), name=f"replay-{index}")
+            for index, window in enumerate(windows)
+        ]
+
+    def simulate_round(self, round_index: int, store: PolicyStore) -> AuditLog:
+        """The recorded window for ``round_index`` (store is ignored)."""
+        if round_index >= len(self.windows):
+            from repro.errors import RefinementError
+
+            raise RefinementError(
+                f"replay has {len(self.windows)} recorded rounds, "
+                f"round {round_index} was requested"
+            )
+        return self.windows[round_index]
+
+
 def run_refinement_loop(
     setup: LoopExperimentSetup,
     review: ReviewPolicy,

@@ -180,6 +180,67 @@ def _store_snapshot(directory: Path) -> tuple[tuple[str, int], ...]:
         store.close()
 
 
+def shards_past_watermark(
+    directory: str | Path,
+    sealed: tuple,
+    watermark: int,
+    limit: int,
+    label: str = "tail",
+) -> tuple[Shard, ...]:
+    """Plan shards covering sealed entries ``[watermark, total)`` only.
+
+    ``sealed`` is the manifest's ordered
+    :class:`~repro.store.manifest.SegmentMeta` list; ``watermark`` counts
+    entries already consumed from the front of the sealed region.  The
+    refinement daemon's watermark normally lands exactly on a segment
+    boundary (it only advances past whole sealed segments), but
+    compaction may merge consumed and unconsumed segments into one file —
+    in that case the straddling segment's already-consumed head is
+    skipped by streaming, and the remainder travels as an entries shard.
+    Shards concatenate, in index order, to exactly the unconsumed sealed
+    suffix in global append order.
+    """
+    if watermark < 0:
+        raise RefinementError(f"watermark must be >= 0, got {watermark}")
+    directory = Path(directory)
+    snapshot: list[tuple[str, int]] = []
+    head_entries: tuple[AuditEntry, ...] = ()
+    consumed = 0
+    for meta in sealed:
+        if consumed + meta.entries <= watermark:
+            consumed += meta.entries  # fully behind the watermark
+            continue
+        if consumed < watermark:
+            # compaction merged consumed history into this segment: skip
+            # the first (watermark - consumed) entries by streaming
+            from repro.store.segment import iter_segment
+
+            skip = watermark - consumed
+            head_entries = tuple(iter_segment(directory / meta.name))[skip:]
+        else:
+            snapshot.append((str(directory / meta.name), meta.entries))
+        consumed += meta.entries
+    shards: list[Shard] = []
+    if head_entries:
+        shards.append(
+            Shard(
+                index=0,
+                kind="entries",
+                label=f"{label}[straddle:{len(head_entries)}]",
+                entries=head_entries,
+                planned_entries=len(head_entries),
+            )
+        )
+    if snapshot:
+        shards.extend(
+            _segment_shards(
+                snapshot, max(1, limit - len(shards)), label,
+                start_index=len(shards),
+            )
+        )
+    return tuple(shards)
+
+
 def shards_of(source, limit: int) -> tuple[Shard, ...]:
     """Plan at most ``limit`` shards whose in-order concatenation is
     exactly ``source``'s entry order.  See the module docstring for the

@@ -1,0 +1,499 @@
+"""The continuous online refinement daemon (the closed loop, live).
+
+:class:`RefineDaemon` turns the paper's offline audit → mine → review →
+amend cycle into a background process over the live deployment:
+
+- it **tails** the durable audit store *incrementally*: a persisted
+  watermark (entry count) marks how much of the sealed region has been
+  consumed, and each :meth:`poll` streams only the sealed segments past
+  it — never a full rescan.  Consumed entries fold into the cumulative
+  mergeable aggregates of :mod:`repro.parallel` (supports add, user sets
+  union), so a mining round is a pure reduce over state proportional to
+  the number of *distinct* lifted rules, not the trail length.  By the
+  PR 4 merge-equivalence argument, the reduce over the cumulative
+  aggregate equals a from-scratch serial ``refine()`` over the whole
+  consumed trail — ``tests/test_refine_daemon_sim.py`` pins this
+  byte-for-byte against the offline loop.
+- mining **triggers** on a poll cadence, a wall-clock interval (under an
+  injected clock), or a coverage-drop threshold fed by the incremental
+  coverage engine (:class:`repro.coverage.incremental.IncrementalCoverage`),
+  which observes every tailed entry as it is consumed.
+- candidates pass a pluggable :class:`~repro.refine_daemon.gate.ReviewGate`;
+  accepted rules **hot-swap** into the serving snapshot through a
+  :class:`PolicyTarget` (the PR 5 copy-on-write admin path when embedded
+  in ``repro serve``) without dropping in-flight requests.
+- the whole loop state persists next to the store manifest
+  (:mod:`repro.refine_daemon.state`), in commit order
+  *mine → gate → persist → hot-swap*: a crash anywhere leaves a state
+  file from which a restarted daemon **resumes** — the reconcile step at
+  the next poll adopts accepted-but-not-yet-swapped rules (idempotent),
+  so no candidate is lost and no entry is ever re-mined.
+
+The daemon is synchronous by design: :meth:`poll` does one complete
+tail → (maybe) mine → gate → swap cycle and returns a
+:class:`PollReport`.  Tests drive it step-by-step; production wraps it
+in :class:`~repro.refine_daemon.runner.DaemonThread`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.coverage.engine import compute_coverage
+from repro.coverage.incremental import IncrementalCoverage
+from repro.errors import DaemonError
+from repro.mining.patterns import MiningConfig, Pattern
+from repro.mining.sql_patterns import SqlPartialAggregate, finalize_patterns
+from repro.obs.runtime import get_registry
+from repro.parallel.partials import MapTask, ShardPartial, map_shard
+from repro.parallel.shards import shards_past_watermark
+from repro.policy.grounding import Grounder
+from repro.policy.parser import format_rule, parse_rule
+from repro.policy.policy import Policy, PolicySource
+from repro.policy.rule import Rule
+from repro.policy.store import PolicyStore
+from repro.refine_daemon.gate import ReviewGate
+from repro.refinement.prune import prune_patterns
+from repro.refine_daemon.state import (
+    Candidate,
+    DaemonState,
+    load_state,
+    save_state,
+)
+from repro.vocab.vocabulary import Vocabulary
+
+
+class PolicyTarget(Protocol):
+    """Where accepted rules land — a bare store or a serving engine."""
+
+    def current_store(self) -> PolicyStore:
+        """The policy store candidates are pruned and adopted against."""
+        ...  # pragma: no cover - protocol
+
+    def adopt(self, rules, note: str = "") -> int:
+        """Adopt ``rules`` (idempotent); returns how many were new."""
+        ...  # pragma: no cover - protocol
+
+
+class StorePolicyTarget:
+    """Adopt straight into a :class:`PolicyStore` (standalone mode)."""
+
+    def __init__(self, store: PolicyStore) -> None:
+        self.store = store
+
+    def current_store(self) -> PolicyStore:
+        """The store itself."""
+        return self.store
+
+    def adopt(self, rules, note: str = "") -> int:
+        """Add every rule; dedup makes re-adoption a no-op."""
+        return self.store.add_all(
+            tuple(rules), added_by="refine-daemon", origin="refinement", note=note
+        )
+
+
+class EnginePolicyTarget:
+    """Adopt through a serving :class:`~repro.serve.engine.PdpEngine`.
+
+    Each adoption is one copy-on-write snapshot swap (plus decision-cache
+    invalidation), so new rules take effect between requests without
+    dropping anything in flight.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def current_store(self) -> PolicyStore:
+        """The live snapshot's policy store."""
+        return self.engine.manager.current.policy_store
+
+    def adopt(self, rules, note: str = "") -> int:
+        """One hot swap adopting every rule; returns how many were new."""
+        _, added = self.engine.adopt_rules(tuple(rules), note=note)
+        return added
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables of one :class:`RefineDaemon`.
+
+    ``mining`` carries the Algorithm 4/5 thresholds.  Mining triggers:
+    ``mine_every_polls`` (0 disables the cadence), ``mine_interval``
+    seconds on the injected ``clock``, and ``coverage_drop`` — mine when
+    the incremental entry coverage falls this far below the last mined
+    figure.  All triggers additionally require unmined consumed entries,
+    except ``coverage_drop`` which may re-mine the same region after a
+    policy regression.  ``entry_observer`` is a test hook called with
+    every consumed entry's lifted-rule values, in global append order.
+    """
+
+    mining: MiningConfig = field(default_factory=MiningConfig)
+    mine_every_polls: int = 1
+    mine_interval: float | None = None
+    coverage_drop: float | None = None
+    clock: Callable[[], float] = time.monotonic
+    shard_limit: int = 4
+    entry_observer: Callable[[tuple[str, ...]], None] | None = None
+
+
+@dataclass(frozen=True)
+class PollReport:
+    """What one synchronous :meth:`RefineDaemon.poll` did."""
+
+    poll_index: int
+    consumed: int
+    watermark: int
+    lag: int
+    reconciled: int
+    trigger: str | None
+    patterns_mined: int
+    patterns_useful: int
+    accepted: tuple[Rule, ...]
+    pended: int
+    rejected: int
+    set_coverage: float | None
+    entry_coverage: float | None
+
+    @property
+    def mined(self) -> bool:
+        """Whether this poll ran a mining round."""
+        return self.trigger is not None
+
+
+class RefineDaemon:
+    """Watermark-tailing, incrementally-mining refinement daemon."""
+
+    def __init__(
+        self,
+        log,
+        target: PolicyTarget,
+        vocabulary: Vocabulary,
+        gate: ReviewGate,
+        config: DaemonConfig | None = None,
+        name: str = "refine-daemon",
+    ) -> None:
+        #: accepts a DurableAuditLog or a raw AuditStore
+        self._store = log.store if hasattr(log, "store") else log
+        self.target = target
+        self.vocabulary = vocabulary
+        self.gate = gate
+        self.config = config or DaemonConfig()
+        self.name = name
+        self._lock = threading.Lock()
+        self._grounder = Grounder(vocabulary)
+        self._rules: dict[tuple[str, ...], Rule] = {}
+        self._obs = get_registry()
+        self._clock = self.config.clock
+        self._last_mine_at = self._clock()
+        self.state = load_state(self._store.directory)
+        self._tracker = self._build_tracker()
+
+    # ------------------------------------------------------------------
+    # resume plumbing
+    # ------------------------------------------------------------------
+    def _build_tracker(self) -> IncrementalCoverage:
+        """Rebuild the incremental coverage engine from persisted state."""
+        tracker = IncrementalCoverage(self.vocabulary)
+        for rule in self.target.current_store().policy():
+            tracker.add_rule(rule)
+        for values, count in self.state.rules.items():
+            rule = self._rule_for(values)
+            for _ in range(count):
+                tracker.observe(rule)
+        return tracker
+
+    def _rule_for(self, values: tuple[str, ...]) -> Rule:
+        """The (cached) lifted rule for one attribute-value tuple."""
+        rule = self._rules.get(values)
+        if rule is None:
+            rule = Rule.from_pairs(list(zip(self.config.mining.attributes, values)))
+            self._rules[values] = rule
+        return rule
+
+    def _reconcile(self) -> int:
+        """Adopt accepted rules missing from the target (crash repair).
+
+        Covers both a crash between persist and hot-swap and CLI
+        ``accept`` decisions taken while the daemon was down: adoption is
+        idempotent, so replaying the whole accepted ledger is safe.
+        """
+        store = self.target.current_store()
+        backlog = [
+            parse_rule(candidate.rule)
+            for candidate in self.state.accepted
+            if parse_rule(candidate.rule) not in store
+        ]
+        if not backlog:
+            return 0
+        added = self.target.adopt(backlog, note="refine-daemon reconcile")
+        for rule in backlog:
+            self._tracker.add_rule(rule)
+        return added
+
+    # ------------------------------------------------------------------
+    # the poll cycle
+    # ------------------------------------------------------------------
+    def poll(self, force_mine: bool = False) -> PollReport:
+        """One synchronous tail → trigger → mine → gate → swap cycle."""
+        with self._lock, self._obs.span("repro_refine_daemon_poll"):
+            # Reload from disk: picks up CLI review decisions and makes
+            # every poll a from-persisted-state resume, which is exactly
+            # the restart path — so restarts are not a special case.
+            self.state = load_state(self._store.directory)
+            state = self.state
+            state.polls += 1
+            reconciled = self._reconcile()
+            consumed = self._consume()
+            trigger = self._mine_trigger(force_mine)
+            outcome = self._mine() if trigger else None
+            # Commit order: mine → gate → persist → hot-swap.  The state
+            # file (watermark + ledger) is durable before any rule lands
+            # in the serving snapshot; a crash in between is repaired by
+            # the next poll's reconcile, never by re-mining.
+            save_state(self._store.directory, state)
+            if outcome is not None and outcome["accepted"]:
+                self.target.adopt(
+                    outcome["accepted"],
+                    note=f"refine-daemon round={state.rounds - 1}",
+                )
+                for rule in outcome["accepted"]:
+                    self._tracker.add_rule(rule)
+            report = PollReport(
+                poll_index=state.polls,
+                consumed=consumed,
+                watermark=state.watermark,
+                lag=len(self._store) - state.watermark,
+                reconciled=reconciled,
+                trigger=trigger if outcome is not None else None,
+                patterns_mined=len(outcome["patterns"]) if outcome else 0,
+                patterns_useful=len(outcome["useful"]) if outcome else 0,
+                accepted=tuple(outcome["accepted"]) if outcome else (),
+                pended=outcome["pended"] if outcome else 0,
+                rejected=outcome["rejected"] if outcome else 0,
+                set_coverage=state.last_set_coverage,
+                entry_coverage=state.last_entry_coverage,
+            )
+            self._record_metrics(report)
+            return report
+
+    def _consume(self) -> int:
+        """Tail sealed segments past the watermark into the aggregates."""
+        sealed = self._store.sealed_segments()
+        total = sum(meta.entries for meta in sealed)
+        state = self.state
+        if total < state.watermark:
+            raise DaemonError(
+                f"store at {self._store.directory} holds {total} sealed "
+                f"entries but the daemon watermark is {state.watermark}; "
+                f"the trail shrank — refusing to tail a rewritten history"
+            )
+        if total == state.watermark:
+            return 0
+        shards = shards_past_watermark(
+            self._store.directory,
+            sealed,
+            state.watermark,
+            self.config.shard_limit,
+            label=self.name,
+        )
+        task = MapTask(
+            attributes=self.config.mining.attributes,
+            include_denied=False,
+            exclude_suspected=False,
+            collect_regular=False,
+            miner="sql",
+            local_min_support=1,
+        )
+        consumed = 0
+        for shard in shards:
+            partial = map_shard(shard, task)
+            self._merge_partial(partial)
+            consumed += partial.entries
+        if consumed != total - state.watermark:
+            raise DaemonError(
+                f"tail pass consumed {consumed} entries but the sealed "
+                f"region grew by {total - state.watermark}; segment files "
+                f"disagree with the manifest — run `repro store verify`"
+            )
+        state.watermark = total
+        state.segments_consumed = [meta.name for meta in sealed]
+        return consumed
+
+    def _merge_partial(self, partial: ShardPartial) -> None:
+        """Fold one shard's partial into the cumulative aggregates."""
+        state = self.state
+        observer = self.config.entry_observer
+        if observer is not None:
+            order: list = [None] * partial.entries
+            for values, positions in partial.rule_entries.items():
+                for position in positions:
+                    order[position] = values
+            for values in order:
+                observer(values)
+        for values, positions in partial.rule_entries.items():
+            count = len(positions)
+            state.rules[values] = state.rules.get(values, 0) + count
+            rule = self._rule_for(values)
+            for _ in range(count):
+                self._tracker.observe(rule)
+        for values, (count, users) in partial.groups.items():
+            slot = state.groups.get(values)
+            if slot is None:
+                state.groups[values] = [count, set(users)]
+            else:
+                slot[0] += count
+                slot[1] |= users
+
+    def _mine_trigger(self, force: bool) -> str | None:
+        """Which trigger (if any) fires a mining round this poll."""
+        state, cfg = self.state, self.config
+        if state.watermark == 0:
+            return None  # nothing sealed yet: coverage over zero entries
+        if force:
+            return "forced"
+        fresh = state.watermark > state.last_mined_watermark
+        if (
+            fresh
+            and cfg.mine_every_polls > 0
+            and state.polls - state.last_mined_poll >= cfg.mine_every_polls
+        ):
+            return "cadence"
+        if (
+            fresh
+            and cfg.mine_interval is not None
+            and self._clock() - self._last_mine_at >= cfg.mine_interval
+        ):
+            return "interval"
+        if (
+            cfg.coverage_drop is not None
+            and state.last_entry_coverage is not None
+            and self._tracker.total_entries > 0
+            and state.last_entry_coverage - self._tracker.entry_coverage()
+            >= cfg.coverage_drop
+        ):
+            return "coverage-drop"
+        return None
+
+    def _mine(self) -> dict:
+        """One mining round: reduce → prune → gate (no rescans)."""
+        state, cfg = self.state, self.config
+        aggregate = SqlPartialAggregate(
+            attributes=cfg.mining.attributes,
+            groups={
+                values: [count, set(users)]
+                for values, (count, users) in state.groups.items()
+            },
+        )
+        patterns = finalize_patterns(aggregate, cfg.mining)
+        policy = self.target.current_store().policy()
+        prune = prune_patterns(patterns, policy, self.vocabulary, self._grounder)
+        audit_policy = Policy(
+            (self._rule_for(values) for values in state.rules),
+            source=PolicySource.AUDIT_LOG,
+            name=f"P_AL({self.name})",
+        )
+        coverage = compute_coverage(
+            policy, audit_policy, self.vocabulary, self._grounder
+        )
+        covering_mask = coverage.covering.mask
+        uncovered = sum(
+            count
+            for values, count in state.rules.items()
+            if self._grounder.ground_mask(self._rule_for(values)) & ~covering_mask
+        )
+        entry_ratio = (state.watermark - uncovered) / state.watermark
+        accepted: list[Rule] = []
+        pended = rejected = 0
+        decided = state.decided_rules()
+        for pattern in prune.useful:
+            dsl = format_rule(pattern.rule)
+            existing = state.find_pending(dsl)
+            if existing is not None:
+                # evidence keeps accruing while the officer deliberates
+                existing.support = pattern.support
+                existing.distinct_users = pattern.distinct_users
+                continue
+            if dsl in decided:
+                continue  # accepted (awaiting swap) or human-rejected
+            verdict = self.gate.decide(pattern)
+            candidate = Candidate(
+                rule=dsl,
+                support=pattern.support,
+                distinct_users=pattern.distinct_users,
+                round_index=state.rounds,
+            )
+            if verdict == "accept":
+                candidate.decided_by = "auto-gate"
+                state.accepted.append(candidate)
+                accepted.append(pattern.rule)
+            elif verdict == "pend":
+                state.pending.append(candidate)
+                pended += 1
+            else:
+                # reject-for-now: NOT sticky — re-judged when support
+                # grows, exactly like the offline loop's review policy
+                rejected += 1
+        state.rounds += 1
+        state.last_mined_poll = state.polls
+        state.last_mined_watermark = state.watermark
+        state.last_set_coverage = coverage.ratio
+        state.last_entry_coverage = entry_ratio
+        self._last_mine_at = self._clock()
+        return {
+            "patterns": patterns,
+            "useful": prune.useful,
+            "accepted": accepted,
+            "pended": pended,
+            "rejected": rejected,
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _record_metrics(self, report: PollReport) -> None:
+        reg = self._obs
+        if not reg.enabled:
+            return
+        reg.counter("repro_refine_daemon_polls_total").inc()
+        reg.counter("repro_refine_daemon_entries_consumed_total").inc(
+            report.consumed
+        )
+        if report.mined:
+            reg.counter("repro_refine_daemon_rounds_total").inc()
+            reg.counter("repro_refine_daemon_candidates_mined_total").inc(
+                report.patterns_useful
+            )
+            reg.counter("repro_refine_daemon_candidates_accepted_total").inc(
+                len(report.accepted)
+            )
+            reg.counter("repro_refine_daemon_candidates_rejected_total").inc(
+                report.rejected
+            )
+        reg.gauge("repro_refine_daemon_watermark_entries").set(report.watermark)
+        reg.gauge("repro_refine_daemon_watermark_lag_entries").set(report.lag)
+        reg.gauge("repro_refine_daemon_pending").set(len(self.state.pending))
+        if report.entry_coverage is not None:
+            reg.gauge("repro_refine_daemon_coverage").set(report.entry_coverage)
+
+    def status(self) -> dict:
+        """JSON-ready daemon state for ``stats`` and ``/healthz``."""
+        state = self.state
+        trail = len(self._store)
+        return {
+            "name": self.name,
+            "watermark_entries": state.watermark,
+            "trail_entries": trail,
+            "lag_entries": trail - state.watermark,
+            "polls": state.polls,
+            "rounds": state.rounds,
+            "pending": len(state.pending),
+            "accepted": len(state.accepted),
+            "coverage": {
+                "set": state.last_set_coverage,
+                "entry": state.last_entry_coverage,
+            },
+        }

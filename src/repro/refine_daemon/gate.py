@@ -1,0 +1,60 @@
+"""The daemon's review gate: where automation stops (or pauses).
+
+The paper keeps a human in the refinement loop — "human input is prudent
+at this stage" — so the daemon never adopts a mined rule without passing
+it through a :class:`ReviewGate`.  Two built-ins:
+
+- :class:`AutoAcceptGate` — the automated stand-in, with exactly the
+  semantics of :class:`repro.refinement.review.ThresholdReview`: accept
+  with enough support and distinct users, otherwise *reject for now*.
+  Rejections are **not sticky**: a pattern rejected in round ``r`` is
+  re-judged in round ``r+1`` when its evidence has grown, precisely as
+  the offline loop re-runs its review policy every round — the byte-
+  identity proof in ``tests/test_refine_daemon_sim.py`` depends on this.
+- :class:`QueueForReviewGate` — the human mode: every novel candidate
+  parks in the persisted pending queue, where the
+  ``repro refine-daemon pending|accept|reject`` CLI decides its fate;
+  the daemon adopts CLI-accepted rules at its next poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.mining.patterns import Pattern
+
+#: A gate verdict: adopt now, re-judge later, or park for a human.
+VERDICTS: tuple[str, ...] = ("accept", "reject", "pend")
+
+
+class ReviewGate(Protocol):
+    """Decides what happens to one useful (post-prune) pattern."""
+
+    def decide(self, pattern: Pattern) -> str:
+        """Return one of :data:`VERDICTS`."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class AutoAcceptGate:
+    """Threshold-gated auto-accept (mirrors ``ThresholdReview``)."""
+
+    min_support: int = 10
+    min_distinct_users: int = 3
+
+    def decide(self, pattern: Pattern) -> str:
+        """Accept with enough independent evidence, else reject-for-now."""
+        enough = (
+            pattern.support >= self.min_support
+            and pattern.distinct_users >= self.min_distinct_users
+        )
+        return "accept" if enough else "reject"
+
+
+class QueueForReviewGate:
+    """Park every novel candidate for a human decision via the CLI."""
+
+    def decide(self, pattern: Pattern) -> str:
+        """Always pend."""
+        return "pend"

@@ -34,6 +34,7 @@ lands in the crash-safe segmented store, ready for
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.audit.schema import AccessOp, AccessStatus
@@ -76,6 +77,10 @@ class SnapshotManager:
 
     def __init__(self, enforcer: ActiveEnforcer) -> None:
         self._obs = get_registry()
+        # Serialises writers: admin ops arrive on the server's event loop,
+        # but an embedded refinement daemon mutates from its own thread.
+        # Readers stay lock-free — they grab ``current`` once per request.
+        self._mutate_lock = threading.Lock()
         self._snapshot_id = 1
         self._current = EngineSnapshot(
             snapshot_id=1,
@@ -101,31 +106,35 @@ class SnapshotManager:
 
         ``fn`` runs against private clones, so concurrent readers of the
         old snapshot are never exposed to a partial update; the swap is
-        one reference assignment.  Returns ``(new snapshot, fn result)``.
+        one reference assignment.  Concurrent writers (admin ops on the
+        event loop, an embedded refinement daemon on its own thread) are
+        serialised under a lock so no mutation is lost to a racing clone.
+        Returns ``(new snapshot, fn result)``.
         """
-        base = self._current
-        store = base.policy_store.clone()
-        consent = base.consent.clone()
-        changed = fn(store, consent)
-        enforcer = ActiveEnforcer(
-            database=base.enforcer.database,
-            policy_store=store,
-            consent=consent,
-            auditor=base.enforcer.auditor,
-            vocabulary=base.vocabulary,
-            ledger=base.enforcer.ledger,
-        )
-        for binding in base.enforcer.bindings:
-            enforcer.bind_table(binding)
-        self._snapshot_id += 1
-        snapshot = EngineSnapshot(
-            snapshot_id=self._snapshot_id,
-            enforcer=enforcer,
-            policy_store=store,
-            consent=consent,
-            vocabulary=base.vocabulary,
-        )
-        self._current = snapshot  # the atomic swap
+        with self._mutate_lock:
+            base = self._current
+            store = base.policy_store.clone()
+            consent = base.consent.clone()
+            changed = fn(store, consent)
+            enforcer = ActiveEnforcer(
+                database=base.enforcer.database,
+                policy_store=store,
+                consent=consent,
+                auditor=base.enforcer.auditor,
+                vocabulary=base.vocabulary,
+                ledger=base.enforcer.ledger,
+            )
+            for binding in base.enforcer.bindings:
+                enforcer.bind_table(binding)
+            self._snapshot_id += 1
+            snapshot = EngineSnapshot(
+                snapshot_id=self._snapshot_id,
+                enforcer=enforcer,
+                policy_store=store,
+                consent=consent,
+                vocabulary=base.vocabulary,
+            )
+            self._current = snapshot  # the atomic swap
         if self._obs.enabled:
             self._obs.counter("repro_serve_snapshot_swaps_total").inc()
             self._obs.gauge("repro_serve_snapshot_version").set(snapshot.snapshot_id)
@@ -329,6 +338,32 @@ class PdpEngine:
         return protocol.ok_response(
             changed=bool(changed), versions=snapshot.versions()
         )
+
+    def adopt_rules(
+        self,
+        rules,
+        added_by: str = "refine-daemon",
+        note: str = "",
+    ) -> tuple[EngineSnapshot, int]:
+        """Adopt a batch of mined rules in ONE snapshot swap.
+
+        The in-process admin path for the refinement daemon: all rules of
+        a mining round land atomically (readers see none or all), and the
+        decision cache is invalidated iff anything changed.  Idempotent —
+        re-adopting present rules is a no-op that swaps nothing.
+        """
+        batch = tuple(rules)
+        current = self.manager.current.policy_store
+        if all(rule in current for rule in batch):
+            return self.manager.current, 0
+        snapshot, added = self.manager.mutate(
+            lambda store, consent: store.add_all(
+                batch, added_by=added_by, origin="refinement", note=note
+            )
+        )
+        if self.cache is not None and added:
+            self.cache.invalidate()
+        return snapshot, int(added)
 
 
 def build_demo_engine(

@@ -81,9 +81,17 @@ class _FrameTooLarge(Exception):
 class PdpServer:
     """One engine served over NDJSON frames plus the HTTP shim."""
 
-    def __init__(self, engine: PdpEngine, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        engine: PdpEngine,
+        config: ServerConfig | None = None,
+        daemon=None,
+    ) -> None:
         self.engine = engine
         self.config = config or ServerConfig()
+        #: an embedded RefineDaemon (or anything with ``status()``);
+        #: surfaced in the ``stats`` op and ``GET /healthz``
+        self.daemon = daemon
         self._obs = get_registry()
         self._server: asyncio.AbstractServer | None = None
         self._sem: asyncio.Semaphore | None = None
@@ -294,6 +302,8 @@ class PdpServer:
                 "connections": self._connections,
                 "draining": self._draining,
             }
+            if self.daemon is not None:
+                stats["refine_daemon"] = self.daemon.status()
             return protocol.ok_response(**stats)
         if op == "admin.shutdown":
             asyncio.get_running_loop().create_task(self.shutdown())
@@ -417,17 +427,16 @@ class PdpServer:
 
         if method == "GET" and target == "/healthz":
             status = 503 if self._draining else 200
-            await self._http_respond(
-                writer,
-                status,
-                {
-                    "status": "draining" if self._draining else "ok",
-                    "versions": self.engine.versions(),
-                    "inflight": self._inflight,
-                    "queued": self._queued,
-                    "audit_entries": len(self.engine.audit_log),
-                },
-            )
+            health = {
+                "status": "draining" if self._draining else "ok",
+                "versions": self.engine.versions(),
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "audit_entries": len(self.engine.audit_log),
+            }
+            if self.daemon is not None:
+                health["refine_daemon"] = self.daemon.status()
+            await self._http_respond(writer, status, health)
         elif method == "GET" and target == "/metrics":
             await self._http_respond(
                 writer,
@@ -514,8 +523,13 @@ class ServerThread:
     Exiting the context performs the graceful drain-then-stop shutdown.
     """
 
-    def __init__(self, engine: PdpEngine, config: ServerConfig | None = None) -> None:
-        self.server = PdpServer(engine, config)
+    def __init__(
+        self,
+        engine: PdpEngine,
+        config: ServerConfig | None = None,
+        daemon=None,
+    ) -> None:
+        self.server = PdpServer(engine, config, daemon=daemon)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
 

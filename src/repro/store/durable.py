@@ -256,6 +256,21 @@ class DurableAuditLog(AuditReadOps):
         """Context-manager exit: close the store."""
         self.close()
 
+    def seal_active(self):
+        """Seal the active segment now (see
+        :meth:`~repro.store.store.AuditStore.seal_active`)."""
+        return self.store.seal_active()
+
+    def add_seal_listener(self, listener) -> None:
+        """Register a post-seal callback (see
+        :meth:`~repro.store.store.AuditStore.add_seal_listener`)."""
+        self.store.add_seal_listener(listener)
+
+    def sealed_segments(self):
+        """Sealed segment metadata, oldest first (see
+        :meth:`~repro.store.store.AuditStore.sealed_segments`)."""
+        return self.store.sealed_segments()
+
     def stats(self) -> StoreStats:
         """The underlying store's :class:`~repro.store.store.StoreStats`."""
         return self.store.stats()

@@ -25,6 +25,7 @@ directory at a time; concurrent writers are not arbitrated.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import deque
 from collections.abc import Iterable, Iterator
@@ -179,6 +180,7 @@ class AuditStore:
         self._bytes_written = 0
         self._flushes = 0
         self._seals = 0
+        self._seal_listeners: list = []
         self._since_sync = 0
         self._index_cache: dict[str, SegmentIndex] = {}
         self._obs = get_registry()
@@ -366,6 +368,44 @@ class AuditStore:
         self._builder = IndexBuilder(self.config.time_index_stride)
         self._since_sync = 0
         self._seals += 1
+        for listener in tuple(self._seal_listeners):
+            # listeners observe a committed seal; their failures must not
+            # poison the write path
+            try:
+                listener(meta)
+            except Exception:  # pragma: no cover - defensive
+                logging.getLogger("repro.store").exception(
+                    "seal listener %r failed for segment %s", listener, meta.name
+                )
+
+    def seal_active(self) -> SegmentMeta | None:
+        """Seal the active segment now; returns its :class:`SegmentMeta`.
+
+        A no-op returning ``None`` when the active segment is empty (the
+        store never seals empty segments).  The online refinement daemon
+        uses this to force a round boundary: only sealed segments are
+        behind its watermark, so sealing makes the current tail minable.
+        """
+        self._check_open()
+        if self._writer.entries == 0:
+            return None
+        self._seal_active()
+        return self._manifest.sealed[-1]
+
+    def add_seal_listener(self, listener) -> None:
+        """Call ``listener(meta)`` after every durable seal commit.
+
+        The callback runs on the sealing thread *after* the manifest has
+        atomically promoted the segment, so a listener that wakes a
+        tailing daemon can rely on the sealed entries being readable.
+        Exceptions raised by listeners are logged, never propagated.
+        """
+        self._seal_listeners.append(listener)
+
+    def sealed_segments(self) -> tuple[SegmentMeta, ...]:
+        """The manifest's sealed segments, oldest first (post-compaction
+        names included) — the region a watermark may cover."""
+        return tuple(self._manifest.sealed)
 
     # ------------------------------------------------------------------
     # lifecycle

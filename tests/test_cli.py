@@ -401,3 +401,91 @@ class TestServeCommands:
         reopened = DurableAuditLog(tmp_path / "trail", create=False)
         assert len(reopened) == 1
         reopened.close()
+
+
+class TestRefineDaemonCommand:
+    @pytest.fixture()
+    def queue_dir(self, tmp_path):
+        from repro.refine_daemon import Candidate, DaemonState, save_state
+
+        state = DaemonState()
+        state.pending.append(
+            Candidate("ALLOW nurse TO USE referral FOR treatment", 12, 4, 0)
+        )
+        state.pending.append(
+            Candidate("ALLOW clerk TO USE insurance FOR billing", 7, 2, 1)
+        )
+        save_state(tmp_path, state)
+        return str(tmp_path)
+
+    def test_status_reports_watermark_and_ledger(self, capsys, queue_dir):
+        assert main(["refine-daemon", "status", "--store-dir", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "watermark entries : 0" in out
+        assert "2 / 0 / 0" in out
+
+    def test_pending_lists_candidates_with_indices(self, capsys, queue_dir):
+        assert main(["refine-daemon", "pending", "--store-dir", queue_dir]) == 0
+        out = capsys.readouterr().out
+        assert "[0] ALLOW nurse TO USE referral FOR treatment" in out
+        assert "[1] ALLOW clerk TO USE insurance FOR billing" in out
+
+    def test_accept_by_index_moves_to_accepted(self, capsys, queue_dir):
+        from repro.refine_daemon import load_state
+
+        assert main(["refine-daemon", "accept", "--store-dir", queue_dir,
+                     "0", "--note", "looks right"]) == 0
+        state = load_state(queue_dir)
+        assert len(state.pending) == 1
+        assert state.accepted[0].rule == "ALLOW nurse TO USE referral FOR treatment"
+        assert state.accepted[0].decided_by == "cli-review"
+        assert state.accepted[0].note == "looks right"
+
+    def test_reject_by_dsl_is_a_durable_veto(self, capsys, queue_dir):
+        from repro.refine_daemon import load_state
+
+        assert main(["refine-daemon", "reject", "--store-dir", queue_dir,
+                     "ALLOW clerk TO USE insurance FOR billing"]) == 0
+        state = load_state(queue_dir)
+        assert [c.rule for c in state.rejected] == [
+            "ALLOW clerk TO USE insurance FOR billing"
+        ]
+
+    def test_unknown_candidate_fails_with_pointer(self, capsys, queue_dir):
+        assert main(["refine-daemon", "accept", "--store-dir", queue_dir,
+                     "17"]) == 1
+        assert "no pending candidate" in capsys.readouterr().out
+
+    def test_cli_acceptance_reaches_a_polling_daemon(self, tmp_path, capsys):
+        """End-to-end: queue-gated daemon → CLI accept → next poll adopts."""
+        from repro.experiments.harness import standard_loop_setup
+        from repro.mining.patterns import MiningConfig
+        from repro.policy.parser import parse_rule
+        from repro.refine_daemon import (
+            DaemonConfig,
+            QueueForReviewGate,
+            RefineDaemon,
+            StorePolicyTarget,
+            load_state,
+        )
+        from repro.store.durable import DurableAuditLog
+
+        setup = standard_loop_setup(accesses_per_round=800, seed=7)
+        log = DurableAuditLog(tmp_path / "trail")
+        daemon = RefineDaemon(
+            log,
+            StorePolicyTarget(setup.store),
+            setup.vocabulary,
+            QueueForReviewGate(),
+            DaemonConfig(mining=MiningConfig(min_support=5, min_distinct_users=2)),
+        )
+        log.extend(setup.environment.simulate_round(0, setup.store))
+        log.seal_active()
+        assert daemon.poll().pended > 0
+        directory = str(log.store.directory)
+        assert main(["refine-daemon", "accept", "--store-dir", directory, "0"]) == 0
+        accepted = load_state(directory).accepted[0]
+        report = daemon.poll()
+        assert report.reconciled == 1
+        assert parse_rule(accepted.rule) in setup.store
+        log.close()

@@ -286,3 +286,180 @@ class TestDecisionServiceFailures:
         worker.join(10)
         assert outcome["code"] == protocol.OK
         assert len(engine.audit_log) == 1
+
+
+class TestRefineDaemonFailures:
+    """Crash/corruption injection around the online refinement daemon.
+
+    The daemon's commit order is mine → gate → persist → hot-swap; these
+    tests kill it at every seam and assert a restarted daemon resumes
+    from the persisted watermark with no double-mine and no skip.
+    """
+
+    def _fixture(self, tmp_path, gate=None, accesses=600):
+        from repro.experiments.harness import standard_loop_setup
+        from repro.mining.patterns import MiningConfig
+        from repro.refine_daemon import (
+            AutoAcceptGate,
+            DaemonConfig,
+            RefineDaemon,
+            StorePolicyTarget,
+        )
+        from repro.store.durable import DurableAuditLog
+
+        setup = standard_loop_setup(accesses_per_round=accesses, seed=7)
+        log = DurableAuditLog(tmp_path / "trail")
+        daemon = RefineDaemon(
+            log,
+            StorePolicyTarget(setup.store),
+            setup.vocabulary,
+            gate or AutoAcceptGate(min_support=10, min_distinct_users=3),
+            DaemonConfig(mining=MiningConfig(min_support=5, min_distinct_users=2)),
+        )
+        return setup, log, daemon
+
+    def test_crash_between_persist_and_hot_swap_is_reconciled(self, tmp_path):
+        from repro.policy.parser import parse_rule
+        from repro.refine_daemon import load_state
+
+        setup, log, daemon = self._fixture(tmp_path)
+        log.extend(setup.environment.simulate_round(0, setup.store))
+        log.seal_active()
+
+        class Boom(Exception):
+            pass
+
+        real_adopt = daemon.target.adopt
+        daemon.target.adopt = lambda *a, **k: (_ for _ in ()).throw(Boom())
+        with pytest.raises(Boom):
+            daemon.poll()  # dies after save_state, before the swap
+        daemon.target.adopt = real_adopt
+        # the ledger recorded the acceptance; the store never saw it
+        state = load_state(log.store.directory)
+        assert state.accepted
+        missing = [
+            c for c in state.accepted
+            if parse_rule(c.rule) not in setup.store
+        ]
+        assert missing
+        # a restarted daemon over the same store and trail repairs the
+        # gap at its next poll — without consuming anything (the
+        # watermark already covers the trail)
+        from repro.mining.patterns import MiningConfig
+        from repro.refine_daemon import (
+            AutoAcceptGate,
+            DaemonConfig,
+            RefineDaemon,
+            StorePolicyTarget,
+        )
+
+        revived = RefineDaemon(
+            log,
+            StorePolicyTarget(setup.store),
+            setup.vocabulary,
+            AutoAcceptGate(min_support=10, min_distinct_users=3),
+            DaemonConfig(mining=MiningConfig(min_support=5, min_distinct_users=2)),
+        )
+        report = revived.poll()
+        assert report.reconciled == len(missing)
+        assert report.consumed == 0
+        for candidate in state.accepted:
+            assert parse_rule(candidate.rule) in setup.store
+        log.close()
+
+    def test_torn_state_tmp_file_is_ignored(self, tmp_path):
+        from repro.refine_daemon import load_state, state_path
+
+        setup, log, daemon = self._fixture(tmp_path)
+        log.extend(setup.environment.simulate_round(0, setup.store))
+        log.seal_active()
+        report = daemon.poll()
+        # a crash mid-save leaves a torn temp file next to the real state
+        torn = state_path(log.store.directory).with_suffix(".json.tmp")
+        torn.write_bytes(b'{"format": 1, "waterm')
+        state = load_state(log.store.directory)
+        assert state.watermark == report.watermark
+        log.close()
+
+    def test_corrupt_state_file_raises_daemon_error(self, tmp_path):
+        from repro.errors import DaemonError
+        from repro.refine_daemon import load_state, state_path
+
+        setup, log, daemon = self._fixture(tmp_path)
+        log.extend(setup.environment.simulate_round(0, setup.store))
+        log.seal_active()
+        daemon.poll()
+        path = state_path(log.store.directory)
+        path.write_bytes(b"{ not json")
+        with pytest.raises(DaemonError, match="REFINE_DAEMON"):
+            load_state(log.store.directory)
+        # the daemon refuses to poll over garbage rather than re-mining
+        with pytest.raises(DaemonError):
+            daemon.poll()
+        log.close()
+
+    def test_negative_watermark_in_state_is_rejected(self, tmp_path):
+        import json
+
+        from repro.errors import DaemonError
+        from repro.refine_daemon import load_state, state_path
+
+        setup, log, daemon = self._fixture(tmp_path)
+        log.extend(setup.environment.simulate_round(0, setup.store))
+        log.seal_active()
+        daemon.poll()
+        path = state_path(log.store.directory)
+        payload = json.loads(path.read_text())
+        payload["watermark"] = -5
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DaemonError, match="watermark"):
+            load_state(log.store.directory)
+        log.close()
+
+    def test_compaction_racing_a_tailing_daemon(self, tmp_path):
+        """Compact between seals: renamed/merged segments must not make
+        the daemon double-consume or skip the straddling tail."""
+        from repro.audit.schema import AccessStatus as Status
+        from repro.mining.patterns import MiningConfig
+        from repro.policy.store import PolicyStore
+        from repro.refine_daemon import (
+            AutoAcceptGate,
+            DaemonConfig,
+            RefineDaemon,
+            StorePolicyTarget,
+        )
+        from repro.store.durable import DurableAuditLog
+        from repro.store.store import StoreConfig
+
+        log = DurableAuditLog(
+            tmp_path / "trail",
+            config=StoreConfig(max_segment_entries=5, fsync="off"),
+        )
+        consumed: list = []
+        daemon = RefineDaemon(
+            log,
+            StorePolicyTarget(PolicyStore()),
+            healthcare_vocabulary(),
+            AutoAcceptGate(),
+            DaemonConfig(
+                mining=MiningConfig(min_support=5, min_distinct_users=2),
+                mine_every_polls=0,
+                entry_observer=consumed.append,
+            ),
+        )
+        expected = []
+        tick = 0
+        for phase in range(3):
+            for _ in range(7):
+                tick += 1
+                log.append(
+                    make_entry(tick, f"u{tick % 3}", "referral", "treatment",
+                               "nurse", status=Status.EXCEPTION)
+                )
+                expected.append(("referral", "treatment", "nurse"))
+            log.seal_active()
+            daemon.poll()
+            log.store.compact()  # merges sealed history under new names
+        assert consumed == expected
+        assert daemon.state.watermark == len(expected)
+        log.close()

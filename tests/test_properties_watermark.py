@@ -1,0 +1,158 @@
+"""Property tests: the daemon's watermark under arbitrary interleavings.
+
+Hypothesis drives random schedules of *append / seal / poll / compact*
+against a durable store with a tailing :class:`RefineDaemon` and checks
+the two safety invariants of incremental consumption:
+
+- **exactly-once**: the concatenation of everything the daemon ever
+  consumed equals the sealed region's entries in global append order —
+  no entry is mined twice, none is skipped, across polls, restarts and
+  compactions;
+- **watermark bounds**: the watermark never runs ahead of the sealed
+  entry count (unsealed entries are invisible) and never moves backwards.
+
+Mining is disarmed (all triggers off) so the schedules explore the
+tailing machinery, not pattern quality — the mining semantics have their
+own deterministic suite in ``tests/test_refine_daemon_sim.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audit.log import make_entry
+from repro.audit.schema import AccessStatus
+from repro.mining.patterns import MiningConfig
+from repro.policy.store import PolicyStore
+from repro.refine_daemon import AutoAcceptGate, DaemonConfig, RefineDaemon, StorePolicyTarget
+from repro.store.durable import DurableAuditLog
+from repro.store.store import StoreConfig
+from repro.vocab.builtin import healthcare_vocabulary
+
+VOCABULARY = healthcare_vocabulary()
+
+#: values the shared vocabulary resolves, so grounding always succeeds
+DATA = ("referral", "prescription", "lab_results")
+PURPOSES = ("treatment", "registration", "billing")
+ROLES = ("nurse", "clerk", "physician")
+
+#: one schedule step: append a batch, seal, poll, restart the daemon
+#: (fresh instance over the same state file), or compact the store
+ops = st.one_of(
+    st.tuples(st.just("append"), st.integers(min_value=1, max_value=7)),
+    st.tuples(st.just("seal"), st.just(0)),
+    st.tuples(st.just("poll"), st.just(0)),
+    st.tuples(st.just("restart"), st.just(0)),
+    st.tuples(st.just("compact"), st.just(0)),
+)
+
+
+def build_daemon(log, consumed: list) -> RefineDaemon:
+    """A mining-disarmed daemon that records every consumed entry key."""
+    return RefineDaemon(
+        log,
+        StorePolicyTarget(PolicyStore()),
+        VOCABULARY,
+        AutoAcceptGate(),
+        DaemonConfig(
+            mining=MiningConfig(min_support=5, min_distinct_users=2),
+            mine_every_polls=0,
+            entry_observer=consumed.append,
+        ),
+    )
+
+
+class TestWatermarkInterleavings:
+    @settings(max_examples=40, deadline=None)
+    @given(schedule=st.lists(ops, min_size=1, max_size=24), data=st.data())
+    def test_exactly_once_consumption(self, tmp_path_factory, schedule, data):
+        directory = tmp_path_factory.mktemp("wm") / "trail"
+        log = DurableAuditLog(
+            directory,
+            config=StoreConfig(max_segment_entries=100_000, fsync="off"),
+        )
+        consumed: list = []
+        daemon = build_daemon(log, consumed)
+        appended: list = []  # every entry key ever appended, in order
+        sealed_count = 0  # entries inside sealed segments right now
+        tick = 0
+        watermarks = [0]
+        try:
+            for op, arg in schedule:
+                if op == "append":
+                    for _ in range(arg):
+                        tick += 1
+                        key = (
+                            DATA[data.draw(st.integers(0, len(DATA) - 1))],
+                            PURPOSES[data.draw(st.integers(0, len(PURPOSES) - 1))],
+                            ROLES[data.draw(st.integers(0, len(ROLES) - 1))],
+                        )
+                        appended.append(key)
+                        log.append(
+                            make_entry(
+                                tick, f"u{tick % 4}", *key,
+                                status=AccessStatus.EXCEPTION,
+                            )
+                        )
+                elif op == "seal":
+                    if log.seal_active() is not None:
+                        sealed_count = len(appended)
+                elif op == "poll":
+                    report = daemon.poll()
+                    watermarks.append(report.watermark)
+                elif op == "restart":
+                    daemon = build_daemon(log, consumed)
+                else:  # compact: merge sealed history under new names
+                    log.store.compact()
+            daemon.poll()  # final drain of whatever is sealed
+            watermarks.append(daemon.state.watermark)
+        finally:
+            log.close()
+        # exactly-once: consumed == the sealed prefix, in append order
+        assert consumed == appended[:sealed_count]
+        # bounds: never past the sealed region, never backwards
+        assert all(w <= sealed_count for w in watermarks)
+        assert watermarks == sorted(watermarks)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batches=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=8),
+        compact_after=st.integers(min_value=0, max_value=7),
+    )
+    def test_compaction_never_disturbs_the_tail(
+        self, tmp_path_factory, batches, compact_after
+    ):
+        """Seal → poll → compact cycles: the post-compaction straddling
+        segment (consumed head + unconsumed tail in one file) still
+        yields exactly the unconsumed suffix."""
+        directory = tmp_path_factory.mktemp("wmc") / "trail"
+        log = DurableAuditLog(
+            directory, config=StoreConfig(max_segment_entries=4, fsync="off")
+        )
+        consumed: list = []
+        daemon = build_daemon(log, consumed)
+        appended: list = []
+        tick = 0
+        try:
+            for index, batch in enumerate(batches):
+                for _ in range(batch):
+                    tick += 1
+                    key = (DATA[tick % 3], PURPOSES[tick % 3], ROLES[tick % 3])
+                    appended.append(key)
+                    log.append(
+                        make_entry(
+                            tick, f"u{tick % 3}", *key,
+                            status=AccessStatus.EXCEPTION,
+                        )
+                    )
+                log.seal_active()
+                daemon.poll()
+                if index == compact_after:
+                    log.store.compact()
+                    daemon = build_daemon(log, consumed)  # restart post-compact
+            daemon.poll()
+        finally:
+            log.close()
+        assert consumed == appended
+        assert daemon.state.watermark == len(appended)

@@ -436,3 +436,125 @@ class TestLoadDriver:
         samples = [float(v) for v in range(1, 101)]
         assert percentile(samples, 0.50) == 50.0
         assert percentile(samples, 0.99) == 99.0
+
+
+class TestRefineDaemonServing:
+    """The embedded refinement daemon against live decision traffic."""
+
+    def _served_with_daemon(self, tmp_path):
+        from repro.mining.patterns import MiningConfig
+        from repro.refine_daemon import (
+            AutoAcceptGate,
+            DaemonConfig,
+            EnginePolicyTarget,
+            RefineDaemon,
+        )
+        from repro.vocab.builtin import healthcare_vocabulary
+
+        audit = DurableAuditLog(tmp_path / "served")
+        engine = build_demo_engine(rows=20, seed=7, audit_log=audit)
+        daemon = RefineDaemon(
+            audit,
+            EnginePolicyTarget(engine),
+            healthcare_vocabulary(),
+            AutoAcceptGate(min_support=5, min_distinct_users=2),
+            DaemonConfig(mining=MiningConfig(min_support=5, min_distinct_users=2)),
+        )
+        srv = ServerThread(engine, ServerConfig(port=0), daemon=daemon).start()
+        return audit, engine, daemon, srv
+
+    def test_daemon_adoption_racing_decide_traffic_is_serializable(
+        self, tmp_path
+    ):
+        """Every response must be byte-identical to what *some* serial
+        ordering of the two snapshots produces: its stamped policy
+        revision decides its verdict exactly — deny strictly before the
+        daemon's rule landed, allow from that revision on."""
+        from repro.refine_daemon import EnginePolicyTarget
+        from repro.policy.parser import parse_rule
+
+        audit = DurableAuditLog(tmp_path / "served")
+        engine = build_demo_engine(rows=20, seed=7, audit_log=audit)
+        target = EnginePolicyTarget(engine)
+        rule = parse_rule("ALLOW physician TO USE insurance FOR treatment")
+        srv = ServerThread(engine, ServerConfig(port=0)).start()
+        observations: list[tuple[int, str, tuple[str, ...]]] = []
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def pound():
+            with PdpClient(srv.host, srv.port) as client:
+                while not stop.is_set():
+                    response = client.decide(
+                        "u", "physician", "treatment", ["insurance"]
+                    )
+                    if response["code"] not in (protocol.OK, protocol.DENIED):
+                        errors.append(response["code"])
+                        continue
+                    observations.append(
+                        (
+                            response["versions"]["policy"],
+                            response["decision"],
+                            tuple(response.get("returned", ())),
+                        )
+                    )
+
+        workers = [threading.Thread(target=pound) for _ in range(3)]
+        for worker in workers:
+            worker.start()
+        try:
+            time.sleep(0.15)  # a batch of pre-swap traffic
+            snapshot, added = target.engine.adopt_rules([rule])
+            assert added == 1
+            adopted_revision = snapshot.policy_store.revision
+            time.sleep(0.15)  # a batch of post-swap traffic
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(10)
+            srv.stop()
+        audit.close()
+        assert errors == []
+        before = [o for o in observations if o[0] < adopted_revision]
+        after = [o for o in observations if o[0] >= adopted_revision]
+        assert before and after  # the race actually happened on both sides
+        assert all(decision == "deny" and returned == ()
+                   for _, decision, returned in before)
+        assert all(decision == "allow" and returned == ("insurance",)
+                   for _, decision, returned in after)
+
+    def test_stats_op_surfaces_daemon_state(self, tmp_path):
+        audit, engine, daemon, srv = self._served_with_daemon(tmp_path)
+        try:
+            daemon.poll()
+            with PdpClient(srv.host, srv.port) as client:
+                stats = client.request({"op": "stats"})
+            assert stats["ok"] is True
+            state = stats["refine_daemon"]
+            assert state["polls"] == 1
+            assert state["lag_entries"] == state["trail_entries"] - state[
+                "watermark_entries"
+            ]
+            assert set(state["coverage"]) == {"set", "entry"}
+        finally:
+            srv.stop()
+            audit.close()
+
+    def test_healthz_surfaces_daemon_state(self, tmp_path):
+        audit, engine, daemon, srv = self._served_with_daemon(tmp_path)
+        try:
+            daemon.poll()
+            status, body = http_get(srv, "/healthz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["refine_daemon"]["polls"] == 1
+            assert payload["refine_daemon"]["watermark_entries"] == 0
+        finally:
+            srv.stop()
+            audit.close()
+
+    def test_healthz_without_daemon_omits_the_key(self, served):
+        _, srv = served
+        status, body = http_get(srv, "/healthz")
+        assert status == 200
+        assert "refine_daemon" not in json.loads(body)
