@@ -1,0 +1,252 @@
+"""E20 — tracing overhead and the byte-identity contract (DESIGN.md §13).
+
+The tracing layer (ISSUE 7) makes two promises:
+
+1. **Byte-identical bodies** — a deterministic request sequence, every
+   payload stamped with a client ``traceparent``, produces *identical*
+   response payloads and *identical* audit trails (truth column
+   included) whether the server runs a live :class:`~repro.obs.trace.Tracer`
+   or :data:`~repro.obs.trace.NULL_TRACER`.  The echoed ``trace`` field
+   comes from the request, never the tracer, so tracing can be toggled
+   without changing a single answered byte.
+2. **<5 % throughput overhead** — serving the E18 workload with a live
+   tracer (default head sampling, one full trace per 64) costs less
+   than 5 % of the tracing-off throughput.  Estimator: **both arms run
+   as live servers at the same time**, and one client replays the
+   workload in alternating chunks — ~100 requests to the off arm, the
+   same ~100 to the on arm, order flipping chunk pair to chunk pair.
+   Adjacent chunks are milliseconds apart, so whatever regime the host
+   is in (co-tenant bursts, thermal throttle, scheduler mood — the
+   dominant noise on a small shared box, worth ±15 % across seconds) is
+   shared by both sides of each pair and cancels in the per-pair ratio;
+   the overhead is the median of those ratios.  A run whose estimate
+   misses the bar is retried once in a fresh window.
+
+Knobs: ``E20_REQUESTS`` (default 4000 per arm), ``E20_CHUNK`` (default
+50 requests — one pair every ~25 ms keeps the pair inside a single
+machine regime, and 4000/50 = 80 pairs keep the median tight).  A JSON perf record lands in
+``benchmarks/out/e20_tracing_overhead.json`` and one fully rendered
+sample trace in ``benchmarks/out/e20_sample_trace.json`` (the CI
+artifact a reviewer can feed to ``repro trace show``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from benchmarks.test_e18_serve_throughput import (
+    _IDENTITY_SEQUENCE,
+    _entry_key,
+    _workload_payloads,
+)
+from repro.experiments.reporting import format_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import use_registry
+from repro.obs.trace import NULL_TRACER, Tracer, format_traceparent, use_tracer
+from repro.serve import (
+    PdpClient,
+    ServerConfig,
+    ServerThread,
+    build_demo_engine,
+)
+
+_REQUESTS = int(os.environ.get("E20_REQUESTS", "4000"))
+_CHUNK = int(os.environ.get("E20_CHUNK", "50"))
+_ROWS = 200
+_SEED = 7
+_MAX_OVERHEAD = 0.05
+
+_OUT_PATH = Path(__file__).parent / "out" / "e20_tracing_overhead.json"
+_TRACE_PATH = Path(__file__).parent / "out" / "e20_sample_trace.json"
+
+
+def _stamped_sequence() -> list[dict]:
+    """The E18 identity sequence, every payload carrying a fixed,
+    deterministic client traceparent (ids derived from the index)."""
+    sequence = []
+    for index, payload in enumerate(_IDENTITY_SEQUENCE * 4):
+        stamped = dict(payload, id=index + 1)
+        stamped["trace"] = format_traceparent(
+            f"{index + 1:032x}", f"{index + 1:016x}"
+        )
+        sequence.append(stamped)
+    return sequence
+
+
+def _replay(tracer) -> tuple[list[dict], list, "Tracer"]:
+    """Serve the stamped sequence under ``tracer``; responses + trail."""
+    with use_registry(MetricsRegistry()), use_tracer(tracer):
+        engine = build_demo_engine(rows=60, seed=_SEED)
+        srv = ServerThread(engine, ServerConfig(port=0)).start()
+    try:
+        with PdpClient(srv.host, srv.port) as client:
+            responses = [client.request(dict(payload))
+                         for payload in _stamped_sequence()]
+    finally:
+        srv.stop()
+    trail = [_entry_key(entry) for entry in engine.audit_log.entries]
+    return responses, trail, tracer
+
+
+def _identity_phase() -> dict:
+    traced_tracer = Tracer()
+    on_responses, on_trail, _ = _replay(traced_tracer)
+    off_responses, off_trail, _ = _replay(NULL_TRACER)
+    on_bytes = json.dumps(on_responses, sort_keys=True).encode()
+    off_bytes = json.dumps(off_responses, sort_keys=True).encode()
+
+    # the CI artifact: one fully rendered client-linked trace
+    retained = traced_tracer.store.list(limit=50)
+    sample = None
+    for summary in retained:
+        full = traced_tracer.store.get(summary["trace_id"])
+        if full and full["parent_id"]:  # a client-stamped request
+            sample = full
+            break
+    if sample is not None:
+        _TRACE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        _TRACE_PATH.write_text(json.dumps(sample, indent=2) + "\n")
+
+    return {
+        "requests": len(on_responses),
+        "responses_identical": on_bytes == off_bytes,
+        "trails_identical": on_trail == off_trail,
+        "audit_entries": len(on_trail),
+        "traces_retained": len(retained),
+        "sample_trace": str(_TRACE_PATH) if sample is not None else None,
+    }
+
+
+def _overhead_attempt() -> dict:
+    """One interleaved-chunk comparison of a traced vs untraced server.
+
+    Both servers are live for the whole attempt; a single client
+    replays the same workload chunk to each side back-to-back (order
+    alternating) so every pair of timings shares its machine regime.
+    """
+    payloads = _workload_payloads(_REQUESTS)
+    chunks = [
+        payloads[i:i + _CHUNK] for i in range(0, len(payloads), _CHUNK)
+    ]
+    tracer = Tracer()
+    with use_registry(MetricsRegistry()), use_tracer(NULL_TRACER):
+        off_engine = build_demo_engine(rows=_ROWS, seed=_SEED)
+        off_srv = ServerThread(off_engine, ServerConfig(port=0)).start()
+    with use_registry(MetricsRegistry()), use_tracer(tracer):
+        on_engine = build_demo_engine(rows=_ROWS, seed=_SEED)
+        on_srv = ServerThread(on_engine, ServerConfig(port=0)).start()
+
+    def run_chunk(client: PdpClient, chunk: list[dict]) -> float:
+        started = time.perf_counter()
+        for payload in chunk:
+            client.request(dict(payload))
+        return time.perf_counter() - started
+
+    try:
+        with PdpClient(off_srv.host, off_srv.port) as off_client, \
+                PdpClient(on_srv.host, on_srv.port) as on_client:
+            run_chunk(off_client, chunks[0])  # untimed warm-up
+            run_chunk(on_client, chunks[0])
+            gc.collect()
+            ratios = []
+            off_time = on_time = 0.0
+            for index, chunk in enumerate(chunks):
+                if index % 2 == 0:
+                    t_off = run_chunk(off_client, chunk)
+                    t_on = run_chunk(on_client, chunk)
+                else:
+                    t_on = run_chunk(on_client, chunk)
+                    t_off = run_chunk(off_client, chunk)
+                off_time += t_off
+                on_time += t_on
+                ratios.append(t_on / t_off - 1.0)
+    finally:
+        on_srv.stop()
+        off_srv.stop()
+    return {
+        "overhead": statistics.median(ratios),
+        "throughput_off_rps": len(payloads) / off_time,
+        "throughput_on_rps": len(payloads) / on_time,
+        "chunk_pairs": len(ratios),
+        "chunk_ratio_p10": sorted(ratios)[len(ratios) // 10],
+        "chunk_ratio_p90": sorted(ratios)[-1 - len(ratios) // 10],
+        "tracer": tracer.stats(),
+    }
+
+
+def test_e20_tracing_overhead_and_identity():
+    identity = _identity_phase()
+
+    # both arms live at once, one client alternating chunks between
+    # them: each chunk pair shares its machine regime, so host noise
+    # cancels in the per-pair ratio and the median over ~40 pairs is
+    # tight.  A run whose estimate misses the bar gets ONE fresh
+    # attempt — a co-tenant saturating the box for the entire attempt
+    # defeats any in-process estimator
+    attempts = []
+    for _attempt in range(2):
+        result = _overhead_attempt()
+        overhead = result["overhead"]
+        attempts.append(round(overhead, 4))
+        if overhead < _MAX_OVERHEAD:
+            break
+    sample_every = result["tracer"]["sample_every"]
+
+    record = {
+        "experiment": "E20",
+        "requests": _REQUESTS,
+        "chunk": _CHUNK,
+        "identity": identity,
+        "overhead": round(overhead, 4),
+        "attempts": attempts,
+        "max_overhead": _MAX_OVERHEAD,
+        **{k: v for k, v in result.items() if k != "overhead"},
+    }
+    _OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    _OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    emit(
+        format_table(
+            ["tracer", "throughput (req/s)"],
+            [
+                ["null (off)", f"{result['throughput_off_rps']:,.0f}"],
+                [
+                    f"live, sample 1/{sample_every} (on)",
+                    f"{result['throughput_on_rps']:,.0f}",
+                ],
+                [
+                    f"overhead (median of {result['chunk_pairs']} "
+                    "interleaved chunk pairs)",
+                    f"{overhead:+.1%}",
+                ],
+            ],
+            title=(
+                f"E20 — tracing overhead over {_REQUESTS} served requests "
+                f"per arm, chunks of {_CHUNK}"
+            ),
+        )
+        + (
+            f"\nidentity over {identity['requests']} stamped requests: "
+            f"responses={identity['responses_identical']} "
+            f"trails={identity['trails_identical']}"
+            f"\nJSON record: {_OUT_PATH}"
+        )
+    )
+
+    assert identity["responses_identical"], (
+        "response bodies must be byte-identical with tracing on vs off"
+    )
+    assert identity["trails_identical"], (
+        "audit trails (truth included) must be identical with tracing on vs off"
+    )
+    assert identity["traces_retained"] > 0
+    assert overhead < _MAX_OVERHEAD, (
+        f"tracing adds {overhead:+.1%} (median of interleaved chunk "
+        f"pairs), above the {_MAX_OVERHEAD:.0%} bar"
+    )

@@ -35,6 +35,12 @@ Commands:
 ``decide``
     Ask a running decision service for one decision — category-level
     with ``--categories``, or full SQL enforcement with ``--sql``.
+``trace``
+    Inspect a running service's retained request traces: ``list`` /
+    ``slow`` summaries, and ``show`` rendering one trace's span tree
+    with its decision provenance — or, with ``--store-dir``, an
+    accepted refinement candidate's evidence (the concrete exception
+    accesses and trace ids that mined it).
 
 Policies are DSL text files (see :mod:`repro.policy.parser`); audit logs
 are ``.csv`` or ``.jsonl`` files (see :mod:`repro.audit.io`) or durable
@@ -63,7 +69,12 @@ from repro.coverage.gaps import analyse_gaps
 from repro.coverage.trends import coverage_by_attribute
 from repro.errors import PrimaError
 from repro.experiments.reporting import format_table
-from repro.obs.exposition import load_snapshot, render_prometheus, save_snapshot
+from repro.obs.exposition import (
+    load_snapshot,
+    render_prometheus,
+    render_summary,
+    save_snapshot,
+)
 from repro.obs.logsetup import configure_logging
 from repro.obs.runtime import get_registry
 from repro.mining.apriori import AprioriPatternMiner
@@ -253,6 +264,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seconds before an idle connection is dropped")
     serve.add_argument("--deadline", type=float, default=10.0,
                        help="default per-request deadline in seconds")
+    serve.add_argument("--trace-sample", type=int, default=64, metavar="N",
+                       help="head-sample every N-th request trace "
+                            "(errors/shed/slow are always retained)")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable request tracing and decision provenance")
     serve.set_defaults(handler=_cmd_serve)
 
     daemon_cmd = commands.add_parser(
@@ -308,10 +324,45 @@ def _build_parser() -> argparse.ArgumentParser:
                                   help="render a saved telemetry snapshot")
     metrics.add_argument("snapshot",
                          help="snapshot JSON written by --metrics-out")
-    metrics.add_argument("--format", choices=("prometheus", "json"),
+    metrics.add_argument("--format", choices=("prometheus", "json", "summary"),
                          default="prometheus",
-                         help="output format (default: prometheus text)")
+                         help="output format (default: prometheus text; "
+                              "'summary' interpolates p50/p90/p99 from the "
+                              "log buckets and lists trace exemplars)")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect retained request traces on a live server"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    tr_list = trace_sub.add_parser("list", help="newest retained traces")
+    tr_list.add_argument("--host", default="127.0.0.1")
+    tr_list.add_argument("--port", type=int, default=7070)
+    tr_list.add_argument("-n", "--limit", type=int, default=20)
+    tr_list.set_defaults(handler=_cmd_trace_list)
+    tr_slow = trace_sub.add_parser(
+        "slow", help="retained traces by descending duration"
+    )
+    tr_slow.add_argument("--host", default="127.0.0.1")
+    tr_slow.add_argument("--port", type=int, default=7070)
+    tr_slow.add_argument("-n", "--limit", type=int, default=20)
+    tr_slow.set_defaults(handler=_cmd_trace_slow)
+    tr_show = trace_sub.add_parser(
+        "show",
+        help="span tree of one trace id, or the evidence of a refinement "
+             "candidate (with --store-dir)",
+    )
+    tr_show.add_argument(
+        "target",
+        help="a 32-hex trace id (fetched from the server), or — with "
+             "--store-dir — an accepted/pending candidate's index or rule DSL",
+    )
+    tr_show.add_argument("--host", default="127.0.0.1")
+    tr_show.add_argument("--port", type=int, default=7070)
+    tr_show.add_argument("--store-dir", default=None, metavar="DIR",
+                         help="resolve the target against this store's "
+                              "refinement ledger instead of the trace store")
+    tr_show.set_defaults(handler=_cmd_trace_show)
 
     return parser
 
@@ -596,8 +647,14 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.obs import trace as obstrace
     from repro.serve import PdpServer, ServerConfig, build_demo_engine
 
+    # install the tracer before anything captures it (server, daemon)
+    if arguments.no_trace:
+        obstrace.set_tracer(obstrace.NULL_TRACER)
+    elif arguments.trace_sample != obstrace.get_tracer().sample_every:
+        obstrace.set_tracer(obstrace.Tracer(sample_every=arguments.trace_sample))
     audit_log = None
     if arguments.store_dir is not None:
         from repro.store.durable import DurableAuditLog
@@ -624,6 +681,14 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         cache=not arguments.no_cache,
         cache_size=arguments.cache_size,
     )
+    if audit_log is not None and not arguments.no_trace:
+        # spool decision provenance next to the store manifest so the
+        # why-records (and candidate evidence links) survive the process
+        from repro.obs.provenance import PROVENANCE_NAME, ProvenanceLedger
+
+        engine.provenance = ProvenanceLedger(
+            Path(arguments.store_dir) / PROVENANCE_NAME
+        )
     runner = None
     daemon = None
     if arguments.refine_daemon:
@@ -697,6 +762,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     finally:
         if runner is not None:
             runner.stop()
+        engine.provenance.close()
     print("pdp server stopped (audit trail flushed)")
     if audit_log is not None:
         audit_log.close()
@@ -817,8 +883,181 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     snapshot = load_snapshot(arguments.snapshot)
     if arguments.format == "json":
         print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif arguments.format == "summary":
+        print(render_summary(snapshot), end="")
     else:
         print(render_prometheus(snapshot), end="")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace inspection
+# ----------------------------------------------------------------------
+
+
+def _http_get_json(host: str, port: int, path: str) -> dict:
+    """One HTTP GET against the serve shim, decoded as JSON."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urlopen(url, timeout=10.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except HTTPError as error:
+        try:
+            return json.loads(error.read().decode("utf-8"))
+        except (ValueError, OSError):
+            raise PrimaError(f"{url} answered HTTP {error.code}") from error
+    except (URLError, OSError, ValueError) as error:
+        raise PrimaError(f"could not reach {url}: {error}") from error
+
+
+def _print_trace_summaries(traces: list[dict]) -> None:
+    for trace in traces:
+        keep = ",".join(trace.get("keep", [])) or "-"
+        print(f"{trace['trace_id']}  {trace['name']:<28} "
+              f"{trace['duration_ms']:>9.3f}ms  spans={trace['spans']:<3} "
+              f"keep={keep}")
+
+
+def _cmd_trace_list(arguments: argparse.Namespace) -> int:
+    payload = _http_get_json(
+        arguments.host, arguments.port, f"/traces?limit={arguments.limit}"
+    )
+    traces = payload.get("traces", [])
+    if not traces:
+        print("no retained traces (send traffic, or lower --trace-sample)")
+        return 0
+    _print_trace_summaries(traces)
+    stats = payload.get("tracer", {})
+    print(f"{len(traces)} shown; tracer started={stats.get('started')} "
+          f"kept={stats.get('kept')} dropped={stats.get('dropped')}")
+    return 0
+
+
+def _cmd_trace_slow(arguments: argparse.Namespace) -> int:
+    payload = _http_get_json(
+        arguments.host, arguments.port,
+        f"/traces?slow=1&limit={arguments.limit}",
+    )
+    traces = payload.get("traces", [])
+    if not traces:
+        print("no retained traces (send traffic, or lower --trace-sample)")
+        return 0
+    _print_trace_summaries(traces)
+    return 0
+
+
+def _render_span_tree(trace: dict) -> list[str]:
+    """Indented span-tree lines for one full trace record."""
+    spans = trace.get("spans", [])
+    ids = {span["span_id"] for span in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        if span["parent_id"] in ids:
+            children.setdefault(span["parent_id"], []).append(span)
+        else:
+            roots.append(span)
+    for group in children.values():
+        group.sort(key=lambda s: s["start_ms"])
+    roots.sort(key=lambda s: s["start_ms"])
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        labels = "".join(
+            f" {key}={value}" for key, value in sorted(span["labels"].items())
+        )
+        error = f"  ERROR={span['error']}" if span.get("error") else ""
+        lines.append(
+            f"{'  ' * depth}- {span['name']}{labels}  "
+            f"+{span['start_ms']:.3f}ms  {span['duration_ms']:.3f}ms{error}"
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def _print_full_trace(trace: dict) -> None:
+    keep = ",".join(trace.get("keep", [])) or "-"
+    print(f"trace {trace['trace_id']}  ({trace['name']}, "
+          f"{trace['duration_ms']:.3f}ms, keep={keep})")
+    if trace.get("parent_id"):
+        print(f"  remote parent span: {trace['parent_id']}")
+    annotations = trace.get("annotations") or {}
+    for key, value in sorted(annotations.items()):
+        print(f"  {key}: {value}")
+    for line in _render_span_tree(trace):
+        print(f"  {line}")
+    for record in trace.get("provenance", []):
+        print(f"  provenance: op={record['op']} decision={record['decision']} "
+              f"cache={record['cache']} entries={record['entry_ids']} "
+              f"matched={record['matched_rules']}")
+
+
+def _cmd_trace_show(arguments: argparse.Namespace) -> int:
+    import re as _re
+
+    if arguments.store_dir is None:
+        if not _re.fullmatch(r"[0-9a-f]{32}", arguments.target):
+            print(f"{arguments.target!r} is not a 32-hex trace id; to look "
+                  f"up a refinement candidate, pass --store-dir DIR")
+            return 2
+        trace = _http_get_json(
+            arguments.host, arguments.port, f"/traces/{arguments.target}"
+        )
+        if "trace_id" not in trace:
+            print(trace.get("error", f"no retained trace {arguments.target}"))
+            return 1
+        _print_full_trace(trace)
+        return 0
+
+    from repro.refine_daemon import load_state
+
+    state = load_state(arguments.store_dir)
+    ledger = state.accepted + state.pending
+    candidate = None
+    if arguments.target.isdigit() and int(arguments.target) < len(ledger):
+        candidate = ledger[int(arguments.target)]
+    else:
+        for entry in ledger:
+            if entry.rule == arguments.target:
+                candidate = entry
+                break
+    if candidate is None:
+        print(f"no accepted/pending candidate matches {arguments.target!r} "
+              f"in {arguments.store_dir}")
+        return 1
+    print(f"candidate: {candidate.rule}")
+    print(f"  support={candidate.support} users={candidate.distinct_users} "
+          f"round={candidate.round_index} decided_by={candidate.decided_by or '-'}")
+    if candidate.trace_id:
+        print(f"  mined by daemon poll trace: {candidate.trace_id}")
+    if candidate.evidence_entries:
+        print(f"  evidence audit entries: {candidate.evidence_entries}")
+    else:
+        print("  evidence audit entries: (none recorded — pre-tracing state?)")
+    if candidate.evidence_traces:
+        print(f"  evidence traces: {candidate.evidence_traces}")
+    for trace_id in [candidate.trace_id, *candidate.evidence_traces]:
+        if not trace_id:
+            continue
+        try:
+            trace = _http_get_json(
+                arguments.host, arguments.port, f"/traces/{trace_id}"
+            )
+        except PrimaError:
+            print(f"  (server unreachable — cannot render trace {trace_id})")
+            break
+        if "trace_id" in trace:
+            _print_full_trace(trace)
+        else:
+            print(f"  trace {trace_id}: no longer retained on the server")
     return 0
 
 

@@ -15,12 +15,14 @@ to the crash-safe segmented store instead (E16 measures that path).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import AccessOp, AccessStatus
+from repro.obs import trace as obstrace
 from repro.obs.runtime import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -118,6 +120,7 @@ class ComplianceAuditor:
         """
         if not categories:
             return ()
+        started = time.perf_counter()
         tick = self.clock.tick()
         entries = tuple(
             AuditEntry(
@@ -136,4 +139,11 @@ class ComplianceAuditor:
             self.log.append(entry)
         self.stats.entries_written += len(entries)
         self.stats.requests_audited += 1
+        # One ContextVar read when the request is untraced.
+        obstrace.record_span(
+            "repro_hdb_record_access",
+            started,
+            time.perf_counter() - started,
+            labels={"entries": str(len(entries))},
+        )
         return entries

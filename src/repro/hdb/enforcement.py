@@ -141,11 +141,12 @@ class ActiveEnforcer:
         self.ledger = ledger
         self._bindings: dict[str, TableBinding] = {}
         self.stats = EnforcerStats()
-        # permit decisions memoised per (category, purpose, role), stamped
-        # with (policy-store revision, vocabulary version) — the grounder's
-        # version-stamp pattern, so a stale cache is impossible by
-        # construction (see policy_permits)
-        self._permit_cache: dict[tuple[str, str, str], bool] = {}
+        # permit decisions memoised per (category, purpose, role) as
+        # (permitted, covering-rule revision), stamped with (policy-store
+        # revision, vocabulary version) — the grounder's version-stamp
+        # pattern, so a stale cache is impossible by construction (see
+        # policy_decision)
+        self._permit_cache: dict[tuple[str, str, str], tuple[bool, int | None]] = {}
         self._permit_stamp: tuple[int, int] = (-1, -1)
         # per-(table, column signature) controlled-item plans; re-binding
         # a table invalidates (see _controlled_plan)
@@ -193,12 +194,22 @@ class ActiveEnforcer:
     # policy decision
     # ------------------------------------------------------------------
     def policy_permits(self, category: str, purpose: str, role: str) -> bool:
-        """Does any active store rule cover this concrete access?
+        """Does any active store rule cover this concrete access?"""
+        return self.policy_decision(category, purpose, role)[0]
 
-        Memoised per ``(category, purpose, role)`` and stamped with
-        ``(policy-store revision, vocabulary version)``: mutating either
-        clears the memo before the next lookup, so the serve hot path
-        repays repeated decisions without ever reading a stale one.
+    def policy_decision(
+        self, category: str, purpose: str, role: str
+    ) -> tuple[bool, int | None]:
+        """The policy verdict plus *which rule* made it.
+
+        Returns ``(permitted, revision)`` where ``revision`` is the
+        store revision of the first covering rule — the stable rule id
+        decision provenance carries — or None when nothing covers the
+        access (the deny reason).  Memoised per ``(category, purpose,
+        role)`` and stamped with ``(policy-store revision, vocabulary
+        version)``: mutating either clears the memo before the next
+        lookup, so the serve hot path repays repeated decisions without
+        ever reading a stale one.
         """
         stamp = (self.policy_store.revision, self.vocabulary.version)
         if stamp != self._permit_stamp:
@@ -207,18 +218,19 @@ class ActiveEnforcer:
                 self._permit_cache.clear()
             self._permit_stamp = stamp
         key = (canonical(category), canonical(purpose), canonical(role))
-        permitted = self._permit_cache.get(key)
-        if permitted is None:
+        decision = self._permit_cache.get(key)
+        if decision is None:
             request_rule = Rule.of(data=key[0], purpose=key[1], authorized=key[2])
-            permitted = any(
-                rule.covers(request_rule, self.vocabulary)
-                for rule in self.policy_store
-            )
-            self._permit_cache[key] = permitted
+            decision = (False, None)
+            for rule in self.policy_store:
+                if rule.covers(request_rule, self.vocabulary):
+                    decision = (True, self.policy_store.record_for(rule).revision)
+                    break
+            self._permit_cache[key] = decision
             self.stats.permit_cache_misses += 1
         else:
             self.stats.permit_cache_hits += 1
-        return permitted
+        return decision
 
     # ------------------------------------------------------------------
     # the enforcement pipeline

@@ -23,7 +23,12 @@ Typical use::
 """
 
 from repro.obs.events import JsonlEventSink, memory_sink
-from repro.obs.exposition import load_snapshot, render_prometheus, save_snapshot
+from repro.obs.exposition import (
+    load_snapshot,
+    render_prometheus,
+    render_summary,
+    save_snapshot,
+)
 from repro.obs.logsetup import StructuredFormatter, configure_logging, kv
 from repro.obs.metrics import (
     CARDINALITY_BUCKETS,
@@ -31,10 +36,12 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    estimate_quantile,
     format_sample,
     log_buckets,
     sample_delta,
 )
+from repro.obs.provenance import DecisionProvenance, ProvenanceLedger
 from repro.obs.registry import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -42,30 +49,56 @@ from repro.obs.registry import (
     Span,
 )
 from repro.obs.runtime import get_registry, set_registry, span, use_registry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceContext,
+    TraceStore,
+    Tracer,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_tracer,
+    use_tracer,
+)
 
 __all__ = [
     "CARDINALITY_BUCKETS",
     "DEFAULT_BUCKETS",
     "Counter",
+    "DecisionProvenance",
     "Gauge",
     "Histogram",
     "JsonlEventSink",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
+    "ProvenanceLedger",
     "Span",
     "StructuredFormatter",
+    "TraceContext",
+    "TraceStore",
+    "Tracer",
     "configure_logging",
+    "estimate_quantile",
     "format_sample",
+    "format_traceparent",
     "get_registry",
+    "get_tracer",
     "kv",
     "load_snapshot",
     "log_buckets",
     "memory_sink",
+    "parse_traceparent",
     "render_prometheus",
+    "render_summary",
     "sample_delta",
     "save_snapshot",
     "set_registry",
+    "set_tracer",
     "span",
     "use_registry",
+    "use_tracer",
 ]

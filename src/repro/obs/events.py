@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 from pathlib import Path
 from typing import IO
 
@@ -23,6 +24,11 @@ class JsonlEventSink:
     ``flush`` after every event so crashes lose nothing) or an existing
     text stream (handy for tests and in-memory capture).  Each event is
     one object: ``{"event": <name>, ...fields}``.
+
+    Thread-safe: the decision service's event loop and the refinement
+    daemon's poll thread may share one sink, so each event is serialised
+    outside the lock and written as a **single locked write+flush** —
+    lines can interleave between events but never within one.
     """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
@@ -32,15 +38,18 @@ class JsonlEventSink:
         else:
             self._stream = target
             self._owns_stream = False
+        self._lock = threading.Lock()
         self.events_written = 0
 
     def emit(self, event: str, **fields: object) -> None:
-        """Write one event line and flush it."""
+        """Write one event line and flush it (atomic per line)."""
         record: dict[str, object] = {"event": event}
         record.update(fields)
-        self._stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
-        self._stream.flush()
-        self.events_written += 1
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._stream.flush()
+            self.events_written += 1
 
     def close(self) -> None:
         """Close the underlying stream if this sink opened it."""

@@ -79,6 +79,68 @@ def render_prometheus(snapshot: dict) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def render_summary(snapshot: dict) -> str:
+    """Human summary of a snapshot: percentiles instead of bucket dumps.
+
+    Counters and gauges render one sample per line; every histogram
+    renders as ``count / sum`` plus **p50 / p90 / p99 estimates** from
+    log-bucket geometric interpolation
+    (:func:`repro.obs.metrics.estimate_quantile`), with ``*_seconds``
+    series scaled to milliseconds.  Bucket exemplars — the trace ids the
+    tracing layer attaches to latency observations — are listed under
+    the histogram so a slow bucket links straight to a
+    ``repro trace show <id>`` invocation.
+    """
+    from repro.obs.metrics import estimate_quantile
+
+    lines: list[str] = []
+
+    def value_text(value: float) -> str:
+        return _format_number(float(value))
+
+    for kind in ("counters", "gauges"):
+        samples = snapshot.get(kind, [])
+        if samples:
+            lines.append(f"# {kind}")
+            for sample in samples:
+                lines.append(
+                    f"{sample['name']}{_labels_text(sample['labels'])} "
+                    f"{value_text(sample['value'])}"
+                )
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        lines.append("# histograms (p50/p90/p99 via log-bucket interpolation)")
+        for sample in histograms:
+            name = sample["name"]
+            seconds = name.endswith("_seconds")
+            quantiles = []
+            for q, tag in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                estimate = estimate_quantile(sample["buckets"], q)
+                if estimate is None:
+                    quantiles.append(f"{tag}=n/a")
+                elif seconds:
+                    quantiles.append(f"{tag}={estimate * 1000.0:.3f}ms")
+                else:
+                    quantiles.append(f"{tag}={estimate:.3g}")
+            total = sample["sum"]
+            sum_text = f"{total * 1000.0:.3f}ms" if seconds else value_text(total)
+            lines.append(
+                f"{name}{_labels_text(sample['labels'])} "
+                f"count={sample['count']} sum={sum_text} "
+                + " ".join(quantiles)
+            )
+            for exemplar in sample.get("exemplars", []):
+                le = exemplar["le"]
+                le_text = le if isinstance(le, str) else _format_number(float(le))
+                value = exemplar["value"]
+                observed = f"{value * 1000.0:.3f}ms" if seconds else f"{value:.6g}"
+                lines.append(
+                    f"  exemplar le={le_text} value={observed} "
+                    f"trace={exemplar['trace_id']}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def render_registry(registry=None) -> str:
     """Prometheus text for a *live* registry (collects, snapshots, renders).
 

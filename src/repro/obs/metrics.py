@@ -151,7 +151,8 @@ class Histogram:
     instrumented path.
     """
 
-    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count")
+    __slots__ = ("name", "labels", "bounds", "_counts", "_sum", "_count",
+                 "_exemplars")
 
     def __init__(
         self,
@@ -169,12 +170,25 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
         self._sum = 0.0
         self._count = 0
+        # per-bucket (trace_id, value) of the last exemplared observation;
+        # lazily allocated so exemplar-free histograms pay nothing
+        self._exemplars: dict[int, tuple[str, float]] | None = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self._counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation.
+
+        ``exemplar`` (a trace id, when a trace is active at the call
+        site) is kept per bucket — last writer wins — linking each
+        latency bucket to one concrete request that landed in it.
+        """
+        index = bisect_left(self.bounds, value)
+        self._counts[index] += 1
         self._sum += value
         self._count += 1
+        if exemplar is not None:
+            if self._exemplars is None:
+                self._exemplars = {}
+            self._exemplars[index] = (exemplar, value)
 
     @property
     def count(self) -> int:
@@ -196,6 +210,19 @@ class Histogram:
         out.append(("+Inf", running + self._counts[-1]))
         return out
 
+    def exemplars(self) -> list[dict]:
+        """Per-bucket exemplars as ``{le, trace_id, value}`` (may be empty)."""
+        if not self._exemplars:
+            return []
+        out = []
+        for index in sorted(self._exemplars):
+            trace_id, value = self._exemplars[index]
+            le: float | str = (
+                self.bounds[index] if index < len(self.bounds) else "+Inf"
+            )
+            out.append({"le": le, "trace_id": trace_id, "value": value})
+        return out
+
 
 def sample_delta(
     before: dict[str, float], after: dict[str, float]
@@ -212,3 +239,44 @@ def sample_delta(
         for key, value in after.items()
         if value != before.get(key, 0.0)
     }
+
+
+def estimate_quantile(
+    cumulative: list[tuple[float | str, int]] | list[dict], q: float
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    ``cumulative`` is either :meth:`Histogram.cumulative_buckets` output
+    or the snapshot form (``[{"le": …, "count": …}, …]``).  Buckets are
+    log-scaled in this repo, so interpolation inside a bucket is
+    **geometric** — ``lo * (hi/lo)**fraction`` — matching the bucket
+    spacing; the first finite bucket interpolates linearly from zero and
+    the overflow bucket returns its lower bound (the estimate cannot
+    exceed what was measured).  Returns None on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be within [0, 1], got {q}")
+    pairs: list[tuple[float | str, int]] = [
+        (b["le"], b["count"]) if isinstance(b, dict) else (b[0], b[1])
+        for b in cumulative
+    ]
+    if not pairs:
+        return None
+    total = pairs[-1][1]
+    if total == 0:
+        return None
+    target = q * total
+    previous_bound = 0.0
+    previous_count = 0
+    for bound, count in pairs:
+        if count >= target and count > previous_count:
+            if isinstance(bound, str):  # the +Inf overflow bucket
+                return previous_bound
+            fraction = (target - previous_count) / (count - previous_count)
+            if previous_bound <= 0.0:
+                return bound * fraction
+            return previous_bound * (bound / previous_bound) ** fraction
+        if not isinstance(bound, str):
+            previous_bound = bound
+        previous_count = count
+    return previous_bound

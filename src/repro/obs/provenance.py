@@ -1,0 +1,178 @@
+"""Decision provenance: *why* each served decision came out as it did.
+
+The audit trail records *what* happened — the 7-attribute schema the
+refinement miner consumes, unchanged since PR 0.  This module records
+*why*, as an optional side-record per decision, without touching that
+schema: which rule revisions matched each category, which snapshot
+versions ``{policy, consent, vocab}`` decided, whether the decision
+cache hit, how long the request queued and executed, and **which audit
+entry indices** the decision appended.  That last link is what lets the
+refinement daemon stamp an accepted candidate with the concrete
+exception accesses (and their trace ids) that mined it — the
+"explanation" the paper's human review step needs, per Fabbri &
+LeFevre's explanation-based auditing.
+
+Provenance is recorded only while a trace is active (see
+:mod:`repro.obs.trace`): with the NULL tracer installed the whole layer
+costs one context-variable read per decision, and the records share the
+trace's sampling story.  A :class:`ProvenanceLedger` keeps a bounded
+in-memory ring for entry-id → trace-id resolution plus an optional
+JSONL spool (``PROVENANCE.jsonl`` next to the store manifest) so the
+side-records survive the process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: File name of the provenance spool inside a store directory.
+PROVENANCE_NAME = "PROVENANCE.jsonl"
+
+
+@dataclass(frozen=True)
+class DecisionProvenance:
+    """One decision's compact why-record (JSON-ready via :meth:`to_dict`)."""
+
+    trace_id: str
+    op: str
+    user: str
+    role: str
+    purpose: str
+    #: the response code (``OK``/``DENIED``/``OVERLOADED``/``TIMEOUT``…)
+    decision: str
+    #: ``regular`` or ``exception`` (break-the-glass bypasses the policy)
+    status: str = "regular"
+    categories: tuple[str, ...] = ()
+    #: category -> policy-store revision of the first covering rule, or
+    #: None for a category nothing covered (the deny reason)
+    matched_rules: dict = field(default_factory=dict)
+    #: the snapshot stamp ``{snapshot, policy, consent, vocab}``
+    versions: dict = field(default_factory=dict)
+    #: ``hit`` / ``miss`` / ``off`` / ``bypass`` (exception short-circuit)
+    cache: str = "off"
+    queue_ms: float | None = None
+    handle_ms: float | None = None
+    #: global append indices of the audit entries this decision wrote
+    entry_ids: tuple[int, ...] = ()
+    #: milliseconds left of the request deadline when the decision was
+    #: taken (what makes an OVERLOADED shed explainable)
+    deadline_remaining_ms: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the ledger's record shape)."""
+        return {
+            "trace_id": self.trace_id,
+            "op": self.op,
+            "user": self.user,
+            "role": self.role,
+            "purpose": self.purpose,
+            "decision": self.decision,
+            "status": self.status,
+            "categories": list(self.categories),
+            "matched_rules": dict(self.matched_rules),
+            "versions": dict(self.versions),
+            "cache": self.cache,
+            "queue_ms": self.queue_ms,
+            "handle_ms": self.handle_ms,
+            "entry_ids": list(self.entry_ids),
+            "deadline_remaining_ms": self.deadline_remaining_ms,
+        }
+
+
+class ProvenanceLedger:
+    """Bounded ring of decision side-records, optionally spooled to JSONL.
+
+    Thread-safe: the server's event loop and the daemon's poll thread
+    both read it.  The JSONL spool (when a path is given) is buffered —
+    flushed every ``flush_every`` records and on :meth:`close` — so the
+    hot path pays a dict append, not a syscall.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        capacity: int = 4096,
+        flush_every: int = 64,
+    ) -> None:
+        from collections import deque
+
+        self.path = Path(path) if path is not None else None
+        self.capacity = capacity
+        self._records: "deque[dict]" = deque(maxlen=capacity)
+        self._buffer: list[dict] = []
+        self._flush_every = max(1, flush_every)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, provenance: "DecisionProvenance | dict") -> None:
+        """Append one side-record (accepts the dataclass or a dict)."""
+        record = (
+            provenance.to_dict()
+            if isinstance(provenance, DecisionProvenance)
+            else dict(provenance)
+        )
+        with self._lock:
+            self._records.append(record)
+            self.recorded += 1
+            if self.path is not None:
+                self._buffer.append(record)
+                if len(self._buffer) >= self._flush_every:
+                    self._flush_locked()
+
+    def recent(self, limit: int = 50) -> list[dict]:
+        """Newest-first records."""
+        with self._lock:
+            return list(self._records)[-limit:][::-1] if limit > 0 else []
+
+    def for_trace(self, trace_id: str) -> list[dict]:
+        """Every retained record of one trace (oldest first)."""
+        with self._lock:
+            return [r for r in self._records if r["trace_id"] == trace_id]
+
+    def trace_for_entries(self, entry_ids) -> dict[int, str]:
+        """Map audit entry indices onto the trace ids that wrote them.
+
+        Best-effort by design: only decisions inside the retained ring
+        (i.e. taken while a trace was active, recently) resolve.  This
+        is the lookup the refinement daemon uses to stamp candidates
+        with evidence traces.
+        """
+        wanted = set(entry_ids)
+        out: dict[int, str] = {}
+        if not wanted:
+            return out
+        with self._lock:
+            for record in self._records:
+                for entry_id in record["entry_ids"]:
+                    if entry_id in wanted:
+                        out[entry_id] = record["trace_id"]
+        return out
+
+    def flush(self) -> None:
+        """Write buffered records to the JSONL spool (no-op in memory)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self.path is None or not self._buffer:
+            return
+        lines = "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in self._buffer
+        )
+        self._buffer.clear()
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(lines)
+
+    def close(self) -> None:
+        """Flush any buffered spool records."""
+        self.flush()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+__all__ = ["PROVENANCE_NAME", "DecisionProvenance", "ProvenanceLedger"]

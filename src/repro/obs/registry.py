@@ -32,6 +32,7 @@ from collections.abc import Callable
 from functools import wraps
 
 from repro.errors import ObservabilityError
+from repro.obs import trace as _trace
 from repro.obs.events import JsonlEventSink
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -55,26 +56,42 @@ class Span:
     a debug line goes to the ``repro.obs.span`` logger (visible under the
     CLI's ``--verbose``).  Exceptions propagate — the duration is recorded
     either way, with ``error`` set on the event.
+
+    When a trace root is active (:mod:`repro.obs.trace`), the span also
+    becomes a **child span** of the enclosing one — the PR 2 timers are
+    the span tree — and the histogram observation carries the trace id
+    as its bucket exemplar.  Untraced, the extra cost is a single
+    context-variable read on enter.
     """
 
-    __slots__ = ("_registry", "_name", "_labels", "_started")
+    __slots__ = ("_registry", "_name", "_labels", "_started", "_trace")
 
     def __init__(self, registry: "MetricsRegistry", name: str, labels: dict) -> None:
         self._registry = registry
         self._name = name
         self._labels = labels
         self._started = 0.0
+        self._trace = None
 
     def __enter__(self) -> "Span":
-        """Start the timer."""
+        """Start the timer (and a trace child span, when traced)."""
+        self._trace = _trace.enter_child(self._name, self._labels)
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        """Stop the timer; record histogram, event and debug log."""
+        """Stop the timer; record histogram, trace span, event, log."""
         elapsed = time.perf_counter() - self._started
         registry = self._registry
-        registry.histogram(self._name + "_seconds", **self._labels).observe(elapsed)
+        handle, self._trace = self._trace, None
+        exemplar = None
+        if handle is not None:
+            exemplar = _trace.exit_child(
+                handle, exc_type.__name__ if exc_type is not None else None
+            )
+        registry.histogram(self._name + "_seconds", **self._labels).observe(
+            elapsed, exemplar
+        )
         if registry.event_sink is not None:
             registry.event(
                 "span",
@@ -242,6 +259,11 @@ class MetricsRegistry:
                         {"le": le, "count": count}
                         for le, count in h.cumulative_buckets()
                     ],
+                    **(
+                        {"exemplars": exemplars}
+                        if (exemplars := h.exemplars())
+                        else {}
+                    ),
                 }
                 for h in ordered(self._histograms)
             ],
@@ -295,7 +317,7 @@ class _NullHistogram(Histogram):
 
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         """Discard the observation."""
 
 

@@ -1,0 +1,642 @@
+"""Distributed tracing: parented spans, sampling, and the trace store.
+
+PR 2's ``obs.span`` timers answer *how long*; this module makes them
+answer *which request*.  A :class:`Tracer` opens one **root span** per
+unit of work (a served request, a daemon poll) and publishes it through a
+:mod:`contextvars` variable; every ``obs.span`` that runs while a root is
+active automatically becomes a **child span** of whatever span encloses
+it — no call-site changes, the PR 2 instrumentation *is* the span tree.
+Context variables are task-local under asyncio and thread-local in plain
+threads, so concurrent requests on one event loop and the refinement
+daemon on its own thread never cross their traces.
+
+Wire format: the W3C ``traceparent`` shape
+``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>``
+(:func:`format_traceparent` / :func:`parse_traceparent`).  A client that
+stamps it into a frame's ``trace`` field (or the HTTP header) links the
+server's trace to its own; the server generates a fresh id otherwise.
+Trace ids **never** enter response bodies unless the client sent one —
+responses must stay byte-identical with tracing on or off (E20).
+
+Sampling: head sampling decides *recording* upfront — every
+``sample_every``-th root (and every root with a remote parent: the
+caller asked to follow it) records its full child-span tree; the rest
+are **skeleton roots** that cost one allocation and two clock reads
+(GC pressure from per-request garbage, not CPU in the tracer, is what
+shows up in E20).  Retention in the bounded
+ring-buffer :class:`TraceStore` is then:
+
+- every recorded root (the head sample);
+- always-keep overrides — an error escaped the root, the root ran longer
+  than ``slow_threshold`` seconds, or the code marked the trace
+  (:func:`mark_keep`: load shedding, deadline expiry, a mining round
+  that adopted rules).  A kept skeleton retains root timing, error,
+  keep reasons and annotations — degraded but never lost.
+
+Decision provenance follows recording (:func:`recording_trace_id`), so
+the ledger only holds records whose traces can actually be looked up.
+
+The active tracer follows the registry's swap pattern:
+:func:`get_tracer` / :func:`set_tracer` / :func:`use_tracer`, with
+:data:`NULL_TRACER` as the disabled twin (roots become shared no-ops and
+``obs.span`` pays a single context-variable read).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from itertools import count
+
+from repro.errors import ObservabilityError
+
+#: The one traceparent version this repo speaks (the W3C one).
+TRACEPARENT_VERSION = "00"
+
+#: Strict shape of an accepted ``trace`` field / ``traceparent`` header.
+TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+# Ids are a per-process random base plus a shared counter, not urandom
+# per call: id generation sits on every span open, and a getrandom
+# syscall there is measurable at E20's request rates.  The multiplier is
+# odd, so counter -> id is a bijection mod 2**64 (no collisions) while
+# ids stay visually unordered.
+_ID_BASE = os.urandom(8).hex()
+_ID_COUNTER = count(1)
+_ID_MIX = 0x9E3779B97F4A7C15
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex digits.
+
+    Unique across processes via the random per-process base, unique
+    within the process via the counter."""
+    return _ID_BASE + f"{(next(_ID_COUNTER) * _ID_MIX) & (2**64 - 1):016x}"
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex digits (unique within
+    the process, which is all span-tree edges need)."""
+    return f"{(next(_ID_COUNTER) * _ID_MIX) & (2**64 - 1):016x}"
+
+
+class TraceContext:
+    """One point in a trace: ids only, no timing.
+
+    ``parent_id`` is the span id of the caller's span (empty for a trace
+    root); :meth:`child` derives the context a callee would run under.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: str = "") -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def child(self) -> "TraceContext":
+        """A fresh context one level below this one."""
+        return TraceContext(self.trace_id, new_span_id(), self.span_id)
+
+    def to_traceparent(self) -> str:
+        """Render as a ``traceparent`` string (sampled flag set)."""
+        return format_traceparent(self.trace_id, self.span_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"span_id={self.span_id!r}, parent_id={self.parent_id!r})"
+        )
+
+
+def format_traceparent(trace_id: str, span_id: str, sampled: bool = True) -> str:
+    """``00-<trace_id>-<span_id>-<flags>`` with the sampled bit."""
+    return f"{TRACEPARENT_VERSION}-{trace_id}-{span_id}-{'01' if sampled else '00'}"
+
+
+def parse_traceparent(value: str) -> TraceContext:
+    """Parse a ``traceparent`` string into a :class:`TraceContext`.
+
+    Strict: anything but version ``00`` with lowercase-hex ids of the
+    exact widths raises :class:`~repro.errors.ObservabilityError` — the
+    protocol layer maps that onto ``BAD_REQUEST`` for frames, while the
+    HTTP shim (per the W3C spec) ignores a malformed header and starts a
+    fresh trace.
+    """
+    match = TRACEPARENT_RE.match(value) if isinstance(value, str) else None
+    if match is None:
+        raise ObservabilityError(
+            f"not a traceparent (want '00-<32 hex>-<16 hex>-<2 hex>'): {value!r}"
+        )
+    trace_id, span_id, _flags = match.groups()
+    return TraceContext(trace_id, span_id)
+
+
+# ----------------------------------------------------------------------
+# the active-span context
+# ----------------------------------------------------------------------
+
+
+class _SpanHandle:
+    """One open span: where it hangs in the tree plus its start time."""
+
+    __slots__ = ("builder", "span_id", "parent_id", "name", "labels",
+                 "started", "token")
+
+    #: child spans only ever open under a recording root
+    recording = True
+
+    def __init__(self, builder: "TraceBuilder", span_id: str, parent_id: str,
+                 name: str, labels: dict) -> None:
+        self.builder = builder
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.labels = labels
+        self.started = time.perf_counter()
+        self.token = None
+
+    @property
+    def trace_id(self) -> str:
+        """The id of the trace this span belongs to."""
+        return self.builder.trace_id
+
+
+#: The innermost open span of the current task/thread (None = untraced).
+#: Holds a :class:`_RootSpan` at root level, a :class:`_SpanHandle` below.
+_ACTIVE: ContextVar["_SpanHandle | _RootSpan | None"] = ContextVar(
+    "repro_trace_active", default=None
+)
+
+
+def current() -> "TraceBuilder | None":
+    """The trace being built in this context, or None (one var read)."""
+    handle = _ACTIVE.get()
+    return handle.builder if handle is not None else None
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, or None — what histogram exemplars carry."""
+    handle = _ACTIVE.get()
+    return handle.trace_id if handle is not None else None
+
+
+def recording_trace_id() -> str | None:
+    """The active trace id *if the trace is recording*, else None.
+
+    The gate in front of decision-provenance records: skeleton roots
+    (unsampled head traffic) skip the per-decision provenance work, so
+    the ledger only ever holds records whose traces are retrievable.
+    """
+    handle = _ACTIVE.get()
+    if handle is None or not handle.recording:
+        return None
+    return handle.builder.trace_id
+
+
+def enter_child(name: str, labels: dict) -> _SpanHandle | None:
+    """Open a child span under the active one; None when untraced.
+
+    This is the hook :class:`repro.obs.registry.Span` calls on enter —
+    the single context-variable read is the entire untraced cost.
+    Skeleton roots (head sampling said no) skip children entirely.
+    """
+    parent = _ACTIVE.get()
+    if parent is None or not parent.recording:
+        return None
+    handle = _SpanHandle(
+        parent.builder, new_span_id(), parent.span_id, name, labels
+    )
+    handle.token = _ACTIVE.set(handle)
+    return handle
+
+
+def exit_child(handle: _SpanHandle, error: str | None = None) -> str:
+    """Close a child span opened by :func:`enter_child`; returns trace id."""
+    _ACTIVE.reset(handle.token)
+    builder = handle.builder
+    builder.add(handle, time.perf_counter() - handle.started, error)
+    return builder.trace_id
+
+
+def record_span(
+    name: str,
+    started: float,
+    elapsed: float,
+    labels: dict | None = None,
+    error: str | None = None,
+) -> None:
+    """Attach an already-timed interval as a child of the active span.
+
+    For work measured with bare ``perf_counter`` calls (the server's
+    admission-queue wait) rather than a context manager.  No-op when
+    untraced or when the active root is a skeleton.
+    """
+    parent = _ACTIVE.get()
+    if parent is None or not parent.recording:
+        return
+    handle = _SpanHandle(
+        parent.builder, new_span_id(), parent.span_id, name, labels or {}
+    )
+    handle.started = started
+    parent.builder.add(handle, elapsed, error)
+
+
+def mark_keep(reason: str) -> None:
+    """Force-retain the active trace (no-op when untraced).
+
+    The always-keep override for outcomes sampling must not lose: load
+    shedding, deadline expiry, a refinement round that adopted rules.
+    """
+    handle = _ACTIVE.get()
+    if handle is not None:
+        handle.builder.keep(reason)
+
+
+def annotate(**fields: object) -> None:
+    """Merge key/value annotations into the active trace (no-op untraced)."""
+    handle = _ACTIVE.get()
+    if handle is not None:
+        handle.builder.annotations.update(fields)
+
+
+# ----------------------------------------------------------------------
+# building and retaining traces
+# ----------------------------------------------------------------------
+
+
+class TraceBuilder:
+    """The mutable accumulator behind one root span."""
+
+    __slots__ = ("trace_id", "name", "parent", "recording", "started",
+                 "spans", "keep_reasons", "annotations")
+
+    def __init__(self, trace_id: str, name: str, parent: str = "",
+                 recording: bool = True) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        #: remote parent span id (from a client traceparent), if any
+        self.parent = parent
+        #: False for skeleton roots: child spans and provenance skipped
+        self.recording = recording
+        self.started = time.perf_counter()
+        self.spans: list[dict] = []
+        self.keep_reasons: list[str] = []
+        self.annotations: dict = {}
+
+    def add(self, handle: _SpanHandle, elapsed: float, error: str | None) -> None:
+        """Record one finished span (offsets relative to the root start)."""
+        self.spans.append(
+            {
+                "span_id": handle.span_id,
+                "parent_id": handle.parent_id,
+                "name": handle.name,
+                "labels": handle.labels,
+                "start_ms": round((handle.started - self.started) * 1000.0, 4),
+                "duration_ms": round(elapsed * 1000.0, 4),
+                "error": error,
+            }
+        )
+
+    def keep(self, reason: str) -> None:
+        """Mark this trace for retention regardless of head sampling."""
+        if reason not in self.keep_reasons:
+            self.keep_reasons.append(reason)
+
+    def finish(self, duration: float, error: str | None) -> dict:
+        """The immutable JSON-ready trace record.
+
+        The wall-clock start is derived here (now minus duration) so the
+        hot open path never pays ``time.time()`` for dropped traces.
+        """
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "parent_id": self.parent,
+            "start_unix": round(time.time() - duration, 6),
+            "duration_ms": round(duration * 1000.0, 4),
+            "error": error,
+            "keep": list(self.keep_reasons),
+            "annotations": dict(self.annotations),
+            "spans": list(self.spans),
+        }
+
+
+class TraceStore:
+    """Bounded, thread-safe ring buffer of retained traces."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ObservabilityError(
+                f"trace store capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._traces: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, trace: dict) -> None:
+        """Retain one finished trace (evicting the oldest at capacity)."""
+        with self._lock:
+            self._traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def get(self, trace_id: str) -> dict | None:
+        """The retained trace with this id, or None."""
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace["trace_id"] == trace_id:
+                    return trace
+        return None
+
+    def list(self, limit: int = 50) -> list[dict]:
+        """Newest-first summaries (no span bodies)."""
+        with self._lock:
+            newest = list(self._traces)[-limit:][::-1] if limit > 0 else []
+        return [self._summary(trace) for trace in newest]
+
+    def slow(self, limit: int = 20) -> list[dict]:
+        """Retained traces by descending duration (summaries)."""
+        with self._lock:
+            ordered = sorted(
+                self._traces, key=lambda t: t["duration_ms"], reverse=True
+            )
+        return [self._summary(trace) for trace in ordered[:limit]]
+
+    def clear(self) -> None:
+        """Drop every retained trace."""
+        with self._lock:
+            self._traces.clear()
+
+    @staticmethod
+    def _summary(trace: dict) -> dict:
+        summary = {key: value for key, value in trace.items() if key != "spans"}
+        summary["spans"] = len(trace["spans"])
+        return summary
+
+
+class _RootSpan:
+    """Context manager for one root span; decides retention on exit.
+
+    Doubles as the root's active-span handle.  The skeleton fast path
+    (head sampling said no) allocates exactly this one object per
+    request — the builder, the ids and their containers materialise
+    lazily, only if the trace turns out to be kept (error, slow, an
+    explicit :func:`mark_keep`) or something asks for them.  Tracked
+    allocations are what drive GC pressure under a loaded event loop,
+    and GC is most of tracing's measurable overhead (E20), so the
+    dropped-skeleton path must stay at one object and two clock reads.
+    """
+
+    __slots__ = ("_tracer", "name", "parent_id", "recording", "span_id",
+                 "labels", "started", "token", "_builder", "_trace_id")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str | None,
+                 parent: str, sampled: bool) -> None:
+        self._tracer = tracer
+        self.name = name
+        #: remote parent span id (from a client traceparent), if any
+        self.parent_id = parent
+        #: whether child spans and provenance are being collected
+        self.recording = sampled
+        self._trace_id = trace_id
+        self._builder: TraceBuilder | None = None
+        self.labels: dict | None = None
+        self.started = 0.0
+        self.token = None
+        if sampled:
+            self._builder = TraceBuilder(trace_id or new_trace_id(),
+                                         name, parent)
+            self.span_id = new_span_id()
+        else:
+            # skeletons defer the span id: nothing links to it unless
+            # the trace ends up kept, and id generation is hot-path cost
+            self.span_id = ""
+
+    @property
+    def trace_id(self) -> str:
+        """The root's trace id (for response headers etc.), lazily made."""
+        builder = self._builder
+        if builder is not None:
+            return builder.trace_id
+        if self._trace_id is None:
+            self._trace_id = new_trace_id()
+        return self._trace_id
+
+    @property
+    def builder(self) -> TraceBuilder:
+        """The trace accumulator, materialised on first need."""
+        builder = self._builder
+        if builder is None:
+            builder = TraceBuilder(self.trace_id, self.name, self.parent_id,
+                                   recording=False)
+            builder.started = self.started
+            self._builder = builder
+        return builder
+
+    def __enter__(self) -> "_RootSpan":
+        self.started = time.perf_counter()
+        builder = self._builder
+        if builder is not None:
+            builder.started = self.started
+        self.token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.reset(self.token)
+        duration = time.perf_counter() - self.started
+        error = exc_type.__name__ if exc_type is not None else None
+        tracer = self._tracer
+        keep = self.recording
+        if keep:
+            self._builder.keep("head")
+        if error is not None:
+            self.builder.keep("error")
+            keep = True
+        if duration >= tracer.slow_threshold:
+            self.builder.keep("slow")
+            keep = True
+        builder = self._builder
+        if not keep and builder is not None and builder.keep_reasons:
+            keep = True  # an explicit mark_keep during the trace
+        if keep:
+            # ids and the root span dict are only materialised for
+            # retained traces — dropped skeletons never pay for them
+            builder = self.builder
+            if not self.span_id:
+                self.span_id = new_span_id()
+            if self.labels is None:
+                self.labels = {}
+            builder.add(self, duration, error)
+            tracer.kept += 1
+            tracer.store.add(builder.finish(duration, error))
+        else:
+            tracer.dropped += 1
+        return False
+
+
+class Tracer:
+    """Root-span factory plus the retention policy and store."""
+
+    #: one-attribute guard, mirroring ``MetricsRegistry.enabled``
+    enabled = True
+
+    def __init__(
+        self,
+        sample_every: int = 64,
+        slow_threshold: float = 0.050,
+        capacity: int = 512,
+        store: TraceStore | None = None,
+    ) -> None:
+        if sample_every <= 0:
+            raise ObservabilityError(
+                f"sample_every must be positive, got {sample_every}"
+            )
+        self.sample_every = sample_every
+        self.slow_threshold = slow_threshold
+        self.store = store if store is not None else TraceStore(capacity)
+        # lock-free admission: next() on an itertools counter is atomic
+        # under the GIL, so root creation never serialises on a lock
+        self._count = count(1)
+        self.started = 0
+        self.kept = 0
+        self.dropped = 0
+
+    def trace(self, name: str, traceparent: str | None = None) -> _RootSpan:
+        """Open a root span (a ``with`` block).
+
+        ``traceparent`` links to a remote caller: the trace id is reused
+        and the caller's span id becomes the root's parent.  A remote
+        parent is always retained — the caller asked to follow this
+        request by stamping it.
+        """
+        parent = ""
+        trace_id = None
+        if traceparent:
+            context = parse_traceparent(traceparent)
+            trace_id = context.trace_id
+            parent = context.span_id
+        index = next(self._count)
+        self.started = index
+        sampled = bool(parent) or (index - 1) % self.sample_every == 0
+        return _RootSpan(self, name, trace_id, parent, sampled)
+
+    def stats(self) -> dict:
+        """JSON-ready tracer statistics (the ``stats`` op's ``trace``)."""
+        return {
+            "enabled": True,
+            "started": self.started,
+            "kept": self.kept,
+            "dropped": self.dropped,
+            "stored": len(self.store),
+            "capacity": self.store.capacity,
+            "sample_every": self.sample_every,
+            "slow_threshold_ms": round(self.slow_threshold * 1000.0, 3),
+        }
+
+
+class _NullRoot:
+    """A stateless no-op root span (never touches the context var)."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    recording = False
+
+    def __enter__(self) -> "_NullRoot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_ROOT = _NullRoot()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: roots are shared no-ops, nothing is stored."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sample_every=1, capacity=1)
+
+    def trace(self, name: str, traceparent: str | None = None) -> _NullRoot:  # type: ignore[override]
+        """Return the shared no-op root."""
+        return _NULL_ROOT
+
+    def stats(self) -> dict:
+        """Minimal disabled-tracer statistics."""
+        return {"enabled": False, "started": 0, "kept": 0, "dropped": 0,
+                "stored": 0, "capacity": 0, "sample_every": 0,
+                "slow_threshold_ms": 0.0}
+
+
+#: The process-wide disabled tracer.
+NULL_TRACER = NullTracer()
+
+#: the process-default tracer — live, like the default metrics registry
+_DEFAULT_TRACER = Tracer()
+_active_tracer: Tracer = _DEFAULT_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer (the live default unless swapped)."""
+    return _active_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the active one; returns the previous one."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` active inside the ``with`` block, then restore.
+
+    Components capture the tracer at construction (like the registry),
+    so swap *before* building the server/daemon under measurement — the
+    E20 A/B mechanism.
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACEPARENT_RE",
+    "TraceBuilder",
+    "TraceContext",
+    "TraceStore",
+    "Tracer",
+    "annotate",
+    "current",
+    "current_trace_id",
+    "enter_child",
+    "exit_child",
+    "format_traceparent",
+    "get_tracer",
+    "mark_keep",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "record_span",
+    "recording_trace_id",
+    "set_tracer",
+    "use_tracer",
+]

@@ -58,6 +58,10 @@ class MapTask:
     collect_regular: bool
     miner: str
     local_min_support: int
+    #: also collect the *local positions* of the exception entries behind
+    #: every practice group (evidence for decision provenance); additive
+    #: so existing pickled tasks and call sites are untouched
+    collect_exceptions: bool = False
 
 
 @dataclass
@@ -72,6 +76,9 @@ class ShardPartial:
     cls_stats: dict | None
     regular_rules: set | None
     seconds: float
+    #: plain-values key -> local exception-entry positions (only when the
+    #: task asked via ``collect_exceptions``; None otherwise)
+    exception_entries: dict[GroupKey, list[int]] | None = None
 
 
 def map_shard(shard: Shard, task: MapTask) -> ShardPartial:
@@ -79,6 +86,9 @@ def map_shard(shard: Shard, task: MapTask) -> ShardPartial:
     started = time.perf_counter()
     rule_entries: dict[GroupKey, list[int]] = {}
     groups: dict = {}
+    exception_entries: dict[GroupKey, list[int]] | None = (
+        {} if task.collect_exceptions else None
+    )
     cls_stats: dict | None = {} if task.exclude_suspected else None
     regular_rules: set | None = set() if task.collect_regular else None
     needs_cls = task.exclude_suspected or task.collect_regular
@@ -116,6 +126,12 @@ def map_shard(shard: Shard, task: MapTask) -> ShardPartial:
             else:
                 slot[0] += 1
                 slot[1].add(entry.user)
+            if exception_entries is not None:
+                evidence = exception_entries.get(values)
+                if evidence is None:
+                    exception_entries[values] = [index]
+                else:
+                    evidence.append(index)
     if task.miner == "apriori":
         # SON phase 1: only locally frequent keys become candidates.  The
         # pigeonhole bound ceil(min_support / shard_count) guarantees no
@@ -134,6 +150,7 @@ def map_shard(shard: Shard, task: MapTask) -> ShardPartial:
         cls_stats=cls_stats,
         regular_rules=regular_rules,
         seconds=time.perf_counter() - started,
+        exception_entries=exception_entries,
     )
 
 

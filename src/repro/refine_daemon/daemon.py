@@ -48,6 +48,7 @@ from repro.coverage.incremental import IncrementalCoverage
 from repro.errors import DaemonError
 from repro.mining.patterns import MiningConfig, Pattern
 from repro.mining.sql_patterns import SqlPartialAggregate, finalize_patterns
+from repro.obs import trace as obstrace
 from repro.obs.runtime import get_registry
 from repro.parallel.partials import MapTask, ShardPartial, map_shard
 from repro.parallel.shards import shards_past_watermark
@@ -59,6 +60,7 @@ from repro.policy.store import PolicyStore
 from repro.refine_daemon.gate import ReviewGate
 from repro.refinement.prune import prune_patterns
 from repro.refine_daemon.state import (
+    EVIDENCE_LIMIT,
     Candidate,
     DaemonState,
     load_state,
@@ -175,6 +177,7 @@ class RefineDaemon:
         gate: ReviewGate,
         config: DaemonConfig | None = None,
         name: str = "refine-daemon",
+        provenance=None,
     ) -> None:
         #: accepts a DurableAuditLog or a raw AuditStore
         self._store = log.store if hasattr(log, "store") else log
@@ -187,6 +190,13 @@ class RefineDaemon:
         self._grounder = Grounder(vocabulary)
         self._rules: dict[tuple[str, ...], Rule] = {}
         self._obs = get_registry()
+        self._tracer = obstrace.get_tracer()
+        if provenance is None:
+            # an EnginePolicyTarget shares the serving engine's ledger, so
+            # candidate evidence resolves to the traces that served it
+            provenance = getattr(getattr(target, "engine", None), "provenance", None)
+        #: optional ProvenanceLedger mapping evidence entries -> trace ids
+        self.provenance = provenance
         self._clock = self.config.clock
         self._last_mine_at = self._clock()
         self.state = load_state(self._store.directory)
@@ -239,7 +249,12 @@ class RefineDaemon:
     # ------------------------------------------------------------------
     def poll(self, force_mine: bool = False) -> PollReport:
         """One synchronous tail → trigger → mine → gate → swap cycle."""
-        with self._lock, self._obs.span("repro_refine_daemon_poll"):
+        # The root trace opens before the obs span so the span (and every
+        # span under consume/mine) lands in the poll's span tree; a poll
+        # that adopts rules is force-retained ("refined").
+        with self._lock, self._tracer.trace(
+            "repro_refine_daemon_poll"
+        ), self._obs.span("repro_refine_daemon_poll"):
             # Reload from disk: picks up CLI review decisions and makes
             # every poll a from-persisted-state resume, which is exactly
             # the restart path — so restarts are not a special case.
@@ -247,15 +262,21 @@ class RefineDaemon:
             state = self.state
             state.polls += 1
             reconciled = self._reconcile()
-            consumed = self._consume()
+            with self._obs.span("repro_refine_daemon_consume"):
+                consumed = self._consume()
             trigger = self._mine_trigger(force_mine)
-            outcome = self._mine() if trigger else None
+            if trigger:
+                with self._obs.span("repro_refine_daemon_mine"):
+                    outcome = self._mine()
+            else:
+                outcome = None
             # Commit order: mine → gate → persist → hot-swap.  The state
             # file (watermark + ledger) is durable before any rule lands
             # in the serving snapshot; a crash in between is repaired by
             # the next poll's reconcile, never by re-mining.
             save_state(self._store.directory, state)
             if outcome is not None and outcome["accepted"]:
+                obstrace.mark_keep("refined")
                 self.target.adopt(
                     outcome["accepted"],
                     note=f"refine-daemon round={state.rounds - 1}",
@@ -307,11 +328,15 @@ class RefineDaemon:
             collect_regular=False,
             miner="sql",
             local_min_support=1,
+            collect_exceptions=True,
         )
         consumed = 0
         for shard in shards:
             partial = map_shard(shard, task)
-            self._merge_partial(partial)
+            # shards tail the trail in order, so the global id of a
+            # shard-local position is the watermark plus everything the
+            # earlier shards of this tail pass contributed
+            self._merge_partial(partial, state.watermark + consumed)
             consumed += partial.entries
         if consumed != total - state.watermark:
             raise DaemonError(
@@ -323,8 +348,13 @@ class RefineDaemon:
         state.segments_consumed = [meta.name for meta in sealed]
         return consumed
 
-    def _merge_partial(self, partial: ShardPartial) -> None:
-        """Fold one shard's partial into the cumulative aggregates."""
+    def _merge_partial(self, partial: ShardPartial, base: int) -> None:
+        """Fold one shard's partial into the cumulative aggregates.
+
+        ``base`` is the global audit-entry index of the shard's first
+        entry — what turns the partial's local exception positions into
+        the global evidence ids a candidate is stamped with.
+        """
         state = self.state
         observer = self.config.entry_observer
         if observer is not None:
@@ -347,6 +377,12 @@ class RefineDaemon:
             else:
                 slot[0] += count
                 slot[1] |= users
+        if partial.exception_entries:
+            for values, positions in partial.exception_entries.items():
+                evidence = state.evidence.setdefault(values, [])
+                room = EVIDENCE_LIMIT - len(evidence)
+                if room > 0:
+                    evidence.extend(base + pos for pos in positions[:room])
 
     def _mine_trigger(self, force: bool) -> str | None:
         """Which trigger (if any) fires a mining round this poll."""
@@ -409,13 +445,21 @@ class RefineDaemon:
         accepted: list[Rule] = []
         pended = rejected = 0
         decided = state.decided_rules()
+        # DSL -> lifted values, to look a pattern's evidence back up
+        dsl_values = {
+            format_rule(self._rule_for(values)): values for values in state.groups
+        }
+        poll_trace = obstrace.current_trace_id() or ""
         for pattern in prune.useful:
             dsl = format_rule(pattern.rule)
+            evidence = state.evidence.get(dsl_values.get(dsl, ()), [])
             existing = state.find_pending(dsl)
             if existing is not None:
                 # evidence keeps accruing while the officer deliberates
                 existing.support = pattern.support
                 existing.distinct_users = pattern.distinct_users
+                existing.evidence_entries = list(evidence)
+                existing.evidence_traces = self._evidence_traces(evidence)
                 continue
             if dsl in decided:
                 continue  # accepted (awaiting swap) or human-rejected
@@ -425,6 +469,9 @@ class RefineDaemon:
                 support=pattern.support,
                 distinct_users=pattern.distinct_users,
                 round_index=state.rounds,
+                evidence_entries=list(evidence),
+                evidence_traces=self._evidence_traces(evidence),
+                trace_id=poll_trace,
             )
             if verdict == "accept":
                 candidate.decided_by = "auto-gate"
@@ -450,6 +497,13 @@ class RefineDaemon:
             "pended": pended,
             "rejected": rejected,
         }
+
+    def _evidence_traces(self, evidence: list[int]) -> list[str]:
+        """Trace ids behind the evidence entries (best-effort, sorted)."""
+        if self.provenance is None or not evidence:
+            return []
+        resolved = self.provenance.trace_for_entries(evidence)
+        return sorted(set(resolved.values()))
 
     # ------------------------------------------------------------------
     # observability

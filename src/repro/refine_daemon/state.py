@@ -44,6 +44,9 @@ STATE_FORMAT: int = 1
 #: A lifted-rule key: stringified attribute values, as in repro.parallel.
 GroupKey = tuple[str, ...]
 
+#: Evidence entry ids retained per mined group (bounded, oldest first).
+EVIDENCE_LIMIT: int = 16
+
 
 @dataclass
 class Candidate:
@@ -55,6 +58,15 @@ class Candidate:
     round_index: int
     decided_by: str = ""
     note: str = ""
+    #: global audit-entry indices of (some of) the exception accesses
+    #: that mined this rule — decision provenance, bounded by
+    #: :data:`EVIDENCE_LIMIT`
+    evidence_entries: list[int] = field(default_factory=list)
+    #: trace ids of those accesses, where the provenance ledger could
+    #: resolve them (best-effort: only traced, retained decisions map)
+    evidence_traces: list[str] = field(default_factory=list)
+    #: trace id of the daemon poll that mined/accepted this candidate
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         """JSON-ready mapping."""
@@ -65,11 +77,15 @@ class Candidate:
             "round_index": self.round_index,
             "decided_by": self.decided_by,
             "note": self.note,
+            "evidence_entries": list(self.evidence_entries),
+            "evidence_traces": list(self.evidence_traces),
+            "trace_id": self.trace_id,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Candidate":
-        """Rebuild from a state-file mapping."""
+        """Rebuild from a state-file mapping (provenance fields are
+        additive — pre-tracing state files load with empty evidence)."""
         return cls(
             rule=str(payload["rule"]),
             support=int(payload["support"]),
@@ -77,6 +93,9 @@ class Candidate:
             round_index=int(payload["round_index"]),
             decided_by=str(payload.get("decided_by", "")),
             note=str(payload.get("note", "")),
+            evidence_entries=[int(e) for e in payload.get("evidence_entries", [])],
+            evidence_traces=[str(t) for t in payload.get("evidence_traces", [])],
+            trace_id=str(payload.get("trace_id", "")),
         )
 
 
@@ -94,6 +113,9 @@ class DaemonState:
     last_entry_coverage: float | None = None
     #: merged practice aggregate: lifted rule values -> [support, user-set]
     groups: dict[GroupKey, list] = field(default_factory=dict)
+    #: lifted rule values -> bounded global exception-entry indices (the
+    #: evidence behind :attr:`Candidate.evidence_entries`)
+    evidence: dict[GroupKey, list[int]] = field(default_factory=dict)
     #: every distinct lifted rule of the consumed trail, first-occurrence
     #: order, with entry counts (drives coverage without rescans)
     rules: dict[GroupKey, int] = field(default_factory=dict)
@@ -136,6 +158,10 @@ class DaemonState:
                 [list(values), count, sorted(users)]
                 for values, (count, users) in self.groups.items()
             ],
+            "evidence": [
+                [list(values), list(entry_ids)]
+                for values, entry_ids in self.evidence.items()
+            ],
             "rules": [
                 [list(values), count] for values, count in self.rules.items()
             ],
@@ -165,6 +191,9 @@ class DaemonState:
             )
             for values, count, users in payload["groups"]:
                 state.groups[tuple(values)] = [int(count), set(users)]
+            # additive: states saved before tracing carry no evidence
+            for values, entry_ids in payload.get("evidence", []):
+                state.evidence[tuple(values)] = [int(e) for e in entry_ids]
             for values, count in payload["rules"]:
                 state.rules[tuple(values)] = int(count)
             for key in ("pending", "accepted", "rejected"):

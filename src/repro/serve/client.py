@@ -77,20 +77,26 @@ class _ClientOps:
         return self._op("ping")
 
     def decide(self, user, role, purpose, categories, exception=False,
-               truth="", deadline_ms=None):
-        """One category-level PDP decision."""
+               truth="", deadline_ms=None, trace=None):
+        """One category-level PDP decision.
+
+        ``trace`` takes a ``traceparent`` string (see
+        :func:`repro.obs.trace.format_traceparent`) linking the server's
+        trace to the caller's; the response echoes the trace id back.
+        """
         return self._op(
             "decide", user=user, role=role, purpose=purpose,
             categories=list(categories), exception=exception, truth=truth,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, trace=trace,
         )
 
     def query(self, user, role, purpose, sql, exception=False, truth="",
-              deadline_ms=None):
-        """One fully enforced SQL query."""
+              deadline_ms=None, trace=None):
+        """One fully enforced SQL query (``trace`` as in :meth:`decide`)."""
         return self._op(
             "query", user=user, role=role, purpose=purpose, sql=sql,
             exception=exception, truth=truth, deadline_ms=deadline_ms,
+            trace=trace,
         )
 
     def stats(self):

@@ -35,12 +35,15 @@ lands in the crash-safe segmented store, ready for
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.audit.schema import AccessOp, AccessStatus
 from repro.errors import AccessDeniedError, EnforcementError, PrimaError
 from repro.hdb.consent import ConsentStore
 from repro.hdb.enforcement import AccessRequest, ActiveEnforcer
+from repro.obs import trace as obstrace
+from repro.obs.provenance import DecisionProvenance, ProvenanceLedger
 from repro.obs.runtime import get_registry
 from repro.policy.parser import parse_rule
 from repro.policy.store import PolicyStore
@@ -145,10 +148,16 @@ class PdpEngine:
     """Decision + admin surface the server exposes over the wire."""
 
     def __init__(
-        self, manager: SnapshotManager, cache: DecisionCache | None = None
+        self,
+        manager: SnapshotManager,
+        cache: DecisionCache | None = None,
+        provenance: ProvenanceLedger | None = None,
     ) -> None:
         self.manager = manager
         self.cache = cache
+        #: decision provenance side-records (7-attribute audit schema
+        #: stays untouched); only populated for traced requests
+        self.provenance = provenance if provenance is not None else ProvenanceLedger()
         self._obs = get_registry()
         self.decisions_served = 0
         self.queries_served = 0
@@ -195,15 +204,21 @@ class PdpEngine:
         DENY entries for any masked ones.
         """
         snapshot = self.manager.current
+        trace_id = obstrace.recording_trace_id()
+        started = time.perf_counter()
+        entries_before = len(self.audit_log) if trace_id else 0
         role = canonical(request.role)
         purpose = canonical(request.purpose)
         categories = tuple(sorted({canonical(c) for c in request.categories}))
         if request.exception:
             status = AccessStatus.EXCEPTION
             permitted = frozenset(categories)
+            cache_state = "bypass"
         else:
             status = AccessStatus.REGULAR
-            permitted = self._permitted(snapshot, role, purpose, categories)
+            permitted, cache_state = self._permitted(
+                snapshot, role, purpose, categories
+            )
         masked = tuple(sorted(set(categories) - permitted))
         returned = tuple(sorted(permitted))
         auditor = self.manager.auditor
@@ -215,29 +230,98 @@ class PdpEngine:
                 categories=masked, op=AccessOp.DENY, status=status,
                 truth=request.truth,
             )
-            return protocol.error_response(
+            response = protocol.error_response(
                 code=protocol.DENIED,
                 error=f"policy permits none of {list(masked)} for role "
                       f"{role!r} and purpose {purpose!r}",
                 decision="deny", returned=[], masked=list(masked),
                 versions=versions,
             )
-        auditor.record_access(
-            user=request.user, role=role, purpose=purpose,
-            categories=returned, op=AccessOp.ALLOW, status=status,
-            truth=request.truth,
-        )
-        if masked:
+        else:
             auditor.record_access(
                 user=request.user, role=role, purpose=purpose,
-                categories=masked, op=AccessOp.DENY, status=status,
+                categories=returned, op=AccessOp.ALLOW, status=status,
                 truth=request.truth,
             )
-        return protocol.ok_response(
-            decision="allow",
-            status="exception" if request.exception else "regular",
-            returned=list(returned), masked=list(masked), versions=versions,
+            if masked:
+                auditor.record_access(
+                    user=request.user, role=role, purpose=purpose,
+                    categories=masked, op=AccessOp.DENY, status=status,
+                    truth=request.truth,
+                )
+            response = protocol.ok_response(
+                decision="allow",
+                status="exception" if request.exception else "regular",
+                returned=list(returned), masked=list(masked),
+                versions=versions,
+            )
+        if trace_id is not None:
+            self._record_provenance(
+                trace_id=trace_id, request=request, snapshot=snapshot,
+                role=role, purpose=purpose, categories=categories,
+                resolve=categories if status is AccessStatus.REGULAR else (),
+                response=response, status=status, cache_state=cache_state,
+                entries_before=entries_before, started=started,
+                versions=versions,
+            )
+        return response
+
+    def _record_provenance(
+        self,
+        *,
+        trace_id: str,
+        request: ServeRequest,
+        snapshot: EngineSnapshot,
+        role: str,
+        purpose: str,
+        categories: tuple[str, ...],
+        resolve: tuple[str, ...],
+        response: dict,
+        status: AccessStatus,
+        cache_state: str,
+        entries_before: int,
+        started: float,
+        versions: dict,
+    ) -> None:
+        """Record the why-record for one traced decision (side channel).
+
+        Never touches ``response`` — provenance must not perturb the E20
+        byte-identity of the wire protocol.  ``resolve`` names the
+        categories whose covering rule revision should be looked up (the
+        enforcer memoises the lookup, so this is cheap after the first
+        traced request per key).
+        """
+        matched: dict[str, int | None] = {}
+        for category in resolve:
+            matched[category] = snapshot.enforcer.policy_decision(
+                category, purpose, role
+            )[1]
+        entry_ids = tuple(range(entries_before, len(self.audit_log)))
+        builder = obstrace.current()
+        annotations = builder.annotations if builder is not None else {}
+        self.provenance.record(
+            DecisionProvenance(
+                trace_id=trace_id,
+                op=request.op,
+                user=request.user,
+                role=role,
+                purpose=purpose,
+                decision=response["code"],
+                status=(
+                    "exception" if status is AccessStatus.EXCEPTION else "regular"
+                ),
+                categories=categories,
+                matched_rules=matched,
+                versions=versions,
+                cache=cache_state,
+                queue_ms=annotations.get("queue_ms"),
+                handle_ms=round((time.perf_counter() - started) * 1000.0, 4),
+                entry_ids=entry_ids,
+                deadline_remaining_ms=annotations.get("deadline_remaining_ms"),
+            )
         )
+        if entry_ids:
+            obstrace.annotate(entry_ids=list(entry_ids))
 
     def _permitted(
         self,
@@ -245,52 +329,77 @@ class PdpEngine:
         role: str,
         purpose: str,
         categories: tuple[str, ...],
-    ) -> frozenset[str]:
-        """The policy verdict, via the interned decision cache."""
+    ) -> tuple[frozenset[str], str]:
+        """The policy verdict, via the interned decision cache.
+
+        Returns ``(permitted categories, cache state)`` where the state
+        is ``hit``/``miss``/``off`` — the provenance record's ``cache``.
+        """
         cache = self.cache
         if cache is None:
-            return frozenset(
-                category
-                for category in categories
-                if snapshot.enforcer.policy_permits(category, purpose, role)
+            return (
+                frozenset(
+                    category
+                    for category in categories
+                    if snapshot.enforcer.policy_permits(category, purpose, role)
+                ),
+                "off",
             )
         key = cache.key(
             snapshot.policy_store.revision, snapshot.consent.version,
             role, purpose, categories,
         )
         permitted = cache.get(key)
-        if permitted is None:
-            permitted = frozenset(
-                category
-                for category in categories
-                if snapshot.enforcer.policy_permits(category, purpose, role)
-            )
-            cache.put(key, permitted)
-        return permitted
+        if permitted is not None:
+            return permitted, "hit"
+        permitted = frozenset(
+            category
+            for category in categories
+            if snapshot.enforcer.policy_permits(category, purpose, role)
+        )
+        cache.put(key, permitted)
+        return permitted, "miss"
 
     def query(self, request: ServeRequest) -> dict:
         """Full Active Enforcement over one SQL request."""
         snapshot = self.manager.current
+        trace_id = obstrace.recording_trace_id()
+        started = time.perf_counter()
+        entries_before = len(self.audit_log) if trace_id else 0
         access = AccessRequest(
             user=request.user, role=request.role, purpose=request.purpose,
             sql=request.sql, exception=request.exception, truth=request.truth,
         )
         self.queries_served += 1
         versions = snapshot.versions()
+        status = (
+            AccessStatus.EXCEPTION if request.exception else AccessStatus.REGULAR
+        )
         try:
             result = snapshot.enforcer.execute(access)
         except AccessDeniedError as exc:
-            return protocol.error_response(
+            response = protocol.error_response(
                 code=protocol.DENIED, error=exc.reason, decision="deny",
                 versions=versions,
             )
+            if trace_id is not None:
+                self._record_provenance(
+                    trace_id=trace_id, request=request, snapshot=snapshot,
+                    role=canonical(request.role),
+                    purpose=canonical(request.purpose),
+                    categories=(), resolve=(), response=response,
+                    status=status, cache_state="off",
+                    entries_before=entries_before, started=started,
+                    versions=versions,
+                )
+            return response
         except (EnforcementError, SqlError) as exc:
             # raised before anything executed or was audited: the query
             # never entered the trail, exactly like a malformed frame
             return protocol.error_response(
                 code=protocol.BAD_REQUEST, error=str(exc), versions=versions
             )
-        return protocol.ok_response(
+        response = protocol.ok_response(
             decision="allow",
             status=result.status.name.lower(),
             returned=list(result.categories_returned),
@@ -301,6 +410,24 @@ class PdpEngine:
             rows=[list(row) for row in result.result.rows],
             versions=versions,
         )
+        if trace_id is not None:
+            categories = tuple(
+                sorted(
+                    set(result.categories_returned)
+                    | set(result.categories_masked)
+                )
+            )
+            self._record_provenance(
+                trace_id=trace_id, request=request, snapshot=snapshot,
+                role=canonical(request.role),
+                purpose=canonical(request.purpose),
+                categories=categories,
+                resolve=categories if status is AccessStatus.REGULAR else (),
+                response=response, status=status, cache_state="off",
+                entries_before=entries_before, started=started,
+                versions=versions,
+            )
+        return response
 
     # ------------------------------------------------------------------
     # admin surface (each call = one copy-on-write snapshot swap)

@@ -17,6 +17,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.trace import format_traceparent, new_span_id, new_trace_id
 from repro.serve.client import PdpClient, RetryPolicy
 
 
@@ -70,16 +71,25 @@ def run_load(
     payloads: list[dict],
     clients: int = 4,
     timeout: float = 30.0,
+    trace_every: int = 0,
 ) -> LoadReport:
     """Replay ``payloads`` against ``host:port`` with ``clients`` threads.
 
     Payload *i* goes to client ``i % clients``, so a single-client run
     preserves the original order exactly (the E18 identity phase depends
-    on that).  Returns the merged :class:`LoadReport`.
+    on that).  ``trace_every=N`` stamps every N-th decision payload with
+    a fresh client-side ``traceparent`` (``trace`` field), so a load run
+    leaves linkable traces behind for ``repro trace``; 0 stamps nothing.
+    Returns the merged :class:`LoadReport`.
     """
     clients = max(1, min(clients, len(payloads) or 1))
     shards: list[list[dict]] = [[] for _ in range(clients)]
     for index, payload in enumerate(payloads):
+        if trace_every > 0 and index % trace_every == 0 and (
+            payload.get("op", "decide") in ("decide", "query")
+        ):
+            payload = dict(payload)
+            payload["trace"] = format_traceparent(new_trace_id(), new_span_id())
         shards[index % clients].append(payload)
 
     lock = threading.Lock()

@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.errors import ServeError
+from repro.obs.trace import TRACEPARENT_RE
 
 #: Hard ceiling on one frame (request or response), newline included.
 MAX_FRAME_BYTES = 64 * 1024
@@ -141,6 +142,11 @@ class ServeRequest:
     exception: bool = False
     truth: str = ""
     deadline_ms: float | None = None
+    #: optional caller trace link, a strict ``traceparent`` string
+    #: (``00-<32 hex>-<16 hex>-<2 hex>``); when present, the response
+    #: echoes the trace id back — with tracing enabled *or* disabled,
+    #: so responses stay byte-identical either way (E20)
+    trace: str = ""
     # admin fields
     rule: str = ""
     patient: str = ""
@@ -179,6 +185,18 @@ def _categories(payload: dict) -> tuple[str, ...]:
     return tuple(out)
 
 
+def _trace(payload: dict) -> str:
+    value = payload.get("trace")
+    if value is None:
+        return ""
+    if not isinstance(value, str) or not TRACEPARENT_RE.match(value):
+        raise ProtocolError(
+            "'trace' must be a traceparent string "
+            f"'00-<32 hex>-<16 hex>-<2 hex>', got {value!r}"
+        )
+    return value
+
+
 def _deadline(payload: dict) -> float | None:
     value = payload.get("deadline_ms")
     if value is None:
@@ -214,6 +232,7 @@ def parse_request(payload: dict) -> ServeRequest:
             exception=_bool(payload, "exception", False),
             truth=_string(payload, "truth", required=False),
             deadline_ms=_deadline(payload),
+            trace=_trace(payload),
         )
     if op == "query":
         return ServeRequest(
@@ -226,6 +245,7 @@ def parse_request(payload: dict) -> ServeRequest:
             exception=_bool(payload, "exception", False),
             truth=_string(payload, "truth", required=False),
             deadline_ms=_deadline(payload),
+            trace=_trace(payload),
         )
     if op in ("admin.add_rule", "admin.retire_rule"):
         return ServeRequest(

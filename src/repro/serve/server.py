@@ -30,14 +30,18 @@ commands) can drive a live server in-process.
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import logging
 import threading
 import time
 from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import PrimaError, ServeError
+from repro.obs import trace as obstrace
 from repro.obs.exposition import render_registry
+from repro.obs.provenance import DecisionProvenance
 from repro.obs.runtime import get_registry
 from repro.serve import protocol
 from repro.serve.engine import PdpEngine
@@ -46,6 +50,55 @@ _LOGGER = logging.getLogger("repro.serve.server")
 
 #: HTTP methods the shim recognises on a sniffed first line.
 _HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ")
+
+#: span names for the decision ops, precomputed so the hot path does not
+#: build a fresh string per request
+_OP_SPANS = {"decide": "repro_serve_decide", "query": "repro_serve_query"}
+
+# ----------------------------------------------------------------------
+# GC serving mode
+#
+# A serving process allocates short-lived, acyclic garbage per request
+# (frames, dicts, trace skeletons) on top of a large long-lived heap
+# (policy trees, audit segments, the engine snapshot).  With CPython's
+# default gen0 threshold every ~700 allocations trigger a young
+# collection that rescans survivors — at thousands of requests per
+# second that is hundreds of collections a second whose cost scales with
+# whatever the warm heap keeps pinning into gen0.  While a server is
+# up we freeze the warm heap into the permanent generation (it is built
+# once and never collected) and widen gen0 so per-request garbage is
+# reclaimed by refcounting alone between rare sweeps.  The mode is
+# refcounted so overlapping in-process servers (tests, benchmarks)
+# compose, and fully restored when the last server shuts down.
+# ----------------------------------------------------------------------
+
+_GC_LOCK = threading.Lock()
+_GC_SERVING = 0
+_GC_SAVED_THRESHOLD: tuple[int, ...] | None = None
+_GC_GEN0_SERVING = 20_000
+
+
+def _enter_gc_serving_mode() -> None:
+    global _GC_SERVING, _GC_SAVED_THRESHOLD
+    with _GC_LOCK:
+        _GC_SERVING += 1
+        if _GC_SERVING == 1:
+            _GC_SAVED_THRESHOLD = gc.get_threshold()
+            gc.collect()
+            gc.freeze()
+            gc.set_threshold(_GC_GEN0_SERVING, *_GC_SAVED_THRESHOLD[1:])
+
+
+def _exit_gc_serving_mode() -> None:
+    global _GC_SERVING, _GC_SAVED_THRESHOLD
+    with _GC_LOCK:
+        if _GC_SERVING == 0:
+            return
+        _GC_SERVING -= 1
+        if _GC_SERVING == 0 and _GC_SAVED_THRESHOLD is not None:
+            gc.set_threshold(*_GC_SAVED_THRESHOLD)
+            gc.unfreeze()
+            _GC_SAVED_THRESHOLD = None
 
 
 @dataclass(frozen=True)
@@ -72,6 +125,10 @@ class ServerConfig:
     #: tests and the E18 driver make saturation deterministic (engine
     #: calls are otherwise too fast to observe admission behaviour)
     handling_delay: float = 0.0
+    #: freeze the warm heap and widen gen0 while serving (see the GC
+    #: serving mode notes above); turn off when embedding the server in
+    #: a process that manages its own collector
+    tune_gc: bool = True
 
 
 class _FrameTooLarge(Exception):
@@ -93,6 +150,9 @@ class PdpServer:
         #: surfaced in the ``stats`` op and ``GET /healthz``
         self.daemon = daemon
         self._obs = get_registry()
+        #: captured at construction, like the registry — swap the active
+        #: tracer (``obs.use_tracer``) *before* building the server
+        self._tracer = obstrace.get_tracer()
         self._server: asyncio.AbstractServer | None = None
         self._sem: asyncio.Semaphore | None = None
         self._closed: asyncio.Event | None = None
@@ -101,6 +161,7 @@ class PdpServer:
         self._queued = 0
         self._inflight = 0
         self._connections = 0
+        self._gc_tuned = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -117,6 +178,9 @@ class PdpServer:
             self.config.port,
             limit=self.config.max_frame_bytes,
         )
+        if self.config.tune_gc:
+            _enter_gc_serving_mode()
+            self._gc_tuned = True
         if self._obs.enabled:
             self._obs.gauge("repro_serve_up").set(1)
         _LOGGER.info("pdp server listening on %s:%d", self.host, self.port)
@@ -152,6 +216,9 @@ class PdpServer:
         sync = getattr(self.engine.audit_log, "sync", None)
         if callable(sync):
             sync()
+        if self._gc_tuned:
+            _exit_gc_serving_mode()
+            self._gc_tuned = False
         if self._obs.enabled:
             self._obs.gauge("repro_serve_up").set(0)
         _LOGGER.info("pdp server drained and stopped")
@@ -264,6 +331,13 @@ class PdpServer:
     # ------------------------------------------------------------------
     # frame dispatch
     # ------------------------------------------------------------------
+    #: response codes that force-retain the request's trace (and why)
+    _KEEP_CODES = {
+        protocol.OVERLOADED: "shed",
+        protocol.TIMEOUT: "deadline",
+        protocol.INTERNAL: "error",
+    }
+
     async def _handle_frame(self, line: bytes) -> tuple[dict, str | None]:
         """Serve one frame; returns ``(response, op)`` (op None if bad)."""
         started = time.perf_counter()
@@ -274,15 +348,46 @@ class PdpServer:
             response = protocol.error_response(code=exc.code, error=str(exc))
             self._count_request("invalid", exc.code)
             return response, None
-        response = await self._dispatch(request)
+        trace_id: str | None = None
+        if request.op in protocol.DECISION_OPS:
+            response, trace_id = await self._traced_decision(
+                request, request.trace or None
+            )
+            if request.trace:
+                # deterministic echo: the id comes from the *request's*
+                # traceparent, never the tracer, so the response is
+                # byte-identical with tracing on or off (E20)
+                response["trace"] = request.trace.split("-", 2)[1]
+        else:
+            response = await self._dispatch(request)
         if request.id is not None and "id" not in response:
             response["id"] = request.id
         if self._obs.enabled:
             self._count_request(request.op, response.get("code", protocol.INTERNAL))
             self._obs.histogram(
                 "repro_serve_request_seconds", op=request.op
-            ).observe(time.perf_counter() - started)
+            ).observe(time.perf_counter() - started, exemplar=trace_id)
         return response, request.op
+
+    async def _traced_decision(
+        self, request: protocol.ServeRequest, traceparent: str | None
+    ) -> tuple[dict, str | None]:
+        """One decide/query under a root span; ``(response, trace id)``.
+
+        With the NULL tracer this is a plain dispatch — no context
+        variable is ever set, so the engine skips provenance too.
+        """
+        if not self._tracer.enabled:
+            return await self._serve_decision(request), None
+        name = _OP_SPANS.get(request.op) or f"repro_serve_{request.op}"
+        with self._tracer.trace(name, traceparent=traceparent) as root:
+            response = await self._serve_decision(request)
+            reason = self._KEEP_CODES.get(response.get("code"))
+            if reason is not None:
+                obstrace.mark_keep(reason)
+        # exemplars only for recorded roots — a dropped skeleton's id
+        # would be a dead link in /metrics
+        return response, root.trace_id if root.recording else None
 
     def _count_request(self, op: str, code: str) -> None:
         if self._obs.enabled:
@@ -301,6 +406,13 @@ class PdpServer:
                 "queued": self._queued,
                 "connections": self._connections,
                 "draining": self._draining,
+            }
+            stats["admission"] = self._admission_info()
+            stats["trace"] = {
+                **self._tracer.stats(),
+                "recent": [
+                    t["trace_id"] for t in self._tracer.store.list(10)
+                ],
             }
             if self.daemon is not None:
                 stats["refine_daemon"] = self.daemon.status()
@@ -334,16 +446,22 @@ class PdpServer:
         assert sem is not None
         if sem.locked() and self._queued >= cfg.max_queue:
             # saturated and the wait queue is full: shed, don't buffer
+            remaining_ms = round(max(0.0, deadline_at - loop.time()) * 1000.0, 3)
             if self._obs.enabled:
                 self._obs.counter("repro_serve_shed_total").inc()
+            self._record_admission_provenance(
+                request, protocol.OVERLOADED, remaining_ms
+            )
             return protocol.error_response(
                 code=protocol.OVERLOADED,
                 error="server is at capacity; retry later",
                 retry_after_ms=cfg.retry_after_ms,
+                deadline_remaining_ms=remaining_ms,
             )
         self._queued += 1
         if self._obs.enabled:
             self._obs.gauge("repro_serve_queue_depth").set(self._queued)
+        queue_started = time.perf_counter()
         try:
             try:
                 await asyncio.wait_for(
@@ -352,6 +470,15 @@ class PdpServer:
             except asyncio.TimeoutError:
                 if self._obs.enabled:
                     self._obs.counter("repro_serve_timeouts_total").inc()
+                waited = time.perf_counter() - queue_started
+                obstrace.record_span(
+                    "repro_serve_queue", queue_started, waited,
+                    error="deadline",
+                )
+                self._record_admission_provenance(
+                    request, protocol.TIMEOUT, 0.0,
+                    queue_ms=round(waited * 1000.0, 4),
+                )
                 return protocol.error_response(
                     code=protocol.TIMEOUT,
                     error=f"deadline of {deadline_s:.3f}s expired while queued",
@@ -360,6 +487,10 @@ class PdpServer:
             self._queued -= 1
             if self._obs.enabled:
                 self._obs.gauge("repro_serve_queue_depth").set(self._queued)
+        if obstrace.recording_trace_id() is not None:
+            waited = time.perf_counter() - queue_started
+            obstrace.record_span("repro_serve_queue", queue_started, waited)
+            obstrace.annotate(queue_ms=round(waited * 1000.0, 4))
         self._inflight += 1
         if self._obs.enabled:
             self._obs.gauge("repro_serve_inflight").set(self._inflight)
@@ -375,9 +506,16 @@ class PdpServer:
             if loop.time() > deadline_at:
                 if self._obs.enabled:
                     self._obs.counter("repro_serve_timeouts_total").inc()
+                self._record_admission_provenance(request, protocol.TIMEOUT, 0.0)
                 return protocol.error_response(
                     code=protocol.TIMEOUT,
                     error=f"deadline of {deadline_s:.3f}s expired before execution",
+                )
+            if obstrace.recording_trace_id() is not None:
+                obstrace.annotate(
+                    deadline_remaining_ms=round(
+                        max(0.0, deadline_at - loop.time()) * 1000.0, 3
+                    )
                 )
             if request.op == "decide":
                 return self.engine.decide(request)
@@ -390,6 +528,49 @@ class PdpServer:
             if self._obs.enabled:
                 self._obs.gauge("repro_serve_inflight").set(self._inflight)
             sem.release()
+
+    def _admission_info(self) -> dict:
+        """The admission-control configuration (stats / healthz)."""
+        cfg = self.config
+        return {
+            "max_inflight": cfg.max_inflight,
+            "max_queue": cfg.max_queue,
+            "default_deadline_ms": round(cfg.default_deadline * 1000.0, 3),
+            "retry_after_ms": cfg.retry_after_ms,
+        }
+
+    def _record_admission_provenance(
+        self,
+        request: protocol.ServeRequest,
+        code: str,
+        remaining_ms: float,
+        queue_ms: float | None = None,
+    ) -> None:
+        """Provenance for a request the engine never saw (shed/timeout).
+
+        These decisions write no audit entries — the side-record is the
+        *only* explanation of why a caller got OVERLOADED or TIMEOUT, so
+        it carries the deadline budget left at the moment of the verdict.
+        No-op when untraced.
+        """
+        trace_id = obstrace.current_trace_id()
+        if trace_id is None:
+            return
+        obstrace.annotate(deadline_remaining_ms=remaining_ms)
+        self.engine.provenance.record(
+            DecisionProvenance(
+                trace_id=trace_id,
+                op=request.op,
+                user=request.user,
+                role=request.role,
+                purpose=request.purpose,
+                decision=code,
+                categories=tuple(request.categories),
+                versions=self.engine.versions(),
+                queue_ms=queue_ms,
+                deadline_remaining_ms=remaining_ms,
+            )
+        )
 
     # ------------------------------------------------------------------
     # the HTTP/1.1 shim
@@ -433,6 +614,7 @@ class PdpServer:
                 "inflight": self._inflight,
                 "queued": self._queued,
                 "audit_entries": len(self.engine.audit_log),
+                "admission": self._admission_info(),
             }
             if self.daemon is not None:
                 health["refine_daemon"] = self.daemon.status()
@@ -444,14 +626,26 @@ class PdpServer:
                 render_registry(self._obs),
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
+        elif method == "GET" and (
+            target == "/traces"
+            or target.startswith("/traces?")
+            or target.startswith("/traces/")
+        ):
+            await self._http_traces(writer, target)
         elif method == "POST" and target == "/decide":
-            payload_response = await self._http_decide(body)
+            payload_response, trace_id = await self._http_decide(
+                body, headers.get("traceparent")
+            )
             code = payload_response.get("code", protocol.INTERNAL)
             extra = {}
             if code == protocol.OVERLOADED:
                 extra["Retry-After"] = str(
                     max(1, self.config.retry_after_ms // 1000 or 1)
                 )
+            if trace_id:
+                # headers are outside the byte-identity contract, so the
+                # server-side id is safe to surface here (curl → /traces)
+                extra["X-Trace-Id"] = trace_id
             await self._http_respond(
                 writer,
                 protocol.HTTP_STATUS.get(code, 500),
@@ -463,7 +657,9 @@ class PdpServer:
                 writer, 404, {"error": f"no route for {method} {target}"}
             )
 
-    async def _http_decide(self, body: bytes) -> dict:
+    async def _http_decide(
+        self, body: bytes, traceparent: str | None = None
+    ) -> tuple[dict, str | None]:
         try:
             payload = protocol.decode_frame(body or b"{}")
             payload.setdefault("op", "decide")
@@ -475,10 +671,53 @@ class PdpServer:
         except protocol.ProtocolError as exc:
             self._count_rejected("malformed")
             self._count_request("invalid", exc.code)
-            return protocol.error_response(code=exc.code, error=str(exc))
-        response = await self._serve_decision(request)
+            return protocol.error_response(code=exc.code, error=str(exc)), None
+        # a malformed traceparent header is *ignored* (fresh trace), per
+        # the W3C spec — only the strict body field hard-rejects
+        if traceparent is None or not obstrace.TRACEPARENT_RE.match(traceparent):
+            traceparent = request.trace or None
+        response, trace_id = await self._traced_decision(request, traceparent)
+        if request.trace:
+            response["trace"] = request.trace.split("-", 2)[1]
         self._count_request(request.op, response.get("code", protocol.INTERNAL))
-        return response
+        return response, trace_id
+
+    async def _http_traces(
+        self, writer: asyncio.StreamWriter, target: str
+    ) -> None:
+        """``GET /traces`` (summaries) and ``GET /traces/<id>`` (full).
+
+        ``?slow=1`` orders by descending duration; ``?limit=N`` bounds
+        the listing.  A full trace is joined with its decision-provenance
+        records so one fetch explains the request end to end.
+        """
+        parts = urlsplit(target)
+        store = self._tracer.store
+        if parts.path.startswith("/traces/"):
+            trace_id = parts.path[len("/traces/"):]
+            trace = store.get(trace_id)
+            if trace is None:
+                await self._http_respond(
+                    writer, 404, {"error": f"no retained trace {trace_id!r}"}
+                )
+                return
+            payload = dict(trace)
+            payload["provenance"] = self.engine.provenance.for_trace(trace_id)
+            await self._http_respond(writer, 200, payload)
+            return
+        query = parse_qs(parts.query)
+        try:
+            limit = int(query.get("limit", ["50"])[0])
+        except ValueError:
+            await self._http_respond(
+                writer, 400, {"error": "'limit' must be an integer"}
+            )
+            return
+        slow = query.get("slow", ["0"])[0] not in ("", "0", "false")
+        traces = store.slow(limit) if slow else store.list(limit)
+        await self._http_respond(
+            writer, 200, {"tracer": self._tracer.stats(), "traces": traces}
+        )
 
     async def _http_respond(
         self,

@@ -218,6 +218,35 @@ class TestEventSink:
         assert [json.loads(line)["event"] for line in lines] == ["one", "two"]
         assert sink.events_written == 2
 
+    def test_concurrent_emits_never_interleave_lines(self, tmp_path):
+        """The serve loop and the refine daemon share one sink; ``emit``
+        holds a lock so concurrent writers cannot tear each other's
+        lines (a regression test for the unlocked original)."""
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        writers, per_writer = 8, 200
+        with obs.JsonlEventSink(path) as sink:
+            def hammer(worker: int) -> None:
+                for index in range(per_writer):
+                    sink.emit("span", worker=worker, index=index,
+                              padding="x" * 64)
+
+            threads = [
+                threading.Thread(target=hammer, args=(worker,))
+                for worker in range(writers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == writers * per_writer
+        records = [json.loads(line) for line in lines]  # every line parses
+        assert sink.events_written == writers * per_writer
+        seen = {(r["worker"], r["index"]) for r in records}
+        assert len(seen) == writers * per_writer
+
 
 class TestExpositionRoundTrip:
     def _populated_registry(self) -> obs.MetricsRegistry:

@@ -1,0 +1,259 @@
+"""Unit tests for the tracing layer (:mod:`repro.obs.trace`).
+
+Covers the traceparent wire format (strict parse, round trip), the
+context-variable span tree (``obs.span`` integration, ``record_span``,
+``annotate``, ``mark_keep`` — all no-ops when untraced), the retention
+policy (head sampling, error / slow / marked overrides, remote parents
+always kept), the bounded ring-buffer store, histogram exemplars, and
+the log-bucket quantile estimator behind ``repro metrics --format
+summary``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import trace as obstrace
+from repro.obs.metrics import Histogram, estimate_quantile
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceStore,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+    use_tracer,
+)
+
+
+class TestTraceparentWireFormat:
+    def test_round_trip(self):
+        trace_id = obstrace.new_trace_id()
+        span_id = obstrace.new_span_id()
+        context = parse_traceparent(format_traceparent(trace_id, span_id))
+        assert context.trace_id == trace_id
+        assert context.span_id == span_id
+
+    def test_ids_are_lowercase_hex_of_exact_width(self):
+        assert len(obstrace.new_trace_id()) == 32
+        assert len(obstrace.new_span_id()) == 16
+        assert obstrace.TRACEPARENT_RE.match(
+            format_traceparent(obstrace.new_trace_id(), obstrace.new_span_id())
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "garbage",
+        "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+        "00-" + "A" * 32 + "-" + "b" * 16 + "-01",  # uppercase hex
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+        "00-" + "a" * 32 + "-" + "b" * 15 + "-01",  # short span id
+        "00-" + "a" * 32 + "-" + "b" * 16 + "-1",   # short flags
+        None,
+        42,
+    ])
+    def test_malformed_values_raise(self, bad):
+        with pytest.raises(ObservabilityError):
+            parse_traceparent(bad)
+
+    def test_child_context_keeps_trace_id_and_links_parent(self):
+        parent = parse_traceparent(
+            format_traceparent(obstrace.new_trace_id(), obstrace.new_span_id())
+        )
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+
+class TestRetentionPolicy:
+    def test_head_sampling_keeps_every_nth_root(self):
+        tracer = Tracer(sample_every=4)
+        for _ in range(8):
+            with tracer.trace("repro_test"):
+                pass
+        assert tracer.kept == 2
+        assert tracer.dropped == 6
+        assert all("head" in t["keep"] for t in tracer.store.list())
+
+    def test_error_always_keeps(self):
+        tracer = Tracer(sample_every=1000)
+        with pytest.raises(ValueError):
+            with tracer.trace("repro_test"):
+                raise ValueError("boom")
+        [summary] = tracer.store.list()
+        assert "error" in summary["keep"]
+        assert summary["error"] == "ValueError"
+
+    def test_slow_always_keeps(self):
+        tracer = Tracer(sample_every=1000, slow_threshold=0.0)
+        with tracer.trace("repro_test"):
+            pass
+        [summary] = tracer.store.list()
+        assert "slow" in summary["keep"]
+
+    def test_mark_keep_always_keeps_with_reason(self):
+        tracer = Tracer(sample_every=1000)
+        with tracer.trace("repro_test"):
+            # skip the head-sampled first root
+            pass
+        with tracer.trace("repro_test"):
+            obstrace.mark_keep("shed")
+        assert tracer.kept == 2
+        assert "shed" in tracer.store.list()[0]["keep"]
+
+    def test_remote_parent_always_kept_and_linked(self):
+        tracer = Tracer(sample_every=1000)
+        with tracer.trace("repro_test"):
+            pass  # consume the head sample
+        traceparent = format_traceparent("ab" * 16, "cd" * 8)
+        with tracer.trace("repro_test", traceparent=traceparent) as root:
+            assert root.trace_id == "ab" * 16
+        trace = tracer.store.get("ab" * 16)
+        assert trace is not None
+        assert trace["parent_id"] == "cd" * 8
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.trace("repro_test") as root:
+            assert obstrace.current() is None
+            assert root.trace_id == ""
+        assert NULL_TRACER.stats()["enabled"] is False
+        assert len(NULL_TRACER.store) == 0
+
+    def test_bad_sample_every_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(sample_every=0)
+
+
+class TestSpanTree:
+    def test_obs_spans_become_child_spans(self):
+        tracer = Tracer(sample_every=1)
+        registry = MetricsRegistry()
+        with tracer.trace("repro_test_root"):
+            with registry.span("repro_test_outer", stage="a"):
+                with registry.span("repro_test_inner"):
+                    pass
+        [trace] = [tracer.store.get(t["trace_id"]) for t in tracer.store.list()]
+        spans = {span["name"]: span for span in trace["spans"]}
+        assert set(spans) == {
+            "repro_test_root", "repro_test_outer", "repro_test_inner"
+        }
+        root = spans["repro_test_root"]
+        outer = spans["repro_test_outer"]
+        inner = spans["repro_test_inner"]
+        assert outer["parent_id"] == root["span_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["labels"] == {"stage": "a"}
+
+    def test_record_span_and_annotate_attach_to_active_trace(self):
+        tracer = Tracer(sample_every=1)
+        with tracer.trace("repro_test"):
+            started = time.perf_counter()
+            obstrace.record_span("repro_test_wait", started, 0.001,
+                                 labels={"k": "v"}, error="deadline")
+            obstrace.annotate(queue_ms=1.0, user="alice")
+        trace = tracer.store.get(tracer.store.list()[0]["trace_id"])
+        [wait] = [s for s in trace["spans"] if s["name"] == "repro_test_wait"]
+        assert wait["labels"] == {"k": "v"}
+        assert wait["error"] == "deadline"
+        assert trace["annotations"] == {"queue_ms": 1.0, "user": "alice"}
+
+    def test_helpers_are_noops_when_untraced(self):
+        assert obstrace.current() is None
+        assert obstrace.current_trace_id() is None
+        obstrace.record_span("repro_test", time.perf_counter(), 0.0)
+        obstrace.annotate(x=1)
+        obstrace.mark_keep("whatever")
+        assert obstrace.enter_child("repro_test", {}) is None
+
+    def test_current_trace_id_matches_root(self):
+        tracer = Tracer(sample_every=1)
+        with tracer.trace("repro_test") as root:
+            assert obstrace.current_trace_id() == root.trace_id
+        assert obstrace.current_trace_id() is None
+
+
+class TestTraceStore:
+    def _trace(self, trace_id: str, duration: float) -> dict:
+        return {"trace_id": trace_id, "name": "t", "parent_id": "",
+                "start_unix": 0.0, "duration_ms": duration, "error": None,
+                "keep": ["head"], "annotations": {}, "spans": [{}, {}]}
+
+    def test_ring_buffer_evicts_oldest(self):
+        store = TraceStore(capacity=3)
+        for index in range(5):
+            store.add(self._trace(f"{index:032x}", float(index)))
+        assert len(store) == 3
+        assert store.get(f"{0:032x}") is None
+        assert store.get(f"{4:032x}") is not None
+
+    def test_list_is_newest_first_summaries(self):
+        store = TraceStore(capacity=8)
+        for index in range(4):
+            store.add(self._trace(f"{index:032x}", float(index)))
+        summaries = store.list(limit=2)
+        assert [s["trace_id"] for s in summaries] == [f"{3:032x}", f"{2:032x}"]
+        assert all(s["spans"] == 2 for s in summaries)
+
+    def test_slow_orders_by_duration(self):
+        store = TraceStore(capacity=8)
+        for index, duration in enumerate([1.0, 9.0, 4.0]):
+            store.add(self._trace(f"{index:032x}", duration))
+        assert [s["duration_ms"] for s in store.slow()] == [9.0, 4.0, 1.0]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            TraceStore(capacity=0)
+
+
+class TestTracerSwap:
+    def test_use_tracer_swaps_and_restores(self):
+        before = obstrace.get_tracer()
+        replacement = Tracer(sample_every=1)
+        with use_tracer(replacement):
+            assert obstrace.get_tracer() is replacement
+        assert obstrace.get_tracer() is before
+
+
+class TestExemplarsAndQuantiles:
+    def test_exemplar_attaches_to_bucket(self):
+        histogram = Histogram("h", {}, (0.001, 0.01, 0.1))
+        histogram.observe(0.005, exemplar="ab" * 16)
+        [exemplar] = histogram.exemplars()
+        assert exemplar["trace_id"] == "ab" * 16
+        assert exemplar["value"] == 0.005
+        assert exemplar["le"] == 0.01
+
+    def test_exemplar_free_histogram_reports_none(self):
+        histogram = Histogram("h", {}, (0.001, 0.01))
+        histogram.observe(0.005)
+        assert histogram.exemplars() == []
+
+    def test_span_observation_carries_trace_exemplar(self):
+        tracer = Tracer(sample_every=1)
+        registry = MetricsRegistry()
+        with tracer.trace("repro_test") as root:
+            with registry.span("repro_test_work"):
+                pass
+        [exemplar] = registry.histogram(
+            "repro_test_work_seconds"
+        ).exemplars()
+        assert exemplar["trace_id"] == root.trace_id
+
+    def test_estimate_quantile_interpolates_geometrically(self):
+        histogram = Histogram("h", {}, (0.001, 0.01, 0.1))
+        for value in [0.002, 0.003, 0.004, 0.005]:
+            histogram.observe(value)
+        p50 = estimate_quantile(histogram.cumulative_buckets(), 0.50)
+        assert 0.001 < p50 < 0.01
+
+    def test_estimate_quantile_empty_histogram_is_none(self):
+        histogram = Histogram("h", {}, (0.001, 0.01))
+        assert estimate_quantile(histogram.cumulative_buckets(), 0.5) is None
+
+    def test_estimate_quantile_rejects_out_of_range(self):
+        with pytest.raises(ObservabilityError):
+            estimate_quantile([(1.0, 1)], 1.5)

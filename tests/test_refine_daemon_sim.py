@@ -451,3 +451,111 @@ class TestServingIntegration:
         assert status["lag_entries"] == 0
         assert status["rounds"] == 1
         log.close()
+
+
+class TestDecisionProvenanceStamping:
+    """Accepted rules carry the evidence that mined them (ISSUE 7)."""
+
+    def _traced_run(self, tmp_path, provenance=None, rounds=ROUNDS):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer(sample_every=1)
+        with use_tracer(tracer):
+            setup = standard_loop_setup(accesses_per_round=800, seed=7)
+            log = DurableAuditLog(tmp_path / "trail", name="online")
+            daemon = RefineDaemon(
+                log,
+                StorePolicyTarget(setup.store),
+                setup.vocabulary,
+                AutoAcceptGate(**GATE),
+                DaemonConfig(mining=MiningConfig(**MINING)),
+                provenance=provenance,
+            )
+        windows = []
+        for round_index in range(rounds):
+            window = setup.environment.simulate_round(round_index, setup.store)
+            windows.append(window)
+            log.extend(window)
+            log.seal_active()
+            daemon.poll()
+        return setup, daemon, log, windows, tracer
+
+    def test_accepted_candidates_carry_bounded_audit_evidence(self, tmp_path):
+        from repro.refine_daemon.state import EVIDENCE_LIMIT
+
+        setup, daemon, log, windows, tracer = self._traced_run(tmp_path)
+        trail = [entry for window in windows for entry in window]
+        accepted = daemon.state.accepted
+        assert accepted
+        attributes = MiningConfig(**MINING).attributes
+        for candidate in accepted:
+            assert candidate.evidence_entries
+            assert len(candidate.evidence_entries) <= EVIDENCE_LIMIT
+            for entry_id in candidate.evidence_entries:
+                entry = trail[entry_id]
+                # the evidence is exactly the exception traffic whose
+                # lifted rule is the candidate
+                assert entry.is_exception
+                assert format_rule(entry.to_rule(attributes)) == candidate.rule
+        log.close()
+
+    def test_accepting_poll_trace_is_stamped_and_retained(self, tmp_path):
+        _, daemon, log, _, tracer = self._traced_run(tmp_path)
+        poll_ids = {candidate.trace_id for candidate in daemon.state.accepted}
+        assert all(len(trace_id) == 32 for trace_id in poll_ids)
+        for trace_id in poll_ids:
+            trace = tracer.store.get(trace_id)
+            assert trace is not None
+            assert trace["name"] == "repro_refine_daemon_poll"
+            # adoption force-retains the poll even under sparse sampling
+            assert "refined" in trace["keep"]
+            names = {span["name"] for span in trace["spans"]}
+            assert "repro_refine_daemon_mine" in names
+        log.close()
+
+    def test_evidence_resolves_to_serving_traces_via_ledger(self, tmp_path):
+        from repro.obs.provenance import ProvenanceLedger
+
+        ledger = ProvenanceLedger()
+        serving_trace = "ab" * 16
+        ledger.record({
+            "trace_id": serving_trace, "op": "decide", "user": "u",
+            "role": "r", "purpose": "p", "decision": "OK",
+            "status": "exception", "categories": [], "matched_rules": {},
+            "versions": {}, "cache": "off", "queue_ms": None,
+            "handle_ms": None, "entry_ids": list(range(3200)),
+            "deadline_remaining_ms": None,
+        })
+        _, daemon, log, _, _ = self._traced_run(tmp_path, provenance=ledger)
+        accepted = daemon.state.accepted
+        assert accepted
+        assert all(
+            candidate.evidence_traces == [serving_trace]
+            for candidate in accepted
+        )
+        log.close()
+
+    def test_evidence_survives_a_state_round_trip(self, tmp_path):
+        _, daemon, log, _, _ = self._traced_run(tmp_path, rounds=2)
+        persisted = load_state(log.store.directory)
+        by_rule = {c.rule: c for c in persisted.accepted}
+        for candidate in daemon.state.accepted:
+            twin = by_rule[candidate.rule]
+            assert twin.evidence_entries == candidate.evidence_entries
+            assert twin.evidence_traces == candidate.evidence_traces
+            assert twin.trace_id == candidate.trace_id
+        log.close()
+
+    def test_untraced_daemon_still_matches_offline_loop(self, tmp_path):
+        """Evidence stamping never changes *what* is accepted: the NULL
+        tracer run stays byte-identical to the offline comparator."""
+        from repro.obs.trace import NULL_TRACER, use_tracer
+
+        with use_tracer(NULL_TRACER):
+            online_setup, daemon, log, windows, _ = drive_daemon(tmp_path)
+        offline_setup, _ = offline_loop(windows)
+        assert rules_of(online_setup.store) == rules_of(offline_setup.store)
+        for candidate in daemon.state.accepted:
+            assert candidate.trace_id == ""  # no poll trace to stamp
+            assert candidate.evidence_entries  # evidence is tracer-free
+        log.close()
