@@ -24,8 +24,6 @@ import time
 from pathlib import Path
 
 from benchmarks.conftest import emit
-from repro.audit.log import AuditLog, make_entry
-from repro.audit.schema import AccessStatus
 from repro.experiments.reporting import format_table
 from repro.serve import (
     PdpClient,
@@ -35,7 +33,7 @@ from repro.serve import (
     protocol,
     run_load,
 )
-from repro.workload.traces import decision_payloads
+from repro.workload.traces import demo_decision_payloads
 
 _REQUESTS = int(os.environ.get("E18_REQUESTS", "2000"))
 _CLIENTS = int(os.environ.get("E18_CLIENTS", "8"))
@@ -43,20 +41,6 @@ _ROWS = 200
 _SEED = 7
 
 _OUT_PATH = Path(__file__).parent / "out" / "e18_serve_throughput.json"
-
-# the demo ward's workflow wheel: skewed like real audit traffic, with
-# denied combinations mixed in so both decision outcomes are exercised
-_COMBOS = (
-    ("prescription", "treatment", "physician", AccessStatus.REGULAR),
-    ("referral", "treatment", "nurse", AccessStatus.REGULAR),
-    ("name", "billing", "clerk", AccessStatus.REGULAR),
-    ("insurance", "billing", "clerk", AccessStatus.REGULAR),
-    ("lab_results", "diagnosis", "physician", AccessStatus.REGULAR),
-    ("psychiatry", "treatment", "nurse", AccessStatus.REGULAR),
-    ("insurance", "treatment", "physician", AccessStatus.EXCEPTION),
-    ("address", "registration", "registrar", AccessStatus.REGULAR),
-)
-_WEIGHTS = (24, 20, 14, 12, 10, 9, 6, 5)
 
 # deterministic mixed-op replay for the identity phase: every served
 # code path (allow, mask, deny, exception, SQL, admin-free errors)
@@ -82,18 +66,7 @@ _IDENTITY_SEQUENCE = (
 
 def _workload_payloads(count: int) -> list[dict]:
     """``count`` decide payloads replayed from a synthetic workload log."""
-    wheel: list[int] = []
-    for combo_index, weight in enumerate(_WEIGHTS):
-        wheel.extend([combo_index] * weight)
-    log = AuditLog()
-    for tick in range(count):
-        slot = (tick * 2654435761) % len(wheel)
-        data, purpose, role, status = _COMBOS[wheel[slot]]
-        log.append(
-            make_entry(tick + 1, f"user{(tick * 97) % 23}", data, purpose,
-                       role, status=status)
-        )
-    return decision_payloads(log)
+    return demo_decision_payloads(count)
 
 
 def _entry_key(entry):

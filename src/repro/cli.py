@@ -57,7 +57,7 @@ turns on structured DEBUG logging for the ``repro`` logger tree.
 from __future__ import annotations
 
 import argparse
-
+import json
 import sys
 from pathlib import Path
 
@@ -233,6 +233,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store-dir", default=None, metavar="DIR",
                        help="write the audit trail through to a durable "
                             "segmented store at DIR")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="run a fleet of N worker processes behind one "
+                            "shared port (requires --store-dir; default 1 "
+                            "serves in-process)")
+    serve.add_argument("--listener", choices=("auto", "reuseport", "fd"),
+                       default="auto",
+                       help="fleet listener mode: SO_REUSEPORT per worker, "
+                            "or one supervisor-held fd (default: auto)")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the interned decision cache")
     serve.add_argument("--cache-size", type=int, default=4096)
@@ -302,6 +310,25 @@ def _build_parser() -> argparse.ArgumentParser:
     rd_reject.add_argument("rule", help="candidate index or exact rule DSL")
     rd_reject.add_argument("--note", default="", help="review note")
     rd_reject.set_defaults(handler=_cmd_daemon_reject)
+
+    fleet_cmd = commands.add_parser(
+        "fleet", help="inspect a running multi-worker decision fleet"
+    )
+    fleet_sub = fleet_cmd.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="per-worker liveness, versions and convergence"
+    )
+    fleet_status.add_argument("--host", default="127.0.0.1")
+    fleet_status.add_argument("--port", type=int, default=7070)
+    fleet_status.add_argument("--json", action="store_true",
+                              help="print the raw status document")
+    fleet_status.set_defaults(handler=_cmd_fleet_status)
+    fleet_metrics = fleet_sub.add_parser(
+        "metrics", help="merged Prometheus text across every worker"
+    )
+    fleet_metrics.add_argument("--host", default="127.0.0.1")
+    fleet_metrics.add_argument("--port", type=int, default=7070)
+    fleet_metrics.set_defaults(handler=_cmd_fleet_metrics)
 
     decide = commands.add_parser(
         "decide", help="ask a running decision service for one decision"
@@ -655,6 +682,15 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         obstrace.set_tracer(obstrace.NULL_TRACER)
     elif arguments.trace_sample != obstrace.get_tracer().sample_every:
         obstrace.set_tracer(obstrace.Tracer(sample_every=arguments.trace_sample))
+    rules = None
+    if arguments.rules is not None:
+        rules = [
+            line.strip()
+            for line in Path(arguments.rules).read_text(encoding="utf-8").splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    if arguments.workers > 1:
+        return _serve_fleet(arguments, rules)
     audit_log = None
     if arguments.store_dir is not None:
         from repro.store.durable import DurableAuditLog
@@ -666,13 +702,6 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         audit_log = DurableAuditLog(
             arguments.store_dir, config=store_config, name="served"
         )
-    rules = None
-    if arguments.rules is not None:
-        rules = [
-            line.strip()
-            for line in Path(arguments.rules).read_text(encoding="utf-8").splitlines()
-            if line.strip() and not line.strip().startswith("#")
-        ]
     engine = build_demo_engine(
         rows=arguments.rows,
         seed=arguments.seed,
@@ -767,6 +796,132 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     if audit_log is not None:
         audit_log.close()
         print(f"durable trail persisted at {arguments.store_dir}")
+    return 0
+
+
+def _serve_fleet(arguments: argparse.Namespace, rules) -> int:
+    """The ``repro serve --workers N`` path: a supervised process fleet."""
+    import signal
+
+    from repro.fleet import FleetConfig, FleetSupervisor
+
+    if arguments.store_dir is None:
+        print("--workers needs --store-dir: each worker writes its own "
+              "durable audit segment directory under it")
+        return 2
+    config = FleetConfig(
+        store_dir=arguments.store_dir,
+        workers=arguments.workers,
+        host=arguments.host,
+        port=arguments.port,
+        rows=arguments.rows,
+        seed=arguments.seed,
+        rules=tuple(rules) if rules is not None else None,
+        cache=not arguments.no_cache,
+        cache_size=arguments.cache_size,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
+        segment_entries=arguments.segment_entries,
+        listener=arguments.listener,
+    )
+    supervisor = FleetSupervisor(config)
+    supervisor.start()
+    try:
+        if arguments.refine_daemon:
+            from repro.mining.patterns import MiningConfig
+            from repro.refine_daemon import (
+                AutoAcceptGate,
+                DaemonConfig,
+                QueueForReviewGate,
+            )
+
+            gate = (
+                AutoAcceptGate(arguments.gate_support, arguments.gate_users)
+                if arguments.gate == "auto"
+                else QueueForReviewGate()
+            )
+            supervisor.attach_daemon(
+                gate,
+                config=DaemonConfig(
+                    mining=MiningConfig(
+                        min_support=arguments.refine_min_support,
+                        min_distinct_users=arguments.refine_min_users,
+                    )
+                ),
+                interval=arguments.refine_interval,
+            )
+            print(
+                f"fleet refinement daemon tailing {arguments.store_dir} "
+                f"every {arguments.refine_interval:g}s "
+                f"(gate={arguments.gate})",
+                flush=True,
+            )
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(
+                    signum, lambda *_: supervisor.request_shutdown()
+                )
+            except (ValueError, OSError):
+                pass  # non-main thread or platform without signal support
+        print(
+            f"pdp fleet of {config.workers} workers listening on "
+            f"{supervisor.host}:{supervisor.port} "
+            f"({supervisor.listener_mode} listener)",
+            flush=True,
+        )
+        supervisor.wait()
+    finally:
+        supervisor.shutdown()
+    print(f"pdp fleet stopped (per-worker trails under {arguments.store_dir})")
+    return 0
+
+
+def _cmd_fleet_status(arguments: argparse.Namespace) -> int:
+    from repro.serve import PdpClient
+
+    with PdpClient(arguments.host, arguments.port) as client:
+        status = client.fleet_status()
+    if not status.get("ok"):
+        print(f"fleet status failed: {status.get('error')}")
+        return 1
+    if arguments.json:
+        print(json.dumps({k: v for k, v in status.items() if k != "ok"},
+                         indent=2, default=str))
+        return 0
+    print(f"fleet of {status.get('size')} workers on "
+          f"{status.get('host')}:{status.get('port')} "
+          f"({status.get('listener')} listener)")
+    print(f"  ready / converged : {status.get('ready')} / "
+          f"{status.get('converged')}")
+    print(f"  control version   : {status.get('control_version')} "
+          f"(oplog {status.get('oplog')} ops, "
+          f"{status.get('respawns')} respawns)")
+    for worker in status.get("workers", ()):
+        versions = worker.get("versions") or {}
+        print(f"  {worker.get('site')}: pid={worker.get('pid')} "
+              f"port={worker.get('port')} ready={worker.get('ready')} "
+              f"entries={worker.get('audit_entries', '?')} "
+              f"policy=v{versions.get('policy', '?')} "
+              f"consent=v{versions.get('consent', '?')}")
+    daemon = status.get("refine_daemon")
+    if daemon:
+        print(f"  refine daemon     : watermark "
+              f"{daemon.get('watermark_entries')} "
+              f"(lag {daemon.get('lag_entries')}), "
+              f"{daemon.get('pending')} pending, "
+              f"{daemon.get('accepted')} accepted")
+    return 0
+
+
+def _cmd_fleet_metrics(arguments: argparse.Namespace) -> int:
+    from repro.serve import PdpClient
+
+    with PdpClient(arguments.host, arguments.port) as client:
+        response = client.fleet_metrics()
+    if not response.get("ok"):
+        print(f"fleet metrics failed: {response.get('error')}")
+        return 1
+    print(response.get("metrics", ""), end="")
     return 0
 
 

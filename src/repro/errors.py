@@ -101,3 +101,7 @@ class ServeError(PrimaError):
 
 class DaemonError(PrimaError):
     """The online refinement daemon's state or wiring is invalid."""
+
+
+class FleetError(PrimaError):
+    """The multi-process serving fleet (supervisor/workers) failed."""

@@ -1,0 +1,48 @@
+"""repro.fleet — multi-process decision-service scale-out (PR 8).
+
+One :class:`FleetSupervisor` runs N PDP worker processes behind a shared
+listener; each worker owns its engine snapshot, decision cache, and a
+private durable audit segment directory; admin mutations broadcast over
+a version-stamped control channel; the PR 3/4 federation layer
+consolidates the per-worker trails into one refinement input.
+"""
+
+from repro.fleet.config import LISTENER_MODES, FleetConfig
+from repro.fleet.control import (
+    APPLY_OPS,
+    REPLAY_OPS,
+    WorkerControl,
+    apply_broadcast,
+)
+from repro.fleet.refine import FleetPolicyTarget, FleetRefineDaemon
+from repro.fleet.supervisor import FleetSupervisor
+from repro.fleet.trail import (
+    WORKER_DIR_PREFIX,
+    consolidated_trail,
+    fleet_federation,
+    fleet_sites,
+    sealed_entry_counts,
+    worker_site,
+    worker_store_dir,
+)
+from repro.fleet.worker import worker_main
+
+__all__ = [
+    "APPLY_OPS",
+    "LISTENER_MODES",
+    "REPLAY_OPS",
+    "WORKER_DIR_PREFIX",
+    "FleetConfig",
+    "FleetPolicyTarget",
+    "FleetRefineDaemon",
+    "FleetSupervisor",
+    "WorkerControl",
+    "apply_broadcast",
+    "consolidated_trail",
+    "fleet_federation",
+    "fleet_sites",
+    "sealed_entry_counts",
+    "worker_site",
+    "worker_store_dir",
+    "worker_main",
+]

@@ -1,0 +1,80 @@
+"""Fleet configuration: one picklable object describing the whole fleet.
+
+:class:`FleetConfig` crosses the process boundary — the supervisor ships
+it (with the resolved port patched in) to every spawned worker, so it
+must stay a plain frozen dataclass of primitives.  The engine-building
+fields (``rows``/``seed``/``rules``) match
+:func:`repro.serve.engine.build_demo_engine`: every worker builds the
+*same* initial engine deterministically, which is what makes oplog
+replay a complete convergence story for respawned workers.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+
+#: Listener modes (see :func:`FleetConfig.resolve_listener`).
+LISTENER_MODES = ("auto", "reuseport", "fd")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunables of one :class:`~repro.fleet.supervisor.FleetSupervisor`."""
+
+    #: root directory holding one ``worker-NN/`` store per worker plus
+    #: the fleet refine-daemon state; required
+    store_dir: str = ""
+    workers: int = 2
+    host: str = "127.0.0.1"
+    #: 0 = the supervisor reserves an ephemeral port at start
+    port: int = 0
+    # --- the demo engine every worker builds (must be deterministic) ---
+    rows: int = 200
+    seed: int = 7
+    #: policy DSL lines replacing the demo rules (None keeps them)
+    rules: tuple[str, ...] | None = None
+    cache: bool = True
+    cache_size: int = 4096
+    # --- per-worker server admission knobs ---
+    max_inflight: int = 64
+    max_queue: int = 256
+    #: per-worker store segment roll size (None keeps the store default);
+    #: small values seal often, which is what feeds the fleet daemon
+    segment_entries: int | None = None
+    # --- fleet plumbing ---
+    #: ``auto`` picks ``reuseport`` where the platform has SO_REUSEPORT
+    #: and falls back to supervisor-held fd passing elsewhere
+    listener: str = "auto"
+    #: seconds a control broadcast waits for every worker's ack before
+    #: the straggler is declared diverged and respawned
+    control_timeout: float = 10.0
+    #: seconds one worker gets to come up (spawn + engine build + bind)
+    worker_start_timeout: float = 60.0
+    #: respawn crashed workers (replaying the admin oplog first)
+    respawn: bool = True
+    #: respawn budget across the fleet's lifetime — a crash-looping
+    #: worker must not melt the supervisor
+    max_respawns: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.store_dir:
+            raise FleetError(
+                "FleetConfig.store_dir is required: every worker needs its "
+                "own durable audit segment directory under it"
+            )
+        if self.workers < 1:
+            raise FleetError(f"workers must be >= 1, got {self.workers}")
+        if self.listener not in LISTENER_MODES:
+            raise FleetError(
+                f"unknown listener mode {self.listener!r} "
+                f"(choose from {LISTENER_MODES})"
+            )
+
+    def resolve_listener(self) -> str:
+        """The concrete listener mode this platform will use."""
+        if self.listener != "auto":
+            return self.listener
+        return "reuseport" if hasattr(socket, "SO_REUSEPORT") else "fd"

@@ -1,0 +1,234 @@
+"""The fleet control channel: message vocabulary + the worker endpoint.
+
+One duplex :class:`multiprocessing.connection.Connection` pair links the
+supervisor to each worker.  Messages are small picklable tuples whose
+first element names the kind:
+
+worker → supervisor
+    ``("hello", site, pid, port)``        the worker is listening
+    ``("ready", site, versions)``         oplog replay done, admitting
+    ``("applied", site, version, resp)``  ack of one broadcast op
+    ``("status", site, data)``            reply to ``status_req``
+    ``("snapshot", site, data)``          reply to ``snapshot_req``
+    ``("admin", site, ticket, payload)``  proxy an admin op fleet-wide
+    ``("fleet", site, ticket, op)``       proxy a ``fleet.*`` read/sync
+    ``("shutdown_req", site)``            a client asked the fleet to stop
+    ``("stopped", site)``                 drain finished, exiting
+    ``("fatal", site, error)``            unrecoverable worker failure
+
+supervisor → worker
+    ``("replay", ops)``                   apply the oplog, then go ready
+    ``("apply", version, payload)``       one version-stamped broadcast op
+    ``("admin_reply", ticket, resp)``     answer to a proxied admin op
+    ``("fleet_reply", ticket, resp)``     answer to a proxied fleet op
+    ``("status_req",)`` / ``("snapshot_req",)``
+    ``("stop",)``                         drain-then-stop this worker
+
+Ordering guarantee: the supervisor is the only writer on each pipe and
+applies broadcast ops strictly in version order from a single control
+thread, while each worker applies them strictly in arrival order from a
+single :class:`WorkerControl` thread — so every worker folds the same op
+sequence over the same deterministic initial engine, and the
+``{policy, consent, vocab}`` versions converge after every ack round.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+
+from repro.errors import FleetError
+from repro.policy.parser import parse_rule
+from repro.serve import protocol
+
+_LOGGER = logging.getLogger("repro.fleet.control")
+
+#: Broadcast payload ops a worker knows how to apply.
+APPLY_OPS = frozenset(
+    {"admin.add_rule", "admin.retire_rule", "admin.consent",
+     "fleet.adopt", "fleet.sync"}
+)
+
+#: Broadcast ops that mutate engine state and therefore belong in the
+#: supervisor's replay oplog (``fleet.sync`` is a durability barrier —
+#: replaying it would be harmless but is pure noise).
+REPLAY_OPS = frozenset(
+    {"admin.add_rule", "admin.retire_rule", "admin.consent", "fleet.adopt"}
+)
+
+#: Seconds a worker waits on the supervisor to answer a proxied op.
+PROXY_TIMEOUT = 30.0
+
+
+def apply_broadcast(engine, payload: dict) -> dict:
+    """Apply one broadcast op to a worker engine; returns the response.
+
+    Shared by the live control thread and the pre-ready oplog replay, so
+    a respawned worker folds history through exactly the code path the
+    original broadcasts took.
+    """
+    op = payload.get("op")
+    if op not in APPLY_OPS:
+        return protocol.error_response(
+            code=protocol.BAD_REQUEST, error=f"unknown broadcast op {op!r}"
+        )
+    if op == "fleet.sync":
+        engine.audit_log.sync()
+        return protocol.ok_response(synced=len(engine.audit_log))
+    if op == "fleet.adopt":
+        try:
+            rules = tuple(parse_rule(text) for text in payload.get("rules", ()))
+        except Exception as exc:  # PolicyParseError et al.
+            return protocol.error_response(
+                code=protocol.BAD_REQUEST, error=str(exc)
+            )
+        snapshot, added = engine.adopt_rules(
+            rules, note=str(payload.get("note", ""))
+        )
+        return protocol.ok_response(added=added, versions=snapshot.versions())
+    try:
+        request = protocol.parse_request(dict(payload))
+    except protocol.ProtocolError as exc:
+        return protocol.error_response(code=exc.code, error=str(exc))
+    return engine.admin(request)
+
+
+class WorkerControl:
+    """The worker-side endpoint of the control channel.
+
+    Runs the receive loop on the worker's main thread (:meth:`run`);
+    the :class:`~repro.serve.server.PdpServer` holds it as the ``fleet``
+    hook and calls :meth:`admin_request` / :meth:`fleet_request` /
+    :meth:`request_shutdown` from event-loop executor threads — those
+    block on a ticketed reply, never on the control thread itself.
+    """
+
+    def __init__(self, site: str, conn) -> None:
+        self.site = site
+        self._conn = conn
+        self.engine = None
+        self._server = None  # the ServerThread, attached after start
+        self._send_lock = threading.Lock()
+        self._tickets = itertools.count(1)
+        self._pending: dict[int, list] = {}  # ticket -> [Event, response]
+        self._pending_lock = threading.Lock()
+        self.stopping = threading.Event()
+        #: control version of the last broadcast op applied
+        self.version_applied = 0
+
+    def attach(self, engine, server_thread) -> None:
+        """Wire in the engine and server once both exist."""
+        self.engine = engine
+        self._server = server_thread
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+    def send(self, message: tuple) -> None:
+        """Send one message to the supervisor (thread-safe)."""
+        with self._send_lock:
+            self._conn.send(message)
+
+    def _proxy(self, kind: str, body) -> dict:
+        """Ticketed round trip to the supervisor from a server thread."""
+        ticket = next(self._tickets)
+        slot = [threading.Event(), None]
+        with self._pending_lock:
+            self._pending[ticket] = slot
+        try:
+            self.send((kind, self.site, ticket, body))
+            if not slot[0].wait(PROXY_TIMEOUT):
+                return protocol.error_response(
+                    code=protocol.TIMEOUT,
+                    error=f"fleet supervisor did not answer within "
+                    f"{PROXY_TIMEOUT:.0f}s",
+                )
+            return slot[1]
+        finally:
+            with self._pending_lock:
+                self._pending.pop(ticket, None)
+
+    def admin_request(self, payload: dict) -> dict:
+        """Proxy one admin op for fleet-wide broadcast; blocks for the ack."""
+        return self._proxy("admin", payload)
+
+    def fleet_request(self, op: str) -> dict:
+        """Proxy one ``fleet.*`` op to the supervisor; blocks for the reply."""
+        return self._proxy("fleet", op)
+
+    def request_shutdown(self) -> None:
+        """Ask the supervisor for a fleet-wide drain-then-stop."""
+        self.send(("shutdown_req", self.site))
+
+    # ------------------------------------------------------------------
+    # inbound
+    # ------------------------------------------------------------------
+    def _status(self) -> dict:
+        """This worker's status row for ``fleet.status``."""
+        import os
+
+        server = self._server.server if self._server is not None else None
+        return {
+            "site": self.site,
+            "pid": os.getpid(),
+            "port": self._server.port if self._server is not None else None,
+            "ready": bool(server.ready) if server is not None else False,
+            "versions": self.engine.versions(),
+            "control_version": self.version_applied,
+            "audit_entries": len(self.engine.audit_log),
+            "decisions_served": self.engine.decisions_served,
+            "queries_served": self.engine.queries_served,
+        }
+
+    def _resolve(self, ticket: int, response: dict) -> None:
+        with self._pending_lock:
+            slot = self._pending.get(ticket)
+        if slot is None:
+            return  # the waiter timed out and moved on
+        slot[1] = response
+        slot[0].set()
+
+    def run(self) -> None:
+        """The receive loop; returns when ``stop`` arrives or the pipe dies.
+
+        Broadcast ops are applied *here*, in arrival order, on this one
+        thread — the worker half of the control channel's total-order
+        guarantee.
+        """
+        if self.engine is None:
+            raise FleetError("WorkerControl.run before attach()")
+        while not self.stopping.is_set():
+            try:
+                if not self._conn.poll(0.25):
+                    continue
+                message = self._conn.recv()
+            except (EOFError, OSError):
+                # the supervisor vanished; stop serving rather than drift
+                _LOGGER.warning("%s: control channel lost, stopping", self.site)
+                break
+            kind = message[0]
+            if kind == "apply":
+                _, version, payload = message
+                try:
+                    response = apply_broadcast(self.engine, payload)
+                except Exception as exc:  # never kill the control loop
+                    _LOGGER.exception("%s: apply failed", self.site)
+                    response = protocol.error_response(
+                        code=protocol.INTERNAL, error=str(exc)
+                    )
+                self.version_applied = version
+                self.send(("applied", self.site, version, response))
+            elif kind == "admin_reply" or kind == "fleet_reply":
+                self._resolve(message[1], message[2])
+            elif kind == "status_req":
+                self.send(("status", self.site, self._status()))
+            elif kind == "snapshot_req":
+                from repro.obs.runtime import get_registry
+
+                self.send(("snapshot", self.site, get_registry().snapshot()))
+            elif kind == "stop":
+                break
+            else:
+                _LOGGER.warning("%s: unknown control message %r", self.site, kind)
+        self.stopping.set()

@@ -1,0 +1,734 @@
+"""The fleet supervisor: N PDP worker processes behind one listener.
+
+:class:`FleetSupervisor` owns
+
+- the **listener**: in ``reuseport`` mode it binds the fleet port
+  *without listening* (reserving it — SO_REUSEPORT only balances across
+  *listening* sockets, so the supervisor's bound-but-silent socket never
+  steals a connection) and each worker binds the same port itself; in
+  ``fd`` mode it binds + listens one socket and ships the fd to every
+  worker (shared accept queue), keeping its own copy for respawns;
+- the **control channel**: one duplex pipe per worker, serviced by a
+  single control thread (the only thread that ever ``recv``s from
+  worker pipes — external callers inject work through a queue plus a
+  waker pipe included in the ``connection.wait`` set);
+- the **admin oplog**: every successful mutating broadcast is appended,
+  and a (re)spawned worker replays it over the deterministic initial
+  engine before going ready — identical start state + identical op
+  sequence = convergence by construction;
+- **crash handling**: a worker that dies (or fails to ack a broadcast
+  inside the deadline — the divergence guard) is killed and respawned,
+  up to the configured budget;
+- the optional **fleet refinement daemon**
+  (:class:`~repro.fleet.refine.FleetRefineDaemon`), whose adoptions ride
+  the same broadcast path as client admin ops.
+
+Shutdown is drain-then-stop fleet-wide: every worker drains its own
+in-flight work and flushes its store before the supervisor returns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import queue
+import socket
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.errors import FleetError
+from repro.fleet.config import FleetConfig
+from repro.fleet.control import REPLAY_OPS
+from repro.fleet.trail import worker_site
+from repro.fleet.worker import worker_main
+from repro.obs.exposition import render_prometheus
+from repro.policy.parser import parse_rule
+from repro.policy.store import PolicyStore
+from repro.serve import protocol
+
+_LOGGER = logging.getLogger("repro.fleet.supervisor")
+
+#: Accept backlog of the fd-mode shared listener.
+_BACKLOG = 512
+
+
+class _WorkerHandle:
+    """Supervisor-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "index", "site", "process", "conn", "port", "pid", "ready",
+        "versions", "alive", "reaped",
+    )
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.site = worker_site(index)
+        self.process = process
+        self.conn = conn
+        self.port: int | None = None
+        self.pid: int | None = None
+        self.ready = False
+        self.versions: dict | None = None
+        self.alive = True
+        self.reaped = False
+
+    def send(self, message: tuple) -> bool:
+        """Send one control message; marks the handle dead on failure."""
+        try:
+            self.conn.send(message)
+            return True
+        except (OSError, BrokenPipeError, ValueError):
+            self.alive = False
+            return False
+
+
+class FleetSupervisor:
+    """Run and coordinate a fleet of PDP worker processes."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self._mode = config.resolve_listener()
+        self._ctx = get_context("spawn")
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._listener: socket.socket | None = None
+        self._port = config.port
+        self._oplog: list[dict] = []
+        self._version = 0
+        self.respawns = 0
+        self._started = False
+        self._stopped = threading.Event()
+        self._shutdown_requested = threading.Event()
+        self._requests: queue.Queue = queue.Queue()
+        self._waker_recv, self._waker_send = self._ctx.Pipe(duplex=False)
+        self._control_thread: threading.Thread | None = None
+        #: the supervisor's shadow of the (converged) worker policy
+        #: stores: same initial rules, updated on every successful
+        #: mutating broadcast — what the fleet refine daemon prunes
+        #: candidates against without asking a worker
+        self.policy_store = self._build_shadow_store()
+        self.daemon = None  # a FleetRefineDaemon, via attach_daemon()
+        self._daemon_thread = None
+
+    def _build_shadow_store(self) -> PolicyStore:
+        from repro.experiments.harness import DEMO_RULES
+
+        store = PolicyStore(name="fleet-shadow")
+        rules = self.config.rules if self.config.rules is not None else DEMO_RULES
+        for text in rules:
+            store.add(parse_rule(text), added_by="fleet-supervisor",
+                      origin="serve")
+        return store
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        """The fleet's shared port (resolved at :meth:`start`)."""
+        if not self._started:
+            raise FleetError("fleet is not started")
+        return self._port
+
+    @property
+    def listener_mode(self) -> str:
+        """The concrete listener mode in use."""
+        return self._mode
+
+    def start(self) -> "FleetSupervisor":
+        """Bind the listener, spawn every worker, start the control loop."""
+        if self._started:
+            raise FleetError("fleet is already started")
+        Path(self.config.store_dir).mkdir(parents=True, exist_ok=True)
+        self._open_listener()
+        worker_config = dataclasses.replace(
+            self.config, port=self._port, listener=self._mode
+        )
+        self._worker_config = worker_config
+        try:
+            for index in range(self.config.workers):
+                self._handles[index] = self._launch(index)
+            for handle in self._handles.values():
+                self._handshake(handle)
+        except BaseException:
+            self._kill_all()
+            self._close_listener()
+            raise
+        self._started = True
+        self._control_thread = threading.Thread(
+            target=self._control_loop, name="fleet-control", daemon=True
+        )
+        self._control_thread.start()
+        _LOGGER.info(
+            "fleet up: %d workers on %s:%d (%s listener)",
+            len(self._handles), self.host, self._port, self._mode,
+        )
+        return self
+
+    def _open_listener(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            if self._mode == "reuseport":
+                if not hasattr(socket, "SO_REUSEPORT"):
+                    raise FleetError(
+                        "listener mode 'reuseport' needs SO_REUSEPORT; "
+                        "use 'fd' on this platform"
+                    )
+                # bind WITHOUT listening: reserves the port for the fleet
+                # (workers bind it with SO_REUSEPORT themselves) while a
+                # non-listening socket never receives connections
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                sock.bind((self.config.host, self.config.port))
+            else:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind((self.config.host, self.config.port))
+                sock.listen(_BACKLOG)
+        except BaseException:
+            sock.close()
+            raise
+        self._listener = sock
+        self._port = sock.getsockname()[1]
+
+    def _close_listener(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._listener = None
+
+    def _launch(self, index: int) -> _WorkerHandle:
+        sup_conn, worker_conn = self._ctx.Pipe(duplex=True)
+        listener = self._listener if self._mode == "fd" else None
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self._worker_config, index, worker_conn, listener),
+            name=worker_site(index),
+            daemon=True,
+        )
+        process.start()
+        worker_conn.close()
+        return _WorkerHandle(index, process, sup_conn)
+
+    def _handshake(self, handle: _WorkerHandle) -> None:
+        """hello → replay(oplog) → ready, inside the start timeout."""
+        deadline = time.monotonic() + self.config.worker_start_timeout
+        message = self._expect(handle, "hello", deadline)
+        handle.pid, handle.port = message[2], message[3]
+        handle.send(("replay", list(self._oplog)))
+        message = self._expect(handle, "ready", deadline)
+        handle.versions = message[2]
+        handle.ready = True
+
+    def _expect(self, handle: _WorkerHandle, want: str, deadline: float):
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not handle.conn.poll(max(0.0, remaining)):
+                raise FleetError(
+                    f"{handle.site} did not send {want!r} within "
+                    f"{self.config.worker_start_timeout:.0f}s"
+                )
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise FleetError(
+                    f"{handle.site} died during startup: {exc}"
+                ) from exc
+            if message[0] == want:
+                return message
+            if message[0] == "fatal":
+                raise FleetError(f"{handle.site} failed: {message[2]}")
+            # anything else during startup is stale chatter; drop it
+
+    # ------------------------------------------------------------------
+    # the control loop (the ONLY thread that recvs from worker pipes)
+    # ------------------------------------------------------------------
+    def _live(self) -> list[_WorkerHandle]:
+        return [h for h in self._handles.values() if h.alive]
+
+    def _wake(self) -> None:
+        try:
+            self._waker_send.send(b"w")
+        except (OSError, BrokenPipeError):  # pragma: no cover - teardown
+            pass
+
+    def _control_loop(self) -> None:
+        while not self._shutdown_requested.is_set():
+            conns = [h.conn for h in self._live()]
+            by_conn = {h.conn: h for h in self._live()}
+            try:
+                ready = mp_connection.wait(
+                    conns + [self._waker_recv], timeout=0.25
+                )
+            except OSError:  # pragma: no cover - teardown race
+                ready = []
+            for conn in ready:
+                if conn is self._waker_recv:
+                    try:
+                        while self._waker_recv.poll(0):
+                            self._waker_recv.recv()
+                    except (EOFError, OSError):  # pragma: no cover
+                        pass
+                    continue
+                handle = by_conn.get(conn)
+                if handle is not None:
+                    self._pump(handle)
+            self._reap_and_respawn()
+            self._drain_requests()
+        self._do_shutdown()
+
+    def _pump(self, handle: _WorkerHandle) -> None:
+        while handle.alive:
+            try:
+                if not handle.conn.poll(0):
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.alive = False
+                return
+            self._handle_message(handle, message)
+
+    def _handle_message(self, handle: _WorkerHandle, message: tuple) -> None:
+        kind = message[0]
+        if kind == "admin":
+            self._requests.put(
+                {"kind": "proxy_admin", "handle": handle,
+                 "ticket": message[2], "payload": message[3]}
+            )
+        elif kind == "fleet":
+            self._requests.put(
+                {"kind": "proxy_fleet", "handle": handle,
+                 "ticket": message[2], "op": message[3]}
+            )
+        elif kind == "shutdown_req":
+            _LOGGER.info("%s requested fleet shutdown", handle.site)
+            self._shutdown_requested.set()
+        elif kind == "fatal":
+            _LOGGER.error("%s reported fatal: %s", handle.site, message[2])
+            handle.ready = False
+        elif kind == "stopped":
+            handle.ready = False
+        elif kind == "applied":
+            # stale ack from a broadcast whose deadline already passed
+            handle.versions = (message[3] or {}).get("versions",
+                                                     handle.versions)
+        # hello/ready/status/snapshot outside a collect: stale; ignored
+
+    def _reap_and_respawn(self) -> None:
+        if self._shutdown_requested.is_set():
+            return
+        for index, handle in list(self._handles.items()):
+            if handle.reaped:
+                continue
+            if handle.alive and handle.process.is_alive():
+                continue
+            handle.alive = False
+            if not self.config.respawn:
+                handle.reaped = True
+                continue
+            if self.respawns >= self.config.max_respawns:
+                _LOGGER.error(
+                    "%s is down and the respawn budget (%d) is spent",
+                    handle.site, self.config.max_respawns,
+                )
+                handle.reaped = True
+                continue
+            _LOGGER.warning("%s died (exit %s); respawning", handle.site,
+                            handle.process.exitcode)
+            self._dispose(handle)
+            self.respawns += 1
+            replacement = self._launch(index)
+            try:
+                self._handshake(replacement)
+            except FleetError:
+                _LOGGER.exception("respawn of %s failed", handle.site)
+                self._dispose(replacement)
+                continue
+            self._handles[index] = replacement
+
+    def _dispose(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(5.0)
+
+    def _drain_requests(self) -> None:
+        while True:
+            try:
+                request = self._requests.get_nowait()
+            except queue.Empty:
+                return
+            try:
+                result = self._execute(request)
+            except Exception as exc:  # keep the control loop alive
+                _LOGGER.exception("fleet request failed")
+                result = protocol.error_response(
+                    code=protocol.INTERNAL, error=str(exc)
+                )
+            kind = request["kind"]
+            if kind == "proxy_admin" or kind == "proxy_fleet":
+                reply = "admin_reply" if kind == "proxy_admin" else "fleet_reply"
+                request["handle"].send((reply, request["ticket"], result))
+            else:
+                request["result"][0] = result
+                request["event"].set()
+
+    def _execute(self, request: dict) -> dict:
+        kind = request["kind"]
+        if kind == "proxy_admin" or kind == "broadcast":
+            return self._broadcast(request["payload"])
+        if kind == "proxy_fleet":
+            op = request["op"]
+            if op == "fleet.status":
+                return self._collect_status()
+            if op == "fleet.metrics":
+                return self._collect_metrics()
+            if op == "fleet.sync":
+                return self._broadcast({"op": "fleet.sync"})
+            return protocol.error_response(
+                code=protocol.BAD_REQUEST, error=f"unknown fleet op {op!r}"
+            )
+        if kind == "status":
+            return self._collect_status()
+        if kind == "metrics":
+            return self._collect_metrics()
+        raise FleetError(f"unknown fleet request kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # broadcasts (run on the control thread)
+    # ------------------------------------------------------------------
+    def _collect(self, targets, message, matcher, timeout: float) -> dict:
+        """Send ``message`` to every target; gather matched replies.
+
+        Unrelated messages arriving meanwhile are routed through
+        :meth:`_handle_message` (proxy requests just queue up behind the
+        current operation — the control thread stays single-minded).
+        """
+        pending: dict = {}
+        for handle in targets:
+            if handle.send(message):
+                pending[handle.conn] = handle
+        replies: dict[str, object] = {}
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                ready = mp_connection.wait(list(pending), timeout=remaining)
+            except OSError:  # pragma: no cover - teardown race
+                break
+            for conn in ready:
+                handle = pending[conn]
+                try:
+                    incoming = handle.conn.recv()
+                except (EOFError, OSError):
+                    handle.alive = False
+                    del pending[conn]
+                    continue
+                matched = matcher(incoming)
+                if matched is not None:
+                    replies[handle.site] = matched
+                    del pending[conn]
+                else:
+                    self._handle_message(handle, incoming)
+        stragglers = [pending[conn] for conn in pending]
+        return {"replies": replies, "stragglers": stragglers}
+
+    def _broadcast(self, payload: dict) -> dict:
+        """One version-stamped broadcast; returns the converged response.
+
+        The version counter bumps unconditionally (acks are matched on
+        it); the oplog records only *successful mutating* ops, so a
+        respawned worker replays exactly the state-changing history.  A
+        worker that misses the ack deadline may have applied the op or
+        not — unknowable — so it is killed and respawned through the
+        replay path rather than allowed to drift (the divergence guard).
+        """
+        targets = [h for h in self._live() if h.ready]
+        if not targets:
+            return protocol.error_response(
+                code=protocol.INTERNAL, error="no ready fleet workers"
+            )
+        self._version += 1
+        version = self._version
+
+        def matcher(incoming):
+            if incoming[0] == "applied" and incoming[2] == version:
+                return incoming[3]
+            return None
+
+        outcome = self._collect(
+            targets, ("apply", version, payload), matcher,
+            self.config.control_timeout,
+        )
+        for straggler in outcome["stragglers"]:
+            _LOGGER.error(
+                "%s missed ack of control version %d; killing (divergence "
+                "guard)", straggler.site, version,
+            )
+            straggler.alive = False
+            if straggler.process.is_alive():
+                straggler.process.kill()
+            # _reap_and_respawn brings it back through oplog replay
+        replies = outcome["replies"]
+        if not replies:
+            return protocol.error_response(
+                code=protocol.INTERNAL,
+                error=f"no worker acked control version {version}",
+            )
+        for handle in targets:
+            response = replies.get(handle.site)
+            if response and response.get("ok"):
+                handle.versions = response.get("versions", handle.versions)
+        # all workers fold the same op over the same state: any ack
+        # represents the converged outcome
+        response = dict(next(iter(replies.values())))
+        ok = bool(response.get("ok"))
+        if ok and payload.get("op") in REPLAY_OPS:
+            self._oplog.append(dict(payload))
+            self._apply_to_shadow(payload)
+        response["fleet"] = {
+            "version": version,
+            "acks": len(replies),
+            "workers": len(targets),
+        }
+        return response
+
+    def _apply_to_shadow(self, payload: dict) -> None:
+        op = payload.get("op")
+        if op == "admin.add_rule":
+            self.policy_store.add(
+                parse_rule(payload["rule"]), added_by="serve-admin",
+                origin="serve", note=str(payload.get("note", "")),
+            )
+        elif op == "admin.retire_rule":
+            self.policy_store.retire(
+                parse_rule(payload["rule"]), added_by="serve-admin",
+                note=str(payload.get("note", "")),
+            )
+        elif op == "fleet.adopt":
+            self.policy_store.add_all(
+                tuple(parse_rule(text) for text in payload.get("rules", ())),
+                added_by="refine-daemon", origin="refinement",
+                note=str(payload.get("note", "")),
+            )
+        # admin.consent does not touch the policy store
+
+    def _collect_status(self) -> dict:
+        targets = [h for h in self._live() if h.ready]
+
+        def matcher(incoming):
+            return incoming[2] if incoming[0] == "status" else None
+
+        outcome = self._collect(
+            targets, ("status_req",), matcher, self.config.control_timeout
+        )
+        rows = []
+        for index in sorted(self._handles):
+            handle = self._handles[index]
+            row = outcome["replies"].get(handle.site)
+            if row is None:
+                row = {
+                    "site": handle.site,
+                    "pid": handle.pid,
+                    "port": handle.port,
+                    "ready": False,
+                    "versions": handle.versions,
+                    "reachable": False,
+                }
+            else:
+                row = dict(row)
+                row["reachable"] = True
+            rows.append(row)
+        stamps = {
+            tuple(sorted((row.get("versions") or {}).items()))
+            for row in rows
+            if row.get("versions")
+        }
+        status = {
+            "size": len(self._handles),
+            "ready": sum(1 for row in rows if row.get("ready")),
+            "host": self.host,
+            "port": self._port,
+            "listener": self._mode,
+            "control_version": self._version,
+            "oplog": len(self._oplog),
+            "respawns": self.respawns,
+            "converged": len(stamps) <= 1,
+            "workers": rows,
+        }
+        if self.daemon is not None:
+            status["refine_daemon"] = self.daemon.status()
+        return protocol.ok_response(**status)
+
+    def _collect_metrics(self) -> dict:
+        targets = [h for h in self._live() if h.ready]
+
+        def matcher(incoming):
+            return incoming[2] if incoming[0] == "snapshot" else None
+
+        outcome = self._collect(
+            targets, ("snapshot_req",), matcher, self.config.control_timeout
+        )
+        merged: dict = {"counters": [], "gauges": [], "histograms": []}
+        for site in sorted(outcome["replies"]):
+            snapshot = outcome["replies"][site]
+            for kind in merged:
+                for sample in snapshot.get(kind, []):
+                    sample = dict(sample)
+                    labels = dict(sample.get("labels") or {})
+                    # the per-worker series dimension: one fleet scrape
+                    # distinguishes workers without colliding names
+                    labels["worker"] = site
+                    sample["labels"] = labels
+                    # exemplars are per-process trace links; they do not
+                    # survive aggregation meaningfully
+                    sample.pop("exemplars", None)
+                    merged[kind].append(sample)
+        return protocol.ok_response(
+            workers=len(outcome["replies"]),
+            metrics=render_prometheus(merged),
+        )
+
+    # ------------------------------------------------------------------
+    # the external surface (any thread)
+    # ------------------------------------------------------------------
+    def _submit(self, request: dict, timeout: float = 60.0) -> dict:
+        """Inject one request into the control thread and await it."""
+        if not self._started or self._stopped.is_set():
+            raise FleetError("fleet is not running")
+        request = dict(request)
+        request["event"] = threading.Event()
+        request["result"] = [None]
+        self._requests.put(request)
+        self._wake()
+        if not request["event"].wait(timeout):
+            raise FleetError(f"fleet request {request['kind']!r} timed out")
+        return request["result"][0]
+
+    def broadcast_admin(self, payload: dict) -> dict:
+        """Broadcast one admin op (``admin.add_rule`` etc.) fleet-wide."""
+        return self._submit({"kind": "broadcast", "payload": dict(payload)})
+
+    def adopt_rules(self, rules_dsl, note: str = "") -> dict:
+        """Broadcast a refine-daemon adoption batch fleet-wide."""
+        return self._submit(
+            {"kind": "broadcast",
+             "payload": {"op": "fleet.adopt", "rules": list(rules_dsl),
+                         "note": note}}
+        )
+
+    def sync(self) -> dict:
+        """Fan out a durability barrier: every worker fsyncs its store."""
+        return self._submit({"kind": "broadcast",
+                             "payload": {"op": "fleet.sync"}})
+
+    def request_shutdown(self) -> None:
+        """Ask for a fleet-wide drain-then-stop without blocking.
+
+        Signal-handler safe; :meth:`wait` (or :meth:`shutdown`) observes
+        completion.
+        """
+        self._shutdown_requested.set()
+        self._wake()
+
+    def status(self) -> dict:
+        """Live fleet status (one ``status_req`` round trip per worker)."""
+        return self._submit({"kind": "status"})
+
+    def metrics(self) -> dict:
+        """Merged Prometheus text across workers (``metrics`` key)."""
+        return self._submit({"kind": "metrics"})
+
+    # ------------------------------------------------------------------
+    # refinement daemon
+    # ------------------------------------------------------------------
+    def attach_daemon(self, gate, config=None, interval: float = 5.0):
+        """Attach and start a fleet refinement daemon in the supervisor.
+
+        The daemon tails every worker's sealed segments (read-only) and
+        broadcasts adoptions through the control channel; see
+        :mod:`repro.fleet.refine`.
+        """
+        from repro.fleet.refine import FleetPolicyTarget, FleetRefineDaemon
+        from repro.refine_daemon.runner import DaemonThread
+
+        if self.daemon is not None:
+            raise FleetError("fleet already has a refinement daemon")
+        self.daemon = FleetRefineDaemon(
+            self.config.store_dir,
+            FleetPolicyTarget(self),
+            gate=gate,
+            config=config,
+        )
+        self._daemon_thread = DaemonThread(self.daemon, interval=interval)
+        self._daemon_thread.start()
+        return self.daemon
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def _do_shutdown(self) -> None:
+        """Drain-then-stop every worker (runs on the control thread)."""
+        deadline = time.monotonic() + self.config.worker_start_timeout
+        for handle in self._live():
+            handle.send(("stop",))
+        for handle in self._handles.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            handle.process.join(remaining)
+            if handle.process.is_alive():
+                _LOGGER.error("%s ignored stop; killing", handle.site)
+                handle.process.kill()
+                handle.process.join(5.0)
+            handle.alive = False
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._close_listener()
+        self._stopped.set()
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Stop the daemon, drain every worker, stop the control loop."""
+        if not self._started:
+            return
+        if self._daemon_thread is not None:
+            self._daemon_thread.stop()
+            self._daemon_thread = None
+        self._shutdown_requested.set()
+        self._wake()
+        if not self._stopped.wait(timeout):
+            _LOGGER.error("fleet shutdown timed out; killing workers")
+            self._kill_all()
+            self._stopped.set()
+        if self._control_thread is not None:
+            self._control_thread.join(5.0)
+            self._control_thread = None
+
+    def _kill_all(self) -> None:
+        for handle in self._handles.values():
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join(2.0)
+            handle.alive = False
+        self._close_listener()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the fleet has stopped (CLI serve-forever path)."""
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,99 @@
+"""The fleet's audit-trail layout and federation plumbing.
+
+Each worker owns one durable store directory under the fleet root —
+``<root>/worker-00/``, ``worker-01/``, … — honouring the store layer's
+single-writer contract (PR 3): no two processes ever append to the same
+segment directory.  Consolidation is the PR 3/4 federation layer over
+those directories: :func:`fleet_federation` registers each worker store
+as a member site, and :func:`consolidated_trail` k-way merges them into
+one time-ordered log — the refinement input that E21 pins byte-equal to
+a single-process run.
+
+Live-safety split: :func:`sealed_entry_counts` reads only
+``MANIFEST.json`` (atomically replaced, never partially written), so the
+supervisor may call it while workers append.  :func:`fleet_federation` /
+:func:`consolidated_trail` *open* the member stores — opening runs
+recovery, which may rewrite a torn active segment — so they are for
+after the fleet has stopped (or for directories copied aside).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.audit.log import AuditLog
+from repro.errors import FleetError
+from repro.hdb.federation import AuditFederation
+from repro.store.manifest import load_manifest, manifest_path
+
+#: Worker store directories are ``worker-00``, ``worker-01``, …
+WORKER_DIR_PREFIX = "worker-"
+
+
+def worker_site(index: int) -> str:
+    """The site/directory name of worker ``index`` (``worker-03``)."""
+    if index < 0:
+        raise FleetError(f"worker index must be >= 0, got {index}")
+    return f"{WORKER_DIR_PREFIX}{index:02d}"
+
+
+def worker_store_dir(root: str | Path, index: int) -> Path:
+    """The durable store directory of worker ``index`` under ``root``."""
+    return Path(root) / worker_site(index)
+
+
+def fleet_sites(root: str | Path) -> tuple[str, ...]:
+    """Worker sites present under ``root`` (sorted; manifest required).
+
+    Site order is the federation's member order, so everything derived
+    from it — consolidation tie-breaks, daemon consumption order — is
+    deterministic across runs.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            child.name
+            for child in base.iterdir()
+            if child.is_dir()
+            and child.name.startswith(WORKER_DIR_PREFIX)
+            and manifest_path(child).exists()
+        )
+    )
+
+
+def sealed_entry_counts(root: str | Path) -> dict[str, int]:
+    """Sealed entries per worker site, from manifests only (live-safe)."""
+    base = Path(root)
+    return {
+        site: sum(
+            meta.entries for meta in load_manifest(base / site).sealed
+        )
+        for site in fleet_sites(base)
+    }
+
+
+def fleet_federation(root: str | Path) -> AuditFederation:
+    """An :class:`AuditFederation` over the per-worker stores.
+
+    Opens member stores on first access — use after the fleet stopped.
+    """
+    base = Path(root)
+    if not fleet_sites(base):
+        raise FleetError(f"{base} holds no worker store directories")
+    federation = AuditFederation(name=f"fleet({base.name})")
+    federation.register_directory(base)
+    return federation
+
+
+def consolidated_trail(root: str | Path, name: str | None = None) -> AuditLog:
+    """The per-worker trails time-merged into one log (post-shutdown).
+
+    Ties on the logical-clock tick keep site order, so the result is
+    deterministic; E21 compares its *entry set* (time excluded — each
+    worker runs its own logical clock) against a single-process trail.
+    """
+    return fleet_federation(root).consolidated_log(
+        name=name or "fleet.consolidated"
+    )

@@ -1,0 +1,139 @@
+"""The fleet worker process: one PDP server over one private store.
+
+:func:`worker_main` is the (module-top-level, spawn-picklable) entry the
+supervisor launches N times.  Each worker:
+
+1. opens (or creates) its **own** durable audit store under
+   ``<store_dir>/worker-NN/`` — the single-writer contract holds because
+   no other process ever touches that directory;
+2. builds the deterministic demo engine (same ``rows``/``seed``/
+   ``rules`` as every sibling, clock advanced past any pre-existing
+   trail so a respawn keeps appending monotonically);
+3. serves on the shared listener — either binding itself with
+   ``SO_REUSEPORT`` on the fleet port, or accepting on the supervisor's
+   passed socket (fd mode) — starting **not-ready** so decision traffic
+   is shed until replay completes;
+4. replays the supervisor's oplog (the admin history it missed), then
+   reports ready and runs the control loop until ``stop``;
+5. drains the server, syncs and closes the store, and reports
+   ``stopped``.
+
+A worker never mutates policy or consent on its own: admin frames that
+land on its listener are proxied to the supervisor for fleet-wide
+broadcast (see :mod:`repro.fleet.control`).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.control import WorkerControl, apply_broadcast
+from repro.fleet.trail import worker_site, worker_store_dir
+from repro.serve.engine import build_demo_engine
+from repro.serve.server import ServerConfig, ServerThread
+from repro.store.durable import DurableAuditLog
+from repro.store.store import StoreConfig
+
+_LOGGER = logging.getLogger("repro.fleet.worker")
+
+
+def _build_engine(config: FleetConfig, index: int):
+    """The worker's engine over its private durable segment directory."""
+    directory = worker_store_dir(config.store_dir, index)
+    directory.mkdir(parents=True, exist_ok=True)
+    store_config = (
+        StoreConfig(max_segment_entries=config.segment_entries)
+        if config.segment_entries is not None
+        else None
+    )
+    audit_log = DurableAuditLog(
+        directory, config=store_config, name=worker_site(index), create=True
+    )
+    engine = build_demo_engine(
+        rows=config.rows,
+        seed=config.seed,
+        rules=list(config.rules) if config.rules is not None else None,
+        audit_log=audit_log,
+        cache=config.cache,
+        cache_size=config.cache_size,
+    )
+    return engine, audit_log
+
+
+def worker_main(config: FleetConfig, index: int, conn, listener=None) -> None:
+    """Run one fleet worker until the supervisor says stop.
+
+    ``conn`` is the worker end of the control pipe; ``listener`` is the
+    supervisor's listening socket in fd mode (None in reuseport mode,
+    where this process binds the fleet port itself).
+    """
+    site = worker_site(index)
+    # the supervisor coordinates shutdown: a terminal Ctrl-C must reach
+    # it, not kill workers mid-drain underneath it
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - platform-specific
+        pass
+    control = WorkerControl(site, conn)
+    server = None
+    audit_log = None
+    try:
+        engine, audit_log = _build_engine(config, index)
+        server_config = ServerConfig(
+            host=config.host,
+            port=config.port,
+            max_inflight=config.max_inflight,
+            max_queue=config.max_queue,
+            reuse_port=listener is None,
+            worker_id=site,
+        )
+        server = ServerThread(
+            engine, server_config, fleet=control, listener=listener,
+            ready=False,
+        )
+        server.start()
+        control.attach(engine, server)
+        conn.send(("hello", site, os.getpid(), server.port))
+        # handshake: the supervisor answers with the oplog this worker
+        # missed (empty on first boot); apply it in order, then admit
+        message = conn.recv()
+        if message[0] != "replay":
+            raise RuntimeError(f"expected replay, got {message[0]!r}")
+        for payload in message[1]:
+            response = apply_broadcast(engine, payload)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"oplog replay of {payload.get('op')!r} failed: "
+                    f"{response.get('error')}"
+                )
+            control.version_applied += 1
+        server.server.mark_ready()
+        conn.send(("ready", site, engine.versions()))
+        control.run()
+    except (EOFError, OSError, KeyboardInterrupt):
+        _LOGGER.warning("%s: control channel lost, shutting down", site)
+    except Exception as exc:
+        _LOGGER.exception("%s: fatal worker error", site)
+        try:
+            conn.send(("fatal", site, f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        if server is not None:
+            try:
+                server.stop(drain=True)
+            except Exception:  # pragma: no cover - best-effort drain
+                _LOGGER.exception("%s: drain failed", site)
+        if audit_log is not None:
+            try:
+                audit_log.close()
+            except Exception:  # pragma: no cover - best-effort close
+                _LOGGER.exception("%s: store close failed", site)
+        try:
+            conn.send(("stopped", site))
+        except (OSError, BrokenPipeError):
+            pass
+        conn.close()

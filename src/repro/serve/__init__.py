@@ -15,14 +15,24 @@ from repro.serve.engine import (
     SnapshotManager,
     build_demo_engine,
 )
-from repro.serve.loadgen import LoadReport, percentile, run_load
+from repro.serve.loadgen import (
+    LatencyHistogram,
+    LoadReport,
+    OpenLoadReport,
+    percentile,
+    run_load,
+    run_load_open,
+    saturation_sweep,
+)
 from repro.serve.server import PdpServer, ServerConfig, ServerThread
 
 __all__ = [
     "AsyncPdpClient",
     "DecisionCache",
     "EngineSnapshot",
+    "LatencyHistogram",
     "LoadReport",
+    "OpenLoadReport",
     "PdpClient",
     "PdpEngine",
     "PdpServer",
@@ -33,4 +43,6 @@ __all__ = [
     "build_demo_engine",
     "percentile",
     "run_load",
+    "run_load_open",
+    "saturation_sweep",
 ]

@@ -38,10 +38,30 @@ class RetryPolicy:
     base_delay: float = 0.05
     max_delay: float = 1.0
     backoff: float = 2.0
+    #: extra attempts spent waiting out ``OVERLOADED`` responses (0 keeps
+    #: the historical behaviour: an OVERLOADED answer is returned as-is).
+    #: Only idempotent ops are retried, and each retry reconnects — in a
+    #: fleet a fresh connection may land on a less loaded worker.
+    overload_retries: int = 0
+    #: ceiling in seconds on any single server-directed ``retry_after_ms``
+    #: wait, so a misconfigured server cannot stall a client arbitrarily
+    max_retry_after: float = 2.0
 
     def delay(self, attempt: int) -> float:
         """Sleep before retry number ``attempt`` (0-based)."""
         return min(self.max_delay, self.base_delay * (self.backoff ** attempt))
+
+    def overload_delay(self, response: dict, attempt: int) -> float:
+        """Sleep before overload retry ``attempt``, honouring the server.
+
+        The server's ``retry_after_ms`` hint wins when present (it knows
+        its own drain rate); the fixed exponential schedule is only the
+        fallback for responses that omit the hint.
+        """
+        hint = response.get("retry_after_ms")
+        if isinstance(hint, (int, float)) and not isinstance(hint, bool) and hint >= 0:
+            return min(self.max_retry_after, hint / 1000.0)
+        return self.delay(attempt)
 
 
 class _RequestIds:
@@ -119,8 +139,22 @@ class _ClientOps:
         )
 
     def shutdown_server(self):
-        """Ask the server to drain and stop."""
+        """Ask the server (the whole fleet, when addressed at one of its
+        workers) to drain and stop."""
         return self._op("admin.shutdown", idempotent=False)
+
+    def fleet_status(self):
+        """Supervisor-side fleet status (workers, versions, respawns)."""
+        return self._op("fleet.status")
+
+    def fleet_metrics(self):
+        """Merged Prometheus text across every worker (``metrics`` key)."""
+        return self._op("fleet.metrics")
+
+    def fleet_sync(self):
+        """Fan out an audit-log ``sync()`` to every worker (durability
+        barrier; safe to repeat)."""
+        return self._op("fleet.sync")
 
 
 class PdpClient(_ClientOps):
@@ -198,7 +232,7 @@ class PdpClient(_ClientOps):
             raise ConnectionResetError("server closed the connection mid-response")
         return protocol.decode_frame(line)
 
-    def _call(self, payload: dict, idempotent: bool) -> dict:
+    def _call_once(self, payload: dict, idempotent: bool) -> dict:
         frame = protocol.encode_frame(payload)
         self.connect()
         attempts = self.retry.attempts if idempotent else 1
@@ -216,6 +250,19 @@ class PdpClient(_ClientOps):
             f"request {payload.get('op')!r} failed after {attempts} "
             f"attempt(s): {last}"
         ) from last
+
+    def _call(self, payload: dict, idempotent: bool) -> dict:
+        response = self._call_once(payload, idempotent)
+        retries = self.retry.overload_retries if idempotent else 0
+        for attempt in range(retries):
+            if response.get("code") != protocol.OVERLOADED:
+                break
+            # honour the server's retry_after_ms, then reconnect: in a
+            # fleet the fresh connection may land on a less loaded worker
+            self.close()
+            time.sleep(self.retry.overload_delay(response, attempt))
+            response = self._call_once(payload, idempotent)
+        return response
 
 
 class AsyncPdpClient(_ClientOps):
@@ -285,7 +332,7 @@ class AsyncPdpClient(_ClientOps):
             raise ConnectionResetError("server closed the connection mid-response")
         return protocol.decode_frame(line)
 
-    async def _call(self, payload: dict, idempotent: bool) -> dict:
+    async def _call_once(self, payload: dict, idempotent: bool) -> dict:
         frame = protocol.encode_frame(payload)
         await self.connect()
         attempts = self.retry.attempts if idempotent else 1
@@ -303,3 +350,16 @@ class AsyncPdpClient(_ClientOps):
             f"request {payload.get('op')!r} failed after {attempts} "
             f"attempt(s): {last}"
         ) from last
+
+    async def _call(self, payload: dict, idempotent: bool) -> dict:
+        response = await self._call_once(payload, idempotent)
+        retries = self.retry.overload_retries if idempotent else 0
+        for attempt in range(retries):
+            if response.get("code") != protocol.OVERLOADED:
+                break
+            # honour the server's retry_after_ms, then reconnect: in a
+            # fleet the fresh connection may land on a less loaded worker
+            await self.close()
+            await asyncio.sleep(self.retry.overload_delay(response, attempt))
+            response = await self._call_once(payload, idempotent)
+        return response

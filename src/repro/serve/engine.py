@@ -515,4 +515,13 @@ def build_demo_engine(
         rows=rows, seed=seed, audit_log=audit_log, rules=rules
     )
     manager = SnapshotManager(setup.control_center.enforcer)
+    if audit_log is not None and len(audit_log) > 0:
+        # restarting over an existing durable trail (server restart, or a
+        # fleet worker respawn into its old segment directory): the fresh
+        # logical clock would start below the trail's last tick and the
+        # store's non-decreasing-time invariant would reject the first
+        # append.  Jump the clock past what is already durable.
+        time_range = getattr(audit_log, "time_range", None)
+        if callable(time_range):
+            manager.auditor.clock.advance_to(time_range()[1] + 1)
     return PdpEngine(manager, DecisionCache(cache_size) if cache else None)

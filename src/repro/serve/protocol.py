@@ -67,6 +67,9 @@ OPS = frozenset(
         "admin.retire_rule",
         "admin.consent",
         "admin.shutdown",
+        "fleet.status",
+        "fleet.metrics",
+        "fleet.sync",
     }
 )
 
@@ -219,7 +222,8 @@ def parse_request(payload: dict) -> ServeRequest:
         raise ProtocolError(f"unknown op {op!r} (expected one of {sorted(OPS)})")
     request_id = payload.get("id")
 
-    if op in ("ping", "stats", "admin.shutdown"):
+    if op in ("ping", "stats", "admin.shutdown",
+              "fleet.status", "fleet.metrics", "fleet.sync"):
         return ServeRequest(op=op, id=request_id)
     if op == "decide":
         return ServeRequest(

@@ -33,6 +33,7 @@ import asyncio
 import gc
 import json
 import logging
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -129,10 +130,30 @@ class ServerConfig:
     #: serving mode notes above); turn off when embedding the server in
     #: a process that manages its own collector
     tune_gc: bool = True
+    #: bind the listener with SO_REUSEPORT so several worker processes
+    #: can share one port (the fleet's kernel-balanced listener mode);
+    #: raises on platforms without SO_REUSEPORT
+    reuse_port: bool = False
+    #: the fleet worker identity stamped into ``stats`` and metrics —
+    #: None outside a fleet
+    worker_id: str | None = None
 
 
 class _FrameTooLarge(Exception):
     """Internal signal: the peer sent a line beyond max_frame_bytes."""
+
+
+def _admin_payload(request: "protocol.ServeRequest") -> dict:
+    """Re-serialise a validated admin request for the control channel."""
+    if request.op in ("admin.add_rule", "admin.retire_rule"):
+        return {"op": request.op, "rule": request.rule, "note": request.note}
+    return {
+        "op": request.op,
+        "patient": request.patient,
+        "purpose": request.purpose,
+        "allowed": request.allowed,
+        "data": request.data,
+    }
 
 
 class PdpServer:
@@ -143,12 +164,27 @@ class PdpServer:
         engine: PdpEngine,
         config: ServerConfig | None = None,
         daemon=None,
+        fleet=None,
+        listener=None,
+        ready: bool = True,
     ) -> None:
         self.engine = engine
         self.config = config or ServerConfig()
         #: an embedded RefineDaemon (or anything with ``status()``);
         #: surfaced in the ``stats`` op and ``GET /healthz``
         self.daemon = daemon
+        #: the worker-side fleet hook (``repro.fleet.worker``): proxies
+        #: ``admin.*``/``fleet.*`` frames to the supervisor so admin
+        #: mutations broadcast instead of mutating one worker; None
+        #: outside a fleet
+        self._fleet = fleet
+        #: a pre-bound, already-listening socket to serve on instead of
+        #: binding ourselves — the fleet's fd-passing listener mode
+        self._listener = listener
+        #: readiness (distinct from liveness): a worker comes up
+        #: not-ready and is flipped by the fleet handshake once its
+        #: snapshot replay is done; not-ready decision ops are shed
+        self._ready = ready
         self._obs = get_registry()
         #: captured at construction, like the registry — swap the active
         #: tracer (``obs.use_tracer``) *before* building the server
@@ -172,12 +208,27 @@ class PdpServer:
             raise ServeError("server is already started")
         self._sem = asyncio.Semaphore(self.config.max_inflight)
         self._closed = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._on_connection,
-            self.config.host,
-            self.config.port,
-            limit=self.config.max_frame_bytes,
-        )
+        if self._listener is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                sock=self._listener,
+                limit=self.config.max_frame_bytes,
+            )
+        elif self.config.reuse_port:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                self.config.host,
+                self.config.port,
+                limit=self.config.max_frame_bytes,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection,
+                self.config.host,
+                self.config.port,
+                limit=self.config.max_frame_bytes,
+            )
         if self.config.tune_gc:
             _enter_gc_serving_mode()
             self._gc_tuned = True
@@ -197,6 +248,19 @@ class PdpServer:
         if self._server is None or not self._server.sockets:
             raise ServeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
+
+    def mark_ready(self) -> None:
+        """Flip to ready: decision ops are admitted (thread-safe)."""
+        self._ready = True
+
+    def mark_not_ready(self) -> None:
+        """Flip to not-ready: decision ops shed OVERLOADED (thread-safe)."""
+        self._ready = False
+
+    @property
+    def ready(self) -> bool:
+        """True when decision ops are being admitted (and not draining)."""
+        return self._ready and not self._draining
 
     async def shutdown(self, drain: bool = True) -> None:
         """Stop accepting, drain in-flight work, flush the audit trail."""
@@ -406,7 +470,13 @@ class PdpServer:
                 "queued": self._queued,
                 "connections": self._connections,
                 "draining": self._draining,
+                "ready": self.ready,
             }
+            if self.config.worker_id is not None:
+                stats["worker"] = {
+                    "id": self.config.worker_id,
+                    "pid": os.getpid(),
+                }
             stats["admission"] = self._admission_info()
             stats["trace"] = {
                 **self._tracer.stats(),
@@ -418,12 +488,33 @@ class PdpServer:
                 stats["refine_daemon"] = self.daemon.status()
             return protocol.ok_response(**stats)
         if op == "admin.shutdown":
-            asyncio.get_running_loop().create_task(self.shutdown())
+            if self._fleet is not None:
+                # fleet-wide drain-then-stop: the supervisor broadcasts
+                # "stop" to every worker, including this one
+                self._fleet.request_shutdown()
+            else:
+                asyncio.get_running_loop().create_task(self.shutdown())
             return protocol.ok_response(draining=True)
+        if op.startswith("fleet."):
+            if self._fleet is None:
+                return protocol.error_response(
+                    code=protocol.BAD_REQUEST,
+                    error="this server is not part of a fleet",
+                )
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self._fleet.fleet_request, op
+            )
         if op.startswith("admin."):
             if self._draining:
                 return protocol.error_response(
                     code=protocol.SHUTTING_DOWN, error="server is draining"
+                )
+            if self._fleet is not None:
+                # a fleet worker never mutates alone: the op rides the
+                # control channel to the supervisor, which broadcasts it
+                # to every worker and replies once all have converged
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, self._fleet.admin_request, _admin_payload(request)
                 )
             return self.engine.admin(request)
         return await self._serve_decision(request)
@@ -434,6 +525,17 @@ class PdpServer:
         if self._draining:
             return protocol.error_response(
                 code=protocol.SHUTTING_DOWN, error="server is draining"
+            )
+        if not self._ready:
+            # up but not ready (snapshot replay still running): shed with
+            # the same OVERLOADED + retry_after_ms contract as saturation
+            # so existing client backoff handles the warm-up window
+            if self._obs.enabled:
+                self._obs.counter("repro_serve_shed_total").inc()
+            return protocol.error_response(
+                code=protocol.OVERLOADED,
+                error="server is not ready; retry later",
+                retry_after_ms=cfg.retry_after_ms,
             )
         loop = asyncio.get_running_loop()
         deadline_s = (
@@ -610,6 +712,7 @@ class PdpServer:
             status = 503 if self._draining else 200
             health = {
                 "status": "draining" if self._draining else "ok",
+                "ready": self.ready,
                 "versions": self.engine.versions(),
                 "inflight": self._inflight,
                 "queued": self._queued,
@@ -619,6 +722,51 @@ class PdpServer:
             if self.daemon is not None:
                 health["refine_daemon"] = self.daemon.status()
             await self._http_respond(writer, status, health)
+        elif method == "GET" and target == "/livez":
+            # liveness: the process is up and the listener answers; never
+            # 503s while the loop runs, even during warm-up or drain
+            await self._http_respond(writer, 200, {"status": "live"})
+        elif method == "GET" and target == "/readyz":
+            # readiness: admit traffic only once the snapshot is loaded
+            # and we are not draining — the gate supervisors and load
+            # drivers wait on
+            ready = self.ready
+            await self._http_respond(
+                writer,
+                200 if ready else 503,
+                {
+                    "status": "ready" if ready else "not-ready",
+                    "ready": ready,
+                    "draining": self._draining,
+                },
+            )
+        elif method == "GET" and target in ("/fleet/status", "/fleet/metrics"):
+            if self._fleet is None:
+                await self._http_respond(
+                    writer, 404, {"error": "this server is not part of a fleet"}
+                )
+                return
+            op = "fleet.status" if target.endswith("status") else "fleet.metrics"
+            response = await asyncio.get_running_loop().run_in_executor(
+                None, self._fleet.fleet_request, op
+            )
+            if op == "fleet.metrics" and response.get("ok"):
+                # merged Prometheus text can exceed the 64 KiB frame cap;
+                # HTTP has no such limit, so this is the primary exposure
+                await self._http_respond(
+                    writer,
+                    200,
+                    response.get("metrics", ""),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                await self._http_respond(
+                    writer,
+                    protocol.HTTP_STATUS.get(
+                        response.get("code", protocol.INTERNAL), 500
+                    ),
+                    response,
+                )
         elif method == "GET" and target == "/metrics":
             await self._http_respond(
                 writer,
@@ -767,8 +915,14 @@ class ServerThread:
         engine: PdpEngine,
         config: ServerConfig | None = None,
         daemon=None,
+        fleet=None,
+        listener=None,
+        ready: bool = True,
     ) -> None:
-        self.server = PdpServer(engine, config, daemon=daemon)
+        self.server = PdpServer(
+            engine, config, daemon=daemon, fleet=fleet,
+            listener=listener, ready=ready,
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
 

@@ -12,12 +12,28 @@ from dataclasses import asdict
 from pathlib import Path
 
 from repro.audit.io import load_jsonl, save_jsonl
-from repro.audit.log import AuditLog
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
 from repro.errors import WorkloadError
 from repro.workload.generator import WorkloadConfig
 
 _MANIFEST_SUFFIX = ".manifest.json"
 _LOG_SUFFIX = ".entries.jsonl"
+
+# The demo ward's workflow wheel (shared by the E18 and E21 benchmarks):
+# skewed like real audit traffic, with denied combinations mixed in so
+# both decision outcomes are exercised.
+_DEMO_COMBOS = (
+    ("prescription", "treatment", "physician", AccessStatus.REGULAR),
+    ("referral", "treatment", "nurse", AccessStatus.REGULAR),
+    ("name", "billing", "clerk", AccessStatus.REGULAR),
+    ("insurance", "billing", "clerk", AccessStatus.REGULAR),
+    ("lab_results", "diagnosis", "physician", AccessStatus.REGULAR),
+    ("psychiatry", "treatment", "nurse", AccessStatus.REGULAR),
+    ("insurance", "treatment", "physician", AccessStatus.EXCEPTION),
+    ("address", "registration", "registrar", AccessStatus.REGULAR),
+)
+_DEMO_WEIGHTS = (24, 20, 14, 12, 10, 9, 6, 5)
 
 
 def save_trace(
@@ -64,6 +80,28 @@ def decision_payloads(log: AuditLog, limit: int | None = None) -> list[dict]:
             }
         )
     return payloads
+
+
+def demo_decision_payloads(count: int) -> list[dict]:
+    """``count`` deterministic decide payloads for the demo deployment.
+
+    A Weyl-style multiplicative walk over a weighted combo wheel: skewed
+    enough to reward the interned decision cache, deterministic so two
+    replays (single server vs a fleet, cache on vs off) serve the same
+    traffic.  The request stream the E18 and E21 benchmarks share.
+    """
+    wheel: list[int] = []
+    for combo_index, weight in enumerate(_DEMO_WEIGHTS):
+        wheel.extend([combo_index] * weight)
+    log = AuditLog()
+    for tick in range(count):
+        slot = (tick * 2654435761) % len(wheel)
+        data, purpose, role, status = _DEMO_COMBOS[wheel[slot]]
+        log.append(
+            make_entry(tick + 1, f"user{(tick * 97) % 23}", data, purpose,
+                       role, status=status)
+        )
+    return decision_payloads(log)
 
 
 def load_trace(directory: str | Path, name: str) -> tuple[AuditLog, WorkloadConfig]:

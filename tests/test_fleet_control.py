@@ -1,0 +1,200 @@
+"""Unit tests for the fleet control channel (no processes spawned)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.fleet import (
+    APPLY_OPS,
+    REPLAY_OPS,
+    WorkerControl,
+    apply_broadcast,
+    worker_site,
+    worker_store_dir,
+)
+from repro.errors import FleetError
+from repro.serve import build_demo_engine, protocol
+
+
+@pytest.fixture()
+def engine():
+    return build_demo_engine(rows=30, seed=7)
+
+
+class TestApplyBroadcast:
+    def test_add_rule_applies_through_the_admin_path(self, engine):
+        before = engine.versions()["policy"]
+        response = apply_broadcast(
+            engine,
+            {"op": "admin.add_rule",
+             "rule": "ALLOW auditor TO USE insurance FOR audit",
+             "note": "t"},
+        )
+        assert response["ok"] is True
+        assert engine.versions()["policy"] == before + 1
+
+    def test_consent_bumps_the_consent_version(self, engine):
+        response = apply_broadcast(
+            engine,
+            {"op": "admin.consent", "patient": "p1", "purpose": "research",
+             "allowed": True, "data": None},
+        )
+        assert response["ok"] is True
+        assert engine.versions()["consent"] == 1
+
+    def test_adopt_parses_and_swaps_once(self, engine):
+        response = apply_broadcast(
+            engine,
+            {"op": "fleet.adopt",
+             "rules": ["ALLOW auditor TO USE insurance FOR audit"],
+             "note": "round=0"},
+        )
+        assert response["ok"] is True
+        assert response["added"] == 1
+        # idempotent: re-adoption swaps nothing
+        again = apply_broadcast(
+            engine,
+            {"op": "fleet.adopt",
+             "rules": ["ALLOW auditor TO USE insurance FOR audit"]},
+        )
+        assert again["ok"] is True
+        assert again["added"] == 0
+
+    def test_adopt_rejects_unparsable_dsl(self, engine):
+        response = apply_broadcast(
+            engine, {"op": "fleet.adopt", "rules": ["NOT A RULE"]}
+        )
+        assert response["ok"] is False
+        assert response["code"] == protocol.BAD_REQUEST
+
+    def test_sync_answers_with_trail_size(self, engine):
+        response = apply_broadcast(engine, {"op": "fleet.sync"})
+        assert response["ok"] is True
+        assert response["synced"] == len(engine.audit_log)
+
+    def test_unknown_op_is_bad_request(self, engine):
+        response = apply_broadcast(engine, {"op": "fleet.explode"})
+        assert response["ok"] is False
+        assert response["code"] == protocol.BAD_REQUEST
+
+    def test_replay_ops_exclude_the_sync_barrier(self):
+        assert REPLAY_OPS < APPLY_OPS
+        assert "fleet.sync" in APPLY_OPS
+        assert "fleet.sync" not in REPLAY_OPS
+
+
+class TestWorkerControlLoop:
+    """Drive the worker endpoint over an in-process pipe pair."""
+
+    def _running_control(self, engine):
+        sup_conn, worker_conn = multiprocessing.Pipe(duplex=True)
+        control = WorkerControl("worker-00", worker_conn)
+        control.attach(engine, None)
+        thread = threading.Thread(target=control.run, daemon=True)
+        thread.start()
+        return sup_conn, control, thread
+
+    def test_run_before_attach_raises(self):
+        _, worker_conn = multiprocessing.Pipe(duplex=True)
+        with pytest.raises(FleetError):
+            WorkerControl("worker-00", worker_conn).run()
+
+    def test_apply_is_acked_with_the_version(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        try:
+            sup_conn.send(("apply", 3, {"op": "admin.consent", "patient": "p1",
+                                        "purpose": "research", "allowed": True,
+                                        "data": None}))
+            assert sup_conn.poll(10)
+            kind, site, version, response = sup_conn.recv()
+            assert (kind, site, version) == ("applied", "worker-00", 3)
+            assert response["ok"] is True
+            assert control.version_applied == 3
+        finally:
+            sup_conn.send(("stop",))
+            thread.join(10)
+
+    def test_apply_failure_acks_an_error_not_a_crash(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        try:
+            sup_conn.send(("apply", 1, {"op": "fleet.explode"}))
+            assert sup_conn.poll(10)
+            _, _, _, response = sup_conn.recv()
+            assert response["ok"] is False
+            # the loop survives a bad op: a later apply still works
+            sup_conn.send(("apply", 2, {"op": "fleet.sync"}))
+            assert sup_conn.poll(10)
+            assert sup_conn.recv()[3]["ok"] is True
+        finally:
+            sup_conn.send(("stop",))
+            thread.join(10)
+
+    def test_status_req_round_trip(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        try:
+            sup_conn.send(("status_req",))
+            assert sup_conn.poll(10)
+            kind, site, row = sup_conn.recv()
+            assert kind == "status"
+            assert row["site"] == "worker-00"
+            assert row["versions"] == engine.versions()
+            assert row["ready"] is False  # no server attached
+        finally:
+            sup_conn.send(("stop",))
+            thread.join(10)
+
+    def test_proxied_admin_resolves_by_ticket(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        try:
+            outcome = {}
+
+            def call():
+                outcome["response"] = control.admin_request(
+                    {"op": "admin.consent", "patient": "p1",
+                     "purpose": "research", "allowed": True, "data": None}
+                )
+
+            caller = threading.Thread(target=call)
+            caller.start()
+            assert sup_conn.poll(10)
+            kind, site, ticket, payload = sup_conn.recv()
+            assert kind == "admin"
+            assert payload["op"] == "admin.consent"
+            sup_conn.send(("admin_reply", ticket,
+                           protocol.ok_response(changed=True)))
+            caller.join(10)
+            assert outcome["response"]["ok"] is True
+        finally:
+            sup_conn.send(("stop",))
+            thread.join(10)
+
+    def test_stop_sets_the_stopping_event(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        sup_conn.send(("stop",))
+        thread.join(10)
+        assert control.stopping.is_set()
+
+    def test_supervisor_eof_stops_the_loop(self, engine):
+        sup_conn, control, thread = self._running_control(engine)
+        sup_conn.close()
+        thread.join(10)
+        assert not thread.is_alive()
+
+
+class TestTrailNaming:
+    def test_site_names_sort_with_their_indices(self):
+        assert worker_site(0) == "worker-00"
+        assert worker_site(11) == "worker-11"
+        assert sorted(worker_site(i) for i in (10, 2, 0)) == [
+            "worker-00", "worker-02", "worker-10"
+        ]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FleetError):
+            worker_site(-1)
+
+    def test_store_dir_lives_under_the_root(self, tmp_path):
+        assert worker_store_dir(tmp_path, 3) == tmp_path / "worker-03"

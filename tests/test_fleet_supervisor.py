@@ -1,0 +1,283 @@
+"""End-to-end fleet tests: shared port, broadcasts, crashes, federation."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import FleetError, ServeError
+from repro.fleet import (
+    FleetConfig,
+    FleetPolicyTarget,
+    FleetRefineDaemon,
+    FleetSupervisor,
+    consolidated_trail,
+    fleet_sites,
+    sealed_entry_counts,
+)
+from repro.refine_daemon.gate import AutoAcceptGate
+from repro.serve import PdpClient, RetryPolicy, protocol
+from repro.workload.traces import demo_decision_payloads
+
+_ROWS = 30
+
+
+def _decide_ok(response):
+    """A served decision reached an engine (allow and deny both count)."""
+    return response.get("ok") or response.get("code") == protocol.DENIED
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet-store")
+    config = FleetConfig(
+        store_dir=str(root), workers=2, rows=_ROWS, segment_entries=16
+    )
+    supervisor = FleetSupervisor(config).start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.shutdown()
+
+
+class TestFleetServing:
+    def test_status_shows_a_converged_ready_fleet(self, fleet):
+        status = fleet.status()
+        assert status["ok"] is True
+        assert status["size"] == 2
+        assert status["ready"] == 2
+        assert status["converged"] is True
+        sites = [worker["site"] for worker in status["workers"]]
+        assert sites == ["worker-00", "worker-01"]
+        assert all(worker["reachable"] for worker in status["workers"])
+
+    def test_decides_serve_on_the_shared_port(self, fleet):
+        payloads = demo_decision_payloads(20)
+        with PdpClient(fleet.host, fleet.port) as client:
+            responses = [client.request(dict(p)) for p in payloads]
+        assert all(_decide_ok(r) for r in responses)
+
+    def test_stats_carries_the_worker_identity(self, fleet):
+        with PdpClient(fleet.host, fleet.port) as client:
+            stats = client.stats()
+        assert stats["ok"] is True
+        assert stats["worker"]["id"] in fleet_sites(fleet.config.store_dir) or \
+            stats["worker"]["id"].startswith("worker-")
+        assert stats["worker"]["pid"] != os.getpid()
+
+    def test_admin_broadcast_converges_under_concurrent_decides(self, fleet):
+        payloads = demo_decision_payloads(60)
+        failures: list = []
+        stop = threading.Event()
+
+        def pound():
+            with PdpClient(fleet.host, fleet.port) as client:
+                index = 0
+                while not stop.is_set():
+                    response = client.request(dict(payloads[index % 60]))
+                    if not _decide_ok(response):
+                        failures.append(response)
+                        return
+                    index += 1
+
+        threads = [threading.Thread(target=pound) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            with PdpClient(fleet.host, fleet.port) as admin:
+                consent = admin.record_consent("p000001", "research", True)
+                added = admin.add_rule(
+                    "ALLOW auditor TO USE insurance FOR audit",
+                    note="converge-test",
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(30)
+        assert not failures
+        assert consent["ok"] is True
+        assert consent["fleet"]["acks"] == 2
+        assert added["ok"] is True
+        status = fleet.status()
+        assert status["converged"] is True
+        stamps = {
+            tuple(sorted(worker["versions"].items()))
+            for worker in status["workers"]
+        }
+        assert len(stamps) == 1
+        # the broadcast is in the oplog, so future respawns replay it
+        assert status["oplog"] >= 2
+
+    def test_fleet_ops_reach_the_supervisor_through_any_worker(self, fleet):
+        with PdpClient(fleet.host, fleet.port) as client:
+            status = client.fleet_status()
+            assert status["ok"] is True
+            assert status["size"] == 2
+            synced = client.fleet_sync()
+            assert synced["ok"] is True
+            metrics = client.fleet_metrics()
+        assert metrics["ok"] is True
+        assert 'worker="worker-00"' in metrics["metrics"]
+        assert 'worker="worker-01"' in metrics["metrics"]
+
+    def test_refine_daemon_broadcasts_adoptions(self, fleet):
+        payloads = demo_decision_payloads(200)
+        with PdpClient(fleet.host, fleet.port) as client:
+            for payload in payloads:
+                assert _decide_ok(client.request(dict(payload)))
+            assert client.fleet_sync()["ok"] is True
+        daemon = FleetRefineDaemon(
+            fleet.config.store_dir,
+            FleetPolicyTarget(fleet),
+            gate=AutoAcceptGate(3, 2),
+        )
+        report = daemon.poll()
+        assert report.consumed > 0
+        # marks are per member: "site:count", one per worker directory
+        marks = dict(
+            item.rsplit(":", 1) for item in daemon.state.segments_consumed
+        )
+        assert set(marks) == set(fleet_sites(fleet.config.store_dir))
+        assert sum(int(count) for count in marks.values()) == report.watermark
+        if report.accepted:
+            status = fleet.status()
+            assert status["converged"] is True
+            adopted = [str(rule) for rule in report.accepted]
+            assert all(rule in fleet.policy_store.policy() for rule
+                       in report.accepted), adopted
+        # a second poll over unchanged trails consumes nothing
+        assert daemon.poll().consumed == 0
+
+    def test_sealed_counts_are_live_safe(self, fleet):
+        counts = sealed_entry_counts(fleet.config.store_dir)
+        assert set(counts) == {"worker-00", "worker-01"}
+        assert all(count >= 0 for count in counts.values())
+
+
+class TestCrashRespawn:
+    @pytest.fixture()
+    def crash_fleet(self, tmp_path):
+        config = FleetConfig(
+            store_dir=str(tmp_path), workers=2, rows=_ROWS,
+            segment_entries=8,
+        )
+        supervisor = FleetSupervisor(config).start()
+        try:
+            yield supervisor
+        finally:
+            supervisor.shutdown()
+
+    def _await_respawn(self, supervisor, dead_pid, timeout=45.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = supervisor.status()
+            pids = [worker["pid"] for worker in status["workers"]
+                    if worker["reachable"]]
+            if status["ready"] == 2 and dead_pid not in pids:
+                return status
+            time.sleep(0.2)
+        raise AssertionError("worker did not respawn in time")
+
+    def test_killed_worker_respawns_converged_with_no_lost_entries(
+        self, crash_fleet
+    ):
+        supervisor = crash_fleet
+        payloads = demo_decision_payloads(40)
+        with PdpClient(supervisor.host, supervisor.port) as client:
+            for payload in payloads:
+                assert _decide_ok(client.request(dict(payload)))
+            assert client.record_consent("p000001", "research", True)["ok"]
+            # durability barrier first: fsync="interval" buffering would
+            # otherwise lose tail entries to the SIGKILL below
+            assert client.fleet_sync()["ok"] is True
+            status = client.fleet_status()
+        victim = status["workers"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        status = self._await_respawn(supervisor, victim)
+        # the respawn replayed the oplog: same versions on every worker
+        assert status["converged"] is True
+        assert status["respawns"] == 1
+        consent_versions = [worker["versions"]["consent"]
+                            for worker in status["workers"]]
+        assert consent_versions == [1, 1]
+        with PdpClient(supervisor.host, supervisor.port) as client:
+            more = demo_decision_payloads(10)
+            for payload in more:
+                assert _decide_ok(client.request(dict(payload)))
+        supervisor.shutdown()
+        # every decide audited exactly once across the federated trail:
+        # nothing lost to the crash, nothing duplicated by the replay
+        trail = consolidated_trail(supervisor.config.store_dir)
+        assert len(trail) == 50
+
+    def test_client_replays_idempotent_ops_only_across_a_crash(
+        self, crash_fleet
+    ):
+        supervisor = crash_fleet
+        retry = RetryPolicy(attempts=6, base_delay=0.1)
+        with PdpClient(supervisor.host, supervisor.port, retry=retry) as client:
+            stats = client.stats()
+            my_worker_pid = stats["worker"]["pid"]
+            os.kill(my_worker_pid, signal.SIGKILL)
+            # non-idempotent op on the dead connection: surfaced, never
+            # silently replayed on a fresh connection
+            with pytest.raises(ServeError):
+                client.add_rule("ALLOW auditor TO USE insurance FOR audit")
+            # idempotent op: transparently replayed on a reconnect (which
+            # lands on a live worker)
+            response = client.decide("u1", "physician", "treatment",
+                                     ["prescription"])
+            assert response["ok"] is True
+        self._await_respawn(supervisor, my_worker_pid)
+
+
+class TestListenerModes:
+    def test_fd_mode_shares_one_accept_queue(self, tmp_path):
+        config = FleetConfig(
+            store_dir=str(tmp_path), workers=2, rows=_ROWS, listener="fd"
+        )
+        with FleetSupervisor(config) as supervisor:
+            assert supervisor.listener_mode == "fd"
+            with PdpClient(supervisor.host, supervisor.port) as client:
+                assert client.ping()["ok"] is True
+                status = client.fleet_status()
+                assert status["listener"] == "fd"
+                assert status["ready"] == 2
+
+    def test_client_shutdown_stops_the_whole_fleet(self, tmp_path):
+        config = FleetConfig(store_dir=str(tmp_path), workers=2, rows=_ROWS)
+        supervisor = FleetSupervisor(config).start()
+        try:
+            with PdpClient(supervisor.host, supervisor.port) as client:
+                response = client.shutdown_server()
+                assert response["ok"] is True
+            assert supervisor.wait(45), "fleet did not drain and stop"
+        finally:
+            supervisor.shutdown()
+        # after drain-then-stop, every worker directory federates cleanly
+        assert fleet_sites(supervisor.config.store_dir) == (
+            "worker-00", "worker-01"
+        )
+
+
+class TestConfigValidation:
+    def test_store_dir_is_required(self):
+        with pytest.raises(FleetError):
+            FleetConfig(workers=2)
+
+    def test_worker_floor(self):
+        with pytest.raises(FleetError):
+            FleetConfig(store_dir="x", workers=0)
+
+    def test_unknown_listener_mode(self):
+        with pytest.raises(FleetError):
+            FleetConfig(store_dir="x", listener="quic")
+
+    def test_port_property_requires_start(self, tmp_path):
+        supervisor = FleetSupervisor(FleetConfig(store_dir=str(tmp_path)))
+        with pytest.raises(FleetError):
+            _ = supervisor.port

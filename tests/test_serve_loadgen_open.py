@@ -1,0 +1,136 @@
+"""The open-loop load driver: histogram math and coordinated omission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    LatencyHistogram,
+    ServerConfig,
+    ServerThread,
+    build_demo_engine,
+    run_load_open,
+    saturation_sweep,
+)
+from repro.serve.loadgen import OpenLoadReport
+from repro.workload.traces import demo_decision_payloads
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+
+    def test_records_land_in_geometric_buckets(self):
+        hist = LatencyHistogram()
+        for value in (0.5, 1.0, 2.0, 4.0, 8.0):
+            hist.record(value)
+        assert hist.count == 5
+        assert hist.max == 8.0
+        assert hist.quantile(1.0) == 8.0
+        assert 0.4 <= hist.quantile(0.0) <= 0.6
+
+    def test_quantile_error_is_bounded_by_bucket_width(self):
+        hist = LatencyHistogram()
+        values = [0.1 + 0.01 * i for i in range(1000)]
+        for value in values:
+            hist.record(value)
+        exact = sorted(values)[int(0.9 * (len(values) - 1))]
+        # geometric growth 1.25 bounds relative error to ~±12.5%
+        assert abs(hist.quantile(0.9) - exact) / exact < 0.13
+
+    def test_merge_equals_single_histogram(self):
+        left, right, both = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        )
+        for index in range(200):
+            value = 0.05 * (index + 1)
+            (left if index % 2 else right).record(value)
+            both.record(value)
+        left.merge(right)
+        assert left.count == both.count
+        assert left.sum == pytest.approx(both.sum)
+        assert left.max == both.max
+        for quantile in (0.5, 0.9, 0.99):
+            assert left.quantile(quantile) == pytest.approx(
+                both.quantile(quantile)
+            )
+
+    def test_dict_round_trip(self):
+        hist = LatencyHistogram()
+        for value in (0.2, 3.5, 700.0):
+            hist.record(value)
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.sum == pytest.approx(hist.sum)
+        assert clone.max == hist.max
+        assert clone.quantile(0.5) == pytest.approx(hist.quantile(0.5))
+
+    def test_negative_and_zero_latencies_clamp_to_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(-1.0)  # a behind-schedule send measured generously
+        assert hist.count == 2
+
+
+@pytest.fixture(scope="module")
+def served():
+    engine = build_demo_engine(rows=30, seed=7)
+    srv = ServerThread(engine, ServerConfig(port=0)).start()
+    try:
+        yield srv
+    finally:
+        srv.stop()
+
+
+class TestOpenLoop:
+    def test_rejects_nonpositive_rate(self, served):
+        with pytest.raises(ValueError):
+            run_load_open(served.host, served.port, [{"op": "ping"}],
+                          target_rps=0)
+
+    def test_open_load_reports_schedule_and_latencies(self, served):
+        payloads = demo_decision_payloads(80)
+        report = run_load_open(
+            served.host, served.port, payloads, target_rps=400.0, clients=4
+        )
+        assert isinstance(report, OpenLoadReport)
+        assert report.scheduled == 80
+        assert report.completed == 80
+        assert report.errors == 0
+        assert report.target_rps == 400.0
+        assert report.seconds > 0
+        assert sum(report.codes.values()) == 80
+        assert report.histogram.count == 80
+        assert report.histogram.quantile(0.99) >= report.histogram.quantile(0.5)
+        assert "p99_ms" in report.summary()
+
+    def test_latency_measured_from_intended_send_time(self, served):
+        # an absurd target rate forces every send behind schedule: with
+        # coordinated omission fixed, measured latency must include the
+        # queueing delay (p99 >> a single request's service time) and the
+        # driver must admit how often it fell behind
+        payloads = demo_decision_payloads(120)
+        report = run_load_open(
+            served.host, served.port, payloads, target_rps=1_000_000.0,
+            clients=2,
+        )
+        assert report.completed == 120
+        assert report.late_sends > 0
+        solo = run_load_open(
+            served.host, served.port, demo_decision_payloads(10),
+            target_rps=5.0, clients=1,
+        )
+        # the backlogged run's p99 carries wait time the solo run lacks
+        assert report.histogram.quantile(0.99) > solo.histogram.quantile(0.05)
+
+    def test_saturation_sweep_one_report_per_rate(self, served):
+        payloads = demo_decision_payloads(30)
+        reports = saturation_sweep(
+            served.host, served.port, payloads, rates=(200.0, 400.0),
+            clients=2,
+        )
+        assert [r.target_rps for r in reports] == [200.0, 400.0]
+        assert all(r.completed == 30 for r in reports)

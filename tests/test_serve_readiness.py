@@ -1,0 +1,135 @@
+"""Liveness vs readiness probes, not-ready shedding, overload backoff."""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    PdpClient,
+    RetryPolicy,
+    ServerConfig,
+    ServerThread,
+    build_demo_engine,
+    protocol,
+)
+
+
+@pytest.fixture()
+def not_ready_server():
+    engine = build_demo_engine(rows=30, seed=7)
+    srv = ServerThread(engine, ServerConfig(port=0), ready=False).start()
+    try:
+        yield srv
+    finally:
+        srv.stop()
+
+
+def http_status(srv, path):
+    try:
+        with urllib.request.urlopen(
+            f"http://{srv.host}:{srv.port}{path}", timeout=10
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestLivenessVsReadiness:
+    def test_livez_is_200_even_before_ready(self, not_ready_server):
+        status, body = http_status(not_ready_server, "/livez")
+        assert status == 200
+        assert b"live" in body
+
+    def test_readyz_is_503_before_ready_then_200(self, not_ready_server):
+        status, body = http_status(not_ready_server, "/readyz")
+        assert status == 503
+        assert b'"ready":false' in body
+        not_ready_server.server.mark_ready()
+        status, body = http_status(not_ready_server, "/readyz")
+        assert status == 200
+        assert b'"ready":true' in body
+
+    def test_healthz_reports_readiness(self, not_ready_server):
+        status, body = http_status(not_ready_server, "/healthz")
+        assert status == 200  # alive — healthz stays the liveness signal
+        assert b'"ready":false' in body
+
+    def test_mark_not_ready_takes_a_ready_server_out(self):
+        engine = build_demo_engine(rows=30, seed=7)
+        srv = ServerThread(engine, ServerConfig(port=0)).start()
+        try:
+            assert http_status(srv, "/readyz")[0] == 200
+            srv.server.mark_not_ready()
+            assert http_status(srv, "/readyz")[0] == 503
+            assert http_status(srv, "/livez")[0] == 200
+        finally:
+            srv.stop()
+
+
+class TestNotReadyShedding:
+    def test_decisions_shed_with_retry_hint_until_ready(self, not_ready_server):
+        srv = not_ready_server
+        with PdpClient(srv.host, srv.port) as client:
+            response = client.decide("u1", "physician", "treatment",
+                                     ["prescription"])
+            assert response["ok"] is False
+            assert response["code"] == protocol.OVERLOADED
+            assert response["retry_after_ms"] >= 0
+            # non-decision ops still answer while not ready
+            assert client.ping()["ok"] is True
+            srv.server.mark_ready()
+            response = client.decide("u1", "physician", "treatment",
+                                     ["prescription"])
+            assert response["ok"] is True
+
+
+class TestOverloadBackoff:
+    def test_overload_delay_prefers_server_hint(self):
+        policy = RetryPolicy(base_delay=9.0, max_retry_after=2.0)
+        assert policy.overload_delay({"retry_after_ms": 80}, 0) == 0.08
+
+    def test_overload_delay_caps_the_hint(self):
+        policy = RetryPolicy(max_retry_after=0.5)
+        assert policy.overload_delay({"retry_after_ms": 60_000}, 0) == 0.5
+
+    def test_overload_delay_ignores_bad_hints(self):
+        policy = RetryPolicy(base_delay=0.25)
+        fallback = policy.delay(0)
+        assert policy.overload_delay({}, 0) == fallback
+        assert policy.overload_delay({"retry_after_ms": -5}, 0) == fallback
+        assert policy.overload_delay({"retry_after_ms": True}, 0) == fallback
+        assert policy.overload_delay({"retry_after_ms": "soon"}, 0) == fallback
+
+    def test_client_retries_overloaded_decides_until_ready(self):
+        engine = build_demo_engine(rows=30, seed=7)
+        srv = ServerThread(engine, ServerConfig(port=0), ready=False).start()
+        try:
+            timer = threading.Timer(0.3, srv.server.mark_ready)
+            timer.start()
+            retry = RetryPolicy(overload_retries=20, max_retry_after=0.2)
+            with PdpClient(srv.host, srv.port, retry=retry) as client:
+                started = time.perf_counter()
+                response = client.decide("u1", "physician", "treatment",
+                                         ["prescription"])
+            assert response["ok"] is True
+            # it really waited through shed responses rather than failing
+            assert time.perf_counter() - started >= 0.2
+            timer.cancel()
+        finally:
+            srv.stop()
+
+    def test_zero_retries_returns_overloaded_immediately(self):
+        engine = build_demo_engine(rows=30, seed=7)
+        srv = ServerThread(engine, ServerConfig(port=0), ready=False).start()
+        try:
+            with PdpClient(srv.host, srv.port) as client:
+                response = client.decide("u1", "physician", "treatment",
+                                         ["prescription"])
+            assert response["code"] == protocol.OVERLOADED
+        finally:
+            srv.stop()
