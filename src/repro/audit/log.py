@@ -13,7 +13,13 @@ from collections import Counter
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.audit.entry import AuditEntry
-from repro.audit.schema import RULE_ATTRIBUTES, AccessOp, AccessStatus, audit_table_schema
+from repro.audit.schema import (
+    RULE_ATTRIBUTES,
+    AccessOp,
+    AccessStatus,
+    audit_table_schema,
+    create_audit_indexes,
+)
 from repro.errors import AuditError
 from repro.policy.policy import Policy, PolicySource
 from repro.sqlmini.database import Database
@@ -160,12 +166,24 @@ class AuditLog:
             name=f"P_AL({self.name})",
         )
 
-    def to_table(self, database: Database, table_name: str | None = None) -> Table:
-        """Materialise the log as a sqlmini table and return it."""
+    def to_table(
+        self,
+        database: Database,
+        table_name: str | None = None,
+        index: bool = False,
+    ) -> Table:
+        """Materialise the log as a sqlmini table and return it.
+
+        ``index=True`` additionally creates the standard audit-column
+        indexes (bulk-built after the insert) so repeated point/range
+        queries against the table use seeks instead of scans.
+        """
         schema = audit_table_schema(table_name or self.name)
         table = database.create_table(schema)
         for entry in self._entries:
             table.insert(entry.as_row())
+        if index:
+            create_audit_indexes(table)
         return table
 
     def __repr__(self) -> str:

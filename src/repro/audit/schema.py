@@ -50,6 +50,23 @@ AUDIT_ATTRIBUTES: tuple[str, ...] = (
 RULE_ATTRIBUTES: tuple[str, ...] = ("data", "purpose", "authorized")
 
 
+#: Secondary indexes for the hot audit columns: equality-heavy attributes
+#: get hash indexes (miner practice lookups, HDB consent checks), ``time``
+#: gets an ordered index for retention windows and range scans.
+AUDIT_INDEX_SPECS: tuple[tuple[str, str], ...] = (
+    ("user", "hash"),
+    ("data", "hash"),
+    ("purpose", "hash"),
+    ("time", "ordered"),
+)
+
+
+def create_audit_indexes(table) -> None:
+    """Create the standard audit-column indexes on ``table`` (idempotent)."""
+    for column, kind in AUDIT_INDEX_SPECS:
+        table.create_index(column, kind=kind)
+
+
 def audit_table_schema(name: str = "audit_log") -> TableSchema:
     """Build the sqlmini schema for an audit-trail table."""
     return TableSchema(

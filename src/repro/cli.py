@@ -35,6 +35,11 @@ Commands:
 ``decide``
     Ask a running decision service for one decision — category-level
     with ``--categories``, or full SQL enforcement with ``--sql``.
+``sql``
+    Run (``query``) or plan (``explain``) sqlmini statements over an
+    audit log materialised as the indexed ``audit_log`` table —
+    ``explain`` renders the optimized plan DAG with its index seeks and
+    pushed-down predicates.
 ``trace``
     Inspect a running service's retained request traces: ``list`` /
     ``slow`` summaries, and ``show`` rendering one trace's span tree
@@ -390,6 +395,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="resolve the target against this store's "
                               "refinement ledger instead of the trace store")
     tr_show.set_defaults(handler=_cmd_trace_show)
+
+    sql_cmd = commands.add_parser(
+        "sql", help="run or explain sqlmini queries over an audit log"
+    )
+    sql_sub = sql_cmd.add_subparsers(dest="sql_command", required=True)
+    sql_explain = sql_sub.add_parser(
+        "explain",
+        help="render the optimized plan DAG (index seeks, pushed predicates)",
+    )
+    sql_explain.add_argument("statement", help="a SELECT over the audit_log table")
+    sql_explain.add_argument(
+        "--log", default=None,
+        help="audit log (.csv or .jsonl) to materialise as audit_log; "
+             "default: an empty audit_log table",
+    )
+    sql_explain.set_defaults(handler=_cmd_sql_explain)
+    sql_query = sql_sub.add_parser(
+        "query", help="execute a SELECT over the audit_log table"
+    )
+    sql_query.add_argument("statement", help="a SELECT over the audit_log table")
+    sql_query.add_argument(
+        "--log", default=None,
+        help="audit log (.csv or .jsonl) to materialise as audit_log",
+    )
+    sql_query.add_argument("-n", "--limit", type=int, default=50,
+                           help="print at most N rows (default 50)")
+    sql_query.set_defaults(handler=_cmd_sql_query)
 
     return parser
 
@@ -1213,6 +1245,38 @@ def _cmd_trace_show(arguments: argparse.Namespace) -> int:
             _print_full_trace(trace)
         else:
             print(f"  trace {trace_id}: no longer retained on the server")
+    return 0
+
+
+def _sql_database(log_path: str | None):
+    from repro.audit.schema import audit_table_schema, create_audit_indexes
+    from repro.sqlmini.database import Database
+
+    database = Database("cli")
+    if log_path:
+        log = _load_log(log_path)
+        log.to_table(database, "audit_log", index=True)
+    else:
+        table = database.create_table(audit_table_schema("audit_log"))
+        create_audit_indexes(table)
+    return database
+
+
+def _cmd_sql_explain(arguments: argparse.Namespace) -> int:
+    database = _sql_database(arguments.log)
+    print(database.explain(arguments.statement))
+    return 0
+
+
+def _cmd_sql_query(arguments: argparse.Namespace) -> int:
+    database = _sql_database(arguments.log)
+    result = database.query(arguments.statement)
+    print("\t".join(result.columns))
+    shown = result.rows[: max(arguments.limit, 0)]
+    for row in shown:
+        print("\t".join("NULL" if value is None else str(value) for value in row))
+    if len(result.rows) > len(shown):
+        print(f"... and {len(result.rows) - len(shown)} more rows")
     return 0
 
 

@@ -44,6 +44,7 @@ from repro.sqlmini import ast
 from repro.sqlmini.database import Database
 from repro.sqlmini.executor import ResultSet
 from repro.sqlmini.parser import parse
+from repro.sqlmini.table import Table
 from repro.vocab.tree import canonical
 from repro.vocab.vocabulary import Vocabulary
 
@@ -172,6 +173,10 @@ class ActiveEnforcer:
                 raise EnforcementError(
                     f"bound column {column!r} does not exist in table {binding.table!r}"
                 )
+        if isinstance(table, Table):
+            # every served query is rewritten with a patient-id equality
+            # predicate, so give the optimizer a hash index to seek on
+            table.create_index(binding.patient_column, kind="hash")
         self._bindings[binding.table] = binding
         self._plan_cache.clear()  # plans may embed the replaced binding
 

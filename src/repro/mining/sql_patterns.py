@@ -162,7 +162,7 @@ class SqlPatternMiner:
         if len(log) == 0:
             return ()
         database = Database("analysis")
-        log.to_table(database, self.TABLE)
+        log.to_table(database, self.TABLE, index=config.index_practice)
         sql = build_analysis_sql(self.TABLE, config)
         result = database.query(sql)
         patterns: list[Pattern] = []

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
+from operator import attrgetter
 
 from repro.audit.entry import AuditEntry
 from repro.audit.schema import RULE_ATTRIBUTES
@@ -43,9 +45,18 @@ GroupKey = tuple[str, ...]
 PARALLEL_MINERS: tuple[str, ...] = ("sql", "apriori")
 
 
+@lru_cache(maxsize=None)
+def _getter(attributes: tuple[str, ...]):
+    """A cached ``attrgetter`` per attribute tuple (few distinct tuples)."""
+    return attrgetter(*attributes)
+
+
 def _values(entry: AuditEntry, attributes: tuple[str, ...]) -> GroupKey:
     """The entry's rule key — string conversion matching ``to_rule``."""
-    return tuple(str(getattr(entry, attribute)) for attribute in attributes)
+    got = _getter(attributes)(entry)
+    if len(attributes) == 1:
+        return (str(got),)
+    return tuple(str(value) for value in got)
 
 
 @dataclass(frozen=True)

@@ -38,7 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RefinementConfig:
     """Everything tunable about one refinement run.
 
-    ``mining`` carries the Algorithm 4 parameters.  ``include_denied``,
+    ``mining`` carries the Algorithm 4 parameters (including
+    ``index_practice``, which lets the SQL miner index its throwaway
+    practice table; the planner's grouped scan makes this unnecessary for
+    the default single-pass analysis, and either setting yields identical
+    patterns).  ``include_denied``,
     ``exclude_suspected_violations`` and ``classify_scope`` control
     Algorithm 3's filtering (see
     :func:`~repro.refinement.filtering.filter_practice`).  ``execution``

@@ -8,8 +8,16 @@ INSERT, UPDATE, DELETE), aggregates including ``COUNT(DISTINCT …)``, and
 read-only views — everything Algorithm 5's ``dataAnalysis`` query shape and
 the HDB middleware need.
 
+Queries run through a plan-DAG pipeline — parse, bind (canonicalizing
+names), lower to a logical plan, optimize (predicate pushdown, secondary
+index routing, join reordering) and execute compiled plans.  ``CREATE
+[HASH|ORDERED] INDEX`` declares secondary indexes; ``Database.explain``
+renders the optimized plan.  :class:`ReferenceExecutor` preserves the
+original nested-loop strategy as the differential-testing oracle.
+
 Public surface: :class:`Database`, :class:`ResultSet`, the schema types,
-and :func:`parse` for tooling that wants raw ASTs.
+:func:`parse` for tooling that wants raw ASTs, and the plan/:mod:`index
+<repro.sqlmini.indexes>` helpers.
 """
 
 from repro.sqlmini.database import Database
@@ -23,7 +31,12 @@ from repro.sqlmini.errors import (
     SqlTypeError,
 )
 from repro.sqlmini.executor import ResultSet
+from repro.sqlmini.indexes import HashIndex, OrderedIndex
+from repro.sqlmini.optimizer import build_plan
 from repro.sqlmini.parser import parse, parse_expression
+from repro.sqlmini.plan import render_plan, walk_plan
+from repro.sqlmini.planner import bind_select
+from repro.sqlmini.reference import ReferenceExecutor
 from repro.sqlmini.schema import Column, TableSchema
 from repro.sqlmini.table import Table, ViewTable
 from repro.sqlmini.types import SqlType
@@ -31,6 +44,9 @@ from repro.sqlmini.types import SqlType
 __all__ = [
     "Column",
     "Database",
+    "HashIndex",
+    "OrderedIndex",
+    "ReferenceExecutor",
     "ResultSet",
     "SqlCatalogError",
     "SqlError",
@@ -43,6 +59,10 @@ __all__ = [
     "Table",
     "TableSchema",
     "ViewTable",
+    "bind_select",
+    "build_plan",
     "parse",
     "parse_expression",
+    "render_plan",
+    "walk_plan",
 ]

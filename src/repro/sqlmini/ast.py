@@ -323,6 +323,20 @@ class CreateTable:
 
 
 @dataclass(frozen=True, slots=True)
+class CreateIndex:
+    """``CREATE [HASH|ORDERED] INDEX name ON table (column)``."""
+
+    name: str
+    table: str
+    column: str
+    kind: str = "hash"  # "hash" | "ordered"
+
+    def __str__(self) -> str:
+        keyword = "ORDERED INDEX" if self.kind == "ordered" else "HASH INDEX"
+        return f"CREATE {keyword} {self.name} ON {self.table} ({self.column})"
+
+
+@dataclass(frozen=True, slots=True)
 class Insert:
     table: str
     columns: tuple[str, ...]  # empty means "all, in schema order"
@@ -342,4 +356,4 @@ class Update:
     where: Expression | None = None
 
 
-Statement = Union[Select, UnionAll, CreateTable, Insert, Delete, Update]
+Statement = Union[Select, UnionAll, CreateTable, CreateIndex, Insert, Delete, Update]

@@ -68,6 +68,17 @@ class Database:
         self._tables[key] = view
         return view
 
+    def create_index(self, table: str, column: str, kind: str = "hash") -> None:
+        """Create a secondary index on ``table.column`` (no-op if present).
+
+        Equivalent to ``CREATE [HASH|ORDERED] INDEX ... ON table (column)``;
+        views are rejected.
+        """
+        target = self.table(table)
+        if not isinstance(target, Table):
+            raise SqlCatalogError(f"cannot create an index on view {table!r}")
+        target.create_index(column, kind=kind)
+
     def drop_table(self, name: str) -> None:
         """Remove a table or view from the catalog."""
         key = name.strip().lower()
@@ -108,6 +119,10 @@ class Database:
         result = self._executor.execute(statement)
         assert isinstance(result, ResultSet)
         return result
+
+    def explain(self, sql: str) -> str:
+        """Render the optimized plan DAG for a query, without running it."""
+        return self._executor.explain(parse(sql))
 
     def execute_statement(self, statement: ast.Statement) -> ResultSet | int:
         """Run an already-parsed statement (used by the enforcement layer,

@@ -1,11 +1,26 @@
-"""Statement execution for the sqlmini engine.
+"""Planned statement execution for the sqlmini engine.
 
-The executor consumes parsed statements, binds SELECTs through the planner,
-and produces :class:`ResultSet` objects (for queries) or affected-row
-counts (for DML/DDL).  Grouped queries use the replacement mechanism of
-:mod:`repro.sqlmini.expressions`: group keys and aggregate results are
-injected as node-level substitutions when select items, HAVING and ORDER BY
-are evaluated at group scope.
+SELECT statements run through the full pipeline: the binder canonicalizes
+and validates (:mod:`repro.sqlmini.planner`), the optimizer lowers to a
+plan DAG with predicate pushdown and index routing
+(:mod:`repro.sqlmini.optimizer`), and this module executes the plan.
+
+Execution compiles every expression once per statement into closures over
+flat-row slot positions (:func:`repro.sqlmini.expressions.compile_expression`)
+instead of building a dict environment per row.  Joined rows are plain
+tuple concatenations; joined tables are materialized once per statement
+(not rescanned per outer row), and hash-indexed equality joins probe the
+index per left row.  Grouped queries accumulate aggregates in a single
+pass, then evaluate select items, HAVING and ORDER BY at group scope via
+the replacement mechanism of :mod:`repro.sqlmini.expressions` — the same
+group-key/aggregate substitution the reference executor uses, so results
+stay byte-identical.
+
+Row accounting (``repro_sqlmini_rows_scanned_total``) counts rows *read
+from storage per table* — once for a scanned table, per probe for an
+index lookup — not joined combinations; ``repro_sqlmini_index_seeks_total``
+and ``repro_sqlmini_rows_skipped_by_index_total`` make index effectiveness
+observable.
 """
 
 from __future__ import annotations
@@ -17,9 +32,30 @@ from dataclasses import dataclass
 from repro.obs.runtime import get_registry
 from repro.sqlmini import ast
 from repro.sqlmini.aggregates import Accumulator, make_accumulator
-from repro.sqlmini.errors import SqlExecutionError, SqlPlanError
-from repro.sqlmini.expressions import evaluate, to_bool
+from repro.sqlmini.errors import SqlCatalogError, SqlExecutionError, SqlPlanError
+from repro.sqlmini.expressions import (
+    compile_expression,
+    compile_predicate,
+    evaluate,
+    to_bool,
+)
+from repro.sqlmini.indexes import family_of, family_of_type
+from repro.sqlmini.optimizer import Plan, build_plan
+from repro.sqlmini.plan import (
+    FilterNode,
+    IndexLookupNode,
+    IndexSeekNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    SeekEq,
+    SeekIn,
+    SeekRange,
+    render_plan,
+    walk_plan,
+)
 from repro.sqlmini.planner import BoundSelect, bind_select
+from repro.sqlmini.table import Table
 from repro.sqlmini.types import Value, sort_key
 
 
@@ -67,6 +103,15 @@ class ResultSet:
         return f"ResultSet(columns={self.columns}, rows={len(self.rows)})"
 
 
+def _layout(pairs: list[tuple[str, object]]) -> dict[str, int]:
+    """``alias.column`` -> slot for a sequence of (alias, table) pairs."""
+    layout: dict[str, int] = {}
+    for alias, table in pairs:
+        for column in table.schema.columns:
+            layout[f"{alias}.{column.name}"] = len(layout)
+    return layout
+
+
 class Executor:
     """Executes statements against a catalog (the Database)."""
 
@@ -78,8 +123,14 @@ class Executor:
         self._statement_counts: dict[str, int] = {}
         self._rows_scanned = 0
         self._rows_returned = 0
+        self._index_seeks = 0
+        self._rows_skipped = 0
+        self._pushed_predicates = 0
+        self._plan_nodes: dict[str, int] = {}
         self._reported_statements: dict[str, int] = {}
         self._reported_rows = (0, 0)  # scanned, returned
+        self._reported_index = (0, 0, 0)  # seeks, skipped, pushed
+        self._reported_plan_nodes: dict[str, int] = {}
         if self._obs.enabled:
             self._obs.register_collector(self._flush_metrics)
 
@@ -98,6 +149,26 @@ class Executor:
             returned - self._reported_rows[1]
         )
         self._reported_rows = (scanned, returned)
+        seeks, skipped, pushed = (
+            self._index_seeks,
+            self._rows_skipped,
+            self._pushed_predicates,
+        )
+        reg.counter("repro_sqlmini_index_seeks_total").inc(
+            seeks - self._reported_index[0]
+        )
+        reg.counter("repro_sqlmini_rows_skipped_by_index_total").inc(
+            skipped - self._reported_index[1]
+        )
+        reg.counter("repro_sqlmini_plan_pushed_predicates_total").inc(
+            pushed - self._reported_index[2]
+        )
+        self._reported_index = (seeks, skipped, pushed)
+        for kind, count in self._plan_nodes.items():
+            reg.counter("repro_sqlmini_plan_nodes_total", kind=kind).inc(
+                count - self._reported_plan_nodes.get(kind, 0)
+            )
+            self._reported_plan_nodes[kind] = count
 
     # ------------------------------------------------------------------
     # dispatch
@@ -126,6 +197,8 @@ class Executor:
             return self._execute_union(statement)
         if isinstance(statement, ast.CreateTable):
             return self._execute_create(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement)
         if isinstance(statement, ast.Delete):
@@ -137,13 +210,34 @@ class Executor:
     # ------------------------------------------------------------------
     # SELECT
     # ------------------------------------------------------------------
+    def plan_select(self, select: ast.Select) -> Plan:
+        """Bind and optimize one SELECT without running it."""
+        return build_plan(bind_select(select, self._catalog))
+
+    def explain(self, statement: ast.Statement) -> str:
+        """Render the optimized plan for a query statement."""
+        if isinstance(statement, ast.Select):
+            return render_plan(self.plan_select(statement).root)
+        if isinstance(statement, ast.UnionAll):
+            arms = [render_plan(self.plan_select(s).root) for s in statement.selects]
+            return "\nUnionAll\n".join(arms)
+        raise SqlPlanError(
+            f"EXPLAIN supports queries, not {type(statement).__name__}"
+        )
+
     def execute_select(self, select: ast.Select) -> ResultSet:
-        """Bind and run one SELECT."""
+        """Bind, plan and run one SELECT."""
         bound = bind_select(select, self._catalog)
+        plan = build_plan(bound)
+        if self._obs.enabled:
+            for node in walk_plan(plan.root):
+                self._plan_nodes[node.kind] = self._plan_nodes.get(node.kind, 0) + 1
+            self._pushed_predicates += plan.pushed
+        input_run, _ = self._build_node(plan.input_root)
         if bound.aggregate_mode:
-            output_rows = self._grouped_rows(bound)
+            output_rows = self._grouped_rows(bound, input_run, plan.layout)
         else:
-            output_rows = self._plain_rows(bound)
+            output_rows = self._plain_rows(bound, input_run, plan.layout)
         if select.distinct:
             seen: dict[tuple[Value, ...], None] = {}
             deduped: list[tuple[tuple[Value, ...], tuple]] = []
@@ -159,106 +253,237 @@ class Executor:
             rows = rows[: select.limit]
         return ResultSet(columns=bound.output_names, rows=tuple(rows))
 
-    def _input_envs(self, bound: BoundSelect) -> Iterator[dict[str, Value]]:
-        """Yield joined-row environments passing all join conditions.
+    # ------------------------------------------------------------------
+    # plan-node execution
+    # ------------------------------------------------------------------
+    def _build_node(self, node: PlanNode):
+        """Compile a plan subtree into a row generator.
 
-        Nested-loop join: each join condition is checked as soon as its
-        table's row is fixed (conditions may reference any earlier table),
-        so non-matching prefixes are pruned early.
+        Returns ``(run, pairs)`` where ``run()`` yields flat row tuples
+        and ``pairs`` lists the ``(alias, table)`` coverage in slot order.
         """
+        if isinstance(node, ScanNode):
+            return self._build_scan(node)
+        if isinstance(node, IndexSeekNode):
+            return self._build_seek(node)
+        if isinstance(node, FilterNode):
+            child_run, pairs = self._build_node(node.child)
+            predicate = compile_predicate(node.predicate, _layout(pairs))
 
-        def matches(bound_table, chosen: list[tuple[Value, ...]], depth: int) -> bool:
-            partial = bound.env_for(
-                tuple(chosen)
-                + tuple(
-                    (None,) * len(later.table.schema.columns)
-                    for later in bound.tables[depth + 1 :]
+            def run_filter():
+                for row in child_run():
+                    if predicate(row):
+                        yield row
+
+            return run_filter, pairs
+        if isinstance(node, JoinNode):
+            return self._build_join(node)
+        raise SqlPlanError(  # pragma: no cover - optimizer invariant
+            f"unexpected input plan node {node!r}"
+        )
+
+    def _build_scan(self, node: ScanNode):
+        table = node.table
+
+        def run_scan():
+            count = 0
+            try:
+                for row in table.scan():
+                    count += 1
+                    yield row
+            finally:
+                self._rows_scanned += count
+
+        return run_scan, [(node.alias, table)]
+
+    def _build_seek(self, node: IndexSeekNode):
+        table = node.table
+        index = node.index
+        spec = node.spec
+
+        def run_seek():
+            if isinstance(spec, SeekEq):
+                positions = index.seek(spec.value)
+            elif isinstance(spec, SeekIn):
+                positions = index.seek_many(spec.values)
+            else:
+                assert isinstance(spec, SeekRange)
+                positions = index.seek_range(
+                    spec.low, spec.low_inclusive, spec.high, spec.high_inclusive
                 )
-            )
-            return to_bool(evaluate(bound_table.condition, partial)) is True
+            self._index_seeks += 1
+            self._rows_scanned += len(positions)
+            self._rows_skipped += len(table) - len(positions)
+            yield from table.rows_at(positions)
 
-        def combos(depth: int, chosen: list[tuple[Value, ...]]) -> Iterator[dict[str, Value]]:
-            if depth == len(bound.tables):
-                yield bound.env_for(tuple(chosen))
-                return
-            bound_table = bound.tables[depth]
-            matched_any = False
-            for row in bound_table.table.scan():
-                chosen.append(row)
-                if bound_table.condition is not None and not matches(
-                    bound_table, chosen, depth
-                ):
-                    chosen.pop()
-                    continue
-                matched_any = True
-                yield from combos(depth + 1, chosen)
-                chosen.pop()
-            if bound_table.outer and not matched_any:
-                # LEFT JOIN null extension: keep the left rows alive
-                chosen.append((None,) * len(bound_table.table.schema.columns))
-                yield from combos(depth + 1, chosen)
-                chosen.pop()
+        return run_seek, [(node.alias, table)]
 
-        return combos(0, [])
+    def _build_join(self, node: JoinNode):
+        left_run, left_pairs = self._build_node(node.left)
+        right = node.right
+        if isinstance(right, IndexLookupNode):
+            return self._build_lookup_join(node, left_run, left_pairs, right)
+        right_run, right_pairs = self._build_node(right)
+        pairs = left_pairs + right_pairs
+        layout = _layout(pairs)
+        residuals = [compile_predicate(expr, layout) for expr in node.residual]
+        outer = node.outer
+        null_suffix = (None,) * len(right_pairs[0][1].schema.columns)
 
-    def _filtered_envs(self, bound: BoundSelect) -> Iterator[dict[str, Value]]:
-        where = bound.select.where
-        scanned = 0
-        try:
-            for env in self._input_envs(bound):
-                scanned += 1
-                if where is None or to_bool(evaluate(where, env)) is True:
-                    yield env
-        finally:
-            # plain-int accounting; the collector turns this into
-            # repro_sqlmini_rows_scanned_total at snapshot time
-            self._rows_scanned += scanned
+        def run_join():
+            # the joined table is materialized once, lazily, so an empty
+            # left side never touches it
+            cache: list[tuple[Value, ...]] | None = None
+            for lrow in left_run():
+                if cache is None:
+                    cache = list(right_run())
+                matched = False
+                for rrow in cache:
+                    row = lrow + rrow
+                    if all(passes(row) for passes in residuals):
+                        matched = True
+                        yield row
+                if outer and not matched:
+                    yield lrow + null_suffix
 
+        return run_join, pairs
+
+    def _build_lookup_join(self, node, left_run, left_pairs, right: IndexLookupNode):
+        table = right.table
+        pairs = left_pairs + [(right.alias, table)]
+        layout = _layout(pairs)
+        key_fn = compile_expression(right.key_expr, _layout(left_pairs))
+        family = family_of_type(table.schema.sql_type_of(right.column))
+        index = right.index
+        residuals = [compile_predicate(expr, layout) for expr in node.residual]
+        outer = node.outer
+        null_suffix = (None,) * len(table.schema.columns)
+
+        def run_lookup():
+            seeks = scanned = skipped = 0
+            total = len(table)
+            try:
+                for lrow in left_run():
+                    key = key_fn(lrow)
+                    seeks += 1
+                    # cross-family probes (True vs 1) must miss, as
+                    # compare() would return unknown
+                    if key is None or family_of(key) != family:
+                        positions: list[int] = []
+                    else:
+                        positions = index.seek(key)
+                    scanned += len(positions)
+                    skipped += total - len(positions)
+                    matched = False
+                    for position in positions:
+                        row = lrow + table.row_at(position)
+                        if all(passes(row) for passes in residuals):
+                            matched = True
+                            yield row
+                    if outer and not matched:
+                        yield lrow + null_suffix
+            finally:
+                self._index_seeks += seeks
+                self._rows_scanned += scanned
+                self._rows_skipped += skipped
+
+        return run_lookup, pairs
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
     def _plain_rows(
-        self, bound: BoundSelect
+        self, bound: BoundSelect, input_run, layout: dict[str, int]
     ) -> list[tuple[tuple[Value, ...], tuple]]:
-        """Project each filtered row; returns (output row, order key) pairs."""
-        select = bound.select
+        """Project each input row; returns (output row, order key) pairs."""
+        star_slots = [layout[f"{alias}.{name}"] for alias, name in bound.visible]
+        item_fns = []
+        for item in bound.items:
+            if isinstance(item.expr, ast.Star):
+                item_fns.append(None)
+            else:
+                item_fns.append(compile_expression(item.expr, layout))
+
+        order_fns: list[tuple] = []
+        alias_fns: list = []
+        if bound.order_by:
+            # select-item aliases extend the sort scope (and shadow
+            # nothing: canonical refs are qualified, aliases are bare)
+            extended = dict(layout)
+            slot = len(layout)
+            for item in bound.items:
+                if item.alias and not isinstance(item.expr, ast.Star):
+                    extended[item.alias] = slot
+                    alias_fns.append(compile_expression(item.expr, layout))
+                    slot += 1
+            for order in bound.order_by:
+                order_fns.append(
+                    (compile_expression(order.expr, extended), order.ascending)
+                )
+
         results: list[tuple[tuple[Value, ...], tuple]] = []
-        aliases = {
-            item.alias: item.expr
-            for item in select.items
-            if item.alias and not isinstance(item.expr, ast.Star)
-        }
-        for env in self._filtered_envs(bound):
+        for row in input_run():
             values: list[Value] = []
-            for item in select.items:
-                if isinstance(item.expr, ast.Star):
-                    values.extend(env[f"{alias}.{name}"] for alias, name in bound.visible)
+            for fn in item_fns:
+                if fn is None:
+                    values.extend(row[slot] for slot in star_slots)
                 else:
-                    values.append(evaluate(item.expr, env))
-            order_env = dict(env)
-            for alias, expr in aliases.items():
-                order_env[alias] = evaluate(expr, env)
-            key = self._order_key(select, order_env, None)
+                    values.append(fn(row))
+            if order_fns:
+                sort_row = row + tuple(fn(row) for fn in alias_fns)
+                key = tuple(
+                    sort_key(fn(sort_row))
+                    if ascending
+                    else _invert_sort_key(sort_key(fn(sort_row)))
+                    for fn, ascending in order_fns
+                )
+            else:
+                key = ()
             results.append((tuple(values), key))
         return results
 
     def _grouped_rows(
-        self, bound: BoundSelect
+        self, bound: BoundSelect, input_run, layout: dict[str, int]
     ) -> list[tuple[tuple[Value, ...], tuple]]:
-        """Group filtered rows, accumulate aggregates, project per group."""
-        select = bound.select
-        group_exprs = select.group_by
+        """Group input rows, accumulate aggregates, project per group."""
+        group_exprs = bound.group_by
+        if group_exprs and all(
+            isinstance(expr, ast.ColumnRef) for expr in group_exprs
+        ):
+            slots = [
+                layout[f"{expr.table}.{expr.name}"] for expr in group_exprs
+            ]
+
+            def key_fn(row):
+                return tuple(row[slot] for slot in slots)
+
+        else:
+            key_fns = [compile_expression(expr, layout) for expr in group_exprs]
+
+            def key_fn(row):
+                return tuple(fn(row) for fn in key_fns)
+
+        agg_fns = [
+            None
+            if len(call.args) == 1 and isinstance(call.args[0], ast.Star)
+            else compile_expression(call.args[0], layout)
+            for call in bound.aggregates
+        ]
+
         groups: dict[tuple[Value, ...], list[Accumulator]] = {}
-        group_keys: dict[tuple[Value, ...], tuple[Value, ...]] = {}
-        for env in self._filtered_envs(bound):
-            key = tuple(evaluate(expr, env) for expr in group_exprs)
+        for row in input_run():
+            key = key_fn(row)
             accumulators = groups.get(key)
             if accumulators is None:
                 accumulators = [make_accumulator(call) for call in bound.aggregates]
                 groups[key] = accumulators
-                group_keys[key] = key
-            for call, accumulator in zip(bound.aggregates, accumulators):
-                accumulator.add(self._aggregate_input(call, env))
+            for fn, accumulator in zip(agg_fns, accumulators):
+                # COUNT(*) feeds a non-informative marker
+                accumulator.add(1 if fn is None else fn(row))
         if not group_exprs and not groups:
             # global aggregate over zero rows still yields one output row
             groups[()] = [make_accumulator(call) for call in bound.aggregates]
+
         results: list[tuple[tuple[Value, ...], tuple]] = []
         for key, accumulators in groups.items():
             replacements: dict[ast.Expression, Value] = {}
@@ -266,41 +491,26 @@ class Executor:
                 replacements[expr] = value
             for call, accumulator in zip(bound.aggregates, accumulators):
                 replacements[call] = accumulator.result()
-            if select.having is not None:
-                if to_bool(evaluate(select.having, {}, replacements)) is not True:
+            if bound.having is not None:
+                if to_bool(evaluate(bound.having, {}, replacements)) is not True:
                     continue
             values = tuple(
-                evaluate(item.expr, {}, replacements) for item in select.items
+                evaluate(item.expr, {}, replacements) for item in bound.items
             )
             alias_env = {
                 item.alias: value
-                for item, value in zip(select.items, values)
+                for item, value in zip(bound.items, values)
                 if item.alias
             }
-            order_key = self._order_key(select, alias_env, replacements)
-            results.append((values, order_key))
+            order_key_parts: list[tuple] = []
+            for order in bound.order_by:
+                value = evaluate(order.expr, alias_env, replacements)
+                base = sort_key(value)
+                if not order.ascending:
+                    base = _invert_sort_key(base)
+                order_key_parts.append(base)
+            results.append((values, tuple(order_key_parts)))
         return results
-
-    @staticmethod
-    def _aggregate_input(call: ast.FuncCall, env: dict[str, Value]) -> Value:
-        if len(call.args) == 1 and isinstance(call.args[0], ast.Star):
-            return 1  # COUNT(*): any non-informative marker
-        return evaluate(call.args[0], env)
-
-    @staticmethod
-    def _order_key(
-        select: ast.Select,
-        env: dict[str, Value],
-        replacements: dict[ast.Expression, Value] | None,
-    ) -> tuple:
-        key: list[tuple] = []
-        for order in select.order_by:
-            value = evaluate(order.expr, env, replacements)
-            base = sort_key(value)
-            if not order.ascending:
-                base = _invert_sort_key(base)
-            key.append(base)
-        return tuple(key)
 
     # ------------------------------------------------------------------
     # UNION ALL
@@ -331,6 +541,15 @@ class Executor:
         self._catalog.create_table(TableSchema(create.table, columns))
         return 0
 
+    def _execute_create_index(self, create: ast.CreateIndex) -> int:
+        table = self._catalog.table(create.table)
+        if not isinstance(table, Table):
+            raise SqlCatalogError(
+                f"cannot create an index on view {create.table!r}"
+            )
+        table.create_index(create.column, kind=create.kind)
+        return 0
+
     def _execute_insert(self, insert: ast.Insert) -> int:
         table = self._catalog.table(insert.table)
         schema = table.schema
@@ -347,42 +566,47 @@ class Executor:
                 table.insert(values)
         return len(insert.rows)
 
+    def _dml_table(self, name: str) -> Table:
+        table = self._catalog.table(name)
+        if not isinstance(table, Table):
+            raise SqlCatalogError(f"view {name!r} is read-only")
+        return table
+
     def _execute_delete(self, delete: ast.Delete) -> int:
-        table = self._catalog.table(delete.table)
+        table = self._dml_table(delete.table)
         schema = table.schema
-        where = delete.where
-
-        def matches(row: tuple[Value, ...]) -> bool:
-            if where is None:
-                return True
-            env = dict(zip(schema.column_names, row))
-            return to_bool(evaluate(where, env)) is True
-
+        if delete.where is None:
+            return table.delete_where(lambda row: True)
+        bare = {name: position for position, name in enumerate(schema.column_names)}
+        matches = compile_predicate(delete.where, bare)
         return table.delete_where(matches)
 
     def _execute_update(self, update: ast.Update) -> int:
-        table = self._catalog.table(update.table)
+        table = self._dml_table(update.table)
         schema = table.schema
-        where = update.where
+        bare = {name: position for position, name in enumerate(schema.column_names)}
+        hit = (
+            (lambda row: True)
+            if update.where is None
+            else compile_predicate(update.where, bare)
+        )
         positions = [schema.position(name) for name, _ in update.assignments]
-        changed = 0
-        new_rows: list[tuple[Value, ...]] = []
-        for row in table.scan():
-            env = dict(zip(schema.column_names, row))
-            hit = where is None or to_bool(evaluate(where, env)) is True
-            if hit:
-                updated = list(row)
-                for position, (_, expr) in zip(positions, update.assignments):
-                    updated[position] = evaluate(expr, env)
-                new_rows.append(schema.validate_row(updated))
-                changed += 1
-            else:
-                new_rows.append(row)
-        if changed:
-            table.clear()
-            for row in new_rows:
-                table.insert(row)
-        return changed
+        value_fns = [
+            compile_expression(expr, bare) for _, expr in update.assignments
+        ]
+        # validate every replacement before touching storage so a bad
+        # assignment leaves the table unchanged
+        staged: list[tuple[int, tuple[Value, ...]]] = []
+        for row_position, row in enumerate(table.scan()):
+            if not hit(row):
+                continue
+            updated = list(row)
+            for position, fn in zip(positions, value_fns):
+                updated[position] = fn(row)
+            staged.append((row_position, schema.validate_row(updated)))
+        for row_position, row in staged:
+            table.replace_row(row_position, row)
+        return len(staged)
 
     @staticmethod
     def _constant(expr: ast.Expression) -> Value:

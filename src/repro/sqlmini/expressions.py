@@ -231,3 +231,201 @@ def to_bool(value: Value) -> bool | None:
     if isinstance(value, bool):
         return value
     raise SqlExecutionError(f"condition evaluated to non-boolean {value!r}")
+
+
+# ----------------------------------------------------------------------
+# compiled expressions
+# ----------------------------------------------------------------------
+#
+# The planned executor avoids building a dict environment per row: it
+# compiles each (canonicalized) expression once per statement into a
+# closure over flat-row slot positions, then calls the closure per row.
+# Semantics mirror _eval exactly — same three-valued logic, same errors —
+# which the differential test suite asserts against the reference executor.
+
+_COMPARATORS = {
+    "=": lambda outcome: outcome == 0,
+    "<>": lambda outcome: outcome != 0,
+    "<": lambda outcome: outcome < 0,
+    "<=": lambda outcome: outcome <= 0,
+    ">": lambda outcome: outcome > 0,
+    ">=": lambda outcome: outcome >= 0,
+}
+
+
+def compile_expression(expr: ast.Expression, layout: Mapping[str, int]):
+    """Compile ``expr`` into a ``row -> value`` closure.
+
+    ``layout`` maps column keys (``alias.column``, or bare names for
+    single-table DML and select-item aliases in sort scope) to slot
+    positions in the flat row tuple.  Unknown columns, aggregates outside
+    group scope and ``*`` misuse raise :class:`SqlPlanError` at compile
+    time rather than per row.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.ColumnRef):
+        key = f"{expr.table}.{expr.name}" if expr.table else expr.name
+        try:
+            slot = layout[key]
+        except KeyError:
+            raise SqlPlanError(f"unknown column {key!r}") from None
+        return lambda row: row[slot]
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, layout)
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expression(expr.operand, layout)
+        if expr.op == "NOT":
+
+            def negate(row):
+                truth = to_bool(operand(row))
+                if truth is None:
+                    return None
+                return not truth
+
+            return negate
+        if expr.op == "-":
+
+            def minus(row):
+                value = operand(row)
+                if value is None:
+                    return None
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise SqlExecutionError(f"unary minus needs a number, got {value!r}")
+                return -value
+
+            return minus
+        raise SqlExecutionError(f"unknown unary operator {expr.op!r}")  # pragma: no cover
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expression(expr.operand, layout)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, ast.InList):
+        needle = compile_expression(expr.operand, layout)
+        options = tuple(compile_expression(option, layout) for option in expr.options)
+        negated = expr.negated
+
+        def in_list(row):
+            value = needle(row)
+            if value is None:
+                return None
+            saw_null = False
+            for option in options:
+                outcome = compare(value, option(row))
+                if outcome is None:
+                    saw_null = True
+                elif outcome == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_list
+    if isinstance(expr, ast.Between):
+        operand = compile_expression(expr.operand, layout)
+        low = compile_expression(expr.low, layout)
+        high = compile_expression(expr.high, layout)
+        negated = expr.negated
+
+        def between(row):
+            value = operand(row)
+            low_cmp = compare(value, low(row))
+            high_cmp = compare(value, high(row))
+            if low_cmp is None or high_cmp is None:
+                return None
+            inside = low_cmp >= 0 and high_cmp <= 0
+            return inside != negated
+
+        return between
+    if isinstance(expr, ast.Case):
+        whens = tuple(
+            (compile_expression(condition, layout), compile_expression(value, layout))
+            for condition, value in expr.whens
+        )
+        default = (
+            None if expr.default is None else compile_expression(expr.default, layout)
+        )
+
+        def case(row):
+            for condition, value in whens:
+                if to_bool(condition(row)) is True:
+                    return value(row)
+            if default is not None:
+                return default(row)
+            return None
+
+        return case
+    if isinstance(expr, ast.FuncCall):
+        if expr.name in ast.AGGREGATE_FUNCTIONS:
+            raise SqlPlanError(
+                f"aggregate {expr.name.upper()} is not allowed here "
+                "(only in a select list or HAVING of a grouped query)"
+            )
+        try:
+            function = SCALAR_FUNCTIONS[expr.name]
+        except KeyError:
+            raise SqlPlanError(f"unknown function {expr.name.upper()!r}") from None
+        args = tuple(compile_expression(arg, layout) for arg in expr.args)
+        return lambda row: function([arg(row) for arg in args])
+    if isinstance(expr, ast.Star):
+        raise SqlPlanError("'*' is only valid in a select list or COUNT(*)")
+    raise SqlExecutionError(f"cannot compile expression {expr!r}")  # pragma: no cover
+
+
+def _compile_binary(expr: ast.BinaryOp, layout: Mapping[str, int]):
+    op = expr.op
+    left = compile_expression(expr.left, layout)
+    right = compile_expression(expr.right, layout)
+    if op == "AND":
+
+        def conjunction(row):
+            left_truth = to_bool(left(row))
+            if left_truth is False:
+                return False
+            right_truth = to_bool(right(row))
+            if right_truth is False:
+                return False
+            if left_truth is None or right_truth is None:
+                return None
+            return True
+
+        return conjunction
+    if op == "OR":
+
+        def disjunction(row):
+            left_truth = to_bool(left(row))
+            if left_truth is True:
+                return True
+            right_truth = to_bool(right(row))
+            if right_truth is True:
+                return True
+            if left_truth is None or right_truth is None:
+                return None
+            return False
+
+        return disjunction
+    if op == "LIKE":
+        return lambda row: _like(left(row), right(row))
+    comparator = _COMPARATORS.get(op)
+    if comparator is not None:
+
+        def comparison(row):
+            outcome = compare(left(row), right(row))
+            if outcome is None:
+                return None
+            return comparator(outcome)
+
+        return comparison
+    return lambda row: _arithmetic(op, left(row), right(row))
+
+
+def compile_predicate(expr: ast.Expression, layout: Mapping[str, int]):
+    """Compile ``expr`` into a ``row -> bool`` filter (unknown → False)."""
+    compiled = compile_expression(expr, layout)
+
+    def passes(row) -> bool:
+        return to_bool(compiled(row)) is True
+
+    return passes

@@ -1,0 +1,210 @@
+"""Secondary index structures for :class:`~repro.sqlmini.table.Table`.
+
+Two index kinds cover the predicate shapes the optimizer routes:
+
+- :class:`HashIndex` — key → sorted row positions; serves equality and
+  ``IN`` seeks in O(1) per key.
+- :class:`OrderedIndex` — a sorted list of ``(key, position)`` pairs
+  maintained with :mod:`bisect`; serves range predicates (``<``, ``<=``,
+  ``>``, ``>=``, ``BETWEEN``) and equality in O(log n + matches).
+
+Both kinds exclude NULL keys entirely: no SQL comparison predicate ever
+matches NULL, so indexed seeks and filtered scans agree by construction.
+Seek results are always *ascending row positions*, which is scan order —
+an index seek therefore yields rows in exactly the order a filtered full
+scan would, keeping planned execution byte-identical to the reference
+executor.
+
+Keys within one index are homogeneous because column values pass through
+:func:`~repro.sqlmini.types.coerce` before storage.  Cross-family probes
+(e.g. probing an INTEGER index with ``True``, which Python dicts would
+conflate with ``1``) are rejected by the :func:`family_of` guard at the
+call sites, matching ``compare()``'s "incomparable → unknown" semantics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+
+from repro.sqlmini.types import SqlType, Value
+
+#: Index kinds understood by CREATE INDEX and the optimizer.
+INDEX_KINDS = ("hash", "ordered")
+
+_AFTER_ANY_POSITION = float("inf")
+
+
+def family_of(value: Value) -> str | None:
+    """The comparison family of a runtime value (None for NULL).
+
+    Mirrors :func:`repro.sqlmini.types.compare`: bool is its own family
+    (``True`` never equals ``1`` in SQL even though Python dicts say so),
+    int and float share the number family, str is text.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "text"
+    return None
+
+
+def family_of_type(sql_type: SqlType) -> str:
+    """The comparison family every stored value of ``sql_type`` has."""
+    if sql_type in (SqlType.INTEGER, SqlType.REAL):
+        return "number"
+    if sql_type is SqlType.TEXT:
+        return "text"
+    return "bool"
+
+
+class HashIndex:
+    """Equality index: key → ascending row positions."""
+
+    kind = "hash"
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        self._buckets: dict[Value, list[int]] = {}
+
+    def add(self, key: Value, position: int) -> None:
+        """Record that the row at ``position`` has ``key`` (NULL ignored)."""
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [position]
+        elif position > bucket[-1]:
+            bucket.append(position)  # the common append-at-end insert
+        else:
+            insort(bucket, position)
+
+    def remove(self, key: Value, position: int) -> None:
+        """Forget the ``(key, position)`` entry, if present."""
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        at = bisect_left(bucket, position)
+        if at < len(bucket) and bucket[at] == position:
+            bucket.pop(at)
+            if not bucket:
+                del self._buckets[key]
+
+    def bulk_add(self, items) -> None:
+        """Load many ``(key, position)`` pairs (backfill/rebuild path)."""
+        for key, position in items:
+            self.add(key, position)
+
+    def seek(self, key: Value) -> list[int]:
+        """Ascending positions whose column equals ``key`` (NULL → none).
+
+        Callers must not mutate the returned list.
+        """
+        if key is None:
+            return []
+        return self._buckets.get(key, [])
+
+    def seek_many(self, keys: tuple[Value, ...]) -> list[int]:
+        """Ascending positions matching any key (an ``IN`` seek)."""
+        merged: set[int] = set()
+        for key in keys:
+            if key is not None:
+                merged.update(self._buckets.get(key, ()))
+        return sorted(merged)
+
+    def clear(self) -> None:
+        """Drop every entry (rebuilds reuse the same index object)."""
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex:
+    """Range index: sorted ``(key, position)`` pairs, bisect-searched."""
+
+    kind = "ordered"
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[Value, int]] = []
+
+    def add(self, key: Value, position: int) -> None:
+        """Record that the row at ``position`` has ``key`` (NULL ignored)."""
+        if key is None:
+            return
+        insort(self._entries, (key, position))
+
+    def remove(self, key: Value, position: int) -> None:
+        """Forget the ``(key, position)`` entry, if present."""
+        if key is None:
+            return
+        at = bisect_left(self._entries, (key, position))
+        if at < len(self._entries) and self._entries[at] == (key, position):
+            self._entries.pop(at)
+
+    def bulk_add(self, items) -> None:
+        """Load many ``(key, position)`` pairs, sorting once.
+
+        Per-pair ``insort`` is O(n) in list shifts; a backfill over a
+        large table would go quadratic, so bulk loads extend-then-sort.
+        """
+        self._entries.extend(
+            (key, position) for key, position in items if key is not None
+        )
+        self._entries.sort()
+
+    def seek(self, key: Value) -> list[int]:
+        """Ascending positions whose column equals ``key``."""
+        return self.seek_range(key, True, key, True)
+
+    def seek_range(
+        self,
+        low: Value,
+        low_inclusive: bool,
+        high: Value,
+        high_inclusive: bool,
+    ) -> list[int]:
+        """Ascending positions with ``low <op> column <op> high``.
+
+        A ``None`` bound means unbounded on that side.  Entries never hold
+        NULL keys, so the slice is purely key-ordered.
+        """
+        entries = self._entries
+        if low is None:
+            lo = 0
+        elif low_inclusive:
+            lo = bisect_left(entries, (low,))
+        else:
+            lo = bisect_right(entries, (low, _AFTER_ANY_POSITION))
+        if high is None:
+            hi = len(entries)
+        elif high_inclusive:
+            hi = bisect_right(entries, (high, _AFTER_ANY_POSITION))
+        else:
+            hi = bisect_left(entries, (high,))
+        return sorted(position for _, position in entries[lo:hi])
+
+    def clear(self) -> None:
+        """Drop every entry (rebuilds reuse the same index object)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+Index = HashIndex | OrderedIndex
+
+
+def make_index(kind: str) -> Index:
+    """Instantiate an index of ``kind`` (``hash`` or ``ordered``)."""
+    if kind == "hash":
+        return HashIndex()
+    if kind == "ordered":
+        return OrderedIndex()
+    raise ValueError(f"unknown index kind {kind!r} (expected one of {INDEX_KINDS})")

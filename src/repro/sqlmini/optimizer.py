@@ -1,0 +1,457 @@
+"""Logical plan construction and optimization for sqlmini.
+
+:func:`build_plan` lowers a :class:`~repro.sqlmini.planner.BoundSelect`
+into a :class:`Plan` — a DAG of :mod:`repro.sqlmini.plan` nodes — applying
+three rewrites:
+
+**Predicate pushdown.**  The WHERE clause is split into its top-level
+conjuncts (safe under three-valued logic: a conjunction is True iff every
+conjunct is True).  Each conjunct sinks to the earliest depth at which all
+referenced tables are joined; conjuncts over a single table sink all the
+way into that table's access path.  Two guards keep LEFT JOIN semantics
+intact: a WHERE conjunct never sinks *into* an outer-joined table's access
+path (it must see the null-extended row, e.g. the ``WHERE d.code IS NULL``
+anti-join), and ON-clause residuals stay at their join so they keep
+deciding null extension.  Constant conjuncts stay at the top.
+
+**Index routing.**  A pushed conjunct of sargable shape — ``col = lit``,
+``col <op> lit``, ``col BETWEEN lit AND lit``, ``col IN (lits)`` — turns
+the access path into an index seek when the table has a usable index
+(hash for equality/IN, ordered for ranges).  Comparison families are
+checked at plan time (probing an INTEGER index with a bool would conflate
+``True`` with ``1`` under Python dict equality, which SQL rejects), so a
+mismatched literal simply stays a filter that drops every row.  Equality
+joins against a hash-indexed column become per-left-row index lookups.
+
+**Join reordering.**  For inner-only joins over heap tables the planner
+starts from the smallest estimated table and greedily prefers tables
+reachable through an indexed equality join.  Reordering changes row
+arrival order, so it is gated to queries whose output order carries no
+contract: plain multi-table SELECTs with no ORDER BY, LIMIT, DISTINCT or
+grouping.  Everything else keeps FROM order, making planned execution
+byte-identical to the reference executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlmini import ast
+from repro.sqlmini.indexes import HashIndex, family_of, family_of_type
+from repro.sqlmini.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    IndexLookupNode,
+    IndexSeekNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SeekEq,
+    SeekIn,
+    SeekRange,
+    SeekSpec,
+    SortNode,
+)
+from repro.sqlmini.planner import BoundSelect, BoundTable
+from repro.sqlmini.table import Table
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An optimized plan plus what the executor needs to run it."""
+
+    root: PlanNode
+    #: the subtree below Aggregate/Project — yields flat joined rows
+    input_root: PlanNode
+    bound: BoundSelect
+    #: tables in execution order (== FROM order unless reordered)
+    exec_tables: tuple[BoundTable, ...]
+    #: ``alias.column`` -> slot in the flat row tuple, in execution order
+    layout: dict[str, int]
+    reordered: bool
+    #: conjuncts pushed below their syntactic position
+    pushed: int
+
+
+def split_conjuncts(expr: ast.Expression | None) -> list[ast.Expression]:
+    """Flatten a conjunction into its top-level conjuncts, in order."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _ref_aliases(expr: ast.Expression) -> frozenset[str]:
+    """The table aliases an expression references (canonical refs only)."""
+    return frozenset(
+        ref.table for ref in ast.collect_columns(expr) if ref.table is not None
+    )
+
+
+def _split_eq(expr: ast.Expression):
+    """``(column_ref, other_side)`` for an equality, else ``(None, None)``."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "=":
+        return (expr.left, expr.right)
+    return (None, None)
+
+
+def _sargable(
+    expr: ast.Expression, alias: str, table: Table
+) -> tuple[SeekSpec, str, object] | None:
+    """Match ``expr`` to an index seek on ``table``; None when not sargable.
+
+    Returns ``(spec, index_kind, index)``.  Literal values whose comparison
+    family differs from the column's declared family are rejected here —
+    the predicate stays a filter and (correctly) matches nothing.
+    """
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("=", "<", "<=", ">", ">="):
+        op = expr.op
+        column_ref, literal = expr.left, expr.right
+        if isinstance(column_ref, ast.Literal) and isinstance(literal, ast.ColumnRef):
+            column_ref, literal = literal, column_ref
+            op = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        if not (
+            isinstance(column_ref, ast.ColumnRef)
+            and column_ref.table == alias
+            and isinstance(literal, ast.Literal)
+        ):
+            return None
+        column = column_ref.name
+        value = literal.value
+        if value is None:
+            return None
+        if family_of(value) != family_of_type(table.schema.sql_type_of(column)):
+            return None
+        if op == "=":
+            index = table.equality_index(column)
+            if index is None:
+                return None
+            return SeekEq(column, value), index.kind, index
+        index = table.range_index(column)
+        if index is None:
+            return None
+        if op == "<":
+            spec = SeekRange(column, high=value, high_inclusive=False)
+        elif op == "<=":
+            spec = SeekRange(column, high=value)
+        elif op == ">":
+            spec = SeekRange(column, low=value, low_inclusive=False)
+        else:
+            spec = SeekRange(column, low=value)
+        return spec, "ordered", index
+    if isinstance(expr, ast.Between) and not expr.negated:
+        if not (
+            isinstance(expr.operand, ast.ColumnRef)
+            and expr.operand.table == alias
+            and isinstance(expr.low, ast.Literal)
+            and isinstance(expr.high, ast.Literal)
+        ):
+            return None
+        column = expr.operand.name
+        low, high = expr.low.value, expr.high.value
+        family = family_of_type(table.schema.sql_type_of(column))
+        if low is None or high is None:
+            return None
+        if family_of(low) != family or family_of(high) != family:
+            return None
+        index = table.range_index(column)
+        if index is None:
+            return None
+        return SeekRange(column, low=low, high=high), "ordered", index
+    if isinstance(expr, ast.InList) and not expr.negated:
+        if not (
+            isinstance(expr.operand, ast.ColumnRef)
+            and expr.operand.table == alias
+            and all(isinstance(option, ast.Literal) for option in expr.options)
+        ):
+            return None
+        column = expr.operand.name
+        index = table.equality_index(column)
+        if not isinstance(index, HashIndex):
+            return None
+        family = family_of_type(table.schema.sql_type_of(column))
+        # NULL and family-mismatched options can never compare equal; the
+        # remaining keys reproduce the filter's accepted set exactly
+        values = tuple(
+            option.value
+            for option in expr.options
+            if option.value is not None and family_of(option.value) == family
+        )
+        return SeekIn(column, values), "hash", index
+    return None
+
+
+class _Builder:
+    def __init__(self, bound: BoundSelect) -> None:
+        self.bound = bound
+        self.pushed = 0
+
+    # ------------------------------------------------------------------
+    # join order
+    # ------------------------------------------------------------------
+    def choose_order(self) -> tuple[tuple[BoundTable, ...], bool]:
+        bound = self.bound
+        tables = bound.tables
+        select = bound.select
+        reorder_safe = (
+            len(tables) > 1
+            and not any(table.outer for table in tables)
+            and not bound.order_by
+            and select.limit is None
+            and not select.distinct
+            and not bound.aggregate_mode
+            and all(isinstance(table.table, Table) for table in tables)
+        )
+        if not reorder_safe:
+            return tables, False
+        pool = [
+            conjunct
+            for table in tables[1:]
+            for conjunct in split_conjuncts(table.condition)
+        ] + split_conjuncts(bound.where)
+        remaining = list(tables)
+        chosen: list[BoundTable] = []
+        chosen_aliases: set[str] = set()
+
+        def estimate(table: BoundTable) -> int:
+            return len(table.table)
+
+        def link_tier(candidate: BoundTable) -> int:
+            tier = 2
+            for conjunct in pool:
+                aliases = _ref_aliases(conjunct)
+                if candidate.alias not in aliases:
+                    continue
+                if not aliases <= chosen_aliases | {candidate.alias}:
+                    continue
+                tier = min(tier, 1)
+                left, right = _split_eq(conjunct)
+                for side, other in ((left, right), (right, left)):
+                    if (
+                        isinstance(side, ast.ColumnRef)
+                        and side.table == candidate.alias
+                        and candidate.table.equality_index(side.name) is not None
+                        and other is not None
+                        and _ref_aliases(other) <= chosen_aliases
+                        and _ref_aliases(other)
+                    ):
+                        return 0
+            return tier
+
+        first = min(
+            range(len(remaining)), key=lambda i: (estimate(remaining[i]), i)
+        )
+        chosen.append(remaining.pop(first))
+        chosen_aliases.add(chosen[0].alias)
+        while remaining:
+            best = min(
+                range(len(remaining)),
+                key=lambda i: (link_tier(remaining[i]), estimate(remaining[i]), i),
+            )
+            chosen.append(remaining.pop(best))
+            chosen_aliases.add(chosen[-1].alias)
+        order = tuple(chosen)
+        return order, order != tables
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def access_path(
+        self, table: BoundTable, conjuncts: list[ast.Expression]
+    ) -> PlanNode:
+        """Leaf node for one table, with pushed filters and index seeks."""
+        storage = table.table
+        seek_at = -1
+        seek = None
+        if isinstance(storage, Table):
+            for position, conjunct in enumerate(conjuncts):
+                seek = _sargable(conjunct, table.alias, storage)
+                if seek is not None:
+                    seek_at = position
+                    break
+        node: PlanNode
+        if seek is not None:
+            spec, index_kind, index = seek
+            node = IndexSeekNode(
+                alias=table.alias,
+                table_name=storage.name,
+                table=storage,
+                index_kind=index_kind,
+                spec=spec,
+                index=index,
+            )
+            self.pushed += 1
+        else:
+            estimated = len(storage) if isinstance(storage, Table) else None
+            node = ScanNode(
+                alias=table.alias,
+                table_name=storage.name,
+                table=storage,
+                estimated_rows=estimated,
+            )
+        for position, conjunct in enumerate(conjuncts):
+            if position == seek_at:
+                continue
+            node = FilterNode(node, conjunct, pushed=True)
+            self.pushed += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # the full plan
+    # ------------------------------------------------------------------
+    def build(self) -> Plan:
+        bound = self.bound
+        select = bound.select
+        exec_tables, reordered = self.choose_order()
+        depth_of = {table.alias: depth for depth, table in enumerate(exec_tables)}
+        top = len(exec_tables) - 1
+
+        access: list[list[ast.Expression]] = [[] for _ in exec_tables]
+        residual: list[list[ast.Expression]] = [[] for _ in exec_tables]
+        post: list[list[ast.Expression]] = [[] for _ in exec_tables]
+
+        if reordered:
+            # inner-only: ON conditions and WHERE are one conjunct pool
+            pool = [
+                conjunct
+                for table in bound.tables[1:]
+                for conjunct in split_conjuncts(table.condition)
+            ] + split_conjuncts(bound.where)
+            for conjunct in pool:
+                aliases = _ref_aliases(conjunct)
+                if not aliases:
+                    post[top].append(conjunct)
+                    continue
+                depth = max(depth_of[alias] for alias in aliases)
+                if aliases == {exec_tables[depth].alias}:
+                    access[depth].append(conjunct)
+                elif depth == 0:
+                    post[0].append(conjunct)
+                else:
+                    residual[depth].append(conjunct)
+        else:
+            for depth, table in enumerate(exec_tables[1:], start=1):
+                for conjunct in split_conjuncts(table.condition):
+                    aliases = _ref_aliases(conjunct)
+                    if aliases <= {table.alias}:
+                        # single-table (or constant) ON conjunct: filtering
+                        # the access path preserves null extension — a left
+                        # row matches iff some right row passes the whole
+                        # ON condition, pushed part included
+                        access[depth].append(conjunct)
+                        if aliases:
+                            self.pushed += 1
+                    else:
+                        residual[depth].append(conjunct)
+            for conjunct in split_conjuncts(bound.where):
+                aliases = _ref_aliases(conjunct)
+                if not aliases:
+                    post[top].append(conjunct)
+                    continue
+                depth = max(depth_of[alias] for alias in aliases)
+                table = exec_tables[depth]
+                if aliases == {table.alias} and not table.outer:
+                    access[depth].append(conjunct)
+                else:
+                    post[depth].append(conjunct)
+                if depth < top or aliases == {table.alias} and not table.outer:
+                    self.pushed += 1
+
+        node = self.access_path(exec_tables[0], access[0])
+        for conjunct in post[0]:
+            node = FilterNode(node, conjunct, pushed=len(exec_tables) > 1)
+        for depth in range(1, len(exec_tables)):
+            table = exec_tables[depth]
+            right, extra_residual = self._right_side(
+                table, access[depth], residual[depth]
+            )
+            node = JoinNode(
+                left=node,
+                right=right,
+                residual=tuple(extra_residual),
+                outer=table.outer,
+            )
+            for conjunct in post[depth]:
+                node = FilterNode(node, conjunct, pushed=depth < top)
+
+        layout: dict[str, int] = {}
+        for table in exec_tables:
+            for column in table.table.schema.columns:
+                layout[f"{table.alias}.{column.name}"] = len(layout)
+
+        root: PlanNode = node
+        if bound.aggregate_mode:
+            root = AggregateNode(
+                root,
+                group_by=bound.group_by,
+                aggregates=bound.aggregates,
+                having=bound.having,
+            )
+        root = ProjectNode(root, items=bound.items, output_names=bound.output_names)
+        if select.distinct:
+            root = DistinctNode(root)
+        if bound.order_by:
+            root = SortNode(root, order_by=bound.order_by)
+        if select.limit is not None:
+            root = LimitNode(root, limit=select.limit)
+
+        return Plan(
+            root=root,
+            input_root=node,
+            bound=bound,
+            exec_tables=exec_tables,
+            layout=layout,
+            reordered=reordered,
+            pushed=self.pushed,
+        )
+
+    def _right_side(
+        self,
+        table: BoundTable,
+        access_conjuncts: list[ast.Expression],
+        residual_conjuncts: list[ast.Expression],
+    ) -> tuple[PlanNode, list[ast.Expression]]:
+        """Pick lookup-join vs re-scanned access path for a joined table."""
+        storage = table.table
+        if isinstance(storage, Table):
+            for position, conjunct in enumerate(residual_conjuncts):
+                left, right = _split_eq(conjunct)
+                for side, other in ((left, right), (right, left)):
+                    if not (
+                        isinstance(side, ast.ColumnRef) and side.table == table.alias
+                    ):
+                        continue
+                    index = storage.equality_index(side.name)
+                    if not isinstance(index, HashIndex):
+                        continue
+                    other_aliases = _ref_aliases(other)
+                    if not other_aliases or table.alias in other_aliases:
+                        continue
+                    lookup = IndexLookupNode(
+                        alias=table.alias,
+                        table_name=storage.name,
+                        table=storage,
+                        column=side.name,
+                        key_expr=other,
+                        index=index,
+                    )
+                    self.pushed += 1
+                    # the matched conjunct is subsumed by the hash probe;
+                    # pushed access conjuncts re-join the residual, applied
+                    # per candidate row
+                    remaining = (
+                        access_conjuncts
+                        + residual_conjuncts[:position]
+                        + residual_conjuncts[position + 1 :]
+                    )
+                    return lookup, remaining
+        return self.access_path(table, access_conjuncts), residual_conjuncts
+
+
+def build_plan(bound: BoundSelect) -> Plan:
+    """Lower and optimize one bound SELECT into an executable plan."""
+    return _Builder(bound).build()

@@ -8,6 +8,7 @@ Supported statements::
         [ORDER BY exprs [ASC|DESC]] [LIMIT n]
     SELECT ... UNION ALL SELECT ...
     CREATE TABLE name (col TYPE [NOT NULL], ...)
+    CREATE [HASH|ORDERED] INDEX name ON table (column)
     INSERT INTO name [(cols)] VALUES (...), (...)
     DELETE FROM name [WHERE cond]
     UPDATE name SET col = expr [, ...] [WHERE cond]
@@ -202,8 +203,10 @@ class _Parser:
             if not self.accept_punct(","):
                 return items
 
-    def create_statement(self) -> ast.CreateTable:
+    def create_statement(self) -> ast.CreateTable | ast.CreateIndex:
         self.expect_keyword("create")
+        if not self.current.is_keyword("table"):
+            return self.create_index_statement()
         self.expect_keyword("table")
         table = self.expect_identifier("table name")
         self.expect_punct("(")
@@ -220,6 +223,30 @@ class _Parser:
                 break
         self.expect_punct(")")
         return ast.CreateTable(table, tuple(columns))
+
+    def create_index_statement(self) -> ast.CreateIndex:
+        """``CREATE [HASH|ORDERED] INDEX name ON table (column)``.
+
+        ``INDEX``/``HASH``/``ORDERED`` are contextual words, not reserved
+        keywords, so columns may still use those names.
+        """
+        kind = "hash"
+        word = self.expect_identifier("TABLE or INDEX")
+        if word in ("hash", "ordered"):
+            kind = word
+            word = self.expect_identifier("INDEX")
+        if word != "index":
+            raise SqlParseError(
+                f"expected TABLE, INDEX, HASH INDEX or ORDERED INDEX "
+                f"after CREATE, got {word!r}"
+            )
+        name = self.expect_identifier("index name")
+        self.expect_keyword("on")
+        table = self.expect_identifier("table name")
+        self.expect_punct("(")
+        column = self.expect_identifier("column name")
+        self.expect_punct(")")
+        return ast.CreateIndex(name, table, column, kind)
 
     def insert_statement(self) -> ast.Insert:
         self.expect_keyword("insert")

@@ -1,0 +1,326 @@
+"""Logical plan DAG for the sqlmini engine.
+
+The optimizer lowers a bound SELECT into a tree of plan nodes (the
+Opteryx-style taxonomy: Scan/IndexSeek at the leaves, then Filter, Join,
+Aggregate, Distinct, Sort, Limit and Project).  Nodes are declarative —
+they carry canonicalized expressions and references to storage objects,
+never closures — so the same plan can be executed by
+:mod:`repro.sqlmini.executor` or rendered by :func:`render_plan` for
+``repro sql explain``.
+
+Seek specifications describe what an :class:`IndexSeekNode` asks of an
+index: a single key (:class:`SeekEq`), a key set (:class:`SeekIn`, from
+``IN`` lists) or a key range (:class:`SeekRange`, from ``<``/``<=``/``>``/
+``>=``/``BETWEEN`` and their conjunctions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlmini import ast
+from repro.sqlmini.types import Value
+
+
+def _literal(value: Value) -> str:
+    return str(ast.Literal(value))
+
+
+# ----------------------------------------------------------------------
+# seek specifications
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeekEq:
+    """``column = value``."""
+
+    column: str
+    value: Value
+
+    def __str__(self) -> str:
+        return f"{self.column} = {_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class SeekIn:
+    """``column IN (values)``."""
+
+    column: str
+    values: tuple[Value, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(_literal(value) for value in self.values)
+        return f"{self.column} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class SeekRange:
+    """``low <op> column <op> high``; a None bound is unbounded."""
+
+    column: str
+    low: Value = None
+    low_inclusive: bool = True
+    high: Value = None
+    high_inclusive: bool = True
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.low is not None:
+            parts.append(f"{self.column} {'>=' if self.low_inclusive else '>'} {_literal(self.low)}")
+        if self.high is not None:
+            parts.append(f"{self.column} {'<=' if self.high_inclusive else '<'} {_literal(self.high)}")
+        return " AND ".join(parts) or f"{self.column} unbounded"
+
+
+SeekSpec = SeekEq | SeekIn | SeekRange
+
+
+# ----------------------------------------------------------------------
+# plan nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanNode:
+    """Full scan of a table or view, in insertion order."""
+
+    kind = "scan"
+    alias: str
+    table_name: str
+    table: object = field(repr=False)
+    estimated_rows: int | None = None
+
+    @property
+    def children(self) -> tuple:
+        return ()
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        name = self.table_name if self.alias == self.table_name else f"{self.table_name} AS {self.alias}"
+        rows = "?" if self.estimated_rows is None else str(self.estimated_rows)
+        return f"Scan {name} rows~{rows}"
+
+
+@dataclass(frozen=True)
+class IndexSeekNode:
+    """Seek into a secondary index; yields rows in ascending position."""
+
+    kind = "index_seek"
+    alias: str
+    table_name: str
+    table: object = field(repr=False)
+    index_kind: str = "hash"
+    spec: SeekSpec | None = None
+    index: object = field(repr=False, default=None)
+    estimated_rows: int | None = None
+
+    @property
+    def children(self) -> tuple:
+        return ()
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        name = self.table_name if self.alias == self.table_name else f"{self.table_name} AS {self.alias}"
+        return f"IndexSeek {name} {self.index_kind}({self.spec})"
+
+
+@dataclass(frozen=True)
+class IndexLookupNode:
+    """Per-left-row hash seek on the right side of a join.
+
+    ``key_expr`` is evaluated against the joined prefix; its value probes
+    the hash index on ``column``.
+    """
+
+    kind = "index_lookup"
+    alias: str
+    table_name: str
+    table: object = field(repr=False)
+    column: str = ""
+    key_expr: ast.Expression | None = None
+    index: object = field(repr=False, default=None)
+
+    @property
+    def children(self) -> tuple:
+        return ()
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        name = self.table_name if self.alias == self.table_name else f"{self.table_name} AS {self.alias}"
+        return f"IndexLookup {name} hash({self.alias}.{self.column} = {self.key_expr})"
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """Keep rows whose predicate is True (3VL: unknown drops)."""
+
+    kind = "filter"
+    child: object
+    predicate: ast.Expression
+    pushed: bool = False
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        suffix = "  [pushed]" if self.pushed else ""
+        return f"Filter {self.predicate}{suffix}"
+
+
+@dataclass(frozen=True)
+class JoinNode:
+    """Nested-loop join of a joined prefix with one more table."""
+
+    kind = "join"
+    left: object
+    right: object  # access subtree (Scan/IndexSeek/Filter) or IndexLookupNode
+    residual: tuple[ast.Expression, ...] = ()
+    outer: bool = False
+
+    @property
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        name = "LeftOuterJoin" if self.outer else "InnerJoin"
+        if not self.residual:
+            return name
+        condition = " AND ".join(str(expr) for expr in self.residual)
+        return f"{name} on {condition}"
+
+
+@dataclass(frozen=True)
+class AggregateNode:
+    """Single-pass grouped accumulation (or one global group)."""
+
+    kind = "aggregate"
+    child: object
+    group_by: tuple[ast.Expression, ...] = ()
+    aggregates: tuple[ast.FuncCall, ...] = ()
+    having: ast.Expression | None = None
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        groups = ", ".join(str(expr) for expr in self.group_by) or "()"
+        aggs = ", ".join(str(call) for call in self.aggregates)
+        text = f"Aggregate group=[{groups}]"
+        if aggs:
+            text += f" aggs=[{aggs}]"
+        if self.having is not None:
+            text += f" having={self.having}"
+        return text
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    """Compute the output columns."""
+
+    kind = "project"
+    child: object
+    items: tuple[ast.SelectItem, ...] = ()
+    output_names: tuple[str, ...] = ()
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        return f"Project [{', '.join(self.output_names)}]"
+
+
+@dataclass(frozen=True)
+class DistinctNode:
+    """First-seen deduplication of output rows."""
+
+    kind = "distinct"
+    child: object
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class SortNode:
+    """Stable sort by ORDER BY keys (NULLs first ASC, last DESC)."""
+
+    kind = "sort"
+    child: object
+    order_by: tuple[ast.OrderItem, ...] = ()
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        keys = ", ".join(str(order) for order in self.order_by)
+        return f"Sort [{keys}]"
+
+
+@dataclass(frozen=True)
+class LimitNode:
+    """Keep the first N output rows."""
+
+    kind = "limit"
+    child: object
+    limit: int = 0
+
+    @property
+    def children(self) -> tuple:
+        return (self.child,)
+
+    def label(self) -> str:
+        """One-line description for plan rendering."""
+        return f"Limit {self.limit}"
+
+
+PlanNode = (
+    ScanNode
+    | IndexSeekNode
+    | IndexLookupNode
+    | FilterNode
+    | JoinNode
+    | AggregateNode
+    | ProjectNode
+    | DistinctNode
+    | SortNode
+    | LimitNode
+)
+
+
+def walk_plan(node: PlanNode):
+    """Yield every node of the plan tree, preorder."""
+    yield node
+    for child in node.children:
+        yield from walk_plan(child)
+
+
+def render_plan(node: PlanNode) -> str:
+    """Render a plan tree as an indented box-drawing diagram."""
+    lines: list[str] = []
+
+    def visit(current: PlanNode, prefix: str, child_prefix: str) -> None:
+        lines.append(prefix + current.label())
+        children = current.children
+        for position, child in enumerate(children):
+            last = position == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            continuation = "   " if last else "│  "
+            visit(child, child_prefix + connector, child_prefix + continuation)
+
+    visit(node, "", "")
+    return "\n".join(lines)

@@ -1,10 +1,26 @@
-"""Name resolution and validation for SELECT statements.
+"""Name resolution, canonicalization and validation for SELECT statements.
 
-The planner *binds* a parsed :class:`~repro.sqlmini.ast.Select` against the
-catalog: it resolves table names to storage objects, computes the visible
-column namespace (qualified and bare names, detecting ambiguity), decides
-whether the query is an aggregate query, and collects the aggregate calls
-the executor must accumulate.  Execution itself lives in
+The binder resolves a parsed :class:`~repro.sqlmini.ast.Select` against the
+catalog and produces a :class:`BoundSelect` the optimizer can plan:
+
+- table names resolve to storage objects; duplicate aliases are rejected;
+- every column reference in every clause is **canonicalized** to its
+  qualified ``alias.column`` spelling, so ``a`` and ``t.a`` are the same
+  AST node after binding (group-scope replacement, predicate analysis and
+  expression compilation all key on node equality);
+- ORDER BY references to select-item aliases are intentionally left bare —
+  an alias shadows any same-named column, exactly as the executor's sort
+  environment resolves them;
+- structural rules are enforced eagerly: aggregates are barred from
+  WHERE/JOIN/GROUP BY, ``*`` from aggregated select lists, nested
+  aggregates everywhere; JOIN ON conditions may not reference tables that
+  have not been joined yet (forward references used to be silently
+  evaluated against NULL padding, dropping rows); grouped queries may only
+  project/order by grouped expressions, aggregates and literals; and
+  ``SELECT DISTINCT ... ORDER BY`` requires every sort expression to
+  appear in the select list.
+
+Plan construction lives in :mod:`repro.sqlmini.optimizer`; execution in
 :mod:`repro.sqlmini.executor`.
 """
 
@@ -41,17 +57,26 @@ class CatalogLike(Protocol):
 
 @dataclass(frozen=True, slots=True)
 class BoundTable:
-    """One table in the FROM clause, with its effective alias."""
+    """One table in the FROM clause, with its effective alias.
+
+    ``condition`` is the canonicalized join condition (None for the base
+    table).
+    """
 
     table: TableLike
     alias: str
-    condition: ast.Expression | None  # join condition (None for the base)
+    condition: ast.Expression | None
     outer: bool = False  # LEFT JOIN: emit a NULL row when nothing matches
 
 
 @dataclass(frozen=True)
 class BoundSelect:
-    """A SELECT statement bound to the catalog and validated."""
+    """A SELECT statement bound to the catalog and validated.
+
+    ``items`` / ``where`` / ``group_by`` / ``having`` / ``order_by`` are
+    the canonicalized clauses; ``select`` keeps the original statement for
+    shape flags (``distinct``, ``limit``) and diagnostics.
+    """
 
     select: ast.Select
     tables: tuple[BoundTable, ...]
@@ -60,14 +85,23 @@ class BoundSelect:
     #: bare column name -> qualified key; ambiguous names are absent
     bare_names: dict[str, str]
     aggregate_mode: bool
-    #: distinct aggregate calls across select list, HAVING and ORDER BY
+    #: distinct canonical aggregate calls across items, HAVING and ORDER BY
     aggregates: tuple[ast.FuncCall, ...]
     output_names: tuple[str, ...]
+    items: tuple[ast.SelectItem, ...]
+    where: ast.Expression | None
+    group_by: tuple[ast.Expression, ...]
+    having: ast.Expression | None
+    order_by: tuple[ast.OrderItem, ...]
+    #: aliases of non-Star select items (ORDER BY may reference them bare)
+    item_aliases: frozenset[str]
 
     def env_for(self, rows: tuple[tuple[Value, ...], ...]) -> dict[str, Value]:
         """Build the evaluation environment for one joined row combo.
 
         ``rows`` holds one storage row per bound table, in FROM order.
+        Used by the reference executor; planned execution compiles
+        expressions against flat-row layouts instead.
         """
         env: dict[str, Value] = {}
         for bound, row in zip(self.tables, rows):
@@ -78,8 +112,81 @@ class BoundSelect:
         return env
 
 
+class _Canonicalizer:
+    """Rewrites column references to their qualified form."""
+
+    def __init__(
+        self,
+        visible_keys: frozenset[str],
+        bare_names: dict[str, str],
+        item_aliases: frozenset[str] = frozenset(),
+    ) -> None:
+        self._visible = visible_keys
+        self._bare = bare_names
+        self._aliases = item_aliases
+
+    def rewrite(self, expr: ast.Expression, allow_aliases: bool = False) -> ast.Expression:
+        if isinstance(expr, (ast.Literal, ast.Star)):
+            return expr
+        if isinstance(expr, ast.ColumnRef):
+            return self._column(expr, allow_aliases)
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op,
+                self.rewrite(expr.left, allow_aliases),
+                self.rewrite(expr.right, allow_aliases),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, self.rewrite(expr.operand, allow_aliases))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(self.rewrite(expr.operand, allow_aliases), expr.negated)
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self.rewrite(expr.operand, allow_aliases),
+                tuple(self.rewrite(option, allow_aliases) for option in expr.options),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                self.rewrite(expr.operand, allow_aliases),
+                self.rewrite(expr.low, allow_aliases),
+                self.rewrite(expr.high, allow_aliases),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Case):
+            return ast.Case(
+                tuple(
+                    (self.rewrite(condition, allow_aliases), self.rewrite(value, allow_aliases))
+                    for condition, value in expr.whens
+                ),
+                None if expr.default is None else self.rewrite(expr.default, allow_aliases),
+            )
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(
+                expr.name,
+                tuple(self.rewrite(arg, allow_aliases) for arg in expr.args),
+                expr.distinct,
+            )
+        raise SqlPlanError(f"cannot bind expression {expr!r}")  # pragma: no cover
+
+    def _column(self, ref: ast.ColumnRef, allow_aliases: bool) -> ast.ColumnRef:
+        if ref.table is not None:
+            key = f"{ref.table}.{ref.name}"
+            if key not in self._visible:
+                raise SqlPlanError(f"unknown column {key!r}")
+            return ref
+        # an item alias shadows any same-named column in ORDER BY scope
+        if allow_aliases and ref.name in self._aliases:
+            return ref
+        qualified = self._bare.get(ref.name)
+        if qualified is None:
+            raise SqlPlanError(f"unknown column {ref.name!r}")
+        alias, _, _ = qualified.partition(".")
+        return ast.ColumnRef(ref.name, table=alias)
+
+
 def bind_select(select: ast.Select, catalog: CatalogLike) -> BoundSelect:
-    """Resolve and validate ``select`` against ``catalog``."""
+    """Resolve, canonicalize and validate ``select`` against ``catalog``."""
     tables: list[BoundTable] = []
     base = catalog.table(select.table)
     tables.append(BoundTable(base, select.table_alias or select.table, None))
@@ -104,6 +211,7 @@ def bind_select(select: ast.Select, catalog: CatalogLike) -> BoundSelect:
         for alias, name in visible
         if counts[name] == 1
     }
+    visible_keys = frozenset(f"{alias}.{name}" for alias, name in visible)
 
     if select.where is not None and ast.contains_aggregate(select.where):
         raise SqlPlanError("aggregates are not allowed in WHERE (use HAVING)")
@@ -116,30 +224,82 @@ def bind_select(select: ast.Select, catalog: CatalogLike) -> BoundSelect:
         if isinstance(expr, ast.Star):
             raise SqlPlanError("'*' is not a valid GROUP BY expression")
 
+    item_aliases = frozenset(
+        item.alias
+        for item in select.items
+        if item.alias and not isinstance(item.expr, ast.Star)
+    )
+    canon = _Canonicalizer(visible_keys, bare_names, item_aliases)
+
+    # join conditions: canonicalize, then reject forward references — a
+    # condition may only see tables already joined at its depth
+    bound_tables: list[BoundTable] = [tables[0]]
+    for depth in range(1, len(tables)):
+        bound = tables[depth]
+        condition = canon.rewrite(bound.condition)
+        joined_so_far = set(aliases[: depth + 1])
+        for ref in ast.collect_columns(condition):
+            if ref.table not in joined_so_far:
+                raise SqlPlanError(
+                    f"JOIN ON condition for table {bound.alias!r} references "
+                    f"{ref.table}.{ref.name}, but table {ref.table!r} is not "
+                    "joined yet (forward references are not allowed)"
+                )
+        bound_tables.append(
+            BoundTable(bound.table, bound.alias, condition, bound.outer)
+        )
+
+    where = None if select.where is None else canon.rewrite(select.where)
+    group_by = tuple(canon.rewrite(expr) for expr in select.group_by)
+    having = None if select.having is None else canon.rewrite(select.having)
+    items = tuple(
+        item
+        if isinstance(item.expr, ast.Star)
+        else ast.SelectItem(canon.rewrite(item.expr), item.alias)
+        for item in select.items
+    )
+    order_by = tuple(
+        ast.OrderItem(canon.rewrite(order.expr, allow_aliases=True), order.ascending)
+        for order in select.order_by
+    )
+
     aggregates: list[ast.FuncCall] = []
-    for item in select.items:
+    for item in items:
         if not isinstance(item.expr, ast.Star):
             aggregates.extend(ast.collect_aggregates(item.expr))
-    if select.having is not None:
-        aggregates.extend(ast.collect_aggregates(select.having))
-    for order in select.order_by:
+    if having is not None:
+        aggregates.extend(ast.collect_aggregates(having))
+    for order in order_by:
         aggregates.extend(ast.collect_aggregates(order.expr))
-    # deduplicate while preserving order (frozen dataclasses hash by value)
+    # deduplicate while preserving order (frozen dataclasses hash by value;
+    # canonicalization makes SUM(b) and SUM(t.b) the same node)
     unique: dict[ast.FuncCall, None] = {}
     for call in aggregates:
         unique.setdefault(call, None)
-    aggregate_mode = bool(select.group_by) or bool(unique)
+    aggregate_mode = bool(group_by) or bool(unique)
 
-    if select.having is not None and not aggregate_mode:
+    if having is not None and not aggregate_mode:
         raise SqlPlanError("HAVING requires GROUP BY or an aggregate select list")
     if aggregate_mode:
-        for item in select.items:
+        for item in items:
             if isinstance(item.expr, ast.Star):
                 raise SqlPlanError("'*' is not valid in an aggregated select list")
         for call in unique:
             for arg in call.args:
                 if ast.contains_aggregate(arg):
                     raise SqlPlanError("nested aggregate calls are not allowed")
+        grouped = frozenset(group_by)
+        for item in items:
+            _check_group_scope(item.expr, grouped, "select list")
+        if having is not None:
+            _check_group_scope(having, grouped, "HAVING")
+        for order in order_by:
+            _check_group_scope(
+                order.expr, grouped, "ORDER BY", alias_names=item_aliases
+            )
+
+    if select.distinct and order_by:
+        _check_distinct_order(items, order_by, item_aliases)
 
     output_names: list[str] = []
     for position, item in enumerate(select.items):
@@ -150,10 +310,96 @@ def bind_select(select: ast.Select, catalog: CatalogLike) -> BoundSelect:
 
     return BoundSelect(
         select=select,
-        tables=tuple(tables),
+        tables=tuple(bound_tables),
         visible=tuple(visible),
         bare_names=bare_names,
         aggregate_mode=aggregate_mode,
         aggregates=tuple(unique),
         output_names=tuple(output_names),
+        items=items,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        item_aliases=item_aliases,
     )
+
+
+def _check_group_scope(
+    expr: ast.Expression,
+    grouped: frozenset[ast.Expression],
+    context: str,
+    alias_names: frozenset[str] = frozenset(),
+) -> None:
+    """Reject group-scope expressions not derivable from the group key.
+
+    A node is covered when it *is* a grouped expression (replaced whole at
+    group scope), an aggregate call, a literal, a permitted bare alias
+    reference (ORDER BY only), or when all of its children are covered.
+    """
+
+    def covered(node: ast.Expression) -> bool:
+        if node in grouped:
+            return True
+        if isinstance(node, ast.Literal):
+            return True
+        if isinstance(node, ast.FuncCall):
+            if node.name in ast.AGGREGATE_FUNCTIONS:
+                return True
+            return all(covered(arg) for arg in node.args)
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None and node.name in alias_names:
+                return True
+            raise SqlPlanError(
+                f"column {node} must appear in GROUP BY or inside an "
+                f"aggregate to be used in the {context} of a grouped query"
+            )
+        if isinstance(node, ast.Star):
+            raise SqlPlanError("'*' is only valid in a select list or COUNT(*)")
+        if isinstance(node, ast.BinaryOp):
+            return covered(node.left) and covered(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return covered(node.operand)
+        if isinstance(node, ast.IsNull):
+            return covered(node.operand)
+        if isinstance(node, ast.InList):
+            return covered(node.operand) and all(covered(o) for o in node.options)
+        if isinstance(node, ast.Between):
+            return covered(node.operand) and covered(node.low) and covered(node.high)
+        if isinstance(node, ast.Case):
+            return all(
+                covered(condition) and covered(value)
+                for condition, value in node.whens
+            ) and (node.default is None or covered(node.default))
+        return True  # pragma: no cover - exhaustive over Expression
+
+    covered(expr)
+
+
+def _check_distinct_order(
+    items: tuple[ast.SelectItem, ...],
+    order_by: tuple[ast.OrderItem, ...],
+    item_aliases: frozenset[str],
+) -> None:
+    """SELECT DISTINCT may only sort by select-list expressions.
+
+    Sorting by a hidden column would pick the first-seen duplicate's value
+    — result order would depend on insertion order, which standard SQL
+    rejects.
+    """
+    has_star = any(isinstance(item.expr, ast.Star) for item in items)
+    listed = {item.expr for item in items if not isinstance(item.expr, ast.Star)}
+    for order in order_by:
+        expr = order.expr
+        if expr in listed:
+            continue
+        if isinstance(expr, ast.ColumnRef):
+            if expr.table is None and expr.name in item_aliases:
+                continue
+            if has_star:
+                # '*' expands every visible column into the select list
+                continue
+        raise SqlPlanError(
+            "for SELECT DISTINCT, ORDER BY expressions must appear in the "
+            "select list"
+        )

@@ -69,6 +69,10 @@ class TableSchema:
         """The column declaration named ``name``; raises if absent."""
         return self.columns[self.position(name)]
 
+    def sql_type_of(self, name: str) -> SqlType:
+        """The declared type of column ``name`` (optimizer family guard)."""
+        return self.columns[self.position(name)].sql_type
+
     # ------------------------------------------------------------------
     # row validation
     # ------------------------------------------------------------------

@@ -1,29 +1,34 @@
 """Row storage for the sqlmini engine.
 
 A :class:`Table` stores rows as tuples in insertion order and optionally
-maintains hash indexes on single columns.  Indexes are used by the executor
-for equality predicates and by the HDB enforcement layer for fast consent
-lookups; they are maintained incrementally on insert/delete.
+maintains secondary indexes on single columns — hash indexes for equality
+seeks and ordered (bisect) indexes for range seeks (see
+:mod:`repro.sqlmini.indexes`).  Indexes are used by the query optimizer
+for sargable predicates and by the HDB enforcement layer for fast consent
+lookups; they are maintained incrementally on insert/update and rebuilt on
+compacting deletes.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Callable, Iterator
 
 from repro.sqlmini.errors import SqlCatalogError
+from repro.sqlmini.indexes import INDEX_KINDS, Index, make_index
 from repro.sqlmini.schema import TableSchema
 from repro.sqlmini.types import Value
 
 
 class Table:
-    """An in-memory heap table with optional per-column hash indexes."""
+    """An in-memory heap table with optional secondary indexes."""
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._rows: list[tuple[Value, ...]] = []
-        #: column name -> value -> set of row positions
-        self._indexes: dict[str, dict[Value, set[int]]] = {}
+        #: column name -> index kind -> index structure
+        self._indexes: dict[str, dict[str, Index]] = {}
+        #: flat (column position, index) pairs, for maintenance loops
+        self._maintained: list[tuple[int, Index]] = []
 
     @property
     def name(self) -> str:
@@ -37,8 +42,8 @@ class Table:
         row = self.schema.validate_row(values)
         position = len(self._rows)
         self._rows.append(row)
-        for column, index in self._indexes.items():
-            index[row[self.schema.position(column)]].add(position)
+        for column_position, index in self._maintained:
+            index.add(row[column_position], position)
         return position
 
     def insert_mapping(self, mapping: dict[str, Value]) -> int:
@@ -51,6 +56,22 @@ class Table:
             self.insert(row)
         return len(rows)
 
+    def replace_row(self, position: int, values: tuple[Value, ...] | list[Value]) -> None:
+        """Replace the row at ``position`` in place, maintaining indexes.
+
+        UPDATE uses this so positions stay stable and only the touched
+        index keys move.
+        """
+        row = self.schema.validate_row(values)
+        old = self._rows[position]
+        self._rows[position] = row
+        for column_position, index in self._maintained:
+            old_key = old[column_position]
+            new_key = row[column_position]
+            if old_key != new_key:
+                index.remove(old_key, position)
+                index.add(new_key, position)
+
     def delete_where(self, predicate: Callable[[tuple[Value, ...]], bool]) -> int:
         """Delete rows matching ``predicate``; returns the count removed.
 
@@ -61,49 +82,90 @@ class Table:
         removed = len(self._rows) - len(kept)
         if removed:
             self._rows = kept
-            for column in list(self._indexes):
-                self._build_index(column)
+            self._rebuild_indexes()
         return removed
 
     def clear(self) -> None:
         """Remove every row, keeping schema and index definitions."""
         self._rows.clear()
-        for index in self._indexes.values():
+        for _, index in self._maintained:
             index.clear()
 
     # ------------------------------------------------------------------
     # indexes
     # ------------------------------------------------------------------
-    def create_index(self, column: str) -> None:
-        """Create a hash index on ``column`` (no-op if present)."""
+    def create_index(self, column: str, kind: str = "hash") -> None:
+        """Create an index of ``kind`` on ``column`` (no-op if present)."""
         name = column.strip().lower()
-        self.schema.position(name)  # validates existence
-        if name not in self._indexes:
-            self._build_index(name)
+        position = self.schema.position(name)  # validates existence
+        if kind not in INDEX_KINDS:
+            raise SqlCatalogError(
+                f"unknown index kind {kind!r} (expected one of {INDEX_KINDS})"
+            )
+        kinds = self._indexes.setdefault(name, {})
+        if kind in kinds:
+            return
+        index = make_index(kind)
+        index.bulk_add(
+            (row[position], row_position)
+            for row_position, row in enumerate(self._rows)
+        )
+        kinds[kind] = index
+        self._maintained.append((position, index))
 
-    def _build_index(self, column: str) -> None:
-        position = self.schema.position(column)
-        index: dict[Value, set[int]] = defaultdict(set)
-        for row_position, row in enumerate(self._rows):
-            index[row[position]].add(row_position)
-        self._indexes[column] = index
+    def _rebuild_indexes(self) -> None:
+        for column_position, index in self._maintained:
+            index.clear()
+            index.bulk_add(
+                (row[column_position], row_position)
+                for row_position, row in enumerate(self._rows)
+            )
 
-    def has_index(self, column: str) -> bool:
-        """True iff a hash index exists on ``column``."""
-        return column.strip().lower() in self._indexes
+    def has_index(self, column: str, kind: str | None = None) -> bool:
+        """True iff an index (of ``kind``, when given) exists on ``column``."""
+        kinds = self._indexes.get(column.strip().lower())
+        if not kinds:
+            return False
+        return kind is None or kind in kinds
+
+    def index_specs(self) -> tuple[tuple[str, str], ...]:
+        """Every ``(column, kind)`` index, in column order."""
+        return tuple(
+            (column, kind)
+            for column, kinds in sorted(self._indexes.items())
+            for kind in sorted(kinds)
+        )
+
+    def equality_index(self, column: str) -> Index | None:
+        """The best index for equality seeks on ``column``, if any."""
+        kinds = self._indexes.get(column.strip().lower())
+        if not kinds:
+            return None
+        # explicit None checks: an *empty* index is falsy (len 0) but usable
+        hash_index = kinds.get("hash")
+        return hash_index if hash_index is not None else kinds.get("ordered")
+
+    def range_index(self, column: str) -> Index | None:
+        """The ordered index on ``column``, if any."""
+        kinds = self._indexes.get(column.strip().lower())
+        if not kinds:
+            return None
+        return kinds.get("ordered")
 
     def lookup(self, column: str, value: Value) -> Iterator[tuple[Value, ...]]:
         """Yield rows where ``column`` equals ``value``.
 
-        Uses the hash index when one exists, otherwise scans.  NULL never
-        matches (SQL equality semantics).
+        Uses an equality-capable index when one exists, otherwise scans.
+        NULL never matches (SQL equality semantics).  This legacy helper
+        keeps Python ``==`` key semantics; planned queries instead go
+        through the optimizer, which guards comparison families.
         """
         if value is None:
             return
         name = column.strip().lower()
-        index = self._indexes.get(name)
+        index = self.equality_index(name)
         if index is not None:
-            for row_position in sorted(index.get(value, ())):
+            for row_position in index.seek(value):
                 yield self._rows[row_position]
             return
         position = self.schema.position(name)
@@ -120,6 +182,16 @@ class Table:
     def scan(self) -> Iterator[tuple[Value, ...]]:
         """Yield every row in insertion order."""
         return iter(self._rows)
+
+    def row_at(self, position: int) -> tuple[Value, ...]:
+        """The stored row at ``position`` (used by index seeks)."""
+        return self._rows[position]
+
+    def rows_at(self, positions: list[int]) -> Iterator[tuple[Value, ...]]:
+        """Yield the rows at ``positions`` (which the caller keeps sorted)."""
+        rows = self._rows
+        for position in positions:
+            yield rows[position]
 
     def rows(self) -> tuple[tuple[Value, ...], ...]:
         """Snapshot of all rows."""
@@ -157,9 +229,21 @@ class ViewTable:
         """Re-enumerate the producer (views never cache)."""
         return self._producer()
 
-    def has_index(self, column: str) -> bool:
+    def has_index(self, column: str, kind: str | None = None) -> bool:
         """Views carry no indexes."""
         return False
+
+    def index_specs(self) -> tuple[tuple[str, str], ...]:
+        """Views carry no indexes."""
+        return ()
+
+    def equality_index(self, column: str) -> None:
+        """Views carry no indexes."""
+        return None
+
+    def range_index(self, column: str) -> None:
+        """Views carry no indexes."""
+        return None
 
     def lookup(self, column: str, value: Value) -> Iterator[tuple[Value, ...]]:
         """Scan the producer for rows where ``column`` equals ``value``."""

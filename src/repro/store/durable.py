@@ -24,7 +24,11 @@ from pathlib import Path
 
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
-from repro.audit.schema import RULE_ATTRIBUTES, audit_table_schema
+from repro.audit.schema import (
+    RULE_ATTRIBUTES,
+    audit_table_schema,
+    create_audit_indexes,
+)
 from repro.errors import AuditError
 from repro.policy.policy import Policy, PolicySource
 from repro.sqlmini.database import Database
@@ -113,12 +117,23 @@ class AuditReadOps:
             name=f"P_AL({self.name})",
         )
 
-    def to_table(self, database: Database, table_name: str | None = None) -> Table:
-        """Materialise the log as a sqlmini table and return it."""
+    def to_table(
+        self,
+        database: Database,
+        table_name: str | None = None,
+        index: bool = False,
+    ) -> Table:
+        """Materialise the log as a sqlmini table and return it.
+
+        ``index=True`` additionally creates the standard audit-column
+        indexes (see :data:`repro.audit.schema.AUDIT_INDEX_SPECS`).
+        """
         schema = audit_table_schema(table_name or self.name)
         table = database.create_table(schema)
         for entry in self:
             table.insert(entry.as_row())
+        if index:
+            create_audit_indexes(table)
         return table
 
 

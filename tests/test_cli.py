@@ -489,3 +489,43 @@ class TestRefineDaemonCommand:
         assert report.reconciled == 1
         assert parse_rule(accepted.rule) in setup.store
         log.close()
+
+
+class TestSqlCommand:
+    def test_explain_renders_plan_with_index_seek(self, capsys, log_file):
+        assert main([
+            "sql", "explain", "SELECT data FROM audit_log WHERE user = 'ann'",
+            "--log", log_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Project" in out
+        assert "IndexSeek audit_log hash(user = 'ann')" in out
+
+    def test_explain_without_log_uses_empty_indexed_table(self, capsys):
+        assert main([
+            "sql", "explain",
+            "SELECT user, COUNT(*) AS n FROM audit_log GROUP BY user "
+            "ORDER BY n DESC",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregate" in out
+        assert "Sort" in out
+
+    def test_query_prints_rows_and_respects_limit(self, capsys, log_file):
+        assert main([
+            "sql", "query",
+            "SELECT user, COUNT(*) AS n FROM audit_log GROUP BY user "
+            "ORDER BY n DESC, user",
+            "--log", log_file, "-n", "2",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "user\tn"
+        assert len(lines) <= 4  # header + 2 rows + optional "... more"
+
+    def test_plan_error_is_reported_not_raised(self, capsys, log_file):
+        assert main([
+            "sql", "query", "SELECT DISTINCT user FROM audit_log ORDER BY time",
+            "--log", log_file,
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "ORDER BY expressions must appear in the select list" in err

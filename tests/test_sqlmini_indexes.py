@@ -1,0 +1,281 @@
+"""Tests for sqlmini secondary indexes.
+
+Covers the index structures themselves (hash and ordered), their
+maintenance through INSERT / DELETE / UPDATE — including NULL and
+duplicate keys — the ``CREATE [HASH|ORDERED] INDEX`` statement, seek
+metrics, and the planner's use of freshly created indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlCatalogError
+from repro.sqlmini.indexes import HashIndex, OrderedIndex, family_of
+from repro.sqlmini.schema import Column, TableSchema
+from repro.sqlmini.table import Table
+from repro.sqlmini.types import SqlType
+
+
+def _sample(snapshot: dict, section: str, name: str, **labels: str):
+    for sample in snapshot[section]:
+        if sample["name"] == name and all(
+            sample["labels"].get(key) == value for key, value in labels.items()
+        ):
+            return sample
+    return None
+
+
+class TestHashIndex:
+    def test_seek_returns_ascending_positions(self):
+        index = HashIndex()
+        for position, key in enumerate(["a", "b", "a", "a"]):
+            index.add(key, position)
+        assert index.seek("a") == [0, 2, 3]
+        assert index.seek("b") == [1]
+        assert index.seek("missing") == []
+
+    def test_null_keys_are_never_indexed(self):
+        index = HashIndex()
+        index.add(None, 0)
+        index.add("a", 1)
+        assert len(index) == 1
+        assert index.seek(None) == []
+        index.remove(None, 0)  # harmless no-op
+        assert index.seek("a") == [1]
+
+    def test_remove_and_reinsert(self):
+        index = HashIndex()
+        index.add("k", 0)
+        index.add("k", 5)
+        index.remove("k", 0)
+        assert index.seek("k") == [5]
+        index.add("k", 2)  # out-of-order insert still stays sorted
+        assert index.seek("k") == [2, 5]
+        index.remove("k", 9)  # absent position: no-op
+        assert index.seek("k") == [2, 5]
+
+    def test_seek_many_merges_and_dedups(self):
+        index = HashIndex()
+        for position, key in enumerate(["a", "b", "c", "a"]):
+            index.add(key, position)
+        assert index.seek_many(("a", "c", "a", None)) == [0, 2, 3]
+
+    def test_bulk_add_matches_incremental(self):
+        pairs = [("a", 0), (None, 1), ("b", 2), ("a", 3)]
+        bulk, incremental = HashIndex(), HashIndex()
+        bulk.bulk_add(pairs)
+        for key, position in pairs:
+            incremental.add(key, position)
+        assert bulk.seek("a") == incremental.seek("a") == [0, 3]
+        assert len(bulk) == len(incremental) == 3
+
+
+class TestOrderedIndex:
+    def test_range_bounds(self):
+        index = OrderedIndex()
+        for position, key in enumerate([10, 20, 20, 30, None]):
+            index.add(key, position)
+        assert index.seek_range(10, True, 30, True) == [0, 1, 2, 3]
+        assert index.seek_range(10, False, 30, False) == [1, 2]
+        assert index.seek_range(20, True, 20, True) == [1, 2]
+        assert index.seek_range(None, True, 20, False) == [0]
+        assert index.seek_range(25, True, None, True) == [3]
+
+    def test_equality_seek(self):
+        index = OrderedIndex()
+        for position, key in enumerate([5, 3, 5]):
+            index.add(key, position)
+        assert index.seek(5) == [0, 2]
+        assert index.seek(4) == []
+
+    def test_remove_exact_pair_only(self):
+        index = OrderedIndex()
+        index.add(7, 0)
+        index.add(7, 1)
+        index.remove(7, 0)
+        assert index.seek(7) == [1]
+        index.remove(7, 9)  # absent: no-op
+        assert index.seek(7) == [1]
+
+    def test_bulk_add_sorts_once(self):
+        index = OrderedIndex()
+        index.bulk_add([(3, 0), (1, 1), (None, 2), (2, 3)])
+        assert index.seek_range(1, True, 3, True) == [0, 1, 3]
+
+
+class TestFamilies:
+    def test_bool_is_not_number(self):
+        assert family_of(True) == "bool"
+        assert family_of(1) == "number"
+        assert family_of(1.5) == "number"
+        assert family_of("x") == "text"
+        assert family_of(None) is None
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema(
+        "events",
+        (
+            Column("id", SqlType.INTEGER, nullable=False),
+            Column("user", SqlType.TEXT),
+            Column("t", SqlType.INTEGER),
+        ),
+    )
+    t = Table(schema)
+    t.create_index("user", kind="hash")
+    t.create_index("t", kind="ordered")
+    for row in [(1, "ann", 10), (2, "bob", 20), (3, "ann", 30), (4, None, None)]:
+        t.insert(row)
+    return t
+
+
+def _index_agrees_with_scan(table: Table, column: str, value) -> bool:
+    position = table.schema.position(column)
+    via_scan = [row for row in table.scan() if row[position] == value]
+    via_index = list(table.lookup(column, value))
+    return via_scan == via_index
+
+
+class TestTableMaintenance:
+    def test_insert_maintains_both_indexes(self, table):
+        assert table.equality_index("user").seek("ann") == [0, 2]
+        assert table.range_index("t").seek_range(15, True, None, True) == [1, 2]
+        table.insert((5, "ann", 5))
+        assert table.equality_index("user").seek("ann") == [0, 2, 4]
+        assert table.range_index("t").seek_range(None, True, 10, True) == [0, 4]
+
+    def test_null_keys_skip_indexes_but_rows_persist(self, table):
+        assert len(table) == 4
+        assert len(table.equality_index("user")) == 3
+        assert len(table.range_index("t")) == 3
+        assert _index_agrees_with_scan(table, "user", "ann")
+
+    def test_delete_rebuilds_with_shifted_positions(self, table):
+        removed = table.delete_where(lambda row: row[0] == 1)
+        assert removed == 1
+        # positions compact: old rows 1,2,3 become 0,1,2
+        assert table.equality_index("user").seek("ann") == [1]
+        assert table.equality_index("user").seek("bob") == [0]
+        assert table.range_index("t").seek_range(20, True, 30, True) == [0, 1]
+        assert _index_agrees_with_scan(table, "user", "ann")
+
+    def test_update_moves_only_changed_keys(self, table):
+        table.replace_row(0, (1, "bob", 10))
+        assert table.equality_index("user").seek("ann") == [2]
+        assert table.equality_index("user").seek("bob") == [0, 1]
+        # t key unchanged: still present exactly once
+        assert table.range_index("t").seek(10) == [0]
+
+    def test_update_to_and_from_null(self, table):
+        table.replace_row(1, (2, None, None))
+        assert table.equality_index("user").seek("bob") == []
+        assert len(table.range_index("t")) == 2
+        table.replace_row(3, (4, "eve", 40))
+        assert table.equality_index("user").seek("eve") == [3]
+        assert table.range_index("t").seek(40) == [3]
+
+    def test_clear_keeps_definitions(self, table):
+        table.clear()
+        assert len(table) == 0
+        assert table.has_index("user", "hash")
+        assert table.equality_index("user").seek("ann") == []
+        table.insert((9, "ann", 1))
+        assert table.equality_index("user").seek("ann") == [0]
+
+    def test_empty_index_is_still_discoverable(self):
+        # regression: an empty index is falsy (len 0) but must be returned
+        schema = TableSchema("t0", (Column("a", SqlType.TEXT),))
+        empty = Table(schema)
+        empty.create_index("a", kind="hash")
+        assert empty.equality_index("a") is not None
+
+    def test_create_index_backfills_existing_rows(self):
+        schema = TableSchema("t1", (Column("a", SqlType.TEXT),))
+        t = Table(schema)
+        t.insert(("x",))
+        t.insert(("y",))
+        t.insert(("x",))
+        t.create_index("a", kind="hash")
+        assert t.equality_index("a").seek("x") == [0, 2]
+
+    def test_unknown_kind_rejected(self, table):
+        with pytest.raises(SqlCatalogError, match="unknown index kind"):
+            table.create_index("user", kind="btree")
+
+
+class TestCreateIndexSql:
+    @pytest.fixture()
+    def db(self) -> Database:
+        database = Database()
+        database.execute("CREATE TABLE ev (id INTEGER, user TEXT, t INTEGER)")
+        database.execute("INSERT INTO ev VALUES (1, 'ann', 10), (2, 'bob', 20)")
+        return database
+
+    def test_default_kind_is_hash(self, db):
+        db.execute("CREATE INDEX ev_user ON ev (user)")
+        assert db.table("ev").has_index("user", "hash")
+        assert "IndexSeek" in db.explain("SELECT id FROM ev WHERE user = 'ann'")
+
+    def test_ordered_index_serves_ranges(self, db):
+        db.execute("CREATE ORDERED INDEX ev_t ON ev (t)")
+        assert db.table("ev").has_index("t", "ordered")
+        plan = db.explain("SELECT id FROM ev WHERE t BETWEEN 5 AND 15")
+        assert "IndexSeek" in plan and "ordered" in plan
+        assert list(db.query("SELECT id FROM ev WHERE t > 15").rows) == [(2,)]
+
+    def test_create_index_on_view_rejected(self, db):
+        from repro.sqlmini.schema import Column as C
+
+        db.register_view(
+            "ev_view",
+            (C("user", SqlType.TEXT),),
+            lambda: iter([("ann",)]),
+        )
+        with pytest.raises(SqlCatalogError, match="view"):
+            db.execute("CREATE INDEX v_user ON ev_view (user)")
+
+    def test_results_identical_with_and_without_index(self, db):
+        sql = "SELECT id, user FROM ev WHERE user = 'ann' ORDER BY id"
+        before = list(db.query(sql).rows)
+        db.execute("CREATE HASH INDEX ev_user ON ev (user)")
+        assert list(db.query(sql).rows) == before
+
+
+class TestSeekMetrics:
+    def test_seek_counters_and_skipped_rows(self):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            db = Database()
+            db.execute("CREATE TABLE ev (id INTEGER, user TEXT)")
+            for i in range(10):
+                db.execute(
+                    f"INSERT INTO ev VALUES ({i}, '{'ann' if i % 5 == 0 else 'bob'}')"
+                )
+            db.execute("CREATE INDEX ev_user ON ev (user)")
+            db.query("SELECT id FROM ev WHERE user = 'ann'")
+            snapshot = registry.snapshot()
+        seeks = _sample(snapshot, "counters", "repro_sqlmini_index_seeks_total")
+        assert seeks is not None and seeks["value"] == 1
+        skipped = _sample(
+            snapshot, "counters", "repro_sqlmini_rows_skipped_by_index_total"
+        )
+        assert skipped is not None and skipped["value"] == 8
+        scanned = _sample(snapshot, "counters", "repro_sqlmini_rows_scanned_total")
+        # the seek reads only the two matching rows from storage
+        assert scanned is not None and scanned["value"] == 2
+
+    def test_rows_scanned_counts_storage_rows_not_join_combos(self):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            db = Database()
+            db.execute("CREATE TABLE a (x INTEGER)")
+            db.execute("CREATE TABLE b (y INTEGER)")
+            db.execute("INSERT INTO a VALUES (1), (2), (3)")
+            db.execute("INSERT INTO b VALUES (1), (2), (3), (4)")
+            db.query("SELECT a.x, b.y FROM a JOIN b ON b.y > 0 ORDER BY a.x, b.y")
+            snapshot = registry.snapshot()
+        scanned = _sample(snapshot, "counters", "repro_sqlmini_rows_scanned_total")
+        # 3 + 4 storage rows, not the 12 joined combinations (the old bug)
+        assert scanned is not None and scanned["value"] == 7

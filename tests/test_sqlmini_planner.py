@@ -1,0 +1,194 @@
+"""Regression tests for the sqlmini binder and plan builder.
+
+Covers the three binder bugs fixed alongside the plan-DAG refactor:
+
+1. ``SELECT DISTINCT a ... ORDER BY b`` silently produced rows ordered by
+   an expression that DISTINCT had already collapsed away; it must be a
+   plan error.
+2. Bare and qualified identifiers were distinct keys, so
+   ``GROUP BY a ORDER BY t.a`` failed to resolve even though both name
+   the same column.  The binder now canonicalizes every reference.
+3. A JOIN ON condition could reference a table joined *later* in the FROM
+   clause and would read garbage NULL padding; forward references are now
+   rejected with a clear error.
+
+Plus shape tests for the optimizer: predicate pushdown, index-seek
+routing, lookup joins, and the byte-identity reorder gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlmini.database import Database
+from repro.sqlmini.errors import SqlPlanError
+from repro.sqlmini.optimizer import build_plan
+from repro.sqlmini.parser import parse
+from repro.sqlmini.plan import render_plan, walk_plan
+from repro.sqlmini.planner import bind_select
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute("CREATE TABLE t (a TEXT, b INTEGER, c TEXT)")
+    database.execute("CREATE TABLE u (a TEXT, d INTEGER)")
+    t = database.table("t")
+    t.insert(("x", 2, "p"))
+    t.insert(("y", 1, "q"))
+    t.insert(("x", 3, "p"))
+    u = database.table("u")
+    u.insert(("x", 10))
+    u.insert(("y", 20))
+    return database
+
+
+def _kinds(database: Database, sql: str) -> list[str]:
+    plan = build_plan(bind_select(parse(sql), database))
+    return [node.kind for node in walk_plan(plan.root)]
+
+
+class TestDistinctOrderBy:
+    """Bug 1: DISTINCT + ORDER BY on a non-selected expression."""
+
+    def test_order_by_outside_select_list_rejected(self, db):
+        with pytest.raises(SqlPlanError) as err:
+            db.query("SELECT DISTINCT a FROM t ORDER BY b")
+        assert (
+            "for SELECT DISTINCT, ORDER BY expressions must appear in the "
+            "select list"
+        ) in str(err.value)
+
+    def test_order_by_selected_column_allowed(self, db):
+        result = db.query("SELECT DISTINCT a FROM t ORDER BY a DESC")
+        assert list(result.rows) == [("y",), ("x",)]
+
+    def test_order_by_qualified_form_of_selected_column_allowed(self, db):
+        # canonicalization makes `a` and `t.a` the same expression
+        result = db.query("SELECT DISTINCT a FROM t ORDER BY t.a")
+        assert list(result.rows) == [("x",), ("y",)]
+
+    def test_order_by_item_alias_allowed(self, db):
+        result = db.query("SELECT DISTINCT b + 0 AS n FROM t ORDER BY n")
+        assert list(result.rows) == [(1,), (2,), (3,)]
+
+
+class TestIdentifierCanonicalization:
+    """Bug 2: bare vs qualified spellings of one column."""
+
+    def test_group_by_bare_order_by_qualified(self, db):
+        result = db.query(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a ORDER BY t.a"
+        )
+        assert list(result.rows) == [("x", 2), ("y", 1)]
+
+    def test_group_by_qualified_order_by_bare(self, db):
+        result = db.query(
+            "SELECT t.a, COUNT(*) AS n FROM t GROUP BY t.a ORDER BY a"
+        )
+        assert list(result.rows) == [("x", 2), ("y", 1)]
+
+    def test_select_bare_group_by_qualified(self, db):
+        result = db.query("SELECT a FROM t GROUP BY t.a ORDER BY a")
+        assert list(result.rows) == [("x",), ("y",)]
+
+    def test_having_mixes_spellings(self, db):
+        result = db.query(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY t.a"
+        )
+        assert list(result.rows) == [("x",)]
+
+    def test_unknown_column_still_rejected(self, db):
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            db.query("SELECT nope FROM t")
+        with pytest.raises(SqlPlanError, match="unknown column"):
+            db.query("SELECT a FROM t ORDER BY t.nope")
+
+    def test_ambiguous_bare_name_rejected_across_tables(self, db):
+        # `a` exists in both t and u: the bare spelling must not guess
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT a FROM t JOIN u ON t.a = u.a")
+
+
+class TestJoinForwardReferences:
+    """Bug 3: ON conditions referencing not-yet-joined tables."""
+
+    def test_forward_reference_rejected(self, db):
+        db.execute("CREATE TABLE v (a TEXT)")
+        with pytest.raises(SqlPlanError) as err:
+            db.query(
+                "SELECT t.a FROM t JOIN u ON u.a = v.a JOIN v ON v.a = t.a"
+            )
+        message = str(err.value)
+        assert "forward references are not allowed" in message
+        assert "'v'" in message
+
+    def test_backward_reference_accepted(self, db):
+        result = db.query(
+            "SELECT t.a, u.d FROM t JOIN u ON u.a = t.a ORDER BY t.b"
+        )
+        assert list(result.rows) == [("y", 20), ("x", 10), ("x", 10)]
+
+    def test_self_only_condition_accepted(self, db):
+        result = db.query("SELECT t.a FROM t JOIN u ON u.d > 15 ORDER BY t.b, t.a")
+        assert [row[0] for row in result.rows] == ["y", "x", "x"]
+
+
+class TestPlanShapes:
+    def test_pushdown_produces_pushed_filter(self, db):
+        plan = build_plan(
+            bind_select(
+                parse("SELECT t.a FROM t JOIN u ON u.a = t.a WHERE t.b > 1"), db
+            )
+        )
+        rendered = render_plan(plan.root)
+        assert "[pushed]" in rendered
+        assert plan.pushed >= 1
+
+    def test_equality_seek_uses_hash_index(self, db):
+        db.table("t").create_index("a", kind="hash")
+        kinds = _kinds(db, "SELECT b FROM t WHERE a = 'x'")
+        assert "index_seek" in kinds
+        assert "scan" not in kinds
+
+    def test_range_seek_uses_ordered_index(self, db):
+        db.table("t").create_index("b", kind="ordered")
+        kinds = _kinds(db, "SELECT a FROM t WHERE b BETWEEN 1 AND 2")
+        assert "index_seek" in kinds
+
+    def test_family_mismatch_stays_a_filter(self, db):
+        db.table("t").create_index("b", kind="ordered")
+        # TEXT literal probing an INTEGER column must not seek
+        kinds = _kinds(db, "SELECT a FROM t WHERE b = 'x'")
+        assert "index_seek" not in kinds
+        assert list(db.query("SELECT a FROM t WHERE b = 'x'").rows) == []
+
+    def test_join_against_indexed_column_becomes_lookup(self, db):
+        db.table("u").create_index("a", kind="hash")
+        # ORDER BY pins FROM order, leaving indexed u on the probe side
+        sql = "SELECT t.a, u.d FROM t JOIN u ON u.a = t.a ORDER BY t.b"
+        kinds = _kinds(db, sql)
+        assert "index_lookup" in kinds
+        assert list(db.query(sql).rows) == [("y", 20), ("x", 10), ("x", 10)]
+
+    def test_reorder_gated_off_by_order_by(self, db):
+        plan = build_plan(
+            bind_select(
+                parse("SELECT t.a FROM t JOIN u ON u.a = t.a ORDER BY t.b"), db
+            )
+        )
+        assert not plan.reordered
+        assert [table.alias for table in plan.exec_tables] == ["t", "u"]
+
+    def test_reorder_starts_from_smaller_table(self, db):
+        plan = build_plan(
+            bind_select(parse("SELECT t.a FROM t JOIN u ON u.a = t.a"), db)
+        )
+        assert plan.reordered
+        assert plan.exec_tables[0].alias == "u"
+
+    def test_explain_via_database(self, db):
+        text = db.explain("SELECT a FROM t WHERE c = 'p' ORDER BY b LIMIT 1")
+        assert text.splitlines()[0].startswith("Limit")
+        assert "Sort" in text
+        assert "Scan t" in text
