@@ -16,6 +16,7 @@ from repro.audit.classify import (
     ClassifiedEntry,
     ClassifierConfig,
     classify_exceptions,
+    validate_entry_vocabulary,
 )
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog, make_entry
@@ -40,4 +41,5 @@ __all__ = [
     "audit_table_schema",
     "classify_exceptions",
     "make_entry",
+    "validate_entry_vocabulary",
 ]

@@ -38,6 +38,31 @@ from dataclasses import dataclass
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import RULE_ATTRIBUTES
+from repro.errors import AuditError
+from repro.vocab.vocabulary import Vocabulary
+
+
+def validate_entry_vocabulary(
+    entry: AuditEntry, index: int, vocabulary: Vocabulary
+) -> None:
+    """Reject entries whose role or purpose the vocabulary never defined.
+
+    A typo'd role or purpose in the trail would otherwise sail through
+    classification as a permanently-suspicious one-off; fail loudly
+    instead, naming the offending entry so the operator can find it.
+    Attributes without a vocabulary tree are not checked.
+    """
+    for attribute, value in (
+        ("authorized", entry.authorized),
+        ("purpose", entry.purpose),
+    ):
+        tree = vocabulary.tree_for(attribute)
+        if tree is not None and value not in tree:
+            raise AuditError(
+                f"audit entry #{index} (time={entry.time}, "
+                f"user={entry.user!r}) carries unknown {attribute} value "
+                f"{value!r}: not a node of the {attribute!r} vocabulary tree"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,10 +136,21 @@ class ClassificationReport:
 
 
 def classify_exceptions(
-    log: AuditLog, config: ClassifierConfig | None = None
+    log: AuditLog,
+    config: ClassifierConfig | None = None,
+    vocabulary: Vocabulary | None = None,
 ) -> ClassificationReport:
-    """Split the log's exception entries into practice and violations."""
+    """Split the log's exception entries into practice and violations.
+
+    With a ``vocabulary``, every entry's role and purpose is first checked
+    against the vocabulary trees; an unknown value raises
+    :class:`~repro.errors.AuditError` naming the offending entry, instead
+    of silently classifying garbage.
+    """
     cfg = config or ClassifierConfig()
+    if vocabulary is not None:
+        for index, entry in enumerate(log):
+            validate_entry_vocabulary(entry, index, vocabulary)
     exceptions = log.exceptions()
     support: Counter = Counter()
     users: defaultdict = defaultdict(set)

@@ -19,7 +19,19 @@ Commands:
     the round-by-round trajectory (optionally replaying a sample of the
     traffic through active enforcement with ``--enforce-sample``; with
     ``--store-dir`` the cumulative history is persisted in a durable
-    segmented store and refinement streams it off disk).
+    segmented store and refinement streams it off disk; with
+    ``--corpus DIR`` the loop replays a saved corpus bundle's recorded
+    trace from the bundle's own documented store).
+``corpus``
+    Generate (``generate``) and summarise (``stats``) seeded
+    HIPAA-derived policy corpora (:mod:`repro.corpus`): hundreds of
+    rules, stress scenarios and injected misuse with persisted ground
+    truth; ``stats --verify`` regenerates from the manifest spec and
+    compares bundle digests.
+``triage``
+    Mine refinement candidates from a corpus bundle's trace and rank
+    them by aggregate explanation strength (:mod:`repro.explain`),
+    printing the pre-sorted review queue with verdicts.
 ``store``
     Inspect and maintain a durable audit store directory:
     ``stats``, ``verify`` (full checksum pass), ``tail`` (newest
@@ -197,8 +209,71 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=1, metavar="N",
                           help="shard each round's refinement across N worker "
                                "processes (default 1)")
+    simulate.add_argument("--corpus", default=None, metavar="DIR",
+                          help="replay a saved corpus bundle's recorded trace "
+                               "from its own documented store instead of "
+                               "simulating fresh traffic (--rounds caps the "
+                               "replayed rounds; --accesses/--seed/"
+                               "--documented are ignored)")
     _add_metrics_out(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    corpus_cmd = commands.add_parser(
+        "corpus", help="generate and inspect HIPAA-derived policy corpora"
+    )
+    corpus_sub = corpus_cmd.add_subparsers(dest="corpus_command", required=True)
+    corpus_generate = corpus_sub.add_parser(
+        "generate", help="generate a labelled corpus bundle at a directory"
+    )
+    corpus_generate.add_argument("--out", required=True, metavar="DIR",
+                                 help="bundle directory to write")
+    corpus_generate.add_argument("--seed", type=int, default=None)
+    corpus_generate.add_argument("--departments", type=int, default=None,
+                                 help="clinical departments (default 3)")
+    corpus_generate.add_argument("--staff-per-role", type=int, default=None)
+    corpus_generate.add_argument("--patients", type=int, default=None)
+    corpus_generate.add_argument("--rounds", type=int, default=None)
+    corpus_generate.add_argument("--accesses", type=int, default=None,
+                                 help="accesses per simulated round")
+    corpus_generate.add_argument("--protocol-rules", type=int, default=None,
+                                 help="extra ground protocol rules to mint")
+    corpus_generate.add_argument("--documented", type=float, default=None,
+                                 help="fraction of permits the privacy office "
+                                      "documented (default 0.55)")
+    corpus_generate.add_argument("--name", default=None)
+    corpus_generate.set_defaults(handler=_cmd_corpus_generate)
+    corpus_stats = corpus_sub.add_parser(
+        "stats", help="summarise a corpus bundle (digest-checked)"
+    )
+    corpus_stats.add_argument("directory", help="corpus bundle directory")
+    corpus_stats.add_argument("--verify", action="store_true",
+                              help="regenerate the bundle from its manifest "
+                                   "spec and compare digests (exit 1 on "
+                                   "mismatch)")
+    corpus_stats.set_defaults(handler=_cmd_corpus_stats)
+
+    triage = commands.add_parser(
+        "triage",
+        help="explanation-ranked triage of mined candidates over a corpus",
+    )
+    triage.add_argument("--corpus", required=True, metavar="DIR",
+                        help="corpus bundle directory (from corpus generate)")
+    triage.add_argument("--min-support", type=int, default=5,
+                        help="the paper's f threshold (inclusive, default 5)")
+    triage.add_argument("--min-users", type=int, default=2,
+                        help="distinct users required (default 2)")
+    triage.add_argument("--auto-accept", type=float, default=0.75,
+                        help="strength at or above which a candidate is "
+                             "graded adopt (default 0.75)")
+    triage.add_argument("--review-threshold", type=float, default=0.4,
+                        help="strength at or above which a candidate is "
+                             "graded review rather than investigate "
+                             "(default 0.4)")
+    triage.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full ranked report as JSON")
+    triage.add_argument("-n", "--limit", type=int, default=20,
+                        help="print at most N queue rows (default 20)")
+    triage.set_defaults(handler=_cmd_triage)
 
     store_cmd = commands.add_parser(
         "store", help="inspect and maintain a durable audit store"
@@ -612,10 +687,131 @@ def _cmd_classify(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_generate(arguments: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.corpus import (
+        CorpusSpec,
+        corpus_stats,
+        generate_corpus,
+        render_stats,
+        save_corpus,
+        simulate_corpus_trace,
+    )
+
+    overrides = {
+        field: value
+        for field, value in (
+            ("seed", arguments.seed),
+            ("departments", arguments.departments),
+            ("staff_per_role", arguments.staff_per_role),
+            ("patients", arguments.patients),
+            ("rounds", arguments.rounds),
+            ("accesses_per_round", arguments.accesses),
+            ("protocol_rules", arguments.protocol_rules),
+            ("documented_fraction", arguments.documented),
+            ("name", arguments.name),
+        )
+        if value is not None
+    }
+    spec = replace(CorpusSpec(), **overrides)
+    corpus = generate_corpus(spec)
+    trace = simulate_corpus_trace(corpus)
+    digest = save_corpus(corpus, trace, arguments.out)
+    print(render_stats(corpus_stats(arguments.out)))
+    print(f"bundle written to {arguments.out} (digest {digest[:16]}…)")
+    return 0
+
+
+def _cmd_corpus_stats(arguments: argparse.Namespace) -> int:
+    from repro.corpus import (
+        corpus_stats,
+        load_corpus,
+        render_stats,
+        verify_determinism,
+    )
+
+    bundle = load_corpus(arguments.directory)
+    print(render_stats(corpus_stats(bundle)))
+    if arguments.verify:
+        matches, recorded, regenerated = verify_determinism(bundle)
+        if not matches:
+            print(f"DETERMINISM VIOLATION: recorded digest {recorded} but "
+                  f"regeneration produced {regenerated}", file=sys.stderr)
+            return 1
+        print(f"determinism verified: regeneration reproduces {recorded[:16]}…")
+    return 0
+
+
+def _cmd_triage(arguments: argparse.Namespace) -> int:
+    from repro.corpus import load_corpus
+    from repro.explain import (
+        ExplanationContext,
+        TriageThresholds,
+        build_index,
+        mine_template_weights,
+        triage_patterns,
+    )
+    from repro.policy.grounding import Grounder
+    from repro.refinement.extract import extract_patterns
+    from repro.refinement.prune import prune_patterns
+
+    bundle = load_corpus(arguments.corpus)
+    context = ExplanationContext(bundle.state, bundle.log)
+    weights = mine_template_weights(bundle.log, context)
+    index = build_index(bundle.log, context, weights)
+    patterns = extract_patterns(
+        filter_practice(bundle.log),
+        MiningConfig(
+            min_support=arguments.min_support,
+            min_distinct_users=arguments.min_users,
+        ),
+    )
+    prune = prune_patterns(
+        patterns, bundle.store.policy(), bundle.vocabulary,
+        Grounder(bundle.vocabulary),
+    )
+    report = triage_patterns(
+        prune.useful,
+        index,
+        TriageThresholds(
+            auto_accept=arguments.auto_accept,
+            review=arguments.review_threshold,
+        ),
+    )
+    counts = report.counts()
+    print(f"candidates: {len(report.candidates)}  "
+          f"adopt: {counts['adopt']}  review: {counts['review']}  "
+          f"investigate: {counts['investigate']}")
+    rows = [
+        [rank, f"{candidate.strength:.3f}", candidate.verdict,
+         candidate.pattern.support, candidate.pattern.distinct_users,
+         format_rule(candidate.pattern.rule)]
+        for rank, candidate in enumerate(
+            report.candidates[: arguments.limit], start=1
+        )
+    ]
+    if rows:
+        print(format_table(
+            ["#", "strength", "verdict", "support", "users", "candidate rule"],
+            rows,
+            title="explanation-ranked review queue",
+        ))
+    if len(report.candidates) > arguments.limit:
+        print(f"... and {len(report.candidates) - arguments.limit} more")
+    if arguments.json:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        Path(arguments.json).write_text(payload + "\n", encoding="utf-8")
+        print(f"full report written to {arguments.json}")
+    return 0
+
+
 def _cmd_simulate(arguments: argparse.Namespace) -> int:
     from repro.experiments.harness import run_refinement_loop, standard_loop_setup
     from repro.refinement.review import AcceptAll, ThresholdReview
 
+    if arguments.corpus is not None:
+        return _simulate_corpus_replay(arguments)
     setup = standard_loop_setup(
         documented_fraction=arguments.documented,
         accesses_per_round=arguments.accesses,
@@ -660,6 +856,45 @@ def _cmd_simulate(arguments: argparse.Namespace) -> int:
         print(durable.stats().summary())
         durable.close()
         print(f"cumulative history persisted at {arguments.store_dir}")
+    return 0
+
+
+def _simulate_corpus_replay(arguments: argparse.Namespace) -> int:
+    """``simulate --corpus``: refinement over a bundle's recorded trace."""
+    from repro.corpus import load_corpus
+    from repro.experiments.harness import ReplayEnvironment
+    from repro.refinement.loop import RefinementLoop
+    from repro.refinement.review import AcceptAll, ThresholdReview
+
+    bundle = load_corpus(arguments.corpus)
+    spec = bundle.spec
+    per_round = spec.accesses_per_round
+    entries = tuple(bundle.log)
+    windows = [
+        entries[start:start + per_round]
+        for start in range(0, len(entries), per_round)
+    ]
+    rounds = min(arguments.rounds, len(windows))
+    review = AcceptAll() if arguments.review == "accept-all" else ThresholdReview()
+    loop = RefinementLoop(
+        ReplayEnvironment(windows[:rounds]),
+        bundle.store.clone(),
+        bundle.vocabulary,
+        review,
+    )
+    result = loop.run(rounds)
+    print(
+        format_table(
+            ["round", "entries", "exc-rate", "entry-cov", "accepted", "store"],
+            [
+                [r.round_index, r.entries, f"{r.exception_rate:.1%}",
+                 f"{r.entry_coverage_after:.1%}", r.rules_accepted,
+                 r.store_size_after]
+                for r in result.rounds
+            ],
+            title=f"corpus replay ({spec.name}, {arguments.review} review)",
+        )
+    )
     return 0
 
 

@@ -1,0 +1,72 @@
+"""repro.corpus — seeded HIPAA-scale policy corpora.
+
+The paper evaluates refinement on a toy Figure-1 vocabulary; this package
+generates the realistic regime: deep HIPAA-derived hierarchies
+(:mod:`repro.corpus.hipaa`), hundreds of modal rules with citations
+(:mod:`repro.corpus.generate`), stress scenario programs with injected
+ground-truth misuse (:mod:`repro.corpus.scenarios`), durable
+digest-verified bundles (:mod:`repro.corpus.io`) and bundle statistics /
+the CI determinism guard (:mod:`repro.corpus.stats`).
+
+Typical use::
+
+    from repro.corpus import CorpusSpec, generate_corpus, simulate_corpus_trace
+
+    corpus = generate_corpus(CorpusSpec(seed=7, departments=4))
+    trace = simulate_corpus_trace(corpus)
+    save_corpus(corpus, trace, "bundles/demo")
+"""
+
+from repro.corpus.generate import (
+    CorpusRule,
+    CorpusSpec,
+    PolicyCorpus,
+    generate_corpus,
+)
+from repro.corpus.hipaa import (
+    CLINICAL_DEPARTMENTS,
+    MODALITIES,
+    hipaa_vocabulary,
+)
+from repro.corpus.io import (
+    BUNDLE_FILES,
+    LoadedCorpus,
+    bundle_digest,
+    load_corpus,
+    save_corpus,
+)
+from repro.corpus.scenarios import (
+    CorpusEnvironment,
+    CorpusTrace,
+    LabelRecord,
+    simulate_corpus_trace,
+)
+from repro.corpus.stats import (
+    CorpusStats,
+    corpus_stats,
+    render_stats,
+    verify_determinism,
+)
+
+__all__ = [
+    "BUNDLE_FILES",
+    "CLINICAL_DEPARTMENTS",
+    "CorpusEnvironment",
+    "CorpusRule",
+    "CorpusSpec",
+    "CorpusStats",
+    "CorpusTrace",
+    "LabelRecord",
+    "LoadedCorpus",
+    "MODALITIES",
+    "PolicyCorpus",
+    "bundle_digest",
+    "corpus_stats",
+    "generate_corpus",
+    "hipaa_vocabulary",
+    "load_corpus",
+    "render_stats",
+    "save_corpus",
+    "simulate_corpus_trace",
+    "verify_determinism",
+]

@@ -1,0 +1,433 @@
+"""HIPAA-derived vocabulary and rulebook templates.
+
+The built-in Figure-1 vocabulary is deliberately tiny — the paper's worked
+examples need ten-ish leaves per attribute.  Realistic healthcare policy
+stores are two orders of magnitude richer: the HIPAA Privacy Rule carves
+protected health information (PHI), purposes and workforce roles into deep
+hierarchies, and its permissions come with *modal strength* — some uses
+are permitted outright (treatment/payment/operations, §164.506), some
+require an explicit patient authorization (§164.508), and some are flatly
+denied to whole classes of workforce members (the minimum-necessary
+standard, §164.502(b)).
+
+This module encodes that structure following "A Framework for Extracting
+and Modeling HIPAA Privacy Rules" (Alshugran & Dichter): each extracted
+rule is a tuple over (actor, data, purpose, modality, citation).  Two
+artifacts live here:
+
+- :func:`hipaa_vocabulary` — a deep, department-parameterised vocabulary
+  (4-level hierarchies for ``data``, ``purpose`` and ``authorized``);
+- :data:`ROLE_RULEBOOK` — per-role rule templates (data node, purpose
+  node, modality, citation, weight class) from which
+  :func:`repro.corpus.generate.generate_corpus` expands the actual
+  policy store, plus the department-specialised template families.
+
+Everything here is a **literal table**: determinism of the generated
+corpus reduces to determinism of the expansion code, never of this data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorpusError
+from repro.vocab.vocabulary import Vocabulary
+
+#: Modal strengths a corpus rule can carry (Alshugran & Dichter's
+#: "permission" axis: permitted / required-consent / denied).
+MODALITIES: tuple[str, ...] = ("permit", "require_consent", "deny")
+
+#: Canonical clinical departments, in definition order; a spec selects a
+#: prefix of this tuple.  Order is load-bearing: department names feed
+#: staffing, vocabulary leaves and scenario programs deterministically.
+CLINICAL_DEPARTMENTS: tuple[str, ...] = (
+    "cardiology",
+    "oncology",
+    "emergency",
+    "pediatrics",
+    "neurology",
+    "orthopedics",
+    "geriatrics",
+    "obstetrics",
+)
+
+#: Non-clinical departments every corpus hospital staffs.
+BUSINESS_DEPARTMENTS: tuple[str, ...] = ("business_office", "compliance_office")
+
+#: Demographic identity leaves (direct identifiers, §164.514(b)).
+IDENTITY_LEAVES = ("name", "address", "phone_number", "email", "ssn")
+
+#: Demographic profile leaves.
+PROFILE_LEAVES = ("gender", "birth_date", "ethnicity", "marital_status")
+
+#: Clinical encounter documentation.
+ENCOUNTER_LEAVES = ("admission_note", "progress_note", "discharge_summary", "triage_note")
+
+#: Clinical orders.
+ORDER_LEAVES = ("prescription", "lab_order", "imaging_order", "referral")
+
+#: Clinical results.
+RESULT_LEAVES = ("lab_results", "imaging_report", "pathology_report", "vital_signs")
+
+#: Specially-protected categories (42 CFR Part 2, state HIV statutes,
+#: GINA) — the targets every injected-misuse campaign goes after.
+SENSITIVE_LEAVES = (
+    "psychiatry_note",
+    "substance_abuse_record",
+    "hiv_status",
+    "genetic_test",
+    "reproductive_health",
+)
+
+#: Financial billing artifacts.
+BILLING_LEAVES = ("claim", "invoice", "payment_history", "procedure_code")
+
+#: Insurance coverage artifacts.
+COVERAGE_LEAVES = ("insurance_policy", "eligibility_record", "prior_authorization")
+
+#: Treatment purposes (§164.506(c)(1)-(2)).
+TREATMENT_PURPOSES = (
+    "primary_care",
+    "specialist_care",
+    "emergency_care",
+    "medication_administration",
+)
+
+#: Diagnosis purposes.
+DIAGNOSIS_PURPOSES = ("diagnostic_workup", "lab_interpretation", "imaging_review")
+
+#: Care-coordination purposes (§164.506(c)(2), continuity of care).
+COORDINATION_PURPOSES = (
+    "shift_handoff",
+    "referral_consult",
+    "discharge_planning",
+    "case_review",
+)
+
+#: Payment purposes (§164.506(c)(3)).
+BILLING_PURPOSES = ("claims_processing", "payment_collection", "coding_review")
+
+#: Administrative operations purposes (§164.506(c)(4)).
+ADMIN_PURPOSES = (
+    "registration",
+    "scheduling",
+    "insurance_verification",
+    "records_management",
+)
+
+#: Quality / oversight operations purposes.
+QUALITY_PURPOSES = ("quality_review", "compliance_audit", "incident_review")
+
+#: Research purposes (§164.512(i) with authorization or waiver).
+RESEARCH_PURPOSES = ("clinical_trial", "retrospective_study", "registry_reporting")
+
+#: Marketing/fundraising purposes (§164.508(a)(3), §164.514(f)).
+MARKETING_PURPOSES = ("telemarketing", "fundraising")
+
+#: Legal / public-priority purposes (§164.512(e)-(f)).
+LEGAL_PURPOSES = ("court_order", "law_enforcement_request")
+
+#: Physician-family role leaves.
+PHYSICIAN_ROLES = (
+    "attending_physician",
+    "resident_physician",
+    "surgeon",
+    "consulting_specialist",
+)
+
+#: Nursing-family role leaves.
+NURSING_ROLES = ("registered_nurse", "charge_nurse", "nurse_practitioner", "triage_nurse")
+
+#: Technical role leaves.
+TECHNICAL_ROLES = ("lab_technician", "radiology_technician", "pharmacist", "phlebotomist")
+
+#: Front-office administrative role leaves.
+FRONT_OFFICE_ROLES = ("registrar", "scheduler", "records_clerk")
+
+#: Revenue-cycle administrative role leaves.
+REVENUE_ROLES = ("billing_clerk", "coding_specialist", "claims_adjuster")
+
+#: Oversight role leaves.
+OVERSIGHT_ROLES = ("privacy_officer", "internal_auditor", "research_coordinator")
+
+#: Roles staffed inside every clinical department.
+CLINICAL_DEPARTMENT_ROLES: tuple[str, ...] = (
+    PHYSICIAN_ROLES + NURSING_ROLES + TECHNICAL_ROLES
+)
+
+#: Roles staffed in the business office.
+BUSINESS_OFFICE_ROLES: tuple[str, ...] = FRONT_OFFICE_ROLES + REVENUE_ROLES
+
+#: Roles staffed in the compliance office.
+COMPLIANCE_OFFICE_ROLES: tuple[str, ...] = OVERSIGHT_ROLES
+
+
+def department_record_leaf(department: str) -> str:
+    """The department-local data leaf (``<dept>_flowsheet``)."""
+    return f"{department}_flowsheet"
+
+
+def hipaa_vocabulary(
+    departments: tuple[str, ...] = CLINICAL_DEPARTMENTS[:3], strict: bool = False
+) -> Vocabulary:
+    """Build the deep HIPAA-derived vocabulary for ``departments``.
+
+    The three trees are four levels deep (root → family → group → leaf),
+    so grounding, coverage and pruning exercise genuinely hierarchical
+    rules — the regime the paper's toy vocabulary never reaches.
+    ``departments`` adds one ``<dept>_flowsheet`` leaf per department
+    under ``clinical/department_records``.
+    """
+    if not departments:
+        raise CorpusError("a HIPAA corpus vocabulary needs at least one department")
+    unknown = [d for d in departments if d not in CLINICAL_DEPARTMENTS]
+    if unknown:
+        raise CorpusError(
+            f"unknown clinical departments {unknown!r}; "
+            f"choose from {CLINICAL_DEPARTMENTS!r}"
+        )
+    vocab = Vocabulary("hipaa", strict=strict)
+
+    data = vocab.new_tree("data", root="phi")
+    data.add("demographic")
+    data.add("identity", parent="demographic")
+    for leaf in IDENTITY_LEAVES:
+        data.add(leaf, parent="identity")
+    data.add("profile", parent="demographic")
+    for leaf in PROFILE_LEAVES:
+        data.add(leaf, parent="profile")
+    data.add("clinical")
+    for group, leaves in (
+        ("encounter_notes", ENCOUNTER_LEAVES),
+        ("orders", ORDER_LEAVES),
+        ("results", RESULT_LEAVES),
+        ("sensitive_records", SENSITIVE_LEAVES),
+    ):
+        data.add(group, parent="clinical")
+        for leaf in leaves:
+            data.add(leaf, parent=group)
+    data.add("department_records", parent="clinical")
+    for department in departments:
+        data.add(department_record_leaf(department), parent="department_records")
+    data.add("financial")
+    for group, leaves in (
+        ("billing_records", BILLING_LEAVES),
+        ("coverage", COVERAGE_LEAVES),
+    ):
+        data.add(group, parent="financial")
+        for leaf in leaves:
+            data.add(leaf, parent=group)
+
+    purpose = vocab.new_tree("purpose")
+    purpose.add("healthcare")
+    for group, leaves in (
+        ("treatment", TREATMENT_PURPOSES),
+        ("diagnosis", DIAGNOSIS_PURPOSES),
+        ("care_coordination", COORDINATION_PURPOSES),
+    ):
+        purpose.add(group, parent="healthcare")
+        for leaf in leaves:
+            purpose.add(leaf, parent=group)
+    purpose.add("operations")
+    for group, leaves in (
+        ("billing", BILLING_PURPOSES),
+        ("administration", ADMIN_PURPOSES),
+        ("quality", QUALITY_PURPOSES),
+    ):
+        purpose.add(group, parent="operations")
+        for leaf in leaves:
+            purpose.add(leaf, parent=group)
+    purpose.add("secondary_use")
+    for group, leaves in (
+        ("research", RESEARCH_PURPOSES),
+        ("marketing", MARKETING_PURPOSES),
+        ("legal", LEGAL_PURPOSES),
+    ):
+        purpose.add(group, parent="secondary_use")
+        for leaf in leaves:
+            purpose.add(leaf, parent=group)
+
+    authorized = vocab.new_tree("authorized", root="staff")
+    authorized.add("clinical_staff")
+    for group, leaves in (
+        ("physician_staff", PHYSICIAN_ROLES),
+        ("nursing_staff", NURSING_ROLES),
+    ):
+        authorized.add(group, parent="clinical_staff")
+        for leaf in leaves:
+            authorized.add(leaf, parent=group)
+    authorized.add("technical_staff")
+    for leaf in TECHNICAL_ROLES:
+        authorized.add(leaf, parent="technical_staff")
+    authorized.add("administrative_staff")
+    for group, leaves in (
+        ("front_office", FRONT_OFFICE_ROLES),
+        ("revenue_cycle", REVENUE_ROLES),
+    ):
+        authorized.add(group, parent="administrative_staff")
+        for leaf in leaves:
+            authorized.add(leaf, parent=group)
+    authorized.add("oversight_staff")
+    for leaf in OVERSIGHT_ROLES:
+        authorized.add(leaf, parent="oversight_staff")
+
+    return vocab
+
+
+#: One rulebook template: ``(data node, purpose node, modality, citation,
+#: weight class)``.  Weight classes (``dominant``/``routine``/``tail``)
+#: become heavy-tailed practice weights during expansion.
+RuleTemplate = tuple[str, str, str, str, str]
+
+#: The per-role rulebook.  Role leaves map to the rule templates the
+#: HIPAA framework extraction yields for that workforce class.  Data and
+#: purpose values may be interior vocabulary nodes — corpus stores keep
+#: composite rules, traffic grounds them.
+ROLE_RULEBOOK: dict[str, tuple[RuleTemplate, ...]] = {
+    "attending_physician": (
+        ("encounter_notes", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("orders", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("results", "diagnosis", "permit", "164.506(c)(1)", "dominant"),
+        ("results", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("sensitive_records", "specialist_care", "permit", "164.506(c)(2)", "tail"),
+        ("encounter_notes", "care_coordination", "permit", "164.506(c)(2)", "routine"),
+        ("identity", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("clinical", "research", "require_consent", "164.508(a)(1)", "tail"),
+        ("financial", "treatment", "deny", "164.502(b)", "tail"),
+    ),
+    "resident_physician": (
+        ("encounter_notes", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("results", "diagnosis", "permit", "164.506(c)(1)", "routine"),
+        ("orders", "medication_administration", "permit", "164.506(c)(1)", "routine"),
+        ("encounter_notes", "case_review", "permit", "164.506(c)(2)", "tail"),
+        ("sensitive_records", "treatment", "require_consent", "164.508(a)(2)", "tail"),
+        ("financial", "healthcare", "deny", "164.502(b)", "tail"),
+    ),
+    "surgeon": (
+        ("encounter_notes", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("results", "diagnostic_workup", "permit", "164.506(c)(1)", "routine"),
+        ("orders", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("imaging_report", "imaging_review", "permit", "164.506(c)(1)", "routine"),
+        ("sensitive_records", "healthcare", "require_consent", "164.508(a)(2)", "tail"),
+    ),
+    "consulting_specialist": (
+        ("results", "referral_consult", "permit", "164.506(c)(2)", "dominant"),
+        ("referral", "referral_consult", "permit", "164.506(c)(2)", "dominant"),
+        ("encounter_notes", "specialist_care", "permit", "164.506(c)(1)", "routine"),
+        ("sensitive_records", "specialist_care", "require_consent", "164.508(a)(2)", "tail"),
+    ),
+    "registered_nurse": (
+        ("vital_signs", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("orders", "medication_administration", "permit", "164.506(c)(1)", "dominant"),
+        ("encounter_notes", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("encounter_notes", "shift_handoff", "permit", "164.506(c)(2)", "routine"),
+        ("results", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("identity", "treatment", "permit", "164.506(c)(1)", "tail"),
+        ("sensitive_records", "treatment", "require_consent", "164.508(a)(2)", "tail"),
+        ("financial", "healthcare", "deny", "164.502(b)", "tail"),
+    ),
+    "charge_nurse": (
+        ("encounter_notes", "shift_handoff", "permit", "164.506(c)(2)", "dominant"),
+        ("vital_signs", "shift_handoff", "permit", "164.506(c)(2)", "routine"),
+        ("encounter_notes", "case_review", "permit", "164.506(c)(2)", "routine"),
+        ("orders", "treatment", "permit", "164.506(c)(1)", "tail"),
+    ),
+    "nurse_practitioner": (
+        ("encounter_notes", "primary_care", "permit", "164.506(c)(1)", "dominant"),
+        ("orders", "primary_care", "permit", "164.506(c)(1)", "routine"),
+        ("results", "lab_interpretation", "permit", "164.506(c)(1)", "routine"),
+        ("profile", "primary_care", "permit", "164.506(c)(1)", "tail"),
+    ),
+    "triage_nurse": (
+        ("triage_note", "emergency_care", "permit", "164.506(c)(1)", "dominant"),
+        ("vital_signs", "emergency_care", "permit", "164.506(c)(1)", "dominant"),
+        ("identity", "emergency_care", "permit", "164.506(c)(1)", "routine"),
+        ("encounter_notes", "emergency_care", "permit", "164.506(c)(1)", "tail"),
+    ),
+    "lab_technician": (
+        ("lab_order", "lab_interpretation", "permit", "164.506(c)(1)", "dominant"),
+        ("lab_results", "lab_interpretation", "permit", "164.506(c)(1)", "dominant"),
+        ("identity", "lab_interpretation", "permit", "164.502(b)", "tail"),
+        ("sensitive_records", "healthcare", "deny", "164.502(b)", "tail"),
+    ),
+    "radiology_technician": (
+        ("imaging_order", "imaging_review", "permit", "164.506(c)(1)", "dominant"),
+        ("imaging_report", "imaging_review", "permit", "164.506(c)(1)", "routine"),
+        ("identity", "imaging_review", "permit", "164.502(b)", "tail"),
+    ),
+    "pharmacist": (
+        ("prescription", "medication_administration", "permit", "164.506(c)(1)", "dominant"),
+        ("prescription", "treatment", "permit", "164.506(c)(1)", "routine"),
+        ("profile", "medication_administration", "permit", "164.506(c)(1)", "tail"),
+        ("coverage", "insurance_verification", "permit", "164.506(c)(3)", "tail"),
+    ),
+    "phlebotomist": (
+        ("lab_order", "treatment", "permit", "164.506(c)(1)", "dominant"),
+        ("identity", "treatment", "permit", "164.506(c)(1)", "routine"),
+    ),
+    "registrar": (
+        ("identity", "registration", "permit", "164.506(c)(4)", "dominant"),
+        ("profile", "registration", "permit", "164.506(c)(4)", "routine"),
+        ("coverage", "insurance_verification", "permit", "164.506(c)(3)", "routine"),
+        ("referral", "registration", "permit", "164.506(c)(4)", "tail"),
+        ("clinical", "administration", "deny", "164.502(b)", "tail"),
+    ),
+    "scheduler": (
+        ("identity", "scheduling", "permit", "164.506(c)(4)", "dominant"),
+        ("referral", "scheduling", "permit", "164.506(c)(4)", "routine"),
+        ("profile", "scheduling", "permit", "164.506(c)(4)", "tail"),
+    ),
+    "records_clerk": (
+        ("encounter_notes", "records_management", "permit", "164.506(c)(4)", "routine"),
+        ("identity", "records_management", "permit", "164.506(c)(4)", "routine"),
+        ("sensitive_records", "operations", "deny", "164.502(b)", "tail"),
+    ),
+    "billing_clerk": (
+        ("billing_records", "claims_processing", "permit", "164.506(c)(3)", "dominant"),
+        ("identity", "claims_processing", "permit", "164.506(c)(3)", "routine"),
+        ("coverage", "claims_processing", "permit", "164.506(c)(3)", "routine"),
+        ("billing_records", "payment_collection", "permit", "164.506(c)(3)", "routine"),
+        ("sensitive_records", "billing", "deny", "164.502(b)", "tail"),
+        ("clinical", "marketing", "deny", "164.508(a)(3)", "tail"),
+    ),
+    "coding_specialist": (
+        ("procedure_code", "coding_review", "permit", "164.506(c)(3)", "dominant"),
+        ("encounter_notes", "coding_review", "permit", "164.506(c)(3)", "routine"),
+        ("billing_records", "coding_review", "permit", "164.506(c)(3)", "tail"),
+    ),
+    "claims_adjuster": (
+        ("claim", "claims_processing", "permit", "164.506(c)(3)", "dominant"),
+        ("coverage", "claims_processing", "permit", "164.506(c)(3)", "routine"),
+        ("payment_history", "payment_collection", "permit", "164.506(c)(3)", "tail"),
+    ),
+    "privacy_officer": (
+        ("phi", "compliance_audit", "permit", "164.530(a)", "routine"),
+        ("phi", "incident_review", "permit", "164.530(a)", "tail"),
+    ),
+    "internal_auditor": (
+        ("financial", "quality_review", "permit", "164.506(c)(4)", "routine"),
+        ("clinical", "quality_review", "permit", "164.506(c)(4)", "tail"),
+        ("identity", "marketing", "deny", "164.508(a)(3)", "tail"),
+    ),
+    "research_coordinator": (
+        ("clinical", "clinical_trial", "require_consent", "164.508(a)(1)", "routine"),
+        ("profile", "retrospective_study", "require_consent", "164.512(i)", "tail"),
+        ("results", "registry_reporting", "permit", "164.512(b)", "tail"),
+        ("identity", "research", "deny", "164.514(b)", "tail"),
+    ),
+}
+
+#: Department-specialised template families: every clinical department
+#: adds these over its own ``<dept>_flowsheet`` leaf.
+DEPARTMENT_RULEBOOK: tuple[RuleTemplate, ...] = (
+    ("department_records", "specialist_care", "permit", "164.506(c)(1)", "routine"),
+    ("department_records", "shift_handoff", "permit", "164.506(c)(2)", "routine"),
+    ("department_records", "case_review", "permit", "164.506(c)(2)", "tail"),
+)
+
+#: Roles the department-specialised families attach to (one rule per
+#: (department, role, template)).
+DEPARTMENT_RULE_ROLES: tuple[str, ...] = (
+    "attending_physician",
+    "consulting_specialist",
+    "registered_nurse",
+    "charge_nurse",
+)

@@ -1,0 +1,117 @@
+"""Corpus bundle statistics and the determinism guard.
+
+``repro corpus stats`` renders the numbers a reviewer needs to trust a
+bundle (scale, modality mix, label mix, digest) and — with ``--verify`` —
+regenerates the corpus from the manifest's own spec and compares digests,
+which is the CI guard for seed determinism.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus.generate import generate_corpus
+from repro.corpus.io import LoadedCorpus, load_corpus, save_corpus
+from repro.corpus.scenarios import simulate_corpus_trace
+
+
+@dataclass
+class CorpusStats:
+    """Summary numbers for one corpus bundle."""
+
+    name: str
+    digest: str
+    rules_total: int
+    rules_by_modality: dict[str, int]
+    documented_rules: int
+    vocabulary_leaves: dict[str, int]
+    staff: int
+    patients: int
+    practices: int
+    entries: int
+    exceptions: int
+    labels_by_scenario: dict[str, int] = field(default_factory=dict)
+    violations: int = 0
+
+
+def corpus_stats(bundle: LoadedCorpus | str | Path) -> CorpusStats:
+    """Compute :class:`CorpusStats` for a bundle (path or loaded)."""
+    loaded = bundle if isinstance(bundle, LoadedCorpus) else load_corpus(bundle)
+    by_modality: dict[str, int] = {}
+    for rule in loaded.rules:
+        by_modality[rule.modality] = by_modality.get(rule.modality, 0) + 1
+    leaves = {
+        tree.attribute: len(tree.leaves()) for tree in loaded.vocabulary
+    }
+    by_scenario: dict[str, int] = {}
+    violations = 0
+    for label in loaded.labels:
+        by_scenario[label.scenario] = by_scenario.get(label.scenario, 0) + 1
+        if label.truth == "violation":
+            violations += 1
+    counts = loaded.manifest.get("counts", {})
+    return CorpusStats(
+        name=str(loaded.manifest.get("name", "corpus")),
+        digest=loaded.digest,
+        rules_total=len(loaded.rules),
+        rules_by_modality=dict(sorted(by_modality.items())),
+        documented_rules=len(loaded.store),
+        vocabulary_leaves=leaves,
+        staff=int(counts.get("staff", 0)),
+        patients=int(counts.get("patients", 0)),
+        practices=int(counts.get("practices", 0)),
+        entries=len(loaded.log),
+        exceptions=len(loaded.log.exceptions()),
+        labels_by_scenario=dict(sorted(by_scenario.items())),
+        violations=violations,
+    )
+
+
+def verify_determinism(bundle: LoadedCorpus | str | Path) -> tuple[bool, str, str]:
+    """Regenerate the bundle from its own spec and compare digests.
+
+    Returns ``(matches, recorded_digest, regenerated_digest)``.  The
+    regeneration happens in a throwaway temporary directory, so the
+    on-disk bundle is never touched.
+    """
+    loaded = bundle if isinstance(bundle, LoadedCorpus) else load_corpus(bundle)
+    spec = loaded.spec
+    corpus = generate_corpus(spec)
+    trace = simulate_corpus_trace(corpus)
+    with tempfile.TemporaryDirectory(prefix="repro-corpus-verify-") as scratch:
+        regenerated = save_corpus(corpus, trace, scratch)
+    return regenerated == loaded.digest, loaded.digest, regenerated
+
+
+def render_stats(stats: CorpusStats) -> str:
+    """Render :class:`CorpusStats` as an aligned plain-text report."""
+    lines = [
+        f"corpus       {stats.name}",
+        f"digest       {stats.digest}",
+        f"rules        {stats.rules_total} total; "
+        + ", ".join(
+            f"{count} {modality}"
+            for modality, count in stats.rules_by_modality.items()
+        ),
+        f"documented   {stats.documented_rules} rules in the store",
+        "vocabulary   "
+        + ", ".join(
+            f"{count} {attribute} leaves"
+            for attribute, count in stats.vocabulary_leaves.items()
+        ),
+        f"hospital     {stats.staff} staff, {stats.patients} patients, "
+        f"{stats.practices} practices",
+        f"trace        {stats.entries} entries, {stats.exceptions} exceptions, "
+        f"{stats.violations} injected violations",
+    ]
+    if stats.labels_by_scenario:
+        lines.append(
+            "labels       "
+            + ", ".join(
+                f"{count} {scenario}"
+                for scenario, count in stats.labels_by_scenario.items()
+            )
+        )
+    return "\n".join(lines)

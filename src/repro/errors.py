@@ -105,3 +105,13 @@ class DaemonError(PrimaError):
 
 class FleetError(PrimaError):
     """The multi-process serving fleet (supervisor/workers) failed."""
+
+
+class CorpusError(PrimaError):
+    """The HIPAA-scale policy corpus generator was misconfigured, or a
+    corpus bundle on disk is malformed or corrupt."""
+
+
+class ExplainError(PrimaError):
+    """The explanation-based auditing layer was misconfigured or fed
+    inconsistent inputs (trail, relations, or template weights)."""

@@ -1,0 +1,81 @@
+"""repro.explain — explanation-based auditing (Fabbri & LeFevre).
+
+Turns the paper's weakest step — manual review of mined candidates —
+into a scored, ranked queue: join the 7-attribute audit trail with
+clinical state (:mod:`repro.explain.relations`), evaluate explanation
+templates per exception access (:mod:`repro.explain.templates`), learn
+how much evidence each template carries without touching ground-truth
+labels (:mod:`repro.explain.miner`), aggregate per candidate rule
+(:mod:`repro.explain.scoring`), and rank + grade the triage queue
+(:mod:`repro.explain.triage`).  The
+:class:`~repro.refine_daemon.gate.ExplanationGate` plugs the result into
+the online refinement daemon's review pipeline.
+
+Typical use::
+
+    context = ExplanationContext(state, log)
+    weights = mine_template_weights(log, context)
+    index = build_index(log, context, weights)
+    report = triage_patterns(patterns, index)
+"""
+
+from repro.explain.miner import (
+    TemplateWeight,
+    TemplateWeights,
+    mine_template_weights,
+)
+from repro.explain.relations import ClinicalState, hour_in_shift
+from repro.explain.scoring import (
+    ExplanationIndex,
+    ScoredExplanation,
+    build_index,
+    score_exceptions,
+)
+from repro.explain.templates import (
+    DEFAULT_TEMPLATES,
+    ExplanationContext,
+    ExplanationTemplate,
+    template_by_name,
+)
+from repro.explain.triage import (
+    TRIAGE_VERDICTS,
+    TriageCandidate,
+    TriageReport,
+    TriageThresholds,
+    average_precision,
+    candidate_truth,
+    explanation_ranking,
+    interpolated_precision,
+    precision_recall_points,
+    ranking_flags,
+    support_ranking,
+    triage_patterns,
+)
+
+__all__ = [
+    "DEFAULT_TEMPLATES",
+    "TRIAGE_VERDICTS",
+    "ClinicalState",
+    "ExplanationContext",
+    "ExplanationIndex",
+    "ExplanationTemplate",
+    "ScoredExplanation",
+    "TemplateWeight",
+    "TemplateWeights",
+    "TriageCandidate",
+    "TriageReport",
+    "TriageThresholds",
+    "average_precision",
+    "build_index",
+    "candidate_truth",
+    "explanation_ranking",
+    "hour_in_shift",
+    "interpolated_precision",
+    "mine_template_weights",
+    "precision_recall_points",
+    "ranking_flags",
+    "score_exceptions",
+    "support_ranking",
+    "template_by_name",
+    "triage_patterns",
+]

@@ -1,0 +1,188 @@
+"""Clinical/operational relations the explanation templates join against.
+
+Fabbri & LeFevre's explanation-based auditing derives *explanations* for an
+access from database state: "the user treated this patient", "the access
+happened during the user's shift".  Our audit schema is the paper's
+7-attribute tuple — it has no patient column — so the joinable state is
+keyed on what the trail does carry: ``user``, ``data`` (a leaf category),
+``purpose`` (a leaf), ``authorized`` (the role) and ``time`` (a tick with a
+recoverable hour).  :class:`ClinicalState` holds those relations:
+
+``treatments``
+    ``(user, data_leaf)`` — the user has an active care relationship whose
+    chart falls under that data category (the hdb treatment/appointment
+    analog, projected onto the audit schema).
+``assignments``
+    ``(user, data_leaf)`` — an operational work assignment (technical or
+    administrative staff) covering the category.
+``referrals``
+    ``(to_user, data_leaf)`` — the user *received* a referral whose
+    work-up involves the category.
+``shifts``
+    ``user -> (start_hour, end_hour)`` daily rostered shift, end exclusive
+    and wrapping (``(23, 7)`` is the night shift).
+``role_purposes``
+    ``(role, purpose_leaf)`` — the plausible purpose envelope of a role,
+    extracted from the documented rulebook.
+``departments``
+    ``user -> department`` — the org chart, used by the department-echo
+    template.
+
+The corpus scenario engine accrues these relations as it emits traffic, so
+legitimate accesses are *explainable* while injected misuse is not — the
+separation the triage experiment (E23) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExplainError
+
+
+def hour_in_shift(start: int, end: int, hour: int) -> bool:
+    """True iff ``hour`` falls inside the daily window ``[start, end)``.
+
+    The window wraps past midnight when ``end <= start`` (a ``(23, 7)``
+    night shift contains hours 23, 0..6).
+    """
+    if not (0 <= start < 24 and 0 <= end < 24 and 0 <= hour < 24):
+        raise ExplainError(
+            f"shift hours must be in [0, 24): start={start} end={end} hour={hour}"
+        )
+    if start < end:
+        return start <= hour < end
+    return hour >= start or hour < end
+
+
+@dataclass
+class ClinicalState:
+    """The joinable hdb-side state for explanation mining.
+
+    ``ticks_per_hour`` declares how audit-entry ticks map back to wall
+    hours (``hour = tick // ticks_per_hour % 24``), matching the
+    shift-structured workload's timestamping scheme.
+    """
+
+    ticks_per_hour: int = 1
+    treatments: set[tuple[str, str]] = field(default_factory=set)
+    assignments: set[tuple[str, str]] = field(default_factory=set)
+    referrals: set[tuple[str, str]] = field(default_factory=set)
+    shifts: dict[str, tuple[int, int]] = field(default_factory=dict)
+    role_purposes: set[tuple[str, str]] = field(default_factory=set)
+    departments: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ticks_per_hour < 1:
+            raise ExplainError(
+                f"ticks_per_hour must be >= 1, got {self.ticks_per_hour}"
+            )
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def add_treatment(self, user: str, data: str) -> None:
+        """Record a care relationship covering data category ``data``."""
+        self.treatments.add((user, data))
+
+    def add_assignment(self, user: str, data: str) -> None:
+        """Record an operational work assignment covering ``data``."""
+        self.assignments.add((user, data))
+
+    def add_referral(self, to_user: str, data: str) -> None:
+        """Record that ``to_user`` received a referral involving ``data``."""
+        self.referrals.add((to_user, data))
+
+    def set_shift(self, user: str, start: int, end: int) -> None:
+        """Roster ``user`` on the daily shift ``[start, end)`` (wrapping)."""
+        if not (0 <= start < 24 and 0 <= end < 24):
+            raise ExplainError(f"shift hours must be in [0, 24): ({start}, {end})")
+        self.shifts[user] = (start, end)
+
+    def add_role_purpose(self, role: str, purpose: str) -> None:
+        """Record ``purpose`` as part of ``role``'s plausible envelope."""
+        self.role_purposes.add((role, purpose))
+
+    def set_department(self, user: str, department: str) -> None:
+        """Record ``user``'s org-chart department."""
+        self.departments[user] = department
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def hour_of(self, tick: int) -> int:
+        """Recover the wall hour encoded in an audit-entry tick."""
+        return (tick // self.ticks_per_hour) % 24
+
+    def has_treatment(self, user: str, data: str) -> bool:
+        """True iff a care relationship covers ``(user, data)``."""
+        return (user, data) in self.treatments
+
+    def has_assignment(self, user: str, data: str) -> bool:
+        """True iff a work assignment covers ``(user, data)``."""
+        return (user, data) in self.assignments
+
+    def has_referral(self, user: str, data: str) -> bool:
+        """True iff ``user`` received a referral involving ``data``."""
+        return (user, data) in self.referrals
+
+    def on_shift(self, user: str, tick: int) -> bool:
+        """True iff ``tick`` falls inside ``user``'s rostered shift.
+
+        Users without a rostered shift are never on shift (the template
+        simply does not fire for them).
+        """
+        shift = self.shifts.get(user)
+        if shift is None:
+            return False
+        return hour_in_shift(shift[0], shift[1], self.hour_of(tick))
+
+    def plausible_purpose(self, role: str, purpose: str) -> bool:
+        """True iff ``purpose`` sits in ``role``'s documented envelope."""
+        return (role, purpose) in self.role_purposes
+
+    def department_of(self, user: str) -> str | None:
+        """Return ``user``'s department, or ``None`` if unrostered."""
+        return self.departments.get(user)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready encoding with deterministically sorted relations."""
+        return {
+            "format": 1,
+            "ticks_per_hour": self.ticks_per_hour,
+            "treatments": sorted(list(pair) for pair in self.treatments),
+            "assignments": sorted(list(pair) for pair in self.assignments),
+            "referrals": sorted(list(pair) for pair in self.referrals),
+            "shifts": {
+                user: list(window)
+                for user, window in sorted(self.shifts.items())
+            },
+            "role_purposes": sorted(list(pair) for pair in self.role_purposes),
+            "departments": dict(sorted(self.departments.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClinicalState":
+        """Rebuild the state from a :meth:`to_dict` encoding."""
+        try:
+            state = cls(ticks_per_hour=int(payload["ticks_per_hour"]))
+            state.treatments = {tuple(pair) for pair in payload["treatments"]}
+            state.assignments = {tuple(pair) for pair in payload["assignments"]}
+            state.referrals = {tuple(pair) for pair in payload["referrals"]}
+            for user, window in payload["shifts"].items():
+                state.set_shift(user, int(window[0]), int(window[1]))
+            state.role_purposes = {tuple(pair) for pair in payload["role_purposes"]}
+            state.departments = dict(payload["departments"])
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise ExplainError(f"malformed clinical-state payload: {exc}") from exc
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClinicalState(treatments={len(self.treatments)}, "
+            f"assignments={len(self.assignments)}, "
+            f"referrals={len(self.referrals)}, shifts={len(self.shifts)})"
+        )

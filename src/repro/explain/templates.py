@@ -1,0 +1,145 @@
+"""Explanation templates over the audit trail ⋈ clinical state.
+
+Fabbri & LeFevre's insight: most legitimate accesses can be *explained*
+by a short join path through database state ("the user treated this
+patient").  An :class:`ExplanationTemplate` is one such parameterised
+join, evaluated per audit entry against a
+:class:`~repro.explain.relations.ClinicalState` and a trail-derived
+:class:`ExplanationContext`.  :data:`DEFAULT_TEMPLATES` ships the six
+templates the corpus scenarios exercise:
+
+- ``treatment_relationship`` — a care relationship covers the accessed
+  category;
+- ``work_assignment`` — an operational assignment covers it;
+- ``referral_received`` — the user received a referral involving it;
+- ``on_shift`` — the access fell inside the user's rostered shift;
+- ``role_purpose_affinity`` — the stated purpose sits in the documented
+  envelope of the user's role;
+- ``department_data_echo`` — the user's own department routinely
+  accesses this category through the *sanctioned* path (computed from
+  the trail's regular traffic, not from any label).
+
+Templates are pure predicates; how much evidential weight a fired
+template carries is learned by :mod:`repro.explain.miner` — uninformative
+templates self-neutralise instead of needing curation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.audit.entry import AuditEntry
+from repro.audit.log import AuditLog
+from repro.errors import ExplainError
+from repro.explain.relations import ClinicalState
+
+
+class ExplanationContext:
+    """Per-trail evaluation context for templates.
+
+    Bundles the joinable :class:`ClinicalState` with indexes derived from
+    the trail itself — currently the set of ``(department, data)`` pairs
+    observed in *regular* (sanctioned) traffic, which powers the
+    department-echo template.  Build it once per trail; evaluation is
+    then O(1) per (entry, template).
+    """
+
+    def __init__(self, state: ClinicalState, log: AuditLog | None = None) -> None:
+        self.state = state
+        self._department_regular: set[tuple[str, str]] = set()
+        if log is not None:
+            for entry in log.regular():
+                department = state.department_of(entry.user)
+                if department is not None:
+                    self._department_regular.add((department, entry.data))
+
+    def department_echo(self, entry: AuditEntry) -> bool:
+        """True iff the user's department touches this data routinely."""
+        department = self.state.department_of(entry.user)
+        if department is None:
+            return False
+        return (department, entry.data) in self._department_regular
+
+
+@dataclass(frozen=True, slots=True)
+class ExplanationTemplate:
+    """One explanation join: a named predicate over (entry, context)."""
+
+    name: str
+    description: str
+    predicate: Callable[[AuditEntry, ExplanationContext], bool]
+
+    def fires(self, entry: AuditEntry, context: ExplanationContext) -> bool:
+        """Evaluate the template for ``entry`` under ``context``."""
+        return bool(self.predicate(entry, context))
+
+
+def _treatment(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.state.has_treatment(entry.user, entry.data)
+
+
+def _assignment(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.state.has_assignment(entry.user, entry.data)
+
+
+def _referral(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.state.has_referral(entry.user, entry.data)
+
+
+def _on_shift(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.state.on_shift(entry.user, entry.time)
+
+
+def _role_purpose(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.state.plausible_purpose(entry.authorized, entry.purpose)
+
+
+def _department_echo(entry: AuditEntry, context: ExplanationContext) -> bool:
+    return context.department_echo(entry)
+
+
+#: The built-in template set, in evaluation order.
+DEFAULT_TEMPLATES: tuple[ExplanationTemplate, ...] = (
+    ExplanationTemplate(
+        name="treatment_relationship",
+        description="user has a care relationship covering the data category",
+        predicate=_treatment,
+    ),
+    ExplanationTemplate(
+        name="work_assignment",
+        description="user holds an operational assignment covering the category",
+        predicate=_assignment,
+    ),
+    ExplanationTemplate(
+        name="referral_received",
+        description="user received a referral whose work-up involves the category",
+        predicate=_referral,
+    ),
+    ExplanationTemplate(
+        name="on_shift",
+        description="access fell inside the user's rostered shift",
+        predicate=_on_shift,
+    ),
+    ExplanationTemplate(
+        name="role_purpose_affinity",
+        description="stated purpose is in the documented envelope of the role",
+        predicate=_role_purpose,
+    ),
+    ExplanationTemplate(
+        name="department_data_echo",
+        description="user's department routinely accesses the category sanctioned",
+        predicate=_department_echo,
+    ),
+)
+
+
+def template_by_name(name: str) -> ExplanationTemplate:
+    """Look up a built-in template; raises :class:`ExplainError`."""
+    for template in DEFAULT_TEMPLATES:
+        if template.name == name:
+            return template
+    raise ExplainError(
+        f"unknown explanation template {name!r}; built-ins: "
+        f"{[template.name for template in DEFAULT_TEMPLATES]}"
+    )

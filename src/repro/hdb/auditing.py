@@ -22,11 +22,13 @@ from typing import TYPE_CHECKING
 from repro.audit.entry import AuditEntry
 from repro.audit.log import AuditLog
 from repro.audit.schema import AccessOp, AccessStatus
+from repro.errors import AuditError
 from repro.obs import trace as obstrace
 from repro.obs.runtime import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.durable import DurableAuditLog
+    from repro.vocab.vocabulary import Vocabulary
 
 
 class LogicalClock:
@@ -76,16 +78,21 @@ class ComplianceAuditor:
     ``log`` is any AuditLog-protocol sink: the default in-memory
     :class:`~repro.audit.log.AuditLog`, or a
     :class:`~repro.store.durable.DurableAuditLog` to write the trail
-    through to crash-safe disk segments.
+    through to crash-safe disk segments.  An optional ``vocabulary``
+    turns on write-time validation: accesses carrying a role or purpose
+    outside the vocabulary raise :class:`~repro.errors.AuditError`
+    naming the offending request instead of polluting the trail.
     """
 
     def __init__(
         self,
         log: "AuditLog | DurableAuditLog | None" = None,
         clock: LogicalClock | None = None,
+        vocabulary: "Vocabulary | None" = None,
     ) -> None:
         self.log = log if log is not None else AuditLog()
         self.clock = clock if clock is not None else LogicalClock()
+        self.vocabulary = vocabulary
         self.stats = AuditorStats()
         # The append path stays counter-free; a weakly-held collector
         # flushes AuditorStats deltas into the registry at snapshot time.
@@ -117,10 +124,25 @@ class ComplianceAuditor:
 
         All categories of one request share a timestamp — they are one
         clinical action — which also matches how Table 1 numbers entries.
+
+        When the auditor holds a vocabulary, a role or purpose the
+        vocabulary never defined raises :class:`~repro.errors.AuditError`
+        *before* anything is written — the trail never gains entries the
+        refinement loop cannot ground.
         """
         if not categories:
             return ()
         started = time.perf_counter()
+        if self.vocabulary is not None:
+            next_tick = self.clock.peek()
+            for attribute, value in (("authorized", role), ("purpose", purpose)):
+                tree = self.vocabulary.tree_for(attribute)
+                if tree is not None and value not in tree:
+                    raise AuditError(
+                        f"refusing to audit access by {user!r} at tick "
+                        f"{next_tick}: unknown {attribute} value {value!r} "
+                        f"is not a node of the {attribute!r} vocabulary tree"
+                    )
         tick = self.clock.tick()
         entries = tuple(
             AuditEntry(

@@ -20,8 +20,10 @@ from repro.refine_daemon.daemon import (
 from repro.refine_daemon.gate import (
     VERDICTS,
     AutoAcceptGate,
+    ExplanationGate,
     QueueForReviewGate,
     ReviewGate,
+    StrengthIndex,
 )
 from repro.refine_daemon.runner import DaemonThread
 from repro.refine_daemon.state import (
@@ -40,12 +42,14 @@ __all__ = [
     "DaemonState",
     "DaemonThread",
     "EnginePolicyTarget",
+    "ExplanationGate",
     "PolicyTarget",
     "PollReport",
     "QueueForReviewGate",
     "RefineDaemon",
     "ReviewGate",
     "STATE_NAME",
+    "StrengthIndex",
     "StorePolicyTarget",
     "VERDICTS",
     "load_state",

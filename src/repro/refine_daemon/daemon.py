@@ -450,6 +450,11 @@ class RefineDaemon:
             format_rule(self._rule_for(values)): values for values in state.groups
         }
         poll_trace = obstrace.current_trace_id() or ""
+        # A gate that can score candidates (an ExplanationGate) stamps a
+        # strength on each; plain gates leave the field None and the
+        # pending queue untouched, preserving byte-identity with the
+        # offline loop.
+        strength_of = getattr(self.gate, "strength_of", None)
         for pattern in prune.useful:
             dsl = format_rule(pattern.rule)
             evidence = state.evidence.get(dsl_values.get(dsl, ()), [])
@@ -460,6 +465,8 @@ class RefineDaemon:
                 existing.distinct_users = pattern.distinct_users
                 existing.evidence_entries = list(evidence)
                 existing.evidence_traces = self._evidence_traces(evidence)
+                if strength_of is not None:
+                    existing.strength = strength_of(pattern)
                 continue
             if dsl in decided:
                 continue  # accepted (awaiting swap) or human-rejected
@@ -472,6 +479,7 @@ class RefineDaemon:
                 evidence_entries=list(evidence),
                 evidence_traces=self._evidence_traces(evidence),
                 trace_id=poll_trace,
+                strength=strength_of(pattern) if strength_of is not None else None,
             )
             if verdict == "accept":
                 candidate.decided_by = "auto-gate"
@@ -484,6 +492,11 @@ class RefineDaemon:
                 # reject-for-now: NOT sticky — re-judged when support
                 # grows, exactly like the offline loop's review policy
                 rejected += 1
+        if strength_of is not None:
+            # Pre-sort the human queue by descending strength; the sort
+            # is stable, so equal-strength candidates keep their mined
+            # order and the queue stays deterministic.
+            state.pending.sort(key=lambda c: -(c.strength or 0.0))
         state.rounds += 1
         state.last_mined_poll = state.polls
         state.last_mined_watermark = state.watermark

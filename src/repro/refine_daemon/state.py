@@ -67,10 +67,15 @@ class Candidate:
     evidence_traces: list[str] = field(default_factory=list)
     #: trace id of the daemon poll that mined/accepted this candidate
     trace_id: str = ""
+    #: aggregate explanation strength in (0, 1), stamped only when the
+    #: daemon's gate scores candidates (an ExplanationGate); ``None``
+    #: under plain gates, and then omitted from the state file so
+    #: pre-explanation byte-identity is preserved
+    strength: float | None = None
 
     def to_dict(self) -> dict:
-        """JSON-ready mapping."""
-        return {
+        """JSON-ready mapping (``strength`` present only when scored)."""
+        payload = {
             "rule": self.rule,
             "support": self.support,
             "distinct_users": self.distinct_users,
@@ -81,6 +86,9 @@ class Candidate:
             "evidence_traces": list(self.evidence_traces),
             "trace_id": self.trace_id,
         }
+        if self.strength is not None:
+            payload["strength"] = self.strength
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Candidate":
@@ -96,6 +104,9 @@ class Candidate:
             evidence_entries=[int(e) for e in payload.get("evidence_entries", [])],
             evidence_traces=[str(t) for t in payload.get("evidence_traces", [])],
             trace_id=str(payload.get("trace_id", "")),
+            strength=(
+                float(payload["strength"]) if "strength" in payload else None
+            ),
         )
 
 

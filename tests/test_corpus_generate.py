@@ -1,0 +1,101 @@
+"""Tests for the HIPAA rulebook and corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import (
+    CLINICAL_DEPARTMENTS,
+    CorpusSpec,
+    MODALITIES,
+    generate_corpus,
+    hipaa_vocabulary,
+)
+from repro.errors import CorpusError
+from repro.policy.parser import format_rule
+
+
+def test_vocabulary_has_all_three_attribute_trees():
+    vocabulary = hipaa_vocabulary(CLINICAL_DEPARTMENTS[:3])
+    for attribute in ("data", "purpose", "authorized"):
+        tree = vocabulary.tree_for(attribute)
+        assert tree is not None
+        assert len(tree.leaves()) >= 15
+
+def test_vocabulary_departments_get_flowsheet_leaves():
+    vocabulary = hipaa_vocabulary(("cardiology", "oncology"))
+    data = vocabulary.tree_for("data")
+    assert "cardiology_flowsheet" in data
+    assert "oncology_flowsheet" in data
+    assert "emergency_flowsheet" not in data
+
+
+def test_vocabulary_rejects_unknown_and_empty_departments():
+    with pytest.raises(CorpusError):
+        hipaa_vocabulary(())
+    with pytest.raises(CorpusError):
+        hipaa_vocabulary(("cardiology", "submarine_bay"))
+
+
+def test_spec_validation():
+    with pytest.raises(CorpusError):
+        CorpusSpec(departments=0)
+    with pytest.raises(CorpusError):
+        CorpusSpec(misuse_rate=0.5, noise_rate=0.3, surge_rate=0.2,
+                   handoff_rate=0.1, referral_rate=0.1)
+    with pytest.raises(CorpusError):
+        CorpusSpec(documented_fraction=1.5)
+
+
+def test_spec_roundtrips_through_dict():
+    spec = CorpusSpec(seed=99, departments=5, patients=50)
+    assert CorpusSpec.from_dict(spec.to_dict()) == spec
+
+
+SMALL = CorpusSpec(seed=5, departments=3, staff_per_role=2, patients=40,
+                   rounds=1, accesses_per_round=500, protocol_rules=10)
+
+
+def test_generate_is_deterministic():
+    first = generate_corpus(SMALL)
+    second = generate_corpus(SMALL)
+    assert [r.to_dict() for r in first.rules] == [
+        r.to_dict() for r in second.rules
+    ]
+    assert sorted(format_rule(r) for r in first.store.policy()) == sorted(
+        format_rule(r) for r in second.store.policy()
+    )
+
+
+def test_rules_carry_modalities_and_citations():
+    corpus = generate_corpus(SMALL)
+    modalities = {rule.modality for rule in corpus.rules}
+    assert modalities <= set(MODALITIES)
+    assert corpus.deny_rules() and corpus.consent_rules() and corpus.permit_rules()
+    assert all(rule.citation.startswith("45 CFR") for rule in corpus.rules)
+
+
+def test_documented_store_is_a_permit_subset():
+    corpus = generate_corpus(SMALL)
+    permits = {format_rule(rule.rule) for rule in corpus.permit_rules()}
+    documented = {format_rule(rule) for rule in corpus.store.policy()}
+    assert documented <= permits
+    assert 0 < len(documented) < len(permits)
+
+
+def test_more_departments_and_protocols_mean_more_rules():
+    small = generate_corpus(SMALL)
+    large = generate_corpus(
+        CorpusSpec(seed=5, departments=6, staff_per_role=2, patients=40,
+                   rounds=1, accesses_per_round=500, protocol_rules=60)
+    )
+    assert len(large.rules) > len(small.rules)
+    assert len(large.rules) >= 180
+
+
+def test_all_rules_ground_in_the_vocabulary():
+    corpus = generate_corpus(SMALL)
+    for corpus_rule in corpus.rules:
+        for attribute in ("data", "purpose", "authorized"):
+            value = corpus_rule.rule.value_of(attribute)
+            assert corpus.vocabulary.ground_values(attribute, value)

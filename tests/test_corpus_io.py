@@ -1,0 +1,83 @@
+"""Tests for corpus bundle persistence, digests and stats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import (
+    BUNDLE_FILES,
+    CorpusSpec,
+    bundle_digest,
+    corpus_stats,
+    generate_corpus,
+    load_corpus,
+    render_stats,
+    save_corpus,
+    simulate_corpus_trace,
+    verify_determinism,
+)
+from repro.errors import CorpusError
+
+SPEC = CorpusSpec(seed=3, departments=3, staff_per_role=2, patients=30,
+                  rounds=1, accesses_per_round=400, protocol_rules=5)
+
+
+@pytest.fixture()
+def bundle_dir(tmp_path):
+    corpus = generate_corpus(SPEC)
+    trace = simulate_corpus_trace(corpus)
+    save_corpus(corpus, trace, tmp_path / "bundle")
+    return tmp_path / "bundle"
+
+
+def test_save_writes_every_bundle_file(bundle_dir):
+    for name in BUNDLE_FILES:
+        assert (bundle_dir / name).exists()
+    assert (bundle_dir / "CORPUS.json").exists()
+
+
+def test_load_roundtrips_the_corpus(bundle_dir):
+    loaded = load_corpus(bundle_dir)
+    assert loaded.spec == SPEC
+    assert len(tuple(loaded.log)) == SPEC.rounds * SPEC.accesses_per_round
+    assert loaded.labels
+    assert loaded.manifest["counts"]["entries"] == len(tuple(loaded.log))
+    # truth labels survive the JSONL round-trip
+    exceptions = [entry for entry in loaded.log if entry.truth]
+    assert len(exceptions) == len(loaded.labels)
+
+
+def test_digest_detects_tampering(bundle_dir):
+    recorded = load_corpus(bundle_dir).digest
+    target = bundle_dir / "rules.json"
+    payload = json.loads(target.read_text())
+    payload["rules"][0]["citation"] = "45 CFR 0.0"
+    target.write_text(json.dumps(payload))
+    assert bundle_digest(bundle_dir) != recorded
+    with pytest.raises(CorpusError):
+        load_corpus(bundle_dir)
+    # verification can be bypassed explicitly
+    load_corpus(bundle_dir, verify=False)
+
+
+def test_digest_requires_every_file(bundle_dir):
+    (bundle_dir / "labels.json").unlink()
+    with pytest.raises(CorpusError):
+        bundle_digest(bundle_dir)
+
+
+def test_verify_determinism_reproduces_the_bundle(bundle_dir):
+    matches, recorded, regenerated = verify_determinism(load_corpus(bundle_dir))
+    assert matches
+    assert recorded == regenerated
+
+
+def test_stats_render(bundle_dir):
+    stats = corpus_stats(bundle_dir)
+    assert stats.entries == SPEC.rounds * SPEC.accesses_per_round
+    assert stats.rules_total > 0
+    text = render_stats(stats)
+    assert "digest" in text
+    assert str(stats.entries) in text

@@ -1,0 +1,82 @@
+"""Tests for the corpus scenario engine and its ground-truth labels."""
+
+from __future__ import annotations
+
+from repro.audit.schema import RULE_ATTRIBUTES
+from repro.corpus import CorpusSpec, generate_corpus, simulate_corpus_trace
+from repro.corpus.scenarios import LEGITIMATE_KINDS, MISUSE_KINDS, LabelRecord
+from repro.policy.grounding import Grounder
+
+SPEC = CorpusSpec(seed=13, departments=3, staff_per_role=2, patients=60,
+                  rounds=2, accesses_per_round=1200, protocol_rules=10)
+
+
+def trace_of(spec=SPEC):
+    return simulate_corpus_trace(generate_corpus(spec))
+
+
+def test_trace_is_deterministic():
+    corpus = generate_corpus(SPEC)
+    first = simulate_corpus_trace(corpus)
+    second = simulate_corpus_trace(generate_corpus(SPEC))
+    assert [e.as_row() for e in first.log] == [e.as_row() for e in second.log]
+    assert first.labels == second.labels
+
+
+def test_entry_count_and_label_alignment():
+    trace = trace_of()
+    entries = tuple(trace.log)
+    assert len(entries) == SPEC.rounds * SPEC.accesses_per_round
+    for label in trace.labels:
+        entry = entries[label.index]
+        assert entry.time == label.time
+        assert entry.user == label.user
+        assert entry.truth == label.truth
+
+
+def test_violations_come_only_from_misuse_scenarios():
+    trace = trace_of()
+    for label in trace.labels:
+        if label.truth == "violation":
+            assert label.scenario in MISUSE_KINDS
+        else:
+            assert label.scenario in LEGITIMATE_KINDS
+    assert trace.violations > 0
+    assert trace.practices > 0
+    assert trace.violations + trace.practices == len(trace.labels)
+
+
+def test_covered_accesses_are_regular_and_unlabelled():
+    corpus = generate_corpus(SPEC)
+    trace = simulate_corpus_trace(corpus)
+    grounder = Grounder(corpus.vocabulary)
+    covered = set()
+    for rule in corpus.store.policy():
+        covered.update(grounder.ground_rules(rule))
+    labelled = {label.index for label in trace.labels}
+    for index, entry in enumerate(trace.log):
+        if entry.is_exception:
+            assert index in labelled
+            assert entry.to_rule(RULE_ATTRIBUTES) not in covered
+        else:
+            assert index not in labelled
+            assert entry.truth == ""
+
+
+def test_misuse_rate_is_roughly_respected():
+    trace = trace_of()
+    total = SPEC.rounds * SPEC.accesses_per_round
+    observed = trace.violations / total
+    assert 0.4 * SPEC.misuse_rate <= observed <= 2.5 * SPEC.misuse_rate
+
+
+def test_clinical_state_roundtrips():
+    trace = trace_of()
+    rebuilt = type(trace.state).from_dict(trace.state.to_dict())
+    assert rebuilt.to_dict() == trace.state.to_dict()
+
+
+def test_label_record_roundtrips():
+    record = LabelRecord(index=7, time=42, user="nurse_ada_00",
+                         scenario="surge", truth="practice")
+    assert LabelRecord.from_dict(record.to_dict()) == record

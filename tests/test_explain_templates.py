@@ -1,0 +1,145 @@
+"""Tests for clinical-state relations, explanation templates and weights."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import ExplainError
+from repro.explain import (
+    ClinicalState,
+    DEFAULT_TEMPLATES,
+    ExplanationContext,
+    hour_in_shift,
+    mine_template_weights,
+    template_by_name,
+)
+
+
+def make_state(ticks_per_hour: int = 1) -> ClinicalState:
+    state = ClinicalState(ticks_per_hour=ticks_per_hour)
+    state.add_treatment("dr_grey", "lab_results")
+    state.add_assignment("nurse_kim", "vital_signs")
+    state.add_referral("dr_yang", "imaging_report")
+    state.set_shift("dr_grey", 7, 15)
+    state.set_shift("night_nurse", 23, 7)
+    state.add_role_purpose("surgeon", "surgery_planning")
+    state.set_department("dr_grey", "cardiology")
+    return state
+
+
+def entry_for(user="dr_grey", data="lab_results", purpose="treatment",
+              role="surgeon", time=8):
+    return make_entry(time, user, data, purpose, role, AccessStatus.EXCEPTION)
+
+
+def test_hour_in_shift_wraps_midnight():
+    assert hour_in_shift(23, 7, 23)
+    assert hour_in_shift(23, 7, 2)
+    assert not hour_in_shift(23, 7, 12)
+    assert hour_in_shift(7, 15, 7)
+    assert not hour_in_shift(7, 15, 15)
+    with pytest.raises(ExplainError):
+        hour_in_shift(7, 15, 24)
+
+
+def test_relation_predicates():
+    state = make_state()
+    context = ExplanationContext(state)
+    assert template_by_name("treatment_relationship").fires(entry_for(), context)
+    assert not template_by_name("treatment_relationship").fires(
+        entry_for(user="nurse_kim"), context
+    )
+    assert template_by_name("work_assignment").fires(
+        entry_for(user="nurse_kim", data="vital_signs"), context
+    )
+    assert template_by_name("referral_received").fires(
+        entry_for(user="dr_yang", data="imaging_report"), context
+    )
+    assert template_by_name("role_purpose_affinity").fires(
+        entry_for(role="surgeon", purpose="surgery_planning"), context
+    )
+
+
+def test_on_shift_uses_tick_hours():
+    state = make_state(ticks_per_hour=10)
+    context = ExplanationContext(state)
+    on_shift = template_by_name("on_shift")
+    # tick 80 → hour 8, inside dr_grey's 7-15 shift
+    assert on_shift.fires(entry_for(time=80), context)
+    # tick 200 → hour 20, outside it
+    assert not on_shift.fires(entry_for(time=200), context)
+    # the night shift wraps midnight
+    assert on_shift.fires(entry_for(user="night_nurse", time=10), context)
+
+
+def test_department_echo_uses_regular_traffic():
+    state = make_state()
+    log = AuditLog()
+    log.append(make_entry(1, "dr_grey", "ecg_strip", "treatment", "surgeon",
+                          AccessStatus.REGULAR))
+    context = ExplanationContext(state, log)
+    echo = template_by_name("department_data_echo")
+    assert echo.fires(entry_for(data="ecg_strip", time=2), context)
+    assert not echo.fires(entry_for(data="hiv_status", time=2), context)
+
+
+def test_template_by_name_rejects_unknown():
+    with pytest.raises(ExplainError):
+        template_by_name("phase_of_moon")
+
+
+def test_mined_weights_separate_regular_from_exception_behaviour():
+    state = make_state()
+    log = AuditLog()
+    # regular traffic: treated patients (log time must be non-decreasing)
+    for tick in range(1, 21):
+        log.append(make_entry(tick, "dr_grey", "lab_results",
+                              "treatment", "surgeon", AccessStatus.REGULAR))
+    # exception traffic: a stranger with no relations
+    for tick in range(21, 41):
+        log.append(make_entry(tick, "lurker", "hiv_status", "telemarketing",
+                              "clerk", AccessStatus.EXCEPTION))
+    context = ExplanationContext(state, log)
+    weights = mine_template_weights(log, context)
+    treatment = next(
+        weight for weight in weights.weights
+        if weight.name == "treatment_relationship"
+    )
+    assert treatment.regular_rate > treatment.exception_rate
+    assert treatment.fired_weight > 0
+    # an entry matching the regular profile scores stronger than the lurker
+    strong = weights.strength(entry_for(time=8), context)
+    weak = weights.strength(
+        entry_for(user="lurker", data="hiv_status", role="clerk", time=20),
+        context,
+    )
+    assert strong > weak
+
+
+def test_weights_require_both_traffic_classes():
+    state = make_state()
+    log = AuditLog()
+    log.append(make_entry(1, "dr_grey", "lab_results", "treatment", "surgeon",
+                          AccessStatus.REGULAR))
+    with pytest.raises(ExplainError):
+        mine_template_weights(log, ExplanationContext(state, log))
+
+
+def test_weights_roundtrip():
+    state = make_state()
+    log = AuditLog()
+    log.append(make_entry(1, "dr_grey", "lab_results", "treatment", "surgeon",
+                          AccessStatus.REGULAR))
+    log.append(make_entry(2, "lurker", "hiv_status", "telemarketing", "clerk",
+                          AccessStatus.EXCEPTION))
+    context = ExplanationContext(state, log)
+    weights = mine_template_weights(log, context)
+    rebuilt = type(weights).from_dict(weights.to_dict())
+    assert rebuilt.to_dict() == weights.to_dict()
+
+
+def test_default_templates_are_unique():
+    names = [template.name for template in DEFAULT_TEMPLATES]
+    assert len(names) == len(set(names)) == 6

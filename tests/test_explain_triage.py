@@ -1,0 +1,135 @@
+"""Tests for explanation scoring, ranking and triage grading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.log import AuditLog, make_entry
+from repro.audit.schema import AccessStatus
+from repro.errors import ExplainError
+from repro.explain import (
+    ClinicalState,
+    ExplanationContext,
+    TriageThresholds,
+    average_precision,
+    build_index,
+    candidate_truth,
+    explanation_ranking,
+    interpolated_precision,
+    mine_template_weights,
+    precision_recall_points,
+    ranking_flags,
+    support_ranking,
+    triage_patterns,
+)
+from repro.mining.patterns import Pattern
+from repro.policy.rule import Rule
+
+
+def small_world():
+    """A log where one exception rule is explainable and one is not."""
+    state = ClinicalState(ticks_per_hour=1)
+    state.add_treatment("dr_grey", "lab_results")
+    state.set_shift("dr_grey", 0, 23)
+    state.set_department("dr_grey", "cardiology")
+    log = AuditLog()
+    tick = 0
+    for _ in range(10):
+        tick += 1
+        log.append(make_entry(tick, "dr_grey", "lab_results", "treatment",
+                              "surgeon", AccessStatus.REGULAR))
+    for _ in range(6):
+        tick += 1
+        log.append(make_entry(tick, "dr_grey", "lab_results", "case_review",
+                              "surgeon", AccessStatus.EXCEPTION,
+                              truth="practice"))
+    for _ in range(6):
+        tick += 1
+        log.append(make_entry(tick, "lurker", "hiv_status", "telemarketing",
+                              "clerk", AccessStatus.EXCEPTION,
+                              truth="violation"))
+    context = ExplanationContext(state, log)
+    weights = mine_template_weights(log, context)
+    index = build_index(log, context, weights)
+    return log, index
+
+
+GOOD = Pattern(
+    rule=Rule.of(data="lab_results", purpose="case_review", authorized="surgeon"),
+    support=6, distinct_users=1,
+)
+BAD = Pattern(
+    rule=Rule.of(data="hiv_status", purpose="telemarketing", authorized="clerk"),
+    support=6, distinct_users=1,
+)
+UNSEEN = Pattern(
+    rule=Rule.of(data="ecg_strip", purpose="billing", authorized="clerk"),
+    support=1, distinct_users=1,
+)
+
+
+def test_index_scores_explainable_rule_higher():
+    _, index = small_world()
+    assert index.strength(GOOD.rule) > index.strength(BAD.rule)
+    assert index.support(GOOD.rule) == 6
+    assert index.strength(UNSEEN.rule, 0.0) == 0.0
+
+
+def test_candidate_truth_is_majority_of_supporting_entries():
+    _, index = small_world()
+    assert candidate_truth(index, GOOD) == "practice"
+    assert candidate_truth(index, BAD) == "violation"
+    assert candidate_truth(index, UNSEEN) == "unknown"
+
+
+def test_explanation_ranking_puts_practice_first():
+    _, index = small_world()
+    ranked = explanation_ranking((BAD, GOOD), index)
+    assert ranked[0] is GOOD
+    flags = ranking_flags(ranked, index)
+    assert flags == (True, False)
+
+
+def test_support_ranking_is_support_ordered_and_stable():
+    heavy = Pattern(rule=BAD.rule, support=50, distinct_users=2)
+    ranked = support_ranking((GOOD, heavy))
+    assert ranked[0] is heavy
+    tied = support_ranking((GOOD, BAD))
+    assert tied == (GOOD, BAD)
+
+
+def test_triage_report_grades_and_counts():
+    _, index = small_world()
+    report = triage_patterns(
+        (BAD, GOOD), index,
+        TriageThresholds(auto_accept=0.6, review=0.3),
+    )
+    assert [c.verdict for c in report.candidates][0] == "adopt"
+    assert report.candidates[0].truth == "practice"
+    assert report.candidates[-1].verdict == "investigate"
+    counts = report.counts()
+    assert sum(counts.values()) == 2
+    payload = report.to_dict()
+    assert payload["counts"] == counts
+    assert len(payload["candidates"]) == 2
+
+
+def test_thresholds_validate():
+    with pytest.raises(ExplainError):
+        TriageThresholds(auto_accept=0.3, review=0.5)
+    assert TriageThresholds().verdict(0.9) == "adopt"
+    assert TriageThresholds().verdict(0.5) == "review"
+    assert TriageThresholds().verdict(0.1) == "investigate"
+
+
+def test_precision_recall_machinery():
+    flags = (True, False, True, False)
+    points = precision_recall_points(flags)
+    assert points == ((0.5, 1.0), (0.5, 0.5), (1.0, 2 / 3), (1.0, 0.5))
+    interpolated = interpolated_precision(points, (0.0, 0.5, 1.0))
+    assert interpolated == (1.0, 1.0, 2 / 3)
+    assert average_precision(flags) == pytest.approx((1.0 + 2 / 3) / 2)
+    with pytest.raises(ExplainError):
+        precision_recall_points((False, False))
+    with pytest.raises(ExplainError):
+        average_precision(())

@@ -1,0 +1,198 @@
+"""Property-based guarantees for explanation-triaged review.
+
+Two invariants the online loop leans on:
+
+- **Stable triage**: neither :func:`repro.explain.triage.\
+explanation_ranking` nor the daemon's pre-sorted pending queue ever
+reorders candidates of *equal* strength — the privacy officer's queue is
+deterministic, not an artifact of sort internals.
+- **Threshold composition**: an :class:`~repro.refine_daemon.gate.\
+ExplanationGate` is a pure partition of the strength axis — every
+candidate lands in exactly one of accept / reject / the inner gate, the
+inner gate sees only the middle band, and stacking the gate over the
+human queue or over an :class:`~repro.refine_daemon.gate.AutoAcceptGate`
+changes *which* verdicts fire but never invents a fourth outcome.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DaemonError
+from repro.explain.triage import explanation_ranking
+from repro.mining.patterns import Pattern
+from repro.policy.rule import Rule
+from repro.refine_daemon.gate import (
+    VERDICTS,
+    AutoAcceptGate,
+    ExplanationGate,
+    QueueForReviewGate,
+)
+
+ROLES = ("nurse", "clerk", "doctor", "surgeon", "registrar", "auditor")
+
+
+class MappingIndex:
+    """A StrengthIndex backed by a plain dict (test double)."""
+
+    def __init__(self, strengths: dict[Rule, float]) -> None:
+        self._strengths = strengths
+
+    def strength(self, rule: Rule, default: float = 0.0) -> float:
+        return self._strengths.get(rule, default)
+
+
+def make_patterns(supports: list[int]) -> list[Pattern]:
+    """One distinct pattern per support value, insertion-ordered."""
+    return [
+        Pattern(
+            rule=Rule.of(
+                data="lab_results",
+                purpose="treatment",
+                authorized=ROLES[index % len(ROLES)] + f"_{index}",
+            ),
+            support=support,
+            distinct_users=1 + support % 3,
+        )
+        for index, support in enumerate(supports)
+    ]
+
+
+strength_values = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    supports=st.lists(st.integers(min_value=1, max_value=50), max_size=12),
+    strengths=st.lists(
+        st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]), max_size=12
+    ),
+)
+def test_equal_strength_candidates_keep_their_order(supports, strengths):
+    """Ranking is stable: within a strength class, miner order survives."""
+    patterns = make_patterns(supports)
+    index = MappingIndex(
+        {
+            pattern.rule: strengths[i % len(strengths)] if strengths else 0.0
+            for i, pattern in enumerate(patterns)
+        }
+    )
+    ranked = explanation_ranking(tuple(patterns), index)
+    by_strength: dict[float, list[int]] = {}
+    original = {id(p): i for i, p in enumerate(patterns)}
+    for pattern in ranked:
+        by_strength.setdefault(index.strength(pattern.rule), []).append(
+            original[id(pattern)]
+        )
+    for positions in by_strength.values():
+        assert positions == sorted(positions)
+
+
+@given(supports=st.lists(st.integers(min_value=1, max_value=50), max_size=12))
+def test_all_equal_strength_is_the_identity_ranking(supports):
+    """When every candidate ties, triage must not reorder anything."""
+    patterns = make_patterns(supports)
+    index = MappingIndex({pattern.rule: 0.5 for pattern in patterns})
+    assert explanation_ranking(tuple(patterns), index) == tuple(patterns)
+
+
+@given(
+    supports=st.lists(
+        st.integers(min_value=1, max_value=50), min_size=1, max_size=12
+    ),
+    values=st.lists(strength_values, min_size=1, max_size=12),
+    auto_accept=strength_values,
+    reject_fraction=strength_values,
+    has_reject=st.booleans(),
+)
+def test_gate_partitions_the_strength_axis(
+    supports, values, auto_accept, reject_fraction, has_reject
+):
+    """Every candidate gets exactly one verdict, decided by thresholds."""
+    auto_reject = auto_accept * reject_fraction if has_reject else None
+    patterns = make_patterns(supports)
+    index = MappingIndex(
+        {
+            pattern.rule: values[i % len(values)]
+            for i, pattern in enumerate(patterns)
+        }
+    )
+    seen_by_inner = []
+
+    class RecordingInner:
+        def decide(self, pattern):
+            seen_by_inner.append(pattern)
+            return "pend"
+
+    gate = ExplanationGate(
+        index,
+        auto_accept=auto_accept,
+        auto_reject=auto_reject,
+        inner=RecordingInner(),
+    )
+    for pattern in patterns:
+        strength = gate.strength_of(pattern)
+        verdict = gate.decide(pattern)
+        assert verdict in VERDICTS
+        if strength >= auto_accept:
+            assert verdict == "accept"
+        elif auto_reject is not None and strength <= auto_reject:
+            assert verdict == "reject"
+        else:
+            assert verdict == "pend"
+    # the inner gate saw exactly the middle band, in candidate order
+    expected_middle = [
+        pattern
+        for pattern in patterns
+        if gate.strength_of(pattern) < auto_accept
+        and (auto_reject is None or gate.strength_of(pattern) > auto_reject)
+    ]
+    assert seen_by_inner == expected_middle
+
+
+@given(
+    supports=st.lists(
+        st.integers(min_value=1, max_value=50), min_size=1, max_size=12
+    ),
+    values=st.lists(strength_values, min_size=1, max_size=12),
+)
+def test_gate_composes_with_auto_accept_gate(supports, values):
+    """With an AutoAcceptGate inner, the middle band follows *its* rules."""
+    patterns = make_patterns(supports)
+    index = MappingIndex(
+        {
+            pattern.rule: values[i % len(values)]
+            for i, pattern in enumerate(patterns)
+        }
+    )
+    inner = AutoAcceptGate(min_support=10, min_distinct_users=2)
+    gate = ExplanationGate(index, auto_accept=0.9, inner=inner)
+    for pattern in patterns:
+        verdict = gate.decide(pattern)
+        if gate.strength_of(pattern) >= 0.9:
+            assert verdict == "accept"
+        else:
+            assert verdict == inner.decide(pattern)
+
+
+@given(
+    auto_accept=strength_values,
+    auto_reject=strength_values,
+)
+def test_gate_rejects_inverted_thresholds(auto_accept, auto_reject):
+    """auto_reject above auto_accept is a configuration error, always."""
+    if auto_reject <= auto_accept:
+        ExplanationGate(MappingIndex({}), auto_accept, auto_reject)
+        return
+    try:
+        ExplanationGate(MappingIndex({}), auto_accept, auto_reject)
+    except DaemonError:
+        return
+    raise AssertionError("inverted thresholds must raise DaemonError")
+
+
+def test_default_inner_is_the_human_queue():
+    gate = ExplanationGate(MappingIndex({}))
+    assert isinstance(gate.inner, QueueForReviewGate)

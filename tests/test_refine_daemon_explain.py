@@ -1,0 +1,92 @@
+"""ExplanationGate wired into the online refinement daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusSpec, generate_corpus, simulate_corpus_trace
+from repro.errors import DaemonError
+from repro.explain import ExplanationContext, build_index, mine_template_weights
+from repro.mining.patterns import MiningConfig
+from repro.refine_daemon import (
+    AutoAcceptGate,
+    DaemonConfig,
+    ExplanationGate,
+    RefineDaemon,
+    StorePolicyTarget,
+    load_state,
+)
+from repro.store.durable import DurableAuditLog
+
+SPEC = CorpusSpec(seed=11, departments=3, staff_per_role=2, patients=60,
+                  rounds=2, accesses_per_round=1500, protocol_rules=10)
+
+
+def corpus_world():
+    corpus = generate_corpus(SPEC)
+    trace = simulate_corpus_trace(corpus)
+    context = ExplanationContext(trace.state, trace.log)
+    weights = mine_template_weights(trace.log, context)
+    index = build_index(trace.log, context, weights)
+    return corpus, trace, index
+
+
+def drive(tmp_path, corpus, trace, gate):
+    log = DurableAuditLog(tmp_path / "trail", name="online")
+    daemon = RefineDaemon(
+        log, StorePolicyTarget(corpus.store), corpus.vocabulary, gate,
+        DaemonConfig(mining=MiningConfig(min_support=5, min_distinct_users=2)),
+    )
+    log.extend(trace.log)
+    log.seal_active()
+    daemon.poll()
+    log.close()
+    return load_state(tmp_path / "trail")
+
+
+def test_pending_queue_is_pre_sorted_by_strength(tmp_path):
+    corpus, trace, index = corpus_world()
+    state = drive(tmp_path, corpus, trace, ExplanationGate(index))
+    assert state.pending
+    strengths = [candidate.strength for candidate in state.pending]
+    assert all(value is not None for value in strengths)
+    assert strengths == sorted(strengths, reverse=True)
+
+
+def test_auto_bands_resolve_clear_candidates(tmp_path):
+    corpus, trace, index = corpus_world()
+    before = len(corpus.store.policy())
+    gate = ExplanationGate(index, auto_accept=0.7, auto_reject=0.1)
+    state = drive(tmp_path, corpus, trace, gate)
+    assert state.accepted
+    assert all(c.strength >= 0.7 for c in state.accepted)
+    assert all(c.decided_by == "auto-gate" for c in state.accepted)
+    assert all(0.1 < (c.strength or 0.0) < 0.7 for c in state.pending)
+    assert len(corpus.store.policy()) == before + len(state.accepted)
+
+
+def test_strength_survives_the_state_file(tmp_path):
+    corpus, trace, index = corpus_world()
+    state = drive(tmp_path, corpus, trace, ExplanationGate(index))
+    reloaded = load_state(tmp_path / "trail")
+    assert [c.strength for c in reloaded.pending] == [
+        c.strength for c in state.pending
+    ]
+
+
+def test_plain_gates_leave_strength_unset(tmp_path):
+    corpus, trace, _ = corpus_world()
+    state = drive(tmp_path, corpus, trace, AutoAcceptGate())
+    ledger = state.pending + state.accepted + state.rejected
+    assert ledger
+    assert all(candidate.strength is None for candidate in ledger)
+    for candidate in ledger:
+        assert "strength" not in candidate.to_dict()
+
+
+def test_gate_threshold_validation():
+    corpus, trace, index = corpus_world()
+    with pytest.raises(DaemonError):
+        ExplanationGate(index, auto_accept=1.5)
+    with pytest.raises(DaemonError):
+        ExplanationGate(index, auto_accept=0.5, auto_reject=0.6)

@@ -1,0 +1,77 @@
+"""Cross-interpreter determinism of the synthetic workload generator.
+
+The corpus generator (:mod:`repro.corpus`) promises byte-identical
+bundles from a seed, which only holds if everything *under* it — the
+hospital builder and :class:`~repro.workload.generator.\
+SyntheticHospitalEnvironment` — is itself free of hash-order
+dependence.  In-process assertions cannot catch ``PYTHONHASHSEED``
+sensitivity (the hash seed is fixed per interpreter), so the regression
+test here spawns fresh interpreters with *different* hash seeds and
+compares trail digests across them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.harness import standard_loop_setup
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The digest job run inside each fresh interpreter: simulate two rounds
+#: against the E3 fixture and print a digest over every audit attribute.
+DIGEST_SCRIPT = """
+import hashlib
+from repro.experiments.harness import standard_loop_setup
+
+setup = standard_loop_setup(accesses_per_round=600, seed=23)
+digest = hashlib.sha256()
+for round_index in range(2):
+    window = setup.environment.simulate_round(round_index, setup.store)
+    for entry in window:
+        digest.update(repr((entry.as_row(), entry.truth)).encode())
+print(digest.hexdigest())
+"""
+
+
+def run_with_hash_seed(hash_seed: str) -> str:
+    """The workload digest from a fresh interpreter with ``hash_seed``."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", DIGEST_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def in_process_digest() -> str:
+    """The same digest computed in this interpreter."""
+    setup = standard_loop_setup(accesses_per_round=600, seed=23)
+    digest = hashlib.sha256()
+    for round_index in range(2):
+        window = setup.environment.simulate_round(round_index, setup.store)
+        for entry in window:
+            digest.update(repr((entry.as_row(), entry.truth)).encode())
+    return digest.hexdigest()
+
+
+def test_workload_digest_stable_across_hash_seeds():
+    digests = {seed: run_with_hash_seed(seed) for seed in ("0", "1", "4242")}
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_workload_digest_matches_fresh_interpreter():
+    assert in_process_digest() == run_with_hash_seed("0")
+
+
+def test_same_seed_same_trail_in_process():
+    assert in_process_digest() == in_process_digest()
